@@ -1,0 +1,71 @@
+//! Throughput of the cache models used by the CMP simulator.
+
+use ccs_cache::{CacheConfig, IdealCache, SetAssocCache};
+use ccs_dag::AccessKind;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn make_lines(len: usize, distinct: u64) -> Vec<u64> {
+    let mut x: u64 = 0xBEEF;
+    (0..len)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x % distinct) * 128
+        })
+        .collect()
+}
+
+fn bench_cache_models(c: &mut Criterion) {
+    let lines = make_lines(200_000, 64 * 1024);
+    let mut group = c.benchmark_group("cache_models");
+    group.throughput(Throughput::Elements(lines.len() as u64));
+
+    group.bench_function("setassoc_l2_8mb_16way", |b| {
+        b.iter(|| {
+            let mut cache = SetAssocCache::new(CacheConfig::new(8 << 20, 128, 16, 13));
+            let mut misses = 0u64;
+            for &l in &lines {
+                if !cache.access_line(l, AccessKind::Read).hit {
+                    misses += 1;
+                }
+            }
+            misses
+        })
+    });
+
+    group.bench_function("setassoc_l1_64kb_4way", |b| {
+        b.iter(|| {
+            let mut cache = SetAssocCache::new(CacheConfig::paper_l1());
+            let mut misses = 0u64;
+            for &l in &lines {
+                if !cache.access_line(l, AccessKind::Read).hit {
+                    misses += 1;
+                }
+            }
+            misses
+        })
+    });
+
+    group.bench_function("ideal_lru_8mb", |b| {
+        b.iter(|| {
+            let mut cache = IdealCache::with_bytes(8 << 20, 128);
+            let mut misses = 0u64;
+            for &l in &lines {
+                if !cache.access_line(l, AccessKind::Read) {
+                    misses += 1;
+                }
+            }
+            misses
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cache_models
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Section 6.1 in miniature: the one-pass LruTree working-set profiler versus
+//! the per-group SetAssoc replay, on a small Mergesort trace.
+
+use ccs_dag::TaskGroupTree;
+use ccs_profile::{profile_all_groups, WorkingSetProfile};
+use ccs_workloads::{mergesort, MergesortParams};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_profilers(c: &mut Criterion) {
+    let params = MergesortParams::new(1 << 16).with_task_working_set(16 * 1024);
+    let comp = mergesort::build(&params);
+    let tree = TaskGroupTree::from_computation(&comp);
+    let sizes: Vec<u64> = (12..=20).map(|p| 1u64 << p).collect();
+
+    let mut group = c.benchmark_group("working_set_profiler");
+    group.throughput(Throughput::Elements(comp.total_refs()));
+    group.sample_size(10);
+
+    group.bench_function("lrutree_one_pass", |b| {
+        b.iter(|| WorkingSetProfile::collect(&comp, &sizes).num_tasks())
+    });
+
+    group.bench_function("setassoc_per_group", |b| {
+        b.iter(|| profile_all_groups(&comp, &tree, &sizes).len())
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_profilers
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Native-runtime benchmarks: fork-join overhead and parallel sorting under
+//! the Work-Stealing and PDF policies of `ccs-runtime`.
+
+use ccs_runtime::{Policy, ThreadPool};
+use ccs_workloads::native::{par_mergesort, par_sum};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_runtime(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).min(4);
+    let data: Vec<u64> = (0..1_000_000u64).collect();
+    let mut unsorted: Vec<u32> = Vec::with_capacity(1 << 18);
+    let mut x = 7u32;
+    for _ in 0..(1 << 18) {
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        unsorted.push(x);
+    }
+
+    let mut group = c.benchmark_group("native_runtime");
+    group.sample_size(10);
+
+    for policy in [Policy::WorkStealing, Policy::Pdf] {
+        let pool = ThreadPool::new(threads, policy);
+        let name = match policy {
+            Policy::WorkStealing => "ws",
+            Policy::Pdf => "pdf",
+        };
+
+        group.throughput(Throughput::Elements(data.len() as u64));
+        group.bench_with_input(BenchmarkId::new("par_sum", name), &data, |b, data| {
+            b.iter(|| pool.install(|| par_sum(data, 4096)))
+        });
+
+        group.throughput(Throughput::Elements(unsorted.len() as u64));
+        group.bench_with_input(BenchmarkId::new("par_mergesort", name), &unsorted, |b, input| {
+            b.iter(|| {
+                let mut v = input.clone();
+                pool.install(|| par_mergesort(&mut v, 8 * 1024));
+                v[0]
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_runtime
+}
+criterion_main!(benches);

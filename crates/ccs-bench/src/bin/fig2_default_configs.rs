@@ -1,0 +1,37 @@
+//! Figure 2: PDF vs WS on the default (Table 2) CMP configurations.
+//!
+//! Reproduces all six panels: speedup over sequential execution (left column)
+//! and L2 misses per 1000 instructions (right column) for LU (1–16 cores),
+//! Hash Join and Mergesort (1–32 cores).
+//!
+//! ```text
+//! cargo run --release -p ccs-bench --bin fig2_default_configs -- [--scale N] [--app lu|hashjoin|mergesort]
+//! ```
+
+use ccs_bench::{print_header, print_row, run_pdf_ws, Options};
+use ccs_sim::CmpConfig;
+use ccs_workloads::Benchmark;
+
+fn main() {
+    let opts = Options::from_env();
+    eprintln!("# Figure 2 — default configurations, scale 1/{}", opts.effective_scale());
+    print_header("mpki_reduction_vs_ws_pct");
+
+    for bench in opts.benchmarks() {
+        for cfg in CmpConfig::default_configs() {
+            // The paper reports LU only up to 16 cores (the 2Kx2K input is
+            // smaller than the 32-core L2).
+            if bench == Benchmark::Lu && cfg.num_cores > 16 {
+                continue;
+            }
+            if opts.quick && cfg.num_cores > 8 {
+                continue;
+            }
+            let pair = run_pdf_ws(bench, &cfg, &opts);
+            let reduction = pair.pdf.mpki_reduction_vs(&pair.ws);
+            print_row(bench, &cfg.name, cfg.num_cores, &pair.pdf, &pair.sequential,
+                      &format!("{reduction:.1}"));
+            print_row(bench, &cfg.name, cfg.num_cores, &pair.ws, &pair.sequential, "0.0");
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Figure 3: execution time of Hash Join and Mergesort across the 45 nm
+//! single-technology design points (Table 3, 1–26 cores), PDF vs WS.
+//!
+//! The interesting qualitative features to look for (Section 5.2): PDF wins
+//! at every design point; Hash Join bottoms out around ~18 cores (it becomes
+//! memory-bandwidth-bound and the shrinking cache then hurts), while
+//! Mergesort keeps improving to 24–26 cores.
+//!
+//! ```text
+//! cargo run --release -p ccs-bench --bin fig3_single_tech -- [--scale N]
+//! ```
+
+use ccs_bench::{print_header, print_row, run_pdf_ws, Options};
+use ccs_sim::CmpConfig;
+use ccs_workloads::Benchmark;
+
+fn main() {
+    let opts = Options::from_env();
+    eprintln!("# Figure 3 — 45nm single technology, scale 1/{}", opts.effective_scale());
+    print_header("pdf_over_ws");
+
+    let benches: Vec<Benchmark> = opts
+        .benchmarks()
+        .into_iter()
+        .filter(|b| *b != Benchmark::Lu)
+        .collect();
+    for bench in benches {
+        for cfg in CmpConfig::single_tech_45nm() {
+            if opts.quick && cfg.num_cores % 8 != 0 && cfg.num_cores != 1 {
+                continue;
+            }
+            let pair = run_pdf_ws(bench, &cfg, &opts);
+            let rel = pair.pdf.relative_speedup(&pair.ws);
+            print_row(bench, &cfg.name, cfg.num_cores, &pair.pdf, &pair.sequential,
+                      &format!("{rel:.3}"));
+            print_row(bench, &cfg.name, cfg.num_cores, &pair.ws, &pair.sequential, "1.000");
+        }
+    }
+}

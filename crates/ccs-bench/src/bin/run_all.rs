@@ -1,0 +1,45 @@
+//! Run every experiment binary in sequence (convenience wrapper used to
+//! regenerate EXPERIMENTS.md data in one go).
+//!
+//! ```text
+//! cargo run --release -p ccs-bench --bin run_all -- [--scale N] [--quick]
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let binaries = [
+        "tables_2_3",
+        "fig2_default_configs",
+        "fig3_single_tech",
+        "fig4_l2_hit_time",
+        "fig5_mem_latency",
+        "fig6_granularity",
+        "fig8_auto_coarsening",
+        "sec61_profiler_speed",
+    ];
+    let exe_dir = std::env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    for bin in binaries {
+        println!("\n===== {bin} =====");
+        let path = exe_dir.join(bin);
+        let status = if path.exists() {
+            Command::new(&path).args(&args).status()
+        } else {
+            // Fall back to cargo run (slower, but works from any directory).
+            Command::new("cargo")
+                .args(["run", "--release", "-p", "ccs-bench", "--bin", bin, "--"])
+                .args(&args)
+                .status()
+        };
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => eprintln!("{bin} exited with {s}"),
+            Err(e) => eprintln!("failed to run {bin}: {e}"),
+        }
+    }
+}

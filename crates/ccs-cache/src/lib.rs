@@ -1,0 +1,33 @@
+//! Cache and memory models for the CCS (constructive cache sharing)
+//! reproduction of Chen et al., SPAA 2007.
+//!
+//! This crate provides the storage-hierarchy substrate used by the CMP
+//! simulator ([`ccs-sim`](../ccs_sim/index.html)) and by the working-set
+//! profiler ([`ccs-profile`](../ccs_profile/index.html)):
+//!
+//! * [`CacheConfig`] / [`MemoryConfig`] — geometry and timing (Table 1);
+//! * [`SetAssocCache`] — set-associative, true-LRU, write-back cache used for
+//!   private L1s and the shared L2;
+//! * [`IdealCache`] — fully-associative LRU cache used by the analytical
+//!   results (Theorem 3.1) and the profiler;
+//! * [`OrderStatStack`], [`FenwickStack`], [`NaiveLruStack`] — LRU
+//!   stack-distance models; `OrderStatStack` is the paper's *LruTree*
+//!   structure with `O(log n)` per-reference cost;
+//! * [`MainMemory`] — off-chip latency + bounded-bandwidth model.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod ideal;
+pub mod memory;
+pub mod setassoc;
+pub mod stack;
+pub mod stats;
+
+pub use config::{CacheConfig, MemoryConfig};
+pub use ideal::IdealCache;
+pub use memory::{MainMemory, MemoryStats};
+pub use setassoc::{AccessOutcome, SetAssocCache};
+pub use stack::{FenwickStack, NaiveLruStack, OrderStatStack, StackDistanceModel};
+pub use stats::CacheStats;

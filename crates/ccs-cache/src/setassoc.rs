@@ -1,0 +1,303 @@
+//! Set-associative cache with true-LRU replacement.
+//!
+//! This is the cache model used for the private L1s and the shared L2 of the
+//! CMP simulator, and for the `SetAssoc` working-set profiling baseline of
+//! Section 6.1.
+
+use crate::config::CacheConfig;
+use crate::stats::CacheStats;
+use ccs_dag::{AccessKind, MemRef};
+
+/// Result of probing the cache with one line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Whether the line was present.
+    pub hit: bool,
+    /// Line address evicted to make room for the fill (misses only).
+    pub evicted: Option<u64>,
+    /// Whether the evicted line was dirty (requires a write-back).
+    pub writeback: bool,
+}
+
+impl AccessOutcome {
+    fn hit() -> Self {
+        AccessOutcome { hit: true, evicted: None, writeback: false }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Way {
+    line: u64,
+    dirty: bool,
+    /// Monotonic timestamp of the last access; smallest = LRU victim.
+    last_used: u64,
+}
+
+/// A set-associative cache with per-set true-LRU replacement and write-back,
+/// write-allocate semantics.
+#[derive(Clone, Debug)]
+pub struct SetAssocCache {
+    config: CacheConfig,
+    sets: Vec<Vec<Way>>,
+    stats: CacheStats,
+    clock: u64,
+}
+
+impl SetAssocCache {
+    /// Create an empty (cold) cache.
+    pub fn new(config: CacheConfig) -> Self {
+        config.validate().expect("invalid cache configuration");
+        let sets = vec![Vec::with_capacity(config.associativity as usize); config.num_sets() as usize];
+        SetAssocCache { config, sets, stats: CacheStats::default(), clock: 0 }
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Reset statistics (the contents are preserved).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Flush the contents (cold cache) without touching statistics.
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+
+    /// Number of lines currently resident.
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Probe the cache with the line containing `addr`.
+    pub fn access_addr(&mut self, addr: u64, kind: AccessKind) -> AccessOutcome {
+        let line = self.config.line_of(addr);
+        self.access_line(line, kind)
+    }
+
+    /// Probe the cache with an already line-aligned address.
+    pub fn access_line(&mut self, line: u64, kind: AccessKind) -> AccessOutcome {
+        debug_assert_eq!(line % self.config.line_size, 0, "address must be line-aligned");
+        self.clock += 1;
+        let clock = self.clock;
+        let is_write = kind.is_write();
+        let set_idx = self.config.set_of(line) as usize;
+        let assoc = self.config.associativity as usize;
+        let set = &mut self.sets[set_idx];
+
+        if let Some(way) = set.iter_mut().find(|w| w.line == line) {
+            way.last_used = clock;
+            way.dirty |= is_write;
+            self.stats.record(true, is_write);
+            return AccessOutcome::hit();
+        }
+
+        // Miss: allocate, evicting the LRU way if the set is full.
+        self.stats.record(false, is_write);
+        let mut outcome = AccessOutcome { hit: false, evicted: None, writeback: false };
+        if set.len() == assoc {
+            let victim_idx = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.last_used)
+                .map(|(i, _)| i)
+                .expect("non-empty set");
+            let victim = set.swap_remove(victim_idx);
+            self.stats.record_eviction(victim.dirty);
+            outcome.evicted = Some(victim.line);
+            outcome.writeback = victim.dirty;
+        }
+        set.push(Way { line, dirty: is_write, last_used: clock });
+        outcome
+    }
+
+    /// Probe the cache with every line touched by a memory reference,
+    /// returning the number of misses.
+    pub fn access_ref(&mut self, mem: &MemRef) -> u32 {
+        let mut misses = 0;
+        for line in mem.lines(self.config.line_size) {
+            if !self.access_line(line, mem.kind).hit {
+                misses += 1;
+            }
+        }
+        misses
+    }
+
+    /// Insert a line (e.g. a fill returning from the next level) without
+    /// recording a probe in the statistics.  If the line is already present
+    /// its LRU position and dirty bit are refreshed; otherwise it is
+    /// allocated, evicting the LRU way if necessary (the eviction *is*
+    /// recorded).  Returns the eviction outcome.
+    pub fn fill_line(&mut self, line: u64, dirty: bool) -> AccessOutcome {
+        debug_assert_eq!(line % self.config.line_size, 0, "address must be line-aligned");
+        self.clock += 1;
+        let clock = self.clock;
+        let set_idx = self.config.set_of(line) as usize;
+        let assoc = self.config.associativity as usize;
+        let set = &mut self.sets[set_idx];
+        if let Some(way) = set.iter_mut().find(|w| w.line == line) {
+            way.last_used = clock;
+            way.dirty |= dirty;
+            return AccessOutcome::hit();
+        }
+        let mut outcome = AccessOutcome { hit: false, evicted: None, writeback: false };
+        if set.len() == assoc {
+            let victim_idx = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.last_used)
+                .map(|(i, _)| i)
+                .expect("non-empty set");
+            let victim = set.swap_remove(victim_idx);
+            self.stats.record_eviction(victim.dirty);
+            outcome.evicted = Some(victim.line);
+            outcome.writeback = victim.dirty;
+        }
+        set.push(Way { line, dirty, last_used: clock });
+        outcome
+    }
+
+    /// Whether a line is currently resident (does not update LRU state or
+    /// statistics).
+    pub fn contains_line(&self, line: u64) -> bool {
+        let set_idx = self.config.set_of(line) as usize;
+        self.sets[set_idx].iter().any(|w| w.line == line)
+    }
+
+    /// Invalidate a line if present; returns `true` if it was present and
+    /// dirty (i.e. an invalidation write-back would be needed).
+    pub fn invalidate_line(&mut self, line: u64) -> bool {
+        let set_idx = self.config.set_of(line) as usize;
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|w| w.line == line) {
+            let way = set.swap_remove(pos);
+            way.dirty
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cache() -> SetAssocCache {
+        // 4 lines of 64 B, 2-way => 2 sets.
+        SetAssocCache::new(CacheConfig::new(256, 64, 2, 1))
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = small_cache();
+        assert!(!c.access_addr(0, AccessKind::Read).hit);
+        assert!(c.access_addr(32, AccessKind::Read).hit, "same line must hit");
+        assert_eq!(c.stats().misses, 1);
+        assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut c = small_cache();
+        // Lines 0, 128, 256 all map to set 0 (set = (addr/64) % 2).
+        c.access_line(0, AccessKind::Read);
+        c.access_line(128, AccessKind::Read);
+        // Touch 0 again so 128 becomes LRU.
+        c.access_line(0, AccessKind::Read);
+        let out = c.access_line(256, AccessKind::Read);
+        assert!(!out.hit);
+        assert_eq!(out.evicted, Some(128));
+        assert!(c.contains_line(0));
+        assert!(!c.contains_line(128));
+    }
+
+    #[test]
+    fn writeback_on_dirty_eviction() {
+        let mut c = small_cache();
+        c.access_line(0, AccessKind::Write);
+        c.access_line(128, AccessKind::Read);
+        c.access_line(128, AccessKind::Read);
+        // Evict line 0 (LRU, dirty).
+        let out = c.access_line(256, AccessKind::Read);
+        assert_eq!(out.evicted, Some(0));
+        assert!(out.writeback);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn different_sets_do_not_interfere() {
+        let mut c = small_cache();
+        c.access_line(0, AccessKind::Read); // set 0
+        c.access_line(64, AccessKind::Read); // set 1
+        c.access_line(128, AccessKind::Read); // set 0
+        c.access_line(192, AccessKind::Read); // set 1
+        // All four lines fit: no evictions.
+        assert_eq!(c.stats().evictions, 0);
+        assert_eq!(c.resident_lines(), 4);
+    }
+
+    #[test]
+    fn access_ref_splits_lines() {
+        let mut c = small_cache();
+        let r = MemRef::read(60, 10); // straddles lines 0 and 64
+        assert_eq!(c.access_ref(&r), 2);
+        assert_eq!(c.access_ref(&r), 0);
+        assert_eq!(c.stats().accesses, 4);
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = small_cache();
+        c.access_line(0, AccessKind::Write);
+        assert!(c.invalidate_line(0), "dirty line reported on invalidation");
+        assert!(!c.contains_line(0));
+        assert!(!c.invalidate_line(0));
+        assert!(!c.access_line(0, AccessKind::Read).hit);
+    }
+
+    #[test]
+    fn flush_empties_cache() {
+        let mut c = small_cache();
+        c.access_line(0, AccessKind::Read);
+        c.access_line(64, AccessKind::Read);
+        c.flush();
+        assert_eq!(c.resident_lines(), 0);
+        assert!(!c.access_line(0, AccessKind::Read).hit);
+    }
+
+    #[test]
+    fn fill_line_does_not_count_as_probe() {
+        let mut c = small_cache();
+        c.fill_line(0, false);
+        assert_eq!(c.stats().accesses, 0);
+        assert!(c.contains_line(0));
+        assert!(c.access_line(0, AccessKind::Read).hit);
+        // Filling a full set evicts and records the eviction.
+        c.fill_line(128, true);
+        let out = c.fill_line(256, false);
+        assert!(out.evicted.is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn fully_associative_behaves_as_lru() {
+        let cfg = CacheConfig::fully_associative(4 * 64, 64, 1);
+        let mut c = SetAssocCache::new(cfg);
+        for i in 0..4u64 {
+            c.access_line(i * 64, AccessKind::Read);
+        }
+        // Re-touch line 0, then bring in a 5th line: victim must be line 1.
+        c.access_line(0, AccessKind::Read);
+        let out = c.access_line(4 * 64, AccessKind::Read);
+        assert_eq!(out.evicted, Some(64));
+    }
+}

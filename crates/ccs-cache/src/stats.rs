@@ -1,0 +1,144 @@
+//! Access statistics shared by all cache models.
+
+/// Hit/miss counters maintained by every cache model.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total line probes.
+    pub accesses: u64,
+    /// Probes that hit.
+    pub hits: u64,
+    /// Probes that missed.
+    pub misses: u64,
+    /// Read probes.
+    pub reads: u64,
+    /// Write probes.
+    pub writes: u64,
+    /// Lines evicted to make room for a fill.
+    pub evictions: u64,
+    /// Evictions of dirty lines (write-backs to the next level).
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Record a probe outcome.
+    #[inline]
+    pub fn record(&mut self, hit: bool, is_write: bool) {
+        self.accesses += 1;
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        if is_write {
+            self.writes += 1;
+        } else {
+            self.reads += 1;
+        }
+    }
+
+    /// Record an eviction.
+    #[inline]
+    pub fn record_eviction(&mut self, dirty: bool) {
+        self.evictions += 1;
+        if dirty {
+            self.writebacks += 1;
+        }
+    }
+
+    /// Miss ratio (0 when there were no accesses).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Hit ratio (0 when there were no accesses).
+    pub fn hit_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Misses per 1000 of the given instruction count — the paper's main
+    /// cache-performance metric ("L2 misses per 1000 instructions").
+    pub fn misses_per_kilo_instruction(&self, instructions: u64) -> f64 {
+        if instructions == 0 {
+            0.0
+        } else {
+            self.misses as f64 * 1000.0 / instructions as f64
+        }
+    }
+
+    /// Merge another set of counters into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.accesses += other.accesses;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.evictions += other.evictions;
+        self.writebacks += other.writebacks;
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset(&mut self) {
+        *self = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_ratios() {
+        let mut s = CacheStats::default();
+        s.record(true, false);
+        s.record(false, true);
+        s.record(false, false);
+        assert_eq!(s.accesses, 3);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.writes, 1);
+        assert!((s.miss_ratio() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.hit_ratio() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_ratios() {
+        let s = CacheStats::default();
+        assert_eq!(s.miss_ratio(), 0.0);
+        assert_eq!(s.hit_ratio(), 0.0);
+        assert_eq!(s.misses_per_kilo_instruction(0), 0.0);
+    }
+
+    #[test]
+    fn mpki_metric() {
+        let mut s = CacheStats::default();
+        for _ in 0..5 {
+            s.record(false, false);
+        }
+        assert!((s.misses_per_kilo_instruction(10_000) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = CacheStats::default();
+        a.record(true, false);
+        a.record_eviction(true);
+        let mut b = CacheStats::default();
+        b.record(false, true);
+        b.record_eviction(false);
+        a.merge(&b);
+        assert_eq!(a.accesses, 2);
+        assert_eq!(a.evictions, 2);
+        assert_eq!(a.writebacks, 1);
+        a.reset();
+        assert_eq!(a, CacheStats::default());
+    }
+}

@@ -1,0 +1,154 @@
+//! Synthetic virtual address space for trace generation.
+//!
+//! Workload generators need concrete addresses for the data structures their
+//! tasks touch (arrays, hash tables, temporary buffers).  [`AddressSpace`] is
+//! a simple bump allocator over a flat 64-bit virtual address space; it never
+//! frees, but supports explicit *regions* so a workload can reuse a buffer
+//! (e.g. Mergesort ping-pong buffers) by allocating it once and re-touching
+//! the same addresses.
+
+/// A named, contiguous allocation in the synthetic address space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Region {
+    /// First byte address of the region.
+    pub base: u64,
+    /// Size in bytes.
+    pub bytes: u64,
+}
+
+impl Region {
+    /// Address of byte `offset` within the region (checked in debug builds).
+    #[inline]
+    pub fn at(&self, offset: u64) -> u64 {
+        debug_assert!(offset < self.bytes, "offset {offset} out of region of {} bytes", self.bytes);
+        self.base + offset
+    }
+
+    /// Address of element `index` for elements of `elem_size` bytes.
+    #[inline]
+    pub fn elem(&self, index: u64, elem_size: u64) -> u64 {
+        self.at(index * elem_size)
+    }
+
+    /// Sub-region starting at `offset` with `bytes` bytes.
+    pub fn slice(&self, offset: u64, bytes: u64) -> Region {
+        assert!(
+            offset + bytes <= self.bytes,
+            "slice {offset}+{bytes} exceeds region of {} bytes",
+            self.bytes
+        );
+        Region { base: self.base + offset, bytes }
+    }
+
+    /// One past the last byte of the region.
+    #[inline]
+    pub fn end(&self) -> u64 {
+        self.base + self.bytes
+    }
+}
+
+/// Bump allocator for the synthetic virtual address space used by workload
+/// generators.
+#[derive(Clone, Debug)]
+pub struct AddressSpace {
+    next: u64,
+    allocated: u64,
+}
+
+/// Regions are aligned to this many bytes by default (one typical page), so
+/// distinct allocations never share a cache line.
+pub const DEFAULT_ALIGN: u64 = 4096;
+
+impl AddressSpace {
+    /// A fresh address space starting at a non-zero base (so address 0 is
+    /// never valid, which helps catch uninitialised-address bugs).
+    pub fn new() -> Self {
+        AddressSpace { next: DEFAULT_ALIGN, allocated: 0 }
+    }
+
+    /// Allocate `bytes` bytes aligned to [`DEFAULT_ALIGN`].
+    pub fn alloc(&mut self, bytes: u64) -> Region {
+        self.alloc_aligned(bytes, DEFAULT_ALIGN)
+    }
+
+    /// Allocate `bytes` bytes with the given power-of-two alignment.
+    pub fn alloc_aligned(&mut self, bytes: u64, align: u64) -> Region {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let base = (self.next + align - 1) & !(align - 1);
+        self.next = base + bytes.max(1);
+        self.allocated += bytes;
+        Region { base, bytes }
+    }
+
+    /// Allocate an array of `count` elements of `elem_size` bytes.
+    pub fn alloc_array(&mut self, count: u64, elem_size: u64) -> Region {
+        self.alloc(count * elem_size)
+    }
+
+    /// Total bytes handed out so far (excluding alignment padding).
+    pub fn allocated_bytes(&self) -> u64 {
+        self.allocated
+    }
+
+    /// Highest address handed out so far.
+    pub fn high_water_mark(&self) -> u64 {
+        self.next
+    }
+}
+
+impl Default for AddressSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_do_not_overlap() {
+        let mut a = AddressSpace::new();
+        let r1 = a.alloc(1000);
+        let r2 = a.alloc(1000);
+        let r3 = a.alloc(1);
+        assert!(r1.end() <= r2.base);
+        assert!(r2.end() <= r3.base);
+        assert_eq!(a.allocated_bytes(), 2001);
+    }
+
+    #[test]
+    fn allocations_are_aligned() {
+        let mut a = AddressSpace::new();
+        let r1 = a.alloc(10);
+        let r2 = a.alloc_aligned(10, 64);
+        assert_eq!(r1.base % DEFAULT_ALIGN, 0);
+        assert_eq!(r2.base % 64, 0);
+    }
+
+    #[test]
+    fn zero_never_allocated() {
+        let mut a = AddressSpace::new();
+        let r = a.alloc(8);
+        assert!(r.base > 0);
+    }
+
+    #[test]
+    fn region_addressing() {
+        let mut a = AddressSpace::new();
+        let r = a.alloc_array(100, 8);
+        assert_eq!(r.bytes, 800);
+        assert_eq!(r.elem(3, 8), r.base + 24);
+        let s = r.slice(80, 160);
+        assert_eq!(s.base, r.base + 80);
+        assert_eq!(s.bytes, 160);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds region")]
+    fn slice_out_of_bounds_panics() {
+        let mut a = AddressSpace::new();
+        let r = a.alloc(100);
+        let _ = r.slice(90, 20);
+    }
+}

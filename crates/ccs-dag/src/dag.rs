@@ -1,0 +1,380 @@
+//! The computation DAG: dependency structure, 1DF ordering and analysis.
+
+use crate::sp::{Computation, SpKind};
+use crate::task::TaskId;
+
+/// The dependency structure of a [`Computation`], flattened from its SP tree.
+///
+/// A node of the DAG is a task; an edge `(u, v)` means `v` may not start until
+/// `u` has completed.  The DAG also records the 1DF *sequential order*: the
+/// order a single-core execution of the program would run the tasks, which is
+/// the priority order used by the PDF scheduler.
+#[derive(Clone, Debug)]
+pub struct Dag {
+    /// Per-task instruction counts (copied from the computation for cheap
+    /// access during scheduling).
+    work: Vec<u64>,
+    /// Successors of each task.
+    succs: Vec<Vec<TaskId>>,
+    /// Predecessors of each task.
+    preds: Vec<Vec<TaskId>>,
+    /// Tasks in 1DF sequential order.
+    seq_order: Vec<TaskId>,
+    /// Inverse of `seq_order`: `seq_rank[t] = position of t in seq_order`.
+    seq_rank: Vec<u32>,
+}
+
+impl Dag {
+    /// Flatten a computation's SP tree into its dependency DAG.
+    pub fn from_computation(comp: &Computation) -> Dag {
+        let n = comp.num_tasks();
+        let mut succs: Vec<Vec<TaskId>> = vec![Vec::new(); n];
+        let mut preds: Vec<Vec<TaskId>> = vec![Vec::new(); n];
+
+        // Recursively compute (sources, sinks) of every SP subtree and add
+        // edges for sequential compositions.  Iterative post-order traversal
+        // to avoid stack overflows on deep recursions.
+        #[derive(Default, Clone)]
+        struct Ends {
+            sources: Vec<TaskId>,
+            sinks: Vec<TaskId>,
+        }
+
+        let num_nodes = comp.nodes().len();
+        let mut ends: Vec<Option<Ends>> = vec![None; num_nodes];
+
+        // Children are always created before parents by the builder, so a
+        // simple forward pass over the arena is a valid bottom-up order.
+        for idx in 0..num_nodes {
+            let node = &comp.nodes()[idx];
+            let e = match node.kind {
+                SpKind::Strand(t) => Ends { sources: vec![t], sinks: vec![t] },
+                SpKind::Par => {
+                    let mut sources = Vec::new();
+                    let mut sinks = Vec::new();
+                    for &c in &node.children {
+                        let ce = ends[c.index()]
+                            .as_ref()
+                            .expect("children precede parents in the arena");
+                        sources.extend_from_slice(&ce.sources);
+                        sinks.extend_from_slice(&ce.sinks);
+                    }
+                    Ends { sources, sinks }
+                }
+                SpKind::Seq => {
+                    let children = &node.children;
+                    // Add edges between consecutive children.
+                    for w in children.windows(2) {
+                        let left = ends[w[0].index()].as_ref().unwrap();
+                        let right = ends[w[1].index()].as_ref().unwrap();
+                        for &u in &left.sinks {
+                            for &v in &right.sources {
+                                succs[u.index()].push(v);
+                                preds[v.index()].push(u);
+                            }
+                        }
+                    }
+                    let first = ends[children.first().unwrap().index()].as_ref().unwrap();
+                    let last = ends[children.last().unwrap().index()].as_ref().unwrap();
+                    Ends { sources: first.sources.clone(), sinks: last.sinks.clone() }
+                }
+            };
+            ends[idx] = Some(e);
+        }
+
+        let seq_order = comp.sequential_order();
+        let mut seq_rank = vec![0u32; n];
+        for (rank, t) in seq_order.iter().enumerate() {
+            seq_rank[t.index()] = rank as u32;
+        }
+
+        let work = comp.tasks().iter().map(|t| t.work).collect();
+
+        Dag { work, succs, preds, seq_order, seq_rank }
+    }
+
+    /// Number of tasks.
+    pub fn num_tasks(&self) -> usize {
+        self.work.len()
+    }
+
+    /// Number of dependency edges.
+    pub fn num_edges(&self) -> usize {
+        self.succs.iter().map(Vec::len).sum()
+    }
+
+    /// Instruction count of a task.
+    #[inline]
+    pub fn work_of(&self, t: TaskId) -> u64 {
+        self.work[t.index()]
+    }
+
+    /// Successors of a task.
+    #[inline]
+    pub fn successors(&self, t: TaskId) -> &[TaskId] {
+        &self.succs[t.index()]
+    }
+
+    /// Predecessors of a task.
+    #[inline]
+    pub fn predecessors(&self, t: TaskId) -> &[TaskId] {
+        &self.preds[t.index()]
+    }
+
+    /// In-degree of a task.
+    #[inline]
+    pub fn in_degree(&self, t: TaskId) -> usize {
+        self.preds[t.index()].len()
+    }
+
+    /// Tasks with no predecessors (the DAG may have several).
+    pub fn sources(&self) -> Vec<TaskId> {
+        (0..self.num_tasks() as u32)
+            .map(TaskId)
+            .filter(|t| self.preds[t.index()].is_empty())
+            .collect()
+    }
+
+    /// Tasks with no successors.
+    pub fn sinks(&self) -> Vec<TaskId> {
+        (0..self.num_tasks() as u32)
+            .map(TaskId)
+            .filter(|t| self.succs[t.index()].is_empty())
+            .collect()
+    }
+
+    /// Tasks in 1DF (sequential) order.  This is always a valid topological
+    /// order of the DAG.
+    pub fn seq_order(&self) -> &[TaskId] {
+        &self.seq_order
+    }
+
+    /// Rank of a task in the sequential order (the PDF priority: lower runs
+    /// earlier in the sequential execution).
+    #[inline]
+    pub fn seq_rank(&self, t: TaskId) -> u32 {
+        self.seq_rank[t.index()]
+    }
+
+    /// Total work `W` (sum of task weights).
+    pub fn total_work(&self) -> u64 {
+        self.work.iter().sum()
+    }
+
+    /// Weighted depth `D`: the longest (weighted) path through the DAG, a.k.a.
+    /// the critical path or span.  Used by Theorem 3.1 (`C_P ≥ C + P · D`).
+    pub fn depth(&self) -> u64 {
+        let mut finish = vec![0u64; self.num_tasks()];
+        let mut max = 0;
+        for &t in &self.seq_order {
+            let start = self.preds[t.index()]
+                .iter()
+                .map(|p| finish[p.index()])
+                .max()
+                .unwrap_or(0);
+            finish[t.index()] = start + self.work[t.index()];
+            max = max.max(finish[t.index()]);
+        }
+        max
+    }
+
+    /// Average parallelism `W / D` (0 if the DAG is empty).
+    pub fn parallelism(&self) -> f64 {
+        let d = self.depth();
+        if d == 0 {
+            0.0
+        } else {
+            self.total_work() as f64 / d as f64
+        }
+    }
+
+    /// Verify structural invariants; used by tests and debug assertions.
+    ///
+    /// Checks that the sequential order is a permutation of all tasks and a
+    /// valid topological order, and that successor/predecessor lists are
+    /// mutually consistent.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.num_tasks();
+        if self.seq_order.len() != n {
+            return Err(format!(
+                "sequential order has {} entries for {} tasks",
+                self.seq_order.len(),
+                n
+            ));
+        }
+        let mut seen = vec![false; n];
+        for &t in &self.seq_order {
+            if seen[t.index()] {
+                return Err(format!("{t:?} appears twice in sequential order"));
+            }
+            seen[t.index()] = true;
+        }
+        // Topological: every edge goes from a lower seq rank to a higher one.
+        for u in 0..n {
+            for &v in &self.succs[u] {
+                if self.seq_rank[u] >= self.seq_rank(v) {
+                    return Err(format!(
+                        "edge T{} -> {:?} violates the sequential order",
+                        u, v
+                    ));
+                }
+                if !self.preds[v.index()].contains(&TaskId(u as u32)) {
+                    return Err(format!(
+                        "edge T{} -> {:?} missing from predecessor list",
+                        u, v
+                    ));
+                }
+            }
+        }
+        for v in 0..n {
+            for &u in &self.preds[v] {
+                if !self.succs[u.index()].contains(&TaskId(v as u32)) {
+                    return Err(format!(
+                        "edge {:?} -> T{} missing from successor list",
+                        u, v
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sp::{ComputationBuilder, GroupMeta, SpNodeId};
+    use crate::task::TaskTrace;
+
+    fn leaf(b: &mut ComputationBuilder, work: u64) -> SpNodeId {
+        b.strand(TaskTrace::compute_only(work))
+    }
+
+    /// seq(A, par(B, C), D) — the classic diamond.
+    fn diamond() -> Dag {
+        let mut b = ComputationBuilder::new(128);
+        let a = leaf(&mut b, 10);
+        let c1 = leaf(&mut b, 20);
+        let c2 = leaf(&mut b, 30);
+        let d = leaf(&mut b, 5);
+        let p = b.par(vec![c1, c2], GroupMeta::default());
+        let root = b.seq(vec![a, p, d], GroupMeta::default());
+        let comp = b.finish(root);
+        Dag::from_computation(&comp)
+    }
+
+    #[test]
+    fn diamond_edges() {
+        let dag = diamond();
+        assert_eq!(dag.num_tasks(), 4);
+        assert_eq!(dag.num_edges(), 4);
+        assert_eq!(dag.successors(TaskId(0)), &[TaskId(1), TaskId(2)]);
+        assert_eq!(dag.successors(TaskId(1)), &[TaskId(3)]);
+        assert_eq!(dag.successors(TaskId(2)), &[TaskId(3)]);
+        assert_eq!(dag.predecessors(TaskId(3)), &[TaskId(1), TaskId(2)]);
+        assert!(dag.validate().is_ok());
+    }
+
+    #[test]
+    fn diamond_work_depth_parallelism() {
+        let dag = diamond();
+        assert_eq!(dag.total_work(), 65);
+        // critical path: A (10) -> C2 (30) -> D (5)
+        assert_eq!(dag.depth(), 45);
+        let p = dag.parallelism();
+        assert!((p - 65.0 / 45.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diamond_sources_sinks() {
+        let dag = diamond();
+        assert_eq!(dag.sources(), vec![TaskId(0)]);
+        assert_eq!(dag.sinks(), vec![TaskId(3)]);
+    }
+
+    #[test]
+    fn seq_rank_matches_order() {
+        let dag = diamond();
+        for (rank, &t) in dag.seq_order().iter().enumerate() {
+            assert_eq!(dag.seq_rank(t), rank as u32);
+        }
+    }
+
+    #[test]
+    fn single_task_dag() {
+        let mut b = ComputationBuilder::new(128);
+        let a = leaf(&mut b, 7);
+        let comp = b.finish(a);
+        let dag = Dag::from_computation(&comp);
+        assert_eq!(dag.num_tasks(), 1);
+        assert_eq!(dag.num_edges(), 0);
+        assert_eq!(dag.depth(), 7);
+        assert_eq!(dag.sources(), dag.sinks());
+        assert!(dag.validate().is_ok());
+    }
+
+    #[test]
+    fn pure_sequential_chain() {
+        let mut b = ComputationBuilder::new(128);
+        let leaves: Vec<_> = (0..5).map(|i| leaf(&mut b, i + 1)).collect();
+        let root = b.seq(leaves, GroupMeta::default());
+        let comp = b.finish(root);
+        let dag = Dag::from_computation(&comp);
+        assert_eq!(dag.num_edges(), 4);
+        assert_eq!(dag.depth(), dag.total_work());
+        assert!((dag.parallelism() - 1.0).abs() < 1e-12);
+        assert!(dag.validate().is_ok());
+    }
+
+    #[test]
+    fn pure_parallel_fan() {
+        let mut b = ComputationBuilder::new(128);
+        let leaves: Vec<_> = (0..8).map(|_| leaf(&mut b, 10)).collect();
+        let root = b.par(leaves, GroupMeta::default());
+        let comp = b.finish(root);
+        let dag = Dag::from_computation(&comp);
+        assert_eq!(dag.num_edges(), 0);
+        assert_eq!(dag.depth(), 10);
+        assert_eq!(dag.total_work(), 80);
+        assert_eq!(dag.sources().len(), 8);
+        assert!(dag.validate().is_ok());
+    }
+
+    #[test]
+    fn nested_seq_of_pars_connects_all_pairs() {
+        let mut b = ComputationBuilder::new(128);
+        let l1: Vec<_> = (0..3).map(|_| leaf(&mut b, 1)).collect();
+        let l2: Vec<_> = (0..2).map(|_| leaf(&mut b, 1)).collect();
+        let p1 = b.par(l1, GroupMeta::default());
+        let p2 = b.par(l2, GroupMeta::default());
+        let root = b.seq(vec![p1, p2], GroupMeta::default());
+        let comp = b.finish(root);
+        let dag = Dag::from_computation(&comp);
+        // every task of p1 -> every task of p2
+        assert_eq!(dag.num_edges(), 6);
+        assert!(dag.validate().is_ok());
+    }
+
+    #[test]
+    fn seq_order_is_topological_for_deep_nesting() {
+        // Binary divide-and-conquer tree of depth 6.
+        fn build(b: &mut ComputationBuilder, depth: u32) -> SpNodeId {
+            if depth == 0 {
+                return b.strand(TaskTrace::compute_only(1));
+            }
+            let l = build(b, depth - 1);
+            let r = build(b, depth - 1);
+            let join = b.strand(TaskTrace::compute_only(1));
+            let p = b.par(vec![l, r], GroupMeta::default());
+            b.seq(vec![p, join], GroupMeta::default())
+        }
+        let mut b = ComputationBuilder::new(128);
+        let root = build(&mut b, 6);
+        let comp = b.finish(root);
+        let dag = Dag::from_computation(&comp);
+        assert_eq!(dag.num_tasks(), 2 * 64 - 1);
+        assert!(dag.validate().is_ok());
+        // Depth of the weighted DAG: leaf + 6 joins = 7 instructions.
+        assert_eq!(dag.depth(), 7);
+    }
+}

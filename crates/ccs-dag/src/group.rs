@@ -1,0 +1,380 @@
+//! Hierarchical task groups (Section 6.1).
+//!
+//! A *task group* is a group of tasks that are consecutive in the sequential
+//! (1DF) execution of the program — a sub-graph of the DAG corresponding to a
+//! subtree of the SP tree.  Task groups form a hierarchy: each parent group is
+//! a superset of its child groups, sibling groups are disjoint, and the leaves
+//! are individual tasks.  The working-set profiler computes working-set sizes
+//! for task groups, and the automatic task-coarsening algorithm walks this
+//! tree top-down to decide where to stop parallelizing.
+
+use crate::sp::{Computation, GroupMeta, SpKind, SpNodeId};
+use crate::task::TaskId;
+
+/// Identifier of a group in a [`TaskGroupTree`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct GroupId(pub u32);
+
+impl GroupId {
+    /// Index into the group arena.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Structural kind of a group, mirroring the SP node it was derived from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GroupKind {
+    /// A single task.
+    Leaf(TaskId),
+    /// Children are executed one after another (dependent).
+    Seq,
+    /// Children may execute concurrently (independent siblings).
+    Par,
+}
+
+/// A node of the task-group hierarchy.
+#[derive(Clone, Debug)]
+pub struct TaskGroup {
+    /// The SP node this group was derived from.
+    pub sp_node: SpNodeId,
+    /// Parent group (`None` for the root).
+    pub parent: Option<GroupId>,
+    /// Child groups in sequential order.
+    pub children: Vec<GroupId>,
+    /// Structural kind.
+    pub kind: GroupKind,
+    /// First sequential rank covered by this group (inclusive).
+    pub first_rank: u32,
+    /// One past the last sequential rank covered by this group.
+    pub end_rank: u32,
+    /// Group metadata (call site, parallelization parameter, label).
+    pub meta: GroupMeta,
+}
+
+impl TaskGroup {
+    /// Number of tasks contained in the group.
+    #[inline]
+    pub fn num_tasks(&self) -> u32 {
+        self.end_rank - self.first_rank
+    }
+
+    /// Whether the group is a single task.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        matches!(self.kind, GroupKind::Leaf(_))
+    }
+
+    /// The range of sequential ranks `[first, end)` covered by the group.
+    #[inline]
+    pub fn rank_range(&self) -> std::ops::Range<u32> {
+        self.first_rank..self.end_rank
+    }
+}
+
+/// The hierarchical task-group tree of a computation.
+#[derive(Clone, Debug)]
+pub struct TaskGroupTree {
+    groups: Vec<TaskGroup>,
+    root: GroupId,
+    /// Tasks in 1DF sequential order, so rank ranges map back to task ids.
+    seq_tasks: Vec<TaskId>,
+}
+
+impl TaskGroupTree {
+    /// Build the task-group tree of `comp`.  Every SP node becomes a group;
+    /// rank ranges follow the 1DF leaf order.
+    pub fn from_computation(comp: &Computation) -> TaskGroupTree {
+        let seq_tasks = comp.sequential_order();
+        let num_nodes = comp.nodes().len();
+
+        // First pass (bottom-up over the arena — children precede parents):
+        // compute the number of leaves under each SP node.
+        let mut leaf_count = vec![0u32; num_nodes];
+        for idx in 0..num_nodes {
+            let node = &comp.nodes()[idx];
+            leaf_count[idx] = match node.kind {
+                SpKind::Strand(_) => 1,
+                _ => node.children.iter().map(|c| leaf_count[c.index()]).sum(),
+            };
+        }
+
+        // Second pass (top-down DFS from the root): assign rank ranges and
+        // build the group arena in DFS pre-order.
+        let mut groups: Vec<TaskGroup> = Vec::with_capacity(num_nodes);
+        // stack entries: (sp node, parent group, first rank)
+        let mut stack: Vec<(SpNodeId, Option<GroupId>, u32)> = vec![(comp.root(), None, 0)];
+        while let Some((sp_id, parent, first_rank)) = stack.pop() {
+            let node = comp.node(sp_id);
+            let gid = GroupId(groups.len() as u32);
+            let kind = match node.kind {
+                SpKind::Strand(t) => GroupKind::Leaf(t),
+                SpKind::Seq => GroupKind::Seq,
+                SpKind::Par => GroupKind::Par,
+            };
+            groups.push(TaskGroup {
+                sp_node: sp_id,
+                parent,
+                children: Vec::new(),
+                kind,
+                first_rank,
+                end_rank: first_rank + leaf_count[sp_id.index()],
+                meta: node.meta.clone(),
+            });
+            if let Some(p) = parent {
+                groups[p.index()].children.push(gid);
+            }
+            // Push children in reverse so they pop (and get ids) left-to-right.
+            let mut rank = first_rank;
+            let child_ranks: Vec<(SpNodeId, u32)> = node
+                .children
+                .iter()
+                .map(|&c| {
+                    let r = rank;
+                    rank += leaf_count[c.index()];
+                    (c, r)
+                })
+                .collect();
+            for &(c, r) in child_ranks.iter().rev() {
+                stack.push((c, Some(gid), r));
+            }
+        }
+
+        TaskGroupTree { groups, root: GroupId(0), seq_tasks }
+    }
+
+    /// The root group (covers every task).
+    pub fn root(&self) -> GroupId {
+        self.root
+    }
+
+    /// Number of groups (equals the number of SP nodes).
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Access a group.
+    pub fn group(&self, id: GroupId) -> &TaskGroup {
+        &self.groups[id.index()]
+    }
+
+    /// All groups in DFS pre-order (parents before children).
+    pub fn groups(&self) -> &[TaskGroup] {
+        &self.groups
+    }
+
+    /// Tasks in 1DF sequential order.
+    pub fn seq_tasks(&self) -> &[TaskId] {
+        &self.seq_tasks
+    }
+
+    /// The tasks contained in a group, in sequential order.
+    pub fn tasks_in(&self, id: GroupId) -> &[TaskId] {
+        let g = self.group(id);
+        &self.seq_tasks[g.first_rank as usize..g.end_rank as usize]
+    }
+
+    /// Iterate over `(GroupId, &TaskGroup)` in DFS pre-order.
+    pub fn iter(&self) -> impl Iterator<Item = (GroupId, &TaskGroup)> {
+        self.groups
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (GroupId(i as u32), g))
+    }
+
+    /// Partition the children of `id` into *independent sets*: maximal runs of
+    /// children that may execute concurrently.  For a `Par` group all children
+    /// form a single set; for a `Seq` group every child is its own set (its
+    /// children are mutually dependent).  Leaves have no children.
+    ///
+    /// The automatic coarsening criterion of Section 6.2 is applied to each
+    /// independent set separately.
+    pub fn independent_child_sets(&self, id: GroupId) -> Vec<Vec<GroupId>> {
+        let g = self.group(id);
+        match g.kind {
+            GroupKind::Leaf(_) => Vec::new(),
+            GroupKind::Par => {
+                if g.children.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![g.children.clone()]
+                }
+            }
+            GroupKind::Seq => g.children.iter().map(|&c| vec![c]).collect(),
+        }
+    }
+
+    /// Depth of the group tree.
+    pub fn height(&self) -> usize {
+        // Groups are stored in pre-order, so children follow parents; compute
+        // heights with a reverse pass.
+        let mut h = vec![1usize; self.groups.len()];
+        for i in (0..self.groups.len()).rev() {
+            if !self.groups[i].children.is_empty() {
+                h[i] = 1 + self.groups[i]
+                    .children
+                    .iter()
+                    .map(|c| h[c.index()])
+                    .max()
+                    .unwrap();
+            }
+        }
+        h[self.root.index()]
+    }
+
+    /// Validate structural invariants (used in tests): parents cover the
+    /// union of their children, siblings are disjoint and ordered, leaves
+    /// cover exactly one task.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, g) in self.groups.iter().enumerate() {
+            if g.first_rank > g.end_rank {
+                return Err(format!("group {i} has inverted rank range"));
+            }
+            match g.kind {
+                GroupKind::Leaf(_) => {
+                    if g.num_tasks() != 1 {
+                        return Err(format!("leaf group {i} covers {} tasks", g.num_tasks()));
+                    }
+                    if !g.children.is_empty() {
+                        return Err(format!("leaf group {i} has children"));
+                    }
+                }
+                _ => {
+                    if g.children.is_empty() {
+                        return Err(format!("internal group {i} has no children"));
+                    }
+                    let mut expected = g.first_rank;
+                    for &c in &g.children {
+                        let cg = self.group(c);
+                        if cg.parent != Some(GroupId(i as u32)) {
+                            return Err(format!("child {c:?} of group {i} has wrong parent"));
+                        }
+                        if cg.first_rank != expected {
+                            return Err(format!(
+                                "children of group {i} are not contiguous at {c:?}"
+                            ));
+                        }
+                        expected = cg.end_rank;
+                    }
+                    if expected != g.end_rank {
+                        return Err(format!("children of group {i} do not cover the parent"));
+                    }
+                }
+            }
+        }
+        let root = self.group(self.root);
+        if root.first_rank != 0 || root.end_rank as usize != self.seq_tasks.len() {
+            return Err("root group does not cover all tasks".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sp::{ComputationBuilder, GroupMeta};
+    use crate::task::TaskTrace;
+
+    fn mergesort_like(depth: u32) -> Computation {
+        fn build(b: &mut ComputationBuilder, depth: u32, size: u64) -> SpNodeId {
+            if depth == 0 {
+                return b.strand_meta(
+                    TaskTrace::compute_only(size),
+                    GroupMeta::with_param("base", size),
+                );
+            }
+            let l = build(b, depth - 1, size / 2);
+            let r = build(b, depth - 1, size / 2);
+            let halves = b.par(vec![l, r], GroupMeta::with_param("halves", size));
+            let merge = b.strand_meta(
+                TaskTrace::compute_only(size),
+                GroupMeta::with_param("merge", size),
+            );
+            b.seq(vec![halves, merge], GroupMeta::with_param("sort", size))
+        }
+        let mut b = ComputationBuilder::new(128);
+        let root = build(&mut b, depth, 1 << 20);
+        b.finish(root)
+    }
+
+    #[test]
+    fn group_tree_covers_all_tasks() {
+        let comp = mergesort_like(4);
+        let tree = TaskGroupTree::from_computation(&comp);
+        assert!(tree.validate().is_ok());
+        let root = tree.group(tree.root());
+        assert_eq!(root.num_tasks() as usize, comp.num_tasks());
+        assert_eq!(tree.num_groups(), comp.nodes().len());
+    }
+
+    #[test]
+    fn leaf_groups_map_to_tasks() {
+        let comp = mergesort_like(2);
+        let tree = TaskGroupTree::from_computation(&comp);
+        for (id, g) in tree.iter() {
+            if let GroupKind::Leaf(t) = g.kind {
+                assert_eq!(tree.tasks_in(id), &[t]);
+            }
+        }
+    }
+
+    #[test]
+    fn sibling_groups_are_contiguous_and_disjoint() {
+        let comp = mergesort_like(3);
+        let tree = TaskGroupTree::from_computation(&comp);
+        for (_, g) in tree.iter() {
+            for w in g.children.windows(2) {
+                let a = tree.group(w[0]);
+                let b = tree.group(w[1]);
+                assert_eq!(a.end_rank, b.first_rank);
+            }
+        }
+    }
+
+    #[test]
+    fn independent_sets_par_vs_seq() {
+        let comp = mergesort_like(1);
+        let tree = TaskGroupTree::from_computation(&comp);
+        // Root is seq(par(leaf, leaf), merge leaf)
+        let root_sets = tree.independent_child_sets(tree.root());
+        assert_eq!(root_sets.len(), 2, "seq children are separate sets");
+        assert_eq!(root_sets[0].len(), 1);
+        // The par child's set has both halves together.
+        let par_group = root_sets[0][0];
+        let par_sets = tree.independent_child_sets(par_group);
+        assert_eq!(par_sets.len(), 1);
+        assert_eq!(par_sets[0].len(), 2);
+        // Leaves have no sets.
+        let leaf = par_sets[0][0];
+        assert!(tree.independent_child_sets(leaf).is_empty());
+    }
+
+    #[test]
+    fn height_matches_sp_height() {
+        let comp = mergesort_like(5);
+        let tree = TaskGroupTree::from_computation(&comp);
+        assert_eq!(tree.height(), comp.sp_height());
+    }
+
+    #[test]
+    fn group_meta_preserved() {
+        let comp = mergesort_like(2);
+        let tree = TaskGroupTree::from_computation(&comp);
+        let root = tree.group(tree.root());
+        assert_eq!(root.meta.label, "sort");
+        assert_eq!(root.meta.param, 1 << 20);
+    }
+
+    #[test]
+    fn preorder_parent_before_children() {
+        let comp = mergesort_like(3);
+        let tree = TaskGroupTree::from_computation(&comp);
+        for (id, g) in tree.iter() {
+            if let Some(p) = g.parent {
+                assert!(p < id, "parents must precede children in pre-order");
+            }
+        }
+    }
+}

@@ -1,0 +1,513 @@
+//! Series-parallel computation trees and the [`ComputationBuilder`].
+//!
+//! The paper's benchmarks are fine-grained fork-join programs.  Such programs
+//! are naturally described by a *series-parallel (SP) tree*: leaves are
+//! strands (tasks with no internal parallelism), internal nodes compose their
+//! children either **sequentially** (`Seq`) or **in parallel** (`Par`).
+//!
+//! The SP tree serves three purposes at once:
+//!
+//! 1. it flattens into the computation [`Dag`](crate::Dag) executed by the
+//!    schedulers and the CMP simulator;
+//! 2. its left-to-right leaf order *is* the 1DF sequential execution order
+//!    used to assign PDF priorities;
+//! 3. it *is* the hierarchical task-group tree consumed by the working-set
+//!    profiler and the automatic task-coarsening algorithm (Section 6):
+//!    parents are supersets of children, siblings are disjoint, and every
+//!    group covers a range of consecutive sequential tasks.
+
+use crate::task::{Task, TaskId, TaskTrace, TraceBuilder};
+
+/// Identifier of a node in the SP tree of a [`Computation`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SpNodeId(pub u32);
+
+impl SpNodeId {
+    /// Index into the node arena.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// How an SP node composes its children.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SpKind {
+    /// A leaf: one task.
+    Strand(TaskId),
+    /// Children execute one after another.
+    Seq,
+    /// Children may execute concurrently (fork/join block).
+    Par,
+}
+
+/// Source-location of the spawn decision that produced a task group, used by
+/// the parallelization table of Fig. 7(b).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct CallSite {
+    /// Source file of the spawn site.
+    pub file: &'static str,
+    /// Line of the spawn site.
+    pub line: u32,
+}
+
+impl CallSite {
+    /// Construct a call site.
+    pub const fn new(file: &'static str, line: u32) -> Self {
+        CallSite { file, line }
+    }
+}
+
+/// Metadata attached to SP nodes: the call site that created the group and
+/// the "param" value (e.g. sub-array length, matrix block size) the program
+/// would compare against a threshold to decide whether to parallelize
+/// (Fig. 7a).  Used by the automatic task-coarsening algorithm.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GroupMeta {
+    /// Spawn call site, if known.
+    pub site: Option<CallSite>,
+    /// The parallelization parameter value for this group (e.g. problem size).
+    pub param: u64,
+    /// Free-form label for diagnostics (`"merge"`, `"sort"`, `"probe"`, ...).
+    pub label: &'static str,
+}
+
+impl GroupMeta {
+    /// Metadata with just a label.
+    pub fn labeled(label: &'static str) -> Self {
+        GroupMeta { site: None, param: 0, label }
+    }
+
+    /// Metadata with a label and a parallelization parameter.
+    pub fn with_param(label: &'static str, param: u64) -> Self {
+        GroupMeta { site: None, param, label }
+    }
+
+    /// Attach a call site.
+    pub fn at(mut self, site: CallSite) -> Self {
+        self.site = Some(site);
+        self
+    }
+}
+
+/// One node of the SP tree.
+#[derive(Clone, Debug)]
+pub struct SpNode {
+    /// Leaf / Seq / Par.
+    pub kind: SpKind,
+    /// Children (empty for strands).
+    pub children: Vec<SpNodeId>,
+    /// Group metadata.
+    pub meta: GroupMeta,
+}
+
+/// A complete fine-grained multithreaded computation: the task arena plus the
+/// SP tree describing its fork-join structure.
+#[derive(Clone, Debug)]
+pub struct Computation {
+    pub(crate) tasks: Vec<Task>,
+    pub(crate) nodes: Vec<SpNode>,
+    pub(crate) root: SpNodeId,
+    /// Default cache-line size used when building traces (informational).
+    pub(crate) line_size: u64,
+}
+
+impl Computation {
+    /// Number of tasks (strands).
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Access a task.
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.index()]
+    }
+
+    /// All tasks, indexed by [`TaskId`].
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// The root of the SP tree.
+    pub fn root(&self) -> SpNodeId {
+        self.root
+    }
+
+    /// Access an SP node.
+    pub fn node(&self, id: SpNodeId) -> &SpNode {
+        &self.nodes[id.index()]
+    }
+
+    /// All SP nodes.
+    pub fn nodes(&self) -> &[SpNode] {
+        &self.nodes
+    }
+
+    /// The cache-line size the traces were generated at.
+    pub fn line_size(&self) -> u64 {
+        self.line_size
+    }
+
+    /// Total work (instructions) over all tasks.
+    pub fn total_work(&self) -> u64 {
+        self.tasks.iter().map(|t| t.work).sum()
+    }
+
+    /// Total number of memory references over all tasks.
+    pub fn total_refs(&self) -> u64 {
+        self.tasks.iter().map(|t| t.trace.num_refs() as u64).sum()
+    }
+
+    /// The tasks in 1DF (sequential depth-first) order, i.e. the order a
+    /// sequential execution of the program would run them: the left-to-right
+    /// leaf order of the SP tree.
+    pub fn sequential_order(&self) -> Vec<TaskId> {
+        let mut order = Vec::with_capacity(self.tasks.len());
+        // Iterative DFS to avoid recursion depth limits on deep trees.
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            let node = self.node(id);
+            match node.kind {
+                SpKind::Strand(t) => order.push(t),
+                SpKind::Seq | SpKind::Par => {
+                    for &c in node.children.iter().rev() {
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+        order
+    }
+
+    /// Iterate over all memory references of the whole computation in
+    /// sequential (1DF) order, yielding `(task, reference index within task)`
+    /// pairs along with the reference.  This is the trace the working-set
+    /// profiler consumes.
+    pub fn sequential_refs(&self) -> impl Iterator<Item = (TaskId, &crate::task::MemRef)> {
+        self.sequential_order().into_iter().flat_map(move |tid| {
+            self.task(tid).trace.refs().map(move |r| (tid, r))
+        })
+    }
+
+    /// Depth of the SP tree (number of nodes on the longest root-to-leaf
+    /// path).  This is a structural measure, distinct from the weighted DAG
+    /// depth `D` of [`crate::Dag::depth`].
+    pub fn sp_height(&self) -> usize {
+        // Compute heights bottom-up without recursion: children are created
+        // before parents by the builder, so a forward pass over the arena
+        // visits every child before its parent.
+        let mut height = vec![1usize; self.nodes.len()];
+        for idx in 0..self.nodes.len() {
+            let node = &self.nodes[idx];
+            if !node.children.is_empty() {
+                height[idx] = 1 + node
+                    .children
+                    .iter()
+                    .map(|c| height[c.index()])
+                    .max()
+                    .unwrap_or(0);
+            }
+        }
+        height[self.root.index()]
+    }
+}
+
+/// Builder for [`Computation`]s.
+///
+/// Workload generators compose computations functionally:
+///
+/// ```
+/// use ccs_dag::{ComputationBuilder, GroupMeta};
+///
+/// let mut b = ComputationBuilder::new(128);
+/// let left = b.strand_with(|t| { t.compute(100).read_range(0, 1024, 2); });
+/// let right = b.strand_with(|t| { t.compute(100).read_range(4096, 1024, 2); });
+/// let join = b.strand_with(|t| { t.compute(10); });
+/// let par = b.par(vec![left, right], GroupMeta::labeled("children"));
+/// let root = b.seq(vec![par, join], GroupMeta::labeled("root"));
+/// let comp = b.finish(root);
+/// assert_eq!(comp.num_tasks(), 3);
+/// ```
+#[derive(Debug)]
+pub struct ComputationBuilder {
+    tasks: Vec<Task>,
+    nodes: Vec<SpNode>,
+    line_size: u64,
+}
+
+impl ComputationBuilder {
+    /// Create a builder; `line_size` is the cache-line granularity passed to
+    /// every [`TraceBuilder`] it hands out.
+    pub fn new(line_size: u64) -> Self {
+        assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        ComputationBuilder { tasks: Vec::new(), nodes: Vec::new(), line_size }
+    }
+
+    /// The cache-line granularity of this builder.
+    pub fn line_size(&self) -> u64 {
+        self.line_size
+    }
+
+    /// Number of tasks created so far.
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    fn push_node(&mut self, node: SpNode) -> SpNodeId {
+        let id = SpNodeId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        id
+    }
+
+    /// Add a strand (leaf task) with an explicit trace.
+    pub fn strand(&mut self, trace: TaskTrace) -> SpNodeId {
+        self.strand_meta(trace, GroupMeta::default())
+    }
+
+    /// Add a strand with metadata.
+    pub fn strand_meta(&mut self, trace: TaskTrace, meta: GroupMeta) -> SpNodeId {
+        let tid = TaskId(self.tasks.len() as u32);
+        self.tasks.push(Task::new(trace));
+        self.push_node(SpNode { kind: SpKind::Strand(tid), children: Vec::new(), meta })
+    }
+
+    /// Add a strand whose trace is produced by `f` on a fresh [`TraceBuilder`].
+    pub fn strand_with(&mut self, f: impl FnOnce(&mut TraceBuilder)) -> SpNodeId {
+        let mut tb = TraceBuilder::new(self.line_size);
+        f(&mut tb);
+        self.strand(tb.finish())
+    }
+
+    /// Add a strand with metadata, trace produced by `f`.
+    pub fn strand_with_meta(
+        &mut self,
+        meta: GroupMeta,
+        f: impl FnOnce(&mut TraceBuilder),
+    ) -> SpNodeId {
+        let mut tb = TraceBuilder::new(self.line_size);
+        f(&mut tb);
+        self.strand_meta(tb.finish(), meta)
+    }
+
+    /// A zero-work strand, useful as an explicit fork or join point.
+    pub fn nop(&mut self) -> SpNodeId {
+        self.strand(TaskTrace::empty())
+    }
+
+    /// Compose `children` sequentially.
+    ///
+    /// Panics if `children` is empty (an empty composition has no meaning in
+    /// the DAG flattening).
+    pub fn seq(&mut self, children: Vec<SpNodeId>, meta: GroupMeta) -> SpNodeId {
+        assert!(!children.is_empty(), "seq requires at least one child");
+        self.check_children(&children);
+        self.push_node(SpNode { kind: SpKind::Seq, children, meta })
+    }
+
+    /// Compose `children` in parallel (fork/join block).
+    ///
+    /// Panics if `children` is empty.
+    pub fn par(&mut self, children: Vec<SpNodeId>, meta: GroupMeta) -> SpNodeId {
+        assert!(!children.is_empty(), "par requires at least one child");
+        self.check_children(&children);
+        self.push_node(SpNode { kind: SpKind::Par, children, meta })
+    }
+
+    /// Compose `children` in parallel, preceded by an explicit *fork strand*
+    /// of `spawn_cost` compute instructions: `seq(spawn, par(children))`.
+    ///
+    /// Real fork-join programs have a task that performs the spawning, and
+    /// the children only become ready once that task runs.  Without it, every
+    /// child of a leading `par` would be a DAG source, ready from time zero —
+    /// which misrepresents how a work-stealing runtime unfolds the DAG
+    /// (thieves steal whole sub-trees from the forking core).  Workload
+    /// generators should use this for any `par` that is not already preceded
+    /// by a strand in an enclosing `seq`.
+    pub fn forked_par(
+        &mut self,
+        children: Vec<SpNodeId>,
+        meta: GroupMeta,
+        spawn_cost: u64,
+    ) -> SpNodeId {
+        let spawn_meta = GroupMeta { site: meta.site, param: meta.param, label: "spawn" };
+        let spawn = self.strand_meta(TaskTrace::compute_only(spawn_cost), spawn_meta);
+        let par = self.par(children, meta.clone());
+        self.seq(vec![spawn, par], meta)
+    }
+
+    fn check_children(&self, children: &[SpNodeId]) {
+        for &c in children {
+            assert!(
+                c.index() < self.nodes.len(),
+                "child {:?} does not exist yet",
+                c
+            );
+        }
+        // Each node may have at most one parent: verify children were not
+        // already consumed.  We track this lazily by checking in debug builds
+        // only (the scan is O(n) per call).
+        #[cfg(debug_assertions)]
+        {
+            for node in &self.nodes {
+                for &existing in &node.children {
+                    assert!(
+                        !children.contains(&existing),
+                        "SP node {:?} already has a parent",
+                        existing
+                    );
+                }
+            }
+        }
+    }
+
+    /// Finish the computation with `root` as the root of the SP tree.
+    ///
+    /// Panics if `root` does not dominate all created nodes (every node must
+    /// be reachable from the root, otherwise tasks would be lost).
+    pub fn finish(self, root: SpNodeId) -> Computation {
+        let comp = Computation {
+            tasks: self.tasks,
+            nodes: self.nodes,
+            root,
+            line_size: self.line_size,
+        };
+        // Reachability check: every strand must appear exactly once in the
+        // sequential order.
+        let order = comp.sequential_order();
+        assert_eq!(
+            order.len(),
+            comp.tasks.len(),
+            "every created task must be reachable from the root exactly once \
+             (got {} of {})",
+            order.len(),
+            comp.tasks.len()
+        );
+        let mut seen = vec![false; comp.tasks.len()];
+        for t in &order {
+            assert!(!seen[t.index()], "task {:?} appears twice in the SP tree", t);
+            seen[t.index()] = true;
+        }
+        comp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(b: &mut ComputationBuilder, work: u64) -> SpNodeId {
+        b.strand(TaskTrace::compute_only(work))
+    }
+
+    #[test]
+    fn builder_basic_composition() {
+        let mut b = ComputationBuilder::new(128);
+        let a = leaf(&mut b, 1);
+        let c = leaf(&mut b, 2);
+        let d = leaf(&mut b, 3);
+        let p = b.par(vec![c, d], GroupMeta::labeled("p"));
+        let root = b.seq(vec![a, p], GroupMeta::labeled("root"));
+        let comp = b.finish(root);
+        assert_eq!(comp.num_tasks(), 3);
+        assert_eq!(comp.total_work(), 6);
+        assert_eq!(comp.sp_height(), 3);
+    }
+
+    #[test]
+    fn sequential_order_is_left_to_right_leaf_order() {
+        let mut b = ComputationBuilder::new(128);
+        let t0 = leaf(&mut b, 1);
+        let t1 = leaf(&mut b, 1);
+        let t2 = leaf(&mut b, 1);
+        let t3 = leaf(&mut b, 1);
+        let p = b.par(vec![t1, t2], GroupMeta::default());
+        let root = b.seq(vec![t0, p, t3], GroupMeta::default());
+        let comp = b.finish(root);
+        let order = comp.sequential_order();
+        assert_eq!(order, vec![TaskId(0), TaskId(1), TaskId(2), TaskId(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "reachable")]
+    fn finish_panics_on_unreachable_tasks() {
+        let mut b = ComputationBuilder::new(128);
+        let a = leaf(&mut b, 1);
+        let _orphan = leaf(&mut b, 1);
+        b.finish(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one child")]
+    fn empty_par_panics() {
+        let mut b = ComputationBuilder::new(128);
+        b.par(vec![], GroupMeta::default());
+    }
+
+    #[test]
+    fn nested_structure_work_and_refs() {
+        let mut b = ComputationBuilder::new(128);
+        let l = b.strand_with(|t| {
+            t.read_range(0, 1024, 1);
+        });
+        let r = b.strand_with(|t| {
+            t.read_range(1024, 1024, 1);
+        });
+        let p = b.par(vec![l, r], GroupMeta::with_param("halves", 1024));
+        let comp = b.finish(p);
+        assert_eq!(comp.total_refs(), 16);
+        assert_eq!(comp.total_work(), 32);
+        assert_eq!(comp.node(comp.root()).meta.param, 1024);
+    }
+
+    #[test]
+    fn sequential_refs_concatenates_task_traces() {
+        let mut b = ComputationBuilder::new(64);
+        let a = b.strand_with(|t| {
+            t.read(0, 4).read(64, 4);
+        });
+        let c = b.strand_with(|t| {
+            t.read(128, 4);
+        });
+        let root = b.seq(vec![a, c], GroupMeta::default());
+        let comp = b.finish(root);
+        let refs: Vec<(TaskId, u64)> =
+            comp.sequential_refs().map(|(t, r)| (t, r.addr)).collect();
+        assert_eq!(
+            refs,
+            vec![(TaskId(0), 0), (TaskId(0), 64), (TaskId(1), 128)]
+        );
+    }
+
+    #[test]
+    fn nop_strand_has_zero_work() {
+        let mut b = ComputationBuilder::new(128);
+        let n = b.nop();
+        let comp = b.finish(n);
+        assert_eq!(comp.total_work(), 0);
+        assert_eq!(comp.num_tasks(), 1);
+    }
+
+    #[test]
+    fn forked_par_has_explicit_fork_task() {
+        let mut b = ComputationBuilder::new(128);
+        let l = leaf(&mut b, 5);
+        let r = leaf(&mut b, 5);
+        let root = b.forked_par(vec![l, r], GroupMeta::with_param("halves", 10), 16);
+        let comp = b.finish(root);
+        assert_eq!(comp.num_tasks(), 3);
+        // The fork strand comes first sequentially and is the only DAG source.
+        let dag = crate::dag::Dag::from_computation(&comp);
+        assert_eq!(dag.sources().len(), 1);
+        assert_eq!(dag.work_of(dag.sources()[0]), 16);
+        assert_eq!(dag.successors(dag.sources()[0]).len(), 2);
+    }
+
+    #[test]
+    fn callsite_and_meta_builders() {
+        let site = CallSite::new("mergesort.rs", 42);
+        let meta = GroupMeta::with_param("sort", 1 << 20).at(site);
+        assert_eq!(meta.site.unwrap().line, 42);
+        assert_eq!(meta.param, 1 << 20);
+        assert_eq!(meta.label, "sort");
+    }
+}

@@ -1,0 +1,185 @@
+//! Synthetic computation generators for tests and property-based checks.
+//!
+//! These produce random (but seeded, hence reproducible) series-parallel
+//! computations with random task traces.  They are used by the scheduler
+//! property tests (e.g. the Theorem 3.1 miss bound) and by integration tests
+//! that need a wide variety of DAG shapes without depending on the full
+//! workload generators.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::addr::AddressSpace;
+use crate::sp::{Computation, ComputationBuilder, GroupMeta, SpNodeId};
+use crate::task::MemRef;
+
+/// Parameters controlling random computation generation.
+#[derive(Clone, Debug)]
+pub struct SynthParams {
+    /// Maximum depth of the random SP tree.
+    pub max_depth: u32,
+    /// Maximum fan-out of `Par` nodes.
+    pub max_par_width: u32,
+    /// Maximum number of children of `Seq` nodes.
+    pub max_seq_len: u32,
+    /// Maximum compute instructions per strand.
+    pub max_strand_work: u64,
+    /// Maximum memory references per strand.
+    pub max_strand_refs: u32,
+    /// Number of distinct shared data regions strands may touch.
+    pub num_regions: u32,
+    /// Bytes per shared region.
+    pub region_bytes: u64,
+    /// Probability that a strand reference targets a shared region (otherwise
+    /// it touches strand-private data).
+    pub shared_ref_prob: f64,
+    /// Cache-line size for trace generation.
+    pub line_size: u64,
+}
+
+impl Default for SynthParams {
+    fn default() -> Self {
+        SynthParams {
+            max_depth: 5,
+            max_par_width: 4,
+            max_seq_len: 3,
+            max_strand_work: 200,
+            max_strand_refs: 32,
+            num_regions: 4,
+            region_bytes: 16 * 1024,
+            shared_ref_prob: 0.5,
+            line_size: 128,
+        }
+    }
+}
+
+/// Generate a random series-parallel computation from a seed.
+pub fn random_computation(seed: u64, params: &SynthParams) -> Computation {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut space = AddressSpace::new();
+    let regions: Vec<_> = (0..params.num_regions.max(1))
+        .map(|_| space.alloc(params.region_bytes.max(params.line_size)))
+        .collect();
+    let mut b = ComputationBuilder::new(params.line_size);
+    let root = gen_node(&mut b, &mut rng, &mut space, &regions, params, params.max_depth);
+    b.finish(root)
+}
+
+fn gen_strand(
+    b: &mut ComputationBuilder,
+    rng: &mut SmallRng,
+    space: &mut AddressSpace,
+    regions: &[crate::addr::Region],
+    params: &SynthParams,
+) -> SpNodeId {
+    let work = rng.gen_range(0..=params.max_strand_work);
+    let nrefs = rng.gen_range(0..=params.max_strand_refs);
+    let private = space.alloc((nrefs as u64 + 1) * params.line_size);
+    // Pre-draw randomness to avoid borrowing issues inside the closure.
+    let mut ops: Vec<MemRef> = Vec::with_capacity(nrefs as usize);
+    for i in 0..nrefs {
+        let shared = rng.gen_bool(params.shared_ref_prob);
+        let addr = if shared && !regions.is_empty() {
+            let r = &regions[rng.gen_range(0..regions.len())];
+            let line = rng.gen_range(0..(r.bytes / params.line_size).max(1));
+            r.base + line * params.line_size
+        } else {
+            private.base + (i as u64) * params.line_size
+        };
+        let write = rng.gen_bool(0.3);
+        ops.push(if write {
+            MemRef::write(addr, params.line_size as u32)
+        } else {
+            MemRef::read(addr, params.line_size as u32)
+        });
+    }
+    let per_ref_compute = if nrefs > 0 { work / nrefs as u64 } else { 0 };
+    b.strand_with(move |t| {
+        for op in &ops {
+            t.compute(per_ref_compute);
+            t.access(*op);
+        }
+        if nrefs == 0 {
+            t.compute(work);
+        }
+    })
+}
+
+fn gen_node(
+    b: &mut ComputationBuilder,
+    rng: &mut SmallRng,
+    space: &mut AddressSpace,
+    regions: &[crate::addr::Region],
+    params: &SynthParams,
+    depth: u32,
+) -> SpNodeId {
+    if depth == 0 || rng.gen_bool(0.3) {
+        return gen_strand(b, rng, space, regions, params);
+    }
+    if rng.gen_bool(0.5) {
+        // Fork strand + par of k children + a join strand, as a fork-join
+        // program would unfold.
+        let k = rng.gen_range(2..=params.max_par_width.max(2));
+        let children: Vec<_> = (0..k)
+            .map(|_| gen_node(b, rng, space, regions, params, depth - 1))
+            .collect();
+        let par = b.forked_par(children, GroupMeta::with_param("synth-par", depth as u64), 8);
+        let join = gen_strand(b, rng, space, regions, params);
+        b.seq(vec![par, join], GroupMeta::with_param("synth-fork-join", depth as u64))
+    } else {
+        let k = rng.gen_range(2..=params.max_seq_len.max(2));
+        let children: Vec<_> = (0..k)
+            .map(|_| gen_node(b, rng, space, regions, params, depth - 1))
+            .collect();
+        b.seq(children, GroupMeta::with_param("synth-seq", depth as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::Dag;
+    use crate::group::TaskGroupTree;
+
+    #[test]
+    fn random_computation_is_reproducible() {
+        let p = SynthParams::default();
+        let a = random_computation(42, &p);
+        let b = random_computation(42, &p);
+        assert_eq!(a.num_tasks(), b.num_tasks());
+        assert_eq!(a.total_work(), b.total_work());
+        assert_eq!(a.total_refs(), b.total_refs());
+    }
+
+    #[test]
+    fn different_seeds_give_different_computations() {
+        let p = SynthParams::default();
+        let a = random_computation(1, &p);
+        let b = random_computation(2, &p);
+        // Overwhelmingly likely to differ in at least one of these.
+        assert!(
+            a.num_tasks() != b.num_tasks()
+                || a.total_work() != b.total_work()
+                || a.total_refs() != b.total_refs()
+        );
+    }
+
+    #[test]
+    fn random_computations_are_valid_dags() {
+        let p = SynthParams::default();
+        for seed in 0..20 {
+            let comp = random_computation(seed, &p);
+            let dag = Dag::from_computation(&comp);
+            dag.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            let tree = TaskGroupTree::from_computation(&comp);
+            tree.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn depth_zero_gives_single_strand() {
+        let p = SynthParams { max_depth: 0, ..SynthParams::default() };
+        let comp = random_computation(7, &p);
+        assert_eq!(comp.num_tasks(), 1);
+    }
+}

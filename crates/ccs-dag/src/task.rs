@@ -1,0 +1,387 @@
+//! Tasks, memory references and per-task traces.
+//!
+//! A *task* is a node in the computation DAG: a thread (or portion of a
+//! thread) that has no internal dependences to or from other nodes
+//! (Section 3 of the paper).  Each task carries a weight (its runtime in
+//! instructions) and, for trace-driven simulation and working-set profiling,
+//! an ordered list of memory references.
+
+use std::fmt;
+
+/// Identifier of a task inside a [`crate::Computation`].
+///
+/// Task ids are dense indices (`0..num_tasks`) assigned in *creation* order by
+/// the builder.  The *sequential* (1DF) order used by the PDF scheduler is a
+/// separate permutation computed by [`crate::Dag::seq_order`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub u32);
+
+impl TaskId {
+    /// Index into per-task arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Whether a memory reference reads or writes its target.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+impl AccessKind {
+    /// `true` for [`AccessKind::Write`].
+    #[inline]
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+/// A single memory reference: a contiguous byte range plus an access kind.
+///
+/// Workload generators usually emit references at cache-line granularity (one
+/// reference per touched line, see [`TraceBuilder`]), but byte-granular
+/// references are also supported; the cache models split a reference that
+/// crosses line boundaries into one probe per line.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MemRef {
+    /// Starting byte address in the synthetic virtual address space.
+    pub addr: u64,
+    /// Number of bytes touched (must be at least 1).
+    pub size: u32,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+impl MemRef {
+    /// A read of `size` bytes at `addr`.
+    #[inline]
+    pub fn read(addr: u64, size: u32) -> Self {
+        MemRef { addr, size, kind: AccessKind::Read }
+    }
+
+    /// A write of `size` bytes at `addr`.
+    #[inline]
+    pub fn write(addr: u64, size: u32) -> Self {
+        MemRef { addr, size, kind: AccessKind::Write }
+    }
+
+    /// Iterator over the cache-line addresses (aligned to `line_size`) that
+    /// this reference touches.
+    pub fn lines(&self, line_size: u64) -> impl Iterator<Item = u64> {
+        debug_assert!(line_size.is_power_of_two());
+        let first = self.addr & !(line_size - 1);
+        let last = (self.addr + self.size.max(1) as u64 - 1) & !(line_size - 1);
+        (0..=((last - first) / line_size)).map(move |i| first + i * line_size)
+    }
+}
+
+/// One step of a task's trace: `pre_compute` compute-only instructions
+/// followed by a single memory reference.
+///
+/// The memory reference itself accounts for one additional instruction
+/// (the load/store), mirroring the in-order scalar core model of Table 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceOp {
+    /// Compute-only instructions executed immediately before `mem`.
+    pub pre_compute: u32,
+    /// The memory reference.
+    pub mem: MemRef,
+}
+
+impl TraceOp {
+    /// Instructions represented by this op (compute + the access itself).
+    #[inline]
+    pub fn instructions(&self) -> u64 {
+        self.pre_compute as u64 + 1
+    }
+}
+
+/// The full trace of a task: a sequence of [`TraceOp`]s plus a trailing run of
+/// compute-only instructions executed after the final memory reference.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TaskTrace {
+    ops: Vec<TraceOp>,
+    post_compute: u64,
+}
+
+impl TaskTrace {
+    /// An empty trace (zero instructions).
+    pub fn empty() -> Self {
+        TaskTrace::default()
+    }
+
+    /// A compute-only trace of `instructions` instructions and no memory
+    /// references.
+    pub fn compute_only(instructions: u64) -> Self {
+        TaskTrace { ops: Vec::new(), post_compute: instructions }
+    }
+
+    /// Build a trace from raw parts.
+    pub fn from_parts(ops: Vec<TraceOp>, post_compute: u64) -> Self {
+        TaskTrace { ops, post_compute }
+    }
+
+    /// The ordered memory-reference ops.
+    #[inline]
+    pub fn ops(&self) -> &[TraceOp] {
+        &self.ops
+    }
+
+    /// Compute-only instructions after the last memory reference.
+    #[inline]
+    pub fn post_compute(&self) -> u64 {
+        self.post_compute
+    }
+
+    /// Number of memory references in the trace.
+    #[inline]
+    pub fn num_refs(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Total instruction count of the task (compute + one per reference).
+    pub fn instructions(&self) -> u64 {
+        self.ops.iter().map(TraceOp::instructions).sum::<u64>() + self.post_compute
+    }
+
+    /// Iterate over the memory references in program order.
+    pub fn refs(&self) -> impl Iterator<Item = &MemRef> {
+        self.ops.iter().map(|op| &op.mem)
+    }
+}
+
+/// A node of the computation DAG: instruction weight plus memory trace.
+#[derive(Clone, Debug, Default)]
+pub struct Task {
+    /// The task's memory trace.
+    pub trace: TaskTrace,
+    /// Cached instruction count (always equal to `trace.instructions()`).
+    pub work: u64,
+}
+
+impl Task {
+    /// Create a task from a trace, caching its instruction count.
+    pub fn new(trace: TaskTrace) -> Self {
+        let work = trace.instructions();
+        Task { trace, work }
+    }
+
+    /// A task with `instructions` compute-only instructions.
+    pub fn compute_only(instructions: u64) -> Self {
+        Task::new(TaskTrace::compute_only(instructions))
+    }
+}
+
+/// Incremental builder for a [`TaskTrace`].
+///
+/// The builder offers two levels of granularity:
+///
+/// * [`TraceBuilder::access`] records a single reference verbatim;
+/// * [`TraceBuilder::read_range`] / [`TraceBuilder::write_range`] record a
+///   streaming access over a byte range, emitting **one reference per cache
+///   line** with a caller-supplied number of compute instructions per line.
+///   This is how the workload generators keep multi-megabyte traces tractable
+///   while preserving the exact set of lines touched and the instruction
+///   counts (Section 4 of DESIGN.md).
+#[derive(Debug)]
+pub struct TraceBuilder {
+    line_size: u64,
+    pending_compute: u64,
+    ops: Vec<TraceOp>,
+}
+
+impl TraceBuilder {
+    /// Create a builder that coalesces range accesses at `line_size`-byte
+    /// granularity. `line_size` must be a power of two.
+    pub fn new(line_size: u64) -> Self {
+        assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        TraceBuilder { line_size, pending_compute: 0, ops: Vec::new() }
+    }
+
+    /// The configured cache-line size.
+    #[inline]
+    pub fn line_size(&self) -> u64 {
+        self.line_size
+    }
+
+    /// Record `n` compute-only instructions.
+    pub fn compute(&mut self, n: u64) -> &mut Self {
+        self.pending_compute += n;
+        self
+    }
+
+    /// Record a single memory reference.
+    pub fn access(&mut self, mem: MemRef) -> &mut Self {
+        // Split pending compute into u32-sized chunks if a pathological
+        // amount of compute accumulated (keeps `pre_compute` lossless).
+        while self.pending_compute > u32::MAX as u64 {
+            self.ops.push(TraceOp {
+                pre_compute: u32::MAX,
+                mem: MemRef::read(mem.addr & !(self.line_size - 1), 1),
+            });
+            self.pending_compute -= u32::MAX as u64 + 1;
+        }
+        self.ops.push(TraceOp { pre_compute: self.pending_compute as u32, mem });
+        self.pending_compute = 0;
+        self
+    }
+
+    /// Record a read of `size` bytes at `addr` as a single reference.
+    pub fn read(&mut self, addr: u64, size: u32) -> &mut Self {
+        self.access(MemRef::read(addr, size))
+    }
+
+    /// Record a write of `size` bytes at `addr` as a single reference.
+    pub fn write(&mut self, addr: u64, size: u32) -> &mut Self {
+        self.access(MemRef::write(addr, size))
+    }
+
+    fn range(&mut self, addr: u64, bytes: u64, instr_per_line: u64, kind: AccessKind) {
+        if bytes == 0 {
+            return;
+        }
+        let line = self.line_size;
+        let first = addr & !(line - 1);
+        let last = (addr + bytes - 1) & !(line - 1);
+        let mut a = first;
+        loop {
+            self.compute(instr_per_line);
+            self.access(MemRef { addr: a, size: line as u32, kind });
+            if a == last {
+                break;
+            }
+            a += line;
+        }
+    }
+
+    /// Record a streaming read of `bytes` bytes starting at `addr`:
+    /// one reference per touched line, each preceded by `instr_per_line`
+    /// compute instructions.
+    pub fn read_range(&mut self, addr: u64, bytes: u64, instr_per_line: u64) -> &mut Self {
+        self.range(addr, bytes, instr_per_line, AccessKind::Read);
+        self
+    }
+
+    /// Record a streaming write of `bytes` bytes starting at `addr`.
+    pub fn write_range(&mut self, addr: u64, bytes: u64, instr_per_line: u64) -> &mut Self {
+        self.range(addr, bytes, instr_per_line, AccessKind::Write);
+        self
+    }
+
+    /// Number of references recorded so far.
+    pub fn num_refs(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Finish the trace.
+    pub fn finish(self) -> TaskTrace {
+        TaskTrace { ops: self.ops, post_compute: self.pending_compute }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memref_lines_single_line() {
+        let r = MemRef::read(130, 4);
+        let lines: Vec<u64> = r.lines(128).collect();
+        assert_eq!(lines, vec![128]);
+    }
+
+    #[test]
+    fn memref_lines_straddling() {
+        let r = MemRef::write(120, 16);
+        let lines: Vec<u64> = r.lines(128).collect();
+        assert_eq!(lines, vec![0, 128]);
+    }
+
+    #[test]
+    fn memref_lines_exact_span() {
+        let r = MemRef::read(256, 256);
+        let lines: Vec<u64> = r.lines(128).collect();
+        assert_eq!(lines, vec![256, 384]);
+    }
+
+    #[test]
+    fn trace_instruction_accounting() {
+        let mut b = TraceBuilder::new(64);
+        b.compute(10).read(0, 4).compute(5).write(64, 8).compute(3);
+        let t = b.finish();
+        assert_eq!(t.num_refs(), 2);
+        // 10 + 1 + 5 + 1 + 3
+        assert_eq!(t.instructions(), 20);
+        assert_eq!(t.post_compute(), 3);
+    }
+
+    #[test]
+    fn trace_compute_only() {
+        let t = TaskTrace::compute_only(42);
+        assert_eq!(t.instructions(), 42);
+        assert_eq!(t.num_refs(), 0);
+    }
+
+    #[test]
+    fn read_range_touches_each_line_once() {
+        let mut b = TraceBuilder::new(128);
+        b.read_range(128, 512, 3);
+        let t = b.finish();
+        assert_eq!(t.num_refs(), 4);
+        let addrs: Vec<u64> = t.refs().map(|r| r.addr).collect();
+        assert_eq!(addrs, vec![128, 256, 384, 512]);
+        // per line: 3 compute + 1 access
+        assert_eq!(t.instructions(), 16);
+    }
+
+    #[test]
+    fn read_range_unaligned_covers_partial_lines() {
+        let mut b = TraceBuilder::new(128);
+        b.read_range(100, 60, 0); // bytes 100..160 -> lines 0 and 128
+        let t = b.finish();
+        let addrs: Vec<u64> = t.refs().map(|r| r.addr).collect();
+        assert_eq!(addrs, vec![0, 128]);
+    }
+
+    #[test]
+    fn write_range_zero_bytes_is_noop() {
+        let mut b = TraceBuilder::new(128);
+        b.write_range(1024, 0, 5);
+        let t = b.finish();
+        assert_eq!(t.num_refs(), 0);
+        assert_eq!(t.instructions(), 0);
+    }
+
+    #[test]
+    fn task_caches_work() {
+        let mut b = TraceBuilder::new(64);
+        b.compute(7).read(0, 4);
+        let task = Task::new(b.finish());
+        assert_eq!(task.work, 8);
+        assert_eq!(task.work, task.trace.instructions());
+    }
+
+    #[test]
+    fn task_id_display() {
+        assert_eq!(format!("{}", TaskId(3)), "T3");
+        assert_eq!(format!("{:?}", TaskId(3)), "T3");
+        assert_eq!(TaskId(5).index(), 5);
+    }
+}

@@ -1,0 +1,354 @@
+//! Automatic task coarsening (Section 6.2).
+//!
+//! Programs are first written with very fine-grained tasks; the working-set
+//! profile then suggests groups of consecutive tasks to merge into larger
+//! tasks.  The algorithm walks the task-group tree top-down and, at a node
+//! `G` with working-set size `W` and an independent set of `K` similar-size
+//! child groups, **stops at G's children** (each child becomes one coarse
+//! task) when
+//!
+//! ```text
+//! W <= K * (cache_size / (num_cores * 2))
+//! ```
+//!
+//! so the child tasks are numerous enough to keep the cores busy while their
+//! aggregate working set still fits comfortably in the shared cache.  The "2"
+//! compensates for task-size variability (early-finishing children let other,
+//! unrelated work into the cache).
+//!
+//! The selected granularity is exported in two forms:
+//!
+//! * a set of *coarse groups* plus [`apply_coarsening`], which rebuilds the
+//!   computation with each coarse group fused into a single sequential task —
+//!   this is the "dag" evaluation scheme of Fig. 8;
+//! * a [`ParallelizationTable`] (Fig. 7b) mapping `(CMP configuration,
+//!   call site)` to the parameter threshold below which the program should
+//!   run its sequential version — this is how the decision is fed back into a
+//!   real program, and is the basis of the "actual" scheme of Fig. 8.
+
+use std::collections::HashMap;
+
+use ccs_dag::{
+    CallSite, Computation, ComputationBuilder, GroupId, GroupKind, GroupMeta, SpNodeId,
+    TaskGroupTree, TraceBuilder,
+};
+
+use crate::profile::WorkingSetProfile;
+
+/// The CMP parameters the stop criterion depends on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CoarsenTarget {
+    /// Shared-cache capacity in bytes.
+    pub cache_bytes: u64,
+    /// Number of cores sharing the cache.
+    pub num_cores: usize,
+}
+
+impl CoarsenTarget {
+    /// The per-child working-set budget `cache / (2 * cores)`.
+    pub fn budget_bytes(&self) -> u64 {
+        self.cache_bytes / (2 * self.num_cores.max(1) as u64)
+    }
+}
+
+/// The outcome of the coarsening analysis for one target configuration.
+#[derive(Clone, Debug)]
+pub struct Coarsening {
+    /// The target the analysis was run for.
+    pub target: CoarsenTarget,
+    /// Groups each of which should become a single sequential task.
+    pub coarse_groups: Vec<GroupId>,
+    /// Thresholds per call site: the largest group `param` value that was
+    /// coarsened into a single task at that site.
+    pub thresholds: HashMap<CallSite, u64>,
+}
+
+impl Coarsening {
+    /// Number of tasks the coarsened computation will have.
+    pub fn num_coarse_tasks(&self) -> usize {
+        self.coarse_groups.len()
+    }
+}
+
+/// Run the coarsening analysis for one target configuration.
+pub fn coarsen(
+    profile: &WorkingSetProfile,
+    tree: &TaskGroupTree,
+    target: CoarsenTarget,
+) -> Coarsening {
+    let budget = target.budget_bytes().max(1);
+    let mut coarse_groups = Vec::new();
+    let mut thresholds: HashMap<CallSite, u64> = HashMap::new();
+
+    // Record a group as one coarse task.
+    let select = |gid: GroupId, coarse_groups: &mut Vec<GroupId>, thresholds: &mut HashMap<CallSite, u64>| {
+        coarse_groups.push(gid);
+        let g = tree.group(gid);
+        if let Some(site) = g.meta.site {
+            let entry = thresholds.entry(site).or_insert(0);
+            *entry = (*entry).max(g.meta.param);
+        }
+    };
+
+    // Top-down traversal.
+    let mut stack = vec![tree.root()];
+    while let Some(gid) = stack.pop() {
+        let g = tree.group(gid);
+        let sets = tree.independent_child_sets(gid);
+        if sets.is_empty() {
+            // A leaf task: it stays a task of its own.
+            select(gid, &mut coarse_groups, &mut thresholds);
+            continue;
+        }
+        let w = profile.working_set_bytes(g.rank_range());
+        for set in sets {
+            let k = set.len() as u64;
+            if w <= k * budget {
+                // Stop at G's children: each child of this independent set
+                // becomes one coarse task.
+                for child in set {
+                    select(child, &mut coarse_groups, &mut thresholds);
+                }
+            } else {
+                // Descend into the children of this set.
+                for child in set {
+                    stack.push(child);
+                }
+            }
+        }
+    }
+
+    // Keep the coarse groups in sequential order for readability.
+    coarse_groups.sort_by_key(|&g| tree.group(g).first_rank);
+    Coarsening { target, coarse_groups, thresholds }
+}
+
+/// The parallelization table of Fig. 7(b): thresholds indexed by CMP
+/// configuration and spawn call site.  At run time the program looks up
+/// `(configuration, call site)` and runs its sequential version whenever the
+/// parallelization parameter is at or below the threshold.
+#[derive(Clone, Debug, Default)]
+pub struct ParallelizationTable {
+    entries: HashMap<(CoarsenTarget, CallSite), u64>,
+}
+
+impl ParallelizationTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Merge the thresholds discovered by one coarsening run.
+    pub fn add(&mut self, coarsening: &Coarsening) {
+        for (&site, &threshold) in &coarsening.thresholds {
+            let entry = self.entries.entry((coarsening.target, site)).or_insert(0);
+            *entry = (*entry).max(threshold);
+        }
+    }
+
+    /// The threshold for a configuration and call site, if any.
+    pub fn threshold(&self, target: CoarsenTarget, site: CallSite) -> Option<u64> {
+        self.entries.get(&(target, site)).copied()
+    }
+
+    /// The `Parallelize` decision of Fig. 7(a): parallelize further only when
+    /// the parameter exceeds the threshold (unknown sites always parallelize).
+    pub fn should_parallelize(&self, target: CoarsenTarget, site: CallSite, param: u64) -> bool {
+        match self.threshold(target, site) {
+            Some(t) => param > t,
+            None => true,
+        }
+    }
+
+    /// Number of (configuration, call-site) entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Render the table in the layout of Fig. 7(b).
+    pub fn render(&self) -> String {
+        let mut rows: Vec<_> = self.entries.iter().collect();
+        rows.sort_by_key(|((t, s), _)| (t.cache_bytes, t.num_cores, s.file, s.line));
+        let mut out = String::from(
+            "L2 Size (KB) | # Cores | File          | Line | Param Threshold\n",
+        );
+        for ((target, site), threshold) in rows {
+            out.push_str(&format!(
+                "{:>12} | {:>7} | {:<13} | {:>4} | {:>15}\n",
+                target.cache_bytes / 1024,
+                target.num_cores,
+                site.file,
+                site.line,
+                threshold
+            ));
+        }
+        out
+    }
+}
+
+/// Rebuild `comp` with every group in `coarsening.coarse_groups` fused into a
+/// single sequential task (the traces of its tasks concatenated in sequential
+/// order).  The series-parallel structure *above* the coarse groups is
+/// preserved.  This is the Fig. 8 "dag" evaluation scheme: the same
+/// finest-grain trace, re-grouped.
+pub fn apply_coarsening(comp: &Computation, tree: &TaskGroupTree, coarsening: &Coarsening) -> Computation {
+    let coarse: std::collections::HashSet<GroupId> =
+        coarsening.coarse_groups.iter().copied().collect();
+    let mut b = ComputationBuilder::new(comp.line_size());
+    let root = rebuild(comp, tree, &coarse, tree.root(), &mut b);
+    b.finish(root)
+}
+
+fn fuse_group(comp: &Computation, tree: &TaskGroupTree, gid: GroupId, b: &mut ComputationBuilder) -> SpNodeId {
+    let g = tree.group(gid);
+    let mut tb = TraceBuilder::new(comp.line_size());
+    for &task in tree.tasks_in(gid) {
+        let trace = &comp.task(task).trace;
+        for op in trace.ops() {
+            tb.compute(op.pre_compute as u64);
+            tb.access(op.mem);
+        }
+        tb.compute(trace.post_compute());
+    }
+    let mut meta = GroupMeta::with_param(g.meta.label, g.meta.param);
+    if let Some(site) = g.meta.site {
+        meta = meta.at(site);
+    }
+    b.strand_meta(tb.finish(), meta)
+}
+
+fn rebuild(
+    comp: &Computation,
+    tree: &TaskGroupTree,
+    coarse: &std::collections::HashSet<GroupId>,
+    gid: GroupId,
+    b: &mut ComputationBuilder,
+) -> SpNodeId {
+    if coarse.contains(&gid) {
+        return fuse_group(comp, tree, gid, b);
+    }
+    let g = tree.group(gid);
+    match g.kind {
+        GroupKind::Leaf(task) => {
+            // A leaf that was not selected (only possible if its ancestor was
+            // selected, which `coarse.contains` already handled) — keep it.
+            let mut meta = GroupMeta::with_param(g.meta.label, g.meta.param);
+            if let Some(site) = g.meta.site {
+                meta = meta.at(site);
+            }
+            b.strand_meta(comp.task(task).trace.clone(), meta)
+        }
+        GroupKind::Seq | GroupKind::Par => {
+            let children: Vec<SpNodeId> = g
+                .children
+                .iter()
+                .map(|&c| rebuild(comp, tree, coarse, c, b))
+                .collect();
+            let mut meta = GroupMeta::with_param(g.meta.label, g.meta.param);
+            if let Some(site) = g.meta.site {
+                meta = meta.at(site);
+            }
+            match g.kind {
+                GroupKind::Seq => b.seq(children, meta),
+                GroupKind::Par => b.par(children, meta),
+                GroupKind::Leaf(_) => unreachable!(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_dag::Dag;
+    use ccs_workloads::MergesortParams;
+
+    fn profile_and_tree(n_items: u64) -> (Computation, TaskGroupTree, WorkingSetProfile) {
+        let comp = ccs_workloads::mergesort::build(
+            &MergesortParams::new(n_items).with_task_working_set(8 * 1024),
+        );
+        let tree = TaskGroupTree::from_computation(&comp);
+        let sizes: Vec<u64> = (10..=24).map(|p| 1u64 << p).collect();
+        let profile = WorkingSetProfile::collect(&comp, &sizes);
+        (comp, tree, profile)
+    }
+
+    #[test]
+    fn larger_budgets_give_coarser_tasks() {
+        let (_, tree, profile) = profile_and_tree(64 * 1024);
+        let small = coarsen(&profile, &tree, CoarsenTarget { cache_bytes: 64 * 1024, num_cores: 8 });
+        let large = coarsen(&profile, &tree, CoarsenTarget { cache_bytes: 16 << 20, num_cores: 2 });
+        assert!(
+            large.num_coarse_tasks() <= small.num_coarse_tasks(),
+            "large budget {} vs small budget {}",
+            large.num_coarse_tasks(),
+            small.num_coarse_tasks()
+        );
+        assert!(large.num_coarse_tasks() >= 1);
+    }
+
+    #[test]
+    fn coarse_groups_partition_all_tasks() {
+        let (comp, tree, profile) = profile_and_tree(32 * 1024);
+        let c = coarsen(&profile, &tree, CoarsenTarget { cache_bytes: 1 << 20, num_cores: 4 });
+        let mut covered = vec![false; comp.num_tasks()];
+        for &g in &c.coarse_groups {
+            for &t in tree.tasks_in(g) {
+                assert!(!covered[t.index()], "task covered twice");
+                covered[t.index()] = true;
+            }
+        }
+        assert!(covered.iter().all(|&x| x), "every task must be covered");
+    }
+
+    #[test]
+    fn apply_coarsening_preserves_work_and_refs() {
+        let (comp, tree, profile) = profile_and_tree(32 * 1024);
+        let c = coarsen(&profile, &tree, CoarsenTarget { cache_bytes: 512 * 1024, num_cores: 4 });
+        let coarse = apply_coarsening(&comp, &tree, &c);
+        assert_eq!(coarse.num_tasks(), c.num_coarse_tasks());
+        assert_eq!(coarse.total_work(), comp.total_work());
+        assert_eq!(coarse.total_refs(), comp.total_refs());
+        Dag::from_computation(&coarse).validate().unwrap();
+        assert!(coarse.num_tasks() <= comp.num_tasks());
+    }
+
+    #[test]
+    fn coarsened_sequential_ref_order_is_preserved() {
+        let (comp, tree, profile) = profile_and_tree(16 * 1024);
+        let c = coarsen(&profile, &tree, CoarsenTarget { cache_bytes: 256 * 1024, num_cores: 2 });
+        let coarse = apply_coarsening(&comp, &tree, &c);
+        let orig: Vec<u64> = comp.sequential_refs().map(|(_, r)| r.addr).collect();
+        let new: Vec<u64> = coarse.sequential_refs().map(|(_, r)| r.addr).collect();
+        assert_eq!(orig, new, "fusing groups must not reorder the sequential trace");
+    }
+
+    #[test]
+    fn thresholds_and_table() {
+        let (_, tree, profile) = profile_and_tree(64 * 1024);
+        let target = CoarsenTarget { cache_bytes: 2 << 20, num_cores: 8 };
+        let c = coarsen(&profile, &tree, target);
+        assert!(!c.thresholds.is_empty(), "mergesort call sites must get thresholds");
+        let mut table = ParallelizationTable::new();
+        table.add(&c);
+        assert!(!table.is_empty());
+        let (&site, &thr) = c.thresholds.iter().next().unwrap();
+        assert_eq!(table.threshold(target, site), Some(c.thresholds[&site]));
+        assert!(!table.should_parallelize(target, site, thr));
+        assert!(table.should_parallelize(target, site, thr + 1));
+        let rendered = table.render();
+        assert!(rendered.contains("Param Threshold"));
+        assert!(rendered.contains("mergesort.rs"));
+    }
+
+    #[test]
+    fn budget_formula_matches_paper() {
+        let t = CoarsenTarget { cache_bytes: 20 << 20, num_cores: 16 };
+        assert_eq!(t.budget_bytes(), (20 << 20) / 32);
+    }
+}

@@ -1,0 +1,302 @@
+//! One-pass working-set profiling (the paper's `LruTree` algorithm,
+//! Section 6.1).
+//!
+//! A single pass over the program's sequential-order memory-reference trace
+//! collects, for every task, a two-dimensional histogram keyed by
+//!
+//! * the LRU **stack-distance bucket** of the reference (bucketed by the list
+//!   of candidate cache sizes), and
+//! * the **task delta**: the difference between the sequential ranks of the
+//!   current task and the task that last visited the line.
+//!
+//! From these per-task histograms the hit count — and hence the working-set
+//! size — of *any* group of consecutive tasks can be computed for *any* of the
+//! candidate cache sizes without touching the trace again: a reference by
+//! task `i` is a hit inside group `[b, e]` with cache size `D_p` exactly when
+//! its distance is `≤ D_p` and its previous visitor is also inside the group
+//! (`delta ≤ i − b`).
+
+use std::collections::HashMap;
+
+use ccs_cache::{OrderStatStack, StackDistanceModel};
+use ccs_dag::Computation;
+
+/// Per-task two-dimensional histogram, stored sparsely as
+/// `(distance bucket, task delta) -> count`.
+#[derive(Clone, Debug, Default)]
+pub struct TaskHistogram {
+    /// Sorted by (bucket, delta) for cache-friendly scans.
+    entries: Vec<(u8, u32, u64)>,
+}
+
+impl TaskHistogram {
+    fn from_map(map: HashMap<(u8, u32), u64>) -> Self {
+        let mut entries: Vec<(u8, u32, u64)> =
+            map.into_iter().map(|((b, d), c)| (b, d, c)).collect();
+        entries.sort_unstable();
+        TaskHistogram { entries }
+    }
+
+    /// Number of distinct (bucket, delta) cells.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the histogram is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sum of counts with `bucket <= max_bucket` and `delta <= max_delta`.
+    fn count_up_to(&self, max_bucket: u8, max_delta: u32) -> u64 {
+        self.entries
+            .iter()
+            .filter(|&&(b, d, _)| b <= max_bucket && d <= max_delta)
+            .map(|&(_, _, c)| c)
+            .sum()
+    }
+}
+
+/// The result of one profiling pass: per-task histograms plus bookkeeping to
+/// answer task-group working-set queries.
+#[derive(Clone, Debug)]
+pub struct WorkingSetProfile {
+    /// Candidate cache sizes, in cache lines, ascending.
+    cache_sizes_lines: Vec<u64>,
+    /// Cache-line size in bytes.
+    line_size: u64,
+    /// `histograms[rank]` — histogram of the task with sequential rank `rank`.
+    histograms: Vec<TaskHistogram>,
+    /// Number of memory references issued by each task (by rank).
+    refs_per_task: Vec<u64>,
+}
+
+/// The bucket index used for references whose distance exceeds every
+/// candidate cache size; such references can only be hits in an unbounded
+/// cache, which is what working-set queries use.
+const OVERFLOW_BUCKET: u8 = u8::MAX;
+
+impl WorkingSetProfile {
+    /// Profile a computation in one pass over its sequential reference trace.
+    ///
+    /// `cache_sizes_bytes` is the list of candidate cache sizes the profile
+    /// will be able to answer hit-count queries for (ascending order is not
+    /// required; the list is sorted internally).  At most 254 sizes are
+    /// supported.
+    pub fn collect(comp: &Computation, cache_sizes_bytes: &[u64]) -> Self {
+        let line_size = comp.line_size();
+        let mut sizes: Vec<u64> = cache_sizes_bytes
+            .iter()
+            .map(|&b| (b / line_size).max(1))
+            .collect();
+        sizes.sort_unstable();
+        sizes.dedup();
+        assert!(!sizes.is_empty(), "need at least one candidate cache size");
+        assert!(sizes.len() < OVERFLOW_BUCKET as usize, "too many candidate cache sizes");
+
+        let seq = comp.sequential_order();
+        let num_tasks = seq.len();
+        let mut rank_of = vec![0u32; num_tasks];
+        for (rank, t) in seq.iter().enumerate() {
+            rank_of[t.index()] = rank as u32;
+        }
+
+        let mut stack = OrderStatStack::new();
+        let mut last_task: HashMap<u64, u32> = HashMap::new();
+        let mut maps: Vec<HashMap<(u8, u32), u64>> = vec![HashMap::new(); num_tasks];
+        let mut refs_per_task = vec![0u64; num_tasks];
+
+        for &tid in &seq {
+            let rank = rank_of[tid.index()];
+            for mem in comp.task(tid).trace.refs() {
+                for line in mem.lines(line_size) {
+                    refs_per_task[rank as usize] += 1;
+                    let dist = stack.access(line);
+                    let prev = last_task.insert(line, rank);
+                    if let (Some(d), Some(j)) = (dist, prev) {
+                        // A reference is a hit in a cache of S lines iff d < S.
+                        let bucket = match sizes.iter().position(|&s| d < s) {
+                            Some(p) => p as u8,
+                            None => OVERFLOW_BUCKET,
+                        };
+                        let delta = rank - j;
+                        *maps[rank as usize].entry((bucket, delta)).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+
+        WorkingSetProfile {
+            cache_sizes_lines: sizes,
+            line_size,
+            histograms: maps.into_iter().map(TaskHistogram::from_map).collect(),
+            refs_per_task,
+        }
+    }
+
+    /// The candidate cache sizes, in bytes, ascending.
+    pub fn cache_sizes_bytes(&self) -> Vec<u64> {
+        self.cache_sizes_lines.iter().map(|l| l * self.line_size).collect()
+    }
+
+    /// The cache-line size the profile was collected at.
+    pub fn line_size(&self) -> u64 {
+        self.line_size
+    }
+
+    /// Number of profiled tasks.
+    pub fn num_tasks(&self) -> usize {
+        self.histograms.len()
+    }
+
+    /// Total memory references (at line granularity) issued by the tasks with
+    /// sequential ranks in `range`.
+    pub fn refs_in(&self, range: std::ops::Range<u32>) -> u64 {
+        self.refs_per_task[range.start as usize..range.end as usize]
+            .iter()
+            .sum()
+    }
+
+    fn hits_in_impl(&self, range: std::ops::Range<u32>, max_bucket: u8) -> u64 {
+        let b = range.start;
+        self.histograms[range.start as usize..range.end as usize]
+            .iter()
+            .enumerate()
+            .map(|(off, h)| {
+                let i = b + off as u32;
+                h.count_up_to(max_bucket, i - b)
+            })
+            .sum()
+    }
+
+    /// Number of cache hits the task group covering sequential ranks `range`
+    /// would incur, starting from a cold cache of `cache_size_bytes`
+    /// (which must be one of the candidate sizes).
+    pub fn hits_in(&self, range: std::ops::Range<u32>, cache_size_bytes: u64) -> u64 {
+        let lines = (cache_size_bytes / self.line_size).max(1);
+        let idx = self
+            .cache_sizes_lines
+            .iter()
+            .position(|&s| s == lines)
+            .expect("cache size was not in the candidate list given to collect()");
+        self.hits_in_impl(range, idx as u8)
+    }
+
+    /// Number of misses of the group with a cold cache of the given size.
+    pub fn misses_in(&self, range: std::ops::Range<u32>, cache_size_bytes: u64) -> u64 {
+        self.refs_in(range.clone()) - self.hits_in(range, cache_size_bytes)
+    }
+
+    /// The group's working set, in cache lines: the number of distinct lines
+    /// it touches (its misses with an unbounded cold cache).
+    pub fn working_set_lines(&self, range: std::ops::Range<u32>) -> u64 {
+        let unbounded_hits = self.hits_in_impl(range.clone(), OVERFLOW_BUCKET);
+        self.refs_in(range) - unbounded_hits
+    }
+
+    /// The group's working set in bytes.
+    pub fn working_set_bytes(&self, range: std::ops::Range<u32>) -> u64 {
+        self.working_set_lines(range) * self.line_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_dag::{AddressSpace, ComputationBuilder, GroupMeta};
+
+    /// Four tasks: T0 and T1 stream over array X, T2 and T3 stream over array
+    /// Y; all inside one par.  Chosen so group working sets are easy to state.
+    fn two_phase() -> (Computation, u64) {
+        let mut space = AddressSpace::new();
+        let bytes = 8 * 1024u64;
+        let x = space.alloc(bytes);
+        let y = space.alloc(bytes);
+        let mut b = ComputationBuilder::new(128);
+        let t0 = b.strand_with(|t| {
+            t.read_range(x.base, bytes, 1);
+        });
+        let t1 = b.strand_with(|t| {
+            t.read_range(x.base, bytes, 1);
+        });
+        let t2 = b.strand_with(|t| {
+            t.read_range(y.base, bytes, 1);
+        });
+        let t3 = b.strand_with(|t| {
+            t.read_range(y.base, bytes, 1);
+        });
+        let root = b.par(vec![t0, t1, t2, t3], GroupMeta::labeled("root"));
+        (b.finish(root), bytes)
+    }
+
+    #[test]
+    fn working_sets_of_groups() {
+        let (comp, bytes) = two_phase();
+        let lines = bytes / 128;
+        let profile = WorkingSetProfile::collect(&comp, &[64 * 1024, 1 << 20]);
+        // Single tasks touch one array each.
+        for r in 0..4u32 {
+            assert_eq!(profile.working_set_lines(r..r + 1), lines);
+        }
+        // T0..T1 share X; T0..T3 touch X and Y.
+        assert_eq!(profile.working_set_lines(0..2), lines);
+        assert_eq!(profile.working_set_lines(2..4), lines);
+        assert_eq!(profile.working_set_lines(0..4), 2 * lines);
+        assert_eq!(profile.working_set_bytes(0..4), 2 * bytes);
+    }
+
+    #[test]
+    fn hits_depend_on_group_start() {
+        let (comp, bytes) = two_phase();
+        let lines = bytes / 128;
+        let profile = WorkingSetProfile::collect(&comp, &[1 << 20]);
+        // Within [0,2): T1's references hit (T0 loaded X).
+        assert_eq!(profile.hits_in(0..2, 1 << 20), lines);
+        // Within [1,2): T1 alone starts cold, so no hits.
+        assert_eq!(profile.hits_in(1..2, 1 << 20), 0);
+        // Misses are complementary.
+        assert_eq!(profile.misses_in(0..2, 1 << 20), lines);
+        assert_eq!(profile.misses_in(1..2, 1 << 20), lines);
+    }
+
+    #[test]
+    fn small_cache_limits_hits() {
+        // One task scans a big array twice: with a big cache the second scan
+        // hits, with a small cache it does not.
+        let mut space = AddressSpace::new();
+        let bytes = 64 * 1024u64;
+        let x = space.alloc(bytes);
+        let mut b = ComputationBuilder::new(128);
+        let t0 = b.strand_with(|t| {
+            t.read_range(x.base, bytes, 1);
+            t.read_range(x.base, bytes, 1);
+        });
+        let comp = b.finish(t0);
+        let profile = WorkingSetProfile::collect(&comp, &[4 * 1024, 256 * 1024]);
+        let lines = bytes / 128;
+        assert_eq!(profile.hits_in(0..1, 256 * 1024), lines);
+        assert_eq!(profile.hits_in(0..1, 4 * 1024), 0);
+        assert_eq!(profile.working_set_lines(0..1), lines);
+    }
+
+    #[test]
+    #[should_panic(expected = "candidate list")]
+    fn querying_unknown_size_panics() {
+        let (comp, _) = two_phase();
+        let profile = WorkingSetProfile::collect(&comp, &[64 * 1024]);
+        profile.hits_in(0..1, 128 * 1024);
+    }
+
+    #[test]
+    fn histogram_is_sparse() {
+        let (comp, _) = two_phase();
+        let profile = WorkingSetProfile::collect(&comp, &[64 * 1024, 1 << 20]);
+        let total_cells: usize = (0..4u32)
+            .map(|r| profile.histograms[r as usize].len())
+            .sum();
+        // Each re-reference pattern collapses into a handful of cells, far
+        // fewer than the number of references.
+        assert!(total_cells <= 8, "got {total_cells}");
+        assert!(profile.histograms[0].is_empty(), "first task is all cold misses");
+    }
+}

@@ -1,0 +1,582 @@
+//! The native fork-join thread pool.
+//!
+//! A [`ThreadPool`] owns a set of worker threads and a scheduling *policy*:
+//!
+//! * [`Policy::WorkStealing`] — per-worker `crossbeam_deque` deques plus a
+//!   global injector; workers pop their own deque LIFO and steal FIFO from
+//!   others, exactly the WS discipline of Section 3;
+//! * [`Policy::Pdf`] — a single priority pool ordered by the online
+//!   sequential-priority labels of [`crate::label`]; an idle worker always
+//!   takes the ready task the sequential program would have executed
+//!   earliest, the PDF discipline of Section 3.
+//!
+//! The pool exposes rayon-style structured parallelism: [`ThreadPool::install`]
+//! to enter the pool (from outside it), [`join`] for binary fork-join (usable
+//! recursively from inside), and [`spawn`] for detached `'static` jobs.
+//! `join` lets closures borrow from the caller's stack; this is sound because
+//! `join` does not return until both closures have finished (see the safety
+//! comments).
+
+use std::cell::RefCell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use crossbeam_deque::{Injector, Steal, Stealer, Worker as Deque};
+use parking_lot::{Condvar, Mutex};
+
+use crate::label::PdfLabel;
+
+/// Scheduling policy of a [`ThreadPool`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Policy {
+    /// Per-worker deques with stealing (Cilk/rayon style).
+    WorkStealing,
+    /// Global priority pool ordered by sequential (1DF) priority.
+    Pdf,
+}
+
+type JobFn = Box<dyn FnOnce() + Send + 'static>;
+
+/// A unit of work: the closure plus its sequential-priority label.
+struct Job {
+    label: PdfLabel,
+    func: JobFn,
+}
+
+struct Registry {
+    policy: Policy,
+    /// Jobs submitted from outside the pool, or overflow from workers (WS).
+    injector: Injector<Job>,
+    /// Steal handles onto every worker's local deque (WS).
+    stealers: Vec<Stealer<Job>>,
+    /// Global priority pool (PDF): ordered by (label, submission sequence).
+    pdf: Mutex<std::collections::BTreeMap<(PdfLabel, u64), JobFn>>,
+    /// Number of queued (not yet started) jobs.
+    pending: AtomicUsize,
+    /// Monotonic tie-breaker for jobs with equal labels.
+    seq: AtomicUsize,
+    shutdown: AtomicBool,
+    /// Sleep/wake machinery for idle workers.
+    sleep_mutex: Mutex<()>,
+    sleep_cond: Condvar,
+}
+
+impl Registry {
+    /// Queue a job.  Worker threads of a WS pool push to their local deque;
+    /// everything else goes through the global injector / priority pool.
+    fn push_job(&self, label: PdfLabel, func: JobFn) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed) as u64;
+        self.pending.fetch_add(1, Ordering::Relaxed);
+        match self.policy {
+            Policy::WorkStealing => {
+                let job = Job { label, func };
+                // Worker threads push onto their own deque; everything else
+                // (the main thread, helpers of another pool) goes through the
+                // global injector.
+                let leftover = LOCAL_DEQUE.with(|d| match d.borrow().as_ref() {
+                    Some(deque) => {
+                        deque.push(job);
+                        None
+                    }
+                    None => Some(job),
+                });
+                if let Some(job) = leftover {
+                    self.injector.push(job);
+                }
+            }
+            Policy::Pdf => {
+                self.pdf.lock().insert((label, seq), func);
+            }
+        }
+        self.wake_one();
+    }
+
+    fn wake_one(&self) {
+        let _guard = self.sleep_mutex.lock();
+        self.sleep_cond.notify_one();
+    }
+
+    /// Find a job for the worker with the given index (`usize::MAX` for
+    /// non-worker threads helping while they wait).
+    fn pop_job(&self, index: usize) -> Option<(PdfLabel, JobFn)> {
+        let found = match self.policy {
+            Policy::WorkStealing => {
+                // Local LIFO first, then the injector, then steal FIFO from
+                // the other workers.
+                let mut job: Option<Job> =
+                    LOCAL_DEQUE.with(|d| d.borrow().as_ref().and_then(|deque| deque.pop()));
+                if job.is_none() {
+                    job = loop {
+                        match self.injector.steal() {
+                            Steal::Success(j) => break Some(j),
+                            Steal::Empty => break None,
+                            Steal::Retry => continue,
+                        }
+                    };
+                }
+                if job.is_none() {
+                    let n = self.stealers.len();
+                    'outer: for i in 0..n {
+                        let victim = (index.wrapping_add(1).wrapping_add(i)) % n;
+                        if victim == index {
+                            continue;
+                        }
+                        loop {
+                            match self.stealers[victim].steal() {
+                                Steal::Success(j) => {
+                                    job = Some(j);
+                                    break 'outer;
+                                }
+                                Steal::Empty => break,
+                                Steal::Retry => continue,
+                            }
+                        }
+                    }
+                }
+                job.map(|j| (j.label, j.func))
+            }
+            Policy::Pdf => self.pdf.lock().pop_first().map(|((label, _), func)| (label, func)),
+        };
+        if found.is_some() {
+            self.pending.fetch_sub(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    fn has_work(&self) -> bool {
+        self.pending.load(Ordering::Relaxed) > 0
+    }
+}
+
+thread_local! {
+    /// The local work-stealing deque of the current worker thread (WS pools).
+    static LOCAL_DEQUE: RefCell<Option<Deque<Job>>> = const { RefCell::new(None) };
+    /// The execution context of the current worker thread.
+    static CURRENT: RefCell<Option<WorkerContext>> = const { RefCell::new(None) };
+}
+
+#[derive(Clone)]
+struct WorkerContext {
+    registry: Arc<Registry>,
+    index: usize,
+    /// Label of the job currently executing on this worker.
+    label: PdfLabel,
+    /// Number of children the current job has spawned so far.
+    children: Arc<AtomicUsize>,
+}
+
+/// A completion flag that lets non-worker threads block and worker threads
+/// help-while-waiting.
+struct Latch {
+    done: AtomicBool,
+    mutex: Mutex<()>,
+    cond: Condvar,
+}
+
+impl Latch {
+    fn new() -> Arc<Self> {
+        Arc::new(Latch { done: AtomicBool::new(false), mutex: Mutex::new(()), cond: Condvar::new() })
+    }
+
+    fn set(&self) {
+        self.done.store(true, Ordering::Release);
+        let _guard = self.mutex.lock();
+        self.cond.notify_all();
+    }
+
+    fn probe(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Block the calling (non-worker) thread until the latch is set.
+    fn wait(&self) {
+        let mut guard = self.mutex.lock();
+        while !self.probe() {
+            self.cond.wait(&mut guard);
+        }
+    }
+}
+
+/// A fork-join thread pool with a pluggable scheduling policy.
+pub struct ThreadPool {
+    registry: Arc<Registry>,
+    workers: Vec<thread::JoinHandle<()>>,
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Create a pool with `num_threads` worker threads (at least one) and the
+    /// given policy.
+    pub fn new(num_threads: usize, policy: Policy) -> Self {
+        let num_threads = num_threads.max(1);
+        let deques: Vec<Deque<Job>> = (0..num_threads).map(|_| Deque::new_lifo()).collect();
+        let stealers = deques.iter().map(Deque::stealer).collect();
+        let registry = Arc::new(Registry {
+            policy,
+            injector: Injector::new(),
+            stealers,
+            pdf: Mutex::new(std::collections::BTreeMap::new()),
+            pending: AtomicUsize::new(0),
+            seq: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            sleep_mutex: Mutex::new(()),
+            sleep_cond: Condvar::new(),
+        });
+        let workers = deques
+            .into_iter()
+            .enumerate()
+            .map(|(index, deque)| {
+                let registry = Arc::clone(&registry);
+                thread::Builder::new()
+                    .name(format!("ccs-worker-{index}"))
+                    .spawn(move || worker_loop(registry, index, deque))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        ThreadPool { registry, workers, num_threads }
+    }
+
+    /// The number of worker threads.
+    pub fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// The scheduling policy.
+    pub fn policy(&self) -> Policy {
+        self.registry.policy
+    }
+
+    /// Run `f` on a worker thread of this pool and return its result.  Inside
+    /// `f`, [`join`] and [`spawn`] use this pool.
+    ///
+    /// Must be called from *outside* the pool (e.g. the main thread); calling
+    /// it from within one of the pool's own jobs can deadlock.
+    pub fn install<R, F>(&self, f: F) -> R
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let latch = Latch::new();
+        let result: Arc<Mutex<Option<thread::Result<R>>>> = Arc::new(Mutex::new(None));
+        {
+            let latch = Arc::clone(&latch);
+            let result = Arc::clone(&result);
+            // SAFETY (lifetime erasure): the job only borrows `f` and the two
+            // Arcs, which live until this function returns; and the function
+            // does not return until `latch.wait()` observes the latch set,
+            // which happens strictly after the job has finished running.
+            let func: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                let r = panic::catch_unwind(AssertUnwindSafe(f));
+                *result.lock() = Some(r);
+                latch.set();
+            });
+            let func: JobFn = unsafe { std::mem::transmute(func) };
+            self.registry.push_job(PdfLabel::root(), func);
+        }
+        latch.wait();
+        let r = result.lock().take().expect("job completed without a result");
+        match r {
+            Ok(v) => v,
+            Err(payload) => panic::resume_unwind(payload),
+        }
+    }
+
+    /// Spawn a detached, `'static` job onto the pool with root priority.
+    pub fn spawn_detached(&self, f: impl FnOnce() + Send + 'static) {
+        self.registry.push_job(PdfLabel::root(), Box::new(f));
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.registry.shutdown.store(true, Ordering::Release);
+        {
+            let _guard = self.registry.sleep_mutex.lock();
+            self.registry.sleep_cond.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(registry: Arc<Registry>, index: usize, deque: Deque<Job>) {
+    LOCAL_DEQUE.with(|d| *d.borrow_mut() = Some(deque));
+    CURRENT.with(|c| {
+        *c.borrow_mut() = Some(WorkerContext {
+            registry: Arc::clone(&registry),
+            index,
+            label: PdfLabel::root(),
+            children: Arc::new(AtomicUsize::new(0)),
+        });
+    });
+    loop {
+        if let Some((label, func)) = registry.pop_job(index) {
+            run_job(label, func);
+            continue;
+        }
+        if registry.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        // Nothing to do: sleep until new work arrives (bounded, so a lost
+        // wakeup can never hang the pool).
+        let mut guard = registry.sleep_mutex.lock();
+        if !registry.has_work() && !registry.shutdown.load(Ordering::Acquire) {
+            registry
+                .sleep_cond
+                .wait_for(&mut guard, std::time::Duration::from_millis(1));
+        }
+    }
+}
+
+/// Execute a job, making its label the current label for nested spawns.
+fn run_job(label: PdfLabel, func: JobFn) {
+    CURRENT.with(|c| {
+        let mut ctx = c.borrow_mut();
+        if let Some(ctx) = ctx.as_mut() {
+            ctx.label = label;
+            ctx.children = Arc::new(AtomicUsize::new(0));
+        }
+    });
+    func();
+}
+
+fn current_context() -> Option<WorkerContext> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+fn restore_context(ctx: WorkerContext) {
+    CURRENT.with(|c| *c.borrow_mut() = Some(ctx));
+}
+
+/// Fork-join: run `a` and `b`, potentially in parallel, and return both
+/// results.  Must be called from inside [`ThreadPool::install`] (or from a job
+/// spawned there); outside a pool the two closures simply run sequentially on
+/// the calling thread.
+///
+/// Under the PDF policy `b` is labelled as the next child of the current task,
+/// so the pool-wide priority order of pending jobs always matches the order a
+/// sequential execution would first reach them.  Under the WS policy `b` is
+/// pushed onto the current worker's deque, where other workers can steal it
+/// from the bottom.
+pub fn join<RA, RB, A, B>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let Some(ctx) = current_context() else {
+        return (a(), b());
+    };
+
+    let latch = Latch::new();
+    let b_result: Arc<Mutex<Option<thread::Result<RB>>>> = Arc::new(Mutex::new(None));
+    let child_index = ctx.children.fetch_add(1, Ordering::Relaxed) as u32;
+    let b_label = ctx.label.child(child_index);
+
+    {
+        let latch = Arc::clone(&latch);
+        let b_result = Arc::clone(&b_result);
+        // SAFETY (lifetime erasure): `b` may borrow from the caller's stack.
+        // This is sound because `join` does not return until the latch is
+        // observed set (see the help-while-waiting loop below), which happens
+        // strictly after `b` has finished executing, so every borrow captured
+        // by `b` outlives its execution.
+        let func: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+            let r = panic::catch_unwind(AssertUnwindSafe(b));
+            *b_result.lock() = Some(r);
+            latch.set();
+        });
+        let func: JobFn = unsafe { std::mem::transmute(func) };
+        ctx.registry.push_job(b_label, func);
+    }
+
+    // Run `a` inline.
+    let a_result = panic::catch_unwind(AssertUnwindSafe(a));
+
+    // Help execute other jobs until `b` is done (it may be running on another
+    // worker, still queued, or popped right here by ourselves).
+    while !latch.probe() {
+        if let Some((label, func)) = ctx.registry.pop_job(ctx.index) {
+            let saved = current_context();
+            run_job(label, func);
+            if let Some(saved) = saved {
+                restore_context(saved);
+            }
+        } else {
+            std::hint::spin_loop();
+            thread::yield_now();
+        }
+    }
+
+    let b_result = b_result.lock().take().expect("join child finished without a result");
+    match (a_result, b_result) {
+        (Ok(ra), Ok(rb)) => (ra, rb),
+        (Err(p), _) | (_, Err(p)) => panic::resume_unwind(p),
+    }
+}
+
+/// Spawn a detached `'static` job from inside the pool, labelled as the next
+/// child of the current task.  Outside a pool the job runs inline.
+pub fn spawn(f: impl FnOnce() + Send + 'static) {
+    match current_context() {
+        Some(ctx) => {
+            let child_index = ctx.children.fetch_add(1, Ordering::Relaxed) as u32;
+            let label = ctx.label.child(child_index);
+            ctx.registry.push_job(label, Box::new(f));
+        }
+        None => f(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn pools() -> Vec<ThreadPool> {
+        vec![
+            ThreadPool::new(2, Policy::WorkStealing),
+            ThreadPool::new(2, Policy::Pdf),
+            ThreadPool::new(1, Policy::WorkStealing),
+            ThreadPool::new(1, Policy::Pdf),
+        ]
+    }
+
+    #[test]
+    fn install_returns_value() {
+        for pool in pools() {
+            let v = pool.install(|| 21 * 2);
+            assert_eq!(v, 42);
+        }
+    }
+
+    #[test]
+    fn join_computes_both_sides() {
+        for pool in pools() {
+            let (a, b) = pool.install(|| join(|| 1 + 1, || 2 + 2));
+            assert_eq!((a, b), (2, 4));
+        }
+    }
+
+    #[test]
+    fn join_borrows_from_stack() {
+        for pool in pools() {
+            let mut left = vec![0u64; 100];
+            let mut right = vec![0u64; 100];
+            pool.install(|| {
+                join(
+                    || left.iter_mut().for_each(|x| *x += 1),
+                    || right.iter_mut().for_each(|x| *x += 2),
+                );
+            });
+            assert!(left.iter().all(|&x| x == 1));
+            assert!(right.iter().all(|&x| x == 2));
+        }
+    }
+
+    #[test]
+    fn recursive_join_fibonacci() {
+        fn fib(n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+            a + b
+        }
+        for pool in pools() {
+            assert_eq!(pool.install(|| fib(16)), 987);
+        }
+    }
+
+    #[test]
+    fn deep_recursion_sums_correctly() {
+        fn sum(range: std::ops::Range<u64>) -> u64 {
+            let len = range.end - range.start;
+            if len <= 64 {
+                return range.sum();
+            }
+            let mid = range.start + len / 2;
+            let (a, b) = join(|| sum(range.start..mid), || sum(mid..range.end));
+            a + b
+        }
+        let expect: u64 = (0..100_000).sum();
+        for pool in pools() {
+            assert_eq!(pool.install(|| sum(0..100_000)), expect);
+        }
+    }
+
+    #[test]
+    fn spawn_detached_runs() {
+        for pool in pools() {
+            let counter = Arc::new(AtomicU64::new(0));
+            for _ in 0..16 {
+                let c = Arc::clone(&counter);
+                pool.spawn_detached(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            for _ in 0..2000 {
+                if counter.load(Ordering::SeqCst) == 16 {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            assert_eq!(counter.load(Ordering::SeqCst), 16);
+        }
+    }
+
+    #[test]
+    fn join_outside_pool_is_sequential() {
+        let (a, b) = join(|| 5, || 7);
+        assert_eq!((a, b), (5, 7));
+    }
+
+    #[test]
+    fn panics_propagate_from_either_side() {
+        let pool = ThreadPool::new(2, Policy::WorkStealing);
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.install(|| {
+                join(|| 1, || -> i32 { panic!("boom") });
+            })
+        }));
+        assert!(r.is_err());
+        // The pool is still usable afterwards.
+        assert_eq!(pool.install(|| 3), 3);
+    }
+
+    #[test]
+    fn nested_spawn_from_inside_pool() {
+        for pool in pools() {
+            let counter = Arc::new(AtomicU64::new(0));
+            let c2 = Arc::clone(&counter);
+            pool.install(move || {
+                for _ in 0..8 {
+                    let c = Arc::clone(&c2);
+                    spawn(move || {
+                        c.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+            for _ in 0..2000 {
+                if counter.load(Ordering::SeqCst) == 8 {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            assert_eq!(counter.load(Ordering::SeqCst), 8);
+        }
+    }
+
+    #[test]
+    fn pool_metadata() {
+        let pool = ThreadPool::new(3, Policy::Pdf);
+        assert_eq!(pool.num_threads(), 3);
+        assert_eq!(pool.policy(), Policy::Pdf);
+        let zero = ThreadPool::new(0, Policy::WorkStealing);
+        assert_eq!(zero.num_threads(), 1, "clamped to one thread");
+    }
+}

@@ -1,0 +1,75 @@
+//! Central FIFO queue scheduler.
+//!
+//! Not part of the paper's comparison, but a useful baseline: ready tasks go
+//! into a single global FIFO queue, which approximates a breadth-first
+//! traversal of the DAG.  Breadth-first order maximises the number of widely
+//! separated tasks executing together, so it tends to show the *worst*
+//! constructive-sharing behaviour — handy for sanity-checking that PDF and WS
+//! both beat it.
+
+use std::collections::VecDeque;
+
+use ccs_dag::{Dag, TaskId};
+
+use crate::scheduler::Scheduler;
+
+/// The global-FIFO scheduler.
+#[derive(Debug, Default)]
+pub struct CentralQueue {
+    queue: VecDeque<TaskId>,
+}
+
+impl CentralQueue {
+    /// Create an empty central queue.
+    pub fn new() -> Self {
+        CentralQueue::default()
+    }
+}
+
+impl Scheduler for CentralQueue {
+    fn init(&mut self, _dag: &Dag, _num_cores: usize) {
+        self.queue.clear();
+    }
+
+    fn task_enabled(&mut self, task: TaskId, _enabling_core: Option<usize>) {
+        self.queue.push_back(task);
+    }
+
+    fn next_task(&mut self, _core: usize) -> Option<TaskId> {
+        self.queue.pop_front()
+    }
+
+    fn ready_count(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "central"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_dag::{ComputationBuilder, GroupMeta, TaskTrace};
+
+    #[test]
+    fn fifo_order() {
+        let mut b = ComputationBuilder::new(128);
+        let leaves: Vec<_> = (0..3).map(|_| b.strand(TaskTrace::compute_only(1))).collect();
+        let root = b.par(leaves, GroupMeta::default());
+        let comp = b.finish(root);
+        let dag = Dag::from_computation(&comp);
+
+        let mut s = CentralQueue::new();
+        s.init(&dag, 2);
+        s.task_enabled(TaskId(2), None);
+        s.task_enabled(TaskId(0), None);
+        s.task_enabled(TaskId(1), None);
+        assert_eq!(s.ready_count(), 3);
+        assert_eq!(s.next_task(0), Some(TaskId(2)));
+        assert_eq!(s.next_task(1), Some(TaskId(0)));
+        assert_eq!(s.next_task(0), Some(TaskId(1)));
+        assert_eq!(s.next_task(0), None);
+    }
+}

@@ -1,0 +1,96 @@
+//! The greedy-scheduler interface shared by PDF, WS and the baselines.
+//!
+//! Both the standalone executor ([`crate::exec`]) and the cycle-level CMP
+//! simulator (`ccs-sim`) drive schedulers through this trait: the driver tells
+//! the scheduler which tasks have become *ready* (all predecessors completed)
+//! and which core enabled them, and asks for work on behalf of idle cores.
+//! A scheduler is *greedy* when [`Scheduler::next_task`] returns a task
+//! whenever any ready task exists — all the schedulers in this crate are
+//! greedy, which the executor asserts.
+
+use ccs_dag::{Dag, TaskId};
+
+/// A greedy task scheduler for computation DAGs.
+pub trait Scheduler {
+    /// Called once before execution starts.  `dag` describes the computation,
+    /// `num_cores` the number of cores work will be requested for.
+    fn init(&mut self, dag: &Dag, num_cores: usize);
+
+    /// Inform the scheduler that `task` has become ready.
+    ///
+    /// `enabling_core` is the core that completed the task's last outstanding
+    /// predecessor (the "forking" core in fork-join terms), or `None` for
+    /// tasks that are ready at the start of the computation (DAG roots).
+    fn task_enabled(&mut self, task: TaskId, enabling_core: Option<usize>);
+
+    /// Ask for a task to run on `core`.  Must return `Some` whenever any task
+    /// is ready (greediness); the executor treats a `None` returned while
+    /// ready tasks exist as a scheduler bug.
+    fn next_task(&mut self, core: usize) -> Option<TaskId>;
+
+    /// Number of ready tasks currently queued.
+    fn ready_count(&self) -> usize;
+
+    /// Short human-readable name ("pdf", "ws", ...), used in experiment
+    /// output.
+    fn name(&self) -> &'static str;
+}
+
+/// Which scheduler to instantiate — convenience enum used by the experiment
+/// harness and the examples.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SchedulerKind {
+    /// Parallel Depth First.
+    Pdf,
+    /// Work Stealing with deterministic round-robin victim selection.
+    WorkStealing,
+    /// Work Stealing with seeded random victim selection.
+    WorkStealingRandom(u64),
+    /// Central FIFO queue (breadth-first-ish baseline, not in the paper).
+    CentralQueue,
+}
+
+impl SchedulerKind {
+    /// Instantiate the scheduler.
+    pub fn build(self) -> Box<dyn Scheduler> {
+        match self {
+            SchedulerKind::Pdf => Box::new(crate::pdf::Pdf::new()),
+            SchedulerKind::WorkStealing => Box::new(crate::ws::WorkStealing::new()),
+            SchedulerKind::WorkStealingRandom(seed) => {
+                Box::new(crate::ws::WorkStealing::with_random_victims(seed))
+            }
+            SchedulerKind::CentralQueue => Box::new(crate::central::CentralQueue::new()),
+        }
+    }
+
+    /// Stable short name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::Pdf => "pdf",
+            SchedulerKind::WorkStealing => "ws",
+            SchedulerKind::WorkStealingRandom(_) => "ws-rand",
+            SchedulerKind::CentralQueue => "central",
+        }
+    }
+}
+
+impl std::fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_build_matching_names() {
+        assert_eq!(SchedulerKind::Pdf.build().name(), "pdf");
+        assert_eq!(SchedulerKind::WorkStealing.build().name(), "ws");
+        assert_eq!(SchedulerKind::WorkStealingRandom(1).build().name(), "ws");
+        assert_eq!(SchedulerKind::CentralQueue.build().name(), "central");
+        assert_eq!(SchedulerKind::Pdf.to_string(), "pdf");
+        assert_eq!(SchedulerKind::WorkStealingRandom(7).name(), "ws-rand");
+    }
+}

@@ -1,0 +1,269 @@
+//! Analytical results from Section 3 and the machinery to validate them.
+//!
+//! * [`sequential_misses`] — `M₁`: the misses of a sequential (1DF) execution
+//!   with an ideal cache of a given size;
+//! * [`pdf_ideal_misses`] — the misses of an instruction-level PDF execution
+//!   on `P` cores sharing an ideal cache, the setting of **Theorem 3.1**:
+//!   with shared capacity `≥ C + P·D` the parallel execution incurs at most
+//!   `M₁` misses;
+//! * [`MergesortModel`] — the closed-form Mergesort miss model
+//!   (`M_pdf ≈ (N/B)·log(N/C_P)`, `M_ws ≈ M_pdf + (N/B)·log P`).
+
+use ccs_cache::IdealCache;
+use ccs_dag::{Computation, Dag, TaskId};
+
+/// `M₁`: number of misses of the sequential (1DF) execution of `comp` with an
+/// ideal (fully-associative, LRU) cache of `cache_lines` lines.
+pub fn sequential_misses(comp: &Computation, cache_lines: u64) -> u64 {
+    let mut cache = IdealCache::new(cache_lines, comp.line_size());
+    for (_, r) in comp.sequential_refs() {
+        cache.access_ref(r);
+    }
+    cache.stats().misses
+}
+
+/// Number of misses of an *instruction-level* PDF execution of `comp` on
+/// `num_cores` cores sharing an ideal cache of `cache_lines` lines.
+///
+/// This follows the theoretical model of [5]: at every time step the `P`
+/// ready tasks with the earliest sequential priority each execute one
+/// instruction (tasks may pause when higher-priority work becomes ready).
+/// Cache misses do not stall execution — the theorem bounds the number of
+/// misses, not the running time.
+pub fn pdf_ideal_misses(comp: &Computation, num_cores: usize, cache_lines: u64) -> u64 {
+    assert!(num_cores > 0);
+    let dag = Dag::from_computation(comp);
+    let n = comp.num_tasks();
+    let mut cache = IdealCache::new(cache_lines, comp.line_size());
+
+    // Per-task cursor over its instruction stream.
+    struct Cursor {
+        /// Index of the next trace op.
+        op: usize,
+        /// Compute instructions still to execute before the op's reference.
+        pre_remaining: u64,
+        /// Post-trace compute instructions still to execute.
+        post_remaining: u64,
+        done: bool,
+    }
+    let mut cursors: Vec<Cursor> = (0..n)
+        .map(|i| {
+            let t = comp.task(TaskId(i as u32));
+            let first_pre = t.trace.ops().first().map_or(0, |o| o.pre_compute as u64);
+            let done = t.trace.ops().is_empty() && t.trace.post_compute() == 0;
+            Cursor { op: 0, pre_remaining: first_pre, post_remaining: t.trace.post_compute(), done }
+        })
+        .collect();
+
+    let mut in_deg: Vec<u32> = (0..n as u32).map(|t| dag.in_degree(TaskId(t)) as u32).collect();
+    let mut remaining = n;
+    // Pre-sort tasks by sequential rank once; each round we scan for the first
+    // P ready unfinished tasks in rank order.
+    let by_rank: Vec<TaskId> = dag.seq_order().to_vec();
+
+    // Tasks that are trivially done (zero instructions) still need their
+    // completion propagated.
+    let mut misses = 0u64;
+    loop {
+        // Propagate completions of zero-length or just-finished tasks.
+        let mut progressed = true;
+        while progressed {
+            progressed = false;
+            for i in 0..n {
+                if cursors[i].done && in_deg[i] != u32::MAX {
+                    // Use MAX as a "completion processed" marker.
+                    if in_deg[i] == 0 {
+                        for &s in dag.successors(TaskId(i as u32)) {
+                            in_deg[s.index()] -= 1;
+                        }
+                        in_deg[i] = u32::MAX;
+                        remaining -= 1;
+                        progressed = true;
+                    }
+                }
+            }
+        }
+        if remaining == 0 {
+            break;
+        }
+
+        // Select the P earliest-priority ready, unfinished tasks.
+        let mut selected = Vec::with_capacity(num_cores);
+        for &t in &by_rank {
+            if selected.len() == num_cores {
+                break;
+            }
+            let i = t.index();
+            if !cursors[i].done && in_deg[i] == 0 {
+                selected.push(t);
+            }
+        }
+        assert!(!selected.is_empty(), "no runnable task but {remaining} remain");
+
+        for t in selected {
+            let i = t.index();
+            let task = comp.task(t);
+            let c = &mut cursors[i];
+            if c.op < task.trace.ops().len() {
+                if c.pre_remaining > 0 {
+                    c.pre_remaining -= 1;
+                } else {
+                    // Execute the memory reference.
+                    let op = &task.trace.ops()[c.op];
+                    misses += cache.access_ref(&op.mem) as u64;
+                    c.op += 1;
+                    c.pre_remaining = task
+                        .trace
+                        .ops()
+                        .get(c.op)
+                        .map_or(0, |o| o.pre_compute as u64);
+                    if c.op == task.trace.ops().len() && c.post_remaining == 0 {
+                        c.done = true;
+                    }
+                }
+            } else if c.post_remaining > 0 {
+                c.post_remaining -= 1;
+                if c.post_remaining == 0 {
+                    c.done = true;
+                }
+            } else {
+                c.done = true;
+            }
+        }
+    }
+    misses
+}
+
+/// The cache capacity Theorem 3.1 requires for the PDF bound: `C + P·D`
+/// expressed in lines, where `C` is the sequential cache size in lines and
+/// `D` the weighted depth of the DAG (each instruction can bring at most one
+/// new line into the cache).
+pub fn theorem31_capacity(comp: &Computation, seq_cache_lines: u64, num_cores: usize) -> u64 {
+    let dag = Dag::from_computation(comp);
+    seq_cache_lines + num_cores as u64 * dag.depth()
+}
+
+/// Closed-form Mergesort miss model of Section 3.
+///
+/// For sorting `n_items` items of `item_bytes` bytes with cache lines of
+/// `line_bytes` bytes:
+///
+/// * sequential with cache `C`:  `M₁ ≈ (N/B) · log₂(N_bytes / C)`
+/// * PDF with shared cache `C_P`: `M_pdf ≈ (N/B) · log₂(N_bytes / C_P)`
+/// * WS on `P` cores:            `M_ws ≈ M_pdf + (N/B) · log₂ P`
+///
+/// (Counts are clamped at the compulsory-miss floor `N/B`.)
+#[derive(Clone, Copy, Debug)]
+pub struct MergesortModel {
+    /// Number of items to sort.
+    pub n_items: u64,
+    /// Bytes per item.
+    pub item_bytes: u64,
+    /// Cache line size in bytes.
+    pub line_bytes: u64,
+}
+
+impl MergesortModel {
+    /// Items per cache line (`B` in the paper's formulas).
+    pub fn items_per_line(&self) -> f64 {
+        self.line_bytes as f64 / self.item_bytes as f64
+    }
+
+    /// Total bytes sorted.
+    pub fn total_bytes(&self) -> u64 {
+        self.n_items * self.item_bytes
+    }
+
+    fn line_fetches(&self) -> f64 {
+        self.n_items as f64 / self.items_per_line()
+    }
+
+    /// `M₁` / `M_pdf` for an (ideal) cache of `cache_bytes` bytes.
+    pub fn misses_with_cache(&self, cache_bytes: u64) -> f64 {
+        let levels = (self.total_bytes() as f64 / cache_bytes as f64).log2().max(1.0);
+        self.line_fetches() * levels
+    }
+
+    /// `M_ws` for `num_cores` cores sharing `cache_bytes` bytes.
+    pub fn ws_misses(&self, cache_bytes: u64, num_cores: usize) -> f64 {
+        self.misses_with_cache(cache_bytes) + self.line_fetches() * (num_cores as f64).log2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_dag::synth::{random_computation, SynthParams};
+
+    #[test]
+    fn sequential_misses_at_least_footprint() {
+        let comp = random_computation(11, &SynthParams::default());
+        let m = sequential_misses(&comp, 1 << 20);
+        // With a huge cache, misses equal the number of distinct lines (cold
+        // misses only); with a 1-line cache they equal... at least that.
+        let m_small = sequential_misses(&comp, 1);
+        assert!(m_small >= m);
+        assert!(m > 0);
+    }
+
+    #[test]
+    fn pdf_parallel_misses_bounded_by_sequential_theorem31() {
+        // Theorem 3.1: with shared capacity >= C + P*D, PDF incurs at most M1
+        // misses (M1 measured with capacity C).
+        let params = SynthParams {
+            max_depth: 4,
+            max_strand_work: 20,
+            max_strand_refs: 16,
+            num_regions: 3,
+            region_bytes: 4 * 1024,
+            ..SynthParams::default()
+        };
+        for seed in 0..8 {
+            let comp = random_computation(seed, &params);
+            let c_lines = 16u64;
+            let m1 = sequential_misses(&comp, c_lines);
+            for p in [2usize, 4] {
+                let cp_lines = theorem31_capacity(&comp, c_lines, p);
+                let mp = pdf_ideal_misses(&comp, p, cp_lines);
+                assert!(
+                    mp <= m1,
+                    "seed {seed}, P={p}: PDF misses {mp} exceed sequential {m1}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pdf_single_core_equals_sequential() {
+        let comp = random_computation(5, &SynthParams::default());
+        for lines in [4u64, 64, 1024] {
+            assert_eq!(
+                pdf_ideal_misses(&comp, 1, lines),
+                sequential_misses(&comp, lines),
+                "cache of {lines} lines"
+            );
+        }
+    }
+
+    #[test]
+    fn mergesort_model_monotonic_in_cache_size() {
+        let m = MergesortModel { n_items: 32 << 20, item_bytes: 4, line_bytes: 128 };
+        let small = m.misses_with_cache(1 << 20);
+        let large = m.misses_with_cache(32 << 20);
+        assert!(small > large);
+        // WS pays an extra (N/B) log2 P misses.
+        let pdf = m.misses_with_cache(8 << 20);
+        let ws = m.ws_misses(8 << 20, 8);
+        let extra = ws - pdf;
+        let expect = m.line_fetches() * 3.0;
+        assert!((extra - expect).abs() / expect < 1e-9);
+    }
+
+    #[test]
+    fn mergesort_model_basics() {
+        let m = MergesortModel { n_items: 1 << 20, item_bytes: 4, line_bytes: 128 };
+        assert_eq!(m.items_per_line(), 32.0);
+        assert_eq!(m.total_bytes(), 4 << 20);
+        assert!(m.misses_with_cache(4 << 20) >= m.line_fetches());
+    }
+}

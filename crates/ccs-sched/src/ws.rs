@@ -1,0 +1,240 @@
+//! Work Stealing (WS) scheduling (Section 3, [10]).
+//!
+//! WS maintains a double-ended work queue per core.  When a task forks new
+//! work, the new tasks are placed on the *top* of the forking core's deque.
+//! When a core finishes a task it pops from the top of its own deque; if the
+//! deque is empty it scans the other cores and steals from the *bottom* of
+//! the first non-empty deque it finds.  WS gives excellent locality *within*
+//! a core (the tasks in one deque are related), but different cores tend to
+//! work on disjoint parts of the DAG and therefore have disjoint working
+//! sets — which is exactly what constructive cache sharing wants to avoid.
+
+use std::collections::VecDeque;
+
+use ccs_dag::{Dag, TaskId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::scheduler::Scheduler;
+
+/// Victim-selection policy for stealing.
+#[derive(Debug)]
+enum VictimPolicy {
+    /// Scan cores round-robin starting after the thief (deterministic — the
+    /// default, so simulation results are exactly reproducible).
+    RoundRobin,
+    /// Pick random victims, as classical WS implementations do.
+    Random(SmallRng),
+}
+
+/// The Work Stealing scheduler.
+#[derive(Debug)]
+pub struct WorkStealing {
+    /// One deque per core.  Front = top (local LIFO end), back = bottom
+    /// (steal end).
+    deques: Vec<VecDeque<TaskId>>,
+    victim_policy: VictimPolicy,
+    ready: usize,
+    /// Number of successful steals (for diagnostics / tests).
+    steals: u64,
+}
+
+impl Default for WorkStealing {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WorkStealing {
+    /// WS with deterministic round-robin victim selection.
+    pub fn new() -> Self {
+        WorkStealing {
+            deques: Vec::new(),
+            victim_policy: VictimPolicy::RoundRobin,
+            ready: 0,
+            steals: 0,
+        }
+    }
+
+    /// WS with seeded random victim selection.
+    pub fn with_random_victims(seed: u64) -> Self {
+        WorkStealing {
+            deques: Vec::new(),
+            victim_policy: VictimPolicy::Random(SmallRng::seed_from_u64(seed)),
+            ready: 0,
+            steals: 0,
+        }
+    }
+
+    /// Number of successful steals so far.
+    pub fn steal_count(&self) -> u64 {
+        self.steals
+    }
+
+    fn steal(&mut self, thief: usize) -> Option<TaskId> {
+        let p = self.deques.len();
+        if p <= 1 {
+            return None;
+        }
+        let start = match &mut self.victim_policy {
+            VictimPolicy::RoundRobin => (thief + 1) % p,
+            VictimPolicy::Random(rng) => rng.gen_range(0..p),
+        };
+        for i in 0..p {
+            let victim = (start + i) % p;
+            if victim == thief {
+                continue;
+            }
+            if let Some(task) = self.deques[victim].pop_back() {
+                self.steals += 1;
+                return Some(task);
+            }
+        }
+        None
+    }
+}
+
+impl Scheduler for WorkStealing {
+    fn init(&mut self, _dag: &Dag, num_cores: usize) {
+        self.deques = vec![VecDeque::new(); num_cores.max(1)];
+        self.ready = 0;
+        self.steals = 0;
+    }
+
+    fn task_enabled(&mut self, task: TaskId, enabling_core: Option<usize>) {
+        // Tasks ready at the start of the computation (DAG roots) are placed
+        // on core 0's deque, matching a program whose initial thread starts on
+        // core 0 and forks from there.
+        let core = enabling_core.unwrap_or(0).min(self.deques.len() - 1);
+        // "When forking a new thread, this new thread is placed on the top of
+        // the local queue."  The executor enables simultaneously-ready
+        // siblings in reverse sequential order, so after all the pushes the
+        // *earliest-sequential* sibling sits on top: the forking core then
+        // dives into the first child (exactly what a work-first fork-join
+        // runtime does) while thieves steal the later children — whole
+        // disjoint sub-trees — from the bottom.  On one core this makes WS
+        // execute the sequential order.
+        self.deques[core].push_front(task);
+        self.ready += 1;
+    }
+
+    fn next_task(&mut self, core: usize) -> Option<TaskId> {
+        let core = core.min(self.deques.len().saturating_sub(1));
+        let task = self.deques[core].pop_front().or_else(|| self.steal(core));
+        if task.is_some() {
+            self.ready -= 1;
+        }
+        task
+    }
+
+    fn ready_count(&self) -> usize {
+        self.ready
+    }
+
+    fn name(&self) -> &'static str {
+        "ws"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_dag::{ComputationBuilder, GroupMeta, TaskTrace};
+
+    fn fan_out(width: u32) -> Dag {
+        let mut b = ComputationBuilder::new(128);
+        let leaves: Vec<_> = (0..width)
+            .map(|_| b.strand(TaskTrace::compute_only(1)))
+            .collect();
+        let root = b.par(leaves, GroupMeta::default());
+        let comp = b.finish(root);
+        Dag::from_computation(&comp)
+    }
+
+    #[test]
+    fn local_pop_is_lifo() {
+        let dag = fan_out(4);
+        let mut ws = WorkStealing::new();
+        ws.init(&dag, 2);
+        // Core 0 forks T0..T3; the executor enables them in reverse sequential
+        // order (T3 first), so after the pushes T0 is on top and the core
+        // works on the earliest child first.
+        for t in (0..4).rev() {
+            ws.task_enabled(TaskId(t), Some(0));
+        }
+        assert_eq!(ws.next_task(0), Some(TaskId(0)));
+        assert_eq!(ws.next_task(0), Some(TaskId(1)));
+    }
+
+    #[test]
+    fn steal_takes_from_bottom() {
+        let dag = fan_out(4);
+        let mut ws = WorkStealing::new();
+        ws.init(&dag, 2);
+        for t in (0..4).rev() {
+            ws.task_enabled(TaskId(t), Some(0));
+        }
+        // Core 1 has an empty deque; it steals the *bottom* (latest-spawned)
+        // task of core 0 — the biggest chunk of remaining work.
+        assert_eq!(ws.next_task(1), Some(TaskId(3)));
+        assert_eq!(ws.steal_count(), 1);
+        // Core 0 still pops its top.
+        assert_eq!(ws.next_task(0), Some(TaskId(0)));
+    }
+
+    #[test]
+    fn exhausted_deques_return_none() {
+        let dag = fan_out(2);
+        let mut ws = WorkStealing::new();
+        ws.init(&dag, 3);
+        ws.task_enabled(TaskId(0), Some(1));
+        assert!(ws.next_task(2).is_some());
+        assert!(ws.next_task(2).is_none());
+        assert_eq!(ws.ready_count(), 0);
+    }
+
+    #[test]
+    fn roots_go_to_core_zero() {
+        let dag = fan_out(2);
+        let mut ws = WorkStealing::new();
+        ws.init(&dag, 4);
+        ws.task_enabled(TaskId(0), None);
+        ws.task_enabled(TaskId(1), None);
+        // Core 3 must steal them (they live on core 0's deque).
+        let before = ws.steal_count();
+        assert!(ws.next_task(3).is_some());
+        assert_eq!(ws.steal_count(), before + 1);
+    }
+
+    #[test]
+    fn random_victim_policy_is_seeded_and_deterministic() {
+        let dag = fan_out(8);
+        let run = |seed| {
+            let mut ws = WorkStealing::with_random_victims(seed);
+            ws.init(&dag, 4);
+            for t in 0..8 {
+                ws.task_enabled(TaskId(t), Some((t % 4) as usize));
+            }
+            let mut order = Vec::new();
+            for core in [2usize, 3, 1, 0, 2, 3, 1, 0] {
+                order.push(ws.next_task(core).unwrap());
+            }
+            order
+        };
+        assert_eq!(run(7), run(7), "same seed, same schedule");
+    }
+
+    #[test]
+    fn single_core_never_steals() {
+        let dag = fan_out(4);
+        let mut ws = WorkStealing::new();
+        ws.init(&dag, 1);
+        for t in 0..4 {
+            ws.task_enabled(TaskId(t), Some(0));
+        }
+        for _ in 0..4 {
+            assert!(ws.next_task(0).is_some());
+        }
+        assert_eq!(ws.steal_count(), 0);
+    }
+}

@@ -1,0 +1,267 @@
+//! Area / technology model (Section 4.1).
+//!
+//! The paper derives its CMP configurations from an area budget: a fixed
+//! 240 mm² die, 75 % of which goes to cores + L2 + interconnect, 15 % of that
+//! to the interconnect, leaving ≈ 150 mm² for cores and cache.  Core area is
+//! taken from the IBM PowerPC RS64 scaled by ITRS logic area factors, cache
+//! density from ITRS SRAM cell area factors, and L2 latency from a 2-D mesh
+//! of Cacti-optimised 1 MB / 2 MB banks.
+//!
+//! Cacti 3.2 and the ITRS 2005 tables are not redistributable, so this module
+//! uses per-technology constants *calibrated to reproduce the published
+//! Table 2 and Table 3 design points* (see the tests, which check every
+//! published point), plus the bank/mesh latency model described in the text:
+//!
+//! * banks are 2 MB (9-cycle access) unless the cache is smaller than 2 MB, in
+//!   which case a single 1 MB-class bank (7-cycle access) is used;
+//! * banks are arranged in an `r × c` mesh with 1-cycle hops; the hit time is
+//!   the round trip to the furthest bank plus the bank access time;
+//! * associativity is chosen so the number of sets is the largest power of two
+//!   that keeps the associativity in `[16, 31]`.
+
+use ccs_cache::CacheConfig;
+
+/// Process technologies considered by the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Technology {
+    /// 90 nm.
+    Nm90,
+    /// 65 nm.
+    Nm65,
+    /// 45 nm.
+    Nm45,
+    /// 32 nm.
+    Nm32,
+}
+
+impl Technology {
+    /// Feature size in nanometres.
+    pub fn nanometers(self) -> u32 {
+        match self {
+            Technology::Nm90 => 90,
+            Technology::Nm65 => 65,
+            Technology::Nm45 => 45,
+            Technology::Nm32 => 32,
+        }
+    }
+
+    /// Area of one in-order core (including its private L1) in mm²,
+    /// calibrated from the PowerPC RS64-derived numbers behind Tables 2–3.
+    pub fn core_area_mm2(self) -> f64 {
+        match self {
+            Technology::Nm90 => 25.0,
+            Technology::Nm65 => 12.5,
+            Technology::Nm45 => 5.65,
+            Technology::Nm32 => 2.8,
+        }
+    }
+
+    /// SRAM area per megabyte of L2 cache in mm²/MB (ITRS-2005-derived,
+    /// calibrated to the published tables).
+    pub fn sram_mm2_per_mb(self) -> f64 {
+        match self {
+            Technology::Nm90 => 12.5,
+            Technology::Nm65 => 6.25,
+            Technology::Nm45 => 3.0,
+            Technology::Nm32 => 1.5,
+        }
+    }
+}
+
+impl std::fmt::Display for Technology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}nm", self.nanometers())
+    }
+}
+
+/// Total die area in mm² (Section 4.1).
+pub const DIE_AREA_MM2: f64 = 240.0;
+
+/// Area available for cores + L2 after removing the system-on-chip share
+/// (25 %) and the interconnect share (15 % of the remainder): ≈ 150 mm².
+pub fn core_cache_area_mm2() -> f64 {
+    DIE_AREA_MM2 * 0.75 * 0.85
+}
+
+/// The L2 capacity (in whole megabytes) available to a CMP with `cores` cores
+/// in `tech`, under the proportional area model.  Returns `None` when the
+/// cores alone exceed the area budget or no cache would fit.
+pub fn l2_capacity_mb(tech: Technology, cores: u32) -> Option<u64> {
+    let area = core_cache_area_mm2() - cores as f64 * tech.core_area_mm2();
+    if area <= 0.0 {
+        return None;
+    }
+    let mb = (area / tech.sram_mm2_per_mb()).round() as u64;
+    if mb == 0 {
+        None
+    } else {
+        Some(mb)
+    }
+}
+
+/// Bank access latency in cycles for the bank size used at `capacity_mb`
+/// (Section 4.1: 1 MB banks take 7 cycles, 2 MB banks 9 cycles).
+fn bank_latency(capacity_mb: u64) -> (u64, u64) {
+    if capacity_mb < 2 {
+        (1, 7) // (bank size MB, access cycles)
+    } else {
+        (2, 9)
+    }
+}
+
+/// L2 hit latency in cycles for a cache of `capacity_mb` megabytes: round trip
+/// across the bank mesh to the furthest bank plus the bank access time.
+pub fn l2_hit_latency(capacity_mb: u64) -> u64 {
+    let (bank_mb, bank_cycles) = bank_latency(capacity_mb);
+    let banks = capacity_mb.div_ceil(bank_mb).max(1);
+    let rows = (banks as f64).sqrt().floor().max(1.0) as u64;
+    let cols = banks.div_ceil(rows);
+    let hops = (rows - 1) + (cols - 1);
+    2 * hops + bank_cycles
+}
+
+/// Associativity for a cache of `capacity` bytes with `line_size`-byte lines:
+/// the number of sets is the largest power of two that keeps the
+/// associativity at least 16 (capped at the number of lines for tiny caches).
+pub fn l2_associativity(capacity: u64, line_size: u64) -> u32 {
+    let lines = (capacity / line_size).max(1);
+    let mut sets: u64 = 1;
+    while lines % (sets * 2) == 0 && lines / (sets * 2) >= 16 {
+        sets *= 2;
+    }
+    (lines / sets).min(lines) as u32
+}
+
+/// Full derived L2 configuration for a cache of `capacity_mb` megabytes.
+pub fn l2_config(capacity_mb: u64, line_size: u64) -> CacheConfig {
+    let capacity = capacity_mb * 1024 * 1024;
+    CacheConfig::new(
+        capacity,
+        line_size,
+        l2_associativity(capacity, line_size),
+        l2_hit_latency(capacity_mb),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Published Table 2 (default configurations): cores, technology,
+    /// L2 MB, associativity, hit time.
+    const TABLE2: &[(u32, Technology, u64, u32, u64)] = &[
+        (1, Technology::Nm90, 10, 20, 15),
+        (2, Technology::Nm90, 8, 16, 13),
+        (4, Technology::Nm90, 4, 16, 11),
+        (8, Technology::Nm65, 8, 16, 13),
+        (16, Technology::Nm45, 20, 20, 19),
+        (32, Technology::Nm32, 40, 20, 23),
+    ];
+
+    /// Published Table 3 (45 nm single-technology configurations).
+    const TABLE3: &[(u32, u64, u32, u64)] = &[
+        (1, 48, 24, 25),
+        (2, 44, 22, 25),
+        (4, 40, 20, 23),
+        (6, 36, 18, 23),
+        (8, 32, 16, 21),
+        (10, 32, 16, 21),
+        (12, 28, 28, 21),
+        (14, 24, 24, 19),
+        (16, 20, 20, 19),
+        (18, 16, 16, 17),
+        (20, 12, 24, 15),
+        (22, 9, 18, 15),
+        (24, 5, 20, 13),
+        (26, 1, 16, 7),
+    ];
+
+    #[test]
+    fn area_budget_matches_paper() {
+        assert!((core_cache_area_mm2() - 153.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn capacity_model_reproduces_table2_within_tolerance() {
+        for &(cores, tech, mb, _, _) in TABLE2 {
+            let model = l2_capacity_mb(tech, cores).unwrap();
+            let err = (model as f64 - mb as f64).abs();
+            assert!(
+                err <= (mb as f64 * 0.25).max(2.0),
+                "{tech} {cores} cores: model {model} MB vs published {mb} MB"
+            );
+        }
+    }
+
+    #[test]
+    fn capacity_model_reproduces_table3_within_tolerance() {
+        // The published Table 3 is not exactly linear in the core count (the
+        // authors round to bankable sizes); the proportional-area model lands
+        // within 4 MB of every published point and within 1 MB from 14 cores
+        // up.  The simulator itself uses the published values verbatim
+        // (`CmpConfig::single_tech_45nm`); the model is for extrapolation.
+        for &(cores, mb, _, _) in TABLE3 {
+            let model = l2_capacity_mb(Technology::Nm45, cores).unwrap();
+            assert!(
+                (model as i64 - mb as i64).abs() <= 4,
+                "45nm {cores} cores: model {model} MB vs published {mb} MB"
+            );
+            if cores >= 14 {
+                assert!(
+                    (model as i64 - mb as i64).abs() <= 1,
+                    "45nm {cores} cores: model {model} MB vs published {mb} MB"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn latency_model_reproduces_every_published_hit_time() {
+        for &(_, _, mb, _, hit) in TABLE2 {
+            assert_eq!(l2_hit_latency(mb), hit, "{mb} MB");
+        }
+        for &(_, mb, _, hit) in TABLE3 {
+            assert_eq!(l2_hit_latency(mb), hit, "{mb} MB");
+        }
+    }
+
+    #[test]
+    fn associativity_model_reproduces_every_published_value() {
+        for &(_, _, mb, assoc, _) in TABLE2 {
+            assert_eq!(l2_associativity(mb * 1024 * 1024, 128), assoc, "{mb} MB");
+        }
+        for &(_, mb, assoc, _) in TABLE3 {
+            assert_eq!(l2_associativity(mb * 1024 * 1024, 128), assoc, "{mb} MB");
+        }
+    }
+
+    #[test]
+    fn too_many_cores_leave_no_cache() {
+        assert_eq!(l2_capacity_mb(Technology::Nm90, 7), None);
+        assert!(l2_capacity_mb(Technology::Nm45, 27).is_none());
+        assert!(l2_capacity_mb(Technology::Nm32, 32).is_some());
+    }
+
+    #[test]
+    fn derived_config_is_valid_for_all_sizes() {
+        for mb in 1..=64u64 {
+            let cfg = l2_config(mb, 128);
+            assert!(cfg.validate().is_ok(), "{mb} MB: {cfg:?}");
+            assert!(cfg.associativity >= 8);
+        }
+    }
+
+    #[test]
+    fn small_scaled_caches_get_sane_geometry() {
+        // Scaled-down experiment caches can be well under 1 MB.
+        let cfg = CacheConfig::new(64 * 1024, 128, l2_associativity(64 * 1024, 128), 7);
+        assert!(cfg.validate().is_ok());
+        assert!(cfg.associativity >= 16);
+    }
+
+    #[test]
+    fn technology_display() {
+        assert_eq!(Technology::Nm45.to_string(), "45nm");
+        assert_eq!(Technology::Nm32.nanometers(), 32);
+    }
+}

@@ -1,0 +1,258 @@
+//! CMP configurations (Tables 1–3).
+//!
+//! A [`CmpConfig`] bundles everything the simulator needs: the number of
+//! cores, the private L1 geometry, the shared L2 geometry and latency, and
+//! the off-chip memory timing.  Constructors are provided for the paper's
+//! *default* (scaling-technology, Table 2) and *single-technology* (45 nm,
+//! Table 3) design points, plus a `scaled` transform that shrinks the caches
+//! proportionally for scaled-down experiment inputs (DESIGN.md §4).
+
+use ccs_cache::{CacheConfig, MemoryConfig};
+
+use crate::area::{self, Technology};
+
+/// A complete CMP design point.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CmpConfig {
+    /// Human-readable name, e.g. `"default-8"` or `"45nm-20"`.
+    pub name: String,
+    /// Number of processing cores.
+    pub num_cores: usize,
+    /// Process technology the configuration is based on.
+    pub technology: Technology,
+    /// Private, per-core L1 cache.
+    pub l1: CacheConfig,
+    /// Shared L2 cache.
+    pub l2: CacheConfig,
+    /// Off-chip memory timing.
+    pub memory: MemoryConfig,
+}
+
+impl CmpConfig {
+    /// Build a configuration from a core count, technology and L2 capacity in
+    /// megabytes, deriving the L2 associativity and hit time from the area
+    /// model and using the Table 1 values for everything else.
+    pub fn from_l2_mb(name: impl Into<String>, technology: Technology, num_cores: usize, l2_mb: u64) -> Self {
+        CmpConfig {
+            name: name.into(),
+            num_cores,
+            technology,
+            l1: CacheConfig::paper_l1(),
+            l2: area::l2_config(l2_mb, 128),
+            memory: MemoryConfig::paper_default(),
+        }
+    }
+
+    /// The six default (scaling-technology) configurations of Table 2, for
+    /// 1, 2, 4, 8, 16 and 32 cores.
+    pub fn default_configs() -> Vec<CmpConfig> {
+        [
+            (1usize, Technology::Nm90, 10u64),
+            (2, Technology::Nm90, 8),
+            (4, Technology::Nm90, 4),
+            (8, Technology::Nm65, 8),
+            (16, Technology::Nm45, 20),
+            (32, Technology::Nm32, 40),
+        ]
+        .into_iter()
+        .map(|(cores, tech, mb)| {
+            CmpConfig::from_l2_mb(format!("default-{cores}"), tech, cores, mb)
+        })
+        .collect()
+    }
+
+    /// The default configuration with the given number of cores (1, 2, 4, 8,
+    /// 16 or 32).
+    pub fn default_with_cores(cores: usize) -> Option<CmpConfig> {
+        Self::default_configs().into_iter().find(|c| c.num_cores == cores)
+    }
+
+    /// The fourteen single-technology (45 nm) configurations of Table 3, for
+    /// 1–26 cores.
+    pub fn single_tech_45nm() -> Vec<CmpConfig> {
+        [
+            (1usize, 48u64),
+            (2, 44),
+            (4, 40),
+            (6, 36),
+            (8, 32),
+            (10, 32),
+            (12, 28),
+            (14, 24),
+            (16, 20),
+            (18, 16),
+            (20, 12),
+            (22, 9),
+            (24, 5),
+            (26, 1),
+        ]
+        .into_iter()
+        .map(|(cores, mb)| {
+            CmpConfig::from_l2_mb(format!("45nm-{cores}"), Technology::Nm45, cores, mb)
+        })
+        .collect()
+    }
+
+    /// Override the L2 hit latency (Fig. 4 sensitivity study).
+    pub fn with_l2_hit_latency(mut self, cycles: u64) -> Self {
+        self.l2.hit_latency = cycles;
+        self.name = format!("{}-l2hit{}", self.name, cycles);
+        self
+    }
+
+    /// Override the main-memory latency (Fig. 5 sensitivity study).
+    pub fn with_memory_latency(mut self, cycles: u64) -> Self {
+        self.memory.latency = cycles;
+        self.name = format!("{}-mem{}", self.name, cycles);
+        self
+    }
+
+    /// Shrink both cache capacities by `1/divisor` (latencies, line sizes and
+    /// memory timing unchanged), re-deriving the associativities for the new
+    /// capacities.  Used to run scaled-down workloads whose inputs were also
+    /// divided by `divisor`, preserving all capacity ratios (DESIGN.md §4).
+    pub fn scaled(&self, divisor: u64) -> CmpConfig {
+        assert!(divisor >= 1, "scale divisor must be at least 1");
+        if divisor == 1 {
+            return self.clone();
+        }
+        let scale_cache = |c: &CacheConfig, min_bytes: u64| {
+            let capacity = (c.capacity / divisor).max(min_bytes).max(c.line_size);
+            // Keep capacity a multiple of the line size.
+            let capacity = (capacity / c.line_size).max(1) * c.line_size;
+            let assoc = area::l2_associativity(capacity, c.line_size)
+                .min((capacity / c.line_size) as u32);
+            CacheConfig::new(capacity, c.line_size, assoc, c.hit_latency)
+        };
+        CmpConfig {
+            name: format!("{}/{}", self.name, divisor),
+            num_cores: self.num_cores,
+            technology: self.technology,
+            l1: scale_cache(&self.l1, 4 * 1024),
+            l2: scale_cache(&self.l2, 16 * 1024),
+            memory: self.memory,
+        }
+    }
+
+    /// Total instructions-per-cycle capability (1 per core — Table 1's
+    /// in-order scalar cores).
+    pub fn peak_ipc(&self) -> u64 {
+        self.num_cores as u64
+    }
+}
+
+impl std::fmt::Display for CmpConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ({} cores, {} KB L2, {}-way, {}-cycle hit, {})",
+            self.name,
+            self.num_cores,
+            self.l2.capacity / 1024,
+            self.l2.associativity,
+            self.l2.hit_latency,
+            self.technology,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_configs_match_table2() {
+        let configs = CmpConfig::default_configs();
+        assert_eq!(configs.len(), 6);
+        let expected: &[(usize, u64, u32, u64)] = &[
+            (1, 10, 20, 15),
+            (2, 8, 16, 13),
+            (4, 4, 16, 11),
+            (8, 8, 16, 13),
+            (16, 20, 20, 19),
+            (32, 40, 20, 23),
+        ];
+        for (cfg, &(cores, mb, assoc, hit)) in configs.iter().zip(expected) {
+            assert_eq!(cfg.num_cores, cores);
+            assert_eq!(cfg.l2.capacity, mb * 1024 * 1024);
+            assert_eq!(cfg.l2.associativity, assoc);
+            assert_eq!(cfg.l2.hit_latency, hit);
+            assert_eq!(cfg.l1, CacheConfig::paper_l1());
+            assert_eq!(cfg.memory, MemoryConfig::paper_default());
+        }
+    }
+
+    #[test]
+    fn single_tech_matches_table3() {
+        let configs = CmpConfig::single_tech_45nm();
+        assert_eq!(configs.len(), 14);
+        let expected: &[(usize, u64, u32, u64)] = &[
+            (1, 48, 24, 25),
+            (2, 44, 22, 25),
+            (4, 40, 20, 23),
+            (6, 36, 18, 23),
+            (8, 32, 16, 21),
+            (10, 32, 16, 21),
+            (12, 28, 28, 21),
+            (14, 24, 24, 19),
+            (16, 20, 20, 19),
+            (18, 16, 16, 17),
+            (20, 12, 24, 15),
+            (22, 9, 18, 15),
+            (24, 5, 20, 13),
+            (26, 1, 16, 7),
+        ];
+        for (cfg, &(cores, mb, assoc, hit)) in configs.iter().zip(expected) {
+            assert_eq!(cfg.num_cores, cores, "{}", cfg.name);
+            assert_eq!(cfg.l2.capacity, mb * 1024 * 1024, "{}", cfg.name);
+            assert_eq!(cfg.l2.associativity, assoc, "{}", cfg.name);
+            assert_eq!(cfg.l2.hit_latency, hit, "{}", cfg.name);
+        }
+    }
+
+    #[test]
+    fn default_with_cores_lookup() {
+        assert_eq!(CmpConfig::default_with_cores(16).unwrap().num_cores, 16);
+        assert!(CmpConfig::default_with_cores(7).is_none());
+    }
+
+    #[test]
+    fn sensitivity_overrides() {
+        let base = CmpConfig::default_with_cores(16).unwrap();
+        let fast = base.clone().with_l2_hit_latency(7);
+        assert_eq!(fast.l2.hit_latency, 7);
+        let slow_mem = base.clone().with_memory_latency(1100);
+        assert_eq!(slow_mem.memory.latency, 1100);
+        assert_eq!(base.l2.hit_latency, 19, "original untouched");
+    }
+
+    #[test]
+    fn scaling_preserves_ratios_and_validity() {
+        let base = CmpConfig::default_with_cores(32).unwrap();
+        let scaled = base.scaled(16);
+        assert_eq!(scaled.l2.capacity, base.l2.capacity / 16);
+        assert_eq!(scaled.l1.capacity, base.l1.capacity / 16);
+        assert_eq!(scaled.l2.hit_latency, base.l2.hit_latency);
+        assert!(scaled.l1.validate().is_ok());
+        assert!(scaled.l2.validate().is_ok());
+        // Scaling by 1 is the identity.
+        assert_eq!(base.scaled(1), base);
+    }
+
+    #[test]
+    fn scaling_never_goes_below_minimums() {
+        let tiny = CmpConfig::single_tech_45nm().pop().unwrap(); // 26 cores, 1 MB
+        let scaled = tiny.scaled(256);
+        assert!(scaled.l2.capacity >= 16 * 1024);
+        assert!(scaled.l1.capacity >= 4 * 1024);
+        assert!(scaled.l2.validate().is_ok());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let cfg = CmpConfig::default_with_cores(8).unwrap();
+        let s = cfg.to_string();
+        assert!(s.contains("8 cores"));
+        assert!(s.contains("65nm"));
+    }
+}

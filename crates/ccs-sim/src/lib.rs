@@ -1,0 +1,53 @@
+//! Trace-driven CMP simulator for the CCS (constructive cache sharing)
+//! reproduction of Chen et al., SPAA 2007.
+//!
+//! The crate provides:
+//!
+//! * [`CmpConfig`] — complete CMP design points, with constructors for the
+//!   paper's default (Table 2) and single-technology 45 nm (Table 3)
+//!   configurations plus the Fig. 4 / Fig. 5 sensitivity overrides;
+//! * [`area`] — the ITRS-style area/latency model that derives those design
+//!   points from a 240 mm² die budget;
+//! * [`simulate`] / [`simulate_with`] — the cycle-level, trace-driven CMP
+//!   simulator (in-order cores, private L1s, shared L2, bounded off-chip
+//!   bandwidth) driven by any [`ccs_sched::Scheduler`];
+//! * [`SimResult`] — execution time, L2 misses per 1000 instructions,
+//!   bandwidth utilisation and the other metrics the paper reports.
+//!
+//! # Example
+//!
+//! ```
+//! use ccs_dag::{AddressSpace, ComputationBuilder, GroupMeta};
+//! use ccs_sched::SchedulerKind;
+//! use ccs_sim::{simulate, CmpConfig};
+//!
+//! // Two tasks streaming over the same 64 KB array, then a join.
+//! let mut space = AddressSpace::new();
+//! let data = space.alloc(64 * 1024);
+//! let mut b = ComputationBuilder::new(128);
+//! let t1 = b.strand_with(|t| { t.read_range(data.base, data.bytes, 2); });
+//! let t2 = b.strand_with(|t| { t.read_range(data.base, data.bytes, 2); });
+//! let par = b.par(vec![t1, t2], GroupMeta::labeled("scan"));
+//! let join = b.strand_with(|t| { t.compute(10); });
+//! let root = b.seq(vec![par, join], GroupMeta::labeled("root"));
+//! let comp = b.finish(root);
+//!
+//! let config = CmpConfig::default_with_cores(2).unwrap();
+//! let pdf = simulate(&comp, &config, SchedulerKind::Pdf);
+//! let ws = simulate(&comp, &config, SchedulerKind::WorkStealing);
+//! assert_eq!(pdf.instructions, ws.instructions);
+//! assert!(pdf.l2.misses <= ws.l2.misses);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod area;
+pub mod config;
+pub mod machine;
+pub mod metrics;
+
+pub use area::Technology;
+pub use config::CmpConfig;
+pub use machine::{simulate, simulate_with};
+pub use metrics::SimResult;

@@ -1,0 +1,466 @@
+//! The trace-driven, cycle-level CMP simulator (Section 4.1).
+//!
+//! The machine model follows Table 1: single-threaded in-order scalar cores
+//! (one instruction per cycle), private L1 caches, a shared L2, and an
+//! off-chip memory with fixed latency and bounded bandwidth.  Execution is
+//! trace-driven: every task carries its memory-reference trace, and the
+//! simulator interleaves the per-core traces cycle-accurately while a
+//! [`Scheduler`] decides which task each core runs next — exactly the
+//! methodology of the paper ("executing the DAG on the simulated CMP in
+//! accordance with the scheduler").
+//!
+//! Timing model per memory reference:
+//!
+//! 1. the preceding compute instructions retire at 1 instruction/cycle;
+//! 2. the L1 is probed (its hit latency is charged always; an L1 hit
+//!    completes the reference);
+//! 3. on an L1 miss the shared L2 is probed after the L2 hit latency;
+//! 4. on an L2 miss a request is issued to the memory controller, which
+//!    accepts at most one request per `service_interval` cycles (queueing
+//!    delay) and returns data `latency` cycles after accepting it.
+//!
+//! Simplifications (documented in DESIGN.md): misses allocate immediately
+//! (no MSHR modelling), the L2 is not strictly inclusive of the L1s, and
+//! coherence is modelled as write-invalidation of remote L1 copies with no
+//! timing cost.  These choices do not affect the L2 miss counts that drive
+//! the paper's results.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use ccs_cache::{MainMemory, SetAssocCache};
+use ccs_dag::{AccessKind, Computation, Dag, TaskId};
+use ccs_sched::{Scheduler, SchedulerKind};
+
+use crate::config::CmpConfig;
+use crate::metrics::SimResult;
+
+/// What a core is currently doing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    /// Ready to start (or continue) the current op of the current task.
+    NextOp,
+    /// An L1 miss is probing the shared L2; resolves at the core's `time`.
+    L2Probe { line: u64, is_write: bool },
+    /// An L2 miss is waiting for main memory; data arrives at the core's
+    /// `time`.
+    MemFill { line: u64, is_write: bool },
+}
+
+#[derive(Clone, Debug)]
+struct Core {
+    task: Option<TaskId>,
+    /// Index of the current trace op.
+    op_idx: usize,
+    /// Index of the current line within the current op (for references that
+    /// straddle cache lines).
+    line_idx: u64,
+    phase: Phase,
+    /// The next simulation time this core needs attention.
+    time: u64,
+    /// When the current task was dispatched.
+    task_started: u64,
+    busy: u64,
+}
+
+impl Core {
+    fn new() -> Self {
+        Core {
+            task: None,
+            op_idx: 0,
+            line_idx: 0,
+            phase: Phase::NextOp,
+            time: 0,
+            task_started: 0,
+            busy: 0,
+        }
+    }
+}
+
+/// Run `comp` on the CMP described by `config` under the given scheduler.
+pub fn simulate(comp: &Computation, config: &CmpConfig, kind: SchedulerKind) -> SimResult {
+    let dag = Dag::from_computation(comp);
+    let mut sched = kind.build();
+    simulate_with(comp, &dag, config, sched.as_mut())
+}
+
+/// Run `comp` (with its pre-built `dag`) under an externally constructed
+/// scheduler.
+pub fn simulate_with(
+    comp: &Computation,
+    dag: &Dag,
+    config: &CmpConfig,
+    sched: &mut dyn Scheduler,
+) -> SimResult {
+    let p = config.num_cores;
+    assert!(p > 0, "need at least one core");
+    let n = comp.num_tasks();
+    let line_size = config.l2.line_size;
+    assert_eq!(
+        config.l1.line_size, line_size,
+        "L1 and L2 must use the same line size"
+    );
+
+    let mut l1s: Vec<SetAssocCache> = (0..p).map(|_| SetAssocCache::new(config.l1)).collect();
+    let mut l2 = SetAssocCache::new(config.l2);
+    let mut memory = MainMemory::new(config.memory);
+
+    let mut cores: Vec<Core> = (0..p).map(|_| Core::new()).collect();
+    let mut in_deg: Vec<u32> = (0..n as u32).map(|t| dag.in_degree(TaskId(t)) as u32).collect();
+    let mut completed = 0usize;
+
+    sched.init(dag, p);
+    // Roots and newly-ready siblings are enabled in *reverse* sequential
+    // order so deque-based schedulers, which push each enabled task on top,
+    // end up with the earliest-sequential task on top (the order a work-first
+    // fork-join runtime reaches them).
+    let mut roots: Vec<TaskId> = dag.sources();
+    roots.sort_by_key(|t| std::cmp::Reverse(dag.seq_rank(*t)));
+    for r in roots {
+        sched.task_enabled(r, None);
+    }
+
+    // Cores with work in flight, keyed by (time, core id) for deterministic
+    // ordering.  Idle cores are tracked separately and woken on completions.
+    let mut active: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    let mut idle: Vec<usize> = Vec::new();
+
+    // Dispatch as much ready work as possible at `now`, preferring `first`.
+    fn dispatch(
+        now: u64,
+        first: Option<usize>,
+        sched: &mut dyn Scheduler,
+        cores: &mut [Core],
+        idle: &mut Vec<usize>,
+        active: &mut BinaryHeap<Reverse<(u64, usize)>>,
+    ) {
+        idle.sort_unstable();
+        if let Some(f) = first {
+            if let Some(pos) = idle.iter().position(|&c| c == f) {
+                idle.remove(pos);
+                idle.insert(0, f);
+            }
+        }
+        let mut i = 0;
+        while i < idle.len() {
+            if sched.ready_count() == 0 {
+                break;
+            }
+            let core_id = idle[i];
+            match sched.next_task(core_id) {
+                Some(task) => {
+                    idle.remove(i);
+                    let core = &mut cores[core_id];
+                    core.task = Some(task);
+                    core.op_idx = 0;
+                    core.line_idx = 0;
+                    core.phase = Phase::NextOp;
+                    core.time = now;
+                    core.task_started = now;
+                    active.push(Reverse((now, core_id)));
+                }
+                None => {
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    // Initial dispatch at time 0.
+    idle.extend(0..p);
+    dispatch(0, None, sched, &mut cores, &mut idle, &mut active);
+
+    let mut makespan = 0u64;
+
+    while completed < n {
+        let Reverse((now, core_id)) = active
+            .pop()
+            .expect("simulator deadlock: tasks remain but no core is active");
+        makespan = makespan.max(now);
+        let core = &mut cores[core_id];
+        debug_assert_eq!(core.time, now);
+        let task_id = core.task.expect("active core without a task");
+        let trace = &comp.task(task_id).trace;
+
+        match core.phase {
+            Phase::NextOp => {
+                if core.op_idx < trace.ops().len() {
+                    let op = &trace.ops()[core.op_idx];
+                    if core.line_idx == 0 {
+                        // Charge the compute preceding this reference once.
+                        core.time += op.pre_compute as u64;
+                    }
+                    let first_line = op.mem.addr & !(line_size - 1);
+                    let last_line =
+                        (op.mem.addr + op.mem.size.max(1) as u64 - 1) & !(line_size - 1);
+                    let num_lines = (last_line - first_line) / line_size + 1;
+                    let line = first_line + core.line_idx * line_size;
+                    let is_write = op.mem.kind.is_write();
+                    // L1 probe (always pays the L1 hit latency).
+                    core.time += config.l1.hit_latency;
+                    let l1_hit = l1s[core_id].access_line(line, op.mem.kind).hit;
+                    if is_write {
+                        // Write-invalidate the line in every other L1.
+                        for (other, l1) in l1s.iter_mut().enumerate() {
+                            if other != core_id {
+                                l1.invalidate_line(line);
+                            }
+                        }
+                    }
+                    if l1_hit {
+                        core.line_idx += 1;
+                        if core.line_idx == num_lines {
+                            core.line_idx = 0;
+                            core.op_idx += 1;
+                        }
+                        // stay in NextOp
+                    } else {
+                        core.phase = Phase::L2Probe { line, is_write };
+                        core.time += config.l2.hit_latency;
+                    }
+                    active.push(Reverse((core.time, core_id)));
+                } else {
+                    // Task body finished: trailing compute, then completion.
+                    core.time += trace.post_compute();
+                    let finish = core.time;
+                    makespan = makespan.max(finish);
+                    core.busy += finish - core.task_started;
+                    core.task = None;
+                    completed += 1;
+                    // Enable newly ready successors in reverse sequential
+                    // order (see the root-enabling comment above).
+                    let mut newly: Vec<TaskId> = Vec::new();
+                    for &s in dag.successors(task_id) {
+                        in_deg[s.index()] -= 1;
+                        if in_deg[s.index()] == 0 {
+                            newly.push(s);
+                        }
+                    }
+                    newly.sort_by_key(|t| std::cmp::Reverse(dag.seq_rank(*t)));
+                    for s in newly {
+                        sched.task_enabled(s, Some(core_id));
+                    }
+                    idle.push(core_id);
+                    dispatch(finish, Some(core_id), sched, &mut cores, &mut idle, &mut active);
+                }
+            }
+            Phase::L2Probe { line, is_write } => {
+                let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+                let hit = l2.access_line(line, kind).hit;
+                if hit {
+                    l1s[core_id].fill_line(line, is_write);
+                    core.advance_line(trace, line_size);
+                    core.phase = Phase::NextOp;
+                    active.push(Reverse((core.time, core_id)));
+                } else {
+                    let done = memory.request(core.time);
+                    core.time = done;
+                    core.phase = Phase::MemFill { line, is_write };
+                    active.push(Reverse((core.time, core_id)));
+                }
+            }
+            Phase::MemFill { line, is_write } => {
+                // Data returned: fill the private L1 (the shared L2 was
+                // already allocated when the miss was detected).
+                l1s[core_id].fill_line(line, is_write);
+                core.advance_line(trace, line_size);
+                core.phase = Phase::NextOp;
+                active.push(Reverse((core.time, core_id)));
+            }
+        }
+    }
+
+    let mut l1_total = ccs_cache::CacheStats::default();
+    for l1 in &l1s {
+        l1_total.merge(l1.stats());
+    }
+
+    SimResult {
+        config_name: config.name.clone(),
+        scheduler: sched.name().to_string(),
+        num_cores: p,
+        cycles: makespan,
+        instructions: comp.total_work(),
+        l1: l1_total,
+        l2: *l2.stats(),
+        memory: *memory.stats(),
+        bandwidth_utilization: memory.utilization(makespan),
+        core_busy: cores.iter().map(|c| c.busy).collect(),
+        tasks: n,
+        l2_line_size: line_size,
+    }
+}
+
+impl Core {
+    /// Advance past the line just serviced, moving to the next line of the
+    /// same reference or to the next op.
+    fn advance_line(&mut self, trace: &ccs_dag::TaskTrace, line_size: u64) {
+        let op = &trace.ops()[self.op_idx];
+        let first_line = op.mem.addr & !(line_size - 1);
+        let last_line = (op.mem.addr + op.mem.size.max(1) as u64 - 1) & !(line_size - 1);
+        let num_lines = (last_line - first_line) / line_size + 1;
+        self.line_idx += 1;
+        if self.line_idx >= num_lines {
+            self.line_idx = 0;
+            self.op_idx += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_dag::{ComputationBuilder, GroupMeta};
+
+    /// A computation of `width` strands each streaming over its own
+    /// `bytes_per_task`-byte array, followed by a join strand.
+    fn disjoint_streams(width: usize, bytes_per_task: u64) -> Computation {
+        let mut b = ComputationBuilder::new(128);
+        let mut space = ccs_dag::AddressSpace::new();
+        let leaves: Vec<_> = (0..width)
+            .map(|_| {
+                let region = space.alloc(bytes_per_task);
+                b.strand_with(|t| {
+                    t.read_range(region.base, region.bytes, 3);
+                })
+            })
+            .collect();
+        let par = b.par(leaves, GroupMeta::labeled("streams"));
+        let join = b.strand_with(|t| {
+            t.compute(10);
+        });
+        let root = b.seq(vec![par, join], GroupMeta::labeled("root"));
+        b.finish(root)
+    }
+
+    /// A computation where every strand re-reads the same shared array.
+    fn shared_streams(width: usize, bytes: u64) -> Computation {
+        let mut b = ComputationBuilder::new(128);
+        let mut space = ccs_dag::AddressSpace::new();
+        let region = space.alloc(bytes);
+        let leaves: Vec<_> = (0..width)
+            .map(|_| {
+                b.strand_with(|t| {
+                    t.read_range(region.base, region.bytes, 3);
+                })
+            })
+            .collect();
+        let par = b.par(leaves, GroupMeta::labeled("shared"));
+        let comp_root = b.seq(vec![par], GroupMeta::labeled("root"));
+        b.finish(comp_root)
+    }
+
+    fn tiny_config(cores: usize, l2_kb: u64) -> CmpConfig {
+        let mut cfg = CmpConfig::default_with_cores(if cores <= 1 { 1 } else { 16 }).unwrap();
+        cfg.num_cores = cores;
+        cfg.name = format!("tiny-{cores}");
+        cfg.l1 = ccs_cache::CacheConfig::new(4 * 1024, 128, 4, 1);
+        cfg.l2 = ccs_cache::CacheConfig::new(l2_kb * 1024, 128, 16, 13);
+        cfg
+    }
+
+    #[test]
+    fn single_core_executes_all_instructions() {
+        let comp = disjoint_streams(4, 16 * 1024);
+        let cfg = tiny_config(1, 64);
+        let r = simulate(&comp, &cfg, SchedulerKind::Pdf);
+        assert_eq!(r.instructions, comp.total_work());
+        assert_eq!(r.tasks, comp.num_tasks());
+        // Every cycle accounted: cycles >= instructions (1 IPC peak).
+        assert!(r.cycles >= r.instructions);
+        assert!(r.l2.misses > 0, "cold misses must reach memory");
+        assert_eq!(r.l2.misses, r.memory.requests);
+    }
+
+    #[test]
+    fn parallel_run_is_faster_but_not_superlinear() {
+        let comp = disjoint_streams(8, 8 * 1024);
+        let seq = simulate(&comp, &tiny_config(1, 512), SchedulerKind::Pdf);
+        for kind in [SchedulerKind::Pdf, SchedulerKind::WorkStealing] {
+            let par = simulate(&comp, &tiny_config(4, 512), kind);
+            let speedup = par.speedup_over(&seq);
+            assert!(speedup > 1.5, "{kind}: speedup {speedup}");
+            assert!(speedup < 4.5, "{kind}: speedup {speedup} super-linear");
+        }
+    }
+
+    #[test]
+    fn schedulers_execute_same_work_with_same_total_references() {
+        let comp = disjoint_streams(6, 4 * 1024);
+        let cfg = tiny_config(3, 128);
+        let pdf = simulate(&comp, &cfg, SchedulerKind::Pdf);
+        let ws = simulate(&comp, &cfg, SchedulerKind::WorkStealing);
+        assert_eq!(pdf.instructions, ws.instructions);
+        assert_eq!(pdf.l1.accesses, ws.l1.accesses);
+        assert_eq!(pdf.tasks, ws.tasks);
+    }
+
+    #[test]
+    fn shared_working_set_hits_in_l2() {
+        // 8 tasks re-reading one 32 KB array on a 256 KB L2: after the cold
+        // pass everything hits in L2 (or L1).
+        let comp = shared_streams(8, 32 * 1024);
+        let cfg = tiny_config(4, 256);
+        let r = simulate(&comp, &cfg, SchedulerKind::Pdf);
+        let cold = 32 * 1024 / 128;
+        assert_eq!(r.l2.misses, cold, "only compulsory misses expected");
+    }
+
+    #[test]
+    fn disjoint_working_sets_thrash_small_l2() {
+        // 8 tasks × 32 KB each = 256 KB aggregate on a 64 KB L2: running them
+        // in parallel with disjoint working sets must miss far more than the
+        // shared case.
+        let comp = disjoint_streams(8, 32 * 1024);
+        let cfg = tiny_config(4, 64);
+        let r = simulate(&comp, &cfg, SchedulerKind::WorkStealing);
+        let cold = 8 * 32 * 1024 / 128;
+        assert!(r.l2.misses >= cold, "at least all compulsory misses");
+    }
+
+    #[test]
+    fn memory_bandwidth_utilization_is_bounded() {
+        let comp = disjoint_streams(8, 16 * 1024);
+        let cfg = tiny_config(8, 64);
+        let r = simulate(&comp, &cfg, SchedulerKind::WorkStealing);
+        assert!(r.bandwidth_utilization > 0.0);
+        assert!(r.bandwidth_utilization <= 1.0);
+        assert!(r.core_utilization() <= 1.0);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let comp = disjoint_streams(5, 8 * 1024);
+        let cfg = tiny_config(3, 128);
+        for kind in [SchedulerKind::Pdf, SchedulerKind::WorkStealing] {
+            let a = simulate(&comp, &cfg, kind);
+            let b = simulate(&comp, &cfg, kind);
+            assert_eq!(a.cycles, b.cycles);
+            assert_eq!(a.l2.misses, b.l2.misses);
+        }
+    }
+
+    #[test]
+    fn zero_reference_tasks_complete() {
+        let mut b = ComputationBuilder::new(128);
+        let l = b.strand_with(|t| {
+            t.compute(100);
+        });
+        let r2 = b.nop();
+        let p = b.par(vec![l, r2], GroupMeta::default());
+        let comp = b.finish(p);
+        let cfg = tiny_config(2, 64);
+        let r = simulate(&comp, &cfg, SchedulerKind::Pdf);
+        assert_eq!(r.tasks, 2);
+        assert_eq!(r.cycles, 100);
+    }
+
+    #[test]
+    fn more_cores_than_tasks_is_fine() {
+        let comp = disjoint_streams(2, 4 * 1024);
+        let cfg = tiny_config(8, 128);
+        let r = simulate(&comp, &cfg, SchedulerKind::WorkStealing);
+        assert_eq!(r.tasks, 3);
+        assert!(r.cycles > 0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Simulation results and the metrics the paper reports.
+
+use ccs_cache::{CacheStats, MemoryStats};
+
+/// The outcome of one trace-driven CMP simulation.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// Configuration name (e.g. `"default-16"`).
+    pub config_name: String,
+    /// Scheduler name (`"pdf"`, `"ws"`, ...).
+    pub scheduler: String,
+    /// Number of cores.
+    pub num_cores: usize,
+    /// Execution time in cycles (completion of the last task).
+    pub cycles: u64,
+    /// Total instructions executed (all tasks).
+    pub instructions: u64,
+    /// Aggregated private-L1 statistics (summed over cores).
+    pub l1: CacheStats,
+    /// Shared-L2 statistics.
+    pub l2: CacheStats,
+    /// Off-chip memory statistics.
+    pub memory: MemoryStats,
+    /// Fraction of cycles the memory controller was busy (the paper's
+    /// "memory bandwidth utilization").
+    pub bandwidth_utilization: f64,
+    /// Busy cycles per core (time between a task's dispatch and completion,
+    /// including memory stalls).
+    pub core_busy: Vec<u64>,
+    /// Number of tasks executed.
+    pub tasks: usize,
+    /// L2 line size in bytes (for off-chip traffic accounting).
+    pub l2_line_size: u64,
+}
+
+impl SimResult {
+    /// L2 misses per 1000 instructions — the paper's main cache metric
+    /// (Fig. 2 right-hand column, Fig. 6a).
+    pub fn l2_mpki(&self) -> f64 {
+        self.l2.misses_per_kilo_instruction(self.instructions)
+    }
+
+    /// L1 misses per 1000 instructions.
+    pub fn l1_mpki(&self) -> f64 {
+        self.l1.misses_per_kilo_instruction(self.instructions)
+    }
+
+    /// Off-chip traffic in bytes (line fills plus write-backs).
+    pub fn off_chip_bytes(&self) -> u64 {
+        (self.l2.misses + self.l2.writebacks) * self.l2_line_size
+    }
+
+    /// Speedup of this run over a (sequential) baseline run, computed from
+    /// execution cycles (Fig. 2 left-hand column).
+    pub fn speedup_over(&self, baseline: &SimResult) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            baseline.cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Relative speedup of this run over another run of the same workload
+    /// (e.g. PDF over WS).
+    pub fn relative_speedup(&self, other: &SimResult) -> f64 {
+        self.speedup_over(other)
+    }
+
+    /// Average instructions per cycle over the whole chip.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Average core utilisation (busy fraction).
+    pub fn core_utilization(&self) -> f64 {
+        if self.cycles == 0 || self.num_cores == 0 {
+            return 0.0;
+        }
+        let busy: u64 = self.core_busy.iter().sum();
+        busy as f64 / (self.cycles as f64 * self.num_cores as f64)
+    }
+
+    /// Percentage reduction of L2 misses-per-instruction relative to another
+    /// result (positive = this result misses less), as reported in
+    /// Section 5.1 ("PDF reduces 13.2%–38.5% L2 misses per instruction
+    /// compared to WS").
+    pub fn mpki_reduction_vs(&self, other: &SimResult) -> f64 {
+        let o = other.l2_mpki();
+        if o == 0.0 {
+            0.0
+        } else {
+            (o - self.l2_mpki()) / o * 100.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(cycles: u64, instructions: u64, l2_misses: u64) -> SimResult {
+        let mut l2 = CacheStats::default();
+        for _ in 0..l2_misses {
+            l2.record(false, false);
+        }
+        SimResult {
+            config_name: "test".into(),
+            scheduler: "pdf".into(),
+            num_cores: 4,
+            cycles,
+            instructions,
+            l1: CacheStats::default(),
+            l2,
+            memory: MemoryStats::default(),
+            bandwidth_utilization: 0.5,
+            core_busy: vec![cycles / 2; 4],
+            tasks: 10,
+            l2_line_size: 128,
+        }
+    }
+
+    #[test]
+    fn mpki_and_speedup() {
+        let a = result(1000, 100_000, 50);
+        let b = result(2000, 100_000, 80);
+        assert!((a.l2_mpki() - 0.5).abs() < 1e-12);
+        assert!((a.speedup_over(&b) - 2.0).abs() < 1e-12);
+        assert!((b.relative_speedup(&a) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mpki_reduction() {
+        let pdf = result(1000, 100_000, 60);
+        let ws = result(1000, 100_000, 100);
+        assert!((pdf.mpki_reduction_vs(&ws) - 40.0).abs() < 1e-9);
+        assert_eq!(ws.mpki_reduction_vs(&result(1000, 100_000, 0)), 0.0);
+    }
+
+    #[test]
+    fn off_chip_traffic_and_utilisation() {
+        let r = result(1000, 50_000, 10);
+        assert_eq!(r.off_chip_bytes(), 10 * 128);
+        assert!((r.ipc() - 50.0).abs() < 1e-12);
+        assert!((r.core_utilization() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,338 @@
+//! Secondary benchmarks from the extended study (Section 5.5).
+//!
+//! The paper summarises results for several more benchmarks beyond LU, Hash
+//! Join and Mergesort.  Three representatives are provided here:
+//!
+//! * [`quicksort`] — recursive divide-and-conquer with *unbalanced* divide
+//!   steps (the paper notes Quicksort/Triangle/C4.5 split at algorithmic
+//!   pivots rather than even halves);
+//! * [`matmul`] — recursive blocked matrix multiply (small working set per
+//!   task, like LU: PDF and WS perform alike);
+//! * [`heat`] — an iterative Jacobi stencil (Barnes/Heat class: bandwidth
+//!   bound, streaming).
+
+use ccs_dag::{AddressSpace, CallSite, Computation, ComputationBuilder, GroupMeta, Region, SpNodeId};
+
+// ---------------------------------------------------------------------------
+// Quicksort
+// ---------------------------------------------------------------------------
+
+/// Parameters for the Quicksort workload.
+#[derive(Clone, Debug)]
+pub struct QuicksortParams {
+    /// Number of 4-byte items.
+    pub n_items: u64,
+    /// Sub-arrays at or below this size sort sequentially in one task.
+    pub base_task_items: u64,
+    /// Imbalance of the divide step: the left part receives
+    /// `split_percent` % of the items (50 = balanced).
+    pub split_percent: u64,
+    /// Cache-line size.
+    pub line_size: u64,
+}
+
+impl QuicksortParams {
+    /// Defaults: 4-byte items, 60/40 splits, base tasks of n/64 items.
+    pub fn new(n_items: u64) -> Self {
+        QuicksortParams {
+            n_items,
+            base_task_items: (n_items / 64).max(1024),
+            split_percent: 60,
+            line_size: 128,
+        }
+    }
+}
+
+const QS_SITE: CallSite = CallSite::new("extras.rs", 45);
+
+/// Build the Quicksort computation: partition (streaming pass over the
+/// sub-array), then recurse on the two unbalanced parts in parallel.
+pub fn quicksort(params: &QuicksortParams) -> Computation {
+    let mut space = AddressSpace::new();
+    let data = space.alloc(params.n_items * 4);
+    let mut b = ComputationBuilder::new(params.line_size);
+
+    fn rec(b: &mut ComputationBuilder, p: &QuicksortParams, data: Region, start: u64, n: u64) -> SpNodeId {
+        let bytes = n * 4;
+        if n <= p.base_task_items {
+            return b.strand_with_meta(
+                GroupMeta::with_param("qs-base", bytes).at(QS_SITE),
+                |t| {
+                    let levels = (n.max(2) as f64).log2().ceil() as u64;
+                    t.read_range(data.at(start * 4), bytes, 4 * levels * (p.line_size / 4));
+                    t.write_range(data.at(start * 4), bytes, 0);
+                },
+            );
+        }
+        // Partition pass: read + write the whole sub-array once.
+        let partition = b.strand_with_meta(
+            GroupMeta::with_param("qs-partition", bytes).at(QS_SITE),
+            |t| {
+                t.read_range(data.at(start * 4), bytes, 3 * (p.line_size / 4));
+                t.write_range(data.at(start * 4), bytes, 0);
+            },
+        );
+        let left_n = (n * p.split_percent / 100).clamp(1, n - 1);
+        let left = rec(b, p, data, start, left_n);
+        let right = rec(b, p, data, start + left_n, n - left_n);
+        let halves = b.par(vec![left, right], GroupMeta::with_param("qs-halves", bytes).at(QS_SITE));
+        b.seq(vec![partition, halves], GroupMeta::with_param("qs", bytes).at(QS_SITE))
+    }
+
+    let root = rec(&mut b, params, data, 0, params.n_items);
+    b.finish(root)
+}
+
+// ---------------------------------------------------------------------------
+// Matrix multiply
+// ---------------------------------------------------------------------------
+
+/// Parameters for the blocked matrix-multiply workload.
+#[derive(Clone, Debug)]
+pub struct MatmulParams {
+    /// Matrix dimension (N × N doubles); power of two.
+    pub n: u64,
+    /// Block size for leaf multiplies; power of two.
+    pub block: u64,
+    /// Cache-line size.
+    pub line_size: u64,
+}
+
+impl MatmulParams {
+    /// Defaults: 64×64 leaf blocks.
+    pub fn new(n: u64) -> Self {
+        MatmulParams { n, block: 64.min(n), line_size: 128 }
+    }
+}
+
+const MM_SITE: CallSite = CallSite::new("extras.rs", 104);
+
+/// Build the recursive blocked matrix multiply `C = A × B`.
+pub fn matmul(params: &MatmulParams) -> Computation {
+    assert!(params.n.is_power_of_two() && params.block.is_power_of_two());
+    let elem = 8u64;
+    let mut space = AddressSpace::new();
+    let a = space.alloc(params.n * params.n * elem);
+    let bm = space.alloc(params.n * params.n * elem);
+    let c = space.alloc(params.n * params.n * elem);
+    let mut builder = ComputationBuilder::new(params.line_size);
+
+    #[derive(Clone, Copy)]
+    struct Tile {
+        row: u64,
+        col: u64,
+        size: u64,
+    }
+    impl Tile {
+        fn quad(&self, i: u64, j: u64) -> Tile {
+            let h = self.size / 2;
+            Tile { row: self.row + i * h, col: self.col + j * h, size: h }
+        }
+    }
+
+    fn touch(
+        t: &mut ccs_dag::TraceBuilder,
+        m: Region,
+        n: u64,
+        tile: Tile,
+        instr_per_elem: u64,
+        write: bool,
+    ) {
+        for r in 0..tile.size {
+            let offset = ((tile.row + r) * n + tile.col) * 8;
+            t.read_range(m.at(offset), tile.size * 8, instr_per_elem * 16);
+            if write {
+                t.write_range(m.at(offset), tile.size * 8, 0);
+            }
+        }
+    }
+
+    fn rec(
+        builder: &mut ComputationBuilder,
+        p: &MatmulParams,
+        (a, bm, c): (Region, Region, Region),
+        (ta, tb, tc): (Tile, Tile, Tile),
+    ) -> SpNodeId {
+        if tc.size <= p.block {
+            let bytes = tc.size * tc.size * 8;
+            return builder.strand_with_meta(
+                GroupMeta::with_param("mm-base", 3 * bytes).at(MM_SITE),
+                |t| {
+                    touch(t, a, p.n, ta, tc.size / 4, false);
+                    touch(t, bm, p.n, tb, tc.size / 4, false);
+                    touch(t, c, p.n, tc, tc.size / 2, true);
+                },
+            );
+        }
+        // C_ij = A_i0*B_0j + A_i1*B_1j: four independent quadrants, each a
+        // sequence of two recursive multiplies, forked by a spawn task.
+        let mut quads = Vec::with_capacity(4);
+        for i in 0..2 {
+            for j in 0..2 {
+                let first = rec(builder, p, (a, bm, c), (ta.quad(i, 0), tb.quad(0, j), tc.quad(i, j)));
+                let second = rec(builder, p, (a, bm, c), (ta.quad(i, 1), tb.quad(1, j), tc.quad(i, j)));
+                quads.push(builder.seq(
+                    vec![first, second],
+                    GroupMeta::with_param("mm-quad", tc.size * tc.size * 2).at(MM_SITE),
+                ));
+            }
+        }
+        builder.forked_par(quads, GroupMeta::with_param("mm", tc.size * tc.size * 8).at(MM_SITE), 24)
+    }
+
+    let whole = Tile { row: 0, col: 0, size: params.n };
+    let root = rec(&mut builder, params, (a, bm, c), (whole, whole, whole));
+    builder.finish(root)
+}
+
+// ---------------------------------------------------------------------------
+// Heat (Jacobi stencil)
+// ---------------------------------------------------------------------------
+
+/// Parameters for the Heat (2-D Jacobi) workload.
+#[derive(Clone, Debug)]
+pub struct HeatParams {
+    /// Grid is `rows × cols` doubles.
+    pub rows: u64,
+    /// Grid columns.
+    pub cols: u64,
+    /// Number of Jacobi iterations.
+    pub iterations: u64,
+    /// Rows per task.
+    pub rows_per_task: u64,
+    /// Cache-line size.
+    pub line_size: u64,
+}
+
+impl HeatParams {
+    /// Defaults: 4 iterations, 16 rows per task.
+    pub fn new(rows: u64, cols: u64) -> Self {
+        HeatParams { rows, cols, iterations: 4, rows_per_task: 16, line_size: 128 }
+    }
+}
+
+const HEAT_SITE: CallSite = CallSite::new("extras.rs", 186);
+
+/// Build the Heat computation: `iterations` sweeps over the grid, each sweep a
+/// parallel set of row-band tasks reading the source grid (with halo rows) and
+/// writing the destination grid; the two grids ping-pong between iterations.
+pub fn heat(params: &HeatParams) -> Computation {
+    let elem = 8u64;
+    let row_bytes = params.cols * elem;
+    let mut space = AddressSpace::new();
+    let grid_a = space.alloc(params.rows * row_bytes);
+    let grid_b = space.alloc(params.rows * row_bytes);
+    let mut b = ComputationBuilder::new(params.line_size);
+
+    let mut sweeps = Vec::with_capacity(params.iterations as usize);
+    for it in 0..params.iterations {
+        let (src, dst) = if it % 2 == 0 { (grid_a, grid_b) } else { (grid_b, grid_a) };
+        let bands = params.rows.div_ceil(params.rows_per_task);
+        let mut tasks = Vec::with_capacity(bands as usize);
+        for band in 0..bands {
+            let first = band * params.rows_per_task;
+            let count = params.rows_per_task.min(params.rows - first);
+            tasks.push(b.strand_with_meta(
+                GroupMeta::with_param("heat-band", count * row_bytes).at(HEAT_SITE),
+                |t| {
+                    // Read the band plus one halo row on each side, write the band.
+                    let read_first = first.saturating_sub(1);
+                    let read_last = (first + count).min(params.rows - 1);
+                    t.read_range(
+                        src.at(read_first * row_bytes),
+                        (read_last - read_first + 1) * row_bytes,
+                        5 * (params.line_size / elem),
+                    );
+                    t.write_range(dst.at(first * row_bytes), count * row_bytes, 0);
+                },
+            ));
+        }
+        sweeps.push(b.forked_par(
+            tasks,
+            GroupMeta::with_param("heat-sweep", params.rows * row_bytes).at(HEAT_SITE),
+            16,
+        ));
+    }
+    let root = if sweeps.len() == 1 {
+        sweeps.pop().unwrap()
+    } else {
+        b.seq(sweeps, GroupMeta::with_param("heat", 2 * params.rows * row_bytes).at(HEAT_SITE))
+    };
+    b.finish(root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_dag::Dag;
+
+    #[test]
+    fn quicksort_builds_unbalanced_dag() {
+        let comp = quicksort(&QuicksortParams {
+            n_items: 64 * 1024,
+            base_task_items: 4096,
+            ..QuicksortParams::new(64 * 1024)
+        });
+        let dag = Dag::from_computation(&comp);
+        dag.validate().unwrap();
+        assert!(dag.parallelism() > 1.0);
+        // With a 60/40 split, the recursion is deeper on the left; just check
+        // we got a non-trivial number of tasks.
+        assert!(comp.num_tasks() > 20);
+    }
+
+    #[test]
+    fn quicksort_balanced_vs_unbalanced_depth() {
+        let n = 256 * 1024;
+        let balanced = quicksort(&QuicksortParams {
+            split_percent: 50,
+            base_task_items: 4096,
+            ..QuicksortParams::new(n)
+        });
+        let skewed = quicksort(&QuicksortParams {
+            split_percent: 80,
+            base_task_items: 4096,
+            ..QuicksortParams::new(n)
+        });
+        let d_bal = Dag::from_computation(&balanced).depth();
+        let d_skew = Dag::from_computation(&skewed).depth();
+        assert!(d_skew > d_bal, "skewed splits lengthen the critical path");
+    }
+
+    #[test]
+    fn matmul_structure() {
+        let comp = matmul(&MatmulParams { n: 256, block: 64, line_size: 128 });
+        let dag = Dag::from_computation(&comp);
+        dag.validate().unwrap();
+        // (256/64)^3 = 64 leaf multiplies plus the quad-seq scaffolding.
+        assert!(comp.num_tasks() >= 64);
+        assert!(dag.parallelism() > 2.0);
+        assert_eq!(dag.sources().len(), 1, "fork strands give a single root");
+    }
+
+    #[test]
+    fn heat_alternates_buffers() {
+        let params = HeatParams::new(128, 256);
+        let comp = heat(&params);
+        let dag = Dag::from_computation(&comp);
+        dag.validate().unwrap();
+        // 4 iterations * (8 bands + 1 spawn task).
+        assert_eq!(comp.num_tasks(), 36);
+        // Footprint = two grids.
+        let mut lines = std::collections::HashSet::new();
+        for (_, r) in comp.sequential_refs() {
+            for l in r.lines(params.line_size) {
+                lines.insert(l);
+            }
+        }
+        let expect = 2 * params.rows * params.cols * 8 / params.line_size;
+        assert_eq!(lines.len() as u64, expect);
+    }
+
+    #[test]
+    fn heat_single_iteration() {
+        let comp = heat(&HeatParams { iterations: 1, ..HeatParams::new(64, 64) });
+        // 4 bands + 1 spawn task.
+        assert_eq!(comp.num_tasks(), 5);
+    }
+}

@@ -1,0 +1,168 @@
+//! Native (actually-running) parallel kernels on top of `ccs-runtime`.
+//!
+//! The trace generators in this crate drive the CMP *simulator*; the functions
+//! here are the corresponding real algorithms running on the native fork-join
+//! pool, so the library is usable as an actual parallel runtime and the two
+//! scheduling policies can be exercised on real hardware.  Each kernel is
+//! written in the same divide-and-conquer shape as its trace generator.
+
+use ccs_runtime::join;
+
+/// Parallel mergesort of a slice, with the same structure as the simulated
+/// workload: recursive halves in parallel, sequential sort below the
+/// `sequential_below` threshold.  Must be called from within
+/// [`ccs_runtime::ThreadPool::install`] for parallel execution (it degrades to
+/// sequential execution outside a pool).
+pub fn par_mergesort<T: Ord + Copy + Send>(data: &mut [T], sequential_below: usize) {
+    let n = data.len();
+    if n <= sequential_below.max(1) || n < 2 {
+        data.sort_unstable();
+        return;
+    }
+    let mid = n / 2;
+    let (left, right) = data.split_at_mut(mid);
+    join(
+        || par_mergesort(left, sequential_below),
+        || par_mergesort(right, sequential_below),
+    );
+    // Merge into a temporary buffer, then copy back (same memory behaviour as
+    // the trace generator: 2n bytes touched per level).
+    let mut merged = Vec::with_capacity(n);
+    {
+        let (mut i, mut j) = (0, 0);
+        while i < left.len() && j < right.len() {
+            if left[i] <= right[j] {
+                merged.push(left[i]);
+                i += 1;
+            } else {
+                merged.push(right[j]);
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&left[i..]);
+        merged.extend_from_slice(&right[j..]);
+    }
+    data.copy_from_slice(&merged);
+}
+
+/// Parallel quicksort with a median-of-three pivot and sequential fallback.
+pub fn par_quicksort<T: Ord + Copy + Send>(data: &mut [T], sequential_below: usize) {
+    let n = data.len();
+    if n <= sequential_below.max(16) {
+        data.sort_unstable();
+        return;
+    }
+    let pivot = median_of_three(data);
+    let mut lt = 0;
+    let mut gt = n;
+    let mut i = 0;
+    // Three-way partition.
+    while i < gt {
+        if data[i] < pivot {
+            data.swap(i, lt);
+            lt += 1;
+            i += 1;
+        } else if data[i] > pivot {
+            gt -= 1;
+            data.swap(i, gt);
+        } else {
+            i += 1;
+        }
+    }
+    let (left, rest) = data.split_at_mut(lt);
+    let (_, right) = rest.split_at_mut(gt - lt);
+    join(
+        || par_quicksort(left, sequential_below),
+        || par_quicksort(right, sequential_below),
+    );
+}
+
+fn median_of_three<T: Ord + Copy>(data: &[T]) -> T {
+    let a = data[0];
+    let b = data[data.len() / 2];
+    let c = data[data.len() - 1];
+    let mut v = [a, b, c];
+    v.sort_unstable();
+    v[1]
+}
+
+/// Parallel sum-reduction, the simplest fork-join kernel (useful for overhead
+/// benchmarking).
+pub fn par_sum(data: &[u64], sequential_below: usize) -> u64 {
+    if data.len() <= sequential_below.max(1) {
+        return data.iter().sum();
+    }
+    let mid = data.len() / 2;
+    let (l, r) = data.split_at(mid);
+    let (a, b) = join(|| par_sum(l, sequential_below), || par_sum(r, sequential_below));
+    a + b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_runtime::{Policy, ThreadPool};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_vec(n: usize, seed: u64) -> Vec<u32> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen()).collect()
+    }
+
+    #[test]
+    fn mergesort_sorts_under_both_policies() {
+        for policy in [Policy::WorkStealing, Policy::Pdf] {
+            let pool = ThreadPool::new(2, policy);
+            let mut data = random_vec(20_000, 1);
+            let mut expect = data.clone();
+            expect.sort_unstable();
+            pool.install(|| par_mergesort(&mut data, 1024));
+            assert_eq!(data, expect);
+        }
+    }
+
+    #[test]
+    fn quicksort_sorts_under_both_policies() {
+        for policy in [Policy::WorkStealing, Policy::Pdf] {
+            let pool = ThreadPool::new(2, policy);
+            let mut data = random_vec(20_000, 2);
+            let mut expect = data.clone();
+            expect.sort_unstable();
+            pool.install(|| par_quicksort(&mut data, 512));
+            assert_eq!(data, expect);
+        }
+    }
+
+    #[test]
+    fn sorts_handle_edge_cases() {
+        let pool = ThreadPool::new(1, Policy::WorkStealing);
+        let mut empty: Vec<u32> = vec![];
+        pool.install(|| par_mergesort(&mut empty, 4));
+        assert!(empty.is_empty());
+        let mut one = vec![7u32];
+        pool.install(|| par_quicksort(&mut one, 4));
+        assert_eq!(one, vec![7]);
+        let mut dup = vec![3u32; 1000];
+        pool.install(|| par_quicksort(&mut dup, 16));
+        assert!(dup.iter().all(|&x| x == 3));
+    }
+
+    #[test]
+    fn par_sum_matches_sequential() {
+        let data: Vec<u64> = (0..50_000).collect();
+        let expect: u64 = data.iter().sum();
+        let pool = ThreadPool::new(2, Policy::Pdf);
+        assert_eq!(pool.install(|| par_sum(&data, 1024)), expect);
+        assert_eq!(par_sum(&data, 1024), expect, "works outside a pool too");
+    }
+
+    #[test]
+    fn already_sorted_input() {
+        let pool = ThreadPool::new(2, Policy::WorkStealing);
+        let mut data: Vec<u32> = (0..10_000).collect();
+        let expect = data.clone();
+        pool.install(|| par_mergesort(&mut data, 256));
+        assert_eq!(data, expect);
+    }
+}

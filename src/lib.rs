@@ -1,0 +1,59 @@
+//! # ccs — Constructive Cache Sharing on CMPs
+//!
+//! An open-source Rust reproduction of **Chen et al., "Scheduling Threads for
+//! Constructive Cache Sharing on CMPs", SPAA 2007**: the Parallel Depth First
+//! (PDF) and Work Stealing (WS) schedulers, the trace-driven CMP simulator
+//! used for the paper's evaluation, the benchmark workloads, the one-pass
+//! working-set profiler, the automatic task-coarsening algorithm, and a
+//! native fork-join runtime with pluggable WS/PDF policies.
+//!
+//! This meta-crate re-exports the individual crates:
+//!
+//! * [`dag`] (ccs-dag) — computation DAGs, tasks, memory traces, task groups;
+//! * [`cache`] (ccs-cache) — cache models, LRU stack distances, memory model;
+//! * [`sched`] (ccs-sched) — the PDF and WS schedulers and the greedy executor;
+//! * [`sim`] (ccs-sim) — CMP configurations (Tables 1–3), area model, and the
+//!   cycle-level trace-driven simulator;
+//! * [`workloads`] (ccs-workloads) — LU, Hash Join, Mergesort and the
+//!   secondary benchmarks, as trace generators and native kernels;
+//! * [`profile`] (ccs-profile) — the LruTree working-set profiler and
+//!   automatic task coarsening;
+//! * [`runtime`] (ccs-runtime) — the native fork-join thread pool.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ccs::prelude::*;
+//!
+//! // Build a (small) Mergesort computation, simulate it on the paper's
+//! // 8-core default CMP configuration under both schedulers, and compare.
+//! let comp = ccs::workloads::mergesort::build(
+//!     &MergesortParams::new(1 << 15).with_task_working_set(32 * 1024),
+//! );
+//! let config = CmpConfig::default_with_cores(8).unwrap().scaled(64);
+//! let pdf = simulate(&comp, &config, SchedulerKind::Pdf);
+//! let ws = simulate(&comp, &config, SchedulerKind::WorkStealing);
+//! assert!(pdf.l2.misses <= ws.l2.misses, "PDF shares the cache constructively");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use ccs_cache as cache;
+pub use ccs_dag as dag;
+pub use ccs_profile as profile;
+pub use ccs_runtime as runtime;
+pub use ccs_sched as sched;
+pub use ccs_sim as sim;
+pub use ccs_workloads as workloads;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use ccs_cache::{CacheConfig, MemoryConfig};
+    pub use ccs_dag::{Computation, ComputationBuilder, Dag, GroupMeta, TaskGroupTree, TaskId};
+    pub use ccs_profile::{coarsen, CoarsenTarget, WorkingSetProfile};
+    pub use ccs_runtime::{join, Policy, ThreadPool};
+    pub use ccs_sched::{execute, Scheduler, SchedulerKind};
+    pub use ccs_sim::{simulate, CmpConfig, SimResult, Technology};
+    pub use ccs_workloads::{Benchmark, HashJoinParams, LuParams, MergesortParams};
+}
