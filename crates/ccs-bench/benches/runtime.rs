@@ -6,7 +6,10 @@ use ccs_workloads::native::{par_mergesort, par_sum};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn bench_runtime(c: &mut Criterion) {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).min(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .min(4);
     let data: Vec<u64> = (0..1_000_000u64).collect();
     let mut unsorted: Vec<u32> = Vec::with_capacity(1 << 18);
     let mut x = 7u32;
@@ -33,13 +36,17 @@ fn bench_runtime(c: &mut Criterion) {
         });
 
         group.throughput(Throughput::Elements(unsorted.len() as u64));
-        group.bench_with_input(BenchmarkId::new("par_mergesort", name), &unsorted, |b, input| {
-            b.iter(|| {
-                let mut v = input.clone();
-                pool.install(|| par_mergesort(&mut v, 8 * 1024));
-                v[0]
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("par_mergesort", name),
+            &unsorted,
+            |b, input| {
+                b.iter(|| {
+                    let mut v = input.clone();
+                    pool.install(|| par_mergesort(&mut v, 8 * 1024));
+                    v[0]
+                })
+            },
+        );
     }
 
     group.finish();

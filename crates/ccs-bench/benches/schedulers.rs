@@ -25,10 +25,17 @@ fn bench_schedulers(c: &mut Criterion) {
     let mut group = c.benchmark_group("scheduler_overhead");
     group.throughput(Throughput::Elements(dag.num_tasks() as u64));
 
-    for kind in [SchedulerKind::Pdf, SchedulerKind::WorkStealing, SchedulerKind::CentralQueue] {
+    for kind in [
+        SchedulerKind::Pdf,
+        SchedulerKind::WorkStealing,
+        SchedulerKind::CentralQueue,
+    ] {
         for cores in [4usize, 16] {
             group.bench_with_input(
-                BenchmarkId::new(kind.name(), format!("{}tasks_{}cores", dag.num_tasks(), cores)),
+                BenchmarkId::new(
+                    kind.name(),
+                    format!("{}tasks_{}cores", dag.num_tasks(), cores),
+                ),
                 &cores,
                 |b, &cores| b.iter(|| execute(&dag, cores, kind).makespan),
             );

@@ -15,9 +15,11 @@ fn bench_simulator(c: &mut Criterion) {
     group.sample_size(10);
 
     for kind in [SchedulerKind::Pdf, SchedulerKind::WorkStealing] {
-        group.bench_with_input(BenchmarkId::new("mergesort_128k", kind.name()), &kind, |b, &kind| {
-            b.iter(|| simulate(&comp, &cfg, kind).cycles)
-        });
+        group.bench_with_input(
+            BenchmarkId::new("mergesort_128k", kind.name()),
+            &kind,
+            |b, &kind| b.iter(|| simulate(&comp, &cfg, kind).cycles),
+        );
     }
     group.finish();
 }

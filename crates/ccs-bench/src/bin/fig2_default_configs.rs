@@ -5,33 +5,33 @@
 //! Hash Join and Mergesort (1–32 cores).
 //!
 //! ```text
-//! cargo run --release -p ccs-bench --bin fig2_default_configs -- [--scale N] [--app lu|hashjoin|mergesort]
+//! cargo run --release -p ccs-bench --bin fig2_default_configs -- \
+//!     [--scale N] [--app lu|hashjoin|mergesort] [--json PATH]
 //! ```
 
-use ccs_bench::{print_header, print_row, run_pdf_ws, Options};
-use ccs_sim::CmpConfig;
-use ccs_workloads::Benchmark;
+use ccs_bench::{figs, print_report, Options};
 
 fn main() {
     let opts = Options::from_env();
-    eprintln!("# Figure 2 — default configurations, scale 1/{}", opts.effective_scale());
-    print_header("mpki_reduction_vs_ws_pct");
+    let report = figs::fig2(&opts);
+    print_report("Figure 2 — default configurations", &report, &opts);
 
-    for bench in opts.benchmarks() {
-        for cfg in CmpConfig::default_configs() {
-            // The paper reports LU only up to 16 cores (the 2Kx2K input is
-            // smaller than the 32-core L2).
-            if bench == Benchmark::Lu && cfg.num_cores > 16 {
-                continue;
+    // Section 5.1 headline: PDF's L2 miss reduction relative to WS.
+    for workload in report.workloads() {
+        for pdf in report
+            .for_workload(&workload)
+            .filter(|r| r.scheduler == "pdf")
+        {
+            if let Some(ws) = report
+                .for_workload(&workload)
+                .find(|r| r.scheduler == "ws" && r.config == pdf.config)
+            {
+                let reduction = pdf.mpki_reduction_vs(ws);
+                eprintln!(
+                    "#   {workload} on {}: PDF reduces L2 MPKI by {reduction:.1}%",
+                    pdf.config
+                );
             }
-            if opts.quick && cfg.num_cores > 8 {
-                continue;
-            }
-            let pair = run_pdf_ws(bench, &cfg, &opts);
-            let reduction = pair.pdf.mpki_reduction_vs(&pair.ws);
-            print_row(bench, &cfg.name, cfg.num_cores, &pair.pdf, &pair.sequential,
-                      &format!("{reduction:.1}"));
-            print_row(bench, &cfg.name, cfg.num_cores, &pair.ws, &pair.sequential, "0.0");
         }
     }
 }

@@ -7,33 +7,31 @@
 //! Mergesort keeps improving to 24–26 cores.
 //!
 //! ```text
-//! cargo run --release -p ccs-bench --bin fig3_single_tech -- [--scale N]
+//! cargo run --release -p ccs-bench --bin fig3_single_tech -- [--scale N] [--json PATH]
 //! ```
 
-use ccs_bench::{print_header, print_row, run_pdf_ws, Options};
-use ccs_sim::CmpConfig;
-use ccs_workloads::Benchmark;
+use ccs_bench::{figs, print_report, Options};
 
 fn main() {
     let opts = Options::from_env();
-    eprintln!("# Figure 3 — 45nm single technology, scale 1/{}", opts.effective_scale());
-    print_header("pdf_over_ws");
+    let report = figs::fig3(&opts);
+    print_report("Figure 3 — 45nm single technology", &report, &opts);
 
-    let benches: Vec<Benchmark> = opts
-        .benchmarks()
-        .into_iter()
-        .filter(|b| *b != Benchmark::Lu)
-        .collect();
-    for bench in benches {
-        for cfg in CmpConfig::single_tech_45nm() {
-            if opts.quick && cfg.num_cores % 8 != 0 && cfg.num_cores != 1 {
-                continue;
-            }
-            let pair = run_pdf_ws(bench, &cfg, &opts);
-            let rel = pair.pdf.relative_speedup(&pair.ws);
-            print_row(bench, &cfg.name, cfg.num_cores, &pair.pdf, &pair.sequential,
-                      &format!("{rel:.3}"));
-            print_row(bench, &cfg.name, cfg.num_cores, &pair.ws, &pair.sequential, "1.000");
+    // PDF-over-WS relative speedup per design point.
+    for pdf in report.for_scheduler("pdf") {
+        if let Some(ws) = report
+            .for_scheduler("ws")
+            .find(|r| r.workload == pdf.workload && r.config == pdf.config)
+        {
+            let rel = if pdf.cycles > 0 {
+                ws.cycles as f64 / pdf.cycles as f64
+            } else {
+                0.0
+            };
+            eprintln!(
+                "#   {} on {}: pdf_over_ws = {rel:.3}",
+                pdf.workload, pdf.config
+            );
         }
     }
 }

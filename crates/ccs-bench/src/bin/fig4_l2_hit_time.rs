@@ -8,48 +8,22 @@
 //! so the miss penalty dominates any hit-time difference.
 //!
 //! ```text
-//! cargo run --release -p ccs-bench --bin fig4_l2_hit_time -- [--scale N]
+//! cargo run --release -p ccs-bench --bin fig4_l2_hit_time -- [--scale N] [--json PATH]
 //! ```
 
-use ccs_bench::{print_header, print_row, run_pdf_ws, Options};
-use ccs_sim::CmpConfig;
-use ccs_workloads::Benchmark;
+use ccs_bench::{figs, print_report, Options};
 
 fn main() {
     let opts = Options::from_env();
-    eprintln!("# Figure 4 — L2 hit-time sensitivity (16-core default), scale 1/{}", opts.effective_scale());
-    print_header("l2_hit_cycles");
-
-    let base = CmpConfig::default_with_cores(16).expect("16-core default config");
-    let benches: Vec<Benchmark> = opts
-        .benchmarks()
-        .into_iter()
-        .filter(|b| *b != Benchmark::Lu)
-        .collect();
-    let hit_times = if opts.quick { vec![7u64, 19] } else { vec![7u64, 19] };
-
-    let mut pdf_slow_cycles = Vec::new();
-    let mut ws_fast_cycles = Vec::new();
-    for bench in benches {
-        for &hit in &hit_times {
-            let cfg = base.clone().with_l2_hit_latency(hit);
-            let pair = run_pdf_ws(bench, &cfg, &opts);
-            print_row(bench, &cfg.name, cfg.num_cores, &pair.pdf, &pair.sequential, &hit.to_string());
-            print_row(bench, &cfg.name, cfg.num_cores, &pair.ws, &pair.sequential, &hit.to_string());
-            if hit == 19 {
-                pdf_slow_cycles.push((bench, pair.pdf.cycles));
-            }
-            if hit == 7 {
-                ws_fast_cycles.push((bench, pair.ws.cycles));
-            }
-        }
-    }
+    let report = figs::fig4(&opts);
+    print_report(
+        "Figure 4 — L2 hit-time sensitivity (16-core default)",
+        &report,
+        &opts,
+    );
 
     eprintln!("# Section 5.3 check: PDF @ 19-cycle L2 vs WS @ 7-cycle L2");
-    for ((bench, pdf_slow), (_, ws_fast)) in pdf_slow_cycles.iter().zip(&ws_fast_cycles) {
-        eprintln!(
-            "#   {bench}: pdf(19c)={pdf_slow} cycles, ws(7c)={ws_fast} cycles, pdf_wins={}",
-            pdf_slow <= ws_fast
-        );
+    for (workload, pdf_wins) in figs::pdf_slow_beats_ws_fast(&report) {
+        eprintln!("#   {workload}: pdf_wins={pdf_wins}");
     }
 }

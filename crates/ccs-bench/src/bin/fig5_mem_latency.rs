@@ -2,36 +2,17 @@
 //! 16-core default configuration, Hash Join and Mergesort, PDF vs WS.
 //!
 //! ```text
-//! cargo run --release -p ccs-bench --bin fig5_mem_latency -- [--scale N]
+//! cargo run --release -p ccs-bench --bin fig5_mem_latency -- [--scale N] [--json PATH]
 //! ```
 
-use ccs_bench::{print_header, print_row, run_pdf_ws, Options};
-use ccs_sim::CmpConfig;
-use ccs_workloads::Benchmark;
+use ccs_bench::{figs, print_report, Options};
 
 fn main() {
     let opts = Options::from_env();
-    eprintln!("# Figure 5 — memory-latency sensitivity (16-core default), scale 1/{}", opts.effective_scale());
-    print_header("mem_latency");
-
-    let base = CmpConfig::default_with_cores(16).expect("16-core default config");
-    let benches: Vec<Benchmark> = opts
-        .benchmarks()
-        .into_iter()
-        .filter(|b| *b != Benchmark::Lu)
-        .collect();
-    let latencies: Vec<u64> = if opts.quick {
-        vec![100, 700]
-    } else {
-        vec![100, 300, 500, 700, 900, 1100]
-    };
-
-    for bench in benches {
-        for &lat in &latencies {
-            let cfg = base.clone().with_memory_latency(lat);
-            let pair = run_pdf_ws(bench, &cfg, &opts);
-            print_row(bench, &cfg.name, cfg.num_cores, &pair.pdf, &pair.sequential, &lat.to_string());
-            print_row(bench, &cfg.name, cfg.num_cores, &pair.ws, &pair.sequential, &lat.to_string());
-        }
-    }
+    let report = figs::fig5(&opts);
+    print_report(
+        "Figure 5 — memory-latency sensitivity (16-core default)",
+        &report,
+        &opts,
+    );
 }

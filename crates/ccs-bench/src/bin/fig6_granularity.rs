@@ -1,7 +1,8 @@
 //! Figure 6: impact of task granularity on Mergesort — L2 misses per 1000
 //! instructions and execution time as a function of the task working-set
 //! size (8 MB down to 32 KB in the paper), on the 32-core and 16-core default
-//! configurations, PDF vs WS.
+//! configurations, PDF vs WS.  The working-set size of each point is encoded
+//! in the workload name (`mergesort/ws=32768`).
 //!
 //! With `--coarse-vs-fine` it also reports the Section 5.4 comparison between
 //! the original coarse-grained codes (serial merge / one probe task per
@@ -9,78 +10,24 @@
 //! 2.85× gap).
 //!
 //! ```text
-//! cargo run --release -p ccs-bench --bin fig6_granularity -- [--scale N] [--coarse-vs-fine]
+//! cargo run --release -p ccs-bench --bin fig6_granularity -- \
+//!     [--scale N] [--coarse-vs-fine] [--json PATH]
 //! ```
 
-use ccs_bench::{run_sim, Options};
-use ccs_sched::SchedulerKind;
-use ccs_sim::CmpConfig;
-use ccs_workloads::{hashjoin, mergesort, HashJoinParams, MergesortParams};
+use ccs_bench::{figs, print_report, Options};
 
 fn main() {
     let opts = Options::from_env();
-    let scale = opts.effective_scale();
-    eprintln!("# Figure 6 — Mergesort task-granularity sweep, scale 1/{scale}");
-    println!("cores\ttask_ws_bytes\tsched\tl2_mpki\tcycles");
-
-    let n_items = ((32u64 << 20) / scale).max(1 << 14);
-    // Paper sweep: 8M, 4M, ..., 32K bytes of task working set; scaled down.
-    let sizes: Vec<u64> = (0..9)
-        .map(|i| ((8u64 << 20) >> i) / scale)
-        .map(|b| b.max(4 * 1024))
-        .collect();
-    let core_counts: &[usize] = if opts.quick { &[16] } else { &[32, 16] };
-
-    for &cores in core_counts {
-        let cfg = CmpConfig::default_with_cores(cores).expect("default config");
-        let mut sweep = sizes.clone();
-        sweep.dedup();
-        for ws in sweep {
-            let params = MergesortParams::new(n_items).with_task_working_set(ws);
-            let comp = mergesort::build(&params);
-            for kind in [SchedulerKind::Pdf, SchedulerKind::WorkStealing] {
-                let r = run_sim(&comp, &cfg, &opts, kind);
-                println!(
-                    "{}\t{}\t{}\t{:.4}\t{}",
-                    cores,
-                    ws,
-                    r.scheduler,
-                    r.l2_mpki(),
-                    r.cycles
-                );
-            }
-        }
-    }
+    let mut report = figs::fig6(&opts);
 
     if opts.rest.iter().any(|a| a == "--coarse-vs-fine") {
-        eprintln!("# Section 5.4 — coarse-grained originals vs fine-grained versions (16-core default)");
-        println!("app\tvariant\tsched\tcycles\tl2_mpki");
-        let cfg = CmpConfig::default_with_cores(16).expect("default config");
-        let scaled_l2 = (cfg.l2.capacity / scale).max(16 * 1024);
-
-        // Mergesort: serial merge vs parallel merge.
-        let fine = mergesort::build(
-            &MergesortParams::new(n_items).with_task_working_set((scaled_l2 / 32).max(16 * 1024)),
-        );
-        let coarse = mergesort::build(&MergesortParams::new(n_items).coarse_grained());
-        for (variant, comp) in [("fine", &fine), ("coarse", &coarse)] {
-            for kind in [SchedulerKind::Pdf, SchedulerKind::WorkStealing] {
-                let r = run_sim(comp, &cfg, &opts, kind);
-                println!("mergesort\t{}\t{}\t{}\t{:.4}", variant, r.scheduler, r.cycles, r.l2_mpki());
-            }
-        }
-
-        // Hash Join: one probe task per sub-partition vs 16.
-        let build_bytes = ((341u64 << 20) / scale).max(1 << 20);
-        let fine = hashjoin::build(&HashJoinParams::new(build_bytes).with_l2_bytes(scaled_l2));
-        let coarse = hashjoin::build(
-            &HashJoinParams::new(build_bytes).with_l2_bytes(scaled_l2).coarse_grained(),
-        );
-        for (variant, comp) in [("fine", &fine), ("coarse", &coarse)] {
-            for kind in [SchedulerKind::Pdf, SchedulerKind::WorkStealing] {
-                let r = run_sim(comp, &cfg, &opts, kind);
-                println!("hashjoin\t{}\t{}\t{}\t{:.4}", variant, r.scheduler, r.cycles, r.l2_mpki());
-            }
-        }
+        eprintln!("# Section 5.4 — coarse-grained originals vs fine-grained (16-core default)");
+        report.merge(figs::coarse_vs_fine(&opts));
     }
+
+    print_report(
+        "Figure 6 — Mergesort task-granularity sweep",
+        &report,
+        &opts,
+    );
 }

@@ -45,13 +45,15 @@ fn main() {
 
         // The finest-grained version is the input to the automatic scheme.
         let finest_ws = (scaled_l2 / 256).max(8 * 1024);
-        let finest = mergesort::build(
-            &MergesortParams::new(n_items).with_task_working_set(finest_ws),
-        );
+        let finest =
+            mergesort::build(&MergesortParams::new(n_items).with_task_working_set(finest_ws));
         let tree = TaskGroupTree::from_computation(&finest);
         let sizes: Vec<u64> = (12..=27).map(|p| 1u64 << p).collect();
         let profile = WorkingSetProfile::collect(&finest, &sizes);
-        let target = CoarsenTarget { cache_bytes: scaled_l2, num_cores: cores };
+        let target = CoarsenTarget {
+            cache_bytes: scaled_l2,
+            num_cores: cores,
+        };
         let selection = coarsen(&profile, &tree, target);
 
         // Scheme 2: "dag" — the same finest-grain trace re-grouped.
@@ -61,17 +63,28 @@ fn main() {
         // granularity (working set = cache/(2*cores), the stop criterion's
         // per-child budget).
         let actual = mergesort::build(
-            &MergesortParams::new(n_items).with_task_working_set(target.budget_bytes().max(8 * 1024)),
+            &MergesortParams::new(n_items)
+                .with_task_working_set(target.budget_bytes().max(8 * 1024)),
         );
 
         let mut rows = Vec::new();
-        for (scheme, comp) in [("previous", &manual), ("cache/(2*cores) dag", &dag_comp), ("cache/(2*cores) actual", &actual)] {
+        for (scheme, comp) in [
+            ("previous", &manual),
+            ("cache/(2*cores) dag", &dag_comp),
+            ("cache/(2*cores) actual", &actual),
+        ] {
             let r = run_sim(comp, &cfg, &opts, SchedulerKind::Pdf);
             rows.push((scheme.to_string(), r.cycles));
         }
         let best = rows.iter().map(|(_, c)| *c).min().unwrap().max(1);
         for (scheme, cycles) in rows {
-            println!("{}\t{}\t{}\t{:.3}", cores, scheme, cycles, cycles as f64 / best as f64);
+            println!(
+                "{}\t{}\t{}\t{:.3}",
+                cores,
+                scheme,
+                cycles,
+                cycles as f64 / best as f64
+            );
         }
         eprintln!(
             "#  {cores} cores: {} fine tasks coarsened into {} tasks (budget {} KB)",

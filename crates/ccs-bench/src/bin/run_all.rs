@@ -1,45 +1,108 @@
-//! Run every experiment binary in sequence (convenience wrapper used to
-//! regenerate EXPERIMENTS.md data in one go).
+//! Run the full experiment suite and emit one merged machine-readable
+//! report.
+//!
+//! The figure sweeps (Figs. 2–6 and the Section 5.4 comparison) run
+//! *in-process* through the `Experiment` API and are merged into a single
+//! JSON trajectory; the non-sweep binaries (`tables_2_3`,
+//! `fig8_auto_coarsening`, `sec61_profiler_speed`) are invoked as
+//! subprocesses unless `--quick` is given.
 //!
 //! ```text
-//! cargo run --release -p ccs-bench --bin run_all -- [--scale N] [--quick]
+//! cargo run --release -p ccs-bench --bin run_all -- [--scale N] [--quick] [--json PATH]
 //! ```
+//!
+//! With `--quick` the merged report is always written (default path
+//! `BENCH_run_all.json` when `--json` is not given), so smoke tests get a
+//! machine-readable trajectory.
 
+use std::path::PathBuf;
 use std::process::Command;
 
+use ccs_bench::{figs, Options, Report};
+
+/// A named figure sweep.
+type Sweep = (&'static str, fn(&Options) -> Report);
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let binaries = [
-        "tables_2_3",
-        "fig2_default_configs",
-        "fig3_single_tech",
-        "fig4_l2_hit_time",
-        "fig5_mem_latency",
-        "fig6_granularity",
-        "fig8_auto_coarsening",
-        "sec61_profiler_speed",
+    let mut opts = Options::from_env();
+    let sweeps: [Sweep; 6] = [
+        ("fig2_default_configs", figs::fig2),
+        ("fig3_single_tech", figs::fig3),
+        ("fig4_l2_hit_time", figs::fig4),
+        ("fig5_mem_latency", figs::fig5),
+        ("fig6_granularity", figs::fig6),
+        ("sec54_coarse_vs_fine", figs::coarse_vs_fine),
     ];
-    let exe_dir = std::env::current_exe()
-        .expect("current exe")
-        .parent()
-        .expect("exe dir")
-        .to_path_buf();
-    for bin in binaries {
-        println!("\n===== {bin} =====");
-        let path = exe_dir.join(bin);
-        let status = if path.exists() {
-            Command::new(&path).args(&args).status()
+
+    // With `--json -` the tables move to stderr so stdout carries nothing
+    // but the merged JSON document.
+    let mut merged = Report::new("run_all", opts.effective_scale());
+    for (name, run) in sweeps {
+        let report = run(&opts);
+        if opts.json_to_stdout() {
+            eprintln!("\n===== {name} =====");
+            eprint!("{}", report.to_tsv());
         } else {
-            // Fall back to cargo run (slower, but works from any directory).
-            Command::new("cargo")
-                .args(["run", "--release", "-p", "ccs-bench", "--bin", bin, "--"])
-                .args(&args)
-                .status()
-        };
-        match status {
-            Ok(s) if s.success() => {}
-            Ok(s) => eprintln!("{bin} exited with {s}"),
-            Err(e) => eprintln!("failed to run {bin}: {e}"),
+            println!("\n===== {name} =====");
+            print!("{}", report.to_tsv());
         }
+        merged.merge(report);
+    }
+
+    if !opts.quick {
+        // The remaining binaries are not sweep-shaped (table regeneration,
+        // profiler timing); run them as subprocesses as before.
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let exe_dir = std::env::current_exe()
+            .expect("current exe")
+            .parent()
+            .expect("exe dir")
+            .to_path_buf();
+        for bin in ["tables_2_3", "fig8_auto_coarsening", "sec61_profiler_speed"] {
+            if opts.json_to_stdout() {
+                eprintln!("\n===== {bin} =====");
+            } else {
+                println!("\n===== {bin} =====");
+            }
+            let path = exe_dir.join(bin);
+            let mut command = if path.exists() {
+                Command::new(&path)
+            } else {
+                // Fall back to cargo run (slower, but works from any directory).
+                let mut c = Command::new("cargo");
+                c.args(["run", "--release", "-p", "ccs-bench", "--bin", bin, "--"]);
+                c
+            };
+            command.args(&args);
+            if opts.json_to_stdout() {
+                // Children inherit our stdout by default; with `--json -`
+                // that would interleave their tables with the JSON document,
+                // so forward their output to stderr instead.
+                let status = command.output().map(|out| {
+                    eprint!("{}", String::from_utf8_lossy(&out.stdout));
+                    eprint!("{}", String::from_utf8_lossy(&out.stderr));
+                    out.status
+                });
+                report_status(bin, status);
+            } else {
+                report_status(bin, command.status());
+            }
+        }
+    }
+
+    // Quick runs always leave a machine-readable trajectory behind.
+    if opts.quick && opts.json.is_none() {
+        opts.json = Some(PathBuf::from("BENCH_run_all.json"));
+    }
+    if let Err(e) = opts.emit_json(&merged) {
+        eprintln!("failed to write JSON report: {e}");
+    }
+}
+
+fn report_status(bin: &str, status: std::io::Result<std::process::ExitStatus>) {
+    match status {
+        Ok(s) if s.success() => {}
+        Ok(s) => eprintln!("{bin} exited with {s}"),
+        Err(e) => eprintln!("failed to run {bin}: {e}"),
     }
 }

@@ -23,9 +23,8 @@ fn main() {
     let opts = Options::from_env();
     let scale = opts.effective_scale();
     let n_items = ((32u64 << 20) / scale).max(1 << 14);
-    let params = MergesortParams::new(n_items).with_task_working_set(
-        ((1u64 << 20) / scale.max(1)).max(8 * 1024),
-    );
+    let params = MergesortParams::new(n_items)
+        .with_task_working_set(((1u64 << 20) / scale.max(1)).max(8 * 1024));
     let comp = mergesort::build(&params);
     let tree = TaskGroupTree::from_computation(&comp);
     let total_refs = comp.total_refs();
@@ -64,7 +63,11 @@ fn main() {
     let revisit_factor = revisits as f64 / profile.refs_in(root.rank_range()).max(1) as f64;
 
     println!("algorithm\tseconds\trefs_processed\trevisit_factor");
-    println!("LruTree (one pass)\t{:.3}\t{}\t1.0", lrutree.as_secs_f64(), total_refs);
+    println!(
+        "LruTree (one pass)\t{:.3}\t{}\t1.0",
+        lrutree.as_secs_f64(),
+        total_refs
+    );
     println!(
         "SetAssoc (per group)\t{:.3}\t{}\t{:.1}",
         setassoc.as_secs_f64(),

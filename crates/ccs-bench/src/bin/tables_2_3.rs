@@ -9,10 +9,18 @@ fn main() {
     println!("== Table 1: common parameters ==");
     let l1 = ccs_cache::CacheConfig::paper_l1();
     let mem = ccs_cache::MemoryConfig::paper_default();
-    println!("Private L1 cache : {} KB, {}-byte line, {}-way, {}-cycle hit",
-        l1.capacity / 1024, l1.line_size, l1.associativity, l1.hit_latency);
+    println!(
+        "Private L1 cache : {} KB, {}-byte line, {}-way, {}-cycle hit",
+        l1.capacity / 1024,
+        l1.line_size,
+        l1.associativity,
+        l1.hit_latency
+    );
     println!("Shared  L2 cache : 128-byte line, configuration-dependent");
-    println!("Main memory      : latency {} cycles, service rate {} cycles", mem.latency, mem.service_interval);
+    println!(
+        "Main memory      : latency {} cycles, service rate {} cycles",
+        mem.latency, mem.service_interval
+    );
     println!();
 
     println!("== Table 2: default (scaling technology) configurations ==");

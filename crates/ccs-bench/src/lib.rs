@@ -2,213 +2,93 @@
 //! table and figure of Chen et al., SPAA 2007.
 //!
 //! Each binary in `src/bin/` reproduces one figure/table (see DESIGN.md's
-//! experiment index).  All of them accept:
+//! experiment index).  The sweeps themselves are described with the
+//! [`Experiment`] builder from `ccs-experiment` — the per-figure functions in
+//! [`figs`] return a serialisable [`Report`], and the binaries are thin
+//! wrappers that print it as TSV and optionally emit JSON (`--json PATH`).
 //!
-//! * `--scale N` — divide the paper's input sizes *and* all cache capacities
-//!   by `N` (default 32) so the full sweep runs on a laptop while preserving
-//!   every capacity ratio (DESIGN.md §4);
-//! * `--quick` — run a reduced sweep (used by the integration smoke tests);
-//! * binary-specific flags such as `--app`.
-//!
-//! Output is tab-separated, one row per measured point, so it can be pasted
-//! into a plotting tool directly.
+//! All binaries accept the shared [`Options`] flags (`--scale`, `--quick`,
+//! `--app`, `--json`) plus binary-specific extras.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub use ccs_experiment::{Experiment, Options, Report, RunRecord, WorkloadSpec};
+
 use ccs_dag::Computation;
-use ccs_sched::SchedulerKind;
+use ccs_sched::SchedulerSpec;
 use ccs_sim::{simulate, CmpConfig, SimResult};
-use ccs_workloads::Benchmark;
 
-/// Command-line options shared by every experiment binary.
-#[derive(Clone, Debug)]
-pub struct Options {
-    /// Input/cache scale divisor (1 = the paper's sizes).
-    pub scale: u64,
-    /// Reduced sweep for smoke tests.
-    pub quick: bool,
-    /// Optional benchmark filter (`--app lu|hashjoin|mergesort`).
-    pub app: Option<Benchmark>,
-    /// Remaining unrecognised flags (binary-specific).
-    pub rest: Vec<String>,
-}
+pub mod figs;
 
-impl Default for Options {
-    fn default() -> Self {
-        Options { scale: 32, quick: false, app: None, rest: Vec::new() }
-    }
-}
-
-impl Options {
-    /// Parse options from `std::env::args`.
-    pub fn from_env() -> Options {
-        Self::parse(std::env::args().skip(1))
-    }
-
-    /// Parse options from an explicit iterator (used by tests).
-    pub fn parse(args: impl IntoIterator<Item = String>) -> Options {
-        let mut opts = Options::default();
-        let mut iter = args.into_iter();
-        while let Some(arg) = iter.next() {
-            match arg.as_str() {
-                "--scale" => {
-                    let v = iter.next().expect("--scale requires a value");
-                    opts.scale = v.parse().expect("--scale must be an integer");
-                }
-                "--quick" => opts.quick = true,
-                "--app" => {
-                    let v = iter.next().expect("--app requires a value");
-                    opts.app = Some(match v.as_str() {
-                        "lu" => Benchmark::Lu,
-                        "hashjoin" => Benchmark::HashJoin,
-                        "mergesort" => Benchmark::Mergesort,
-                        other => panic!("unknown app {other:?} (lu|hashjoin|mergesort)"),
-                    });
-                }
-                other => opts.rest.push(other.to_string()),
-            }
-        }
-        opts
-    }
-
-    /// The benchmarks selected by `--app` (or all three).
-    pub fn benchmarks(&self) -> Vec<Benchmark> {
-        match self.app {
-            Some(b) => vec![b],
-            None => vec![Benchmark::Lu, Benchmark::HashJoin, Benchmark::Mergesort],
-        }
-    }
-
-    /// In quick mode shrink the workloads further so smoke tests stay fast.
-    pub fn effective_scale(&self) -> u64 {
-        if self.quick {
-            self.scale.max(256)
-        } else {
-            self.scale
-        }
-    }
-}
-
-/// One measured point: a workload simulated on a configuration under a
-/// scheduler.
-#[derive(Clone, Debug)]
-pub struct Measurement {
-    /// The benchmark.
-    pub benchmark: Benchmark,
-    /// The (scaled) configuration name.
-    pub config: String,
-    /// Cores in the configuration.
-    pub cores: usize,
-    /// The simulation result.
-    pub result: SimResult,
-}
-
-/// Build a benchmark at the scale implied by `opts` for a given (unscaled)
-/// configuration.
-pub fn build_workload(bench: Benchmark, cfg: &CmpConfig, opts: &Options) -> Computation {
-    let scale = opts.effective_scale();
-    let scaled_l2 = (cfg.l2.capacity / scale).max(16 * 1024);
-    bench.build_scaled(scale, scaled_l2, cfg.num_cores)
-}
-
-/// Simulate `comp` on the scaled version of `cfg` under `kind`.
+/// Simulate `comp` on the scaled version of `cfg` under the selected
+/// scheduler.  Used by the non-sweep binaries (`fig8_auto_coarsening`);
+/// sweep-shaped work goes through [`Experiment`] instead.
 pub fn run_sim(
     comp: &Computation,
     cfg: &CmpConfig,
     opts: &Options,
-    kind: SchedulerKind,
+    sched: impl Into<SchedulerSpec>,
 ) -> SimResult {
     let scaled = cfg.scaled(opts.effective_scale());
-    simulate(comp, &scaled, kind)
+    simulate(comp, &scaled, sched)
 }
 
-/// PDF, WS and sequential-baseline results for one benchmark on one
-/// configuration.
-pub struct PdfWsPair {
-    /// PDF result.
-    pub pdf: SimResult,
-    /// WS result.
-    pub ws: SimResult,
-    /// Sequential (1-core, same configuration family) result — the
-    /// denominator of the paper's speedup plots.
-    pub sequential: SimResult,
-}
-
-/// Run the PDF/WS/sequential triple for one benchmark on one configuration.
-pub fn run_pdf_ws(bench: Benchmark, cfg: &CmpConfig, opts: &Options) -> PdfWsPair {
-    let comp = build_workload(bench, cfg, opts);
-    let pdf = run_sim(&comp, cfg, opts, SchedulerKind::Pdf);
-    let ws = run_sim(&comp, cfg, opts, SchedulerKind::WorkStealing);
-    let mut seq_cfg = cfg.clone();
-    seq_cfg.num_cores = 1;
-    seq_cfg.name = format!("{}-seq", cfg.name);
-    let sequential = run_sim(&comp, &seq_cfg, opts, SchedulerKind::Pdf);
-    PdfWsPair { pdf, ws, sequential }
-}
-
-/// Print the standard header for PDF-vs-WS tables.
-pub fn print_header(extra: &str) {
-    println!("app\tconfig\tcores\tsched\tcycles\tspeedup\tl2_mpki\tbw_util\t{extra}");
-}
-
-/// Print one row of the standard PDF-vs-WS table.
-pub fn print_row(
-    bench: Benchmark,
-    cfg_name: &str,
-    cores: usize,
-    r: &SimResult,
-    seq: &SimResult,
-    extra: &str,
-) {
-    println!(
-        "{}\t{}\t{}\t{}\t{}\t{:.3}\t{:.4}\t{:.3}\t{}",
-        bench,
-        cfg_name,
-        cores,
-        r.scheduler,
-        r.cycles,
-        r.speedup_over(seq),
-        r.l2_mpki(),
-        r.bandwidth_utilization,
-        extra
-    );
+/// Print a report as the standard tab-separated table, preceded by a
+/// commented title line on stderr.  With `--json -` the table moves to
+/// stderr so stdout carries nothing but the JSON document.
+pub fn print_report(title: &str, report: &Report, opts: &Options) {
+    eprintln!("# {title}, scale 1/{}", report.scale);
+    if opts.json_to_stdout() {
+        eprint!("{}", report.to_tsv());
+    } else {
+        print!("{}", report.to_tsv());
+    }
+    if let Err(e) = opts.emit_json(report) {
+        eprintln!("# failed to write JSON report: {e}");
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn options_parsing() {
-        let o = Options::parse(
-            ["--scale", "64", "--quick", "--app", "mergesort", "--foo"]
-                .into_iter()
-                .map(String::from),
-        );
-        assert_eq!(o.scale, 64);
-        assert!(o.quick);
-        assert_eq!(o.app, Some(Benchmark::Mergesort));
-        assert_eq!(o.rest, vec!["--foo".to_string()]);
-        assert_eq!(o.benchmarks(), vec![Benchmark::Mergesort]);
-        assert_eq!(o.effective_scale(), 256);
-    }
-
-    #[test]
-    fn defaults() {
-        let o = Options::default();
-        assert_eq!(o.scale, 32);
-        assert_eq!(o.benchmarks().len(), 3);
-        assert_eq!(o.effective_scale(), 32);
-    }
+    use ccs_workloads::Benchmark;
 
     #[test]
     fn quick_pdf_ws_run_is_consistent() {
-        let opts = Options { quick: true, scale: 512, ..Options::default() };
-        let cfg = CmpConfig::default_with_cores(4).unwrap();
-        let pair = run_pdf_ws(Benchmark::Mergesort, &cfg, &opts);
-        assert_eq!(pair.pdf.instructions, pair.ws.instructions);
-        assert!(pair.pdf.cycles > 0 && pair.ws.cycles > 0);
-        assert!(pair.sequential.cycles >= pair.pdf.cycles);
+        let report = Experiment::new(Benchmark::Mergesort)
+            .cores(4)
+            .scale(512)
+            .quick(true)
+            .schedulers(["pdf", "ws"])
+            .run();
+        let pdf = report.for_scheduler("pdf").next().unwrap();
+        let ws = report.for_scheduler("ws").next().unwrap();
+        assert_eq!(pdf.instructions, ws.instructions);
+        assert!(pdf.cycles > 0 && ws.cycles > 0);
+        assert!(pdf.speedup_over_seq.unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn fig_reports_cover_their_sweeps_in_quick_mode() {
+        let opts = Options {
+            quick: true,
+            scale: 512,
+            app: Some(Benchmark::Mergesort),
+            ..Options::default()
+        };
+        let fig2 = figs::fig2(&opts);
+        // Quick mode: 1–8 cores in powers of two, PDF + WS per point.
+        assert_eq!(fig2.len(), 4 * 2);
+        assert!(fig2.records.iter().all(|r| r.cores <= 8));
+        assert!(fig2.records.iter().all(|r| r.speedup_over_seq.is_some()));
+
+        let fig6 = figs::fig6(&opts);
+        assert!(!fig6.is_empty());
+        // The granularity sweep encodes the task working set in the name.
+        assert!(fig6
+            .records
+            .iter()
+            .all(|r| r.workload.starts_with("mergesort/ws=")));
     }
 }

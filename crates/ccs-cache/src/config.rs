@@ -24,7 +24,12 @@ impl CacheConfig {
     /// Panics if the geometry is inconsistent (non-power-of-two line size,
     /// capacity not divisible into an integral number of sets, ...).
     pub fn new(capacity: u64, line_size: u64, associativity: u32, hit_latency: u64) -> Self {
-        let c = CacheConfig { capacity, line_size, associativity, hit_latency };
+        let c = CacheConfig {
+            capacity,
+            line_size,
+            associativity,
+            hit_latency,
+        };
         c.validate().expect("invalid cache configuration");
         c
     }
@@ -44,9 +49,12 @@ impl CacheConfig {
     /// Check internal consistency.
     pub fn validate(&self) -> Result<(), String> {
         if !self.line_size.is_power_of_two() || self.line_size == 0 {
-            return Err(format!("line size {} must be a power of two", self.line_size));
+            return Err(format!(
+                "line size {} must be a power of two",
+                self.line_size
+            ));
         }
-        if self.capacity == 0 || self.capacity % self.line_size != 0 {
+        if self.capacity == 0 || !self.capacity.is_multiple_of(self.line_size) {
             return Err(format!(
                 "capacity {} must be a non-zero multiple of the line size {}",
                 self.capacity, self.line_size
@@ -56,7 +64,7 @@ impl CacheConfig {
             return Err("associativity must be positive".into());
         }
         let lines = self.capacity / self.line_size;
-        if lines % self.associativity as u64 != 0 {
+        if !lines.is_multiple_of(self.associativity as u64) {
             return Err(format!(
                 "{} lines cannot be divided into {}-way sets",
                 lines, self.associativity
@@ -105,7 +113,10 @@ impl MemoryConfig {
     /// The paper's main-memory parameters: 300-cycle latency, one request per
     /// 30 cycles.
     pub fn paper_default() -> Self {
-        MemoryConfig { latency: 300, service_interval: 30 }
+        MemoryConfig {
+            latency: 300,
+            service_interval: 30,
+        }
     }
 
     /// Override the latency (used by the Fig. 5 sensitivity sweep).
@@ -153,18 +164,38 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        assert!(CacheConfig { capacity: 1000, line_size: 128, associativity: 4, hit_latency: 1 }
-            .validate()
-            .is_err());
-        assert!(CacheConfig { capacity: 1024, line_size: 100, associativity: 4, hit_latency: 1 }
-            .validate()
-            .is_err());
-        assert!(CacheConfig { capacity: 1024, line_size: 128, associativity: 3, hit_latency: 1 }
-            .validate()
-            .is_err());
-        assert!(CacheConfig { capacity: 1024, line_size: 128, associativity: 0, hit_latency: 1 }
-            .validate()
-            .is_err());
+        assert!(CacheConfig {
+            capacity: 1000,
+            line_size: 128,
+            associativity: 4,
+            hit_latency: 1
+        }
+        .validate()
+        .is_err());
+        assert!(CacheConfig {
+            capacity: 1024,
+            line_size: 100,
+            associativity: 4,
+            hit_latency: 1
+        }
+        .validate()
+        .is_err());
+        assert!(CacheConfig {
+            capacity: 1024,
+            line_size: 128,
+            associativity: 3,
+            hit_latency: 1
+        }
+        .validate()
+        .is_err());
+        assert!(CacheConfig {
+            capacity: 1024,
+            line_size: 128,
+            associativity: 0,
+            hit_latency: 1
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

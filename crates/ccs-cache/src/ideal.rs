@@ -25,7 +25,10 @@ pub struct IdealCache {
 impl IdealCache {
     /// An ideal cache holding `capacity_lines` lines of `line_size` bytes.
     pub fn new(capacity_lines: u64, line_size: u64) -> Self {
-        assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(capacity_lines > 0, "capacity must be positive");
         IdealCache {
             capacity_lines,

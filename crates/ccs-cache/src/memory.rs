@@ -33,7 +33,11 @@ pub struct MainMemory {
 impl MainMemory {
     /// A controller with the given timing.
     pub fn new(config: MemoryConfig) -> Self {
-        MainMemory { config, next_free: 0, stats: MemoryStats::default() }
+        MainMemory {
+            config,
+            next_free: 0,
+            stats: MemoryStats::default(),
+        }
     }
 
     /// The configured timing.
@@ -106,7 +110,10 @@ mod tests {
 
     #[test]
     fn utilization_reflects_busy_fraction() {
-        let mut m = MainMemory::new(MemoryConfig { latency: 100, service_interval: 10 });
+        let mut m = MainMemory::new(MemoryConfig {
+            latency: 100,
+            service_interval: 10,
+        });
         for i in 0..10 {
             m.request(i * 20);
         }

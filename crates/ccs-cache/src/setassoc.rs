@@ -21,7 +21,11 @@ pub struct AccessOutcome {
 
 impl AccessOutcome {
     fn hit() -> Self {
-        AccessOutcome { hit: true, evicted: None, writeback: false }
+        AccessOutcome {
+            hit: true,
+            evicted: None,
+            writeback: false,
+        }
     }
 }
 
@@ -47,8 +51,14 @@ impl SetAssocCache {
     /// Create an empty (cold) cache.
     pub fn new(config: CacheConfig) -> Self {
         config.validate().expect("invalid cache configuration");
-        let sets = vec![Vec::with_capacity(config.associativity as usize); config.num_sets() as usize];
-        SetAssocCache { config, sets, stats: CacheStats::default(), clock: 0 }
+        let sets =
+            vec![Vec::with_capacity(config.associativity as usize); config.num_sets() as usize];
+        SetAssocCache {
+            config,
+            sets,
+            stats: CacheStats::default(),
+            clock: 0,
+        }
     }
 
     /// The cache's configuration.
@@ -86,7 +96,11 @@ impl SetAssocCache {
 
     /// Probe the cache with an already line-aligned address.
     pub fn access_line(&mut self, line: u64, kind: AccessKind) -> AccessOutcome {
-        debug_assert_eq!(line % self.config.line_size, 0, "address must be line-aligned");
+        debug_assert_eq!(
+            line % self.config.line_size,
+            0,
+            "address must be line-aligned"
+        );
         self.clock += 1;
         let clock = self.clock;
         let is_write = kind.is_write();
@@ -103,7 +117,11 @@ impl SetAssocCache {
 
         // Miss: allocate, evicting the LRU way if the set is full.
         self.stats.record(false, is_write);
-        let mut outcome = AccessOutcome { hit: false, evicted: None, writeback: false };
+        let mut outcome = AccessOutcome {
+            hit: false,
+            evicted: None,
+            writeback: false,
+        };
         if set.len() == assoc {
             let victim_idx = set
                 .iter()
@@ -116,7 +134,11 @@ impl SetAssocCache {
             outcome.evicted = Some(victim.line);
             outcome.writeback = victim.dirty;
         }
-        set.push(Way { line, dirty: is_write, last_used: clock });
+        set.push(Way {
+            line,
+            dirty: is_write,
+            last_used: clock,
+        });
         outcome
     }
 
@@ -138,7 +160,11 @@ impl SetAssocCache {
     /// allocated, evicting the LRU way if necessary (the eviction *is*
     /// recorded).  Returns the eviction outcome.
     pub fn fill_line(&mut self, line: u64, dirty: bool) -> AccessOutcome {
-        debug_assert_eq!(line % self.config.line_size, 0, "address must be line-aligned");
+        debug_assert_eq!(
+            line % self.config.line_size,
+            0,
+            "address must be line-aligned"
+        );
         self.clock += 1;
         let clock = self.clock;
         let set_idx = self.config.set_of(line) as usize;
@@ -149,7 +175,11 @@ impl SetAssocCache {
             way.dirty |= dirty;
             return AccessOutcome::hit();
         }
-        let mut outcome = AccessOutcome { hit: false, evicted: None, writeback: false };
+        let mut outcome = AccessOutcome {
+            hit: false,
+            evicted: None,
+            writeback: false,
+        };
         if set.len() == assoc {
             let victim_idx = set
                 .iter()
@@ -162,7 +192,11 @@ impl SetAssocCache {
             outcome.evicted = Some(victim.line);
             outcome.writeback = victim.dirty;
         }
-        set.push(Way { line, dirty, last_used: clock });
+        set.push(Way {
+            line,
+            dirty,
+            last_used: clock,
+        });
         outcome
     }
 
@@ -200,7 +234,10 @@ mod tests {
     fn cold_miss_then_hit() {
         let mut c = small_cache();
         assert!(!c.access_addr(0, AccessKind::Read).hit);
-        assert!(c.access_addr(32, AccessKind::Read).hit, "same line must hit");
+        assert!(
+            c.access_addr(32, AccessKind::Read).hit,
+            "same line must hit"
+        );
         assert_eq!(c.stats().misses, 1);
         assert_eq!(c.stats().hits, 1);
     }
@@ -240,7 +277,7 @@ mod tests {
         c.access_line(64, AccessKind::Read); // set 1
         c.access_line(128, AccessKind::Read); // set 0
         c.access_line(192, AccessKind::Read); // set 1
-        // All four lines fit: no evictions.
+                                              // All four lines fit: no evictions.
         assert_eq!(c.stats().evictions, 0);
         assert_eq!(c.resident_lines(), 4);
     }

@@ -20,7 +20,11 @@ impl Region {
     /// Address of byte `offset` within the region (checked in debug builds).
     #[inline]
     pub fn at(&self, offset: u64) -> u64 {
-        debug_assert!(offset < self.bytes, "offset {offset} out of region of {} bytes", self.bytes);
+        debug_assert!(
+            offset < self.bytes,
+            "offset {offset} out of region of {} bytes",
+            self.bytes
+        );
         self.base + offset
     }
 
@@ -37,7 +41,10 @@ impl Region {
             "slice {offset}+{bytes} exceeds region of {} bytes",
             self.bytes
         );
-        Region { base: self.base + offset, bytes }
+        Region {
+            base: self.base + offset,
+            bytes,
+        }
     }
 
     /// One past the last byte of the region.
@@ -63,7 +70,10 @@ impl AddressSpace {
     /// A fresh address space starting at a non-zero base (so address 0 is
     /// never valid, which helps catch uninitialised-address bugs).
     pub fn new() -> Self {
-        AddressSpace { next: DEFAULT_ALIGN, allocated: 0 }
+        AddressSpace {
+            next: DEFAULT_ALIGN,
+            allocated: 0,
+        }
     }
 
     /// Allocate `bytes` bytes aligned to [`DEFAULT_ALIGN`].

@@ -48,7 +48,10 @@ impl Dag {
         for idx in 0..num_nodes {
             let node = &comp.nodes()[idx];
             let e = match node.kind {
-                SpKind::Strand(t) => Ends { sources: vec![t], sinks: vec![t] },
+                SpKind::Strand(t) => Ends {
+                    sources: vec![t],
+                    sinks: vec![t],
+                },
                 SpKind::Par => {
                     let mut sources = Vec::new();
                     let mut sinks = Vec::new();
@@ -76,7 +79,10 @@ impl Dag {
                     }
                     let first = ends[children.first().unwrap().index()].as_ref().unwrap();
                     let last = ends[children.last().unwrap().index()].as_ref().unwrap();
-                    Ends { sources: first.sources.clone(), sinks: last.sinks.clone() }
+                    Ends {
+                        sources: first.sources.clone(),
+                        sinks: last.sinks.clone(),
+                    }
                 }
             };
             ends[idx] = Some(e);
@@ -90,7 +96,13 @@ impl Dag {
 
         let work = comp.tasks().iter().map(|t| t.work).collect();
 
-        Dag { work, succs, preds, seq_order, seq_rank }
+        Dag {
+            work,
+            succs,
+            preds,
+            seq_order,
+            seq_rank,
+        }
     }
 
     /// Number of tasks.

@@ -141,7 +141,11 @@ impl TaskGroupTree {
             }
         }
 
-        TaskGroupTree { groups, root: GroupId(0), seq_tasks }
+        TaskGroupTree {
+            groups,
+            root: GroupId(0),
+            seq_tasks,
+        }
     }
 
     /// The root group (covers every task).

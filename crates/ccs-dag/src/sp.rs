@@ -75,12 +75,20 @@ pub struct GroupMeta {
 impl GroupMeta {
     /// Metadata with just a label.
     pub fn labeled(label: &'static str) -> Self {
-        GroupMeta { site: None, param: 0, label }
+        GroupMeta {
+            site: None,
+            param: 0,
+            label,
+        }
     }
 
     /// Metadata with a label and a parallelization parameter.
     pub fn with_param(label: &'static str, param: u64) -> Self {
-        GroupMeta { site: None, param, label }
+        GroupMeta {
+            site: None,
+            param,
+            label,
+        }
     }
 
     /// Attach a call site.
@@ -184,9 +192,9 @@ impl Computation {
     /// pairs along with the reference.  This is the trace the working-set
     /// profiler consumes.
     pub fn sequential_refs(&self) -> impl Iterator<Item = (TaskId, &crate::task::MemRef)> {
-        self.sequential_order().into_iter().flat_map(move |tid| {
-            self.task(tid).trace.refs().map(move |r| (tid, r))
-        })
+        self.sequential_order()
+            .into_iter()
+            .flat_map(move |tid| self.task(tid).trace.refs().map(move |r| (tid, r)))
     }
 
     /// Depth of the SP tree (number of nodes on the longest root-to-leaf
@@ -239,8 +247,15 @@ impl ComputationBuilder {
     /// Create a builder; `line_size` is the cache-line granularity passed to
     /// every [`TraceBuilder`] it hands out.
     pub fn new(line_size: u64) -> Self {
-        assert!(line_size.is_power_of_two(), "line size must be a power of two");
-        ComputationBuilder { tasks: Vec::new(), nodes: Vec::new(), line_size }
+        assert!(
+            line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        ComputationBuilder {
+            tasks: Vec::new(),
+            nodes: Vec::new(),
+            line_size,
+        }
     }
 
     /// The cache-line granularity of this builder.
@@ -268,7 +283,11 @@ impl ComputationBuilder {
     pub fn strand_meta(&mut self, trace: TaskTrace, meta: GroupMeta) -> SpNodeId {
         let tid = TaskId(self.tasks.len() as u32);
         self.tasks.push(Task::new(trace));
-        self.push_node(SpNode { kind: SpKind::Strand(tid), children: Vec::new(), meta })
+        self.push_node(SpNode {
+            kind: SpKind::Strand(tid),
+            children: Vec::new(),
+            meta,
+        })
     }
 
     /// Add a strand whose trace is produced by `f` on a fresh [`TraceBuilder`].
@@ -301,7 +320,11 @@ impl ComputationBuilder {
     pub fn seq(&mut self, children: Vec<SpNodeId>, meta: GroupMeta) -> SpNodeId {
         assert!(!children.is_empty(), "seq requires at least one child");
         self.check_children(&children);
-        self.push_node(SpNode { kind: SpKind::Seq, children, meta })
+        self.push_node(SpNode {
+            kind: SpKind::Seq,
+            children,
+            meta,
+        })
     }
 
     /// Compose `children` in parallel (fork/join block).
@@ -310,7 +333,11 @@ impl ComputationBuilder {
     pub fn par(&mut self, children: Vec<SpNodeId>, meta: GroupMeta) -> SpNodeId {
         assert!(!children.is_empty(), "par requires at least one child");
         self.check_children(&children);
-        self.push_node(SpNode { kind: SpKind::Par, children, meta })
+        self.push_node(SpNode {
+            kind: SpKind::Par,
+            children,
+            meta,
+        })
     }
 
     /// Compose `children` in parallel, preceded by an explicit *fork strand*
@@ -329,7 +356,11 @@ impl ComputationBuilder {
         meta: GroupMeta,
         spawn_cost: u64,
     ) -> SpNodeId {
-        let spawn_meta = GroupMeta { site: meta.site, param: meta.param, label: "spawn" };
+        let spawn_meta = GroupMeta {
+            site: meta.site,
+            param: meta.param,
+            label: "spawn",
+        };
         let spawn = self.strand_meta(TaskTrace::compute_only(spawn_cost), spawn_meta);
         let par = self.par(children, meta.clone());
         self.seq(vec![spawn, par], meta)
@@ -384,7 +415,11 @@ impl ComputationBuilder {
         );
         let mut seen = vec![false; comp.tasks.len()];
         for t in &order {
-            assert!(!seen[t.index()], "task {:?} appears twice in the SP tree", t);
+            assert!(
+                !seen[t.index()],
+                "task {:?} appears twice in the SP tree",
+                t
+            );
             seen[t.index()] = true;
         }
         comp
@@ -470,8 +505,7 @@ mod tests {
         });
         let root = b.seq(vec![a, c], GroupMeta::default());
         let comp = b.finish(root);
-        let refs: Vec<(TaskId, u64)> =
-            comp.sequential_refs().map(|(t, r)| (t, r.addr)).collect();
+        let refs: Vec<(TaskId, u64)> = comp.sequential_refs().map(|(t, r)| (t, r.addr)).collect();
         assert_eq!(
             refs,
             vec![(TaskId(0), 0), (TaskId(0), 64), (TaskId(1), 128)]

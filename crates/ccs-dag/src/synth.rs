@@ -61,7 +61,14 @@ pub fn random_computation(seed: u64, params: &SynthParams) -> Computation {
         .map(|_| space.alloc(params.region_bytes.max(params.line_size)))
         .collect();
     let mut b = ComputationBuilder::new(params.line_size);
-    let root = gen_node(&mut b, &mut rng, &mut space, &regions, params, params.max_depth);
+    let root = gen_node(
+        &mut b,
+        &mut rng,
+        &mut space,
+        &regions,
+        params,
+        params.max_depth,
+    );
     b.finish(root)
 }
 
@@ -123,9 +130,16 @@ fn gen_node(
         let children: Vec<_> = (0..k)
             .map(|_| gen_node(b, rng, space, regions, params, depth - 1))
             .collect();
-        let par = b.forked_par(children, GroupMeta::with_param("synth-par", depth as u64), 8);
+        let par = b.forked_par(
+            children,
+            GroupMeta::with_param("synth-par", depth as u64),
+            8,
+        );
         let join = gen_strand(b, rng, space, regions, params);
-        b.seq(vec![par, join], GroupMeta::with_param("synth-fork-join", depth as u64))
+        b.seq(
+            vec![par, join],
+            GroupMeta::with_param("synth-fork-join", depth as u64),
+        )
     } else {
         let k = rng.gen_range(2..=params.max_seq_len.max(2));
         let children: Vec<_> = (0..k)
@@ -170,15 +184,20 @@ mod tests {
         for seed in 0..20 {
             let comp = random_computation(seed, &p);
             let dag = Dag::from_computation(&comp);
-            dag.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            dag.validate()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             let tree = TaskGroupTree::from_computation(&comp);
-            tree.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            tree.validate()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
     }
 
     #[test]
     fn depth_zero_gives_single_strand() {
-        let p = SynthParams { max_depth: 0, ..SynthParams::default() };
+        let p = SynthParams {
+            max_depth: 0,
+            ..SynthParams::default()
+        };
         let comp = random_computation(7, &p);
         assert_eq!(comp.num_tasks(), 1);
     }

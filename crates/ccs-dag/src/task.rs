@@ -73,13 +73,21 @@ impl MemRef {
     /// A read of `size` bytes at `addr`.
     #[inline]
     pub fn read(addr: u64, size: u32) -> Self {
-        MemRef { addr, size, kind: AccessKind::Read }
+        MemRef {
+            addr,
+            size,
+            kind: AccessKind::Read,
+        }
     }
 
     /// A write of `size` bytes at `addr`.
     #[inline]
     pub fn write(addr: u64, size: u32) -> Self {
-        MemRef { addr, size, kind: AccessKind::Write }
+        MemRef {
+            addr,
+            size,
+            kind: AccessKind::Write,
+        }
     }
 
     /// Iterator over the cache-line addresses (aligned to `line_size`) that
@@ -130,7 +138,10 @@ impl TaskTrace {
     /// A compute-only trace of `instructions` instructions and no memory
     /// references.
     pub fn compute_only(instructions: u64) -> Self {
-        TaskTrace { ops: Vec::new(), post_compute: instructions }
+        TaskTrace {
+            ops: Vec::new(),
+            post_compute: instructions,
+        }
     }
 
     /// Build a trace from raw parts.
@@ -211,8 +222,15 @@ impl TraceBuilder {
     /// Create a builder that coalesces range accesses at `line_size`-byte
     /// granularity. `line_size` must be a power of two.
     pub fn new(line_size: u64) -> Self {
-        assert!(line_size.is_power_of_two(), "line size must be a power of two");
-        TraceBuilder { line_size, pending_compute: 0, ops: Vec::new() }
+        assert!(
+            line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        TraceBuilder {
+            line_size,
+            pending_compute: 0,
+            ops: Vec::new(),
+        }
     }
 
     /// The configured cache-line size.
@@ -238,7 +256,10 @@ impl TraceBuilder {
             });
             self.pending_compute -= u32::MAX as u64 + 1;
         }
-        self.ops.push(TraceOp { pre_compute: self.pending_compute as u32, mem });
+        self.ops.push(TraceOp {
+            pre_compute: self.pending_compute as u32,
+            mem,
+        });
         self.pending_compute = 0;
         self
     }
@@ -263,7 +284,11 @@ impl TraceBuilder {
         let mut a = first;
         loop {
             self.compute(instr_per_line);
-            self.access(MemRef { addr: a, size: line as u32, kind });
+            self.access(MemRef {
+                addr: a,
+                size: line as u32,
+                kind,
+            });
             if a == last {
                 break;
             }
@@ -292,7 +317,10 @@ impl TraceBuilder {
 
     /// Finish the trace.
     pub fn finish(self) -> TaskTrace {
-        TaskTrace { ops: self.ops, post_compute: self.pending_compute }
+        TaskTrace {
+            ops: self.ops,
+            post_compute: self.pending_compute,
+        }
     }
 }
 

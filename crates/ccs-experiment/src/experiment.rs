@@ -1,0 +1,402 @@
+//! Builder-style experiment sessions.
+//!
+//! An [`Experiment`] describes a sweep declaratively — workloads ×
+//! schedulers × CMP design points, plus a scale divisor — and
+//! [`Experiment::run`] fans the cross-product into [`RunRecord`]s collected
+//! in a [`Report`].  This replaces the hand-rolled sweep loops the seed's
+//! figure binaries each carried.
+
+use std::sync::Arc;
+
+use ccs_dag::Computation;
+use ccs_sched::SchedulerSpec;
+use ccs_sim::{simulate, CmpConfig};
+use ccs_workloads::Benchmark;
+
+use crate::report::{Report, RunRecord};
+
+/// The quick-mode scale clamp: smoke tests always run at a divisor of at
+/// least 256.  Single authority for both [`Experiment::effective_scale`] and
+/// [`Options::effective_scale`](crate::Options::effective_scale).
+pub fn effective_scale(scale: u64, quick: bool) -> u64 {
+    if quick {
+        scale.max(256)
+    } else {
+        scale
+    }
+}
+
+/// A workload an experiment can run: either one of the paper's named
+/// benchmarks (rebuilt per design point so task granularity tracks the cache)
+/// or a fixed, caller-built computation.
+#[derive(Clone)]
+pub enum WorkloadSpec {
+    /// A paper benchmark, built per design point via
+    /// [`Benchmark::build_scaled`].
+    Benchmark(Benchmark),
+    /// A fixed computation, reused as-is at every design point.
+    Fixed {
+        /// Name used in records.
+        name: String,
+        /// The computation to simulate.
+        comp: Arc<Computation>,
+    },
+}
+
+impl WorkloadSpec {
+    /// A fixed workload from a caller-built computation.
+    pub fn fixed(name: impl Into<String>, comp: Computation) -> WorkloadSpec {
+        WorkloadSpec::Fixed {
+            name: name.into(),
+            comp: Arc::new(comp),
+        }
+    }
+
+    /// The name used in records.
+    pub fn name(&self) -> &str {
+        match self {
+            WorkloadSpec::Benchmark(b) => b.name(),
+            WorkloadSpec::Fixed { name, .. } => name,
+        }
+    }
+
+    /// Build (or reuse) the computation for one design point.
+    fn build(&self, scale: u64, l2_bytes: u64, cores: usize) -> Arc<Computation> {
+        match self {
+            WorkloadSpec::Benchmark(b) => Arc::new(b.build_scaled(scale, l2_bytes, cores)),
+            WorkloadSpec::Fixed { comp, .. } => Arc::clone(comp),
+        }
+    }
+}
+
+impl From<Benchmark> for WorkloadSpec {
+    fn from(b: Benchmark) -> WorkloadSpec {
+        WorkloadSpec::Benchmark(b)
+    }
+}
+
+/// Core counts accepted by [`Experiment::cores`]: a single count, a slice, an
+/// array, a `Vec`, or anything iterable.
+pub trait CoreSelection {
+    /// The selected core counts.
+    fn core_counts(self) -> Vec<usize>;
+}
+
+impl CoreSelection for usize {
+    fn core_counts(self) -> Vec<usize> {
+        vec![self]
+    }
+}
+
+impl<const N: usize> CoreSelection for [usize; N] {
+    fn core_counts(self) -> Vec<usize> {
+        self.to_vec()
+    }
+}
+
+impl CoreSelection for &[usize] {
+    fn core_counts(self) -> Vec<usize> {
+        self.to_vec()
+    }
+}
+
+impl CoreSelection for Vec<usize> {
+    fn core_counts(self) -> Vec<usize> {
+        self
+    }
+}
+
+impl CoreSelection for std::ops::Range<usize> {
+    fn core_counts(self) -> Vec<usize> {
+        self.collect()
+    }
+}
+
+/// A declarative sweep: workloads × schedulers × CMP design points.
+///
+/// ```
+/// use ccs_experiment::Experiment;
+/// use ccs_sched::SchedulerKind;
+/// use ccs_workloads::Benchmark;
+///
+/// let report = Experiment::new(Benchmark::Mergesort)
+///     .cores(8)
+///     .scale(512)
+///     .schedulers([SchedulerKind::Pdf, SchedulerKind::WorkStealing])
+///     .run();
+/// assert_eq!(report.len(), 2);
+/// let pdf = report.for_scheduler("pdf").next().unwrap();
+/// let ws = report.for_scheduler("ws").next().unwrap();
+/// assert!(pdf.l2_misses <= ws.l2_misses, "PDF shares the cache constructively");
+/// ```
+#[derive(Clone)]
+pub struct Experiment {
+    name: String,
+    workloads: Vec<WorkloadSpec>,
+    schedulers: Vec<SchedulerSpec>,
+    configs: Vec<CmpConfig>,
+    scale: u64,
+    quick: bool,
+    baseline: bool,
+}
+
+impl Experiment {
+    /// An experiment over one workload (more can be added with
+    /// [`Experiment::workload`]).
+    pub fn new(workload: impl Into<WorkloadSpec>) -> Experiment {
+        let workload = workload.into();
+        Experiment {
+            name: workload.name().to_string(),
+            workloads: vec![workload],
+            schedulers: Vec::new(),
+            configs: Vec::new(),
+            scale: 1,
+            quick: false,
+            baseline: true,
+        }
+    }
+
+    /// An experiment with no workloads yet, named for its report.
+    pub fn named(name: impl Into<String>) -> Experiment {
+        Experiment {
+            name: name.into(),
+            workloads: Vec::new(),
+            schedulers: Vec::new(),
+            configs: Vec::new(),
+            scale: 1,
+            quick: false,
+            baseline: true,
+        }
+    }
+
+    /// Set the report name.
+    pub fn name(mut self, name: impl Into<String>) -> Experiment {
+        self.name = name.into();
+        self
+    }
+
+    /// Add one workload.
+    pub fn workload(mut self, workload: impl Into<WorkloadSpec>) -> Experiment {
+        self.workloads.push(workload.into());
+        self
+    }
+
+    /// Add several workloads.
+    pub fn workloads<W: Into<WorkloadSpec>>(
+        mut self,
+        workloads: impl IntoIterator<Item = W>,
+    ) -> Experiment {
+        self.workloads.extend(workloads.into_iter().map(Into::into));
+        self
+    }
+
+    /// Add the paper's default (Table 2) configuration for each selected core
+    /// count: `.cores(8)`, `.cores([1, 2, 4, 8])`, ….
+    ///
+    /// # Panics
+    /// Panics if a core count has no default configuration (the defaults
+    /// cover 1–32 cores in powers of two).
+    pub fn cores(mut self, selection: impl CoreSelection) -> Experiment {
+        for count in selection.core_counts() {
+            let cfg = CmpConfig::default_with_cores(count)
+                .unwrap_or_else(|| panic!("no default CMP configuration with {count} cores"));
+            self.configs.push(cfg);
+        }
+        self
+    }
+
+    /// Add one explicit design point.
+    pub fn config(mut self, config: CmpConfig) -> Experiment {
+        self.configs.push(config);
+        self
+    }
+
+    /// Add several explicit design points (e.g.
+    /// [`CmpConfig::single_tech_45nm`]).
+    pub fn configs(mut self, configs: impl IntoIterator<Item = CmpConfig>) -> Experiment {
+        self.configs.extend(configs);
+        self
+    }
+
+    /// Add one scheduler.
+    pub fn scheduler(mut self, scheduler: impl Into<SchedulerSpec>) -> Experiment {
+        self.schedulers.push(scheduler.into());
+        self
+    }
+
+    /// Add several schedulers: `SchedulerKind`s, registry names, or full
+    /// specs.
+    pub fn schedulers<S: Into<SchedulerSpec>>(
+        mut self,
+        schedulers: impl IntoIterator<Item = S>,
+    ) -> Experiment {
+        self.schedulers
+            .extend(schedulers.into_iter().map(Into::into));
+        self
+    }
+
+    /// Divide the paper's input sizes *and* all cache capacities by `scale`,
+    /// preserving every capacity ratio (1 = the paper's sizes).
+    pub fn scale(mut self, scale: u64) -> Experiment {
+        self.scale = scale.max(1);
+        self
+    }
+
+    /// Quick mode: clamp the scale divisor to at least 256 so smoke tests
+    /// stay fast (the seed harness's `--quick` semantics).
+    pub fn quick(mut self, quick: bool) -> Experiment {
+        self.quick = quick;
+        self
+    }
+
+    /// Whether to also run a 1-core sequential baseline per workload ×
+    /// design point and record speedups (default: on).
+    pub fn sequential_baseline(mut self, baseline: bool) -> Experiment {
+        self.baseline = baseline;
+        self
+    }
+
+    /// The scale divisor runs will actually use (after `quick` clamping).
+    pub fn effective_scale(&self) -> u64 {
+        effective_scale(self.scale, self.quick)
+    }
+
+    /// Run the full cross-product and collect a [`Report`].
+    ///
+    /// Defaults when a dimension was left unset: schedulers = PDF and WS;
+    /// configs = the paper's 8-core default.
+    ///
+    /// # Panics
+    /// Panics if no workload was added, or if a scheduler name is not
+    /// registered.
+    pub fn run(&self) -> Report {
+        assert!(!self.workloads.is_empty(), "experiment has no workloads");
+        let schedulers: Vec<SchedulerSpec> = if self.schedulers.is_empty() {
+            vec![SchedulerSpec::new("pdf"), SchedulerSpec::new("ws")]
+        } else {
+            self.schedulers.clone()
+        };
+        let configs: Vec<CmpConfig> = if self.configs.is_empty() {
+            vec![CmpConfig::default_with_cores(8).expect("8-core default exists")]
+        } else {
+            self.configs.clone()
+        };
+        let scale = self.effective_scale();
+
+        let mut report = Report::new(self.name.clone(), scale);
+        for workload in &self.workloads {
+            for config in &configs {
+                let scaled = config.scaled(scale);
+                let comp = workload.build(scale, scaled.l2.capacity, config.num_cores);
+                let sequential = self.baseline.then(|| {
+                    let mut seq_cfg = scaled.clone();
+                    seq_cfg.num_cores = 1;
+                    seq_cfg.name = format!("{}-seq", scaled.name);
+                    simulate(&comp, &seq_cfg, "pdf")
+                });
+                for spec in &schedulers {
+                    let result = simulate(&comp, &scaled, spec);
+                    report.records.push(RunRecord::from_sim(
+                        workload.name(),
+                        spec,
+                        &result,
+                        sequential.as_ref(),
+                    ));
+                }
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_dag::{ComputationBuilder, GroupMeta};
+    use ccs_sched::SchedulerKind;
+
+    fn tiny_fixed_workload() -> WorkloadSpec {
+        let mut b = ComputationBuilder::new(128);
+        let mut space = ccs_dag::AddressSpace::new();
+        let region = space.alloc(32 * 1024);
+        let leaves: Vec<_> = (0..4)
+            .map(|_| {
+                b.strand_with(|t| {
+                    t.read_range(region.base, region.bytes, 2);
+                })
+            })
+            .collect();
+        let par = b.par(leaves, GroupMeta::labeled("scan"));
+        let root = b.seq(vec![par], GroupMeta::labeled("root"));
+        WorkloadSpec::fixed("tiny-scan", b.finish(root))
+    }
+
+    #[test]
+    fn cross_product_has_one_record_per_point() {
+        let report = Experiment::new(tiny_fixed_workload())
+            .cores([2, 4])
+            .scale(64)
+            .schedulers([
+                SchedulerKind::Pdf,
+                SchedulerKind::WorkStealing,
+                SchedulerKind::CentralQueue,
+            ])
+            .run();
+        assert_eq!(report.len(), 2 * 3);
+        assert_eq!(report.schedulers(), vec!["central", "pdf", "ws"]);
+        for r in &report.records {
+            assert!(r.cycles > 0);
+            assert!(r.speedup_over_seq.is_some(), "baseline on by default");
+        }
+    }
+
+    #[test]
+    fn defaults_are_pdf_ws_on_default_8() {
+        let report = Experiment::new(tiny_fixed_workload()).scale(64).run();
+        assert_eq!(report.len(), 2);
+        assert!(report.records.iter().all(|r| r.cores == 8));
+    }
+
+    #[test]
+    fn quick_clamps_scale() {
+        let exp = Experiment::new(Benchmark::Mergesort).scale(32).quick(true);
+        assert_eq!(exp.effective_scale(), 256);
+        let exp = Experiment::new(Benchmark::Mergesort).scale(512).quick(true);
+        assert_eq!(exp.effective_scale(), 512);
+    }
+
+    #[test]
+    fn baseline_can_be_disabled() {
+        let report = Experiment::new(tiny_fixed_workload())
+            .cores(2)
+            .scale(64)
+            .sequential_baseline(false)
+            .run();
+        assert!(report.records.iter().all(|r| r.speedup_over_seq.is_none()));
+    }
+
+    #[test]
+    fn seeded_scheduler_records_its_seed() {
+        let report = Experiment::new(tiny_fixed_workload())
+            .cores(2)
+            .scale(64)
+            .scheduler(SchedulerKind::WorkStealingRandom(9))
+            .run();
+        assert_eq!(report.records[0].scheduler, "ws-rand");
+        assert_eq!(report.records[0].seed, Some(9));
+        assert_eq!(report.records[0].scheduler_label(), "ws-rand@9");
+    }
+
+    #[test]
+    fn benchmark_workload_runs_end_to_end() {
+        let report = Experiment::new(Benchmark::Mergesort)
+            .cores(4)
+            .scale(512)
+            .schedulers(["pdf", "ws"])
+            .run();
+        assert_eq!(report.len(), 2);
+        let pdf = report.for_scheduler("pdf").next().unwrap();
+        let ws = report.for_scheduler("ws").next().unwrap();
+        assert_eq!(pdf.instructions, ws.instructions);
+    }
+}

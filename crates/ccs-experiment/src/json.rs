@@ -1,0 +1,639 @@
+//! A small, self-contained JSON value model, writer and parser.
+//!
+//! The build environment cannot fetch `serde`/`serde_json` (see
+//! `shims/README.md`), so report serialisation is implemented over this
+//! module instead.  [`Report::to_json`](crate::Report::to_json) produces the
+//! same document shape a `serde_json` derive would, which keeps a later
+//! migration mechanical.
+//!
+//! Numbers are kept in three variants ([`Json::UInt`], [`Json::Int`],
+//! [`Json::Float`]) so `u64` counters round-trip exactly; the accessors
+//! ([`Json::as_u64`], [`Json::as_f64`], …) coerce between them the way JSON
+//! consumers expect.
+
+use std::collections::BTreeMap;
+
+/// A JSON document node.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer (u64 counters round-trip exactly).
+    UInt(u64),
+    /// A negative integer.
+    Int(i64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object; insertion order is preserved when writing.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Build an object from `(key, value)` pairs.
+    pub fn object(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer, coercing exact floats.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::UInt(v) => Some(v),
+            Json::Int(v) => u64::try_from(v).ok(),
+            // Strict upper bound: `u64::MAX as f64` rounds up to 2^64, which
+            // does not fit — accepting it would silently saturate.
+            Json::Float(v) if v >= 0.0 && v.fract() == 0.0 && v < u64::MAX as f64 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a float, coercing integers.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Json::UInt(v) => Some(v as f64),
+            Json::Int(v) => Some(v as f64),
+            Json::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Json::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+
+    /// Serialise with two-space indentation and a trailing newline.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(v) => out.push_str(&v.to_string()),
+            Json::Int(v) => out.push_str(&v.to_string()),
+            Json::Float(v) => write_f64(out, *v),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, depth + 1);
+                    item.write(out, depth + 1);
+                }
+                newline_indent(out, depth);
+                out.push(']');
+            }
+            Json::Object(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, depth + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, depth + 1);
+                }
+                newline_indent(out, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, depth: usize) {
+    out.push('\n');
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // Rust's shortest-round-trip formatting; force a decimal point so the
+        // value parses back as a float.
+        let s = format!("{v}");
+        let has_point = s.contains(['.', 'e', 'E']);
+        out.push_str(&s);
+        if !has_point {
+            out.push_str(".0");
+        }
+    } else {
+        // JSON has no Inf/NaN; null is the conventional stand-in.
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_string_pretty())
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::UInt(v)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::UInt(v as u64)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Float(v)
+    }
+}
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+impl<T: Into<Json>> From<Option<T>> for Json {
+    fn from(v: Option<T>) -> Json {
+        match v {
+            Some(v) => v.into(),
+            None => Json::Null,
+        }
+    }
+}
+
+/// A parse error, with a byte offset into the input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset of the error in the input.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parse a JSON document.
+pub fn parse(input: &str) -> Result<Json, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing characters after document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            message: message.into(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {:?}", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.error(format!("expected {lit:?}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.error(format!("unexpected character {:?}", c as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(pairs));
+                }
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.peek() else {
+                return Err(self.error("unterminated string"));
+            };
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.error("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let code = self.hex4()?;
+                            // Surrogate pairs for astral-plane characters.
+                            let ch = if (0xD800..0xDC00).contains(&code) {
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let low = self.hex4()?;
+                                    if (0xDC00..0xE000).contains(&low) {
+                                        let combined =
+                                            0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                        char::from_u32(combined)
+                                    } else {
+                                        None
+                                    }
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(code)
+                            };
+                            match ch {
+                                Some(ch) => out.push(ch),
+                                None => return Err(self.error("invalid \\u escape")),
+                            }
+                        }
+                        other => {
+                            return Err(self.error(format!("invalid escape \\{}", other as char)))
+                        }
+                    }
+                }
+                c if c < 0x20 => return Err(self.error("control character in string")),
+                c if c < 0x80 => out.push(c as char),
+                _ => {
+                    // Multi-byte UTF-8: re-decode from a bounded slice (a
+                    // code point is at most 4 bytes; validating the whole
+                    // tail would make parsing quadratic).
+                    let start = self.pos - 1;
+                    let end = (start + 4).min(self.bytes.len());
+                    let window = &self.bytes[start..end];
+                    let ch = match std::str::from_utf8(window) {
+                        Ok(s) => s.chars().next(),
+                        // A trailing code point may leave the window mid-char;
+                        // the valid prefix still contains the first char.
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&window[..e.valid_up_to()])
+                                .expect("validated prefix")
+                                .chars()
+                                .next()
+                        }
+                        Err(_) => None,
+                    };
+                    let ch = ch.ok_or_else(|| self.error("invalid UTF-8"))?;
+                    out.push(ch);
+                    self.pos = start + ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.error("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.error("invalid \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.error("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if !is_float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Json::UInt(v));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Json::Int(v));
+            }
+        }
+        text.parse::<f64>().map(Json::Float).map_err(|_| JsonError {
+            message: format!("invalid number {text:?}"),
+            offset: start,
+        })
+    }
+}
+
+/// Order-insensitive structural comparison helper used by tests: objects are
+/// compared as maps, numbers through `as_f64`.
+pub fn structurally_equal(a: &Json, b: &Json) -> bool {
+    match (a, b) {
+        (Json::Array(xs), Json::Array(ys)) => {
+            xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| structurally_equal(x, y))
+        }
+        (Json::Object(xs), Json::Object(ys)) => {
+            let xm: BTreeMap<_, _> = xs.iter().map(|(k, v)| (k, v)).collect();
+            let ym: BTreeMap<_, _> = ys.iter().map(|(k, v)| (k, v)).collect();
+            xm.len() == ym.len()
+                && xm
+                    .iter()
+                    .all(|(k, x)| ym.get(k).is_some_and(|y| structurally_equal(x, y)))
+        }
+        (Json::Str(x), Json::Str(y)) => x == y,
+        (Json::Bool(x), Json::Bool(y)) => x == y,
+        (Json::Null, Json::Null) => true,
+        _ => match (a.as_f64(), b.as_f64()) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_typical_document() {
+        let doc = Json::object([
+            ("name", "fig2".into()),
+            ("scale", 32u64.into()),
+            ("ok", true.into()),
+            ("seed", Json::Null),
+            (
+                "records",
+                Json::Array(vec![Json::object([
+                    ("cycles", u64::MAX.into()),
+                    ("mpki", 0.125f64.into()),
+                    ("label", "ws-rand@7".into()),
+                ])]),
+            ),
+        ]);
+        let text = doc.to_string_pretty();
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn u64_counters_round_trip_exactly() {
+        for v in [0u64, 1, 1 << 53, u64::MAX - 1, u64::MAX] {
+            let text = Json::UInt(v).to_string_pretty();
+            assert_eq!(parse(&text).unwrap().as_u64(), Some(v), "{v}");
+        }
+    }
+
+    #[test]
+    fn floats_round_trip() {
+        for v in [0.0f64, -1.5, 1e-9, 123456.789, f64::MAX] {
+            let text = Json::Float(v).to_string_pretty();
+            let parsed = parse(&text).unwrap();
+            assert_eq!(parsed.as_f64(), Some(v), "{v}");
+        }
+        // Whole-number floats come back as integers but coerce cleanly.
+        assert_eq!(parse("3").unwrap().as_f64(), Some(3.0));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let s = "tab\t quote\" back\\ newline\n unicode→ nul\u{1}";
+        let text = Json::Str(s.to_string()).to_string_pretty();
+        assert_eq!(parse(&text).unwrap().as_str(), Some(s));
+        assert_eq!(parse(r#""Aé😀""#).unwrap().as_str(), Some("Aé😀"));
+        // A valid surrogate pair decodes; a high surrogate followed by
+        // anything but a low surrogate is rejected, not silently mangled.
+        assert_eq!(parse(r#""😀""#).unwrap().as_str(), Some("😀"));
+        assert!(parse(r#""\uD800A""#).is_err(), "unpaired high surrogate");
+        assert!(
+            parse(r#""\uD800\u0041""#).is_err(),
+            "high surrogate + BMP escape"
+        );
+        assert_eq!(parse(r#""\uD83D\uDE00""#).unwrap().as_str(), Some("😀"));
+    }
+
+    #[test]
+    fn negative_and_float_numbers() {
+        assert_eq!(parse("-42").unwrap(), Json::Int(-42));
+        assert_eq!(parse("-0.5").unwrap(), Json::Float(-0.5));
+        assert_eq!(parse("2e3").unwrap(), Json::Float(2000.0));
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        for bad in ["{", "[1,]", "\"abc", "tru", "{\"a\" 1}", "1 2", ""] {
+            let err = parse(bad).unwrap_err();
+            assert!(err.offset <= bad.len(), "{bad:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn get_and_accessors() {
+        let doc = parse(r#"{"a": 1, "b": [true, null], "c": "x"}"#).unwrap();
+        assert_eq!(doc.get("a").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            doc.get("b").and_then(Json::as_array).map(<[Json]>::len),
+            Some(2)
+        );
+        assert_eq!(
+            doc.get("b").unwrap().as_array().unwrap()[0].as_bool(),
+            Some(true)
+        );
+        assert!(doc.get("b").unwrap().as_array().unwrap()[1].is_null());
+        assert_eq!(doc.get("c").and_then(Json::as_str), Some("x"));
+        assert_eq!(doc.get("missing"), None);
+    }
+
+    #[test]
+    fn structural_equality_ignores_key_order() {
+        let a = parse(r#"{"x": 1, "y": 2.0}"#).unwrap();
+        let b = parse(r#"{"y": 2, "x": 1}"#).unwrap();
+        assert!(structurally_equal(&a, &b));
+    }
+}

@@ -1,0 +1,53 @@
+//! The unified experiment layer for the CCS reproduction — the canonical
+//! entry point for running PDF-vs-WS comparisons across CMP design points.
+//!
+//! The paper's contribution is a *comparison harness*: schedulers swept over
+//! workloads and design points, reported as figures.  This crate packages
+//! that harness as a composable API:
+//!
+//! * [`Experiment`] — a builder describing a sweep (workloads × schedulers ×
+//!   configurations, plus a scale divisor), whose [`Experiment::run`] fans
+//!   the cross-product into measurements;
+//! * [`RunRecord`] / [`Report`] — one record per measured point, aggregated
+//!   into a report with JSON/CSV/TSV emission and parsing
+//!   ([`Report::to_json`] / [`Report::from_json`]);
+//! * [`Options`] — the command-line harness the experiment binaries share;
+//! * [`json`] — the small self-contained JSON layer backing report
+//!   serialisation (the offline stand-in for `serde_json`; see
+//!   `shims/README.md`).
+//!
+//! Schedulers are identified by [`SchedulerSpec`](ccs_sched::SchedulerSpec)
+//! registry names, so user-defined schedulers registered with
+//! [`SchedulerRegistry::global`](ccs_sched::SchedulerRegistry::global)
+//! participate in experiments exactly like the built-ins.
+//!
+//! # Quick start
+//!
+//! ```
+//! use ccs_experiment::Experiment;
+//! use ccs_sched::SchedulerKind;
+//! use ccs_workloads::Benchmark;
+//!
+//! let report = Experiment::new(Benchmark::Mergesort)
+//!     .cores(8)
+//!     .scale(512)
+//!     .schedulers([SchedulerKind::Pdf, SchedulerKind::WorkStealing])
+//!     .run();
+//!
+//! // Machine-readable trajectory…
+//! let json = report.to_json();
+//! // …that parses back losslessly.
+//! assert_eq!(ccs_experiment::Report::from_json(&json).unwrap(), report);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiment;
+pub mod json;
+pub mod options;
+pub mod report;
+
+pub use experiment::{CoreSelection, Experiment, WorkloadSpec};
+pub use options::Options;
+pub use report::{Report, RunRecord};

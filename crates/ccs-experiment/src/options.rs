@@ -1,0 +1,182 @@
+//! Command-line options shared by every experiment binary.
+//!
+//! Moved here from `ccs-bench` so the flags and the [`Experiment`] layer stay
+//! in one place; `ccs-bench` re-exports this type for compatibility.
+
+use std::path::PathBuf;
+
+use ccs_workloads::Benchmark;
+
+use crate::Experiment;
+
+/// Options every experiment binary accepts:
+///
+/// * `--scale N` — divide the paper's input sizes *and* all cache capacities
+///   by `N` (default 32) so the full sweep runs on a laptop while preserving
+///   every capacity ratio;
+/// * `--quick` — run a reduced sweep (used by the integration smoke tests);
+/// * `--app lu|hashjoin|mergesort` — restrict to one benchmark;
+/// * `--json PATH` — additionally write the run's [`Report`](crate::Report)
+///   as JSON to `PATH` (`-` for stdout);
+/// * binary-specific flags are collected in [`Options::rest`].
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Input/cache scale divisor (1 = the paper's sizes).
+    pub scale: u64,
+    /// Reduced sweep for smoke tests.
+    pub quick: bool,
+    /// Optional benchmark filter (`--app lu|hashjoin|mergesort`).
+    pub app: Option<Benchmark>,
+    /// Where to write the JSON report, if requested (`--json PATH`, `-` for
+    /// stdout).
+    pub json: Option<PathBuf>,
+    /// Remaining unrecognised flags (binary-specific).
+    pub rest: Vec<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            scale: 32,
+            quick: false,
+            app: None,
+            json: None,
+            rest: Vec::new(),
+        }
+    }
+}
+
+impl Options {
+    /// Parse options from `std::env::args`.
+    pub fn from_env() -> Options {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parse options from an explicit iterator (used by tests).
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Options {
+        let mut opts = Options::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    let v = iter.next().expect("--scale requires a value");
+                    opts.scale = v.parse().expect("--scale must be an integer");
+                }
+                "--quick" => opts.quick = true,
+                "--app" => {
+                    let v = iter.next().expect("--app requires a value");
+                    opts.app = Some(match v.as_str() {
+                        "lu" => Benchmark::Lu,
+                        "hashjoin" => Benchmark::HashJoin,
+                        "mergesort" => Benchmark::Mergesort,
+                        other => panic!("unknown app {other:?} (lu|hashjoin|mergesort)"),
+                    });
+                }
+                "--json" => {
+                    let v = iter.next().expect("--json requires a path (or '-')");
+                    opts.json = Some(PathBuf::from(v));
+                }
+                other => opts.rest.push(other.to_string()),
+            }
+        }
+        opts
+    }
+
+    /// The benchmarks selected by `--app` (or all three).
+    pub fn benchmarks(&self) -> Vec<Benchmark> {
+        match self.app {
+            Some(b) => vec![b],
+            None => vec![Benchmark::Lu, Benchmark::HashJoin, Benchmark::Mergesort],
+        }
+    }
+
+    /// In quick mode shrink the workloads further so smoke tests stay fast
+    /// (same clamp as [`crate::experiment::effective_scale`]).
+    pub fn effective_scale(&self) -> u64 {
+        crate::experiment::effective_scale(self.scale, self.quick)
+    }
+
+    /// Start an [`Experiment`] named `name` with this scale/quick setting and
+    /// the selected benchmarks as workloads.
+    pub fn experiment(&self, name: impl Into<String>) -> Experiment {
+        Experiment::named(name)
+            .workloads(self.benchmarks())
+            .scale(self.scale)
+            .quick(self.quick)
+    }
+
+    /// Whether `--json -` directed the JSON report to stdout (in which case
+    /// binaries route their human-readable tables to stderr, keeping stdout
+    /// machine-parseable).
+    pub fn json_to_stdout(&self) -> bool {
+        self.json.as_deref().is_some_and(|p| p.as_os_str() == "-")
+    }
+
+    /// Emit `report` as requested by `--json` (writes the file, or prints to
+    /// stdout for `-`).  Returns whether anything was emitted.
+    pub fn emit_json(&self, report: &crate::Report) -> std::io::Result<bool> {
+        match &self.json {
+            None => Ok(false),
+            Some(path) if path.as_os_str() == "-" => {
+                print!("{}", report.to_json());
+                Ok(true)
+            }
+            Some(path) => {
+                report.write_json(path)?;
+                eprintln!("# wrote {}", path.display());
+                Ok(true)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_parsing() {
+        let o = Options::parse(
+            [
+                "--scale",
+                "64",
+                "--quick",
+                "--app",
+                "mergesort",
+                "--json",
+                "out.json",
+                "--foo",
+            ]
+            .into_iter()
+            .map(String::from),
+        );
+        assert_eq!(o.scale, 64);
+        assert!(o.quick);
+        assert_eq!(o.app, Some(Benchmark::Mergesort));
+        assert_eq!(o.json, Some(PathBuf::from("out.json")));
+        assert_eq!(o.rest, vec!["--foo".to_string()]);
+        assert_eq!(o.benchmarks(), vec![Benchmark::Mergesort]);
+        assert_eq!(o.effective_scale(), 256);
+    }
+
+    #[test]
+    fn defaults() {
+        let o = Options::default();
+        assert_eq!(o.scale, 32);
+        assert_eq!(o.benchmarks().len(), 3);
+        assert_eq!(o.effective_scale(), 32);
+        assert_eq!(o.json, None);
+    }
+
+    #[test]
+    fn experiment_inherits_scale_and_workloads() {
+        let o = Options::parse(
+            ["--scale", "128", "--app", "lu"]
+                .into_iter()
+                .map(String::from),
+        );
+        let report = o.experiment("probe").cores(2).schedulers(["pdf"]).run();
+        assert_eq!(report.scale, 128);
+        assert_eq!(report.workloads(), vec!["lu".to_string()]);
+    }
+}

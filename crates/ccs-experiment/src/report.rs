@@ -1,0 +1,442 @@
+//! Run records and serialisable experiment reports.
+
+use std::collections::BTreeSet;
+use std::io;
+use std::path::Path;
+
+use ccs_sched::SchedulerSpec;
+use ccs_sim::SimResult;
+
+use crate::json::{self, Json, JsonError};
+
+/// One measured point: a workload simulated on one configuration under one
+/// scheduler.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunRecord {
+    /// Workload name (`"mergesort"`, `"lu"`, a custom name, …).
+    pub workload: String,
+    /// Configuration name (after scaling, e.g. `"default-16/64"`).
+    pub config: String,
+    /// Number of cores in the configuration.
+    pub cores: usize,
+    /// Scheduler registry name (`"pdf"`, `"ws"`, `"ws-rand"`, custom).
+    pub scheduler: String,
+    /// RNG seed the scheduler was instantiated with, if any.
+    pub seed: Option<u64>,
+    /// Execution time in cycles.
+    pub cycles: u64,
+    /// Total instructions executed.
+    pub instructions: u64,
+    /// Number of tasks executed.
+    pub tasks: usize,
+    /// Aggregate L1 accesses (all cores).
+    pub l1_accesses: u64,
+    /// Aggregate L1 misses (all cores).
+    pub l1_misses: u64,
+    /// Shared-L2 accesses.
+    pub l2_accesses: u64,
+    /// Shared-L2 misses.
+    pub l2_misses: u64,
+    /// L2 misses per 1000 instructions — the paper's main cache metric.
+    pub l2_mpki: f64,
+    /// Fraction of cycles the memory controller was busy.
+    pub bandwidth_utilization: f64,
+    /// Off-chip traffic in bytes (fills + write-backs).
+    pub off_chip_bytes: u64,
+    /// Speedup over the matching sequential baseline, when one was run.
+    pub speedup_over_seq: Option<f64>,
+}
+
+impl RunRecord {
+    /// Build a record from a simulation result.
+    pub fn from_sim(
+        workload: impl Into<String>,
+        spec: &SchedulerSpec,
+        result: &SimResult,
+        sequential: Option<&SimResult>,
+    ) -> RunRecord {
+        RunRecord {
+            workload: workload.into(),
+            config: result.config_name.clone(),
+            cores: result.num_cores,
+            scheduler: spec.name.clone(),
+            seed: spec.params.seed,
+            cycles: result.cycles,
+            instructions: result.instructions,
+            tasks: result.tasks,
+            l1_accesses: result.l1.accesses,
+            l1_misses: result.l1.misses,
+            l2_accesses: result.l2.accesses,
+            l2_misses: result.l2.misses,
+            l2_mpki: result.l2_mpki(),
+            bandwidth_utilization: result.bandwidth_utilization,
+            off_chip_bytes: result.off_chip_bytes(),
+            speedup_over_seq: sequential.map(|seq| result.speedup_over(seq)),
+        }
+    }
+
+    /// Display label for tables: the scheduler name, with the seed attached
+    /// when there is one (`"ws-rand@7"`).
+    pub fn scheduler_label(&self) -> String {
+        match self.seed {
+            Some(seed) => format!("{}@{}", self.scheduler, seed),
+            None => self.scheduler.clone(),
+        }
+    }
+
+    /// Percentage reduction of L2 MPKI relative to another record (positive =
+    /// this record misses less), the Section 5.1 headline metric.  Returns
+    /// 0.0 when `other` has no misses at all.
+    pub fn mpki_reduction_vs(&self, other: &RunRecord) -> f64 {
+        if other.l2_mpki == 0.0 {
+            0.0
+        } else {
+            (other.l2_mpki - self.l2_mpki) / other.l2_mpki * 100.0
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("workload", self.workload.as_str().into()),
+            ("config", self.config.as_str().into()),
+            ("cores", self.cores.into()),
+            ("scheduler", self.scheduler.as_str().into()),
+            ("seed", self.seed.into()),
+            ("cycles", self.cycles.into()),
+            ("instructions", self.instructions.into()),
+            ("tasks", self.tasks.into()),
+            ("l1_accesses", self.l1_accesses.into()),
+            ("l1_misses", self.l1_misses.into()),
+            ("l2_accesses", self.l2_accesses.into()),
+            ("l2_misses", self.l2_misses.into()),
+            ("l2_mpki", self.l2_mpki.into()),
+            ("bandwidth_utilization", self.bandwidth_utilization.into()),
+            ("off_chip_bytes", self.off_chip_bytes.into()),
+            ("speedup_over_seq", self.speedup_over_seq.into()),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Result<RunRecord, JsonError> {
+        let str_field = |key: &str| -> Result<String, JsonError> {
+            value
+                .get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| field_error(key, "string"))
+        };
+        let u64_field = |key: &str| -> Result<u64, JsonError> {
+            value
+                .get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| field_error(key, "u64"))
+        };
+        let f64_field = |key: &str| -> Result<f64, JsonError> {
+            value
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| field_error(key, "number"))
+        };
+        let opt = |key: &str, of: fn(&Json) -> Option<f64>| -> Option<f64> {
+            value.get(key).filter(|v| !v.is_null()).and_then(of)
+        };
+        Ok(RunRecord {
+            workload: str_field("workload")?,
+            config: str_field("config")?,
+            cores: u64_field("cores")? as usize,
+            scheduler: str_field("scheduler")?,
+            seed: value
+                .get("seed")
+                .filter(|v| !v.is_null())
+                .and_then(Json::as_u64),
+            cycles: u64_field("cycles")?,
+            instructions: u64_field("instructions")?,
+            tasks: u64_field("tasks")? as usize,
+            l1_accesses: u64_field("l1_accesses")?,
+            l1_misses: u64_field("l1_misses")?,
+            l2_accesses: u64_field("l2_accesses")?,
+            l2_misses: u64_field("l2_misses")?,
+            l2_mpki: f64_field("l2_mpki")?,
+            bandwidth_utilization: f64_field("bandwidth_utilization")?,
+            off_chip_bytes: u64_field("off_chip_bytes")?,
+            speedup_over_seq: opt("speedup_over_seq", Json::as_f64),
+        })
+    }
+}
+
+fn field_error(key: &str, expected: &str) -> JsonError {
+    JsonError {
+        message: format!("record field {key:?} missing or not a {expected}"),
+        offset: 0,
+    }
+}
+
+/// The aggregated outcome of an [`Experiment`](crate::Experiment) run:
+/// experiment metadata plus one [`RunRecord`] per measured point, with
+/// JSON/CSV emission for machine-readable trajectories.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Report {
+    /// Experiment name (e.g. `"fig2"`).
+    pub name: String,
+    /// The input/cache scale divisor the runs used (1 = paper sizes).
+    pub scale: u64,
+    /// The measured points, in run order.
+    pub records: Vec<RunRecord>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new(name: impl Into<String>, scale: u64) -> Report {
+        Report {
+            name: name.into(),
+            scale,
+            records: Vec::new(),
+        }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the report has no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Append another report's records (metadata keeps `self`'s name).
+    ///
+    /// # Panics
+    /// Panics if both reports carry records and their scales disagree —
+    /// records from different scales describe different input/cache sizes
+    /// and must not be silently pooled under one `scale` field.
+    pub fn merge(&mut self, other: Report) {
+        if self.records.is_empty() && self.scale == 0 {
+            self.scale = other.scale;
+        }
+        assert!(
+            other.records.is_empty() || self.scale == other.scale,
+            "merging reports with different scales ({} vs {})",
+            self.scale,
+            other.scale
+        );
+        self.records.extend(other.records);
+    }
+
+    /// Records for one workload.
+    pub fn for_workload<'a>(&'a self, workload: &'a str) -> impl Iterator<Item = &'a RunRecord> {
+        self.records.iter().filter(move |r| r.workload == workload)
+    }
+
+    /// Records for one scheduler (registry name).
+    pub fn for_scheduler<'a>(&'a self, scheduler: &'a str) -> impl Iterator<Item = &'a RunRecord> {
+        self.records
+            .iter()
+            .filter(move |r| r.scheduler == scheduler)
+    }
+
+    /// The distinct workload names, sorted.
+    pub fn workloads(&self) -> Vec<String> {
+        let set: BTreeSet<_> = self.records.iter().map(|r| r.workload.clone()).collect();
+        set.into_iter().collect()
+    }
+
+    /// The distinct scheduler names, sorted.
+    pub fn schedulers(&self) -> Vec<String> {
+        let set: BTreeSet<_> = self.records.iter().map(|r| r.scheduler.clone()).collect();
+        set.into_iter().collect()
+    }
+
+    /// Serialise to pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        Json::object([
+            ("name", self.name.as_str().into()),
+            ("scale", self.scale.into()),
+            (
+                "records",
+                Json::Array(self.records.iter().map(RunRecord::to_json).collect()),
+            ),
+        ])
+        .to_string_pretty()
+    }
+
+    /// Parse a report back from [`Report::to_json`] output.
+    pub fn from_json(text: &str) -> Result<Report, JsonError> {
+        let doc = json::parse(text)?;
+        let name = doc
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| field_error("name", "string"))?
+            .to_string();
+        let scale = doc
+            .get("scale")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| field_error("scale", "u64"))?;
+        let records = doc
+            .get("records")
+            .and_then(Json::as_array)
+            .ok_or_else(|| field_error("records", "array"))?
+            .iter()
+            .map(RunRecord::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Report {
+            name,
+            scale,
+            records,
+        })
+    }
+
+    /// Write [`Report::to_json`] to a file.
+    pub fn write_json(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Serialise all fields as CSV (header + one line per record).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "workload,config,cores,scheduler,seed,cycles,instructions,tasks,\
+             l1_accesses,l1_misses,l2_accesses,l2_misses,l2_mpki,\
+             bandwidth_utilization,off_chip_bytes,speedup_over_seq\n",
+        );
+        for r in &self.records {
+            let seed = r.seed.map(|s| s.to_string()).unwrap_or_default();
+            let speedup = r
+                .speedup_over_seq
+                .map(|s| format!("{s:.6}"))
+                .unwrap_or_default();
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{:.6},{},{}\n",
+                csv_escape(&r.workload),
+                csv_escape(&r.config),
+                r.cores,
+                csv_escape(&r.scheduler),
+                seed,
+                r.cycles,
+                r.instructions,
+                r.tasks,
+                r.l1_accesses,
+                r.l1_misses,
+                r.l2_accesses,
+                r.l2_misses,
+                r.l2_mpki,
+                r.bandwidth_utilization,
+                r.off_chip_bytes,
+                speedup,
+            ));
+        }
+        out
+    }
+
+    /// The standard tab-separated table the experiment binaries print — the
+    /// same columns the seed harness used, one row per record.
+    pub fn to_tsv(&self) -> String {
+        let mut out =
+            String::from("workload\tconfig\tcores\tsched\tcycles\tspeedup\tl2_mpki\tbw_util\n");
+        for r in &self.records {
+            let speedup = r
+                .speedup_over_seq
+                .map(|s| format!("{s:.3}"))
+                .unwrap_or_else(|| "-".to_string());
+            out.push_str(&format!(
+                "{}\t{}\t{}\t{}\t{}\t{}\t{:.4}\t{:.3}\n",
+                r.workload,
+                r.config,
+                r.cores,
+                r.scheduler_label(),
+                r.cycles,
+                speedup,
+                r.l2_mpki,
+                r.bandwidth_utilization,
+            ));
+        }
+        out
+    }
+}
+
+fn csv_escape(field: &str) -> String {
+    if field.contains([',', '"', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record(scheduler: &str, seed: Option<u64>) -> RunRecord {
+        RunRecord {
+            workload: "mergesort".into(),
+            config: "default-8/64".into(),
+            cores: 8,
+            scheduler: scheduler.into(),
+            seed,
+            cycles: 123_456_789,
+            instructions: 987_654,
+            tasks: 321,
+            l1_accesses: 1_000_000,
+            l1_misses: 50_000,
+            l2_accesses: 50_000,
+            l2_misses: 7_500,
+            l2_mpki: 7.593,
+            bandwidth_utilization: 0.25,
+            off_chip_bytes: 960_000,
+            speedup_over_seq: Some(5.5),
+        }
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let mut report = Report::new("fig2", 32);
+        report.records.push(sample_record("pdf", None));
+        report.records.push(sample_record("ws-rand", Some(7)));
+        let mut no_baseline = sample_record("ws", None);
+        no_baseline.speedup_over_seq = None;
+        report.records.push(no_baseline);
+
+        let parsed = Report::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn csv_and_tsv_have_one_line_per_record_plus_header() {
+        let mut report = Report::new("x", 1);
+        report.records.push(sample_record("pdf", None));
+        report.records.push(sample_record("ws-rand", Some(3)));
+        assert_eq!(report.to_csv().lines().count(), 3);
+        assert_eq!(report.to_tsv().lines().count(), 3);
+        assert!(report.to_tsv().contains("ws-rand@3"));
+        assert!(report.to_csv().starts_with("workload,"));
+    }
+
+    #[test]
+    fn merge_concatenates_records() {
+        let mut a = Report::new("all", 32);
+        a.records.push(sample_record("pdf", None));
+        let mut b = Report::new("other", 32);
+        b.records.push(sample_record("ws", None));
+        a.merge(b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.name, "all");
+        assert_eq!(a.schedulers(), vec!["pdf".to_string(), "ws".to_string()]);
+    }
+
+    #[test]
+    fn filters_and_label() {
+        let mut report = Report::new("x", 1);
+        report.records.push(sample_record("pdf", None));
+        report.records.push(sample_record("ws-rand", Some(9)));
+        assert_eq!(report.for_scheduler("pdf").count(), 1);
+        assert_eq!(report.for_workload("mergesort").count(), 2);
+        assert_eq!(report.for_workload("lu").count(), 0);
+        assert_eq!(report.records[1].scheduler_label(), "ws-rand@9");
+        assert_eq!(report.workloads(), vec!["mergesort".to_string()]);
+    }
+
+    #[test]
+    fn malformed_json_is_an_error_not_a_panic() {
+        assert!(Report::from_json("{}").is_err());
+        assert!(Report::from_json("not json").is_err());
+        assert!(Report::from_json(r#"{"name": "x", "scale": 1, "records": [{}]}"#).is_err());
+    }
+}

@@ -81,7 +81,9 @@ pub fn coarsen(
     let mut thresholds: HashMap<CallSite, u64> = HashMap::new();
 
     // Record a group as one coarse task.
-    let select = |gid: GroupId, coarse_groups: &mut Vec<GroupId>, thresholds: &mut HashMap<CallSite, u64>| {
+    let select = |gid: GroupId,
+                  coarse_groups: &mut Vec<GroupId>,
+                  thresholds: &mut HashMap<CallSite, u64>| {
         coarse_groups.push(gid);
         let g = tree.group(gid);
         if let Some(site) = g.meta.site {
@@ -120,7 +122,11 @@ pub fn coarsen(
 
     // Keep the coarse groups in sequential order for readability.
     coarse_groups.sort_by_key(|&g| tree.group(g).first_rank);
-    Coarsening { target, coarse_groups, thresholds }
+    Coarsening {
+        target,
+        coarse_groups,
+        thresholds,
+    }
 }
 
 /// The parallelization table of Fig. 7(b): thresholds indexed by CMP
@@ -174,9 +180,8 @@ impl ParallelizationTable {
     pub fn render(&self) -> String {
         let mut rows: Vec<_> = self.entries.iter().collect();
         rows.sort_by_key(|((t, s), _)| (t.cache_bytes, t.num_cores, s.file, s.line));
-        let mut out = String::from(
-            "L2 Size (KB) | # Cores | File          | Line | Param Threshold\n",
-        );
+        let mut out =
+            String::from("L2 Size (KB) | # Cores | File          | Line | Param Threshold\n");
         for ((target, site), threshold) in rows {
             out.push_str(&format!(
                 "{:>12} | {:>7} | {:<13} | {:>4} | {:>15}\n",
@@ -196,7 +201,11 @@ impl ParallelizationTable {
 /// order).  The series-parallel structure *above* the coarse groups is
 /// preserved.  This is the Fig. 8 "dag" evaluation scheme: the same
 /// finest-grain trace, re-grouped.
-pub fn apply_coarsening(comp: &Computation, tree: &TaskGroupTree, coarsening: &Coarsening) -> Computation {
+pub fn apply_coarsening(
+    comp: &Computation,
+    tree: &TaskGroupTree,
+    coarsening: &Coarsening,
+) -> Computation {
     let coarse: std::collections::HashSet<GroupId> =
         coarsening.coarse_groups.iter().copied().collect();
     let mut b = ComputationBuilder::new(comp.line_size());
@@ -204,7 +213,12 @@ pub fn apply_coarsening(comp: &Computation, tree: &TaskGroupTree, coarsening: &C
     b.finish(root)
 }
 
-fn fuse_group(comp: &Computation, tree: &TaskGroupTree, gid: GroupId, b: &mut ComputationBuilder) -> SpNodeId {
+fn fuse_group(
+    comp: &Computation,
+    tree: &TaskGroupTree,
+    gid: GroupId,
+    b: &mut ComputationBuilder,
+) -> SpNodeId {
     let g = tree.group(gid);
     let mut tb = TraceBuilder::new(comp.line_size());
     for &task in tree.tasks_in(gid) {
@@ -281,8 +295,22 @@ mod tests {
     #[test]
     fn larger_budgets_give_coarser_tasks() {
         let (_, tree, profile) = profile_and_tree(64 * 1024);
-        let small = coarsen(&profile, &tree, CoarsenTarget { cache_bytes: 64 * 1024, num_cores: 8 });
-        let large = coarsen(&profile, &tree, CoarsenTarget { cache_bytes: 16 << 20, num_cores: 2 });
+        let small = coarsen(
+            &profile,
+            &tree,
+            CoarsenTarget {
+                cache_bytes: 64 * 1024,
+                num_cores: 8,
+            },
+        );
+        let large = coarsen(
+            &profile,
+            &tree,
+            CoarsenTarget {
+                cache_bytes: 16 << 20,
+                num_cores: 2,
+            },
+        );
         assert!(
             large.num_coarse_tasks() <= small.num_coarse_tasks(),
             "large budget {} vs small budget {}",
@@ -295,7 +323,14 @@ mod tests {
     #[test]
     fn coarse_groups_partition_all_tasks() {
         let (comp, tree, profile) = profile_and_tree(32 * 1024);
-        let c = coarsen(&profile, &tree, CoarsenTarget { cache_bytes: 1 << 20, num_cores: 4 });
+        let c = coarsen(
+            &profile,
+            &tree,
+            CoarsenTarget {
+                cache_bytes: 1 << 20,
+                num_cores: 4,
+            },
+        );
         let mut covered = vec![false; comp.num_tasks()];
         for &g in &c.coarse_groups {
             for &t in tree.tasks_in(g) {
@@ -309,7 +344,14 @@ mod tests {
     #[test]
     fn apply_coarsening_preserves_work_and_refs() {
         let (comp, tree, profile) = profile_and_tree(32 * 1024);
-        let c = coarsen(&profile, &tree, CoarsenTarget { cache_bytes: 512 * 1024, num_cores: 4 });
+        let c = coarsen(
+            &profile,
+            &tree,
+            CoarsenTarget {
+                cache_bytes: 512 * 1024,
+                num_cores: 4,
+            },
+        );
         let coarse = apply_coarsening(&comp, &tree, &c);
         assert_eq!(coarse.num_tasks(), c.num_coarse_tasks());
         assert_eq!(coarse.total_work(), comp.total_work());
@@ -321,19 +363,35 @@ mod tests {
     #[test]
     fn coarsened_sequential_ref_order_is_preserved() {
         let (comp, tree, profile) = profile_and_tree(16 * 1024);
-        let c = coarsen(&profile, &tree, CoarsenTarget { cache_bytes: 256 * 1024, num_cores: 2 });
+        let c = coarsen(
+            &profile,
+            &tree,
+            CoarsenTarget {
+                cache_bytes: 256 * 1024,
+                num_cores: 2,
+            },
+        );
         let coarse = apply_coarsening(&comp, &tree, &c);
         let orig: Vec<u64> = comp.sequential_refs().map(|(_, r)| r.addr).collect();
         let new: Vec<u64> = coarse.sequential_refs().map(|(_, r)| r.addr).collect();
-        assert_eq!(orig, new, "fusing groups must not reorder the sequential trace");
+        assert_eq!(
+            orig, new,
+            "fusing groups must not reorder the sequential trace"
+        );
     }
 
     #[test]
     fn thresholds_and_table() {
         let (_, tree, profile) = profile_and_tree(64 * 1024);
-        let target = CoarsenTarget { cache_bytes: 2 << 20, num_cores: 8 };
+        let target = CoarsenTarget {
+            cache_bytes: 2 << 20,
+            num_cores: 8,
+        };
         let c = coarsen(&profile, &tree, target);
-        assert!(!c.thresholds.is_empty(), "mergesort call sites must get thresholds");
+        assert!(
+            !c.thresholds.is_empty(),
+            "mergesort call sites must get thresholds"
+        );
         let mut table = ParallelizationTable::new();
         table.add(&c);
         assert!(!table.is_empty());
@@ -348,7 +406,10 @@ mod tests {
 
     #[test]
     fn budget_formula_matches_paper() {
-        let t = CoarsenTarget { cache_bytes: 20 << 20, num_cores: 16 };
+        let t = CoarsenTarget {
+            cache_bytes: 20 << 20,
+            num_cores: 16,
+        };
         assert_eq!(t.budget_bytes(), (20 << 20) / 32);
     }
 }

@@ -25,6 +25,8 @@ pub mod coarsen;
 pub mod profile;
 pub mod setassoc_profiler;
 
-pub use coarsen::{apply_coarsening, coarsen, Coarsening, CoarsenTarget, ParallelizationTable};
+pub use coarsen::{apply_coarsening, coarsen, CoarsenTarget, Coarsening, ParallelizationTable};
 pub use profile::{TaskHistogram, WorkingSetProfile};
-pub use setassoc_profiler::{group_working_set_lines, profile_all_groups, profile_group, GroupCacheStats};
+pub use setassoc_profiler::{
+    group_working_set_lines, profile_all_groups, profile_group, GroupCacheStats,
+};

@@ -92,7 +92,10 @@ impl WorkingSetProfile {
         sizes.sort_unstable();
         sizes.dedup();
         assert!(!sizes.is_empty(), "need at least one candidate cache size");
-        assert!(sizes.len() < OVERFLOW_BUCKET as usize, "too many candidate cache sizes");
+        assert!(
+            sizes.len() < OVERFLOW_BUCKET as usize,
+            "too many candidate cache sizes"
+        );
 
         let seq = comp.sequential_order();
         let num_tasks = seq.len();
@@ -136,7 +139,10 @@ impl WorkingSetProfile {
 
     /// The candidate cache sizes, in bytes, ascending.
     pub fn cache_sizes_bytes(&self) -> Vec<u64> {
-        self.cache_sizes_lines.iter().map(|l| l * self.line_size).collect()
+        self.cache_sizes_lines
+            .iter()
+            .map(|l| l * self.line_size)
+            .collect()
     }
 
     /// The cache-line size the profile was collected at.
@@ -297,6 +303,9 @@ mod tests {
         // Each re-reference pattern collapses into a handful of cells, far
         // fewer than the number of references.
         assert!(total_cells <= 8, "got {total_cells}");
-        assert!(profile.histograms[0].is_empty(), "first task is all cold misses");
+        assert!(
+            profile.histograms[0].is_empty(),
+            "first task is all cold misses"
+        );
     }
 }

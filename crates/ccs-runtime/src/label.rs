@@ -60,7 +60,10 @@ mod tests {
         let c0 = root.child(0);
         let c1 = root.child(1);
         let deep = c0.child(5).child(7);
-        assert!(deep < c1, "everything under child 0 runs before child 1 sequentially");
+        assert!(
+            deep < c1,
+            "everything under child 0 runs before child 1 sequentially"
+        );
         assert_eq!(deep.depth(), 3);
         assert_eq!(deep.path(), &[0, 5, 7]);
     }

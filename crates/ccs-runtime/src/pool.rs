@@ -137,7 +137,11 @@ impl Registry {
                 }
                 job.map(|j| (j.label, j.func))
             }
-            Policy::Pdf => self.pdf.lock().pop_first().map(|((label, _), func)| (label, func)),
+            Policy::Pdf => self
+                .pdf
+                .lock()
+                .pop_first()
+                .map(|((label, _), func)| (label, func)),
         };
         if found.is_some() {
             self.pending.fetch_sub(1, Ordering::Relaxed);
@@ -177,7 +181,11 @@ struct Latch {
 
 impl Latch {
     fn new() -> Arc<Self> {
-        Arc::new(Latch { done: AtomicBool::new(false), mutex: Mutex::new(()), cond: Condvar::new() })
+        Arc::new(Latch {
+            done: AtomicBool::new(false),
+            mutex: Mutex::new(()),
+            cond: Condvar::new(),
+        })
     }
 
     fn set(&self) {
@@ -235,7 +243,11 @@ impl ThreadPool {
                     .expect("failed to spawn worker thread")
             })
             .collect();
-        ThreadPool { registry, workers, num_threads }
+        ThreadPool {
+            registry,
+            workers,
+            num_threads,
+        }
     }
 
     /// The number of worker threads.
@@ -276,7 +288,10 @@ impl ThreadPool {
             self.registry.push_job(PdfLabel::root(), func);
         }
         latch.wait();
-        let r = result.lock().take().expect("job completed without a result");
+        let r = result
+            .lock()
+            .take()
+            .expect("job completed without a result");
         match r {
             Ok(v) => v,
             Err(payload) => panic::resume_unwind(payload),
@@ -412,7 +427,10 @@ where
         }
     }
 
-    let b_result = b_result.lock().take().expect("join child finished without a result");
+    let b_result = b_result
+        .lock()
+        .take()
+        .expect("join child finished without a result");
     match (a_result, b_result) {
         (Ok(ra), Ok(rb)) => (ra, rb),
         (Err(p), _) | (_, Err(p)) => panic::resume_unwind(p),

@@ -56,7 +56,9 @@ mod tests {
     #[test]
     fn fifo_order() {
         let mut b = ComputationBuilder::new(128);
-        let leaves: Vec<_> = (0..3).map(|_| b.strand(TaskTrace::compute_only(1))).collect();
+        let leaves: Vec<_> = (0..3)
+            .map(|_| b.strand(TaskTrace::compute_only(1)))
+            .collect();
         let root = b.par(leaves, GroupMeta::default());
         let comp = b.finish(root);
         let dag = Dag::from_computation(&comp);

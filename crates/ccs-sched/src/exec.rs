@@ -12,7 +12,8 @@ use std::collections::{BTreeSet, BinaryHeap};
 
 use ccs_dag::{Dag, TaskId};
 
-use crate::scheduler::{Scheduler, SchedulerKind};
+use crate::registry::SchedulerSpec;
+use crate::scheduler::Scheduler;
 
 /// The outcome of executing a DAG: per-task placement and timing.
 #[derive(Clone, Debug)]
@@ -73,7 +74,9 @@ impl Schedule {
             }
             for &p in dag.predecessors(t) {
                 if self.task_start[t.index()] < self.task_finish[p.index()] {
-                    return Err(format!("{t:?} starts before its predecessor {p:?} finishes"));
+                    return Err(format!(
+                        "{t:?} starts before its predecessor {p:?} finishes"
+                    ));
                 }
             }
         }
@@ -114,7 +117,9 @@ pub fn execute_with(
 ) -> Schedule {
     assert!(num_cores > 0, "need at least one core");
     let n = dag.num_tasks();
-    let mut in_deg: Vec<u32> = (0..n as u32).map(|t| dag.in_degree(TaskId(t)) as u32).collect();
+    let mut in_deg: Vec<u32> = (0..n as u32)
+        .map(|t| dag.in_degree(TaskId(t)) as u32)
+        .collect();
     let mut task_start = vec![0u64; n];
     let mut task_finish = vec![0u64; n];
     let mut task_core = vec![usize::MAX; n];
@@ -166,8 +171,15 @@ pub fn execute_with(
             let task = sched
                 .next_task(core)
                 .expect("greedy scheduler returned None while tasks are ready");
-            assert_eq!(in_deg[task.index()], 0, "scheduler returned a non-ready task");
-            assert!(!scheduled[task.index()], "scheduler returned {task:?} twice");
+            assert_eq!(
+                in_deg[task.index()],
+                0,
+                "scheduler returned a non-ready task"
+            );
+            assert!(
+                !scheduled[task.index()],
+                "scheduler returned {task:?} twice"
+            );
             scheduled[task.index()] = true;
             let d = duration(task);
             task_start[task.index()] = now;
@@ -196,7 +208,8 @@ pub fn execute_with(
 
     let mut makespan = 0u64;
     while num_completed < n {
-        let Reverse((now, _core, _)) = *events.peek().expect("deadlock: no events but tasks remain");
+        let Reverse((now, _core, _)) =
+            *events.peek().expect("deadlock: no events but tasks remain");
         // Drain every completion at this timestamp before assigning new work,
         // so simultaneous completions all contribute their newly-enabled
         // successors.
@@ -261,16 +274,22 @@ pub fn execute_with(
     }
 }
 
-/// Execute `dag` with a scheduler of the given kind, charging each task its
+/// Execute `dag` with the selected scheduler, charging each task its
 /// instruction count ([`Dag::work_of`]) as its duration.
-pub fn execute(dag: &Dag, num_cores: usize, kind: SchedulerKind) -> Schedule {
-    let mut sched = kind.build();
+///
+/// The scheduler is resolved through the [global
+/// registry](crate::registry::SchedulerRegistry::global): pass a
+/// [`SchedulerKind`](crate::SchedulerKind), a registered name (`"pdf"`), or a
+/// full [`SchedulerSpec`] — user-registered schedulers work unmodified.
+pub fn execute(dag: &Dag, num_cores: usize, sched: impl Into<SchedulerSpec>) -> Schedule {
+    let mut sched = sched.into().build();
     execute_with(dag, num_cores, sched.as_mut(), |t| dag.work_of(t))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scheduler::SchedulerKind;
     use ccs_dag::synth::{random_computation, SynthParams};
     use ccs_dag::{ComputationBuilder, Dag, GroupMeta, TaskTrace};
 
@@ -294,7 +313,11 @@ mod tests {
     #[test]
     fn single_core_makespan_is_total_work() {
         let dag = balanced_tree(4, 100);
-        for kind in [SchedulerKind::Pdf, SchedulerKind::WorkStealing, SchedulerKind::CentralQueue] {
+        for kind in [
+            SchedulerKind::Pdf,
+            SchedulerKind::WorkStealing,
+            SchedulerKind::CentralQueue,
+        ] {
             let s = execute(&dag, 1, kind);
             assert_eq!(s.makespan, dag.total_work(), "{kind}");
             s.validate(&dag).unwrap();

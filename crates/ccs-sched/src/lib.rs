@@ -50,6 +50,7 @@
 pub mod central;
 pub mod exec;
 pub mod pdf;
+pub mod registry;
 pub mod scheduler;
 pub mod theory;
 pub mod ws;
@@ -57,5 +58,6 @@ pub mod ws;
 pub use central::CentralQueue;
 pub use exec::{execute, execute_with, Schedule};
 pub use pdf::Pdf;
+pub use registry::{SchedulerFactory, SchedulerParams, SchedulerRegistry, SchedulerSpec};
 pub use scheduler::{Scheduler, SchedulerKind};
 pub use ws::WorkStealing;

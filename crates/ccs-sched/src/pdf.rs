@@ -124,6 +124,10 @@ mod tests {
         pdf.init(&dag, 2);
         pdf.task_enabled(TaskId(1), None);
         pdf.task_enabled(TaskId(2), None);
-        assert_eq!(pdf.next_task(0), Some(TaskId(2)), "T2 precedes T1 sequentially");
+        assert_eq!(
+            pdf.next_task(0),
+            Some(TaskId(2)),
+            "T2 precedes T1 sequentially"
+        );
     }
 }

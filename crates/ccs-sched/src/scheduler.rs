@@ -36,8 +36,12 @@ pub trait Scheduler {
     fn name(&self) -> &'static str;
 }
 
-/// Which scheduler to instantiate — convenience enum used by the experiment
-/// harness and the examples.
+/// The built-in schedulers — a convenience enum kept as a thin compatibility
+/// shim over the open [scheduler registry](crate::registry).
+///
+/// New code (and anything that wants user-defined schedulers) should use
+/// [`crate::registry::SchedulerSpec`]; every executor entry point accepts
+/// `impl Into<SchedulerSpec>`, and `SchedulerKind` converts losslessly.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum SchedulerKind {
     /// Parallel Depth First.
@@ -51,19 +55,13 @@ pub enum SchedulerKind {
 }
 
 impl SchedulerKind {
-    /// Instantiate the scheduler.
+    /// Instantiate the scheduler by resolving this kind's name through the
+    /// [global registry](crate::registry::SchedulerRegistry::global).
     pub fn build(self) -> Box<dyn Scheduler> {
-        match self {
-            SchedulerKind::Pdf => Box::new(crate::pdf::Pdf::new()),
-            SchedulerKind::WorkStealing => Box::new(crate::ws::WorkStealing::new()),
-            SchedulerKind::WorkStealingRandom(seed) => {
-                Box::new(crate::ws::WorkStealing::with_random_victims(seed))
-            }
-            SchedulerKind::CentralQueue => Box::new(crate::central::CentralQueue::new()),
-        }
+        crate::registry::SchedulerSpec::from(self).build()
     }
 
-    /// Stable short name.
+    /// Stable short name — the registry name this kind resolves to.
     pub fn name(self) -> &'static str {
         match self {
             SchedulerKind::Pdf => "pdf",
@@ -86,9 +84,14 @@ mod tests {
 
     #[test]
     fn kinds_build_matching_names() {
+        // Every kind's registry name and its built scheduler's name agree —
+        // in particular the two WS variants are distinguishable in output.
         assert_eq!(SchedulerKind::Pdf.build().name(), "pdf");
         assert_eq!(SchedulerKind::WorkStealing.build().name(), "ws");
-        assert_eq!(SchedulerKind::WorkStealingRandom(1).build().name(), "ws");
+        assert_eq!(
+            SchedulerKind::WorkStealingRandom(1).build().name(),
+            "ws-rand"
+        );
         assert_eq!(SchedulerKind::CentralQueue.build().name(), "central");
         assert_eq!(SchedulerKind::Pdf.to_string(), "pdf");
         assert_eq!(SchedulerKind::WorkStealingRandom(7).name(), "ws-rand");

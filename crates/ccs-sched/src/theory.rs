@@ -51,11 +51,18 @@ pub fn pdf_ideal_misses(comp: &Computation, num_cores: usize, cache_lines: u64) 
             let t = comp.task(TaskId(i as u32));
             let first_pre = t.trace.ops().first().map_or(0, |o| o.pre_compute as u64);
             let done = t.trace.ops().is_empty() && t.trace.post_compute() == 0;
-            Cursor { op: 0, pre_remaining: first_pre, post_remaining: t.trace.post_compute(), done }
+            Cursor {
+                op: 0,
+                pre_remaining: first_pre,
+                post_remaining: t.trace.post_compute(),
+                done,
+            }
         })
         .collect();
 
-    let mut in_deg: Vec<u32> = (0..n as u32).map(|t| dag.in_degree(TaskId(t)) as u32).collect();
+    let mut in_deg: Vec<u32> = (0..n as u32)
+        .map(|t| dag.in_degree(TaskId(t)) as u32)
+        .collect();
     let mut remaining = n;
     // Pre-sort tasks by sequential rank once; each round we scan for the first
     // P ready unfinished tasks in rank order.
@@ -98,7 +105,10 @@ pub fn pdf_ideal_misses(comp: &Computation, num_cores: usize, cache_lines: u64) 
                 selected.push(t);
             }
         }
-        assert!(!selected.is_empty(), "no runnable task but {remaining} remain");
+        assert!(
+            !selected.is_empty(),
+            "no runnable task but {remaining} remain"
+        );
 
         for t in selected {
             let i = t.index();
@@ -180,7 +190,9 @@ impl MergesortModel {
 
     /// `M₁` / `M_pdf` for an (ideal) cache of `cache_bytes` bytes.
     pub fn misses_with_cache(&self, cache_bytes: u64) -> f64 {
-        let levels = (self.total_bytes() as f64 / cache_bytes as f64).log2().max(1.0);
+        let levels = (self.total_bytes() as f64 / cache_bytes as f64)
+            .log2()
+            .max(1.0);
         self.line_fetches() * levels
     }
 
@@ -247,7 +259,11 @@ mod tests {
 
     #[test]
     fn mergesort_model_monotonic_in_cache_size() {
-        let m = MergesortModel { n_items: 32 << 20, item_bytes: 4, line_bytes: 128 };
+        let m = MergesortModel {
+            n_items: 32 << 20,
+            item_bytes: 4,
+            line_bytes: 128,
+        };
         let small = m.misses_with_cache(1 << 20);
         let large = m.misses_with_cache(32 << 20);
         assert!(small > large);
@@ -261,7 +277,11 @@ mod tests {
 
     #[test]
     fn mergesort_model_basics() {
-        let m = MergesortModel { n_items: 1 << 20, item_bytes: 4, line_bytes: 128 };
+        let m = MergesortModel {
+            n_items: 1 << 20,
+            item_bytes: 4,
+            line_bytes: 128,
+        };
         assert_eq!(m.items_per_line(), 32.0);
         assert_eq!(m.total_bytes(), 4 << 20);
         assert!(m.misses_with_cache(4 << 20) >= m.line_fetches());

@@ -132,7 +132,12 @@ impl Scheduler for WorkStealing {
     }
 
     fn name(&self) -> &'static str {
-        "ws"
+        // The two victim-selection variants must be distinguishable in
+        // experiment output (they are distinct registry entries).
+        match self.victim_policy {
+            VictimPolicy::RoundRobin => "ws",
+            VictimPolicy::Random(_) => "ws-rand",
+        }
     }
 }
 

@@ -126,7 +126,7 @@ pub fn l2_hit_latency(capacity_mb: u64) -> u64 {
 pub fn l2_associativity(capacity: u64, line_size: u64) -> u32 {
     let lines = (capacity / line_size).max(1);
     let mut sets: u64 = 1;
-    while lines % (sets * 2) == 0 && lines / (sets * 2) >= 16 {
+    while lines.is_multiple_of(sets * 2) && lines / (sets * 2) >= 16 {
         sets *= 2;
     }
     (lines / sets).min(lines) as u32

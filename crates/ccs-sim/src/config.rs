@@ -32,7 +32,12 @@ impl CmpConfig {
     /// Build a configuration from a core count, technology and L2 capacity in
     /// megabytes, deriving the L2 associativity and hit time from the area
     /// model and using the Table 1 values for everything else.
-    pub fn from_l2_mb(name: impl Into<String>, technology: Technology, num_cores: usize, l2_mb: u64) -> Self {
+    pub fn from_l2_mb(
+        name: impl Into<String>,
+        technology: Technology,
+        num_cores: usize,
+        l2_mb: u64,
+    ) -> Self {
         CmpConfig {
             name: name.into(),
             num_cores,
@@ -55,16 +60,16 @@ impl CmpConfig {
             (32, Technology::Nm32, 40),
         ]
         .into_iter()
-        .map(|(cores, tech, mb)| {
-            CmpConfig::from_l2_mb(format!("default-{cores}"), tech, cores, mb)
-        })
+        .map(|(cores, tech, mb)| CmpConfig::from_l2_mb(format!("default-{cores}"), tech, cores, mb))
         .collect()
     }
 
     /// The default configuration with the given number of cores (1, 2, 4, 8,
     /// 16 or 32).
     pub fn default_with_cores(cores: usize) -> Option<CmpConfig> {
-        Self::default_configs().into_iter().find(|c| c.num_cores == cores)
+        Self::default_configs()
+            .into_iter()
+            .find(|c| c.num_cores == cores)
     }
 
     /// The fourteen single-technology (45 nm) configurations of Table 3, for
@@ -120,8 +125,8 @@ impl CmpConfig {
             let capacity = (c.capacity / divisor).max(min_bytes).max(c.line_size);
             // Keep capacity a multiple of the line size.
             let capacity = (capacity / c.line_size).max(1) * c.line_size;
-            let assoc = area::l2_associativity(capacity, c.line_size)
-                .min((capacity / c.line_size) as u32);
+            let assoc =
+                area::l2_associativity(capacity, c.line_size).min((capacity / c.line_size) as u32);
             CacheConfig::new(capacity, c.line_size, assoc, c.hit_latency)
         };
         CmpConfig {

@@ -30,7 +30,7 @@ use std::collections::BinaryHeap;
 
 use ccs_cache::{MainMemory, SetAssocCache};
 use ccs_dag::{AccessKind, Computation, Dag, TaskId};
-use ccs_sched::{Scheduler, SchedulerKind};
+use ccs_sched::{Scheduler, SchedulerSpec};
 
 use crate::config::CmpConfig;
 use crate::metrics::SimResult;
@@ -77,10 +77,19 @@ impl Core {
     }
 }
 
-/// Run `comp` on the CMP described by `config` under the given scheduler.
-pub fn simulate(comp: &Computation, config: &CmpConfig, kind: SchedulerKind) -> SimResult {
+/// Run `comp` on the CMP described by `config` under the selected scheduler.
+///
+/// The scheduler is resolved through the [global
+/// registry](ccs_sched::SchedulerRegistry::global): pass a
+/// [`SchedulerKind`](ccs_sched::SchedulerKind), a registered name (`"pdf"`),
+/// or a full [`SchedulerSpec`] — user-registered schedulers work unmodified.
+pub fn simulate(
+    comp: &Computation,
+    config: &CmpConfig,
+    sched: impl Into<SchedulerSpec>,
+) -> SimResult {
     let dag = Dag::from_computation(comp);
-    let mut sched = kind.build();
+    let mut sched = sched.into().build();
     simulate_with(comp, &dag, config, sched.as_mut())
 }
 
@@ -106,7 +115,9 @@ pub fn simulate_with(
     let mut memory = MainMemory::new(config.memory);
 
     let mut cores: Vec<Core> = (0..p).map(|_| Core::new()).collect();
-    let mut in_deg: Vec<u32> = (0..n as u32).map(|t| dag.in_degree(TaskId(t)) as u32).collect();
+    let mut in_deg: Vec<u32> = (0..n as u32)
+        .map(|t| dag.in_degree(TaskId(t)) as u32)
+        .collect();
     let mut completed = 0usize;
 
     sched.init(dag, p);
@@ -241,11 +252,22 @@ pub fn simulate_with(
                         sched.task_enabled(s, Some(core_id));
                     }
                     idle.push(core_id);
-                    dispatch(finish, Some(core_id), sched, &mut cores, &mut idle, &mut active);
+                    dispatch(
+                        finish,
+                        Some(core_id),
+                        sched,
+                        &mut cores,
+                        &mut idle,
+                        &mut active,
+                    );
                 }
             }
             Phase::L2Probe { line, is_write } => {
-                let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+                let kind = if is_write {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
                 let hit = l2.access_line(line, kind).hit;
                 if hit {
                     l1s[core_id].fill_line(line, is_write);
@@ -311,6 +333,7 @@ impl Core {
 mod tests {
     use super::*;
     use ccs_dag::{ComputationBuilder, GroupMeta};
+    use ccs_sched::SchedulerKind;
 
     /// A computation of `width` strands each streaming over its own
     /// `bytes_per_task`-byte array, followed by a join strand.

@@ -11,7 +11,9 @@
 //! * [`heat`] — an iterative Jacobi stencil (Barnes/Heat class: bandwidth
 //!   bound, streaming).
 
-use ccs_dag::{AddressSpace, CallSite, Computation, ComputationBuilder, GroupMeta, Region, SpNodeId};
+use ccs_dag::{
+    AddressSpace, CallSite, Computation, ComputationBuilder, GroupMeta, Region, SpNodeId,
+};
 
 // ---------------------------------------------------------------------------
 // Quicksort
@@ -52,17 +54,20 @@ pub fn quicksort(params: &QuicksortParams) -> Computation {
     let data = space.alloc(params.n_items * 4);
     let mut b = ComputationBuilder::new(params.line_size);
 
-    fn rec(b: &mut ComputationBuilder, p: &QuicksortParams, data: Region, start: u64, n: u64) -> SpNodeId {
+    fn rec(
+        b: &mut ComputationBuilder,
+        p: &QuicksortParams,
+        data: Region,
+        start: u64,
+        n: u64,
+    ) -> SpNodeId {
         let bytes = n * 4;
         if n <= p.base_task_items {
-            return b.strand_with_meta(
-                GroupMeta::with_param("qs-base", bytes).at(QS_SITE),
-                |t| {
-                    let levels = (n.max(2) as f64).log2().ceil() as u64;
-                    t.read_range(data.at(start * 4), bytes, 4 * levels * (p.line_size / 4));
-                    t.write_range(data.at(start * 4), bytes, 0);
-                },
-            );
+            return b.strand_with_meta(GroupMeta::with_param("qs-base", bytes).at(QS_SITE), |t| {
+                let levels = (n.max(2) as f64).log2().ceil() as u64;
+                t.read_range(data.at(start * 4), bytes, 4 * levels * (p.line_size / 4));
+                t.write_range(data.at(start * 4), bytes, 0);
+            });
         }
         // Partition pass: read + write the whole sub-array once.
         let partition = b.strand_with_meta(
@@ -75,8 +80,14 @@ pub fn quicksort(params: &QuicksortParams) -> Computation {
         let left_n = (n * p.split_percent / 100).clamp(1, n - 1);
         let left = rec(b, p, data, start, left_n);
         let right = rec(b, p, data, start + left_n, n - left_n);
-        let halves = b.par(vec![left, right], GroupMeta::with_param("qs-halves", bytes).at(QS_SITE));
-        b.seq(vec![partition, halves], GroupMeta::with_param("qs", bytes).at(QS_SITE))
+        let halves = b.par(
+            vec![left, right],
+            GroupMeta::with_param("qs-halves", bytes).at(QS_SITE),
+        );
+        b.seq(
+            vec![partition, halves],
+            GroupMeta::with_param("qs", bytes).at(QS_SITE),
+        )
     }
 
     let root = rec(&mut b, params, data, 0, params.n_items);
@@ -101,7 +112,11 @@ pub struct MatmulParams {
 impl MatmulParams {
     /// Defaults: 64×64 leaf blocks.
     pub fn new(n: u64) -> Self {
-        MatmulParams { n, block: 64.min(n), line_size: 128 }
+        MatmulParams {
+            n,
+            block: 64.min(n),
+            line_size: 128,
+        }
     }
 }
 
@@ -126,7 +141,11 @@ pub fn matmul(params: &MatmulParams) -> Computation {
     impl Tile {
         fn quad(&self, i: u64, j: u64) -> Tile {
             let h = self.size / 2;
-            Tile { row: self.row + i * h, col: self.col + j * h, size: h }
+            Tile {
+                row: self.row + i * h,
+                col: self.col + j * h,
+                size: h,
+            }
         }
     }
 
@@ -169,18 +188,36 @@ pub fn matmul(params: &MatmulParams) -> Computation {
         let mut quads = Vec::with_capacity(4);
         for i in 0..2 {
             for j in 0..2 {
-                let first = rec(builder, p, (a, bm, c), (ta.quad(i, 0), tb.quad(0, j), tc.quad(i, j)));
-                let second = rec(builder, p, (a, bm, c), (ta.quad(i, 1), tb.quad(1, j), tc.quad(i, j)));
+                let first = rec(
+                    builder,
+                    p,
+                    (a, bm, c),
+                    (ta.quad(i, 0), tb.quad(0, j), tc.quad(i, j)),
+                );
+                let second = rec(
+                    builder,
+                    p,
+                    (a, bm, c),
+                    (ta.quad(i, 1), tb.quad(1, j), tc.quad(i, j)),
+                );
                 quads.push(builder.seq(
                     vec![first, second],
                     GroupMeta::with_param("mm-quad", tc.size * tc.size * 2).at(MM_SITE),
                 ));
             }
         }
-        builder.forked_par(quads, GroupMeta::with_param("mm", tc.size * tc.size * 8).at(MM_SITE), 24)
+        builder.forked_par(
+            quads,
+            GroupMeta::with_param("mm", tc.size * tc.size * 8).at(MM_SITE),
+            24,
+        )
     }
 
-    let whole = Tile { row: 0, col: 0, size: params.n };
+    let whole = Tile {
+        row: 0,
+        col: 0,
+        size: params.n,
+    };
     let root = rec(&mut builder, params, (a, bm, c), (whole, whole, whole));
     builder.finish(root)
 }
@@ -207,7 +244,13 @@ pub struct HeatParams {
 impl HeatParams {
     /// Defaults: 4 iterations, 16 rows per task.
     pub fn new(rows: u64, cols: u64) -> Self {
-        HeatParams { rows, cols, iterations: 4, rows_per_task: 16, line_size: 128 }
+        HeatParams {
+            rows,
+            cols,
+            iterations: 4,
+            rows_per_task: 16,
+            line_size: 128,
+        }
     }
 }
 
@@ -226,7 +269,11 @@ pub fn heat(params: &HeatParams) -> Computation {
 
     let mut sweeps = Vec::with_capacity(params.iterations as usize);
     for it in 0..params.iterations {
-        let (src, dst) = if it % 2 == 0 { (grid_a, grid_b) } else { (grid_b, grid_a) };
+        let (src, dst) = if it % 2 == 0 {
+            (grid_a, grid_b)
+        } else {
+            (grid_b, grid_a)
+        };
         let bands = params.rows.div_ceil(params.rows_per_task);
         let mut tasks = Vec::with_capacity(bands as usize);
         for band in 0..bands {
@@ -256,7 +303,10 @@ pub fn heat(params: &HeatParams) -> Computation {
     let root = if sweeps.len() == 1 {
         sweeps.pop().unwrap()
     } else {
-        b.seq(sweeps, GroupMeta::with_param("heat", 2 * params.rows * row_bytes).at(HEAT_SITE))
+        b.seq(
+            sweeps,
+            GroupMeta::with_param("heat", 2 * params.rows * row_bytes).at(HEAT_SITE),
+        )
     };
     b.finish(root)
 }
@@ -301,7 +351,11 @@ mod tests {
 
     #[test]
     fn matmul_structure() {
-        let comp = matmul(&MatmulParams { n: 256, block: 64, line_size: 128 });
+        let comp = matmul(&MatmulParams {
+            n: 256,
+            block: 64,
+            line_size: 128,
+        });
         let dag = Dag::from_computation(&comp);
         dag.validate().unwrap();
         // (256/64)^3 = 64 leaf multiplies plus the quad-seq scaffolding.
@@ -331,7 +385,10 @@ mod tests {
 
     #[test]
     fn heat_single_iteration() {
-        let comp = heat(&HeatParams { iterations: 1, ..HeatParams::new(64, 64) });
+        let comp = heat(&HeatParams {
+            iterations: 1,
+            ..HeatParams::new(64, 64)
+        });
         // 4 bands + 1 spawn task.
         assert_eq!(comp.num_tasks(), 5);
     }

@@ -109,7 +109,10 @@ const PROBE_SITE: CallSite = CallSite::new("hashjoin.rs", 61);
 /// Build the Hash Join computation DAG and traces.
 pub fn build(params: &HashJoinParams) -> Computation {
     let p = params;
-    assert!(p.build_bytes >= p.record_bytes, "need at least one build record");
+    assert!(
+        p.build_bytes >= p.record_bytes,
+        "need at least one build record"
+    );
     let mut space = AddressSpace::new();
     let build_table = space.alloc(p.build_bytes);
     let probe_table = space.alloc(p.probe_bytes());
@@ -140,8 +143,7 @@ pub fn build(params: &HashJoinParams) -> Computation {
         let build_task = builder.strand_with_meta(
             GroupMeta::with_param("build", build_len).at(BUILD_SITE),
             |t| {
-                let per_line =
-                    BUILD_INSTR_PER_RECORD * p.line_size / p.record_bytes.max(1);
+                let per_line = BUILD_INSTR_PER_RECORD * p.line_size / p.record_bytes.max(1);
                 t.read_range(build_table.at(build_start), build_len, per_line);
                 for _ in 0..build_records {
                     build_rand ^= build_rand << 13;
@@ -180,7 +182,10 @@ pub fn build(params: &HashJoinParams) -> Computation {
                     let records_per_line = (records / lines).max(1);
                     for l in 0..lines {
                         t.compute(stream_per_line);
-                        t.read(probe_table.at(probe_start + start + l * p.line_size), p.line_size as u32);
+                        t.read(
+                            probe_table.at(probe_start + start + l * p.line_size),
+                            p.line_size as u32,
+                        );
                         for _ in 0..records_per_line {
                             task_rand ^= task_rand << 13;
                             task_rand ^= task_rand >> 7;
@@ -191,7 +196,8 @@ pub fn build(params: &HashJoinParams) -> Computation {
                         }
                         t.compute(OUTPUT_INSTR_PER_RECORD * records_per_line);
                         t.write(
-                            output.at((out_start + l * p.line_size * 3 / 2) % output.bytes & !(p.line_size - 1)),
+                            output.at(((out_start + l * p.line_size * 3 / 2) % output.bytes)
+                                & !(p.line_size - 1)),
                             p.line_size as u32,
                         );
                     }
@@ -245,7 +251,11 @@ mod tests {
         TaskGroupTree::from_computation(&comp).validate().unwrap();
         // 4 sub-partitions * (1 build + 4 probes) + 1 fork task = 21 tasks.
         assert_eq!(comp.num_tasks(), 21);
-        assert_eq!(dag.sources().len(), 1, "the join-phase driver is the only root");
+        assert_eq!(
+            dag.sources().len(),
+            1,
+            "the join-phase driver is the only root"
+        );
     }
 
     #[test]
@@ -255,7 +265,10 @@ mod tests {
         let fine = build(&small());
         let d_coarse = Dag::from_computation(&coarse).parallelism();
         let d_fine = Dag::from_computation(&fine).parallelism();
-        assert!(d_fine > d_coarse, "fine-grained probe exposes more parallelism");
+        assert!(
+            d_fine > d_coarse,
+            "fine-grained probe exposes more parallelism"
+        );
     }
 
     #[test]
@@ -279,7 +292,7 @@ mod tests {
         let refs = comp.total_refs();
         // Streaming over build + probe alone would be ~(256K+512K)/128 = 6K
         // lines; hash-table probes add one reference per record.
-        assert!(refs as u64 > 6_000, "got {refs}");
+        assert!(refs > 6_000, "got {refs}");
     }
 
     #[test]

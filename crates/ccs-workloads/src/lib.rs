@@ -71,7 +71,9 @@ impl Benchmark {
                 // fraction of the shared cache, keeping LU compute-dense and
                 // cache-friendly as in the paper.
                 let block_target = ((l2_bytes / 64).max(256) as f64 / 8.0).sqrt() as u64;
-                let block = block_target.next_power_of_two().clamp(16, (dim / 4).max(16));
+                let block = block_target
+                    .next_power_of_two()
+                    .clamp(16, (dim / 4).max(16));
                 lu::build(&LuParams::new(dim).with_block(block.min(64)))
             }
             Benchmark::HashJoin => {
@@ -82,8 +84,7 @@ impl Benchmark {
             Benchmark::Mergesort => {
                 let n_items = (32u64 << 20) / scale;
                 let ws = (l2_bytes / (2 * cores.max(1) as u64)).max(16 * 1024);
-                let params =
-                    MergesortParams::new(n_items.max(1 << 14)).with_task_working_set(ws);
+                let params = MergesortParams::new(n_items.max(1 << 14)).with_task_working_set(ws);
                 mergesort::build(&params)
             }
         }

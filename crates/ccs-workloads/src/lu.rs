@@ -17,7 +17,9 @@
 //!   lu(A11)
 //! ```
 
-use ccs_dag::{AddressSpace, CallSite, Computation, ComputationBuilder, GroupMeta, Region, SpNodeId};
+use ccs_dag::{
+    AddressSpace, CallSite, Computation, ComputationBuilder, GroupMeta, Region, SpNodeId,
+};
 
 /// Parameters of the LU workload.
 #[derive(Clone, Debug)]
@@ -35,7 +37,12 @@ pub struct LuParams {
 impl LuParams {
     /// Defaults: doubles, 128-byte lines, 64×64 blocks.
     pub fn new(n: u64) -> Self {
-        LuParams { n, block: 64.min(n), elem_bytes: 8, line_size: 128 }
+        LuParams {
+            n,
+            block: 64.min(n),
+            elem_bytes: 8,
+            line_size: 128,
+        }
     }
 
     /// Override the block size (the grain of parallelism).
@@ -64,7 +71,11 @@ struct Tile {
 impl Tile {
     fn quad(&self, i: u64, j: u64) -> Tile {
         let h = self.size / 2;
-        Tile { row: self.row + i * h, col: self.col + j * h, size: h }
+        Tile {
+            row: self.row + i * h,
+            col: self.col + j * h,
+            size: h,
+        }
     }
 }
 
@@ -106,7 +117,13 @@ impl Generator {
     }
 
     /// Triangular solve of `target` against the factored diagonal tile `diag`.
-    fn solve_base(&self, b: &mut ComputationBuilder, target: Tile, diag: Tile, label: &'static str) -> SpNodeId {
+    fn solve_base(
+        &self,
+        b: &mut ComputationBuilder,
+        target: Tile,
+        diag: Tile,
+        label: &'static str,
+    ) -> SpNodeId {
         let size = target.size;
         b.strand_with_meta(
             GroupMeta::with_param(label, size * size * self.params.elem_bytes).at(LU_SITE),
@@ -130,7 +147,13 @@ impl Generator {
         )
     }
 
-    fn solve(&self, b: &mut ComputationBuilder, target: Tile, diag: Tile, label: &'static str) -> SpNodeId {
+    fn solve(
+        &self,
+        b: &mut ComputationBuilder,
+        target: Tile,
+        diag: Tile,
+        label: &'static str,
+    ) -> SpNodeId {
         if target.size <= self.params.block {
             return self.solve_base(b, target, diag, label);
         }
@@ -159,11 +182,16 @@ impl Generator {
             for j in 0..2 {
                 let first = self.schur(bb, c.quad(i, j), a.quad(i, 0), b.quad(0, j));
                 let second = self.schur(bb, c.quad(i, j), a.quad(i, 1), b.quad(1, j));
-                quads.push(bb.seq(
-                    vec![first, second],
-                    GroupMeta::with_param("schur-quad", c.size * c.size / 4 * self.params.elem_bytes)
+                quads.push(
+                    bb.seq(
+                        vec![first, second],
+                        GroupMeta::with_param(
+                            "schur-quad",
+                            c.size * c.size / 4 * self.params.elem_bytes,
+                        )
                         .at(LU_SITE),
-                ));
+                    ),
+                );
             }
         }
         bb.par(
@@ -186,7 +214,8 @@ impl Generator {
         let s10 = self.solve(b, a10, a00, "upper-solve");
         let solves = b.par(
             vec![s01, s10],
-            GroupMeta::with_param("solves", a.size * a.size / 2 * self.params.elem_bytes).at(LU_SITE),
+            GroupMeta::with_param("solves", a.size * a.size / 2 * self.params.elem_bytes)
+                .at(LU_SITE),
         );
         let schur = self.schur(b, a11, a10, a01);
         let tail = self.lu(b, a11);
@@ -199,13 +228,29 @@ impl Generator {
 
 /// Build the LU computation DAG and traces.
 pub fn build(params: &LuParams) -> Computation {
-    assert!(params.n.is_power_of_two(), "matrix dimension must be a power of two");
-    assert!(params.block.is_power_of_two(), "block size must be a power of two");
+    assert!(
+        params.n.is_power_of_two(),
+        "matrix dimension must be a power of two"
+    );
+    assert!(
+        params.block.is_power_of_two(),
+        "block size must be a power of two"
+    );
     let mut space = AddressSpace::new();
     let matrix = space.alloc(params.total_bytes());
-    let gen = Generator { params: params.clone(), matrix };
+    let gen = Generator {
+        params: params.clone(),
+        matrix,
+    };
     let mut b = ComputationBuilder::new(params.line_size);
-    let root = gen.lu(&mut b, Tile { row: 0, col: 0, size: params.n });
+    let root = gen.lu(
+        &mut b,
+        Tile {
+            row: 0,
+            col: 0,
+            size: params.n,
+        },
+    );
     b.finish(root)
 }
 
@@ -256,7 +301,10 @@ mod tests {
         let small = build(&LuParams::new(128).with_block(32)).total_work();
         let large = build(&LuParams::new(256).with_block(32)).total_work();
         let ratio = large as f64 / small as f64;
-        assert!(ratio > 5.0 && ratio < 10.0, "ratio {ratio} not ~8 (n^3 scaling)");
+        assert!(
+            ratio > 5.0 && ratio < 10.0,
+            "ratio {ratio} not ~8 (n^3 scaling)"
+        );
     }
 
     #[test]

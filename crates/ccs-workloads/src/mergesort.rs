@@ -104,7 +104,9 @@ pub fn build(params: &MergesortParams) -> Computation {
     let a = space.alloc(bytes);
     let b_buf = space.alloc(bytes);
     let mut builder = ComputationBuilder::new(params.line_size);
-    let gen = Generator { params: params.clone() };
+    let gen = Generator {
+        params: params.clone(),
+    };
     // The sorted result ends up back in the input buffer.
     let root = gen.sort(&mut builder, a, b_buf, params.n_items, false);
     builder.finish(root)
@@ -137,8 +139,7 @@ impl Generator {
             // Sequential mergesort of a small sub-array: O(n log n) work over
             // a 2n-byte working set (the sub-array plus its scratch half).
             let levels = (n.max(2) as f64).log2().ceil() as u64;
-            let instr_per_line =
-                SORT_INSTR_PER_ITEM_PER_LEVEL * levels * (p.line_size / item);
+            let instr_per_line = SORT_INSTR_PER_ITEM_PER_LEVEL * levels * (p.line_size / item);
             return b.strand_with_meta(
                 GroupMeta::with_param("seq-sort", n * item).at(SORT_SITE),
                 |t| {
@@ -153,8 +154,12 @@ impl Generator {
         }
 
         let half = n / 2;
-        let split =
-            |r: Region| (r.slice(0, half * item), r.slice(half * item, (n - half) * item));
+        let split = |r: Region| {
+            (
+                r.slice(0, half * item),
+                r.slice(half * item, (n - half) * item),
+            )
+        };
         let (src_l, src_r) = split(src);
         let (oth_l, oth_r) = split(other);
 
@@ -264,7 +269,10 @@ impl Generator {
                 },
             ));
         }
-        let merges = b.par(chunks, GroupMeta::with_param("merge", n * item).at(MERGE_SITE));
+        let merges = b.par(
+            chunks,
+            GroupMeta::with_param("merge", n * item).at(MERGE_SITE),
+        );
 
         b.seq(
             vec![split, merges],
@@ -344,7 +352,10 @@ mod tests {
         assert!(coarse.num_tasks() < fine.num_tasks());
         let d_fine = Dag::from_computation(&fine).depth();
         let d_coarse = Dag::from_computation(&coarse).depth();
-        assert!(d_coarse > d_fine, "serial merges lengthen the critical path");
+        assert!(
+            d_coarse > d_fine,
+            "serial merges lengthen the critical path"
+        );
     }
 
     #[test]

@@ -94,7 +94,10 @@ pub fn par_sum(data: &[u64], sequential_below: usize) -> u64 {
     }
     let mid = data.len() / 2;
     let (l, r) = data.split_at(mid);
-    let (a, b) = join(|| par_sum(l, sequential_below), || par_sum(r, sequential_below));
+    let (a, b) = join(
+        || par_sum(l, sequential_below),
+        || par_sum(r, sequential_below),
+    );
     a + b
 }
 

@@ -39,7 +39,10 @@ fn main() {
     let mut plans = Vec::new();
     for cores in [8usize, 16, 32] {
         let cfg = CmpConfig::default_with_cores(cores).unwrap().scaled(scale);
-        let target = CoarsenTarget { cache_bytes: cfg.l2.capacity, num_cores: cores };
+        let target = CoarsenTarget {
+            cache_bytes: cfg.l2.capacity,
+            num_cores: cores,
+        };
         let plan = coarsen(&profile, &tree, target);
         println!(
             "{} cores / {} KB L2: coarsen {} fine tasks into {} tasks (budget {} KB/child)",

@@ -27,7 +27,11 @@ fn main() {
         &MergesortParams::new(n_items).with_task_working_set(cache_bytes / (2 * cores as u64)),
     );
 
-    println!("Sorting {} integers ({} KB) on {config}", n_items, n_items * 4 / 1024);
+    println!(
+        "Sorting {} integers ({} KB) on {config}",
+        n_items,
+        n_items * 4 / 1024
+    );
     println!(
         "{} tasks, parallelism {:.1}",
         comp.num_tasks(),
@@ -54,7 +58,11 @@ fn main() {
     }
 
     // Compare against the closed-form model of Section 3.
-    let model = MergesortModel { n_items, item_bytes: 4, line_bytes: 128 };
+    let model = MergesortModel {
+        n_items,
+        item_bytes: 4,
+        line_bytes: 128,
+    };
     println!("\nSection 3 model:");
     println!(
         "  M_pdf ~ (N/B)*log2(N/C_P) = {:.0} lines",

@@ -11,7 +11,9 @@ use ccs::prelude::*;
 use ccs::workloads::native::{par_mergesort, par_sum};
 
 fn main() {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
     let n = 2_000_000usize;
     let mut rng_state = 0x1357_9BDFu32;
     let input: Vec<u32> = (0..n)

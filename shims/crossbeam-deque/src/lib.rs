@@ -1,0 +1,234 @@
+//! Offline stand-in for the subset of `crossbeam-deque` this workspace uses.
+//!
+//! Provides [`Worker`], [`Stealer`], [`Injector`] and [`Steal`] with the same
+//! ownership/stealing semantics as the real crate — per-owner LIFO pops,
+//! FIFO steals from the opposite end, a shared FIFO injector — implemented
+//! over a mutex-protected `VecDeque` rather than a lock-free Chase-Lev deque.
+//! Correctness and API shape are identical for this workspace's thread pool;
+//! only raw throughput under contention differs.  See `shims/README.md`.
+
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// The result of a steal attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The source was empty.
+    Empty,
+    /// One item was stolen.
+    Success(T),
+    /// The operation lost a race and should be retried.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// The stolen item, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+fn locked<T, R>(q: &Mutex<T>, f: impl FnOnce(&mut T) -> R) -> R {
+    let mut guard = q.lock().unwrap_or_else(|e| e.into_inner());
+    f(&mut guard)
+}
+
+/// A worker-owned deque.  The owner pushes and pops at the "top"; stealers
+/// take from the "bottom".
+pub struct Worker<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+    lifo: bool,
+}
+
+impl<T> Worker<T> {
+    /// A deque whose owner pops the most recently pushed item first.
+    pub fn new_lifo() -> Self {
+        Worker {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+            lifo: true,
+        }
+    }
+
+    /// A deque whose owner pops the oldest item first.
+    pub fn new_fifo() -> Self {
+        Worker {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+            lifo: false,
+        }
+    }
+
+    /// Push an item onto the owner's end.
+    pub fn push(&self, item: T) {
+        locked(&self.queue, |q| q.push_back(item));
+    }
+
+    /// Pop an item from the owner's end.
+    pub fn pop(&self) -> Option<T> {
+        locked(&self.queue, |q| {
+            if self.lifo {
+                q.pop_back()
+            } else {
+                q.pop_front()
+            }
+        })
+    }
+
+    /// Whether the deque is currently empty.
+    pub fn is_empty(&self) -> bool {
+        locked(&self.queue, |q| q.is_empty())
+    }
+
+    /// Number of items currently queued.
+    pub fn len(&self) -> usize {
+        locked(&self.queue, |q| q.len())
+    }
+
+    /// Create a stealer handle onto this deque.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+}
+
+/// A handle that can steal from a [`Worker`]'s opposite end.
+pub struct Stealer<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Stealer<T> {
+    /// Steal the oldest item (the end opposite the owner's LIFO pops).
+    pub fn steal(&self) -> Steal<T> {
+        match locked(&self.queue, |q| q.pop_front()) {
+            Some(v) => Steal::Success(v),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Whether the deque is currently empty.
+    pub fn is_empty(&self) -> bool {
+        locked(&self.queue, |q| q.is_empty())
+    }
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+}
+
+/// A shared FIFO queue for jobs injected from outside the pool.
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Injector<T> {
+    /// Create an empty injector.
+    pub fn new() -> Self {
+        Injector {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Push an item onto the back of the queue.
+    pub fn push(&self, item: T) {
+        locked(&self.queue, |q| q.push_back(item));
+    }
+
+    /// Steal the oldest item.
+    pub fn steal(&self) -> Steal<T> {
+        match locked(&self.queue, |q| q.pop_front()) {
+            Some(v) => Steal::Success(v),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        locked(&self.queue, |q| q.is_empty())
+    }
+
+    /// Number of items currently queued.
+    pub fn len(&self) -> usize {
+        locked(&self.queue, |q| q.len())
+    }
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Injector::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_owner_fifo_stealer() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        // Owner pops newest; stealer takes oldest.
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(s.steal(), Steal::Empty);
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn injector_is_fifo() {
+        let inj = Injector::new();
+        inj.push("a");
+        inj.push("b");
+        assert_eq!(inj.len(), 2);
+        assert_eq!(inj.steal(), Steal::Success("a"));
+        assert_eq!(inj.steal(), Steal::Success("b"));
+        assert_eq!(inj.steal(), Steal::Empty);
+        assert!(inj.is_empty());
+    }
+
+    #[test]
+    fn cross_thread_stealing() {
+        let w = Worker::new_lifo();
+        for i in 0..1000 {
+            w.push(i);
+        }
+        let stealers: Vec<_> = (0..4).map(|_| w.stealer()).collect();
+        let total: usize = std::thread::scope(|scope| {
+            let handles: Vec<_> = stealers
+                .iter()
+                .map(|s| {
+                    scope.spawn(move || {
+                        let mut count = 0;
+                        while s.steal().success().is_some() {
+                            count += 1;
+                        }
+                        count
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(
+            total + {
+                let mut c = 0;
+                while w.pop().is_some() {
+                    c += 1;
+                }
+                c
+            },
+            1000
+        );
+    }
+}

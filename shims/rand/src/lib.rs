@@ -1,0 +1,254 @@
+//! Offline stand-in for the subset of the `rand` crate this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! minimal, API-compatible implementations of its external dependencies under
+//! `shims/` (see `shims/README.md`).  This crate covers exactly the surface
+//! the `ccs` crates need: [`rngs::SmallRng`], [`SeedableRng::seed_from_u64`],
+//! and the [`Rng`] methods `gen`, `gen_range` and `gen_bool`.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — the same
+//! construction `rand`'s 64-bit `SmallRng` uses — so it is a high-quality,
+//! deterministic, seedable small RNG, though the exact streams differ from
+//! upstream `rand` (nothing in this workspace depends on upstream streams,
+//! only on determinism for a fixed seed).
+
+#![warn(missing_docs)]
+
+/// A type that can be created from a seed.
+pub trait SeedableRng: Sized {
+    /// Create a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling methods, mirroring `rand::Rng` for the subset used here.
+pub trait Rng {
+    /// The next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Sample a uniform value over the full range of `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_u64(self.next_u64())
+    }
+
+    /// Sample uniformly from a range (`start..end` or `start..=end`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: UniformInt,
+        R: SampleRange<T>,
+    {
+        range.sample(self)
+    }
+
+    /// Return `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
+        // 53 random mantissa bits → uniform in [0, 1).
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+}
+
+/// Marker for types `gen()` can produce.
+pub trait Standard {
+    /// Build a value from 64 uniform random bits.
+    fn from_u64(bits: u64) -> Self;
+}
+
+impl Standard for u64 {
+    fn from_u64(bits: u64) -> Self {
+        bits
+    }
+}
+impl Standard for u32 {
+    fn from_u64(bits: u64) -> Self {
+        (bits >> 32) as u32
+    }
+}
+impl Standard for usize {
+    fn from_u64(bits: u64) -> Self {
+        bits as usize
+    }
+}
+impl Standard for bool {
+    fn from_u64(bits: u64) -> Self {
+        bits >> 63 == 1
+    }
+}
+impl Standard for f64 {
+    fn from_u64(bits: u64) -> Self {
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Integer types `gen_range` can sample.
+pub trait UniformInt: Copy + PartialOrd {
+    /// Uniform sample from `[low, high)` (half-open).
+    fn sample_half_open(rng: &mut dyn FnMut() -> u64, low: Self, high: Self) -> Self;
+    /// The largest representable value (used for inclusive ranges).
+    fn checked_inc(self) -> Option<Self>;
+}
+
+macro_rules! impl_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample_half_open(rng: &mut dyn FnMut() -> u64, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let span = (high - low) as u64;
+                // Debiased multiply-shift (Lemire); span ≤ u64::MAX here.
+                let mut x = rng();
+                let threshold = span.wrapping_neg() % span;
+                loop {
+                    let (hi, lo) = {
+                        let m = (x as u128) * (span as u128);
+                        ((m >> 64) as u64, m as u64)
+                    };
+                    if lo >= threshold {
+                        return low + hi as $t;
+                    }
+                    x = rng();
+                }
+            }
+            fn checked_inc(self) -> Option<Self> {
+                self.checked_add(1)
+            }
+        }
+    )*};
+}
+
+impl_uniform_uint!(u64, u32, usize);
+
+/// Ranges accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw one sample.
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: UniformInt> SampleRange<T> for std::ops::Range<T> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let mut next = || rng.next_u64();
+        T::sample_half_open(&mut next, self.start, self.end)
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        match high.checked_inc() {
+            Some(h) => {
+                let mut next = || rng.next_u64();
+                T::sample_half_open(&mut next, low, h)
+            }
+            // `low..=MAX`: fall back to rejection-free masking over the whole
+            // span; only reachable for degenerate full-range requests.
+            None => {
+                let mut next = || rng.next_u64();
+                if low == high {
+                    low
+                } else {
+                    T::sample_half_open(&mut next, low, high)
+                }
+            }
+        }
+    }
+}
+
+/// The RNG implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// A small, fast, seedable generator (xoshiro256++).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        fn splitmix(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut st = seed;
+            let s = [
+                Self::splitmix(&mut st),
+                Self::splitmix(&mut st),
+                Self::splitmix(&mut st),
+                Self::splitmix(&mut st),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let [mut s0, mut s1, mut s2, mut s3] = self.s;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            s2 ^= s0;
+            s3 ^= s1;
+            s1 ^= s2;
+            s0 ^= s3;
+            s2 ^= t;
+            s3 = s3.rotate_left(45);
+            self.s = [s0, s1, s2, s3];
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: u64 = rng.gen_range(10..20);
+            assert!((10..20).contains(&x));
+            let y: usize = rng.gen_range(0..7);
+            assert!(y < 7);
+            let z: u32 = rng.gen_range(0..=3);
+            assert!(z <= 3);
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_extremes() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert!(!rng.gen_bool(0.0));
+            assert!(rng.gen_bool(1.0));
+        }
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&hits), "p=0.5 hits: {hits}");
+    }
+
+    #[test]
+    fn gen_produces_varied_values() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let a: u32 = rng.gen();
+        let b: u32 = rng.gen();
+        let c: u64 = rng.gen();
+        assert!(a != b || b as u64 != c);
+    }
+}

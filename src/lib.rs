@@ -18,29 +18,61 @@
 //!   secondary benchmarks, as trace generators and native kernels;
 //! * [`profile`] (ccs-profile) — the LruTree working-set profiler and
 //!   automatic task coarsening;
-//! * [`runtime`] (ccs-runtime) — the native fork-join thread pool.
+//! * [`runtime`] (ccs-runtime) — the native fork-join thread pool;
+//! * [`experiment`] (ccs-experiment) — the unified experiment layer:
+//!   builder-style run sessions, the open scheduler registry's
+//!   [`SchedulerSpec`](ccs_sched::SchedulerSpec) selectors, and serialisable
+//!   JSON/CSV reports.
 //!
 //! ## Quick start
+//!
+//! The [`Experiment`](ccs_experiment::Experiment) builder is the canonical
+//! entry point — it fans a workload × scheduler × configuration
+//! cross-product into a serialisable report:
 //!
 //! ```
 //! use ccs::prelude::*;
 //!
-//! // Build a (small) Mergesort computation, simulate it on the paper's
-//! // 8-core default CMP configuration under both schedulers, and compare.
+//! let report = Experiment::new(Benchmark::Mergesort)
+//!     .cores(8)
+//!     .scale(512)
+//!     .schedulers([SchedulerKind::Pdf, SchedulerKind::WorkStealing])
+//!     .run();
+//! let pdf = report.for_scheduler("pdf").next().unwrap();
+//! let ws = report.for_scheduler("ws").next().unwrap();
+//! assert!(pdf.l2_misses <= ws.l2_misses, "PDF shares the cache constructively");
+//! assert_eq!(Report::from_json(&report.to_json()).unwrap(), report);
+//! ```
+//!
+//! The lower-level entry points remain available, and accept anything that
+//! converts into a [`SchedulerSpec`](ccs_sched::SchedulerSpec) — a
+//! [`SchedulerKind`](ccs_sched::SchedulerKind), a registry name like
+//! `"pdf"`, or a seeded spec:
+//!
+//! ```
+//! use ccs::prelude::*;
+//!
 //! let comp = ccs::workloads::mergesort::build(
 //!     &MergesortParams::new(1 << 15).with_task_working_set(32 * 1024),
 //! );
 //! let config = CmpConfig::default_with_cores(8).unwrap().scaled(64);
-//! let pdf = simulate(&comp, &config, SchedulerKind::Pdf);
+//! let pdf = simulate(&comp, &config, "pdf");
 //! let ws = simulate(&comp, &config, SchedulerKind::WorkStealing);
 //! assert!(pdf.l2.misses <= ws.l2.misses, "PDF shares the cache constructively");
 //! ```
+//!
+//! User-defined schedulers registered with
+//! [`SchedulerRegistry::global`](ccs_sched::SchedulerRegistry::global) run
+//! through both [`execute`](ccs_sched::execute) and
+//! [`simulate`](ccs_sim::simulate) — and therefore through experiments —
+//! without touching crate internals; see `examples/custom_scheduler.rs`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub use ccs_cache as cache;
 pub use ccs_dag as dag;
+pub use ccs_experiment as experiment;
 pub use ccs_profile as profile;
 pub use ccs_runtime as runtime;
 pub use ccs_sched as sched;
@@ -51,9 +83,13 @@ pub use ccs_workloads as workloads;
 pub mod prelude {
     pub use ccs_cache::{CacheConfig, MemoryConfig};
     pub use ccs_dag::{Computation, ComputationBuilder, Dag, GroupMeta, TaskGroupTree, TaskId};
+    pub use ccs_experiment::{Experiment, Options, Report, RunRecord, WorkloadSpec};
     pub use ccs_profile::{coarsen, CoarsenTarget, WorkingSetProfile};
     pub use ccs_runtime::{join, Policy, ThreadPool};
-    pub use ccs_sched::{execute, Scheduler, SchedulerKind};
+    pub use ccs_sched::{
+        execute, Scheduler, SchedulerFactory, SchedulerKind, SchedulerParams, SchedulerRegistry,
+        SchedulerSpec,
+    };
     pub use ccs_sim::{simulate, CmpConfig, SimResult, Technology};
     pub use ccs_workloads::{Benchmark, HashJoinParams, LuParams, MergesortParams};
 }

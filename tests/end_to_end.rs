@@ -75,7 +75,10 @@ fn lu_has_small_miss_ratio_and_similar_performance() {
         "LU must be less bandwidth-hungry than Hash Join"
     );
     let ratio = pdf.cycles as f64 / ws.cycles as f64;
-    assert!(ratio < 1.05, "LU: PDF and WS should perform alike, ratio {ratio}");
+    assert!(
+        ratio < 1.05,
+        "LU: PDF and WS should perform alike, ratio {ratio}"
+    );
 }
 
 #[test]
@@ -99,7 +102,10 @@ fn schedulers_agree_on_single_core() {
     let comp = Benchmark::Mergesort.build_scaled(scale, cfg.l2.capacity, 1);
     let pdf = simulate(&comp, &cfg, SchedulerKind::Pdf);
     let ws = simulate(&comp, &cfg, SchedulerKind::WorkStealing);
-    assert_eq!(pdf.cycles, ws.cycles, "one core leaves no scheduling freedom");
+    assert_eq!(
+        pdf.cycles, ws.cycles,
+        "one core leaves no scheduling freedom"
+    );
     assert_eq!(pdf.l2.misses, ws.l2.misses);
 }
 
@@ -128,7 +134,10 @@ fn finer_granularity_helps_pdf_more_than_ws() {
         fine_ratio <= coarse_ratio + 0.02,
         "finer tasks should improve PDF relative to WS: coarse {coarse_ratio}, fine {fine_ratio}"
     );
-    assert!(fine_ratio < 1.0, "with fine tasks PDF must beat WS: {fine_ratio}");
+    assert!(
+        fine_ratio < 1.0,
+        "with fine tasks PDF must beat WS: {fine_ratio}"
+    );
 }
 
 #[test]
@@ -152,9 +161,17 @@ fn sensitivity_overrides_affect_results() {
     let cfg = scaled_default(8, scale);
     let comp = Benchmark::Mergesort.build_scaled(scale, cfg.l2.capacity, 8);
     let base = simulate(&comp, &cfg, SchedulerKind::Pdf);
-    let slow_mem = simulate(&comp, &cfg.clone().with_memory_latency(1100), SchedulerKind::Pdf);
+    let slow_mem = simulate(
+        &comp,
+        &cfg.clone().with_memory_latency(1100),
+        SchedulerKind::Pdf,
+    );
     assert!(slow_mem.cycles > base.cycles);
-    let fast_l2 = simulate(&comp, &cfg.clone().with_l2_hit_latency(7), SchedulerKind::Pdf);
+    let fast_l2 = simulate(
+        &comp,
+        &cfg.clone().with_l2_hit_latency(7),
+        SchedulerKind::Pdf,
+    );
     assert!(fast_l2.cycles <= base.cycles);
 }
 
@@ -165,8 +182,16 @@ fn pdf_on_slow_l2_vs_ws_on_fast_l2() {
     let scale = 256;
     let cfg = scaled_default(8, scale);
     let comp = Benchmark::Mergesort.build_scaled(scale, cfg.l2.capacity, 8);
-    let pdf_slow = simulate(&comp, &cfg.clone().with_l2_hit_latency(19), SchedulerKind::Pdf);
-    let ws_fast = simulate(&comp, &cfg.clone().with_l2_hit_latency(7), SchedulerKind::WorkStealing);
+    let pdf_slow = simulate(
+        &comp,
+        &cfg.clone().with_l2_hit_latency(19),
+        SchedulerKind::Pdf,
+    );
+    let ws_fast = simulate(
+        &comp,
+        &cfg.clone().with_l2_hit_latency(7),
+        SchedulerKind::WorkStealing,
+    );
     assert!(
         (pdf_slow.cycles as f64) < ws_fast.cycles as f64 * 1.10,
         "PDF@19c {} should be within 10% of (or beat) WS@7c {}",

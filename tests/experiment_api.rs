@@ -1,0 +1,195 @@
+//! Integration tests for the unified `Experiment` API: report round-trips,
+//! registry/enum equivalence, user-defined schedulers through both drivers,
+//! and the paper's PDF-≤-WS L2-miss invariant as a standing check.
+
+use std::collections::VecDeque;
+
+use ccs::dag::TaskId;
+use ccs::prelude::*;
+
+/// A small fixed DAG with real memory traffic: 8 strands scanning one shared
+/// region, then a join.
+fn fixed_computation() -> Computation {
+    let mut b = ComputationBuilder::new(128);
+    let mut space = ccs::dag::AddressSpace::new();
+    let region = space.alloc(64 * 1024);
+    let leaves: Vec<_> = (0..8)
+        .map(|i| {
+            b.strand_with(|t| {
+                t.compute(500 + i * 7);
+                t.read_range(region.base, region.bytes / 2, 2);
+            })
+        })
+        .collect();
+    let par = b.par(leaves, GroupMeta::labeled("scan"));
+    let join = b.strand_with(|t| {
+        t.compute(100);
+    });
+    let root = b.seq(vec![par, join], GroupMeta::labeled("root"));
+    b.finish(root)
+}
+
+#[test]
+fn report_round_trips_through_json() {
+    let report = Experiment::new(Benchmark::Mergesort)
+        .cores([2, 4])
+        .scale(512)
+        .schedulers([
+            SchedulerKind::Pdf,
+            SchedulerKind::WorkStealing,
+            SchedulerKind::WorkStealingRandom(7),
+        ])
+        .run();
+    assert_eq!(report.len(), 2 * 3);
+
+    let json = report.to_json();
+    let parsed = Report::from_json(&json).expect("well-formed JSON");
+    assert_eq!(parsed, report, "every field survives the round-trip");
+
+    // The seeded record keeps its seed and distinguishable name.
+    let rand = parsed
+        .for_scheduler("ws-rand")
+        .next()
+        .expect("ws-rand record");
+    assert_eq!(rand.seed, Some(7));
+    assert_eq!(rand.scheduler_label(), "ws-rand@7");
+
+    // CSV has one line per record plus the header.
+    assert_eq!(report.to_csv().lines().count(), report.len() + 1);
+}
+
+#[test]
+fn registry_and_enum_builds_produce_identical_schedules() {
+    let comp = fixed_computation();
+    let dag = Dag::from_computation(&comp);
+    let pairs: [(&str, SchedulerKind); 4] = [
+        ("pdf", SchedulerKind::Pdf),
+        ("ws", SchedulerKind::WorkStealing),
+        ("ws-rand", SchedulerKind::WorkStealingRandom(0)),
+        ("central", SchedulerKind::CentralQueue),
+    ];
+    for (name, kind) in pairs {
+        for cores in [1usize, 3, 8] {
+            let by_name = execute(&dag, cores, name);
+            let by_kind = execute(&dag, cores, kind);
+            assert_eq!(
+                by_name.task_start, by_kind.task_start,
+                "{name} on {cores} cores"
+            );
+            assert_eq!(
+                by_name.task_core, by_kind.task_core,
+                "{name} on {cores} cores"
+            );
+            assert_eq!(
+                by_name.scheduler, by_kind.scheduler,
+                "{name} on {cores} cores"
+            );
+            by_name.validate(&dag).unwrap();
+        }
+    }
+}
+
+/// A user-defined scheduler: plain FIFO over enabling order, tracked per
+/// core for no particular reason other than exercising the interface.
+struct UserFifo {
+    queue: VecDeque<TaskId>,
+}
+
+impl Scheduler for UserFifo {
+    fn init(&mut self, _dag: &Dag, _num_cores: usize) {
+        self.queue.clear();
+    }
+    fn task_enabled(&mut self, task: TaskId, _enabling_core: Option<usize>) {
+        self.queue.push_back(task);
+    }
+    fn next_task(&mut self, _core: usize) -> Option<TaskId> {
+        self.queue.pop_front()
+    }
+    fn ready_count(&self) -> usize {
+        self.queue.len()
+    }
+    fn name(&self) -> &'static str {
+        "user-fifo"
+    }
+}
+
+#[test]
+fn user_defined_scheduler_runs_through_executor_simulator_and_experiment() {
+    SchedulerRegistry::global().register_fn("user-fifo", |_| {
+        Box::new(UserFifo {
+            queue: VecDeque::new(),
+        })
+    });
+
+    let comp = fixed_computation();
+
+    // Through the abstract executor…
+    let dag = Dag::from_computation(&comp);
+    let schedule = execute(&dag, 4, "user-fifo");
+    schedule
+        .validate(&dag)
+        .expect("user scheduler produces a legal schedule");
+    assert_eq!(schedule.scheduler, "user-fifo");
+
+    // …through the cycle-level simulator…
+    let config = CmpConfig::default_with_cores(4).unwrap().scaled(256);
+    let result = simulate(&comp, &config, "user-fifo");
+    assert_eq!(result.scheduler, "user-fifo");
+    assert_eq!(result.instructions, comp.total_work());
+    assert!(result.cycles > 0);
+
+    // …and through an experiment sweep next to a built-in.
+    let report = Experiment::new(WorkloadSpec::fixed("fixed-scan", fixed_computation()))
+        .cores(4)
+        .scale(256)
+        .schedulers(["pdf", "user-fifo"])
+        .run();
+    assert_eq!(report.len(), 2);
+    let user = report
+        .for_scheduler("user-fifo")
+        .next()
+        .expect("user record");
+    let pdf = report.for_scheduler("pdf").next().expect("pdf record");
+    assert_eq!(
+        user.instructions, pdf.instructions,
+        "same work, different policy"
+    );
+}
+
+#[test]
+fn unknown_scheduler_name_fails_with_clear_error() {
+    let spec = SchedulerSpec::new("definitely-not-registered");
+    let err = match spec.try_build() {
+        Ok(_) => panic!("unknown scheduler must not build"),
+        Err(e) => e,
+    };
+    assert!(err.to_string().contains("definitely-not-registered"));
+    assert!(err.known.iter().any(|n| n == "pdf"));
+}
+
+#[test]
+fn pdf_l2_misses_at_most_ws_on_mergesort() {
+    // The doctest invariant from the crate root, kept as an integration test:
+    // PDF shares the shared L2 constructively, WS fragments it.
+    let report = Experiment::new(Benchmark::Mergesort)
+        .cores(16)
+        .scale(64)
+        .schedulers([SchedulerKind::Pdf, SchedulerKind::WorkStealing])
+        .run();
+    let pdf = report.for_scheduler("pdf").next().unwrap();
+    let ws = report.for_scheduler("ws").next().unwrap();
+    assert_eq!(
+        pdf.instructions, ws.instructions,
+        "same work under both schedulers"
+    );
+    assert!(
+        pdf.l2_misses <= ws.l2_misses,
+        "PDF must not miss more than WS: pdf {} vs ws {}",
+        pdf.l2_misses,
+        ws.l2_misses
+    );
+    assert!(
+        pdf.speedup_over_seq.unwrap() > 1.0,
+        "16 cores must beat 1 core"
+    );
+}

@@ -6,9 +6,7 @@ use ccs::prelude::*;
 use ccs::profile::{apply_coarsening, ParallelizationTable};
 
 fn fine_mergesort() -> ccs::dag::Computation {
-    ccs::workloads::mergesort::build(
-        &MergesortParams::new(1 << 15).with_task_working_set(4 * 1024),
-    )
+    ccs::workloads::mergesort::build(&MergesortParams::new(1 << 15).with_task_working_set(4 * 1024))
 }
 
 #[test]
@@ -19,9 +17,15 @@ fn coarsening_pipeline_end_to_end() {
     let profile = WorkingSetProfile::collect(&fine, &sizes);
 
     let cfg = CmpConfig::default_with_cores(8).unwrap().scaled(256);
-    let target = CoarsenTarget { cache_bytes: cfg.l2.capacity, num_cores: 8 };
+    let target = CoarsenTarget {
+        cache_bytes: cfg.l2.capacity,
+        num_cores: 8,
+    };
     let plan = coarsen(&profile, &tree, target);
-    assert!(plan.num_coarse_tasks() >= 8, "need enough tasks to keep 8 cores busy");
+    assert!(
+        plan.num_coarse_tasks() >= 8,
+        "need enough tasks to keep 8 cores busy"
+    );
     assert!(plan.num_coarse_tasks() <= fine.num_tasks());
 
     // The table records thresholds for the mergesort spawn sites.
@@ -51,7 +55,10 @@ fn working_set_profile_consistent_with_coarse_groups() {
     let tree = TaskGroupTree::from_computation(&fine);
     let sizes: Vec<u64> = vec![16 * 1024, 256 * 1024, 4 << 20];
     let profile = WorkingSetProfile::collect(&fine, &sizes);
-    let target = CoarsenTarget { cache_bytes: 256 * 1024, num_cores: 4 };
+    let target = CoarsenTarget {
+        cache_bytes: 256 * 1024,
+        num_cores: 4,
+    };
     let plan = coarsen(&profile, &tree, target);
 
     // Every selected coarse group obeys (or is a leaf below) the working-set

@@ -2,8 +2,8 @@
 //! a PDF execution on P cores with a shared ideal cache of size C + P·D
 //! incurs at most as many misses as the sequential execution with cache C.
 
-use ccs::sched::theory::{pdf_ideal_misses, sequential_misses, theorem31_capacity};
 use ccs::prelude::*;
+use ccs::sched::theory::{pdf_ideal_misses, sequential_misses, theorem31_capacity};
 
 fn check(comp: &ccs::dag::Computation, c_lines: u64, cores: usize) {
     let m1 = sequential_misses(comp, c_lines);
@@ -27,14 +27,12 @@ fn theorem31_holds_for_mergesort() {
 
 #[test]
 fn theorem31_holds_for_hashjoin() {
-    let comp = ccs::workloads::hashjoin::build(
-        &HashJoinParams {
-            build_bytes: 128 * 1024,
-            sub_partition_bytes: 32 * 1024,
-            probe_tasks_per_subpartition: 4,
-            ..HashJoinParams::new(128 * 1024)
-        },
-    );
+    let comp = ccs::workloads::hashjoin::build(&HashJoinParams {
+        build_bytes: 128 * 1024,
+        sub_partition_bytes: 32 * 1024,
+        probe_tasks_per_subpartition: 4,
+        ..HashJoinParams::new(128 * 1024)
+    });
     check(&comp, 128, 4);
 }
 
@@ -56,8 +54,12 @@ fn mergesort_miss_model_matches_simulation_shape() {
     );
     let cache_bytes = 8 * 1024u64;
     let m = sequential_misses(&comp, cache_bytes / 128);
-    let model = MergesortModel { n_items, item_bytes: 4, line_bytes: 128 }
-        .misses_with_cache(cache_bytes);
+    let model = MergesortModel {
+        n_items,
+        item_bytes: 4,
+        line_bytes: 128,
+    }
+    .misses_with_cache(cache_bytes);
     let ratio = m as f64 / model;
     assert!(
         ratio > 0.5 && ratio < 4.0,
