@@ -8,12 +8,19 @@
 //! subprocesses unless `--quick` is given.
 //!
 //! ```text
-//! cargo run --release -p ccs-bench --bin run_all -- [--scale N] [--quick] [--json PATH]
+//! cargo run --release -p ccs-bench --bin run_all -- \
+//!     [--scale N] [--quick] [--json PATH] [--parallel N] [--workloads spec,...]
 //! ```
 //!
 //! With `--quick` the merged report is always written (default path
 //! `BENCH_run_all.json` when `--json` is not given), so smoke tests get a
-//! machine-readable trajectory.
+//! machine-readable trajectory.  The full (non-quick) suite also runs the
+//! Section 5.5 secondary benchmarks through the open workload registry.
+//!
+//! `--workloads <spec,...>` replaces the figure sweeps with exactly the
+//! requested registry workloads (`--workloads quicksort,matmul:n=512`), and
+//! `--parallel N` fans every sweep across `N` threads of the `ccs-runtime`
+//! pool — the merged JSON is byte-identical to a sequential run.
 
 use std::path::PathBuf;
 use std::process::Command;
@@ -25,14 +32,26 @@ type Sweep = (&'static str, fn(&Options) -> Report);
 
 fn main() {
     let mut opts = Options::from_env();
-    let sweeps: [Sweep; 6] = [
-        ("fig2_default_configs", figs::fig2),
-        ("fig3_single_tech", figs::fig3),
-        ("fig4_l2_hit_time", figs::fig4),
-        ("fig5_mem_latency", figs::fig5),
-        ("fig6_granularity", figs::fig6),
-        ("sec54_coarse_vs_fine", figs::coarse_vs_fine),
-    ];
+    let sweeps: Vec<Sweep> = if !opts.workloads.is_empty() {
+        // An explicit `--workloads` selection replaces the figure sweeps:
+        // run exactly the requested registry specs.
+        vec![("workloads", figs::workload_sweep)]
+    } else {
+        let mut sweeps: Vec<Sweep> = vec![
+            ("fig2_default_configs", figs::fig2),
+            ("fig3_single_tech", figs::fig3),
+            ("fig4_l2_hit_time", figs::fig4),
+            ("fig5_mem_latency", figs::fig5),
+            ("fig6_granularity", figs::fig6),
+            ("sec54_coarse_vs_fine", figs::coarse_vs_fine),
+        ];
+        // The full suite also covers the Section 5.5 secondary benchmarks
+        // (skipped by `--quick` and by an `--app` paper-benchmark filter).
+        if !opts.quick && opts.app.is_none() {
+            sweeps.push(("sec55_extras", figs::extras));
+        }
+        sweeps
+    };
 
     // With `--json -` the tables move to stderr so stdout carries nothing
     // but the merged JSON document.
@@ -49,7 +68,7 @@ fn main() {
         merged.merge(report);
     }
 
-    if !opts.quick {
+    if !opts.quick && opts.workloads.is_empty() {
         // The remaining binaries are not sweep-shaped (table regeneration,
         // profiler timing); run them as subprocesses as before.
         let args: Vec<String> = std::env::args().skip(1).collect();

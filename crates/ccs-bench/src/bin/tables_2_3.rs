@@ -1,9 +1,13 @@
 //! Regenerate Table 1 (common parameters), Table 2 (default configurations)
 //! and Table 3 (45 nm single-technology configurations), both as published
-//! and as derived by the area/latency model of `ccs_sim::area`.
+//! and as derived by the area/latency model of `ccs_sim::area`, plus the
+//! workload roster: every kernel registered in the open
+//! [`WorkloadRegistry`] — the three paper benchmarks *and* the Section 5.5
+//! extras — with its description.
 
 use ccs_sim::area::{self, Technology};
 use ccs_sim::CmpConfig;
+use ccs_workloads::WorkloadRegistry;
 
 fn main() {
     println!("== Table 1: common parameters ==");
@@ -54,5 +58,13 @@ fn main() {
             model_mb,
             area::l2_hit_latency(cfg.l2.capacity >> 20)
         );
+    }
+    println!();
+
+    println!("== Registered workloads (select with --workloads name:key=value,...) ==");
+    println!("name\tdescription");
+    let registry = WorkloadRegistry::global();
+    for name in registry.names() {
+        println!("{}\t{}", name, registry.describe(&name).unwrap_or_default());
     }
 }

@@ -34,6 +34,7 @@ pub fn fig2(opts: &Options) -> Report {
                 .schedulers(pdf_ws())
                 .scale(opts.scale)
                 .quick(opts.quick)
+                .parallelism(opts.parallel)
                 .run(),
         );
     }
@@ -65,6 +66,7 @@ pub fn fig3(opts: &Options) -> Report {
                 .schedulers(pdf_ws())
                 .scale(opts.scale)
                 .quick(opts.quick)
+                .parallelism(opts.parallel)
                 .run(),
         );
     }
@@ -94,6 +96,7 @@ pub fn fig4(opts: &Options) -> Report {
                 .schedulers(pdf_ws())
                 .scale(opts.scale)
                 .quick(opts.quick)
+                .parallelism(opts.parallel)
                 .run(),
         );
     }
@@ -144,6 +147,7 @@ pub fn fig5(opts: &Options) -> Report {
                 .schedulers(pdf_ws())
                 .scale(opts.scale)
                 .quick(opts.quick)
+                .parallelism(opts.parallel)
                 .run(),
         );
     }
@@ -179,6 +183,7 @@ pub fn fig6(opts: &Options) -> Report {
         .scale(opts.scale)
         .quick(opts.quick)
         .sequential_baseline(false)
+        .parallelism(opts.parallel)
         .run()
 }
 
@@ -213,6 +218,31 @@ pub fn coarse_vs_fine(opts: &Options) -> Report {
         .scale(opts.scale)
         .quick(opts.quick)
         .sequential_baseline(false)
+        .parallelism(opts.parallel)
+        .run()
+}
+
+/// Section 5.5: the secondary benchmarks through the open workload registry
+/// — Quicksort (unbalanced divide), Matmul (small working set) and Heat
+/// (bandwidth-bound stencil) on the 8-core default configuration, PDF vs WS.
+pub fn extras(opts: &Options) -> Report {
+    Experiment::named("sec55-extras")
+        .workloads(["quicksort", "matmul", "heat"])
+        .cores(8)
+        .schedulers(pdf_ws())
+        .scale(opts.scale)
+        .quick(opts.quick)
+        .parallelism(opts.parallel)
+        .run()
+}
+
+/// The `--workloads` sweep: whatever registry specs the command line
+/// selected, on the 8-core default configuration, PDF vs WS.  `run_all`
+/// substitutes this for the figure sweeps when `--workloads` is given.
+pub fn workload_sweep(opts: &Options) -> Report {
+    opts.experiment("workloads")
+        .cores(8)
+        .schedulers(pdf_ws())
         .run()
 }
 
@@ -249,6 +279,50 @@ mod tests {
         assert!(report.records.iter().any(|r| r.config.contains("l2hit19")));
         let checks = pdf_slow_beats_ws_fast(&report);
         assert_eq!(checks.len(), 1, "one workload selected");
+    }
+
+    #[test]
+    fn extras_cover_the_three_secondary_benchmarks() {
+        let opts = Options {
+            quick: true,
+            scale: 1024,
+            parallel: 4,
+            ..Options::default()
+        };
+        let report = extras(&opts);
+        assert_eq!(
+            report.workloads(),
+            vec![
+                "heat".to_string(),
+                "matmul".to_string(),
+                "quicksort".to_string()
+            ]
+        );
+        assert_eq!(report.len(), 3 * 2, "PDF and WS per workload");
+        assert!(report.records.iter().all(|r| r.speedup_over_seq.is_some()));
+    }
+
+    #[test]
+    fn workload_sweep_honors_registry_specs() {
+        let opts = Options::parse(
+            [
+                "--workloads",
+                "matmul:n=64,heat:rows=64,cols=64",
+                "--scale",
+                "1024",
+                "--quick",
+            ]
+            .into_iter()
+            .map(String::from),
+        );
+        let report = workload_sweep(&opts);
+        assert_eq!(
+            report.workloads(),
+            vec![
+                "heat:cols=64,rows=64".to_string(),
+                "matmul:n=64".to_string()
+            ]
+        );
     }
 
     #[test]

@@ -36,9 +36,17 @@ pub fn run_sim(
 
 /// Print a report as the standard tab-separated table, preceded by a
 /// commented title line on stderr.  With `--json -` the table moves to
-/// stderr so stdout carries nothing but the JSON document.
+/// stderr so stdout carries nothing but the JSON document.  Empty sweeps
+/// (the workload selection has no panel in this figure) get an explanatory
+/// note instead of silent blankness.
 pub fn print_report(title: &str, report: &Report, opts: &Options) {
     eprintln!("# {title}, scale 1/{}", report.scale);
+    if report.is_empty() {
+        eprintln!(
+            "# (empty sweep: the selected workloads have no panel in this figure; \
+             parameterised or non-paper specs only run through `run_all --workloads`)"
+        );
+    }
     if opts.json_to_stdout() {
         eprint!("{}", report.to_tsv());
     } else {

@@ -6,12 +6,15 @@
 //! in a [`Report`].  This replaces the hand-rolled sweep loops the seed's
 //! figure binaries each carried.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use ccs_dag::Computation;
+use ccs_runtime::{join, Policy, ThreadPool};
+use ccs_sched::spec::{format_spec, parse_spec, SpecParseError};
 use ccs_sched::SchedulerSpec;
 use ccs_sim::{simulate, CmpConfig};
-use ccs_workloads::Benchmark;
+use ccs_workloads::{Benchmark, BuildCtx, UnknownWorkload, WorkloadRegistry};
 
 use crate::report::{Report, RunRecord};
 
@@ -26,14 +29,30 @@ pub fn effective_scale(scale: u64, quick: bool) -> u64 {
     }
 }
 
-/// A workload an experiment can run: either one of the paper's named
-/// benchmarks (rebuilt per design point so task granularity tracks the cache)
-/// or a fixed, caller-built computation.
-#[derive(Clone)]
+/// A serialisable "which workload" value — the workload-axis counterpart of
+/// [`SchedulerSpec`].
+///
+/// The common case is a *registry* spec: a name registered with
+/// [`WorkloadRegistry::global`] plus free-form `key=value` parameters,
+/// written in the shared spec grammar (`"mergesort"`, `"matmul:n=512"`,
+/// `"heat:rows=1024,cols=1024,steps=8"`).  Registry workloads are rebuilt
+/// per design point, so task granularity tracks the (scaled) cache.  A
+/// *fixed* spec wraps a caller-built computation that is reused as-is at
+/// every design point.
+///
+/// Every workload-accepting entry point takes `impl Into<WorkloadSpec>`, so
+/// a [`Benchmark`], a `"matmul:n=512"` string literal, or a fully built spec
+/// all work.
+#[derive(Clone, Debug)]
 pub enum WorkloadSpec {
-    /// A paper benchmark, built per design point via
-    /// [`Benchmark::build_scaled`].
-    Benchmark(Benchmark),
+    /// A named workload built through [`WorkloadRegistry::global`] per
+    /// design point.
+    Registry {
+        /// Registry name (e.g. `"mergesort"`).
+        name: String,
+        /// `key=value` build parameters passed to the factory.
+        params: BTreeMap<String, String>,
+    },
     /// A fixed computation, reused as-is at every design point.
     Fixed {
         /// Name used in records.
@@ -44,6 +63,24 @@ pub enum WorkloadSpec {
 }
 
 impl WorkloadSpec {
+    /// A registry workload by name, with no parameters (add some with
+    /// [`WorkloadSpec::with_param`]).
+    pub fn registry(name: impl Into<String>) -> WorkloadSpec {
+        WorkloadSpec::Registry {
+            name: name.into(),
+            params: BTreeMap::new(),
+        }
+    }
+
+    /// Attach one `key=value` build parameter (registry specs only; a no-op
+    /// on fixed specs).
+    pub fn with_param(mut self, key: impl Into<String>, value: impl Into<String>) -> WorkloadSpec {
+        if let WorkloadSpec::Registry { params, .. } = &mut self {
+            params.insert(key.into(), value.into());
+        }
+        self
+    }
+
     /// A fixed workload from a caller-built computation.
     pub fn fixed(name: impl Into<String>, comp: Computation) -> WorkloadSpec {
         WorkloadSpec::Fixed {
@@ -52,26 +89,128 @@ impl WorkloadSpec {
         }
     }
 
-    /// The name used in records.
+    /// Parse a workload spec string: `"name"` or
+    /// `"name:key=value,key=value"` (the shared grammar of
+    /// [`ccs_sched::spec`]).
+    ///
+    /// The name is *not* checked against the registry here — that happens at
+    /// build time (or up front in `Options`), so specs can be parsed before
+    /// their workload is registered.
+    pub fn parse(input: &str) -> Result<WorkloadSpec, SpecParseError> {
+        let parsed = parse_spec(input)?;
+        Ok(WorkloadSpec::Registry {
+            name: parsed.name,
+            params: parsed.params.into_iter().collect(),
+        })
+    }
+
+    /// The base workload name (without parameters).
     pub fn name(&self) -> &str {
         match self {
-            WorkloadSpec::Benchmark(b) => b.name(),
+            WorkloadSpec::Registry { name, .. } => name,
             WorkloadSpec::Fixed { name, .. } => name,
         }
     }
 
-    /// Build (or reuse) the computation for one design point.
-    fn build(&self, scale: u64, l2_bytes: u64, cores: usize) -> Arc<Computation> {
+    /// The label used in records and reports: the canonical spec string
+    /// (`"matmul:n=512"`, parameters in sorted key order), or the plain name
+    /// for fixed workloads.  [`WorkloadSpec::parse`] of a registry label
+    /// returns an equal spec.
+    pub fn label(&self) -> String {
         match self {
-            WorkloadSpec::Benchmark(b) => Arc::new(b.build_scaled(scale, l2_bytes, cores)),
-            WorkloadSpec::Fixed { comp, .. } => Arc::clone(comp),
+            WorkloadSpec::Registry { name, params } => {
+                format_spec(name, params.iter().map(|(k, v)| (k.as_str(), v.as_str())))
+            }
+            WorkloadSpec::Fixed { name, .. } => name.clone(),
         }
+    }
+
+    /// Build (or reuse) the computation for one design point.
+    ///
+    /// # Panics
+    /// Panics when a registry name is not registered (with the registry's
+    /// did-you-mean message); use [`WorkloadSpec::try_build`] to handle that
+    /// case.
+    pub fn build(&self, scale: u64, l2_bytes: u64, cores: usize) -> Arc<Computation> {
+        self.try_build(scale, l2_bytes, cores)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Build through the global registry, reporting unknown names.
+    pub fn try_build(
+        &self,
+        scale: u64,
+        l2_bytes: u64,
+        cores: usize,
+    ) -> Result<Arc<Computation>, UnknownWorkload> {
+        match self {
+            WorkloadSpec::Registry { name, params } => {
+                let mut ctx = BuildCtx::new(scale, l2_bytes, cores);
+                ctx.params = params.clone();
+                WorkloadRegistry::global().build(name, &ctx).map(Arc::new)
+            }
+            WorkloadSpec::Fixed { comp, .. } => Ok(Arc::clone(comp)),
+        }
+    }
+}
+
+impl PartialEq for WorkloadSpec {
+    /// Registry specs compare by name and parameters; fixed specs by name
+    /// and computation identity (same `Arc`).
+    fn eq(&self, other: &WorkloadSpec) -> bool {
+        match (self, other) {
+            (
+                WorkloadSpec::Registry {
+                    name: a,
+                    params: pa,
+                },
+                WorkloadSpec::Registry {
+                    name: b,
+                    params: pb,
+                },
+            ) => a == b && pa == pb,
+            (
+                WorkloadSpec::Fixed { name: a, comp: ca },
+                WorkloadSpec::Fixed { name: b, comp: cb },
+            ) => a == b && Arc::ptr_eq(ca, cb),
+            _ => false,
+        }
+    }
+}
+
+impl std::fmt::Display for WorkloadSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
     }
 }
 
 impl From<Benchmark> for WorkloadSpec {
     fn from(b: Benchmark) -> WorkloadSpec {
-        WorkloadSpec::Benchmark(b)
+        WorkloadSpec::registry(b.name())
+    }
+}
+
+impl From<&str> for WorkloadSpec {
+    /// Parse via [`WorkloadSpec::parse`].
+    ///
+    /// # Panics
+    /// Panics when the string does not match the spec grammar; use
+    /// [`WorkloadSpec::parse`] to handle that case.
+    fn from(spec: &str) -> WorkloadSpec {
+        WorkloadSpec::parse(spec).unwrap_or_else(|e| panic!("{e}"))
+    }
+}
+
+impl From<String> for WorkloadSpec {
+    /// Parse via [`WorkloadSpec::parse`] (see `From<&str>`).
+    fn from(spec: String) -> WorkloadSpec {
+        WorkloadSpec::from(spec.as_str())
+    }
+}
+
+impl From<&WorkloadSpec> for WorkloadSpec {
+    fn from(spec: &WorkloadSpec) -> WorkloadSpec {
+        spec.clone()
     }
 }
 
@@ -138,6 +277,7 @@ pub struct Experiment {
     scale: u64,
     quick: bool,
     baseline: bool,
+    parallelism: usize,
 }
 
 impl Experiment {
@@ -153,6 +293,7 @@ impl Experiment {
             scale: 1,
             quick: false,
             baseline: true,
+            parallelism: 1,
         }
     }
 
@@ -166,6 +307,7 @@ impl Experiment {
             scale: 1,
             quick: false,
             baseline: true,
+            parallelism: 1,
         }
     }
 
@@ -256,6 +398,22 @@ impl Experiment {
         self
     }
 
+    /// Fan the sweep's workload × design-point builds and simulations across
+    /// `n` worker threads of a `ccs-runtime` fork-join pool (our own
+    /// work-stealing runtime — the harness dogfoods the system it studies).
+    /// The default (1) runs sequentially on the calling thread.
+    ///
+    /// Record order — and therefore the report's JSON — is byte-identical to
+    /// a sequential run: every run is deterministic and records are placed
+    /// by cross-product position, not completion order.
+    ///
+    /// Must be called from outside any `ccs-runtime` pool: a parallel `run`
+    /// installs onto its own private pool, and nesting installs deadlocks.
+    pub fn parallelism(mut self, n: usize) -> Experiment {
+        self.parallelism = n.max(1);
+        self
+    }
+
     /// The scale divisor runs will actually use (after `quick` clamping).
     pub fn effective_scale(&self) -> u64 {
         effective_scale(self.scale, self.quick)
@@ -267,8 +425,8 @@ impl Experiment {
     /// configs = the paper's 8-core default.
     ///
     /// # Panics
-    /// Panics if no workload was added, or if a scheduler name is not
-    /// registered.
+    /// Panics if no workload was added, or if a scheduler or workload name
+    /// is not registered.
     pub fn run(&self) -> Report {
         assert!(!self.workloads.is_empty(), "experiment has no workloads");
         let schedulers: Vec<SchedulerSpec> = if self.schedulers.is_empty() {
@@ -283,29 +441,72 @@ impl Experiment {
         };
         let scale = self.effective_scale();
 
-        let mut report = Report::new(self.name.clone(), scale);
-        for workload in &self.workloads {
-            for config in &configs {
-                let scaled = config.scaled(scale);
-                let comp = workload.build(scale, scaled.l2.capacity, config.num_cores);
-                let sequential = self.baseline.then(|| {
-                    let mut seq_cfg = scaled.clone();
-                    seq_cfg.num_cores = 1;
-                    seq_cfg.name = format!("{}-seq", scaled.name);
-                    simulate(&comp, &seq_cfg, "pdf")
-                });
-                for spec in &schedulers {
+        // One point per workload × design point; each point yields one
+        // record per scheduler.  Points are independent, so they can run in
+        // any order — records are placed by position to keep the report
+        // deterministic.
+        let points: Vec<(&WorkloadSpec, &CmpConfig)> = self
+            .workloads
+            .iter()
+            .flat_map(|w| configs.iter().map(move |c| (w, c)))
+            .collect();
+        let run_point = |workload: &WorkloadSpec, config: &CmpConfig| -> Vec<RunRecord> {
+            let scaled = config.scaled(scale);
+            let comp = workload.build(scale, scaled.l2.capacity, config.num_cores);
+            let sequential = self.baseline.then(|| {
+                let mut seq_cfg = scaled.clone();
+                seq_cfg.num_cores = 1;
+                seq_cfg.name = format!("{}-seq", scaled.name);
+                simulate(&comp, &seq_cfg, "pdf")
+            });
+            schedulers
+                .iter()
+                .map(|spec| {
                     let result = simulate(&comp, &scaled, spec);
-                    report.records.push(RunRecord::from_sim(
-                        workload.name(),
-                        spec,
-                        &result,
-                        sequential.as_ref(),
-                    ));
-                }
-            }
-        }
+                    RunRecord::from_sim(workload.label(), spec, &result, sequential.as_ref())
+                })
+                .collect()
+        };
+
+        let threads = self.parallelism.min(points.len());
+        let results: Vec<Vec<RunRecord>> = if threads <= 1 {
+            points.iter().map(|&(w, c)| run_point(w, c)).collect()
+        } else {
+            let mut slots: Vec<Option<Vec<RunRecord>>> = points.iter().map(|_| None).collect();
+            let pool = ThreadPool::new(threads, Policy::WorkStealing);
+            pool.install(|| fan_out(&points, &mut slots, &run_point));
+            slots
+                .into_iter()
+                .map(|slot| slot.expect("every sweep point produces records"))
+                .collect()
+        };
+
+        let mut report = Report::new(self.name.clone(), scale);
+        report.records = results.into_iter().flatten().collect();
         report
+    }
+}
+
+/// Recursively fork-join over the sweep points, writing each point's records
+/// into its own slot so completion order cannot reorder the report.
+fn fan_out<F>(
+    points: &[(&WorkloadSpec, &CmpConfig)],
+    slots: &mut [Option<Vec<RunRecord>>],
+    run_point: &F,
+) where
+    F: Fn(&WorkloadSpec, &CmpConfig) -> Vec<RunRecord> + Sync,
+{
+    match points.len() {
+        0 => {}
+        1 => slots[0] = Some(run_point(points[0].0, points[0].1)),
+        n => {
+            let (left, right) = points.split_at(n / 2);
+            let (left_out, right_out) = slots.split_at_mut(n / 2);
+            join(
+                || fan_out(left, left_out, run_point),
+                || fan_out(right, right_out, run_point),
+            );
+        }
     }
 }
 
@@ -385,6 +586,42 @@ mod tests {
         assert_eq!(report.records[0].scheduler, "ws-rand");
         assert_eq!(report.records[0].seed, Some(9));
         assert_eq!(report.records[0].scheduler_label(), "ws-rand@9");
+    }
+
+    #[test]
+    fn registry_specs_parse_label_and_run() {
+        let spec = WorkloadSpec::from("matmul:n=64");
+        assert_eq!(spec.name(), "matmul");
+        assert_eq!(spec.label(), "matmul:n=64");
+        assert_eq!(WorkloadSpec::parse(&spec.label()).unwrap(), spec);
+
+        let report = Experiment::new("matmul:n=64")
+            .cores(2)
+            .scale(1024)
+            .schedulers(["pdf"])
+            .sequential_baseline(false)
+            .run();
+        assert_eq!(report.len(), 1);
+        assert_eq!(report.records[0].workload, "matmul:n=64");
+    }
+
+    #[test]
+    #[should_panic(expected = "did you mean")]
+    fn unknown_workload_name_panics_with_suggestion() {
+        Experiment::new("mergsort").cores(2).scale(1024).run();
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential_byte_for_byte() {
+        let base = Experiment::named("par-check")
+            .workloads(["mergesort", "quicksort"])
+            .cores([2, 4])
+            .scale(1024)
+            .schedulers(["pdf", "ws"]);
+        let sequential = base.clone().run();
+        let parallel = base.clone().parallelism(8).run();
+        assert_eq!(parallel, sequential);
+        assert_eq!(parallel.to_json(), sequential.to_json());
     }
 
     #[test]

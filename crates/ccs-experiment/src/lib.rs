@@ -7,7 +7,14 @@
 //!
 //! * [`Experiment`] — a builder describing a sweep (workloads × schedulers ×
 //!   configurations, plus a scale divisor), whose [`Experiment::run`] fans
-//!   the cross-product into measurements;
+//!   the cross-product into measurements — across the `ccs-runtime`
+//!   fork-join pool when [`Experiment::parallelism`] is raised, with
+//!   deterministic record order either way;
+//! * [`WorkloadSpec`] — a parseable "which workload" value
+//!   (`"mergesort"`, `"matmul:n=512"`,
+//!   `"heat:rows=1024,cols=1024,steps=8"`) resolved through the open
+//!   [`WorkloadRegistry`](ccs_workloads::WorkloadRegistry), plus fixed
+//!   caller-built computations;
 //! * [`RunRecord`] / [`Report`] — one record per measured point, aggregated
 //!   into a report with JSON/CSV/TSV emission and parsing
 //!   ([`Report::to_json`] / [`Report::from_json`]);
@@ -16,9 +23,13 @@
 //!   serialisation (the offline stand-in for `serde_json`; see
 //!   `shims/README.md`).
 //!
-//! Schedulers are identified by [`SchedulerSpec`](ccs_sched::SchedulerSpec)
-//! registry names, so user-defined schedulers registered with
-//! [`SchedulerRegistry::global`](ccs_sched::SchedulerRegistry::global)
+//! Both axes are open: schedulers are identified by
+//! [`SchedulerSpec`](ccs_sched::SchedulerSpec) registry names, and workloads
+//! by [`WorkloadSpec`] registry names, so user-defined schedulers
+//! (registered with
+//! [`SchedulerRegistry::global`](ccs_sched::SchedulerRegistry::global)) and
+//! user-defined workloads (registered with
+//! [`WorkloadRegistry::global`](ccs_workloads::WorkloadRegistry::global))
 //! participate in experiments exactly like the built-ins.
 //!
 //! # Quick start

@@ -5,9 +5,10 @@
 
 use std::path::PathBuf;
 
-use ccs_workloads::Benchmark;
+use ccs_sched::spec::split_spec_list;
+use ccs_workloads::{Benchmark, UnknownWorkload, WorkloadRegistry};
 
-use crate::Experiment;
+use crate::{Experiment, WorkloadSpec};
 
 /// Options every experiment binary accepts:
 ///
@@ -15,7 +16,18 @@ use crate::Experiment;
 ///   by `N` (default 32) so the full sweep runs on a laptop while preserving
 ///   every capacity ratio;
 /// * `--quick` — run a reduced sweep (used by the integration smoke tests);
-/// * `--app lu|hashjoin|mergesort` — restrict to one benchmark;
+/// * `--workloads <spec,...>` — select workloads from the open
+///   [`WorkloadRegistry`] by spec string
+///   (`--workloads mergesort,heat:rows=256,cols=256`; a comma-segment
+///   containing `=` continues the previous spec's parameters).  Unknown
+///   names are rejected up front with a did-you-mean listing of the
+///   registered workloads.  May be repeated;
+/// * `--app lu|hashjoin|mergesort` — restrict to one *paper* benchmark
+///   (predates `--workloads`, kept as a compatibility alias for the closed
+///   three-benchmark list; ignored whenever `--workloads` is given);
+/// * `--parallel N` — fan experiment sweeps across `N` threads of the
+///   `ccs-runtime` pool ([`Experiment::parallelism`]); `0` means one thread
+///   per available core, the default (1) is sequential;
 /// * `--json PATH` — additionally write the run's [`Report`](crate::Report)
 ///   as JSON to `PATH` (`-` for stdout);
 /// * binary-specific flags are collected in [`Options::rest`].
@@ -25,8 +37,14 @@ pub struct Options {
     pub scale: u64,
     /// Reduced sweep for smoke tests.
     pub quick: bool,
-    /// Optional benchmark filter (`--app lu|hashjoin|mergesort`).
+    /// Optional paper-benchmark filter (`--app lu|hashjoin|mergesort`;
+    /// superseded by the open `--workloads` list).
     pub app: Option<Benchmark>,
+    /// Registry-backed workload selection (`--workloads <spec,...>`); empty
+    /// means "the default selection" (see [`Options::workload_specs`]).
+    pub workloads: Vec<WorkloadSpec>,
+    /// Worker threads for sweep execution (`--parallel N`; 1 = sequential).
+    pub parallel: usize,
     /// Where to write the JSON report, if requested (`--json PATH`, `-` for
     /// stdout).
     pub json: Option<PathBuf>,
@@ -40,6 +58,8 @@ impl Default for Options {
             scale: 32,
             quick: false,
             app: None,
+            workloads: Vec::new(),
+            parallel: 1,
             json: None,
             rest: Vec::new(),
         }
@@ -53,6 +73,11 @@ impl Options {
     }
 
     /// Parse options from an explicit iterator (used by tests).
+    ///
+    /// # Panics
+    /// Panics with a descriptive message on malformed values — including
+    /// `--workloads` specs whose name is not in the global registry, which
+    /// report a did-you-mean listing of the registered workloads.
     pub fn parse(args: impl IntoIterator<Item = String>) -> Options {
         let mut opts = Options::default();
         let mut iter = args.into_iter();
@@ -69,8 +94,28 @@ impl Options {
                         "lu" => Benchmark::Lu,
                         "hashjoin" => Benchmark::HashJoin,
                         "mergesort" => Benchmark::Mergesort,
-                        other => panic!("unknown app {other:?} (lu|hashjoin|mergesort)"),
+                        other => panic!(
+                            "unknown app {other:?} (lu|hashjoin|mergesort; \
+                             use --workloads for the open registry)"
+                        ),
                     });
+                }
+                "--workloads" => {
+                    let v = iter.next().expect("--workloads requires a value");
+                    for part in split_spec_list(&v) {
+                        opts.workloads.push(resolve_workload(&part));
+                    }
+                }
+                "--parallel" => {
+                    let v = iter.next().expect("--parallel requires a value");
+                    let n: usize = v.parse().expect("--parallel must be an integer");
+                    opts.parallel = if n == 0 {
+                        std::thread::available_parallelism()
+                            .map(std::num::NonZeroUsize::get)
+                            .unwrap_or(1)
+                    } else {
+                        n
+                    };
                 }
                 "--json" => {
                     let v = iter.next().expect("--json requires a path (or '-')");
@@ -82,11 +127,44 @@ impl Options {
         opts
     }
 
-    /// The benchmarks selected by `--app` (or all three).
+    /// The *paper* benchmarks selected by the options: the paper benchmarks
+    /// named in `--workloads` (which supersedes `--app` everywhere), else
+    /// the `--app` filter, else all three.  The figure sweeps use this — the
+    /// paper's figures only cover LU, Hash Join and Mergesort.
+    ///
+    /// Only *bare* specs match: a parameterised spec like `mergesort:ws=8192`
+    /// is not the paper's benchmark, and treating it as one would silently
+    /// drop its parameters, so it selects no figure panel (figure binaries
+    /// then print an empty report with a note, the same as `--app lu` on a
+    /// figure without an LU panel).
     pub fn benchmarks(&self) -> Vec<Benchmark> {
-        match self.app {
-            Some(b) => vec![b],
-            None => vec![Benchmark::Lu, Benchmark::HashJoin, Benchmark::Mergesort],
+        let all = [Benchmark::Lu, Benchmark::HashJoin, Benchmark::Mergesort];
+        if !self.workloads.is_empty() {
+            return all
+                .into_iter()
+                .filter(|b| {
+                    self.workloads.iter().any(|w| match w {
+                        WorkloadSpec::Registry { name, params } => {
+                            name == b.name() && params.is_empty()
+                        }
+                        WorkloadSpec::Fixed { .. } => false,
+                    })
+                })
+                .collect();
+        }
+        if let Some(app) = self.app {
+            return vec![app];
+        }
+        all.to_vec()
+    }
+
+    /// The full workload selection: the `--workloads` specs verbatim, or the
+    /// [`Options::benchmarks`] fallback when none were given.
+    pub fn workload_specs(&self) -> Vec<WorkloadSpec> {
+        if self.workloads.is_empty() {
+            self.benchmarks().into_iter().map(Into::into).collect()
+        } else {
+            self.workloads.clone()
         }
     }
 
@@ -96,13 +174,14 @@ impl Options {
         crate::experiment::effective_scale(self.scale, self.quick)
     }
 
-    /// Start an [`Experiment`] named `name` with this scale/quick setting and
-    /// the selected benchmarks as workloads.
+    /// Start an [`Experiment`] named `name` with this scale/quick/parallel
+    /// setting and the selected workloads.
     pub fn experiment(&self, name: impl Into<String>) -> Experiment {
         Experiment::named(name)
-            .workloads(self.benchmarks())
+            .workloads(self.workload_specs())
             .scale(self.scale)
             .quick(self.quick)
+            .parallelism(self.parallel)
     }
 
     /// Whether `--json -` directed the JSON report to stdout (in which case
@@ -130,6 +209,20 @@ impl Options {
     }
 }
 
+/// Parse one `--workloads` spec and reject names missing from the global
+/// registry with the registry's did-you-mean listing.
+fn resolve_workload(spec: &str) -> WorkloadSpec {
+    let parsed = WorkloadSpec::parse(spec).unwrap_or_else(|e| panic!("--workloads: {e}"));
+    if !WorkloadRegistry::global().contains(parsed.name()) {
+        let err = UnknownWorkload {
+            name: parsed.name().to_string(),
+            known: WorkloadRegistry::global().names(),
+        };
+        panic!("--workloads: {err}");
+    }
+    parsed
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,6 +236,8 @@ mod tests {
                 "--quick",
                 "--app",
                 "mergesort",
+                "--parallel",
+                "4",
                 "--json",
                 "out.json",
                 "--foo",
@@ -153,6 +248,7 @@ mod tests {
         assert_eq!(o.scale, 64);
         assert!(o.quick);
         assert_eq!(o.app, Some(Benchmark::Mergesort));
+        assert_eq!(o.parallel, 4);
         assert_eq!(o.json, Some(PathBuf::from("out.json")));
         assert_eq!(o.rest, vec!["--foo".to_string()]);
         assert_eq!(o.benchmarks(), vec![Benchmark::Mergesort]);
@@ -164,8 +260,67 @@ mod tests {
         let o = Options::default();
         assert_eq!(o.scale, 32);
         assert_eq!(o.benchmarks().len(), 3);
+        assert_eq!(o.workload_specs().len(), 3);
+        assert_eq!(o.parallel, 1);
         assert_eq!(o.effective_scale(), 32);
         assert_eq!(o.json, None);
+    }
+
+    #[test]
+    fn workloads_flag_selects_registry_specs() {
+        let o = Options::parse(
+            [
+                "--workloads",
+                "heat:rows=64,cols=64,matmul:n=128",
+                "--workloads",
+                "lu",
+            ]
+            .into_iter()
+            .map(String::from),
+        );
+        let labels: Vec<String> = o.workload_specs().iter().map(|w| w.label()).collect();
+        assert_eq!(labels, vec!["heat:cols=64,rows=64", "matmul:n=128", "lu"]);
+        // Only the paper benchmarks among them reach the figure sweeps.
+        assert_eq!(o.benchmarks(), vec![Benchmark::Lu]);
+    }
+
+    #[test]
+    fn workloads_supersede_app_and_parameterised_specs_skip_figure_panels() {
+        // --workloads wins over --app, in every binary.
+        let o = Options::parse(
+            ["--app", "lu", "--workloads", "mergesort"]
+                .into_iter()
+                .map(String::from),
+        );
+        assert_eq!(o.benchmarks(), vec![Benchmark::Mergesort]);
+        assert_eq!(
+            o.workload_specs(),
+            vec![WorkloadSpec::registry("mergesort")]
+        );
+
+        // A parameterised paper spec is not the paper benchmark: it must not
+        // reach the figure sweeps with its parameters silently stripped.
+        let o = Options::parse(
+            ["--workloads", "mergesort:ws=8192"]
+                .into_iter()
+                .map(String::from),
+        );
+        assert_eq!(o.benchmarks(), vec![]);
+        assert_eq!(o.workload_specs()[0].label(), "mergesort:ws=8192");
+    }
+
+    #[test]
+    fn unknown_workload_is_rejected_with_suggestion() {
+        let result = std::panic::catch_unwind(|| {
+            Options::parse(["--workloads", "mergsort"].into_iter().map(String::from))
+        });
+        let message = match result {
+            Ok(_) => panic!("unknown workload must be rejected"),
+            Err(payload) => *payload.downcast::<String>().expect("string panic payload"),
+        };
+        assert!(message.contains("did you mean \"mergesort\""), "{message}");
+        assert!(message.contains("registered:"), "{message}");
+        assert!(message.contains("quicksort"), "{message}");
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! Property tests for the shared spec-string grammar: formatting a workload
+//! or scheduler spec and parsing it back is the identity, for arbitrary
+//! names and parameter sets.
+
+use ccs_experiment::WorkloadSpec;
+use ccs_sched::spec::{format_spec, parse_spec, split_spec_list};
+use ccs_sched::SchedulerSpec;
+use proptest::prelude::*;
+
+/// The word alphabet of the spec grammar (names, keys and values).
+const WORD_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_.-/";
+
+/// A distinct-key pool for parameter maps (duplicate keys are a parse
+/// error, so the generator samples a subset of these).
+const KEYS: [&str; 8] = [
+    "n", "rows", "cols", "steps", "block", "ws", "split", "seed-ish",
+];
+
+fn word(indices: &[usize]) -> String {
+    indices
+        .iter()
+        .map(|&i| WORD_CHARS[i % WORD_CHARS.len()] as char)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn workload_spec_format_parse_round_trips(
+        name_idx in prop::collection::vec(0usize..40, 1..12),
+        key_mask in 0u64..256,
+        values in prop::collection::vec(0u64..1_000_000, 8..9),
+    ) {
+        let mut spec = WorkloadSpec::registry(word(&name_idx));
+        for (bit, key) in KEYS.iter().enumerate() {
+            if key_mask & (1 << bit) != 0 {
+                spec = spec.with_param(*key, values[bit].to_string());
+            }
+        }
+        let label = spec.label();
+        let parsed = WorkloadSpec::parse(&label);
+        prop_assert!(parsed.is_ok(), "label {label:?} failed to parse: {parsed:?}");
+        let parsed = parsed.unwrap();
+        prop_assert_eq!(&parsed, &spec);
+        // Formatting is canonical: parse → label is idempotent.
+        prop_assert_eq!(parsed.label(), label);
+    }
+
+    #[test]
+    fn raw_spec_format_parse_round_trips(
+        name_idx in prop::collection::vec(0usize..40, 1..10),
+        key_mask in 0u64..256,
+        value_idx in prop::collection::vec(0usize..40, 1..6),
+    ) {
+        let name = word(&name_idx);
+        let value = word(&value_idx);
+        let params: Vec<(&str, &str)> = KEYS
+            .iter()
+            .enumerate()
+            .filter(|(bit, _)| key_mask & (1 << bit) != 0)
+            .map(|(_, k)| (*k, value.as_str()))
+            .collect();
+        let formatted = format_spec(&name, params.iter().copied());
+        let parsed = parse_spec(&formatted);
+        prop_assert!(parsed.is_ok(), "{formatted:?}: {parsed:?}");
+        let parsed = parsed.unwrap();
+        prop_assert_eq!(&parsed.name, &name);
+        let got: Vec<(&str, &str)> = parsed
+            .params
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
+        prop_assert_eq!(got, params);
+    }
+
+    #[test]
+    fn scheduler_spec_display_parse_round_trips(
+        name_idx in prop::collection::vec(0usize..40, 1..10),
+        seed in 0u64..1_000_000,
+        with_seed in 0u64..2,
+    ) {
+        let mut spec = SchedulerSpec::new(word(&name_idx));
+        if with_seed == 1 {
+            spec = spec.with_seed(seed);
+        }
+        // Both the display form ("name@seed") and the grammar form
+        // ("name:seed=N") parse back to the same spec.
+        prop_assert_eq!(&SchedulerSpec::parse(&spec.to_string()).unwrap(), &spec);
+        let grammar = match spec.params.seed {
+            Some(s) => format!("{}:seed={s}", spec.name),
+            None => spec.name.clone(),
+        };
+        prop_assert_eq!(&SchedulerSpec::parse(&grammar).unwrap(), &spec);
+    }
+
+    #[test]
+    fn spec_lists_split_then_parse(
+        count in 1usize..5,
+        name_idx in prop::collection::vec(0usize..40, 1..6),
+        key_mask in 0u64..256,
+    ) {
+        // A list of `count` copies of the same parameterised spec must split
+        // back into `count` parseable segments regardless of param commas.
+        let mut spec = WorkloadSpec::registry(word(&name_idx));
+        for (bit, key) in KEYS.iter().enumerate() {
+            if key_mask & (1 << bit) != 0 {
+                spec = spec.with_param(*key, "17");
+            }
+        }
+        let list = vec![spec.label(); count].join(",");
+        let split = split_spec_list(&list);
+        prop_assert!(split.len() == count, "{list:?} split into {split:?}");
+        for part in &split {
+            prop_assert_eq!(&WorkloadSpec::parse(part).unwrap(), &spec);
+        }
+    }
+}

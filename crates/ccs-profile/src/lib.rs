@@ -13,7 +13,7 @@
 //!   cache size can be computed (Section 6.1);
 //! * [`setassoc_profiler`] — the multi-pass `SetAssoc` baseline it replaces
 //!   (an order of magnitude slower; see the `sec61_profiler_speed` binary);
-//! * [`coarsen`] — the automatic task-coarsening algorithm with the
+//! * [`mod@coarsen`] — the automatic task-coarsening algorithm with the
 //!   `W ≤ K·(cache/(2·cores))` stop criterion, the Fig. 7(b)
 //!   [`ParallelizationTable`], and [`apply_coarsening`] to re-group the DAG
 //!   for re-simulation (the Fig. 8 evaluation).

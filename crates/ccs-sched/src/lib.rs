@@ -52,6 +52,7 @@ pub mod exec;
 pub mod pdf;
 pub mod registry;
 pub mod scheduler;
+pub mod spec;
 pub mod theory;
 pub mod ws;
 
@@ -60,4 +61,5 @@ pub use exec::{execute, execute_with, Schedule};
 pub use pdf::Pdf;
 pub use registry::{SchedulerFactory, SchedulerParams, SchedulerRegistry, SchedulerSpec};
 pub use scheduler::{Scheduler, SchedulerKind};
+pub use spec::SpecParseError;
 pub use ws::WorkStealing;

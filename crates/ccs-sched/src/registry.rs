@@ -148,6 +148,13 @@ impl SchedulerRegistry {
     /// Register a factory under its [`SchedulerFactory::id`].  Returns the
     /// factory previously registered under that name, if any (last
     /// registration wins, so tests can shadow built-ins).
+    ///
+    /// Names should stick to the spec grammar (`[A-Za-z0-9_.-/]`, no `@`):
+    /// registration accepts any string, but a name outside the grammar
+    /// cannot be written as a spec string — `"x@2"` would parse as scheduler
+    /// `"x"` with seed 2, and a name with spaces or `:` fails
+    /// [`SchedulerSpec::parse`] — so such schedulers are only reachable
+    /// through explicitly constructed [`SchedulerSpec`] values.
     pub fn register(
         &self,
         factory: Arc<dyn SchedulerFactory>,
@@ -251,6 +258,51 @@ impl SchedulerSpec {
         self
     }
 
+    /// Parse a scheduler spec string: a plain registry name (`"pdf"`), the
+    /// shared spec grammar with the `seed` parameter (`"ws-rand:seed=7"`), or
+    /// the display form (`"ws-rand@7"`, the inverse of
+    /// [`SchedulerSpec`]'s `Display`).
+    ///
+    /// The name is *not* checked against the registry here — that happens at
+    /// [`SchedulerSpec::build`] time, so specs can be parsed before their
+    /// scheduler is registered.
+    pub fn parse(input: &str) -> Result<Self, crate::spec::SpecParseError> {
+        let input = input.trim();
+        if let Some((name, seed)) = input.split_once('@') {
+            if !crate::spec::is_valid_word(name) {
+                return Err(crate::spec::SpecParseError {
+                    input: input.to_string(),
+                    message: "name must be non-empty and use only [A-Za-z0-9_.-/]".to_string(),
+                });
+            }
+            let seed: u64 = seed.parse().map_err(|_| crate::spec::SpecParseError {
+                input: input.to_string(),
+                message: format!("seed {seed:?} is not a u64"),
+            })?;
+            return Ok(SchedulerSpec::new(name).with_seed(seed));
+        }
+        let parsed = crate::spec::parse_spec(input)?;
+        let mut spec = SchedulerSpec::new(parsed.name);
+        for (key, value) in &parsed.params {
+            match key.as_str() {
+                "seed" => {
+                    let seed: u64 = value.parse().map_err(|_| crate::spec::SpecParseError {
+                        input: input.to_string(),
+                        message: format!("seed {value:?} is not a u64"),
+                    })?;
+                    spec.params.seed = Some(seed);
+                }
+                other => {
+                    return Err(crate::spec::SpecParseError {
+                        input: input.to_string(),
+                        message: format!("unknown scheduler parameter {other:?} (known: seed)"),
+                    });
+                }
+            }
+        }
+        Ok(spec)
+    }
+
     /// Instantiate through the [global registry](SchedulerRegistry::global).
     ///
     /// # Panics
@@ -278,14 +330,20 @@ impl From<SchedulerKind> for SchedulerSpec {
 }
 
 impl From<&str> for SchedulerSpec {
-    fn from(name: &str) -> Self {
-        SchedulerSpec::new(name)
+    /// Parse via [`SchedulerSpec::parse`].
+    ///
+    /// # Panics
+    /// Panics when the string does not match the spec grammar; use
+    /// [`SchedulerSpec::parse`] to handle that case.
+    fn from(spec: &str) -> Self {
+        SchedulerSpec::parse(spec).unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
 impl From<String> for SchedulerSpec {
-    fn from(name: String) -> Self {
-        SchedulerSpec::new(name)
+    /// Parse via [`SchedulerSpec::parse`] (see `From<&str>`).
+    fn from(spec: String) -> Self {
+        SchedulerSpec::from(spec.as_str())
     }
 }
 
@@ -352,6 +410,26 @@ mod tests {
         assert_eq!(spec.params.seed, Some(42));
         assert_eq!(spec.to_string(), "ws-rand@42");
         assert_eq!(SchedulerSpec::from(SchedulerKind::Pdf).to_string(), "pdf");
+    }
+
+    #[test]
+    fn spec_strings_parse_and_round_trip() {
+        assert_eq!(
+            SchedulerSpec::parse("pdf").unwrap(),
+            SchedulerSpec::new("pdf")
+        );
+        assert_eq!(
+            SchedulerSpec::parse("ws-rand:seed=7").unwrap(),
+            SchedulerSpec::new("ws-rand").with_seed(7)
+        );
+        // The display form parses back to the same spec.
+        let spec = SchedulerSpec::new("ws-rand").with_seed(42);
+        assert_eq!(SchedulerSpec::parse(&spec.to_string()).unwrap(), spec);
+        // From<&str> goes through the parser.
+        assert_eq!(SchedulerSpec::from("ws-rand:seed=3").params.seed, Some(3));
+        assert!(SchedulerSpec::parse("ws-rand:victims=2").is_err());
+        assert!(SchedulerSpec::parse("ws-rand@many").is_err());
+        assert!(SchedulerSpec::parse("").is_err());
     }
 
     /// A scheduler that always hands out the most recently enabled task.

@@ -1,0 +1,255 @@
+//! Shared spec-string parsing: `"name:key=value,key=value"`.
+//!
+//! Both axes of an experiment are selected by parseable spec strings — the
+//! scheduler axis ([`SchedulerSpec`](crate::SchedulerSpec), e.g.
+//! `"ws-rand:seed=7"`) and the workload axis (`ccs-experiment`'s
+//! `WorkloadSpec`, e.g. `"heat:rows=1024,cols=1024,steps=8"`).  This module
+//! is the single authority for the grammar so both sides parse, format and
+//! error identically:
+//!
+//! ```text
+//! spec   := name [ ":" param ( "," param )* ]
+//! param  := key "=" value
+//! name   := [A-Za-z0-9_.\-/]+        (also: key, value)
+//! ```
+//!
+//! [`parse_spec`]/[`format_spec`] round-trip losslessly, [`split_spec_list`]
+//! splits comma-separated spec lists (a segment containing `=` belongs to the
+//! preceding spec's parameters, so `--workloads heat:rows=64,cols=64,lu`
+//! parses as two specs), and [`did_you_mean`] powers the "unknown name"
+//! suggestions of both registries.
+
+/// The outcome of [`parse_spec`]: a registry name plus `key=value` pairs in
+/// input order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParsedSpec {
+    /// The registry name (before the first `:`).
+    pub name: String,
+    /// The `key=value` parameters, in the order written.
+    pub params: Vec<(String, String)>,
+}
+
+/// Error produced when a spec string does not match the grammar.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecParseError {
+    /// The offending input.
+    pub input: String,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl std::fmt::Display for SpecParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid spec {:?}: {}", self.input, self.message)
+    }
+}
+
+impl std::error::Error for SpecParseError {}
+
+fn error(input: &str, message: impl Into<String>) -> SpecParseError {
+    SpecParseError {
+        input: input.to_string(),
+        message: message.into(),
+    }
+}
+
+/// Whether `word` is a legal spec name, key or value: non-empty ASCII
+/// alphanumerics plus `_`, `.`, `-` and `/`.
+pub fn is_valid_word(word: &str) -> bool {
+    !word.is_empty()
+        && word
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '-' | '/'))
+}
+
+/// Parse `"name"` or `"name:key=value,key=value"` into a [`ParsedSpec`].
+///
+/// Duplicate keys are rejected (a silent last-wins rule would make the
+/// format/parse round-trip lossy).
+pub fn parse_spec(input: &str) -> Result<ParsedSpec, SpecParseError> {
+    let input = input.trim();
+    let (name, rest) = match input.split_once(':') {
+        Some((name, rest)) => (name, Some(rest)),
+        None => (input, None),
+    };
+    if !is_valid_word(name) {
+        return Err(error(
+            input,
+            "name must be non-empty and use only [A-Za-z0-9_.-/]",
+        ));
+    }
+    let mut params = Vec::new();
+    if let Some(rest) = rest {
+        if rest.is_empty() {
+            return Err(error(input, "expected key=value after ':'"));
+        }
+        for part in rest.split(',') {
+            let Some((key, value)) = part.split_once('=') else {
+                return Err(error(input, format!("parameter {part:?} is not key=value")));
+            };
+            if !is_valid_word(key) || !is_valid_word(value) {
+                return Err(error(
+                    input,
+                    format!("parameter {part:?} has an empty or non-[A-Za-z0-9_.-/] key/value"),
+                ));
+            }
+            if params.iter().any(|(k, _): &(String, String)| k == key) {
+                return Err(error(input, format!("duplicate parameter key {key:?}")));
+            }
+            params.push((key.to_string(), value.to_string()));
+        }
+    }
+    Ok(ParsedSpec {
+        name: name.to_string(),
+        params,
+    })
+}
+
+/// Format a name and parameters back into the spec grammar — the inverse of
+/// [`parse_spec`] (`format_spec` of a parsed spec re-parses to the same
+/// value).
+pub fn format_spec<'a>(name: &str, params: impl IntoIterator<Item = (&'a str, &'a str)>) -> String {
+    let mut out = name.to_string();
+    for (i, (key, value)) in params.into_iter().enumerate() {
+        out.push(if i == 0 { ':' } else { ',' });
+        out.push_str(key);
+        out.push('=');
+        out.push_str(value);
+    }
+    out
+}
+
+/// Split a comma-separated list of specs, keeping parameter commas attached
+/// to their spec: a segment containing `=` (but no `:`, which always starts
+/// a new spec) continues the previous spec.
+///
+/// `"heat:rows=64,cols=64,lu"` → `["heat:rows=64,cols=64", "lu"]`.
+pub fn split_spec_list(input: &str) -> Vec<String> {
+    let mut specs: Vec<String> = Vec::new();
+    for segment in input.split(',') {
+        let segment = segment.trim();
+        if segment.contains('=')
+            && !segment.contains(':')
+            && specs.last().is_some_and(|s| s.contains(':'))
+        {
+            let last = specs.last_mut().unwrap();
+            last.push(',');
+            last.push_str(segment);
+        } else if !segment.is_empty() {
+            specs.push(segment.to_string());
+        }
+    }
+    specs
+}
+
+/// The closest candidate within a small edit distance of `input`, for
+/// "unknown name — did you mean …?" errors.  Returns `None` when nothing is
+/// plausibly close (distance > 2).
+pub fn did_you_mean<'a>(
+    input: &str,
+    candidates: impl IntoIterator<Item = &'a str>,
+) -> Option<String> {
+    candidates
+        .into_iter()
+        .map(|c| (edit_distance(input, c), c))
+        .filter(|&(d, _)| d <= 2)
+        .min_by_key(|&(d, _)| d)
+        .map(|(_, c)| c.to_string())
+}
+
+/// Levenshtein distance over bytes (all registry names are ASCII).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b) = (a.as_bytes(), b.as_bytes());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_names_parse() {
+        let spec = parse_spec("mergesort").unwrap();
+        assert_eq!(spec.name, "mergesort");
+        assert!(spec.params.is_empty());
+    }
+
+    #[test]
+    fn params_parse_in_order() {
+        let spec = parse_spec("heat:rows=1024,cols=512,steps=8").unwrap();
+        assert_eq!(spec.name, "heat");
+        assert_eq!(
+            spec.params,
+            vec![
+                ("rows".to_string(), "1024".to_string()),
+                ("cols".to_string(), "512".to_string()),
+                ("steps".to_string(), "8".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn format_is_the_inverse_of_parse() {
+        for input in ["lu", "matmul:n=512", "heat:rows=64,cols=64,steps=2"] {
+            let spec = parse_spec(input).unwrap();
+            let formatted = format_spec(
+                &spec.name,
+                spec.params.iter().map(|(k, v)| (k.as_str(), v.as_str())),
+            );
+            assert_eq!(formatted, input);
+            assert_eq!(parse_spec(&formatted).unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        for bad in [
+            "",
+            ":",
+            "name:",
+            "name:k",
+            "name:k=",
+            "name:=v",
+            "na me",
+            "name:k=v,k=w",
+            "name:k=v,",
+        ] {
+            assert!(parse_spec(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn spec_lists_keep_param_commas_attached() {
+        assert_eq!(
+            split_spec_list("heat:rows=64,cols=64,lu,matmul:n=128"),
+            vec!["heat:rows=64,cols=64", "lu", "matmul:n=128"]
+        );
+        assert_eq!(
+            split_spec_list("heat:rows=64,cols=64,matmul:n=128"),
+            vec!["heat:rows=64,cols=64", "matmul:n=128"]
+        );
+        assert_eq!(split_spec_list("lu, mergesort"), vec!["lu", "mergesort"]);
+        assert_eq!(split_spec_list(""), Vec::<String>::new());
+    }
+
+    #[test]
+    fn did_you_mean_finds_near_misses_only() {
+        let names = ["mergesort", "matmul", "heat"];
+        assert_eq!(
+            did_you_mean("mergsort", names),
+            Some("mergesort".to_string())
+        );
+        assert_eq!(did_you_mean("matmull", names), Some("matmul".to_string()));
+        assert_eq!(did_you_mean("quicksort", names), None);
+    }
+}

@@ -25,7 +25,7 @@ pub fn sequential_misses(comp: &Computation, cache_lines: u64) -> u64 {
 /// Number of misses of an *instruction-level* PDF execution of `comp` on
 /// `num_cores` cores sharing an ideal cache of `cache_lines` lines.
 ///
-/// This follows the theoretical model of [5]: at every time step the `P`
+/// This follows the theoretical model of \[5\]: at every time step the `P`
 /// ready tasks with the earliest sequential priority each execute one
 /// instruction (tasks may pause when higher-priority work becomes ready).
 /// Cache misses do not stall execution — the theorem bounds the number of

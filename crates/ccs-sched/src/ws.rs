@@ -1,4 +1,4 @@
-//! Work Stealing (WS) scheduling (Section 3, [10]).
+//! Work Stealing (WS) scheduling (Section 3, \[10\]).
 //!
 //! WS maintains a double-ended work queue per core.  When a task forks new
 //! work, the new tasks are placed on the *top* of the forking core's deque.

@@ -43,6 +43,12 @@ impl QuicksortParams {
             line_size: 128,
         }
     }
+
+    /// Paper-proportional parameters scaled down by `scale` (1 = 32 M items,
+    /// the same array Mergesort sorts).  Used by the workload registry.
+    pub fn scaled(scale: u64) -> Self {
+        QuicksortParams::new(((32u64 << 20) / scale.max(1)).max(1 << 14))
+    }
 }
 
 const QS_SITE: CallSite = CallSite::new("extras.rs", 45);
@@ -117,6 +123,19 @@ impl MatmulParams {
             block: 64.min(n),
             line_size: 128,
         }
+    }
+
+    /// Paper-proportional parameters scaled down by `scale` (1 = 2K×2K
+    /// doubles, the same footprint as LU; the dimension scales with
+    /// `sqrt(scale)` and rounds up to a power of two).  Used by the workload
+    /// registry.
+    pub fn scaled(scale: u64) -> Self {
+        let dim = (2048.0 / (scale.max(1) as f64).sqrt()).round() as u64;
+        let mut p = MatmulParams::new(dim.next_power_of_two().max(64));
+        // Keep at least two recursion levels of parallelism at small scales
+        // (the default 64-block would make a 64x64 multiply one task).
+        p.block = (p.n / 4).clamp(16, 64);
+        p
     }
 }
 
@@ -251,6 +270,14 @@ impl HeatParams {
             rows_per_task: 16,
             line_size: 128,
         }
+    }
+
+    /// Paper-proportional parameters scaled down by `scale` (1 = a 4K×4K
+    /// grid of doubles, 128 MB per buffer; the side scales with
+    /// `sqrt(scale)`).  Used by the workload registry.
+    pub fn scaled(scale: u64) -> Self {
+        let side = ((4096.0 / (scale.max(1) as f64).sqrt()).round() as u64).max(64);
+        HeatParams::new(side, side)
     }
 }
 

@@ -1,6 +1,7 @@
 //! Hash Join workload (Section 4.2).
 //!
-//! Models the join phase of a state-of-the-art database hash join [15]:
+//! Models the join phase of a state-of-the-art database hash join
+//! (the paper's reference \[15\]):
 //! a pair of build/probe partitions that together fit in the join's memory
 //! buffer is divided into *sub-partitions* whose hash table fits in the L2
 //! cache.  For each sub-partition the build records are inserted into a hash
@@ -65,6 +66,16 @@ impl HashJoinParams {
             line_size: 128,
             seed: 0x5EED_1234,
         }
+    }
+
+    /// Paper-proportional parameters scaled down by `scale` (1 = the paper's
+    /// ~341 MB build partition), with sub-partitions sized for an L2 of
+    /// `l2_bytes`.  The single authority for how Hash Join scales — used by
+    /// `Benchmark::build_scaled` and the workload registry.
+    pub fn scaled(scale: u64, l2_bytes: u64) -> Self {
+        let scale = scale.max(1);
+        let build_bytes = ((341u64 << 20) / scale).max(1 << 20);
+        HashJoinParams::new(build_bytes).with_l2_bytes(l2_bytes)
     }
 
     /// Size the sub-partitions so their hash table fits in a cache of

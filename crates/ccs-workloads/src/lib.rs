@@ -24,14 +24,24 @@ pub mod hashjoin;
 pub mod lu;
 pub mod mergesort;
 pub mod native;
+pub mod registry;
 
 pub use hashjoin::HashJoinParams;
 pub use lu::LuParams;
 pub use mergesort::MergesortParams;
+pub use registry::{BuildCtx, UnknownWorkload, WorkloadFactory, WorkloadRegistry};
 
 use ccs_dag::Computation;
 
 /// The three primary benchmarks of the experimental study (Section 4.2).
+///
+/// This enum predates the open [`WorkloadRegistry`] and survives as a thin
+/// compatibility shim (exactly like `SchedulerKind` does for the scheduler
+/// registry): it names the same workloads the registry registers under
+/// `"lu"`, `"hashjoin"` and `"mergesort"`, and [`Benchmark::build_scaled`]
+/// and the registry factories share one code path (the per-kernel
+/// `Params::scaled` constructors), so enum-built and registry-built
+/// computations are identical.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Benchmark {
     /// Recursive dense LU factorization (scientific, small working set).
@@ -62,30 +72,10 @@ impl Benchmark {
     pub fn build_scaled(self, scale_divisor: u64, l2_bytes: u64, cores: usize) -> Computation {
         let scale = scale_divisor.max(1);
         match self {
-            Benchmark::Lu => {
-                // 2048x2048 doubles at scale 1; dimension scales with sqrt so
-                // the matrix-to-cache ratio is preserved.
-                let dim = (2048.0 / (scale as f64).sqrt()).round() as u64;
-                let dim = dim.next_power_of_two().max(128);
-                // Pick the block size so one block (B² doubles) is a small
-                // fraction of the shared cache, keeping LU compute-dense and
-                // cache-friendly as in the paper.
-                let block_target = ((l2_bytes / 64).max(256) as f64 / 8.0).sqrt() as u64;
-                let block = block_target
-                    .next_power_of_two()
-                    .clamp(16, (dim / 4).max(16));
-                lu::build(&LuParams::new(dim).with_block(block.min(64)))
-            }
-            Benchmark::HashJoin => {
-                let build_bytes = (341 << 20) / scale;
-                let params = HashJoinParams::new(build_bytes.max(1 << 20)).with_l2_bytes(l2_bytes);
-                hashjoin::build(&params)
-            }
+            Benchmark::Lu => lu::build(&LuParams::scaled(scale, l2_bytes)),
+            Benchmark::HashJoin => hashjoin::build(&HashJoinParams::scaled(scale, l2_bytes)),
             Benchmark::Mergesort => {
-                let n_items = (32u64 << 20) / scale;
-                let ws = (l2_bytes / (2 * cores.max(1) as u64)).max(16 * 1024);
-                let params = MergesortParams::new(n_items.max(1 << 14)).with_task_working_set(ws);
-                mergesort::build(&params)
+                mergesort::build(&MergesortParams::scaled(scale, l2_bytes, cores))
             }
         }
     }

@@ -45,6 +45,33 @@ impl LuParams {
         }
     }
 
+    /// Paper-proportional parameters scaled down by `scale` (1 = the paper's
+    /// 2K×2K matrix; the dimension scales with `sqrt(scale)` so the
+    /// matrix-to-cache ratio is preserved), with the block size tracking an
+    /// L2 of `l2_bytes` via [`LuParams::block_for_l2`].  The single authority
+    /// for how LU scales — used by `Benchmark::build_scaled` and the workload
+    /// registry.
+    pub fn scaled(scale: u64, l2_bytes: u64) -> Self {
+        let scale = scale.max(1);
+        let dim = (2048.0 / (scale as f64).sqrt()).round() as u64;
+        let dim = dim.next_power_of_two().max(128);
+        LuParams::new(dim).with_block(Self::block_for_l2(dim, l2_bytes))
+    }
+
+    /// The block size for an `n × n` factorization sharing an L2 of
+    /// `l2_bytes`: one block (B² doubles) is kept a small fraction of the
+    /// cache so LU stays compute-dense and cache-friendly as in the paper,
+    /// clamped to the structural bounds `[16, n/4]` (so the recursion always
+    /// has at least two levels of parallelism).  The cache-derived target is
+    /// the only upper influence — there is deliberately no fixed cap, so the
+    /// block grows with the cache.
+    pub fn block_for_l2(n: u64, l2_bytes: u64) -> u64 {
+        let upper = (n / 4).max(16).min(n.max(4));
+        let lower = upper.clamp(4, 16);
+        let block_target = ((l2_bytes / 64).max(256) as f64 / 8.0).sqrt() as u64;
+        block_target.next_power_of_two().clamp(lower, upper)
+    }
+
     /// Override the block size (the grain of parallelism).
     pub fn with_block(mut self, block: u64) -> Self {
         assert!(block >= 4 && block <= self.n, "block must be in [4, n]");

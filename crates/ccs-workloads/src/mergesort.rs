@@ -66,6 +66,17 @@ impl MergesortParams {
         }
     }
 
+    /// Paper-proportional parameters scaled down by `scale` (1 = the paper's
+    /// 32 M items), with task granularity sized for an L2 of `l2_bytes`
+    /// shared by `cores` cores.  The single authority for how Mergesort
+    /// scales — used by `Benchmark::build_scaled` and the workload registry.
+    pub fn scaled(scale: u64, l2_bytes: u64, cores: usize) -> Self {
+        let scale = scale.max(1);
+        let n_items = ((32u64 << 20) / scale).max(1 << 14);
+        let ws = (l2_bytes / (2 * cores.max(1) as u64)).max(16 * 1024);
+        MergesortParams::new(n_items).with_task_working_set(ws)
+    }
+
     /// Set the task working-set size in bytes (Figure 6's x-axis): the
     /// sequentially-sorted sub-array is half the working set, and merge tasks
     /// are sized to touch roughly the same amount of data.

@@ -61,11 +61,34 @@
 //! assert!(pdf.l2.misses <= ws.l2.misses, "PDF shares the cache constructively");
 //! ```
 //!
+//! Workloads are just as open as schedulers: every workload-accepting entry
+//! point takes a parseable [`WorkloadSpec`](ccs_experiment::WorkloadSpec)
+//! (`"mergesort"`, `"matmul:n=512"`, `"heat:rows=1024,cols=1024,steps=8"`)
+//! resolved through
+//! [`WorkloadRegistry::global`](ccs_workloads::WorkloadRegistry::global),
+//! which pre-registers all six built-in kernels:
+//!
+//! ```
+//! use ccs::prelude::*;
+//!
+//! let report = Experiment::named("extras")
+//!     .workloads(["quicksort", "matmul:n=128", "heat:rows=64,cols=64"])
+//!     .cores(4)
+//!     .scale(1024)
+//!     .schedulers(["pdf", "ws"])
+//!     .parallelism(4) // fan the sweep across our own fork-join pool
+//!     .run();
+//! assert_eq!(report.len(), 3 * 2);
+//! ```
+//!
 //! User-defined schedulers registered with
-//! [`SchedulerRegistry::global`](ccs_sched::SchedulerRegistry::global) run
+//! [`SchedulerRegistry::global`](ccs_sched::SchedulerRegistry::global) and
+//! user-defined workloads registered with
+//! [`WorkloadRegistry::global`](ccs_workloads::WorkloadRegistry::global) run
 //! through both [`execute`](ccs_sched::execute) and
 //! [`simulate`](ccs_sim::simulate) — and therefore through experiments —
-//! without touching crate internals; see `examples/custom_scheduler.rs`.
+//! without touching crate internals; see `examples/custom_scheduler.rs` and
+//! `examples/custom_workload.rs`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -91,5 +114,8 @@ pub mod prelude {
         SchedulerSpec,
     };
     pub use ccs_sim::{simulate, CmpConfig, SimResult, Technology};
-    pub use ccs_workloads::{Benchmark, HashJoinParams, LuParams, MergesortParams};
+    pub use ccs_workloads::{
+        Benchmark, BuildCtx, HashJoinParams, LuParams, MergesortParams, WorkloadFactory,
+        WorkloadRegistry,
+    };
 }

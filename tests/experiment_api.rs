@@ -1,6 +1,8 @@
 //! Integration tests for the unified `Experiment` API: report round-trips,
-//! registry/enum equivalence, user-defined schedulers through both drivers,
-//! and the paper's PDF-≤-WS L2-miss invariant as a standing check.
+//! registry/enum equivalence on both axes (schedulers *and* workloads),
+//! user-defined schedulers and workloads through every driver, parallel
+//! sweep determinism, and the paper's PDF-≤-WS L2-miss invariant as a
+//! standing check.
 
 use std::collections::VecDeque;
 
@@ -153,6 +155,115 @@ fn user_defined_scheduler_runs_through_executor_simulator_and_experiment() {
     assert_eq!(
         user.instructions, pdf.instructions,
         "same work, different policy"
+    );
+}
+
+#[test]
+fn registry_and_enum_workload_builds_are_identical() {
+    // The compat-shim guarantee: `Benchmark::build_scaled` and the registry
+    // factory share one code path, so the built computations match trace
+    // for trace, not just statistically.
+    let (scale, l2, cores) = (512u64, 256 * 1024u64, 8usize);
+    for bench in [Benchmark::Lu, Benchmark::HashJoin, Benchmark::Mergesort] {
+        let by_enum = bench.build_scaled(scale, l2, cores);
+        let ctx = BuildCtx::new(scale, l2, cores);
+        let by_name = WorkloadRegistry::global()
+            .build(bench.name(), &ctx)
+            .expect("paper benchmark registered");
+        assert_eq!(by_enum.num_tasks(), by_name.num_tasks(), "{bench}");
+        assert_eq!(by_enum.total_work(), by_name.total_work(), "{bench}");
+        let refs_enum: Vec<_> = by_enum.sequential_refs().collect();
+        let refs_name: Vec<_> = by_name.sequential_refs().collect();
+        assert_eq!(refs_enum, refs_name, "{bench}: traces must be identical");
+    }
+}
+
+#[test]
+fn all_six_builtin_workloads_run_by_name_through_experiment() {
+    let report = Experiment::named("all-six")
+        .workloads(["lu", "hashjoin", "mergesort", "quicksort", "matmul", "heat"])
+        .cores(4)
+        .scale(1024)
+        .schedulers(["pdf", "ws"])
+        .sequential_baseline(false)
+        .parallelism(4)
+        .run();
+    assert_eq!(report.len(), 6 * 2);
+    assert_eq!(report.workloads().len(), 6);
+    for r in &report.records {
+        assert!(r.cycles > 0, "{} produced no cycles", r.workload);
+        assert!(r.instructions > 0, "{} produced no work", r.workload);
+    }
+}
+
+#[test]
+fn user_defined_workload_runs_through_experiment_end_to_end() {
+    // Register a workload whose size tracks the BuildCtx — the same contract
+    // the built-ins follow — plus a user parameter.
+    WorkloadRegistry::global().register_fn(
+        "test-scan",
+        "n parallel strands scanning a shared region (test)",
+        |ctx: &BuildCtx| {
+            let n = ctx.u64_param("n").unwrap_or(4);
+            let mut b = ComputationBuilder::new(128);
+            let mut space = ccs::dag::AddressSpace::new();
+            let region = space.alloc(ctx.l2_bytes.max(4096));
+            let leaves: Vec<_> = (0..n)
+                .map(|_| {
+                    b.strand_with(|t| {
+                        t.read_range(region.base, region.bytes / 2, 2);
+                    })
+                })
+                .collect();
+            let par = b.par(leaves, GroupMeta::labeled("scan"));
+            let root = b.seq(vec![par], GroupMeta::labeled("root"));
+            b.finish(root)
+        },
+    );
+
+    let report = Experiment::new("test-scan:n=6")
+        .cores(2)
+        .scale(256)
+        .schedulers(["pdf", "ws"])
+        .run();
+    assert_eq!(report.len(), 2);
+    for r in &report.records {
+        assert_eq!(r.workload, "test-scan:n=6");
+        // The 6 scan strands.
+        assert_eq!(r.tasks, 6);
+        assert!(r.speedup_over_seq.is_some());
+    }
+
+    // The record label round-trips back into a spec that rebuilds the same
+    // computation.
+    let spec = WorkloadSpec::parse(&report.records[0].workload).unwrap();
+    let comp = spec.build(256, 64 * 1024, 2);
+    assert_eq!(comp.num_tasks(), 6);
+}
+
+#[test]
+fn parallel_sweep_report_is_byte_identical_to_sequential() {
+    let base = Experiment::named("det-check")
+        .workloads([
+            WorkloadSpec::from("mergesort"),
+            WorkloadSpec::from("matmul:n=64"),
+            WorkloadSpec::from("heat:rows=64,cols=64,steps=2"),
+        ])
+        .cores([2, 4])
+        .scale(1024)
+        .schedulers([
+            SchedulerSpec::new("pdf"),
+            SchedulerSpec::new("ws"),
+            SchedulerSpec::new("ws-rand").with_seed(7),
+        ]);
+    let sequential = base.clone().parallelism(1).run();
+    let parallel = base.clone().parallelism(8).run();
+    assert_eq!(sequential.len(), 3 * 2 * 3);
+    assert_eq!(parallel, sequential, "records and order must match");
+    assert_eq!(
+        parallel.to_json(),
+        sequential.to_json(),
+        "JSON trajectories must be byte-identical"
     );
 }
 
