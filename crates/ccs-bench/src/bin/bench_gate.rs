@@ -1,0 +1,88 @@
+//! CI perf-regression gate: diff a fresh `BENCH_sim.json` against the
+//! committed baseline.
+//!
+//! ```text
+//! cargo run --release -p ccs-bench --bin bench_gate -- \
+//!     [--current BENCH_sim.json] [--baseline bench/baseline.json] \
+//!     [--tolerance 20]
+//! ```
+//!
+//! Exit status 0 when every baseline record is within tolerance (warnings
+//! — improvements beyond tolerance, or records missing from the baseline —
+//! are reported but do not fail), 1 on any regression, missing record, or
+//! deterministic-metric drift.  See `ccs_bench::harness::gate` for the
+//! exact rules and README.md § Benchmarking for the workflow.
+
+use std::path::PathBuf;
+
+use ccs_bench::harness::{gate, BenchReport};
+
+struct Args {
+    current: PathBuf,
+    baseline: PathBuf,
+    /// Relative tolerance in percent (CLI) — 20 means ±20%.
+    tolerance_pct: f64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        current: PathBuf::from("BENCH_sim.json"),
+        baseline: PathBuf::from("bench/baseline.json"),
+        tolerance_pct: 20.0,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--current" => {
+                args.current = PathBuf::from(iter.next().expect("--current requires a path"));
+            }
+            "--baseline" => {
+                args.baseline = PathBuf::from(iter.next().expect("--baseline requires a path"));
+            }
+            "--tolerance" => {
+                let v = iter.next().expect("--tolerance requires a percentage");
+                args.tolerance_pct = v.parse().expect("--tolerance must be a number");
+                assert!(
+                    args.tolerance_pct > 0.0,
+                    "--tolerance must be positive (percent, e.g. 20)"
+                );
+            }
+            other => panic!("unknown flag {other:?} (--current|--baseline|--tolerance)"),
+        }
+    }
+    args
+}
+
+fn load(path: &PathBuf, what: &str) -> BenchReport {
+    BenchReport::read_json(path).unwrap_or_else(|e| {
+        eprintln!(
+            "bench_gate: cannot read {what} report {}: {e}",
+            path.display()
+        );
+        std::process::exit(1);
+    })
+}
+
+fn main() {
+    let args = parse_args();
+    let current = load(&args.current, "current");
+    let baseline = load(&args.baseline, "baseline");
+    let result = gate::compare(&current, &baseline, args.tolerance_pct / 100.0);
+    print!("{}", result.to_text());
+    if result.failed() {
+        eprintln!(
+            "bench_gate: FAILED against {} (tolerance ±{:.0}%)",
+            args.baseline.display(),
+            args.tolerance_pct
+        );
+        std::process::exit(1);
+    }
+    if result.warned() {
+        eprintln!(
+            "bench_gate: passed with warnings — consider refreshing {}",
+            args.baseline.display()
+        );
+    } else {
+        eprintln!("bench_gate: passed");
+    }
+}

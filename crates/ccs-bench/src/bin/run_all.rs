@@ -10,7 +10,16 @@
 //! ```text
 //! cargo run --release -p ccs-bench --bin run_all -- \
 //!     [--scale N] [--quick] [--json PATH] [--parallel N] [--workloads spec,...]
+//!     [--bench] [--engine event|reference]
 //! ```
+//!
+//! `--bench` substitutes the timed [`ccs_bench::harness`] for the plain
+//! sweeps: the figure sweeps run under the wall clock (plus an
+//! event-driven-vs-reference engine comparison and raw-simulator
+//! microbenches) and the perf trajectory is written to `BENCH_sim.json` —
+//! the file CI uploads and gates against `bench/baseline.json` (see the
+//! `bench_gate` binary).  The merged sweep report is still emitted through
+//! `--json` as usual.
 //!
 //! With `--quick` the merged report is always written (default path
 //! `BENCH_run_all.json` when `--json` is not given), so smoke tests get a
@@ -25,26 +34,21 @@
 use std::path::PathBuf;
 use std::process::Command;
 
-use ccs_bench::{figs, Options, Report};
-
-/// A named figure sweep.
-type Sweep = (&'static str, fn(&Options) -> Report);
+use ccs_bench::figs::Sweep;
+use ccs_bench::{figs, harness, Options, Report};
 
 fn main() {
     let mut opts = Options::from_env();
+    if opts.bench {
+        run_bench(opts);
+        return;
+    }
     let sweeps: Vec<Sweep> = if !opts.workloads.is_empty() {
         // An explicit `--workloads` selection replaces the figure sweeps:
         // run exactly the requested registry specs.
         vec![("workloads", figs::workload_sweep)]
     } else {
-        let mut sweeps: Vec<Sweep> = vec![
-            ("fig2_default_configs", figs::fig2),
-            ("fig3_single_tech", figs::fig3),
-            ("fig4_l2_hit_time", figs::fig4),
-            ("fig5_mem_latency", figs::fig5),
-            ("fig6_granularity", figs::fig6),
-            ("sec54_coarse_vs_fine", figs::coarse_vs_fine),
-        ];
+        let mut sweeps = figs::figure_sweeps();
         // The full suite also covers the Section 5.5 secondary benchmarks
         // (skipped by `--quick` and by an `--app` paper-benchmark filter).
         if !opts.quick && opts.app.is_none() {
@@ -110,6 +114,42 @@ fn main() {
     }
 
     // Quick runs always leave a machine-readable trajectory behind.
+    if opts.quick && opts.json.is_none() {
+        opts.json = Some(PathBuf::from("BENCH_run_all.json"));
+    }
+    if let Err(e) = opts.emit_json(&merged) {
+        eprintln!("failed to write JSON report: {e}");
+    }
+}
+
+/// `--bench`: run the timed harness, print its table, and leave both the
+/// `BENCH_sim.json` perf trajectory and the usual merged sweep report
+/// behind.
+fn run_bench(mut opts: Options) {
+    if !opts.workloads.is_empty() {
+        // In sweep mode `--workloads` replaces the figure sweeps, but the
+        // bench trajectory must stay comparable across runs, so the harness
+        // always times the canonical sweeps — reject rather than silently
+        // ignoring the selection.
+        eprintln!(
+            "--bench times the canonical figure sweeps and cannot be combined with --workloads"
+        );
+        std::process::exit(2);
+    }
+    let (bench, merged) = harness::run(&opts);
+    if opts.json_to_stdout() {
+        eprint!("{}", bench.to_tsv());
+    } else {
+        print!("{}", bench.to_tsv());
+    }
+    match bench.write_json(harness::BENCH_SIM_PATH) {
+        Ok(()) => eprintln!("# wrote {}", harness::BENCH_SIM_PATH),
+        Err(e) => {
+            eprintln!("failed to write {}: {e}", harness::BENCH_SIM_PATH);
+            std::process::exit(1);
+        }
+    }
+    // Quick runs always leave the sweep trajectory behind too.
     if opts.quick && opts.json.is_none() {
         opts.json = Some(PathBuf::from("BENCH_run_all.json"));
     }

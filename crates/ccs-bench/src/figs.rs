@@ -14,6 +14,24 @@ fn pdf_ws() -> [SchedulerKind; 2] {
     [SchedulerKind::Pdf, SchedulerKind::WorkStealing]
 }
 
+/// A named figure sweep.
+pub type Sweep = (&'static str, fn(&Options) -> Report);
+
+/// The canonical figure-sweep list: what `run_all` executes and what the
+/// bench harness times (`macro/<name>` records).  Extend figures here so
+/// both stay in lockstep; the §5.5 extras sweep is appended separately by
+/// `run_all` in full mode.
+pub fn figure_sweeps() -> Vec<Sweep> {
+    vec![
+        ("fig2_default_configs", fig2),
+        ("fig3_single_tech", fig3),
+        ("fig4_l2_hit_time", fig4),
+        ("fig5_mem_latency", fig5),
+        ("fig6_granularity", fig6),
+        ("sec54_coarse_vs_fine", coarse_vs_fine),
+    ]
+}
+
 /// Figure 2: PDF vs WS on the default (Table 2) CMP configurations —
 /// speedup over sequential execution and L2 misses per 1000 instructions for
 /// LU (1–16 cores), Hash Join and Mergesort (1–32 cores).
@@ -35,6 +53,7 @@ pub fn fig2(opts: &Options) -> Report {
                 .scale(opts.scale)
                 .quick(opts.quick)
                 .parallelism(opts.parallel)
+                .engine(opts.engine)
                 .run(),
         );
     }
@@ -67,6 +86,7 @@ pub fn fig3(opts: &Options) -> Report {
                 .scale(opts.scale)
                 .quick(opts.quick)
                 .parallelism(opts.parallel)
+                .engine(opts.engine)
                 .run(),
         );
     }
@@ -97,6 +117,7 @@ pub fn fig4(opts: &Options) -> Report {
                 .scale(opts.scale)
                 .quick(opts.quick)
                 .parallelism(opts.parallel)
+                .engine(opts.engine)
                 .run(),
         );
     }
@@ -148,6 +169,7 @@ pub fn fig5(opts: &Options) -> Report {
                 .scale(opts.scale)
                 .quick(opts.quick)
                 .parallelism(opts.parallel)
+                .engine(opts.engine)
                 .run(),
         );
     }
@@ -184,6 +206,7 @@ pub fn fig6(opts: &Options) -> Report {
         .quick(opts.quick)
         .sequential_baseline(false)
         .parallelism(opts.parallel)
+        .engine(opts.engine)
         .run()
 }
 
@@ -219,6 +242,7 @@ pub fn coarse_vs_fine(opts: &Options) -> Report {
         .quick(opts.quick)
         .sequential_baseline(false)
         .parallelism(opts.parallel)
+        .engine(opts.engine)
         .run()
 }
 
@@ -233,6 +257,7 @@ pub fn extras(opts: &Options) -> Report {
         .scale(opts.scale)
         .quick(opts.quick)
         .parallelism(opts.parallel)
+        .engine(opts.engine)
         .run()
 }
 

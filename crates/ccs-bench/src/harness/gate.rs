@@ -1,0 +1,254 @@
+//! The CI regression gate: compare a fresh `BENCH_sim.json` against the
+//! committed `bench/baseline.json`.
+//!
+//! Two kinds of checks, per baseline record (matched by name):
+//!
+//! * **deterministic metrics** (`total_misses`, `tasks`, `cycles`) must be
+//!   *exactly* equal — they are pure functions of the simulated
+//!   configuration, so any drift is a behaviour change, not noise;
+//! * **throughput** (`tasks_per_sec`) must be within a relative tolerance
+//!   (CI uses ±20%).  A drop beyond tolerance **fails** the gate; a gain
+//!   beyond tolerance only **warns**, so maintainers notice and refresh the
+//!   baseline instead of banking the headroom silently.
+//!
+//! Reports taken at different scale/quick settings are incomparable and
+//! fail fast.  Records present in the current run but absent from the
+//! baseline warn (the baseline wants refreshing); baseline records missing
+//! from the current run fail (coverage loss).
+
+use super::{BenchRecord, BenchReport};
+
+/// Outcome of one record (or report-level) check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GateStatus {
+    /// Within tolerance.
+    Ok,
+    /// Out of tolerance in the good direction, or a coverage addition.
+    Warn,
+    /// Regression (or incomparable/missing data).
+    Fail,
+}
+
+/// One line of gate output.
+#[derive(Clone, Debug)]
+pub struct GateLine {
+    /// Record name (or `"<report>"` for report-level checks).
+    pub name: String,
+    /// Check outcome.
+    pub status: GateStatus,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// The full gate verdict.
+#[derive(Clone, Debug, Default)]
+pub struct GateResult {
+    /// Per-record (and report-level) outcomes.
+    pub lines: Vec<GateLine>,
+}
+
+impl GateResult {
+    fn push(&mut self, name: impl Into<String>, status: GateStatus, message: impl Into<String>) {
+        self.lines.push(GateLine {
+            name: name.into(),
+            status,
+            message: message.into(),
+        });
+    }
+
+    /// Whether any check failed.
+    pub fn failed(&self) -> bool {
+        self.lines.iter().any(|l| l.status == GateStatus::Fail)
+    }
+
+    /// Whether any check warned.
+    pub fn warned(&self) -> bool {
+        self.lines.iter().any(|l| l.status == GateStatus::Warn)
+    }
+
+    /// Render the verdict as one line per check.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for line in &self.lines {
+            let tag = match line.status {
+                GateStatus::Ok => "ok  ",
+                GateStatus::Warn => "WARN",
+                GateStatus::Fail => "FAIL",
+            };
+            out.push_str(&format!("{tag}  {}: {}\n", line.name, line.message));
+        }
+        out
+    }
+}
+
+/// Compare `current` against `baseline` with the given relative
+/// `tolerance` on `tasks_per_sec` (0.20 = ±20%).
+pub fn compare(current: &BenchReport, baseline: &BenchReport, tolerance: f64) -> GateResult {
+    let mut result = GateResult::default();
+    if (current.scale, current.quick) != (baseline.scale, baseline.quick) {
+        result.push(
+            "<report>",
+            GateStatus::Fail,
+            format!(
+                "incomparable settings: current scale={}/quick={}, baseline scale={}/quick={} \
+                 (regenerate bench/baseline.json with the CI invocation)",
+                current.scale, current.quick, baseline.scale, baseline.quick
+            ),
+        );
+        return result;
+    }
+
+    for base in &baseline.records {
+        let Some(cur) = current.find(&base.name) else {
+            result.push(
+                &base.name,
+                GateStatus::Fail,
+                "present in baseline but missing from the current run",
+            );
+            continue;
+        };
+        check_record(&mut result, cur, base, tolerance);
+    }
+    for cur in &current.records {
+        if baseline.find(&cur.name).is_none() {
+            result.push(
+                &cur.name,
+                GateStatus::Warn,
+                "new record not in baseline (refresh bench/baseline.json)",
+            );
+        }
+    }
+    result
+}
+
+fn check_record(result: &mut GateResult, cur: &BenchRecord, base: &BenchRecord, tolerance: f64) {
+    // Determinism first: identical settings must simulate identical work.
+    let drift: Vec<String> = [
+        ("total_misses", cur.total_misses, base.total_misses),
+        ("tasks", cur.tasks, base.tasks),
+        ("cycles", cur.cycles, base.cycles),
+    ]
+    .into_iter()
+    .filter(|(_, c, b)| c != b)
+    .map(|(k, c, b)| format!("{k} {b} -> {c}"))
+    .collect();
+    if !drift.is_empty() {
+        result.push(
+            &cur.name,
+            GateStatus::Fail,
+            format!(
+                "deterministic metrics drifted ({}): simulator behaviour changed — \
+                 if intended, refresh bench/baseline.json",
+                drift.join(", ")
+            ),
+        );
+        return;
+    }
+
+    if base.tasks_per_sec <= 0.0 {
+        result.push(&cur.name, GateStatus::Ok, "baseline has no throughput");
+        return;
+    }
+    let ratio = cur.tasks_per_sec / base.tasks_per_sec;
+    let pct = (ratio - 1.0) * 100.0;
+    if ratio < 1.0 - tolerance {
+        result.push(
+            &cur.name,
+            GateStatus::Fail,
+            format!(
+                "throughput regression: {:.0} -> {:.0} tasks/s ({pct:+.1}%, tolerance ±{:.0}%)",
+                base.tasks_per_sec,
+                cur.tasks_per_sec,
+                tolerance * 100.0
+            ),
+        );
+    } else if ratio > 1.0 + tolerance {
+        result.push(
+            &cur.name,
+            GateStatus::Warn,
+            format!("throughput improved {pct:+.1}% — refresh bench/baseline.json to bank it"),
+        );
+    } else {
+        result.push(
+            &cur.name,
+            GateStatus::Ok,
+            format!("{:.0} tasks/s ({pct:+.1}%)", cur.tasks_per_sec),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(name: &str, tasks_per_sec: f64) -> BenchRecord {
+        BenchRecord {
+            name: name.into(),
+            wall_ms: 100.0,
+            tasks_per_sec,
+            total_misses: 500,
+            tasks: 1000,
+            cycles: 42_000,
+            speedup_vs_reference: None,
+        }
+    }
+
+    fn report(records: Vec<BenchRecord>) -> BenchReport {
+        BenchReport {
+            scale: 256,
+            quick: true,
+            records,
+        }
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let base = report(vec![record("a", 1000.0)]);
+        let cur = report(vec![record("a", 900.0)]);
+        let g = compare(&cur, &base, 0.2);
+        assert!(!g.failed() && !g.warned(), "{}", g.to_text());
+    }
+
+    #[test]
+    fn regression_fails_and_improvement_warns() {
+        let base = report(vec![record("a", 1000.0), record("b", 1000.0)]);
+        let cur = report(vec![record("a", 700.0), record("b", 1500.0)]);
+        let g = compare(&cur, &base, 0.2);
+        assert!(g.failed());
+        assert!(g.warned());
+        let text = g.to_text();
+        assert!(text.contains("FAIL  a: throughput regression"), "{text}");
+        assert!(text.contains("WARN  b: throughput improved"), "{text}");
+    }
+
+    #[test]
+    fn deterministic_drift_fails_even_when_faster() {
+        let base = report(vec![record("a", 1000.0)]);
+        let mut fast_but_wrong = record("a", 5000.0);
+        fast_but_wrong.total_misses = 499;
+        let cur = report(vec![fast_but_wrong]);
+        let g = compare(&cur, &base, 0.2);
+        assert!(g.failed());
+        assert!(g.to_text().contains("deterministic metrics drifted"));
+    }
+
+    #[test]
+    fn missing_record_fails_new_record_warns() {
+        let base = report(vec![record("gone", 1000.0)]);
+        let cur = report(vec![record("new", 1000.0)]);
+        let g = compare(&cur, &base, 0.2);
+        assert!(g.failed());
+        assert!(g.warned());
+    }
+
+    #[test]
+    fn incomparable_settings_fail_fast() {
+        let base = report(vec![record("a", 1000.0)]);
+        let mut cur = report(vec![record("a", 1000.0)]);
+        cur.scale = 512;
+        let g = compare(&cur, &base, 0.2);
+        assert!(g.failed());
+        assert_eq!(g.lines.len(), 1);
+        assert!(g.to_text().contains("incomparable settings"));
+    }
+}

@@ -8,7 +8,10 @@
 //! wrappers that print it as TSV and optionally emit JSON (`--json PATH`).
 //!
 //! All binaries accept the shared [`Options`] flags (`--scale`, `--quick`,
-//! `--app`, `--json`) plus binary-specific extras.
+//! `--app`, `--json`, `--engine`) plus binary-specific extras.  `run_all
+//! --bench` additionally runs the timed [`harness`] and emits the
+//! `BENCH_sim.json` perf trajectory that CI gates on (see the `bench_gate`
+//! binary).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -17,9 +20,10 @@ pub use ccs_experiment::{Experiment, Options, Report, RunRecord, WorkloadSpec};
 
 use ccs_dag::Computation;
 use ccs_sched::SchedulerSpec;
-use ccs_sim::{simulate, CmpConfig, SimResult};
+use ccs_sim::{simulate_engine, CmpConfig, SimResult};
 
 pub mod figs;
+pub mod harness;
 
 /// Simulate `comp` on the scaled version of `cfg` under the selected
 /// scheduler.  Used by the non-sweep binaries (`fig8_auto_coarsening`);
@@ -31,7 +35,7 @@ pub fn run_sim(
     sched: impl Into<SchedulerSpec>,
 ) -> SimResult {
     let scaled = cfg.scaled(opts.effective_scale());
-    simulate(comp, &scaled, sched)
+    simulate_engine(comp, &scaled, sched, opts.engine)
 }
 
 /// Print a report as the standard tab-separated table, preceded by a

@@ -48,9 +48,13 @@ impl CacheConfig {
 
     /// Check internal consistency.
     pub fn validate(&self) -> Result<(), String> {
-        if !self.line_size.is_power_of_two() || self.line_size == 0 {
+        // Minimum 4: the cache models fold the dirty flag into tag bit 0
+        // and mark empty ways with the all-ones sentinel, which is
+        // collision-free exactly when aligned line addresses have (at
+        // least) the two low bits clear (see `ccs-cache::setassoc`).
+        if !self.line_size.is_power_of_two() || self.line_size < 4 {
             return Err(format!(
-                "line size {} must be a power of two",
+                "line size {} must be a power of two >= 4",
                 self.line_size
             ));
         }

@@ -1,0 +1,275 @@
+//! Line-ownership directory for the CMP coherence model.
+//!
+//! The simulator models coherence as write-invalidation of remote L1
+//! copies.  The seed implementation broadcast every store to all `p`
+//! private L1s (`O(p)` per store, almost always finding nothing); this
+//! directory tracks, per cache line, the set of cores whose L1 may hold a
+//! copy, so a store only visits those — `O(sharers)` per store, and zero
+//! work for the common private-line case.
+//!
+//! The sharer sets are a deliberate **over-approximation**: bits are set on
+//! every L1 allocation but *not* cleared on eviction (clearing happens only
+//! when a store prunes the set via [`LineDirectory::retain_only`], or via
+//! an explicit [`LineDirectory::remove`]).  The invariant the simulator
+//! relies on is one-directional:
+//!
+//! > core `c`'s L1 holds `line` ⇒ `holds(line, c)`.
+//!
+//! A stale bit merely sends one extra invalidation to a core that no
+//! longer has the line — a no-op in [`SetAssocCache`] — so simulations
+//! driven through the directory are metrics-identical to the broadcast,
+//! while the miss path pays a single map operation (no delete traffic).
+//! That choice also lets the map use flat open addressing with no
+//! tombstones.
+//!
+//! [`SetAssocCache`]: crate::SetAssocCache
+
+/// Cores are identified by their index; the bitmask representation caps the
+/// directory at 64 cores (the paper's design space tops out at 32).
+pub const MAX_DIRECTORY_CORES: usize = 64;
+
+/// Key stored in empty slots.  Real keys are line-aligned addresses (line
+/// size at least 2), so `u64::MAX` — an odd address — can never collide;
+/// the entry points `debug_assert` it anyway.
+const EMPTY_KEY: u64 = u64::MAX;
+
+/// Which cores may hold a copy of each cache line (an over-approximation;
+/// see the module docs).
+///
+/// ```
+/// use ccs_cache::LineDirectory;
+///
+/// let mut dir = LineDirectory::new(4);
+/// dir.insert(0x1000, 0);
+/// dir.insert(0x1000, 2);
+/// assert_eq!(dir.sharers_except(0x1000, 0).collect::<Vec<_>>(), vec![2]);
+/// dir.retain_only(0x1000, 0); // after core 0's store invalidated the rest
+/// assert_eq!(dir.sharers_except(0x1000, 0).count(), 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct LineDirectory {
+    /// Line address per slot (`EMPTY_KEY` = free); power-of-two length.
+    keys: Vec<u64>,
+    /// Sharer bitmask per slot.
+    masks: Vec<u64>,
+    /// Occupied slots (including ones whose mask has been pruned to 0).
+    occupied: usize,
+}
+
+impl LineDirectory {
+    /// An empty directory for a `num_cores`-core machine.
+    ///
+    /// # Panics
+    /// Panics if `num_cores` exceeds [`MAX_DIRECTORY_CORES`].
+    pub fn new(num_cores: usize) -> Self {
+        assert!(
+            num_cores <= MAX_DIRECTORY_CORES,
+            "LineDirectory supports at most {MAX_DIRECTORY_CORES} cores, got {num_cores}"
+        );
+        LineDirectory {
+            keys: vec![EMPTY_KEY; 1024],
+            masks: vec![0; 1024],
+            occupied: 0,
+        }
+    }
+
+    /// Multiplicative hash of a line address into a slot index.
+    #[inline]
+    fn slot_of(&self, line: u64) -> usize {
+        let h = line.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        (h >> 32) as usize & (self.keys.len() - 1)
+    }
+
+    /// Find the slot holding `line`, or the free slot where it belongs.
+    #[inline]
+    fn probe(&self, line: u64) -> usize {
+        let mut slot = self.slot_of(line);
+        loop {
+            let key = self.keys[slot];
+            if key == line || key == EMPTY_KEY {
+                return slot;
+            }
+            slot = (slot + 1) & (self.keys.len() - 1);
+        }
+    }
+
+    /// Record that `core`'s L1 now holds `line`.
+    #[inline]
+    pub fn insert(&mut self, line: u64, core: usize) {
+        debug_assert_ne!(line, EMPTY_KEY, "line collides with the empty key");
+        let slot = self.probe(line);
+        if self.keys[slot] == EMPTY_KEY {
+            self.keys[slot] = line;
+            self.occupied += 1;
+            if self.occupied * 8 > self.keys.len() * 7 {
+                self.masks[slot] |= 1u64 << core;
+                self.grow();
+                return;
+            }
+        }
+        self.masks[slot] |= 1u64 << core;
+    }
+
+    /// Double the table (keeps all entries; amortised by the load factor).
+    #[cold]
+    fn grow(&mut self) {
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY_KEY; 0]);
+        let old_masks = std::mem::take(&mut self.masks);
+        let new_len = old_keys.len() * 2;
+        self.keys = vec![EMPTY_KEY; new_len];
+        self.masks = vec![0; new_len];
+        self.occupied = 0;
+        for (key, mask) in old_keys.into_iter().zip(old_masks) {
+            if key != EMPTY_KEY && mask != 0 {
+                let slot = self.probe(key);
+                debug_assert_eq!(self.keys[slot], EMPTY_KEY);
+                self.keys[slot] = key;
+                self.masks[slot] = mask;
+                self.occupied += 1;
+            }
+        }
+    }
+
+    /// Record that `core`'s L1 no longer holds `line`.  The simulator's hot
+    /// path does *not* call this on evictions (staleness is tolerated, see
+    /// the module docs); it exists for callers that want exact sets.
+    #[inline]
+    pub fn remove(&mut self, line: u64, core: usize) {
+        let slot = self.probe(line);
+        if self.keys[slot] == line {
+            self.masks[slot] &= !(1u64 << core);
+        }
+    }
+
+    /// Whether `core`'s L1 may hold `line` (never false when it does).
+    #[inline]
+    pub fn holds(&self, line: u64, core: usize) -> bool {
+        let slot = self.probe(line);
+        self.keys[slot] == line && self.masks[slot] & (1u64 << core) != 0
+    }
+
+    /// The cores other than `core` that may hold `line`, in ascending
+    /// order.  This is the set a store from `core` must invalidate.
+    #[inline]
+    pub fn sharers_except(&self, line: u64, core: usize) -> impl Iterator<Item = usize> {
+        let slot = self.probe(line);
+        let mut mask = if self.keys[slot] == line {
+            self.masks[slot] & !(1u64 << core)
+        } else {
+            0
+        };
+        std::iter::from_fn(move || {
+            if mask == 0 {
+                None
+            } else {
+                let bit = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                Some(bit)
+            }
+        })
+    }
+
+    /// Drop every sharer of `line` except `core` (what a store from `core`
+    /// leaves behind after invalidating the others).  This is also where
+    /// stale bits get pruned.
+    #[inline]
+    pub fn retain_only(&mut self, line: u64, core: usize) {
+        let slot = self.probe(line);
+        if self.keys[slot] == line {
+            self.masks[slot] &= 1u64 << core;
+        }
+    }
+
+    /// Number of lines with at least one (possibly stale) sharer bit —
+    /// diagnostics/tests only.
+    pub fn tracked_lines(&self) -> usize {
+        self.keys
+            .iter()
+            .zip(&self.masks)
+            .filter(|&(&k, &m)| k != EMPTY_KEY && m != 0)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_holds() {
+        let mut d = LineDirectory::new(8);
+        assert!(!d.holds(128, 3));
+        d.insert(128, 3);
+        d.insert(128, 5);
+        assert!(d.holds(128, 3));
+        assert!(d.holds(128, 5));
+        assert!(!d.holds(128, 0));
+        d.remove(128, 3);
+        assert!(!d.holds(128, 3));
+        assert!(d.holds(128, 5));
+        d.remove(128, 5);
+        assert_eq!(d.tracked_lines(), 0);
+    }
+
+    #[test]
+    fn sharers_except_skips_the_writer() {
+        let mut d = LineDirectory::new(8);
+        for core in [0, 2, 6] {
+            d.insert(256, core);
+        }
+        assert_eq!(d.sharers_except(256, 2).collect::<Vec<_>>(), vec![0, 6]);
+        assert_eq!(d.sharers_except(256, 1).collect::<Vec<_>>(), vec![0, 2, 6]);
+        assert_eq!(d.sharers_except(512, 0).count(), 0, "untracked line");
+    }
+
+    #[test]
+    fn retain_only_models_a_store() {
+        let mut d = LineDirectory::new(4);
+        for core in 0..4 {
+            d.insert(64, core);
+        }
+        d.retain_only(64, 1);
+        assert!(d.holds(64, 1));
+        assert_eq!(d.sharers_except(64, 1).count(), 0);
+        // A store from a core that does not hold the line clears the set.
+        d.retain_only(64, 3);
+        assert_eq!(d.tracked_lines(), 0);
+    }
+
+    #[test]
+    fn removing_an_untracked_line_is_a_noop() {
+        let mut d = LineDirectory::new(2);
+        d.remove(0, 1);
+        assert_eq!(d.tracked_lines(), 0);
+    }
+
+    #[test]
+    fn supports_the_full_64_core_mask() {
+        let mut d = LineDirectory::new(64);
+        d.insert(0, 0);
+        d.insert(0, 63);
+        assert_eq!(d.sharers_except(0, 0).collect::<Vec<_>>(), vec![63]);
+    }
+
+    #[test]
+    fn grows_past_the_initial_capacity() {
+        let mut d = LineDirectory::new(8);
+        let n = 10_000u64;
+        for i in 0..n {
+            d.insert(i * 128, (i % 8) as usize);
+        }
+        assert_eq!(d.tracked_lines(), n as usize);
+        for i in 0..n {
+            assert!(
+                d.holds(i * 128, (i % 8) as usize),
+                "line {i} lost in growth"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 cores")]
+    fn rejects_too_many_cores() {
+        let _ = LineDirectory::new(65);
+    }
+}

@@ -13,12 +13,16 @@
 //! * [`OrderStatStack`], [`FenwickStack`], [`NaiveLruStack`] — LRU
 //!   stack-distance models; `OrderStatStack` is the paper's *LruTree*
 //!   structure with `O(log n)` per-reference cost;
-//! * [`MainMemory`] — off-chip latency + bounded-bandwidth model.
+//! * [`MainMemory`] — off-chip latency + bounded-bandwidth model;
+//! * [`LineDirectory`] — per-line sharer tracking so the simulator's
+//!   write-invalidation costs `O(sharers)` instead of a broadcast over all
+//!   cores.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod config;
+pub mod directory;
 pub mod ideal;
 pub mod memory;
 pub mod setassoc;
@@ -26,6 +30,7 @@ pub mod stack;
 pub mod stats;
 
 pub use config::{CacheConfig, MemoryConfig};
+pub use directory::LineDirectory;
 pub use ideal::IdealCache;
 pub use memory::{MainMemory, MemoryStats};
 pub use setassoc::{AccessOutcome, SetAssocCache};

@@ -29,36 +29,131 @@ impl AccessOutcome {
     }
 }
 
-#[derive(Clone, Copy, Debug)]
-struct Way {
-    line: u64,
-    dirty: bool,
-    /// Monotonic timestamp of the last access; smallest = LRU victim.
-    last_used: u64,
-}
+/// Tag stored in empty ways.  Line addresses are at least 4-aligned
+/// (enforced by [`CacheConfig::validate`]), so `tag ^ line` against this
+/// all-ones sentinel always keeps bit 1 set and can never look like a
+/// match even with the dirty bit folded into bit 0; the access paths
+/// `debug_assert` the alignment anyway.
+const INVALID_LINE: u64 = u64::MAX;
+
+/// Dirty flag, folded into bit 0 of the tag (free because lines are at
+/// least 4-aligned).  One array to scan and rotate instead of two.
+const DIRTY_BIT: u64 = 1;
 
 /// A set-associative cache with per-set true-LRU replacement and write-back,
 /// write-allocate semantics.
+///
+/// This sits on the simulator's per-reference hot path, so both layout and
+/// algorithm are tuned for it:
+///
+/// * the line tags of a set are `associativity` contiguous `u64`s in a
+///   single flat array (no per-set allocations), and the set index is a
+///   shift/mask when the set count is a power of two — no divisions;
+/// * recency is encoded **positionally**: each set is kept in MRU→LRU
+///   order (empty ways, tagged `INVALID_LINE`, form the suffix).  A touch
+///   rotates the way to the front; the victim is always the *last* way.
+///   This is exactly true-LRU — the per-set order is the classic LRU stack
+///   — but needs no timestamps, no clock, and no argmin scan on misses.
 #[derive(Clone, Debug)]
 pub struct SetAssocCache {
     config: CacheConfig,
-    sets: Vec<Vec<Way>>,
+    /// Tag per way (`line | DIRTY_BIT`), `num_sets × assoc` flat; each set
+    /// ordered MRU→LRU with `INVALID_LINE` (empty) ways as the suffix.
+    lines: Vec<u64>,
     stats: CacheStats,
-    clock: u64,
+    assoc: usize,
+    /// `line_size.trailing_zeros()`: line address → line number.
+    line_shift: u32,
+    /// `num_sets - 1` when the set count is a power of two.
+    set_mask: Option<u64>,
+    num_sets: u64,
 }
 
 impl SetAssocCache {
     /// Create an empty (cold) cache.
     pub fn new(config: CacheConfig) -> Self {
         config.validate().expect("invalid cache configuration");
-        let sets =
-            vec![Vec::with_capacity(config.associativity as usize); config.num_sets() as usize];
+        let num_sets = config.num_sets();
+        let assoc = config.associativity as usize;
+        let ways = (num_sets * assoc as u64) as usize;
         SetAssocCache {
             config,
-            sets,
+            lines: vec![INVALID_LINE; ways],
             stats: CacheStats::default(),
-            clock: 0,
+            assoc,
+            line_shift: config.line_size.trailing_zeros(),
+            set_mask: num_sets.is_power_of_two().then(|| num_sets - 1),
+            num_sets,
         }
+    }
+
+    /// Start index of the set holding `line` in the flat way arrays.
+    #[inline]
+    fn set_base(&self, line: u64) -> usize {
+        let line_no = line >> self.line_shift;
+        let set = match self.set_mask {
+            Some(mask) => line_no & mask,
+            None => line_no % self.num_sets,
+        };
+        set as usize * self.assoc
+    }
+
+    /// Position of `line` within its set (0 = MRU), if resident.  The MRU
+    /// way is checked first — re-touches of the most recent line (fills,
+    /// multi-line ops) are the most common probe by far.  The remainder is
+    /// scanned without early exit so LLVM can vectorise the tag compares —
+    /// the scaled-down design points routinely run 16-way sets where this
+    /// loop is the hottest code in the simulator.
+    #[inline]
+    fn find_pos(&self, base: usize, line: u64) -> Option<usize> {
+        let set = &self.lines[base..base + self.assoc];
+        // `tag ^ line` is 0 or DIRTY_BIT on a match (line has bit 0
+        // clear) and > DIRTY_BIT on a mismatch: two distinct aligned
+        // lines differ above bit 1, and the empty sentinel keeps bit 1
+        // set against any 4-aligned line.
+        if set[0] ^ line <= DIRTY_BIT {
+            return Some(0);
+        }
+        let mut found = usize::MAX;
+        for (i, &tag) in set.iter().enumerate().skip(1) {
+            if tag ^ line <= DIRTY_BIT {
+                found = i;
+            }
+        }
+        (found != usize::MAX).then_some(found)
+    }
+
+    /// Move the way at set position `pos` to the MRU front, shifting the
+    /// more-recent ways down one place (a single forward memmove).
+    #[inline]
+    fn touch(&mut self, base: usize, pos: usize) {
+        let tag = self.lines[base + pos];
+        self.lines.copy_within(base..base + pos, base + 1);
+        self.lines[base] = tag;
+    }
+
+    /// Allocate `line` at the MRU front of its set, pushing every other way
+    /// down and dropping the LRU (last) way — an empty way if the set has
+    /// one (empties are the suffix of the order), the true-LRU victim
+    /// otherwise.  Returns the eviction outcome.
+    #[inline]
+    fn allocate_front(&mut self, base: usize, line: u64, dirty: bool) -> AccessOutcome {
+        let last = base + self.assoc - 1;
+        let evicted = self.lines[last];
+        self.lines.copy_within(base..last, base + 1);
+        self.lines[base] = line | (dirty as u64);
+        let mut outcome = AccessOutcome {
+            hit: false,
+            evicted: None,
+            writeback: false,
+        };
+        if evicted != INVALID_LINE {
+            let evicted_dirty = evicted & DIRTY_BIT != 0;
+            self.stats.record_eviction(evicted_dirty);
+            outcome.evicted = Some(evicted & !DIRTY_BIT);
+            outcome.writeback = evicted_dirty;
+        }
+        outcome
     }
 
     /// The cache's configuration.
@@ -78,14 +173,12 @@ impl SetAssocCache {
 
     /// Flush the contents (cold cache) without touching statistics.
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            set.clear();
-        }
+        self.lines.fill(INVALID_LINE);
     }
 
     /// Number of lines currently resident.
     pub fn resident_lines(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.lines.iter().filter(|&&t| t != INVALID_LINE).count()
     }
 
     /// Probe the cache with the line containing `addr`.
@@ -95,51 +188,27 @@ impl SetAssocCache {
     }
 
     /// Probe the cache with an already line-aligned address.
+    #[inline]
     pub fn access_line(&mut self, line: u64, kind: AccessKind) -> AccessOutcome {
         debug_assert_eq!(
             line % self.config.line_size,
             0,
             "address must be line-aligned"
         );
-        self.clock += 1;
-        let clock = self.clock;
+        debug_assert_ne!(line, INVALID_LINE, "line collides with the empty tag");
         let is_write = kind.is_write();
-        let set_idx = self.config.set_of(line) as usize;
-        let assoc = self.config.associativity as usize;
-        let set = &mut self.sets[set_idx];
+        let base = self.set_base(line);
 
-        if let Some(way) = set.iter_mut().find(|w| w.line == line) {
-            way.last_used = clock;
-            way.dirty |= is_write;
+        if let Some(pos) = self.find_pos(base, line) {
+            self.touch(base, pos);
+            self.lines[base] |= is_write as u64;
             self.stats.record(true, is_write);
-            return AccessOutcome::hit();
+            AccessOutcome::hit()
+        } else {
+            // Miss: allocate, evicting the LRU way if the set is full.
+            self.stats.record(false, is_write);
+            self.allocate_front(base, line, is_write)
         }
-
-        // Miss: allocate, evicting the LRU way if the set is full.
-        self.stats.record(false, is_write);
-        let mut outcome = AccessOutcome {
-            hit: false,
-            evicted: None,
-            writeback: false,
-        };
-        if set.len() == assoc {
-            let victim_idx = set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, w)| w.last_used)
-                .map(|(i, _)| i)
-                .expect("non-empty set");
-            let victim = set.swap_remove(victim_idx);
-            self.stats.record_eviction(victim.dirty);
-            outcome.evicted = Some(victim.line);
-            outcome.writeback = victim.dirty;
-        }
-        set.push(Way {
-            line,
-            dirty: is_write,
-            last_used: clock,
-        });
-        outcome
     }
 
     /// Probe the cache with every line touched by a memory reference,
@@ -159,64 +228,47 @@ impl SetAssocCache {
     /// its LRU position and dirty bit are refreshed; otherwise it is
     /// allocated, evicting the LRU way if necessary (the eviction *is*
     /// recorded).  Returns the eviction outcome.
+    #[inline]
     pub fn fill_line(&mut self, line: u64, dirty: bool) -> AccessOutcome {
         debug_assert_eq!(
             line % self.config.line_size,
             0,
             "address must be line-aligned"
         );
-        self.clock += 1;
-        let clock = self.clock;
-        let set_idx = self.config.set_of(line) as usize;
-        let assoc = self.config.associativity as usize;
-        let set = &mut self.sets[set_idx];
-        if let Some(way) = set.iter_mut().find(|w| w.line == line) {
-            way.last_used = clock;
-            way.dirty |= dirty;
-            return AccessOutcome::hit();
+        debug_assert_ne!(line, INVALID_LINE, "line collides with the empty tag");
+        let base = self.set_base(line);
+        if let Some(pos) = self.find_pos(base, line) {
+            self.touch(base, pos);
+            self.lines[base] |= dirty as u64;
+            AccessOutcome::hit()
+        } else {
+            self.allocate_front(base, line, dirty)
         }
-        let mut outcome = AccessOutcome {
-            hit: false,
-            evicted: None,
-            writeback: false,
-        };
-        if set.len() == assoc {
-            let victim_idx = set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, w)| w.last_used)
-                .map(|(i, _)| i)
-                .expect("non-empty set");
-            let victim = set.swap_remove(victim_idx);
-            self.stats.record_eviction(victim.dirty);
-            outcome.evicted = Some(victim.line);
-            outcome.writeback = victim.dirty;
-        }
-        set.push(Way {
-            line,
-            dirty,
-            last_used: clock,
-        });
-        outcome
     }
 
     /// Whether a line is currently resident (does not update LRU state or
     /// statistics).
+    #[inline]
     pub fn contains_line(&self, line: u64) -> bool {
-        let set_idx = self.config.set_of(line) as usize;
-        self.sets[set_idx].iter().any(|w| w.line == line)
+        self.find_pos(self.set_base(line), line).is_some()
     }
 
     /// Invalidate a line if present; returns `true` if it was present and
     /// dirty (i.e. an invalidation write-back would be needed).
+    #[inline]
     pub fn invalidate_line(&mut self, line: u64) -> bool {
-        let set_idx = self.config.set_of(line) as usize;
-        let set = &mut self.sets[set_idx];
-        if let Some(pos) = set.iter().position(|w| w.line == line) {
-            let way = set.swap_remove(pos);
-            way.dirty
-        } else {
-            false
+        let base = self.set_base(line);
+        match self.find_pos(base, line) {
+            Some(pos) => {
+                let was_dirty = self.lines[base + pos] & DIRTY_BIT != 0;
+                // Remove the way, keeping the rest of the recency order and
+                // restoring the empties-as-suffix invariant.
+                let last = base + self.assoc - 1;
+                self.lines.copy_within(base + pos + 1..last + 1, base + pos);
+                self.lines[last] = INVALID_LINE;
+                was_dirty
+            }
+            None => false,
         }
     }
 }

@@ -10,10 +10,11 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use ccs_dag::Computation;
+use ccs_dag::Dag;
 use ccs_runtime::{join, Policy, ThreadPool};
 use ccs_sched::spec::{format_spec, parse_spec, SpecParseError};
 use ccs_sched::SchedulerSpec;
-use ccs_sim::{simulate, CmpConfig};
+use ccs_sim::{simulate_with_engine, CmpConfig, SimEngine};
 use ccs_workloads::{Benchmark, BuildCtx, UnknownWorkload, WorkloadRegistry};
 
 use crate::report::{Report, RunRecord};
@@ -278,6 +279,7 @@ pub struct Experiment {
     quick: bool,
     baseline: bool,
     parallelism: usize,
+    engine: SimEngine,
 }
 
 impl Experiment {
@@ -294,6 +296,7 @@ impl Experiment {
             quick: false,
             baseline: true,
             parallelism: 1,
+            engine: SimEngine::default(),
         }
     }
 
@@ -308,6 +311,7 @@ impl Experiment {
             quick: false,
             baseline: true,
             parallelism: 1,
+            engine: SimEngine::default(),
         }
     }
 
@@ -414,6 +418,15 @@ impl Experiment {
         self
     }
 
+    /// Select the simulator engine (default: the event-driven production
+    /// engine).  [`SimEngine::Reference`] runs the retained cycle-stepper —
+    /// metrics-identical but much slower; the bench harness uses it to
+    /// measure the event-driven speedup.
+    pub fn engine(mut self, engine: SimEngine) -> Experiment {
+        self.engine = engine;
+        self
+    }
+
     /// The scale divisor runs will actually use (after `quick` clamping).
     pub fn effective_scale(&self) -> u64 {
         effective_scale(self.scale, self.quick)
@@ -453,16 +466,22 @@ impl Experiment {
         let run_point = |workload: &WorkloadSpec, config: &CmpConfig| -> Vec<RunRecord> {
             let scaled = config.scaled(scale);
             let comp = workload.build(scale, scaled.l2.capacity, config.num_cores);
+            // One DAG per point: the sequential baseline and every
+            // scheduler simulate the same computation.
+            let dag = Dag::from_computation(&comp);
             let sequential = self.baseline.then(|| {
                 let mut seq_cfg = scaled.clone();
                 seq_cfg.num_cores = 1;
                 seq_cfg.name = format!("{}-seq", scaled.name);
-                simulate(&comp, &seq_cfg, "pdf")
+                let mut sched = SchedulerSpec::new("pdf").build();
+                simulate_with_engine(&comp, &dag, &seq_cfg, sched.as_mut(), self.engine)
             });
             schedulers
                 .iter()
                 .map(|spec| {
-                    let result = simulate(&comp, &scaled, spec);
+                    let mut sched = spec.build();
+                    let result =
+                        simulate_with_engine(&comp, &dag, &scaled, sched.as_mut(), self.engine);
                     RunRecord::from_sim(workload.label(), spec, &result, sequential.as_ref())
                 })
                 .collect()

@@ -6,6 +6,7 @@
 use std::path::PathBuf;
 
 use ccs_sched::spec::split_spec_list;
+use ccs_sim::SimEngine;
 use ccs_workloads::{Benchmark, UnknownWorkload, WorkloadRegistry};
 
 use crate::{Experiment, WorkloadSpec};
@@ -30,6 +31,12 @@ use crate::{Experiment, WorkloadSpec};
 ///   per available core, the default (1) is sequential;
 /// * `--json PATH` — additionally write the run's [`Report`](crate::Report)
 ///   as JSON to `PATH` (`-` for stdout);
+/// * `--engine event|reference` — select the simulator engine (default: the
+///   event-driven production engine; `reference` runs the retained
+///   cycle-stepper, metrics-identical but much slower);
+/// * `--bench` — benchmark mode: `run_all` substitutes the timed
+///   `ccs-bench` harness for its normal sweeps and emits `BENCH_sim.json`
+///   (other binaries ignore the flag);
 /// * binary-specific flags are collected in [`Options::rest`].
 #[derive(Clone, Debug)]
 pub struct Options {
@@ -48,6 +55,11 @@ pub struct Options {
     /// Where to write the JSON report, if requested (`--json PATH`, `-` for
     /// stdout).
     pub json: Option<PathBuf>,
+    /// Simulator engine selection (`--engine event|reference`).
+    pub engine: SimEngine,
+    /// Benchmark mode (`--bench`): `run_all` runs the timed harness and
+    /// emits `BENCH_sim.json` instead of the plain sweeps.
+    pub bench: bool,
     /// Remaining unrecognised flags (binary-specific).
     pub rest: Vec<String>,
 }
@@ -61,6 +73,8 @@ impl Default for Options {
             workloads: Vec::new(),
             parallel: 1,
             json: None,
+            engine: SimEngine::default(),
+            bench: false,
             rest: Vec::new(),
         }
     }
@@ -121,6 +135,13 @@ impl Options {
                     let v = iter.next().expect("--json requires a path (or '-')");
                     opts.json = Some(PathBuf::from(v));
                 }
+                "--engine" => {
+                    let v = iter
+                        .next()
+                        .expect("--engine requires a value (event|reference)");
+                    opts.engine = v.parse().unwrap_or_else(|e| panic!("--engine: {e}"));
+                }
+                "--bench" => opts.bench = true,
                 other => opts.rest.push(other.to_string()),
             }
         }
@@ -182,6 +203,7 @@ impl Options {
             .scale(self.scale)
             .quick(self.quick)
             .parallelism(self.parallel)
+            .engine(self.engine)
     }
 
     /// Whether `--json -` directed the JSON report to stdout (in which case
@@ -264,6 +286,25 @@ mod tests {
         assert_eq!(o.parallel, 1);
         assert_eq!(o.effective_scale(), 32);
         assert_eq!(o.json, None);
+        assert_eq!(o.engine, SimEngine::EventDriven);
+        assert!(!o.bench);
+    }
+
+    #[test]
+    fn engine_and_bench_flags() {
+        let o = Options::parse(
+            ["--engine", "reference", "--bench"]
+                .into_iter()
+                .map(String::from),
+        );
+        assert_eq!(o.engine, SimEngine::Reference);
+        assert!(o.bench);
+        assert!(o.rest.is_empty());
+
+        let bad = std::panic::catch_unwind(|| {
+            Options::parse(["--engine", "quantum"].into_iter().map(String::from))
+        });
+        assert!(bad.is_err(), "unknown engine must be rejected");
     }
 
     #[test]

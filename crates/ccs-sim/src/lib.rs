@@ -8,9 +8,12 @@
 //!   configurations plus the Fig. 4 / Fig. 5 sensitivity overrides;
 //! * [`area`] — the ITRS-style area/latency model that derives those design
 //!   points from a 240 mm² die budget;
-//! * [`simulate`] / [`simulate_with`] — the cycle-level, trace-driven CMP
+//! * [`simulate`] / [`simulate_with`] — the event-driven, trace-based CMP
 //!   simulator (in-order cores, private L1s, shared L2, bounded off-chip
 //!   bandwidth) driven by any [`ccs_sched::Scheduler`];
+//! * [`SimEngine`] / [`simulate_engine`] — engine selection: the fast
+//!   event-driven core (default) or the retained reference cycle-stepper,
+//!   which are metrics-identical by construction;
 //! * [`SimResult`] — execution time, L2 misses per 1000 instructions,
 //!   bandwidth utilisation and the other metrics the paper reports.
 //!
@@ -46,8 +49,9 @@ pub mod area;
 pub mod config;
 pub mod machine;
 pub mod metrics;
+mod reference;
 
 pub use area::Technology;
 pub use config::CmpConfig;
-pub use machine::{simulate, simulate_with};
+pub use machine::{simulate, simulate_engine, simulate_with, simulate_with_engine, SimEngine};
 pub use metrics::SimResult;

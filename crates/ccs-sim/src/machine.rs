@@ -1,4 +1,4 @@
-//! The trace-driven, cycle-level CMP simulator (Section 4.1).
+//! The trace-driven, event-driven CMP simulator (Section 4.1).
 //!
 //! The machine model follows Table 1: single-threaded in-order scalar cores
 //! (one instruction per cycle), private L1 caches, a shared L2, and an
@@ -19,21 +19,86 @@
 //!    accepts at most one request per `service_interval` cycles (queueing
 //!    delay) and returns data `latency` cycles after accepting it.
 //!
+//! # Engines
+//!
+//! Two engines implement this model (selected by [`SimEngine`]):
+//!
+//! * the **event-driven** production engine (this module): a min-heap of
+//!   `(ready_time, core)` events orders the cores, and the core at the head
+//!   keeps executing micro-steps *inline* — jumping its local clock forward
+//!   over compute runs and L1 hits — for as long as it remains the globally
+//!   earliest event.  The heap is only touched when another core's pending
+//!   event sorts first, so the common case (a core streaming through L1
+//!   hits, or any single-core run) costs zero heap traffic.  Stores
+//!   invalidate remote L1 copies through a [`LineDirectory`] in `O(sharers)`
+//!   instead of broadcasting to all `p` L1s;
+//! * the **reference** cycle-stepper (`reference` module): the seed loop,
+//!   one heap round-trip per micro-step and a broadcast per store, retained
+//!   as the executable specification.
+//!
+//! The two engines are *metrics-identical* — same cycles, same hit/miss/
+//! eviction counts — for every computation, configuration and scheduler;
+//! see DESIGN.md §7 for the argument and `tests/engine_equivalence.rs` for
+//! the property pinning it.
+//!
 //! Simplifications (documented in DESIGN.md): misses allocate immediately
 //! (no MSHR modelling), the L2 is not strictly inclusive of the L1s, and
 //! coherence is modelled as write-invalidation of remote L1 copies with no
 //! timing cost.  These choices do not affect the L2 miss counts that drive
 //! the paper's results.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
-use ccs_cache::{MainMemory, SetAssocCache};
+use ccs_cache::directory::MAX_DIRECTORY_CORES;
+use ccs_cache::{LineDirectory, MainMemory, SetAssocCache};
 use ccs_dag::{AccessKind, Computation, Dag, TaskId};
 use ccs_sched::{Scheduler, SchedulerSpec};
 
 use crate::config::CmpConfig;
 use crate::metrics::SimResult;
+
+/// Which simulator engine to run.
+///
+/// Both engines implement the identical machine model and report identical
+/// metrics; they differ only in wall-clock cost.  The CLI form (accepted by
+/// `--engine`) is `"event"` / `"reference"`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SimEngine {
+    /// The production engine: event-heap time jumps, inline micro-step
+    /// batching, directory-based invalidation.
+    #[default]
+    EventDriven,
+    /// The retained seed loop: one heap round-trip per micro-step, broadcast
+    /// invalidation.  Slow; kept as the executable specification for
+    /// equivalence tests and as a `--engine reference` escape hatch.
+    Reference,
+}
+
+impl SimEngine {
+    /// The CLI name (`"event"` / `"reference"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SimEngine::EventDriven => "event",
+            SimEngine::Reference => "reference",
+        }
+    }
+}
+
+impl std::fmt::Display for SimEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for SimEngine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<SimEngine, String> {
+        match s {
+            "event" | "event-driven" => Ok(SimEngine::EventDriven),
+            "reference" | "ref" | "cycle-stepped" => Ok(SimEngine::Reference),
+            other => Err(format!("unknown engine {other:?} (event|reference)")),
+        }
+    }
+}
 
 /// What a core is currently doing.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -47,7 +112,7 @@ enum Phase {
     MemFill { line: u64, is_write: bool },
 }
 
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 struct Core {
     task: Option<TaskId>,
     /// Index of the current trace op.
@@ -75,9 +140,24 @@ impl Core {
             busy: 0,
         }
     }
+
+    /// Advance past the line just serviced, moving to the next line of the
+    /// same reference or to the next op.
+    fn advance_line(&mut self, trace: &ccs_dag::TaskTrace, line_size: u64) {
+        let op = &trace.ops()[self.op_idx];
+        let first_line = op.mem.addr & !(line_size - 1);
+        let last_line = (op.mem.addr + op.mem.size.max(1) as u64 - 1) & !(line_size - 1);
+        let num_lines = (last_line - first_line) / line_size + 1;
+        self.line_idx += 1;
+        if self.line_idx >= num_lines {
+            self.line_idx = 0;
+            self.op_idx += 1;
+        }
+    }
 }
 
-/// Run `comp` on the CMP described by `config` under the selected scheduler.
+/// Run `comp` on the CMP described by `config` under the selected scheduler,
+/// using the default (event-driven) engine.
 ///
 /// The scheduler is resolved through the [global
 /// registry](ccs_sched::SchedulerRegistry::global): pass a
@@ -88,14 +168,61 @@ pub fn simulate(
     config: &CmpConfig,
     sched: impl Into<SchedulerSpec>,
 ) -> SimResult {
+    simulate_engine(comp, config, sched, SimEngine::default())
+}
+
+/// [`simulate`], with an explicit engine choice.
+pub fn simulate_engine(
+    comp: &Computation,
+    config: &CmpConfig,
+    sched: impl Into<SchedulerSpec>,
+    engine: SimEngine,
+) -> SimResult {
     let dag = Dag::from_computation(comp);
     let mut sched = sched.into().build();
-    simulate_with(comp, &dag, config, sched.as_mut())
+    simulate_with_engine(comp, &dag, config, sched.as_mut(), engine)
 }
 
 /// Run `comp` (with its pre-built `dag`) under an externally constructed
-/// scheduler.
+/// scheduler, using the default (event-driven) engine.
 pub fn simulate_with(
+    comp: &Computation,
+    dag: &Dag,
+    config: &CmpConfig,
+    sched: &mut dyn Scheduler,
+) -> SimResult {
+    simulate_with_engine(comp, dag, config, sched, SimEngine::default())
+}
+
+/// [`simulate_with`], with an explicit engine choice.
+pub fn simulate_with_engine(
+    comp: &Computation,
+    dag: &Dag,
+    config: &CmpConfig,
+    sched: &mut dyn Scheduler,
+    engine: SimEngine,
+) -> SimResult {
+    match engine {
+        SimEngine::EventDriven => event_driven(comp, dag, config, sched),
+        SimEngine::Reference => crate::reference::simulate_reference(comp, dag, config, sched),
+    }
+}
+
+/// The event-driven production engine.
+///
+/// Ordering invariant: micro-steps are applied in exactly the ascending
+/// `(time, core)` order of the reference cycle-stepper.  Pending events
+/// live in a flat `next_time` array (one slot per core, `u64::MAX` = no
+/// event) — at `p ≤ 32` cores a linear argmin beats a binary heap and,
+/// more importantly, makes the continuation check a single comparison: the
+/// running core keeps stepping inline while `(core.time, core_id)` sorts
+/// before the earliest *other* pending event, which cannot change while
+/// that core runs (other cores only mutate state when they themselves are
+/// stepped).  That is precisely the condition under which the reference
+/// would pop this same continuation event next, so shared state (L2,
+/// memory controller, remote-L1 invalidations) is touched in an identical
+/// sequence and the two engines are metrics-identical by construction.
+fn event_driven(
     comp: &Computation,
     dag: &Dag,
     config: &CmpConfig,
@@ -113,6 +240,12 @@ pub fn simulate_with(
     let mut l1s: Vec<SetAssocCache> = (0..p).map(|_| SetAssocCache::new(config.l1)).collect();
     let mut l2 = SetAssocCache::new(config.l2);
     let mut memory = MainMemory::new(config.memory);
+    // Line-ownership directory: stores invalidate only the L1s that may
+    // hold a copy (`O(sharers)`), instead of broadcasting to all `p`.  A
+    // single core has no remote copies to invalidate, and a machine wider
+    // than the sharer mask falls back to the broadcast — both keep metrics
+    // identical (invalidating a non-resident line is a no-op).
+    let mut directory = (p > 1 && p <= MAX_DIRECTORY_CORES).then(|| LineDirectory::new(p));
 
     let mut cores: Vec<Core> = (0..p).map(|_| Core::new()).collect();
     let mut in_deg: Vec<u32> = (0..n as u32)
@@ -131,9 +264,12 @@ pub fn simulate_with(
         sched.task_enabled(r, None);
     }
 
-    // Cores with work in flight, keyed by (time, core id) for deterministic
-    // ordering.  Idle cores are tracked separately and woken on completions.
-    let mut active: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    /// No pending event for this core.
+    const IDLE: u64 = u64::MAX;
+
+    // Pending events: next_time[c] is when core c needs attention (IDLE =
+    // none).  Idle cores are tracked separately and woken on completions.
+    let mut next_time: Vec<u64> = vec![IDLE; p];
     let mut idle: Vec<usize> = Vec::new();
 
     // Dispatch as much ready work as possible at `now`, preferring `first`.
@@ -143,7 +279,7 @@ pub fn simulate_with(
         sched: &mut dyn Scheduler,
         cores: &mut [Core],
         idle: &mut Vec<usize>,
-        active: &mut BinaryHeap<Reverse<(u64, usize)>>,
+        next_time: &mut [u64],
     ) {
         idle.sort_unstable();
         if let Some(f) = first {
@@ -168,7 +304,7 @@ pub fn simulate_with(
                     core.phase = Phase::NextOp;
                     core.time = now;
                     core.task_started = now;
-                    active.push(Reverse((now, core_id)));
+                    next_time[core_id] = now;
                 }
                 None => {
                     i += 1;
@@ -177,117 +313,244 @@ pub fn simulate_with(
         }
     }
 
+    /// Earliest and second-earliest pending `(time, core)` in one scan.
+    /// Cores are visited in id order with strict `<`, so ties resolve to
+    /// the lowest core id — the same order the reference's `(time, core)`
+    /// min-heap pops.  Returns `((IDLE, usize::MAX), ..)` entries when
+    /// fewer than two events are pending.
+    fn earliest2(next_time: &[u64]) -> ((u64, usize), (u64, usize)) {
+        let (mut best_t, mut best_c) = (IDLE, usize::MAX);
+        let (mut run_t, mut run_c) = (IDLE, usize::MAX);
+        for (c, &t) in next_time.iter().enumerate() {
+            if t == IDLE {
+                continue;
+            }
+            if t < best_t {
+                (run_t, run_c) = (best_t, best_c);
+                (best_t, best_c) = (t, c);
+            } else if t < run_t {
+                (run_t, run_c) = (t, c);
+            }
+        }
+        ((best_t, best_c), (run_t, run_c))
+    }
+
     // Initial dispatch at time 0.
     idle.extend(0..p);
-    dispatch(0, None, sched, &mut cores, &mut idle, &mut active);
+    dispatch(0, None, sched, &mut cores, &mut idle, &mut next_time);
 
+    // The reference also folds every popped event time into the makespan,
+    // but a core's event times never exceed the finish time of the task it
+    // is running, so max-over-finishes is the same value.
     let mut makespan = 0u64;
+    // Scratch for newly enabled successors, reused across completions.
+    let mut newly: Vec<TaskId> = Vec::new();
 
     while completed < n {
-        let Reverse((now, core_id)) = active
-            .pop()
-            .expect("simulator deadlock: tasks remain but no core is active");
-        makespan = makespan.max(now);
-        let core = &mut cores[core_id];
-        debug_assert_eq!(core.time, now);
+        // One scan finds both the core to run and the earliest event any
+        // *other* core holds.  The latter is frozen for the whole inline
+        // run: other cores' times only change when they are stepped, and
+        // dispatch only runs at this core's task completion (which ends
+        // the run).  `(yt, yc)` = "yield to core `yc` at time `yt`";
+        // `IDLE`/`usize::MAX` when this core is alone.
+        let ((now, core_id), (yt, yc)) = earliest2(&next_time);
+        assert!(
+            core_id != usize::MAX,
+            "simulator deadlock: tasks remain but no core is active"
+        );
+        next_time[core_id] = IDLE;
+        debug_assert_eq!(cores[core_id].time, now);
+        // Hoisted per run: the core state lives in a local (register-
+        // resident, written back on exit), the task's trace is resolved
+        // once (the task cannot change mid-run), and this core's L1 is
+        // split out of the slice so probes skip the per-call indexing.
+        let mut core = cores[core_id];
         let task_id = core.task.expect("active core without a task");
         let trace = &comp.task(task_id).trace;
+        let ops = trace.ops();
+        let (l1s_below, rest) = l1s.split_at_mut(core_id);
+        let (my_l1, l1s_above) = rest.split_first_mut().expect("core id in range");
 
-        match core.phase {
-            Phase::NextOp => {
-                if core.op_idx < trace.ops().len() {
-                    let op = &trace.ops()[core.op_idx];
-                    if core.line_idx == 0 {
-                        // Charge the compute preceding this reference once.
-                        core.time += op.pre_compute as u64;
+        // Yield check: does `(yt, yc)` sort before this core at `time`?
+        macro_rules! yields {
+            ($time:expr) => {
+                yt < $time || (yt == $time && yc < core_id)
+            };
+        }
+        // An L2 hit or a returning memory fill: install the line in this
+        // core's L1 and move on to the next line of the op.  The miss
+        // already allocated the line at the MRU position with the right
+        // dirty bit, and this core makes no other L1 accesses while
+        // blocked, so the fill is a state no-op *unless* a remote store
+        // invalidated the line in flight.  For the in-flight line the
+        // directory is exact (stale bits only arise from evictions, and a
+        // blocked core evicts nothing), so `holds` decides; with one core
+        // no remote store exists at all.  Only the >64-core broadcast
+        // fallback still has to re-probe unconditionally.
+        macro_rules! fill_and_advance {
+            ($line:expr, $is_write:expr) => {
+                match directory.as_mut() {
+                    Some(dir) => {
+                        if !dir.holds($line, core_id) {
+                            my_l1.fill_line($line, $is_write);
+                            dir.insert($line, core_id);
+                        }
                     }
-                    let first_line = op.mem.addr & !(line_size - 1);
-                    let last_line =
-                        (op.mem.addr + op.mem.size.max(1) as u64 - 1) & !(line_size - 1);
-                    let num_lines = (last_line - first_line) / line_size + 1;
-                    let line = first_line + core.line_idx * line_size;
-                    let is_write = op.mem.kind.is_write();
-                    // L1 probe (always pays the L1 hit latency).
-                    core.time += config.l1.hit_latency;
-                    let l1_hit = l1s[core_id].access_line(line, op.mem.kind).hit;
-                    if is_write {
-                        // Write-invalidate the line in every other L1.
-                        for (other, l1) in l1s.iter_mut().enumerate() {
-                            if other != core_id {
+                    None if p == 1 => {}
+                    None => {
+                        my_l1.fill_line($line, $is_write);
+                    }
+                }
+                core.advance_line(trace, line_size);
+                core.phase = Phase::NextOp;
+            };
+        }
+
+        // Step this core inline while it remains the globally earliest
+        // event; yield the moment another core sorts first.  The resume
+        // arms (`L2Probe`/`MemFill`) only run after such a yield — on the
+        // all-inline path every phase of a reference is fused into the
+        // `NextOp` arm.
+        loop {
+            match core.phase {
+                Phase::NextOp => {
+                    if core.op_idx < ops.len() {
+                        let op = &ops[core.op_idx];
+                        if core.line_idx == 0 {
+                            // Charge the compute preceding this reference
+                            // once.
+                            core.time += op.pre_compute as u64;
+                        }
+                        let first_line = op.mem.addr & !(line_size - 1);
+                        let last_line =
+                            (op.mem.addr + op.mem.size.max(1) as u64 - 1) & !(line_size - 1);
+                        let num_lines = (last_line - first_line) / line_size + 1;
+                        let line = first_line + core.line_idx * line_size;
+                        let is_write = op.mem.kind.is_write();
+                        // L1 probe (always pays the L1 hit latency).
+                        core.time += config.l1.hit_latency;
+                        let outcome = my_l1.access_line(line, op.mem.kind);
+                        if let Some(dir) = directory.as_mut() {
+                            if !outcome.hit {
+                                // The probe allocated `line`: record the
+                                // copy.  The evicted victim's bit is left
+                                // stale on purpose (see the directory docs).
+                                dir.insert(line, core_id);
+                            }
+                            if is_write {
+                                // Write-invalidate the sharing L1s only.
+                                for other in dir.sharers_except(line, core_id) {
+                                    if other < core_id {
+                                        l1s_below[other].invalidate_line(line);
+                                    } else {
+                                        l1s_above[other - core_id - 1].invalidate_line(line);
+                                    }
+                                }
+                                dir.retain_only(line, core_id);
+                            }
+                        } else if is_write {
+                            // Broadcast fallback (single core, or more cores
+                            // than the directory's sharer mask).
+                            for l1 in l1s_below.iter_mut().chain(l1s_above.iter_mut()) {
                                 l1.invalidate_line(line);
                             }
                         }
-                    }
-                    if l1_hit {
-                        core.line_idx += 1;
-                        if core.line_idx == num_lines {
-                            core.line_idx = 0;
-                            core.op_idx += 1;
+                        if outcome.hit {
+                            core.line_idx += 1;
+                            if core.line_idx == num_lines {
+                                core.line_idx = 0;
+                                core.op_idx += 1;
+                            }
+                            // stay in NextOp
+                        } else {
+                            // L1 miss: the L2 probe resolves after the L2
+                            // hit latency.  Fused fast path — run the probe
+                            // (and, on an L2 miss, the memory fill) right
+                            // now unless another core's event interleaves.
+                            core.time += config.l2.hit_latency;
+                            if yields!(core.time) {
+                                core.phase = Phase::L2Probe { line, is_write };
+                                next_time[core_id] = core.time;
+                                cores[core_id] = core;
+                                break;
+                            }
+                            let kind = op.mem.kind;
+                            if l2.access_line(line, kind).hit {
+                                fill_and_advance!(line, is_write);
+                            } else {
+                                core.time = memory.request(core.time);
+                                if yields!(core.time) {
+                                    core.phase = Phase::MemFill { line, is_write };
+                                    next_time[core_id] = core.time;
+                                    cores[core_id] = core;
+                                    break;
+                                }
+                                fill_and_advance!(line, is_write);
+                            }
                         }
-                        // stay in NextOp
                     } else {
-                        core.phase = Phase::L2Probe { line, is_write };
-                        core.time += config.l2.hit_latency;
-                    }
-                    active.push(Reverse((core.time, core_id)));
-                } else {
-                    // Task body finished: trailing compute, then completion.
-                    core.time += trace.post_compute();
-                    let finish = core.time;
-                    makespan = makespan.max(finish);
-                    core.busy += finish - core.task_started;
-                    core.task = None;
-                    completed += 1;
-                    // Enable newly ready successors in reverse sequential
-                    // order (see the root-enabling comment above).
-                    let mut newly: Vec<TaskId> = Vec::new();
-                    for &s in dag.successors(task_id) {
-                        in_deg[s.index()] -= 1;
-                        if in_deg[s.index()] == 0 {
-                            newly.push(s);
+                        // Task body finished: trailing compute, then
+                        // completion.
+                        core.time += trace.post_compute();
+                        let finish = core.time;
+                        makespan = makespan.max(finish);
+                        core.busy += finish - core.task_started;
+                        core.task = None;
+                        cores[core_id] = core;
+                        completed += 1;
+                        // Enable newly ready successors in reverse sequential
+                        // order (see the root-enabling comment above).
+                        newly.clear();
+                        for &s in dag.successors(task_id) {
+                            in_deg[s.index()] -= 1;
+                            if in_deg[s.index()] == 0 {
+                                newly.push(s);
+                            }
                         }
+                        newly.sort_by_key(|t| std::cmp::Reverse(dag.seq_rank(*t)));
+                        for &s in &newly {
+                            sched.task_enabled(s, Some(core_id));
+                        }
+                        idle.push(core_id);
+                        dispatch(
+                            finish,
+                            Some(core_id),
+                            sched,
+                            &mut cores,
+                            &mut idle,
+                            &mut next_time,
+                        );
+                        // The core went idle (any new task it was handed is
+                        // a fresh pending event): leave the inline loop.
+                        break;
                     }
-                    newly.sort_by_key(|t| std::cmp::Reverse(dag.seq_rank(*t)));
-                    for s in newly {
-                        sched.task_enabled(s, Some(core_id));
+                }
+                Phase::L2Probe { line, is_write } => {
+                    let kind = if is_write {
+                        AccessKind::Write
+                    } else {
+                        AccessKind::Read
+                    };
+                    if l2.access_line(line, kind).hit {
+                        fill_and_advance!(line, is_write);
+                    } else {
+                        core.time = memory.request(core.time);
+                        core.phase = Phase::MemFill { line, is_write };
                     }
-                    idle.push(core_id);
-                    dispatch(
-                        finish,
-                        Some(core_id),
-                        sched,
-                        &mut cores,
-                        &mut idle,
-                        &mut active,
-                    );
+                }
+                Phase::MemFill { line, is_write } => {
+                    fill_and_advance!(line, is_write);
                 }
             }
-            Phase::L2Probe { line, is_write } => {
-                let kind = if is_write {
-                    AccessKind::Write
-                } else {
-                    AccessKind::Read
-                };
-                let hit = l2.access_line(line, kind).hit;
-                if hit {
-                    l1s[core_id].fill_line(line, is_write);
-                    core.advance_line(trace, line_size);
-                    core.phase = Phase::NextOp;
-                    active.push(Reverse((core.time, core_id)));
-                } else {
-                    let done = memory.request(core.time);
-                    core.time = done;
-                    core.phase = Phase::MemFill { line, is_write };
-                    active.push(Reverse((core.time, core_id)));
-                }
-            }
-            Phase::MemFill { line, is_write } => {
-                // Data returned: fill the private L1 (the shared L2 was
-                // already allocated when the miss was detected).
-                l1s[core_id].fill_line(line, is_write);
-                core.advance_line(trace, line_size);
-                core.phase = Phase::NextOp;
-                active.push(Reverse((core.time, core_id)));
+
+            // The core wants to continue at its (possibly advanced) local
+            // time.  If the earliest other pending event now sorts first,
+            // yield to it; otherwise this core is still the globally
+            // earliest event and steps again inline.
+            if yields!(core.time) {
+                next_time[core_id] = core.time;
+                cores[core_id] = core;
+                break;
             }
         }
     }
@@ -310,22 +573,6 @@ pub fn simulate_with(
         core_busy: cores.iter().map(|c| c.busy).collect(),
         tasks: n,
         l2_line_size: line_size,
-    }
-}
-
-impl Core {
-    /// Advance past the line just serviced, moving to the next line of the
-    /// same reference or to the next op.
-    fn advance_line(&mut self, trace: &ccs_dag::TaskTrace, line_size: u64) {
-        let op = &trace.ops()[self.op_idx];
-        let first_line = op.mem.addr & !(line_size - 1);
-        let last_line = (op.mem.addr + op.mem.size.max(1) as u64 - 1) & !(line_size - 1);
-        let num_lines = (last_line - first_line) / line_size + 1;
-        self.line_idx += 1;
-        if self.line_idx >= num_lines {
-            self.line_idx = 0;
-            self.op_idx += 1;
-        }
     }
 }
 
@@ -369,6 +616,28 @@ mod tests {
             })
             .collect();
         let par = b.par(leaves, GroupMeta::labeled("shared"));
+        let comp_root = b.seq(vec![par], GroupMeta::labeled("root"));
+        b.finish(comp_root)
+    }
+
+    /// A computation whose strands interleave writes to a shared array with
+    /// private reads (exercises the invalidation/directory path).
+    fn shared_writers(width: usize, bytes: u64) -> Computation {
+        let mut b = ComputationBuilder::new(128);
+        let mut space = ccs_dag::AddressSpace::new();
+        let region = space.alloc(bytes);
+        let leaves: Vec<_> = (0..width)
+            .map(|_| {
+                let private = space.alloc(bytes);
+                b.strand_with(|t| {
+                    t.read_range(region.base, region.bytes, 2);
+                    t.write_range(region.base, region.bytes / 2, 2);
+                    t.read_range(private.base, private.bytes, 2);
+                    t.write_range(region.base + region.bytes / 2, region.bytes / 2, 2);
+                })
+            })
+            .collect();
+        let par = b.par(leaves, GroupMeta::labeled("writers"));
         let comp_root = b.seq(vec![par], GroupMeta::labeled("root"));
         b.finish(comp_root)
     }
@@ -485,5 +754,33 @@ mod tests {
         let r = simulate(&comp, &cfg, SchedulerKind::WorkStealing);
         assert_eq!(r.tasks, 3);
         assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn engines_agree_on_stream_scenarios() {
+        let scenarios: Vec<(&str, Computation)> = vec![
+            ("disjoint", disjoint_streams(6, 8 * 1024)),
+            ("shared", shared_streams(6, 16 * 1024)),
+            ("writers", shared_writers(6, 8 * 1024)),
+        ];
+        for (name, comp) in &scenarios {
+            for cores in [1usize, 2, 4] {
+                for kind in [SchedulerKind::Pdf, SchedulerKind::WorkStealing] {
+                    let cfg = tiny_config(cores, 128);
+                    let fast = simulate_engine(comp, &cfg, kind, SimEngine::EventDriven);
+                    let slow = simulate_engine(comp, &cfg, kind, SimEngine::Reference);
+                    assert_eq!(fast, slow, "{name}/{kind}/{cores} cores");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engine_parses_and_prints() {
+        assert_eq!("event".parse::<SimEngine>(), Ok(SimEngine::EventDriven));
+        assert_eq!("reference".parse::<SimEngine>(), Ok(SimEngine::Reference));
+        assert_eq!(SimEngine::default(), SimEngine::EventDriven);
+        assert_eq!(SimEngine::Reference.to_string(), "reference");
+        assert!("quantum".parse::<SimEngine>().is_err());
     }
 }

@@ -3,7 +3,12 @@
 use ccs_cache::{CacheStats, MemoryStats};
 
 /// The outcome of one trace-driven CMP simulation.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` compares every field exactly (simulations are deterministic,
+/// so even the derived `f64` metrics match bit-for-bit between runs); the
+/// engine-equivalence tests rely on this to pin the event-driven core to the
+/// reference cycle-stepper.
+#[derive(Clone, Debug, PartialEq)]
 pub struct SimResult {
     /// Configuration name (e.g. `"default-16"`).
     pub config_name: String,

@@ -1,0 +1,435 @@
+//! The retained reference cycle-stepper.
+//!
+//! This is the seed implementation of the simulator, kept verbatim as the
+//! executable specification of the machine model: every micro-step of
+//! every core goes through the event heap (one push + one pop per step),
+//! stores broadcast their invalidation to every other private L1, and the
+//! caches use the seed's storage ([`RefCache`]: one `Vec` of ways per set,
+//! division-based set indexing) rather than the optimised flat layout in
+//! `ccs-cache`.
+//!
+//! The production engine (`machine::event_driven`) must report *identical*
+//! metrics — same cycles, same hit/miss/eviction counts, same bandwidth
+//! utilisation — for every computation, configuration and scheduler.  That
+//! equivalence is pinned by unit tests in `machine.rs` and by the property
+//! tests in `tests/engine_equivalence.rs`; select this engine explicitly
+//! with [`SimEngine::Reference`](crate::SimEngine) (CLI: `--engine
+//! reference`).  Because the whole seed stack is retained, the
+//! `speedup_vs_reference` the bench harness records measures the full
+//! effect of the event-driven rework (inline batching + ownership
+//! directory + cache layout) against the seed.
+//!
+//! Do not optimise this module: its value is being the simple, obviously-
+//! correct implementation the fast engine is checked against.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use ccs_cache::{AccessOutcome, CacheConfig, CacheStats, MainMemory};
+use ccs_dag::{AccessKind, Computation, Dag, TaskId};
+use ccs_sched::Scheduler;
+
+use crate::config::CmpConfig;
+use crate::metrics::SimResult;
+
+/// The seed's set-associative cache, retained verbatim: per-set `Vec`s of
+/// ways, true-LRU via a monotonic clock, write-back/write-allocate.  Hit,
+/// miss, eviction and write-back decisions are definitionally identical to
+/// [`ccs_cache::SetAssocCache`] (pinned by the engine-equivalence tests).
+struct RefCache {
+    config: CacheConfig,
+    sets: Vec<Vec<RefWay>>,
+    stats: CacheStats,
+    clock: u64,
+}
+
+#[derive(Clone, Copy)]
+struct RefWay {
+    line: u64,
+    dirty: bool,
+    /// Monotonic timestamp of the last access; smallest = LRU victim.
+    last_used: u64,
+}
+
+impl RefCache {
+    fn new(config: CacheConfig) -> Self {
+        config.validate().expect("invalid cache configuration");
+        let sets =
+            vec![Vec::with_capacity(config.associativity as usize); config.num_sets() as usize];
+        RefCache {
+            config,
+            sets,
+            stats: CacheStats::default(),
+            clock: 0,
+        }
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn access_line(&mut self, line: u64, kind: AccessKind) -> AccessOutcome {
+        debug_assert_eq!(
+            line % self.config.line_size,
+            0,
+            "address must be line-aligned"
+        );
+        self.clock += 1;
+        let clock = self.clock;
+        let is_write = kind.is_write();
+        let set_idx = self.config.set_of(line) as usize;
+        let assoc = self.config.associativity as usize;
+        let set = &mut self.sets[set_idx];
+
+        if let Some(way) = set.iter_mut().find(|w| w.line == line) {
+            way.last_used = clock;
+            way.dirty |= is_write;
+            self.stats.record(true, is_write);
+            return AccessOutcome {
+                hit: true,
+                evicted: None,
+                writeback: false,
+            };
+        }
+
+        // Miss: allocate, evicting the LRU way if the set is full.
+        self.stats.record(false, is_write);
+        let mut outcome = AccessOutcome {
+            hit: false,
+            evicted: None,
+            writeback: false,
+        };
+        if set.len() == assoc {
+            let victim_idx = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.last_used)
+                .map(|(i, _)| i)
+                .expect("non-empty set");
+            let victim = set.swap_remove(victim_idx);
+            self.stats.record_eviction(victim.dirty);
+            outcome.evicted = Some(victim.line);
+            outcome.writeback = victim.dirty;
+        }
+        set.push(RefWay {
+            line,
+            dirty: is_write,
+            last_used: clock,
+        });
+        outcome
+    }
+
+    fn fill_line(&mut self, line: u64, dirty: bool) {
+        self.clock += 1;
+        let clock = self.clock;
+        let set_idx = self.config.set_of(line) as usize;
+        let assoc = self.config.associativity as usize;
+        let set = &mut self.sets[set_idx];
+        if let Some(way) = set.iter_mut().find(|w| w.line == line) {
+            way.last_used = clock;
+            way.dirty |= dirty;
+            return;
+        }
+        if set.len() == assoc {
+            let victim_idx = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.last_used)
+                .map(|(i, _)| i)
+                .expect("non-empty set");
+            let victim = set.swap_remove(victim_idx);
+            self.stats.record_eviction(victim.dirty);
+        }
+        set.push(RefWay {
+            line,
+            dirty,
+            last_used: clock,
+        });
+    }
+
+    fn invalidate_line(&mut self, line: u64) -> bool {
+        let set_idx = self.config.set_of(line) as usize;
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|w| w.line == line) {
+            let way = set.swap_remove(pos);
+            way.dirty
+        } else {
+            false
+        }
+    }
+}
+
+/// What a core is currently doing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    /// Ready to start (or continue) the current op of the current task.
+    NextOp,
+    /// An L1 miss is probing the shared L2; resolves at the core's `time`.
+    L2Probe { line: u64, is_write: bool },
+    /// An L2 miss is waiting for main memory; data arrives at the core's
+    /// `time`.
+    MemFill { line: u64, is_write: bool },
+}
+
+#[derive(Clone, Debug)]
+struct Core {
+    task: Option<TaskId>,
+    /// Index of the current trace op.
+    op_idx: usize,
+    /// Index of the current line within the current op (for references that
+    /// straddle cache lines).
+    line_idx: u64,
+    phase: Phase,
+    /// The next simulation time this core needs attention.
+    time: u64,
+    /// When the current task was dispatched.
+    task_started: u64,
+    busy: u64,
+}
+
+impl Core {
+    fn new() -> Self {
+        Core {
+            task: None,
+            op_idx: 0,
+            line_idx: 0,
+            phase: Phase::NextOp,
+            time: 0,
+            task_started: 0,
+            busy: 0,
+        }
+    }
+
+    /// Advance past the line just serviced, moving to the next line of the
+    /// same reference or to the next op.
+    fn advance_line(&mut self, trace: &ccs_dag::TaskTrace, line_size: u64) {
+        let op = &trace.ops()[self.op_idx];
+        let first_line = op.mem.addr & !(line_size - 1);
+        let last_line = (op.mem.addr + op.mem.size.max(1) as u64 - 1) & !(line_size - 1);
+        let num_lines = (last_line - first_line) / line_size + 1;
+        self.line_idx += 1;
+        if self.line_idx >= num_lines {
+            self.line_idx = 0;
+            self.op_idx += 1;
+        }
+    }
+}
+
+/// Run `comp` (with its pre-built `dag`) through the reference cycle-stepper.
+pub(crate) fn simulate_reference(
+    comp: &Computation,
+    dag: &Dag,
+    config: &CmpConfig,
+    sched: &mut dyn Scheduler,
+) -> SimResult {
+    let p = config.num_cores;
+    assert!(p > 0, "need at least one core");
+    let n = comp.num_tasks();
+    let line_size = config.l2.line_size;
+    assert_eq!(
+        config.l1.line_size, line_size,
+        "L1 and L2 must use the same line size"
+    );
+
+    let mut l1s: Vec<RefCache> = (0..p).map(|_| RefCache::new(config.l1)).collect();
+    let mut l2 = RefCache::new(config.l2);
+    let mut memory = MainMemory::new(config.memory);
+
+    let mut cores: Vec<Core> = (0..p).map(|_| Core::new()).collect();
+    let mut in_deg: Vec<u32> = (0..n as u32)
+        .map(|t| dag.in_degree(TaskId(t)) as u32)
+        .collect();
+    let mut completed = 0usize;
+
+    sched.init(dag, p);
+    // Roots and newly-ready siblings are enabled in *reverse* sequential
+    // order so deque-based schedulers, which push each enabled task on top,
+    // end up with the earliest-sequential task on top (the order a work-first
+    // fork-join runtime reaches them).
+    let mut roots: Vec<TaskId> = dag.sources();
+    roots.sort_by_key(|t| std::cmp::Reverse(dag.seq_rank(*t)));
+    for r in roots {
+        sched.task_enabled(r, None);
+    }
+
+    // Cores with work in flight, keyed by (time, core id) for deterministic
+    // ordering.  Idle cores are tracked separately and woken on completions.
+    let mut active: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    let mut idle: Vec<usize> = Vec::new();
+
+    // Dispatch as much ready work as possible at `now`, preferring `first`.
+    fn dispatch(
+        now: u64,
+        first: Option<usize>,
+        sched: &mut dyn Scheduler,
+        cores: &mut [Core],
+        idle: &mut Vec<usize>,
+        active: &mut BinaryHeap<Reverse<(u64, usize)>>,
+    ) {
+        idle.sort_unstable();
+        if let Some(f) = first {
+            if let Some(pos) = idle.iter().position(|&c| c == f) {
+                idle.remove(pos);
+                idle.insert(0, f);
+            }
+        }
+        let mut i = 0;
+        while i < idle.len() {
+            if sched.ready_count() == 0 {
+                break;
+            }
+            let core_id = idle[i];
+            match sched.next_task(core_id) {
+                Some(task) => {
+                    idle.remove(i);
+                    let core = &mut cores[core_id];
+                    core.task = Some(task);
+                    core.op_idx = 0;
+                    core.line_idx = 0;
+                    core.phase = Phase::NextOp;
+                    core.time = now;
+                    core.task_started = now;
+                    active.push(Reverse((now, core_id)));
+                }
+                None => {
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    // Initial dispatch at time 0.
+    idle.extend(0..p);
+    dispatch(0, None, sched, &mut cores, &mut idle, &mut active);
+
+    let mut makespan = 0u64;
+
+    while completed < n {
+        let Reverse((now, core_id)) = active
+            .pop()
+            .expect("simulator deadlock: tasks remain but no core is active");
+        makespan = makespan.max(now);
+        let core = &mut cores[core_id];
+        debug_assert_eq!(core.time, now);
+        let task_id = core.task.expect("active core without a task");
+        let trace = &comp.task(task_id).trace;
+
+        match core.phase {
+            Phase::NextOp => {
+                if core.op_idx < trace.ops().len() {
+                    let op = &trace.ops()[core.op_idx];
+                    if core.line_idx == 0 {
+                        // Charge the compute preceding this reference once.
+                        core.time += op.pre_compute as u64;
+                    }
+                    let first_line = op.mem.addr & !(line_size - 1);
+                    let last_line =
+                        (op.mem.addr + op.mem.size.max(1) as u64 - 1) & !(line_size - 1);
+                    let num_lines = (last_line - first_line) / line_size + 1;
+                    let line = first_line + core.line_idx * line_size;
+                    let is_write = op.mem.kind.is_write();
+                    // L1 probe (always pays the L1 hit latency).
+                    core.time += config.l1.hit_latency;
+                    let l1_hit = l1s[core_id].access_line(line, op.mem.kind).hit;
+                    if is_write {
+                        // Write-invalidate the line in every other L1.
+                        for (other, l1) in l1s.iter_mut().enumerate() {
+                            if other != core_id {
+                                l1.invalidate_line(line);
+                            }
+                        }
+                    }
+                    if l1_hit {
+                        core.line_idx += 1;
+                        if core.line_idx == num_lines {
+                            core.line_idx = 0;
+                            core.op_idx += 1;
+                        }
+                        // stay in NextOp
+                    } else {
+                        core.phase = Phase::L2Probe { line, is_write };
+                        core.time += config.l2.hit_latency;
+                    }
+                    active.push(Reverse((core.time, core_id)));
+                } else {
+                    // Task body finished: trailing compute, then completion.
+                    core.time += trace.post_compute();
+                    let finish = core.time;
+                    makespan = makespan.max(finish);
+                    core.busy += finish - core.task_started;
+                    core.task = None;
+                    completed += 1;
+                    // Enable newly ready successors in reverse sequential
+                    // order (see the root-enabling comment above).
+                    let mut newly: Vec<TaskId> = Vec::new();
+                    for &s in dag.successors(task_id) {
+                        in_deg[s.index()] -= 1;
+                        if in_deg[s.index()] == 0 {
+                            newly.push(s);
+                        }
+                    }
+                    newly.sort_by_key(|t| std::cmp::Reverse(dag.seq_rank(*t)));
+                    for s in newly {
+                        sched.task_enabled(s, Some(core_id));
+                    }
+                    idle.push(core_id);
+                    dispatch(
+                        finish,
+                        Some(core_id),
+                        sched,
+                        &mut cores,
+                        &mut idle,
+                        &mut active,
+                    );
+                }
+            }
+            Phase::L2Probe { line, is_write } => {
+                let kind = if is_write {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                let hit = l2.access_line(line, kind).hit;
+                if hit {
+                    l1s[core_id].fill_line(line, is_write);
+                    core.advance_line(trace, line_size);
+                    core.phase = Phase::NextOp;
+                    active.push(Reverse((core.time, core_id)));
+                } else {
+                    let done = memory.request(core.time);
+                    core.time = done;
+                    core.phase = Phase::MemFill { line, is_write };
+                    active.push(Reverse((core.time, core_id)));
+                }
+            }
+            Phase::MemFill { line, is_write } => {
+                // Data returned: fill the private L1 (the shared L2 was
+                // already allocated when the miss was detected).
+                l1s[core_id].fill_line(line, is_write);
+                core.advance_line(trace, line_size);
+                core.phase = Phase::NextOp;
+                active.push(Reverse((core.time, core_id)));
+            }
+        }
+    }
+
+    let mut l1_total = ccs_cache::CacheStats::default();
+    for l1 in &l1s {
+        l1_total.merge(l1.stats());
+    }
+
+    SimResult {
+        config_name: config.name.clone(),
+        scheduler: sched.name().to_string(),
+        num_cores: p,
+        cycles: makespan,
+        instructions: comp.total_work(),
+        l1: l1_total,
+        l2: *l2.stats(),
+        memory: *memory.stats(),
+        bandwidth_utilization: memory.utilization(makespan),
+        core_busy: cores.iter().map(|c| c.busy).collect(),
+        tasks: n,
+        l2_line_size: line_size,
+    }
+}

@@ -1,0 +1,80 @@
+//! Property: the event-driven production engine reports **byte-identical**
+//! metrics to the retained reference cycle-stepper.
+//!
+//! Random small series-parallel DAGs (mixed reads/writes over shared and
+//! private regions), both scheduler kinds, 1/2/4 cores: every field of
+//! [`SimResult`] — cycles, every cache counter, memory-controller stats,
+//! per-core busy times, bandwidth utilisation — must match exactly.  This is
+//! the executable form of the DESIGN.md §7 argument that the inline
+//! micro-step batching and the ownership directory are pure reorderings of
+//! unobservable work.
+
+use ccs_dag::synth::{random_computation, SynthParams};
+use ccs_sched::SchedulerKind;
+use ccs_sim::{simulate_engine, CmpConfig, SimEngine};
+use proptest::prelude::*;
+
+/// A small CMP so random working sets actually contend: 4 KB L1s, 64 KB L2.
+fn tiny_config(cores: usize) -> CmpConfig {
+    let mut cfg = CmpConfig::default_with_cores(if cores <= 1 { 1 } else { 16 })
+        .expect("default config exists");
+    cfg.num_cores = cores;
+    cfg.name = format!("equiv-{cores}");
+    cfg.l1 = ccs_cache::CacheConfig::new(4 * 1024, 128, 4, 1);
+    cfg.l2 = ccs_cache::CacheConfig::new(64 * 1024, 128, 16, 13);
+    cfg
+}
+
+/// DAGs stay small (depth ≤ 3, ≤ 16 refs per strand) so the reference
+/// engine's per-step heap traffic doesn't dominate the test run.
+fn synth_params() -> SynthParams {
+    SynthParams {
+        max_depth: 3,
+        max_par_width: 4,
+        max_seq_len: 3,
+        max_strand_work: 64,
+        max_strand_refs: 16,
+        num_regions: 3,
+        region_bytes: 4 * 1024,
+        shared_ref_prob: 0.6,
+        line_size: 128,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn event_driven_equals_reference(
+        seed in 0u64..u64::MAX,
+        cores_idx in 0usize..3,
+        pdf in 0u32..2,
+    ) {
+        let cores = [1usize, 2, 4][cores_idx];
+        let comp = random_computation(seed, &synth_params());
+        let kind = if pdf == 0 { SchedulerKind::Pdf } else { SchedulerKind::WorkStealing };
+        let cfg = tiny_config(cores);
+        let fast = simulate_engine(&comp, &cfg, kind, SimEngine::EventDriven);
+        let slow = simulate_engine(&comp, &cfg, kind, SimEngine::Reference);
+        prop_assert_eq!(fast, slow);
+    }
+}
+
+/// A deterministic sweep over the same cross-product, so failures reproduce
+/// without proptest shrinking and CI always covers every (scheduler, cores)
+/// cell even if the random sampler doesn't.
+#[test]
+fn engines_agree_across_seeds_schedulers_and_cores() {
+    let params = synth_params();
+    for seed in 0..12u64 {
+        let comp = random_computation(seed, &params);
+        for cores in [1usize, 2, 4] {
+            let cfg = tiny_config(cores);
+            for kind in [SchedulerKind::Pdf, SchedulerKind::WorkStealing] {
+                let fast = simulate_engine(&comp, &cfg, kind, SimEngine::EventDriven);
+                let slow = simulate_engine(&comp, &cfg, kind, SimEngine::Reference);
+                assert_eq!(fast, slow, "seed {seed} / {kind} / {cores} cores");
+            }
+        }
+    }
+}
