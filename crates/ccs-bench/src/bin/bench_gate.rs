@@ -69,6 +69,8 @@ fn main() {
     let baseline = load(&args.baseline, "baseline");
     let result = gate::compare(&current, &baseline, args.tolerance_pct / 100.0);
     print!("{}", result.to_text());
+    // One-line perf/memory trajectory for CI step output.
+    println!("{}", gate::summary_line(&current, &baseline));
     if result.failed() {
         eprintln!(
             "bench_gate: FAILED against {} (tolerance ±{:.0}%)",

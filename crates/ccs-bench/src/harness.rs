@@ -22,7 +22,7 @@
 //!
 //! ```json
 //! {
-//!   "schema": "ccs-bench/1",
+//!   "schema": "ccs-bench/2",
 //!   "scale": 256,
 //!   "quick": true,
 //!   "records": [
@@ -33,6 +33,8 @@
 //!       "total_misses": 93511,
 //!       "tasks": 130934,
 //!       "cycles": 55173921,
+//!       "trace_bytes": 1224736,
+//!       "peak_alloc_estimate": 2449472,
 //!       "speedup_vs_reference": 2.9
 //!     }
 //!   ]
@@ -41,12 +43,18 @@
 //!
 //! `name`, `wall_ms`, `tasks_per_sec` (simulated tasks per wall-clock
 //! second) and `total_misses` (summed simulated L2 misses) are guaranteed;
-//! `tasks`/`cycles` are the matching simulated totals and
+//! `tasks`/`cycles` are the matching simulated totals,
+//! `trace_bytes`/`peak_alloc_estimate` are the *peak* per-computation
+//! memory footprints over the runs the record covers (flat trace arena,
+//! and arena + compiled line stream + CSR DAG respectively), and
 //! `speedup_vs_reference` is present only on records with a reference
-//! counterpart.  `total_misses`, `tasks` and `cycles` are *deterministic*
-//! for a given scale/quick setting — the CI gate ([`gate`]) checks them for
-//! exact equality against the committed baseline, and `tasks_per_sec`
-//! within a relative tolerance.
+//! counterpart.  `total_misses`, `tasks`, `cycles`, `trace_bytes` and
+//! `peak_alloc_estimate` are *deterministic* for a given scale/quick
+//! setting — the CI gate ([`gate`]) checks the simulated metrics for exact
+//! equality against the committed baseline, `tasks_per_sec` within a
+//! relative tolerance, and fails memory-footprint growth beyond the same
+//! tolerance (schema `ccs-bench/2`; `--trials N` overrides the
+//! noise-averaging trial counts).
 
 use std::io;
 use std::path::Path;
@@ -62,7 +70,7 @@ use crate::figs;
 pub mod gate;
 
 /// Schema identifier written into every report.
-pub const SCHEMA: &str = "ccs-bench/1";
+pub const SCHEMA: &str = "ccs-bench/2";
 
 /// Default output path (written into the invoking directory, gitignored at
 /// the repo root).
@@ -83,6 +91,12 @@ pub struct BenchRecord {
     pub tasks: u64,
     /// Total simulated cycles (deterministic).
     pub cycles: u64,
+    /// Peak trace-arena footprint in bytes over the computations this
+    /// record simulated (deterministic).
+    pub trace_bytes: u64,
+    /// Peak per-computation allocation estimate in bytes: trace arena +
+    /// compiled line stream + CSR DAG (deterministic).
+    pub peak_alloc_estimate: u64,
     /// Wall-clock speedup over the reference cycle-stepper on the identical
     /// work, where measured.
     pub speedup_vs_reference: Option<f64>,
@@ -97,6 +111,8 @@ impl BenchRecord {
             ("total_misses", self.total_misses.into()),
             ("tasks", self.tasks.into()),
             ("cycles", self.cycles.into()),
+            ("trace_bytes", self.trace_bytes.into()),
+            ("peak_alloc_estimate", self.peak_alloc_estimate.into()),
             ("speedup_vs_reference", self.speedup_vs_reference.into()),
         ])
     }
@@ -133,6 +149,8 @@ impl BenchRecord {
             total_misses: uint("total_misses")?,
             tasks: uint("tasks")?,
             cycles: uint("cycles")?,
+            trace_bytes: uint("trace_bytes")?,
+            peak_alloc_estimate: uint("peak_alloc_estimate")?,
             speedup_vs_reference: match field("speedup_vs_reference") {
                 Ok(v) if !v.is_null() => Some(v.as_f64().ok_or_else(|| JsonError {
                     message: "speedup_vs_reference is not a number".into(),
@@ -223,15 +241,20 @@ impl BenchReport {
 
     /// Human-readable table (TSV, one line per record).
     pub fn to_tsv(&self) -> String {
-        let mut out = String::from("name\twall_ms\ttasks/s\tl2_misses\tspeedup_vs_ref\n");
+        let mut out = String::from("name\twall_ms\ttasks/s\tl2_misses\ttrace_kb\tspeedup_vs_ref\n");
         for r in &self.records {
             let speedup = r
                 .speedup_vs_reference
                 .map(|s| format!("{s:.2}x"))
                 .unwrap_or_else(|| "-".to_string());
             out.push_str(&format!(
-                "{}\t{:.1}\t{:.0}\t{}\t{}\n",
-                r.name, r.wall_ms, r.tasks_per_sec, r.total_misses, speedup
+                "{}\t{:.1}\t{:.0}\t{}\t{}\t{}\n",
+                r.name,
+                r.wall_ms,
+                r.tasks_per_sec,
+                r.total_misses,
+                r.trace_bytes / 1024,
+                speedup
             ));
         }
         out
@@ -246,6 +269,11 @@ fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
 }
 
 /// Aggregate a sweep [`Report`] plus its wall time into a bench record.
+/// The memory footprints are the *maximum* over the sweep's runs — the
+/// largest single computation's footprint, which is the quantity the gate
+/// watches for layout regressions.  (It is deliberately not a process-RSS
+/// estimate: a sweep holds its distinct prebuilt computations concurrently,
+/// so resident memory is closer to the sum over distinct builds.)
 fn record_from_report(name: impl Into<String>, report: &Report, wall_ms: f64) -> BenchRecord {
     let tasks: u64 = report.records.iter().map(|r| r.tasks as u64).sum();
     let misses: u64 = report.records.iter().map(|r| r.l2_misses).sum();
@@ -257,6 +285,18 @@ fn record_from_report(name: impl Into<String>, report: &Report, wall_ms: f64) ->
         total_misses: misses,
         tasks,
         cycles,
+        trace_bytes: report
+            .records
+            .iter()
+            .map(|r| r.trace_bytes)
+            .max()
+            .unwrap_or(0),
+        peak_alloc_estimate: report
+            .records
+            .iter()
+            .map(|r| r.peak_alloc_estimate)
+            .max()
+            .unwrap_or(0),
         speedup_vs_reference: None,
     }
 }
@@ -335,18 +375,21 @@ fn micro_computation() -> ccs_dag::Computation {
 /// runs are only a few milliseconds, so a single sample would be at the
 /// mercy of scheduler noise on shared CI boxes and make the ±20% gate
 /// flaky.
-fn micro_benches(records: &mut Vec<BenchRecord>) {
+fn micro_benches(records: &mut Vec<BenchRecord>, trials: u32) {
     let comp = micro_computation();
     let config = CmpConfig::default_with_cores(8)
         .expect("8-core default config")
         .scaled(64);
+    let trace_bytes = comp.trace_arena_bytes();
+    let peak_alloc_estimate = trace_bytes
+        + comp.line_stream(config.l2.line_size).heap_bytes()
+        + ccs_dag::Dag::from_computation(&comp).heap_bytes();
     const ITERS: u32 = 3;
-    const TRIALS: u32 = 5;
     for sched in ["pdf", "ws"] {
         let best_of = |engine: SimEngine| {
             let mut best_ms = f64::INFINITY;
             let mut last = None;
-            for _ in 0..TRIALS {
+            for _ in 0..trials {
                 let (result, ms) = timed(|| {
                     let mut result = None;
                     for _ in 0..ITERS {
@@ -372,6 +415,8 @@ fn micro_benches(records: &mut Vec<BenchRecord>) {
             total_misses: result.l2.misses,
             tasks: result.tasks as u64,
             cycles: result.cycles,
+            trace_bytes,
+            peak_alloc_estimate,
             speedup_vs_reference: Some(reference_ms / event_ms.max(f64::MIN_POSITIVE)),
         });
     }
@@ -384,8 +429,9 @@ fn micro_benches(records: &mut Vec<BenchRecord>) {
 /// --bench` still leaves the usual `BENCH_run_all.json` trajectory behind.
 pub fn run(opts: &Options) -> (BenchReport, Report) {
     // Quick sweeps are fast enough to repeat for noise-resistant minima;
-    // full-scale sweeps take minutes and run once.
-    let trials = if opts.quick { 3 } else { 1 };
+    // full-scale sweeps take minutes and run once.  `--trials N`
+    // overrides every trial count.
+    let trials = opts.trials.unwrap_or(if opts.quick { 3 } else { 1 });
 
     // Phase 1: the figure sweeps as selected (quick or full), production
     // engine — the trajectory every future PR extends.
@@ -402,13 +448,14 @@ pub fn run(opts: &Options) -> (BenchReport, Report) {
     let (quick_report, event_ms) = if opts.quick {
         (merged.clone(), macro_ms)
     } else {
-        let (report, _, total) = best_sweep_pass(&quick_event, "quick", 3);
+        let (report, _, total) = best_sweep_pass(&quick_event, "quick", opts.trials.unwrap_or(3));
         // The per-sweep quick records are only needed for the aggregate.
         (report, total)
     };
     let mut quick_reference = quick_event.clone();
     quick_reference.engine = SimEngine::Reference;
-    let (reference_report, _, reference_ms) = best_sweep_pass(&quick_reference, "reference", 2);
+    let (reference_report, _, reference_ms) =
+        best_sweep_pass(&quick_reference, "reference", opts.trials.unwrap_or(2));
     let mut event_side = record_from_report("macro/quick_sweep", &quick_report, event_ms);
     event_side.speedup_vs_reference = Some(reference_ms / event_ms.max(f64::MIN_POSITIVE));
     records.push(event_side);
@@ -419,7 +466,7 @@ pub fn run(opts: &Options) -> (BenchReport, Report) {
     ));
 
     // Phase 3: raw simulator, no experiment layer in the way.
-    micro_benches(&mut records);
+    micro_benches(&mut records, opts.trials.unwrap_or(5));
 
     let bench = BenchReport {
         scale: opts.effective_scale(),
@@ -445,6 +492,8 @@ mod tests {
                     total_misses: 93511,
                     tasks: 130934,
                     cycles: 55173921,
+                    trace_bytes: 1_224_736,
+                    peak_alloc_estimate: 2_449_472,
                     speedup_vs_reference: Some(2.9),
                 },
                 BenchRecord {
@@ -454,6 +503,8 @@ mod tests {
                     total_misses: 1200,
                     tasks: 405,
                     cycles: 99000,
+                    trace_bytes: 64_000,
+                    peak_alloc_estimate: 130_000,
                     speedup_vs_reference: None,
                 },
             ],
@@ -466,12 +517,13 @@ mod tests {
         let text = report.to_json();
         let parsed = BenchReport::from_json(&text).expect("round trip");
         assert_eq!(parsed, report);
-        assert!(text.contains("\"schema\": \"ccs-bench/1\""), "{text}");
+        assert!(text.contains("\"schema\": \"ccs-bench/2\""), "{text}");
+        assert!(text.contains("\"trace_bytes\": 1224736"), "{text}");
     }
 
     #[test]
     fn wrong_schema_is_rejected() {
-        let text = sample_report().to_json().replace("ccs-bench/1", "other/9");
+        let text = sample_report().to_json().replace("ccs-bench/2", "other/9");
         let err = BenchReport::from_json(&text).unwrap_err();
         assert!(err.message.contains("unsupported bench schema"), "{err}");
     }

@@ -1,7 +1,7 @@
 //! The CI regression gate: compare a fresh `BENCH_sim.json` against the
 //! committed `bench/baseline.json`.
 //!
-//! Two kinds of checks, per baseline record (matched by name):
+//! Three kinds of checks, per baseline record (matched by name):
 //!
 //! * **deterministic metrics** (`total_misses`, `tasks`, `cycles`) must be
 //!   *exactly* equal — they are pure functions of the simulated
@@ -9,7 +9,13 @@
 //! * **throughput** (`tasks_per_sec`) must be within a relative tolerance
 //!   (CI uses ±20%).  A drop beyond tolerance **fails** the gate; a gain
 //!   beyond tolerance only **warns**, so maintainers notice and refresh the
-//!   baseline instead of banking the headroom silently.
+//!   baseline instead of banking the headroom silently;
+//! * **memory footprint** (`trace_bytes`, `peak_alloc_estimate`) must not
+//!   grow beyond the same tolerance — growth past it **fails** (a layout
+//!   regression), shrinkage past it **warns** (refresh the baseline to
+//!   bank the saving).  The footprints are deterministic, but they are
+//!   toleranced rather than exact-matched so allocator-capacity rounding
+//!   (`Vec` growth policy changes across toolchains) cannot flake CI.
 //!
 //! Reports taken at different scale/quick settings are incomparable and
 //! fail fast.  Records present in the current run but absent from the
@@ -145,6 +151,42 @@ fn check_record(result: &mut GateResult, cur: &BenchRecord, base: &BenchRecord, 
         return;
     }
 
+    // Memory footprint: deterministic, but toleranced (see module docs).
+    // Growth is the regression direction.  Every metric is checked — a
+    // record can carry several lines (e.g. one footprint warning *and* a
+    // throughput failure below).
+    for (metric, cur_bytes, base_bytes) in [
+        ("trace_bytes", cur.trace_bytes, base.trace_bytes),
+        (
+            "peak_alloc_estimate",
+            cur.peak_alloc_estimate,
+            base.peak_alloc_estimate,
+        ),
+    ] {
+        if base_bytes == 0 {
+            continue;
+        }
+        let ratio = cur_bytes as f64 / base_bytes as f64;
+        let pct = (ratio - 1.0) * 100.0;
+        if ratio > 1.0 + tolerance {
+            result.push(
+                &cur.name,
+                GateStatus::Fail,
+                format!(
+                    "memory-footprint regression: {metric} {base_bytes} -> {cur_bytes} bytes \
+                     ({pct:+.1}%, tolerance ±{:.0}%)",
+                    tolerance * 100.0
+                ),
+            );
+        } else if ratio < 1.0 - tolerance {
+            result.push(
+                &cur.name,
+                GateStatus::Warn,
+                format!("{metric} shrank {pct:+.1}% — refresh bench/baseline.json to bank it"),
+            );
+        }
+    }
+
     if base.tasks_per_sec <= 0.0 {
         result.push(&cur.name, GateStatus::Ok, "baseline has no throughput");
         return;
@@ -177,6 +219,33 @@ fn check_record(result: &mut GateResult, cur: &BenchRecord, base: &BenchRecord, 
     }
 }
 
+/// One-line old-vs-new summary of the headline record (`macro/quick_sweep`),
+/// printed by `bench_gate` so CI step output shows the perf/memory
+/// trajectory without downloading the artifact.
+pub fn summary_line(current: &BenchReport, baseline: &BenchReport) -> String {
+    let name = "macro/quick_sweep";
+    match (baseline.find(name), current.find(name)) {
+        (Some(base), Some(cur)) => {
+            let tput_pct = if base.tasks_per_sec > 0.0 {
+                (cur.tasks_per_sec / base.tasks_per_sec - 1.0) * 100.0
+            } else {
+                0.0
+            };
+            let mem_pct = if base.trace_bytes > 0 {
+                (cur.trace_bytes as f64 / base.trace_bytes as f64 - 1.0) * 100.0
+            } else {
+                0.0
+            };
+            format!(
+                "summary: {name} tasks/s {:.0} -> {:.0} ({tput_pct:+.1}%), \
+                 trace_bytes {} -> {} ({mem_pct:+.1}%)",
+                base.tasks_per_sec, cur.tasks_per_sec, base.trace_bytes, cur.trace_bytes
+            )
+        }
+        _ => format!("summary: {name} missing from baseline or current run"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,6 +258,8 @@ mod tests {
             total_misses: 500,
             tasks: 1000,
             cycles: 42_000,
+            trace_bytes: 100_000,
+            peak_alloc_estimate: 200_000,
             speedup_vs_reference: None,
         }
     }
@@ -239,6 +310,67 @@ mod tests {
         let g = compare(&cur, &base, 0.2);
         assert!(g.failed());
         assert!(g.warned());
+    }
+
+    #[test]
+    fn memory_growth_fails_and_shrinkage_warns() {
+        let base = report(vec![record("a", 1000.0), record("b", 1000.0)]);
+        let mut bloated = record("a", 1000.0);
+        bloated.trace_bytes = 130_000; // +30% > ±20%
+        let mut slimmed = record("b", 1000.0);
+        slimmed.peak_alloc_estimate = 100_000; // -50%
+        let g = compare(&report(vec![bloated, slimmed]), &base, 0.2);
+        assert!(g.failed());
+        assert!(g.warned());
+        let text = g.to_text();
+        assert!(
+            text.contains("FAIL  a: memory-footprint regression"),
+            "{text}"
+        );
+        assert!(
+            text.contains("WARN  b: peak_alloc_estimate shrank"),
+            "{text}"
+        );
+        // Within tolerance passes silently.
+        let mut ok = record("a", 1000.0);
+        ok.trace_bytes = 110_000;
+        let g = compare(&report(vec![ok, record("b", 1000.0)]), &base, 0.2);
+        assert!(!g.failed() && !g.warned(), "{}", g.to_text());
+    }
+
+    #[test]
+    fn memory_warning_does_not_mask_other_regressions() {
+        // A beyond-tolerance shrink on one metric must not short-circuit
+        // the remaining memory check or the throughput check.
+        let base = report(vec![record("a", 1000.0)]);
+        let mut mixed = record("a", 500.0); // -50% throughput: must FAIL
+        mixed.trace_bytes = 50_000; // -50%: warns
+        mixed.peak_alloc_estimate = 400_000; // +100%: must also FAIL
+        let g = compare(&report(vec![mixed]), &base, 0.2);
+        let text = g.to_text();
+        assert!(text.contains("trace_bytes shrank"), "{text}");
+        assert!(
+            text.contains("peak_alloc_estimate 200000 -> 400000"),
+            "{text}"
+        );
+        assert!(text.contains("throughput regression"), "{text}");
+        assert!(g.failed());
+    }
+
+    #[test]
+    fn summary_line_reports_the_quick_sweep() {
+        let base = report(vec![record("macro/quick_sweep", 1000.0)]);
+        let mut faster = record("macro/quick_sweep", 1500.0);
+        faster.trace_bytes = 50_000;
+        let cur = report(vec![faster]);
+        let line = summary_line(&cur, &base);
+        assert!(line.contains("tasks/s 1000 -> 1500 (+50.0%)"), "{line}");
+        assert!(
+            line.contains("trace_bytes 100000 -> 50000 (-50.0%)"),
+            "{line}"
+        );
+        let empty = report(vec![]);
+        assert!(summary_line(&empty, &base).contains("missing"));
     }
 
     #[test]

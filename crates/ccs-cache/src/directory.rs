@@ -7,6 +7,14 @@
 //! copy, so a store only visits those — `O(sharers)` per store, and zero
 //! work for the common private-line case.
 //!
+//! Since the trace-arena rework the event engine resolves addresses to
+//! dense line ids up front and keeps its sharer masks in a flat
+//! id-indexed array (see `ccs-sim::machine` and DESIGN.md §8), so this
+//! address-keyed map is no longer on the simulator's hot path.  It
+//! remains the general-purpose form of the same structure — same sharer
+//! semantics, same staleness contract — for callers that do not have a
+//! dense id space.
+//!
 //! The sharer sets are a deliberate **over-approximation**: bits are set on
 //! every L1 allocation but *not* cleared on eviction (clearing happens only
 //! when a store prunes the set via [`LineDirectory::retain_only`], or via

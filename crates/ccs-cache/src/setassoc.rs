@@ -223,6 +223,19 @@ impl SetAssocCache {
         misses
     }
 
+    /// Record a *filtered* read hit: the caller has proved (e.g. via a
+    /// one-entry MRU filter in front of the cache) that the line is at the
+    /// MRU position of its set, so probing would be a state no-op — a read
+    /// hit on the MRU way neither reorders the set nor changes the dirty
+    /// bit.  Only the statistics move, exactly as [`access_line`] would
+    /// move them for that hit.
+    ///
+    /// [`access_line`]: SetAssocCache::access_line
+    #[inline]
+    pub fn record_mru_read_hit(&mut self) {
+        self.stats.record(true, false);
+    }
+
     /// Insert a line (e.g. a fill returning from the next level) without
     /// recording a probe in the statistics.  If the line is already present
     /// its LRU position and dirty bit are refreshed; otherwise it is

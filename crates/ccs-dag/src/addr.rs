@@ -35,9 +35,20 @@ impl Region {
     }
 
     /// Sub-region starting at `offset` with `bytes` bytes.
+    ///
+    /// # Panics
+    /// Panics when the slice exceeds the region — including when
+    /// `offset + bytes` overflows `u64` (huge `--scale`-derived sizes must
+    /// fail loudly, not wrap).
     pub fn slice(&self, offset: u64, bytes: u64) -> Region {
+        let end = offset.checked_add(bytes).unwrap_or_else(|| {
+            panic!(
+                "slice {offset}+{bytes} overflows u64 and exceeds region of {} bytes",
+                self.bytes
+            )
+        });
         assert!(
-            offset + bytes <= self.bytes,
+            end <= self.bytes,
             "slice {offset}+{bytes} exceeds region of {} bytes",
             self.bytes
         );
@@ -91,8 +102,16 @@ impl AddressSpace {
     }
 
     /// Allocate an array of `count` elements of `elem_size` bytes.
+    ///
+    /// # Panics
+    /// Panics when `count * elem_size` overflows `u64` — a plausible outcome
+    /// of extreme `--scale` arithmetic that must not wrap into a silently
+    /// tiny allocation.
     pub fn alloc_array(&mut self, count: u64, elem_size: u64) -> Region {
-        self.alloc(count * elem_size)
+        let bytes = count.checked_mul(elem_size).unwrap_or_else(|| {
+            panic!("array allocation of {count} elements x {elem_size} bytes overflows u64")
+        });
+        self.alloc(bytes)
     }
 
     /// Total bytes handed out so far (excluding alignment padding).
@@ -160,5 +179,21 @@ mod tests {
         let mut a = AddressSpace::new();
         let r = a.alloc(100);
         let _ = r.slice(90, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows u64")]
+    fn alloc_array_overflow_panics_instead_of_wrapping() {
+        let mut a = AddressSpace::new();
+        // Would silently wrap to 0 bytes with unchecked multiplication.
+        let _ = a.alloc_array(u64::MAX / 2, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows u64")]
+    fn slice_offset_overflow_panics_instead_of_wrapping() {
+        let mut a = AddressSpace::new();
+        let r = a.alloc(100);
+        let _ = r.slice(u64::MAX - 4, 8);
     }
 }

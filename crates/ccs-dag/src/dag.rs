@@ -9,27 +9,64 @@ use crate::task::TaskId;
 /// `u` has completed.  The DAG also records the 1DF *sequential order*: the
 /// order a single-core execution of the program would run the tasks, which is
 /// the priority order used by the PDF scheduler.
+///
+/// Adjacency is stored in **CSR form**: one flat edge array per direction
+/// plus an `n + 1` offset array, so `successors`/`predecessors` are
+/// contiguous slices and the whole DAG is four allocations instead of the
+/// seed's two `Vec`s per task.
 #[derive(Clone, Debug)]
 pub struct Dag {
     /// Per-task instruction counts (copied from the computation for cheap
     /// access during scheduling).
     work: Vec<u64>,
-    /// Successors of each task.
-    succs: Vec<Vec<TaskId>>,
-    /// Predecessors of each task.
-    preds: Vec<Vec<TaskId>>,
+    /// CSR offsets into `succ`: task `t`'s successors are
+    /// `succ[succ_off[t]..succ_off[t + 1]]`.
+    succ_off: Vec<u32>,
+    /// Flat successor array (per-task segments keep edge insertion order).
+    succ: Vec<TaskId>,
+    /// CSR offsets into `pred`.
+    pred_off: Vec<u32>,
+    /// Flat predecessor array.
+    pred: Vec<TaskId>,
     /// Tasks in 1DF sequential order.
     seq_order: Vec<TaskId>,
     /// Inverse of `seq_order`: `seq_rank[t] = position of t in seq_order`.
     seq_rank: Vec<u32>,
 }
 
+/// Build one CSR direction from an edge list: `key` picks the indexing
+/// endpoint, `value` the stored endpoint.  Per-key segments preserve the
+/// order edges appear in `edges`.
+fn csr_from_edges(
+    n: usize,
+    edges: &[(TaskId, TaskId)],
+    key: impl Fn(&(TaskId, TaskId)) -> TaskId,
+    value: impl Fn(&(TaskId, TaskId)) -> TaskId,
+) -> (Vec<u32>, Vec<TaskId>) {
+    let mut off = vec![0u32; n + 1];
+    for e in edges {
+        off[key(e).index() + 1] += 1;
+    }
+    for i in 0..n {
+        off[i + 1] += off[i];
+    }
+    let mut cursor = off.clone();
+    let mut flat = vec![TaskId(0); edges.len()];
+    for e in edges {
+        let k = key(e).index();
+        flat[cursor[k] as usize] = value(e);
+        cursor[k] += 1;
+    }
+    (off, flat)
+}
+
 impl Dag {
     /// Flatten a computation's SP tree into its dependency DAG.
     pub fn from_computation(comp: &Computation) -> Dag {
         let n = comp.num_tasks();
-        let mut succs: Vec<Vec<TaskId>> = vec![Vec::new(); n];
-        let mut preds: Vec<Vec<TaskId>> = vec![Vec::new(); n];
+        // Edges in discovery order; CSR construction preserves this order
+        // within every per-task segment, matching the seed's nested lists.
+        let mut edges: Vec<(TaskId, TaskId)> = Vec::new();
 
         // Recursively compute (sources, sinks) of every SP subtree and add
         // edges for sequential compositions.  Iterative post-order traversal
@@ -72,8 +109,7 @@ impl Dag {
                         let right = ends[w[1].index()].as_ref().unwrap();
                         for &u in &left.sinks {
                             for &v in &right.sources {
-                                succs[u.index()].push(v);
-                                preds[v.index()].push(u);
+                                edges.push((u, v));
                             }
                         }
                     }
@@ -88,6 +124,13 @@ impl Dag {
             ends[idx] = Some(e);
         }
 
+        assert!(
+            edges.len() < u32::MAX as usize,
+            "edge count exceeds u32 CSR"
+        );
+        let (succ_off, succ) = csr_from_edges(n, &edges, |e| e.0, |e| e.1);
+        let (pred_off, pred) = csr_from_edges(n, &edges, |e| e.1, |e| e.0);
+
         let seq_order = comp.sequential_order();
         let mut seq_rank = vec![0u32; n];
         for (rank, t) in seq_order.iter().enumerate() {
@@ -98,8 +141,10 @@ impl Dag {
 
         Dag {
             work,
-            succs,
-            preds,
+            succ_off,
+            succ,
+            pred_off,
+            pred,
             seq_order,
             seq_rank,
         }
@@ -112,7 +157,7 @@ impl Dag {
 
     /// Number of dependency edges.
     pub fn num_edges(&self) -> usize {
-        self.succs.iter().map(Vec::len).sum()
+        self.succ.len()
     }
 
     /// Instruction count of a task.
@@ -124,26 +169,26 @@ impl Dag {
     /// Successors of a task.
     #[inline]
     pub fn successors(&self, t: TaskId) -> &[TaskId] {
-        &self.succs[t.index()]
+        &self.succ[self.succ_off[t.index()] as usize..self.succ_off[t.index() + 1] as usize]
     }
 
     /// Predecessors of a task.
     #[inline]
     pub fn predecessors(&self, t: TaskId) -> &[TaskId] {
-        &self.preds[t.index()]
+        &self.pred[self.pred_off[t.index()] as usize..self.pred_off[t.index() + 1] as usize]
     }
 
     /// In-degree of a task.
     #[inline]
     pub fn in_degree(&self, t: TaskId) -> usize {
-        self.preds[t.index()].len()
+        (self.pred_off[t.index() + 1] - self.pred_off[t.index()]) as usize
     }
 
     /// Tasks with no predecessors (the DAG may have several).
     pub fn sources(&self) -> Vec<TaskId> {
         (0..self.num_tasks() as u32)
             .map(TaskId)
-            .filter(|t| self.preds[t.index()].is_empty())
+            .filter(|t| self.in_degree(*t) == 0)
             .collect()
     }
 
@@ -151,8 +196,21 @@ impl Dag {
     pub fn sinks(&self) -> Vec<TaskId> {
         (0..self.num_tasks() as u32)
             .map(TaskId)
-            .filter(|t| self.succs[t.index()].is_empty())
+            .filter(|t| self.successors(*t).is_empty())
             .collect()
+    }
+
+    /// Heap bytes of the CSR arrays and orderings (for the bench harness's
+    /// peak-allocation estimate).
+    pub fn heap_bytes(&self) -> u64 {
+        (self.work.capacity() * 8
+            + (self.succ_off.capacity()
+                + self.pred_off.capacity()
+                + self.succ.capacity()
+                + self.pred.capacity()
+                + self.seq_order.capacity()
+                + self.seq_rank.capacity())
+                * 4) as u64
     }
 
     /// Tasks in 1DF (sequential) order.  This is always a valid topological
@@ -179,7 +237,8 @@ impl Dag {
         let mut finish = vec![0u64; self.num_tasks()];
         let mut max = 0;
         for &t in &self.seq_order {
-            let start = self.preds[t.index()]
+            let start = self
+                .predecessors(t)
                 .iter()
                 .map(|p| finish[p.index()])
                 .max()
@@ -223,14 +282,14 @@ impl Dag {
         }
         // Topological: every edge goes from a lower seq rank to a higher one.
         for u in 0..n {
-            for &v in &self.succs[u] {
+            for &v in self.successors(TaskId(u as u32)) {
                 if self.seq_rank[u] >= self.seq_rank(v) {
                     return Err(format!(
                         "edge T{} -> {:?} violates the sequential order",
                         u, v
                     ));
                 }
-                if !self.preds[v.index()].contains(&TaskId(u as u32)) {
+                if !self.predecessors(v).contains(&TaskId(u as u32)) {
                     return Err(format!(
                         "edge T{} -> {:?} missing from predecessor list",
                         u, v
@@ -239,8 +298,8 @@ impl Dag {
             }
         }
         for v in 0..n {
-            for &u in &self.preds[v] {
-                if !self.succs[u.index()].contains(&TaskId(v as u32)) {
+            for &u in self.predecessors(TaskId(v as u32)) {
+                if !self.successors(u).contains(&TaskId(v as u32)) {
                     return Err(format!(
                         "edge {:?} -> T{} missing from successor list",
                         u, v

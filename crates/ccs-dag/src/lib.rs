@@ -9,6 +9,11 @@
 //!
 //! * [`Task`], [`MemRef`], [`TaskTrace`], [`TraceBuilder`] — the per-task
 //!   model (module [`task`]);
+//! * [`TracePool`] / [`TraceView`] — the flat structure-of-arrays trace
+//!   arena every computation stores its ops in (module [`pool`]);
+//! * [`LineStream`] — precompiled line-granular access streams, one per
+//!   `(computation, line size)`, consumed by the simulator's event engine
+//!   (module [`stream`]);
 //! * [`Computation`] and [`ComputationBuilder`] — fork-join programs as
 //!   series-parallel trees (module [`sp`]);
 //! * [`Dag`] — the flattened dependency DAG with 1DF (sequential depth-first)
@@ -48,12 +53,16 @@
 pub mod addr;
 pub mod dag;
 pub mod group;
+pub mod pool;
 pub mod sp;
+pub mod stream;
 pub mod synth;
 pub mod task;
 
 pub use addr::{AddressSpace, Region};
 pub use dag::Dag;
 pub use group::{GroupId, GroupKind, TaskGroup, TaskGroupTree};
+pub use pool::{TracePool, TraceRange, TraceView};
 pub use sp::{CallSite, Computation, ComputationBuilder, GroupMeta, SpKind, SpNode, SpNodeId};
+pub use stream::{LineStream, STEP_ID_MASK, STEP_WRITE_BIT};
 pub use task::{AccessKind, MemRef, Task, TaskId, TaskTrace, TraceBuilder, TraceOp};

@@ -1,0 +1,281 @@
+//! The flat trace arena: every [`TraceOp`] of a computation in one
+//! structure-of-arrays pool.
+//!
+//! The seed stored each task's trace as its own boxed `Vec<TraceOp>`, so a
+//! simulated access chased a per-task heap pointer and the host's cache
+//! behaviour — not the simulated algorithm — bounded throughput.  The
+//! [`TracePool`] applies the paper's own locality discipline to the
+//! simulator's data structures: all trace ops of a computation live in three
+//! contiguous lanes (`pre_compute`, `addr`, packed `kind`/`size`), and each
+//! [`Task`](crate::Task) holds only a [`TraceRange`] — a `(start, end)` pair
+//! of indices into the pool.  Builders append straight into the pool, so
+//! building a computation performs O(1) allocations per *lane*, not per
+//! task.
+//!
+//! [`TraceView`] is the read side: a borrowed window over one task's range
+//! that reassembles [`TraceOp`]s on the fly (the lanes are `#[inline]`
+//! indexed, so a sequential scan compiles to three streaming loads).
+
+use crate::task::{AccessKind, MemRef, TaskTrace, TraceOp};
+
+/// Write flag in the packed `meta` lane (bit 31; bits 0..31 hold the size).
+const WRITE_BIT: u32 = 1 << 31;
+/// Mask of the size bits in the packed `meta` lane.
+const SIZE_MASK: u32 = WRITE_BIT - 1;
+
+/// A contiguous range of ops inside a [`TracePool`] — all a task keeps of
+/// its trace.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceRange {
+    /// Index of the first op in the pool.
+    pub start: u32,
+    /// One past the last op.
+    pub end: u32,
+}
+
+impl TraceRange {
+    /// Number of ops in the range.
+    #[inline]
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// Whether the range contains no ops.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Structure-of-arrays arena holding every trace op of a computation.
+///
+/// Lanes are index-aligned: op `i` is `(pre_compute[i], addr[i], meta[i])`
+/// with the access kind in bit 31 of `meta` and the byte size in the low 31
+/// bits.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TracePool {
+    pre_compute: Vec<u32>,
+    addr: Vec<u64>,
+    meta: Vec<u32>,
+}
+
+impl TracePool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        TracePool::default()
+    }
+
+    /// Number of ops in the pool.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.addr.len()
+    }
+
+    /// Whether the pool holds no ops.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.addr.is_empty()
+    }
+
+    /// Append one op.  Panics if the reference size does not fit the packed
+    /// lane.  (`u32` indexing overflow is caught at range-creation time by
+    /// the builders — `end_index` — so the hot path carries one branch,
+    /// not two.)
+    #[inline]
+    pub fn push(&mut self, pre_compute: u32, mem: MemRef) {
+        assert!(
+            mem.size <= SIZE_MASK,
+            "reference size {} exceeds the packed meta lane",
+            mem.size
+        );
+        self.pre_compute.push(pre_compute);
+        self.addr.push(mem.addr);
+        self.meta
+            .push(mem.size | if mem.kind.is_write() { WRITE_BIT } else { 0 });
+    }
+
+    /// Reassemble op `i` (pool-wide index).
+    #[inline]
+    pub fn op(&self, i: usize) -> TraceOp {
+        TraceOp {
+            pre_compute: self.pre_compute[i],
+            mem: self.mem(i),
+        }
+    }
+
+    /// Reassemble the memory reference of op `i` (pool-wide index).
+    #[inline]
+    pub fn mem(&self, i: usize) -> MemRef {
+        let meta = self.meta[i];
+        MemRef {
+            addr: self.addr[i],
+            size: meta & SIZE_MASK,
+            kind: if meta & WRITE_BIT != 0 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            },
+        }
+    }
+
+    /// Compute instructions preceding op `i` (pool-wide index).
+    #[inline]
+    pub fn pre_compute(&self, i: usize) -> u64 {
+        self.pre_compute[i] as u64
+    }
+
+    /// The pool length as a range endpoint, checked against `u32`
+    /// indexing.  Called once per strand by the builders.
+    pub(crate) fn end_index(&self) -> u32 {
+        u32::try_from(self.addr.len()).expect("trace pool exceeds u32 indexing")
+    }
+
+    /// Borrow a view over `range` with the given trailing compute.
+    #[inline]
+    pub fn view(&self, range: TraceRange, post_compute: u64) -> TraceView<'_> {
+        TraceView {
+            pool: self,
+            range,
+            post_compute,
+        }
+    }
+
+    /// Heap bytes held by the three lanes (capacity, i.e. the arena
+    /// footprint reported as `trace_bytes` in bench records).
+    pub fn heap_bytes(&self) -> u64 {
+        (self.pre_compute.capacity() * std::mem::size_of::<u32>()
+            + self.addr.capacity() * std::mem::size_of::<u64>()
+            + self.meta.capacity() * std::mem::size_of::<u32>()) as u64
+    }
+
+    /// Drop unused lane capacity (called once when a builder finishes).
+    pub(crate) fn shrink_to_fit(&mut self) {
+        self.pre_compute.shrink_to_fit();
+        self.addr.shrink_to_fit();
+        self.meta.shrink_to_fit();
+    }
+}
+
+/// A borrowed window over one task's ops in the pool, plus the task's
+/// trailing compute — the pool-backed replacement for `&TaskTrace`.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceView<'a> {
+    pool: &'a TracePool,
+    range: TraceRange,
+    post_compute: u64,
+}
+
+impl<'a> TraceView<'a> {
+    /// Number of memory references in the trace.
+    #[inline]
+    pub fn num_refs(&self) -> usize {
+        self.range.len()
+    }
+
+    /// Whether the trace has no memory references.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.range.is_empty()
+    }
+
+    /// Op `i` of the task (task-local index).
+    #[inline]
+    pub fn op(&self, i: usize) -> TraceOp {
+        debug_assert!(i < self.num_refs());
+        self.pool.op(self.range.start as usize + i)
+    }
+
+    /// Compute-only instructions after the last memory reference.
+    #[inline]
+    pub fn post_compute(&self) -> u64 {
+        self.post_compute
+    }
+
+    /// The range this view covers (pool-wide indices).
+    #[inline]
+    pub fn range(&self) -> TraceRange {
+        self.range
+    }
+
+    /// Iterate the ops in program order.
+    pub fn ops(&self) -> impl Iterator<Item = TraceOp> + 'a {
+        let pool = self.pool;
+        (self.range.start as usize..self.range.end as usize).map(move |i| pool.op(i))
+    }
+
+    /// Iterate the memory references in program order.
+    pub fn refs(&self) -> impl Iterator<Item = MemRef> + 'a {
+        let pool = self.pool;
+        (self.range.start as usize..self.range.end as usize).map(move |i| pool.mem(i))
+    }
+
+    /// Total instruction count (compute + one per reference).
+    pub fn instructions(&self) -> u64 {
+        self.ops().map(|op| op.instructions()).sum::<u64>() + self.post_compute
+    }
+
+    /// Materialise a standalone [`TaskTrace`] (the legacy per-task form,
+    /// used by the reference engine's thin adapter and by trace surgery in
+    /// `ccs-profile`).
+    pub fn to_task_trace(&self) -> TaskTrace {
+        TaskTrace::from_parts(self.ops().collect(), self.post_compute)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_reassemble_round_trip() {
+        let mut pool = TracePool::new();
+        pool.push(7, MemRef::read(0x1000, 128));
+        pool.push(0, MemRef::write(0x2040, 8));
+        assert_eq!(pool.len(), 2);
+        assert_eq!(
+            pool.op(0),
+            TraceOp {
+                pre_compute: 7,
+                mem: MemRef::read(0x1000, 128)
+            }
+        );
+        assert_eq!(pool.mem(1), MemRef::write(0x2040, 8));
+        assert_eq!(pool.pre_compute(1), 0);
+    }
+
+    #[test]
+    fn view_iterates_its_range_only() {
+        let mut pool = TracePool::new();
+        for i in 0..6u64 {
+            pool.push(i as u32, MemRef::read(i * 64, 4));
+        }
+        let view = pool.view(TraceRange { start: 2, end: 5 }, 9);
+        assert_eq!(view.num_refs(), 3);
+        let addrs: Vec<u64> = view.refs().map(|r| r.addr).collect();
+        assert_eq!(addrs, vec![128, 192, 256]);
+        assert_eq!(view.post_compute(), 9);
+        // 3 refs + pre 2+3+4 + post 9
+        assert_eq!(view.instructions(), 3 + 9 + 9);
+        let trace = view.to_task_trace();
+        assert_eq!(trace.num_refs(), 3);
+        assert_eq!(trace.ops()[0], view.op(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "packed meta lane")]
+    fn oversized_reference_is_rejected() {
+        let mut pool = TracePool::new();
+        pool.push(0, MemRef::read(0, u32::MAX));
+    }
+
+    #[test]
+    fn heap_bytes_tracks_lanes() {
+        let mut pool = TracePool::new();
+        assert_eq!(TracePool::new().heap_bytes(), 0);
+        for i in 0..100 {
+            pool.push(0, MemRef::read(i * 64, 4));
+        }
+        pool.shrink_to_fit();
+        assert_eq!(pool.heap_bytes(), 100 * (4 + 8 + 4));
+    }
+}

@@ -16,6 +16,10 @@
 //!    parents are supersets of children, siblings are disjoint, and every
 //!    group covers a range of consecutive sequential tasks.
 
+use std::sync::{Arc, Mutex};
+
+use crate::pool::{TracePool, TraceView};
+use crate::stream::LineStream;
 use crate::task::{Task, TaskId, TaskTrace, TraceBuilder};
 
 /// Identifier of a node in the SP tree of a [`Computation`].
@@ -109,15 +113,36 @@ pub struct SpNode {
     pub meta: GroupMeta,
 }
 
-/// A complete fine-grained multithreaded computation: the task arena plus the
-/// SP tree describing its fork-join structure.
-#[derive(Clone, Debug)]
+/// A complete fine-grained multithreaded computation: the task arena, the
+/// flat trace pool holding every task's ops, and the SP tree describing its
+/// fork-join structure.
+#[derive(Debug)]
 pub struct Computation {
     pub(crate) tasks: Vec<Task>,
     pub(crate) nodes: Vec<SpNode>,
     pub(crate) root: SpNodeId,
     /// Default cache-line size used when building traces (informational).
     pub(crate) line_size: u64,
+    /// The flat trace arena: every task's ops, indexed by its `TraceRange`.
+    pub(crate) pool: TracePool,
+    /// Precompiled line streams, one per line size, built lazily by
+    /// [`Computation::line_stream`] and shared across simulations.
+    pub(crate) streams: Mutex<Vec<(u64, Arc<LineStream>)>>,
+}
+
+impl Clone for Computation {
+    /// Clones share nothing: the stream cache restarts empty (it is a pure
+    /// memoisation of `line_stream`, rebuilt on demand).
+    fn clone(&self) -> Computation {
+        Computation {
+            tasks: self.tasks.clone(),
+            nodes: self.nodes.clone(),
+            root: self.root,
+            line_size: self.line_size,
+            pool: self.pool.clone(),
+            streams: Mutex::new(Vec::new()),
+        }
+    }
 }
 
 impl Computation {
@@ -134,6 +159,23 @@ impl Computation {
     /// All tasks, indexed by [`TaskId`].
     pub fn tasks(&self) -> &[Task] {
         &self.tasks
+    }
+
+    /// The flat trace arena holding every task's ops.
+    pub fn trace_pool(&self) -> &TracePool {
+        &self.pool
+    }
+
+    /// Borrow a task's trace as a view over the shared pool.
+    #[inline]
+    pub fn trace(&self, id: TaskId) -> TraceView<'_> {
+        let task = &self.tasks[id.index()];
+        self.pool.view(task.ops, task.post_compute)
+    }
+
+    /// Heap bytes of the trace arena (the `trace_bytes` bench metric).
+    pub fn trace_arena_bytes(&self) -> u64 {
+        self.pool.heap_bytes()
     }
 
     /// The root of the SP tree.
@@ -163,7 +205,8 @@ impl Computation {
 
     /// Total number of memory references over all tasks.
     pub fn total_refs(&self) -> u64 {
-        self.tasks.iter().map(|t| t.trace.num_refs() as u64).sum()
+        // Every pool op belongs to exactly one task.
+        self.pool.len() as u64
     }
 
     /// The tasks in 1DF (sequential depth-first) order, i.e. the order a
@@ -188,13 +231,12 @@ impl Computation {
     }
 
     /// Iterate over all memory references of the whole computation in
-    /// sequential (1DF) order, yielding `(task, reference index within task)`
-    /// pairs along with the reference.  This is the trace the working-set
-    /// profiler consumes.
-    pub fn sequential_refs(&self) -> impl Iterator<Item = (TaskId, &crate::task::MemRef)> {
+    /// sequential (1DF) order, yielding each reference with the task that
+    /// issues it.  This is the trace the working-set profiler consumes.
+    pub fn sequential_refs(&self) -> impl Iterator<Item = (TaskId, crate::task::MemRef)> + '_ {
         self.sequential_order()
             .into_iter()
-            .flat_map(move |tid| self.task(tid).trace.refs().map(move |r| (tid, r)))
+            .flat_map(move |tid| self.trace(tid).refs().map(move |r| (tid, r)))
     }
 
     /// Depth of the SP tree (number of nodes on the longest root-to-leaf
@@ -241,6 +283,7 @@ pub struct ComputationBuilder {
     tasks: Vec<Task>,
     nodes: Vec<SpNode>,
     line_size: u64,
+    pool: TracePool,
 }
 
 impl ComputationBuilder {
@@ -255,6 +298,7 @@ impl ComputationBuilder {
             tasks: Vec::new(),
             nodes: Vec::new(),
             line_size,
+            pool: TracePool::new(),
         }
     }
 
@@ -274,15 +318,39 @@ impl ComputationBuilder {
         id
     }
 
-    /// Add a strand (leaf task) with an explicit trace.
+    /// Add a strand (leaf task) with an explicit trace (copied into the
+    /// shared trace pool; prefer [`ComputationBuilder::strand_with`], which
+    /// records straight into the pool).
     pub fn strand(&mut self, trace: TaskTrace) -> SpNodeId {
         self.strand_meta(trace, GroupMeta::default())
     }
 
     /// Add a strand with metadata.
     pub fn strand_meta(&mut self, trace: TaskTrace, meta: GroupMeta) -> SpNodeId {
+        let start = self.pool.end_index();
+        for op in trace.ops() {
+            self.pool.push(op.pre_compute, op.mem);
+        }
+        let ops = crate::pool::TraceRange {
+            start,
+            end: self.pool.end_index(),
+        };
+        self.push_strand(ops, trace.post_compute(), trace.instructions(), meta)
+    }
+
+    fn push_strand(
+        &mut self,
+        ops: crate::pool::TraceRange,
+        post_compute: u64,
+        work: u64,
+        meta: GroupMeta,
+    ) -> SpNodeId {
         let tid = TaskId(self.tasks.len() as u32);
-        self.tasks.push(Task::new(trace));
+        self.tasks.push(Task {
+            ops,
+            post_compute,
+            work,
+        });
         self.push_node(SpNode {
             kind: SpKind::Strand(tid),
             children: Vec::new(),
@@ -290,22 +358,22 @@ impl ComputationBuilder {
         })
     }
 
-    /// Add a strand whose trace is produced by `f` on a fresh [`TraceBuilder`].
-    pub fn strand_with(&mut self, f: impl FnOnce(&mut TraceBuilder)) -> SpNodeId {
-        let mut tb = TraceBuilder::new(self.line_size);
-        f(&mut tb);
-        self.strand(tb.finish())
+    /// Add a strand whose trace is produced by `f` on a [`TraceBuilder`]
+    /// that appends straight into the computation's trace pool.
+    pub fn strand_with(&mut self, f: impl FnOnce(&mut TraceBuilder<'_>)) -> SpNodeId {
+        self.strand_with_meta(GroupMeta::default(), f)
     }
 
     /// Add a strand with metadata, trace produced by `f`.
     pub fn strand_with_meta(
         &mut self,
         meta: GroupMeta,
-        f: impl FnOnce(&mut TraceBuilder),
+        f: impl FnOnce(&mut TraceBuilder<'_>),
     ) -> SpNodeId {
-        let mut tb = TraceBuilder::new(self.line_size);
+        let mut tb = TraceBuilder::pooled(&mut self.pool, self.line_size);
         f(&mut tb);
-        self.strand_meta(tb.finish(), meta)
+        let (ops, post_compute, work) = tb.finish_pooled();
+        self.push_strand(ops, post_compute, work, meta)
     }
 
     /// A zero-work strand, useful as an explicit fork or join point.
@@ -396,11 +464,15 @@ impl ComputationBuilder {
     /// Panics if `root` does not dominate all created nodes (every node must
     /// be reachable from the root, otherwise tasks would be lost).
     pub fn finish(self, root: SpNodeId) -> Computation {
+        let mut pool = self.pool;
+        pool.shrink_to_fit();
         let comp = Computation {
             tasks: self.tasks,
             nodes: self.nodes,
             root,
             line_size: self.line_size,
+            pool,
+            streams: Mutex::new(Vec::new()),
         };
         // Reachability check: every strand must appear exactly once in the
         // sequential order.

@@ -1,0 +1,362 @@
+//! Precompiled per-line access streams.
+//!
+//! The simulator engines consume traces one *cache line* at a time: every
+//! [`MemRef`](crate::MemRef) is split into the lines it touches, each line
+//! address is masked to its line boundary, and the number of lines per
+//! reference is recomputed — per access, per cache level, per simulation.
+//! Since a sweep simulates the same computation under every scheduler ×
+//! core-count point at a fixed line size, all of that arithmetic is
+//! invariant across the points.
+//!
+//! A [`LineStream`] performs the resolution **once per `(computation, line
+//! size)` pair**: the pooled ops are expanded into a dense `u32` stream of
+//! line-granular steps (line id in the low bits, the write flag in bit 31)
+//! plus a parallel `u32` lane of pre-access compute, with one contiguous
+//! range per task.  Line ids index a `line_addr` table holding the aligned
+//! addresses the cache models need, so the hot loop does three streaming
+//! loads and zero divisions.  [`Computation::line_stream`] memoises the
+//! compiled stream behind an `Arc`, so every simulation of the same
+//! computation at the same line size shares one copy.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::Arc;
+
+use crate::sp::Computation;
+use crate::task::TaskId;
+
+/// Multiplicative hasher for line addresses (Fibonacci hashing).  Stream
+/// compilation interns one id per line-granular step; the default SipHash
+/// costs more than the simulator's own per-access work, which would make
+/// compilation — paid once per sweep configuration — eat the win it buys.
+/// Line addresses are bump-allocated and line-aligned, so a single
+/// multiply mixes them plenty.
+#[derive(Default)]
+struct LineHasher(u64);
+
+impl Hasher for LineHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, value: u64) {
+        // 2^64 / phi, the classic Fibonacci-hashing multiplier.
+        self.0 = (self.0 ^ value).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Write flag of a packed step (bits 0..31 hold the line id).
+pub const STEP_WRITE_BIT: u32 = 1 << 31;
+/// Mask of the line-id bits of a packed step.
+pub const STEP_ID_MASK: u32 = STEP_WRITE_BIT - 1;
+
+/// Line-address → line-id interner used during stream compilation.
+///
+/// Workload address spaces come from a bump allocator, so the touched lines
+/// are dense within `[min, max]`; when that span is compact the interner is
+/// a direct-mapped table indexed by `(line - base) >> log2(line_size)` —
+/// first-touch assignment with one indexed load per step, no hashing at
+/// all.  Pathologically sparse traces (hand-built addresses) fall back to a
+/// hash map with a cheap multiplicative [`LineHasher`].
+enum Interner {
+    Dense {
+        base: u64,
+        shift: u32,
+        /// Line index → id (`u32::MAX` = not yet interned).
+        table: Vec<u32>,
+    },
+    Sparse(HashMap<u64, u32, BuildHasherDefault<LineHasher>>),
+}
+
+/// Unassigned-slot sentinel of the dense interner.
+const UNASSIGNED: u32 = u32::MAX;
+
+impl Interner {
+    /// Pick dense or sparse interning by scanning the pool's address range.
+    fn for_pool(pool: &crate::pool::TracePool, line_size: u64) -> Interner {
+        let shift = line_size.trailing_zeros();
+        let (mut min, mut max) = (u64::MAX, 0u64);
+        for i in 0..pool.len() {
+            let mem = pool.mem(i);
+            let first = mem.addr & !(line_size - 1);
+            let last = (mem.addr + mem.size.max(1) as u64 - 1) & !(line_size - 1);
+            min = min.min(first);
+            max = max.max(last);
+        }
+        if pool.is_empty() {
+            return Interner::Dense {
+                base: 0,
+                shift,
+                table: Vec::new(),
+            };
+        }
+        let span_lines = ((max - min) >> shift) + 1;
+        // The table costs 4 bytes per line in the span; accept it while it
+        // stays within a small constant of the per-op lanes (bump-allocated
+        // address spaces always do — only hand-scattered addresses don't).
+        let budget = (pool.len() as u64 * 8).max(1 << 16);
+        if span_lines <= budget {
+            Interner::Dense {
+                base: min,
+                shift,
+                table: vec![UNASSIGNED; span_lines as usize],
+            }
+        } else {
+            Interner::Sparse(HashMap::with_capacity_and_hasher(
+                pool.len() / 2,
+                BuildHasherDefault::default(),
+            ))
+        }
+    }
+
+    /// Id of `line`, assigning the next id (and recording the address in
+    /// `line_addr`) on first touch.
+    #[inline]
+    fn intern(&mut self, line: u64, line_addr: &mut Vec<u64>) -> u32 {
+        match self {
+            Interner::Dense { base, shift, table } => {
+                let slot = &mut table[((line - *base) >> *shift) as usize];
+                if *slot == UNASSIGNED {
+                    let id = line_addr.len() as u32;
+                    assert!(id < STEP_ID_MASK, "line-id space exhausted");
+                    line_addr.push(line);
+                    *slot = id;
+                }
+                *slot
+            }
+            Interner::Sparse(map) => *map.entry(line).or_insert_with(|| {
+                let id = line_addr.len() as u32;
+                assert!(id < STEP_ID_MASK, "line-id space exhausted");
+                line_addr.push(line);
+                id
+            }),
+        }
+    }
+}
+
+/// The precompiled line-granular access stream of one computation at one
+/// cache-line size.  See the module docs for the layout.
+#[derive(Debug)]
+pub struct LineStream {
+    line_size: u64,
+    /// Compute instructions charged before step `i`'s cache probe (the op's
+    /// `pre_compute` on its first line, 0 on subsequent straddled lines).
+    pre: Vec<u32>,
+    /// Packed steps: line id | [`STEP_WRITE_BIT`].
+    steps: Vec<u32>,
+    /// Line id → aligned line address.
+    line_addr: Vec<u64>,
+    /// Per-task step ranges: task `t` owns `steps[starts[t]..starts[t+1]]`.
+    starts: Vec<u32>,
+}
+
+impl LineStream {
+    /// Expand `comp`'s pooled trace at `line_size`-byte granularity.
+    pub fn compile(comp: &Computation, line_size: u64) -> LineStream {
+        assert!(
+            line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        let pool = comp.trace_pool();
+        let mut pre: Vec<u32> = Vec::with_capacity(pool.len());
+        let mut steps: Vec<u32> = Vec::with_capacity(pool.len());
+        let mut line_addr: Vec<u64> = Vec::new();
+        let mut ids = Interner::for_pool(pool, line_size);
+        let mut starts: Vec<u32> = Vec::with_capacity(comp.num_tasks() + 1);
+        starts.push(0);
+
+        for t in 0..comp.num_tasks() as u32 {
+            let view = comp.trace(TaskId(t));
+            for op in view.ops() {
+                let first = op.mem.addr & !(line_size - 1);
+                let last = (op.mem.addr + op.mem.size.max(1) as u64 - 1) & !(line_size - 1);
+                let write_bit = if op.mem.kind.is_write() {
+                    STEP_WRITE_BIT
+                } else {
+                    0
+                };
+                let mut line = first;
+                let mut op_pre = op.pre_compute;
+                loop {
+                    let id = ids.intern(line, &mut line_addr);
+                    pre.push(op_pre);
+                    steps.push(id | write_bit);
+                    op_pre = 0;
+                    if line == last {
+                        break;
+                    }
+                    line += line_size;
+                }
+            }
+            assert!(
+                steps.len() < u32::MAX as usize,
+                "line stream exceeds u32 indexing"
+            );
+            starts.push(steps.len() as u32);
+        }
+
+        pre.shrink_to_fit();
+        steps.shrink_to_fit();
+        LineStream {
+            line_size,
+            pre,
+            steps,
+            line_addr,
+            starts,
+        }
+    }
+
+    /// The cache-line size the stream was compiled for.
+    #[inline]
+    pub fn line_size(&self) -> u64 {
+        self.line_size
+    }
+
+    /// The pre-access compute lane.
+    #[inline]
+    pub fn pre(&self) -> &[u32] {
+        &self.pre
+    }
+
+    /// The packed step lane.
+    #[inline]
+    pub fn steps(&self) -> &[u32] {
+        &self.steps
+    }
+
+    /// The line-id → aligned-address table.
+    #[inline]
+    pub fn line_addr(&self) -> &[u64] {
+        &self.line_addr
+    }
+
+    /// The step range of one task.
+    #[inline]
+    pub fn range(&self, t: TaskId) -> (usize, usize) {
+        (
+            self.starts[t.index()] as usize,
+            self.starts[t.index() + 1] as usize,
+        )
+    }
+
+    /// Total line-granular steps in the stream.
+    pub fn num_steps(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Number of distinct cache lines the computation touches.
+    pub fn num_lines(&self) -> usize {
+        self.line_addr.len()
+    }
+
+    /// Heap bytes held by the compiled stream.
+    pub fn heap_bytes(&self) -> u64 {
+        (self.pre.capacity() * std::mem::size_of::<u32>()
+            + self.steps.capacity() * std::mem::size_of::<u32>()
+            + self.line_addr.capacity() * std::mem::size_of::<u64>()
+            + self.starts.capacity() * std::mem::size_of::<u32>()) as u64
+    }
+}
+
+impl Computation {
+    /// The precompiled line stream of this computation at `line_size`,
+    /// compiled on first use and shared (one per line size) afterwards.
+    ///
+    /// Simulations of the same computation at the same line size — every
+    /// scheduler × core-count point of a sweep — reuse the same stream, so
+    /// address-to-line resolution happens once per sweep configuration.
+    pub fn line_stream(&self, line_size: u64) -> Arc<LineStream> {
+        let mut cache = self.streams.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((_, stream)) = cache.iter().find(|(ls, _)| *ls == line_size) {
+            return Arc::clone(stream);
+        }
+        let stream = Arc::new(LineStream::compile(self, line_size));
+        cache.push((line_size, Arc::clone(&stream)));
+        stream
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sp::{ComputationBuilder, GroupMeta};
+
+    fn sample() -> Computation {
+        let mut b = ComputationBuilder::new(128);
+        let a = b.strand_with(|t| {
+            t.compute(5).read(0x1000, 4).write(0x1040, 4); // same line twice
+        });
+        let c = b.strand_with(|t| {
+            t.read(0x10F8, 16); // straddles 0x1080 and 0x1100
+        });
+        let root = b.seq(vec![a, c], GroupMeta::default());
+        b.finish(root)
+    }
+
+    #[test]
+    fn expansion_matches_per_op_line_iteration() {
+        let comp = sample();
+        let stream = LineStream::compile(&comp, 128);
+        // Replay via MemRef::lines and compare.
+        let mut expect: Vec<(u32, u64, bool)> = Vec::new();
+        for t in 0..comp.num_tasks() as u32 {
+            for op in comp.trace(TaskId(t)).ops() {
+                let mut pre = op.pre_compute;
+                for line in op.mem.lines(128) {
+                    expect.push((pre, line, op.mem.kind.is_write()));
+                    pre = 0;
+                }
+            }
+        }
+        let got: Vec<(u32, u64, bool)> = (0..stream.num_steps())
+            .map(|i| {
+                let s = stream.steps()[i];
+                (
+                    stream.pre()[i],
+                    stream.line_addr()[(s & STEP_ID_MASK) as usize],
+                    s & STEP_WRITE_BIT != 0,
+                )
+            })
+            .collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn ranges_partition_the_stream() {
+        let comp = sample();
+        let stream = LineStream::compile(&comp, 128);
+        let (s0, e0) = stream.range(TaskId(0));
+        let (s1, e1) = stream.range(TaskId(1));
+        assert_eq!((s0, e0), (0, 2));
+        assert_eq!((s1, e1), (2, 4), "straddling ref expands to two steps");
+        assert_eq!(e1, stream.num_steps());
+        // Lines 0x1000 (shared by both refs of task 0), 0x1080, 0x1100.
+        assert_eq!(stream.num_lines(), 3);
+        assert!(stream.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn line_stream_is_cached_per_line_size() {
+        let comp = sample();
+        let a = comp.line_stream(128);
+        let b = comp.line_stream(128);
+        assert!(Arc::ptr_eq(&a, &b), "same line size shares one stream");
+        let c = comp.line_stream(64);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(c.line_size(), 64);
+        // A clone starts with an empty cache but compiles an equal stream.
+        let clone = comp.clone();
+        let d = clone.line_stream(128);
+        assert_eq!(d.num_steps(), a.num_steps());
+        assert_eq!(d.line_addr(), a.line_addr());
+    }
+}

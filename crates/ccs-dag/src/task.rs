@@ -5,8 +5,18 @@
 //! (Section 3 of the paper).  Each task carries a weight (its runtime in
 //! instructions) and, for trace-driven simulation and working-set profiling,
 //! an ordered list of memory references.
+//!
+//! Trace storage is *pooled*: inside a [`Computation`](crate::Computation)
+//! every task's ops live in one flat [`TracePool`] arena
+//! and the task holds only a [`TraceRange`] into it (see
+//! the [`pool`](crate::pool) module).  The standalone [`TaskTrace`] value
+//! type survives for callers that build or carry a single trace outside a
+//! computation; [`ComputationBuilder`](crate::ComputationBuilder) copies it
+//! into the pool on [`strand`](crate::ComputationBuilder::strand).
 
 use std::fmt;
+
+use crate::pool::{TracePool, TraceRange};
 
 /// Identifier of a task inside a [`crate::Computation`].
 ///
@@ -121,8 +131,13 @@ impl TraceOp {
     }
 }
 
-/// The full trace of a task: a sequence of [`TraceOp`]s plus a trailing run of
+/// A standalone task trace: a sequence of [`TraceOp`]s plus a trailing run of
 /// compute-only instructions executed after the final memory reference.
+///
+/// Inside a [`Computation`](crate::Computation) traces are pooled (see
+/// [`TracePool`]); `TaskTrace` is the owned value type for building a trace
+/// outside a computation ([`TraceBuilder::finish`]) or carrying one around
+/// (e.g. trace fusion in the coarsening pipeline).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct TaskTrace {
     ops: Vec<TraceOp>,
@@ -178,29 +193,28 @@ impl TaskTrace {
     }
 }
 
-/// A node of the computation DAG: instruction weight plus memory trace.
-#[derive(Clone, Debug, Default)]
+/// A node of the computation DAG: instruction weight plus the location of
+/// its memory trace in the computation's [`TracePool`].
+#[derive(Clone, Copy, Debug, Default)]
 pub struct Task {
-    /// The task's memory trace.
-    pub trace: TaskTrace,
-    /// Cached instruction count (always equal to `trace.instructions()`).
+    /// The task's ops inside the owning computation's trace pool.
+    pub ops: TraceRange,
+    /// Compute-only instructions after the last memory reference.
+    pub post_compute: u64,
+    /// Cached instruction count (compute + one per reference).
     pub work: u64,
 }
 
-impl Task {
-    /// Create a task from a trace, caching its instruction count.
-    pub fn new(trace: TaskTrace) -> Self {
-        let work = trace.instructions();
-        Task { trace, work }
-    }
-
-    /// A task with `instructions` compute-only instructions.
-    pub fn compute_only(instructions: u64) -> Self {
-        Task::new(TaskTrace::compute_only(instructions))
-    }
+/// Where a [`TraceBuilder`] writes its ops: its own vector (standalone
+/// builders that [`finish`](TraceBuilder::finish) into a [`TaskTrace`]) or a
+/// borrowed slot of a computation's shared [`TracePool`].
+#[derive(Debug)]
+enum Dest<'p> {
+    Owned(Vec<TraceOp>),
+    Pool { pool: &'p mut TracePool, start: u32 },
 }
 
-/// Incremental builder for a [`TaskTrace`].
+/// Incremental builder for a task trace.
 ///
 /// The builder offers two levels of granularity:
 ///
@@ -211,16 +225,25 @@ impl Task {
 ///   This is how the workload generators keep multi-megabyte traces tractable
 ///   while preserving the exact set of lines touched and the instruction
 ///   counts (Section 4 of DESIGN.md).
+///
+/// [`TraceBuilder::new`] gives a standalone builder whose
+/// [`finish`](TraceBuilder::finish) produces an owned [`TaskTrace`];
+/// [`ComputationBuilder::strand_with`](crate::ComputationBuilder::strand_with)
+/// hands closures a builder that appends straight into the computation's
+/// shared [`TracePool`] — same API, no per-task allocation.
 #[derive(Debug)]
-pub struct TraceBuilder {
+pub struct TraceBuilder<'p> {
     line_size: u64,
     pending_compute: u64,
-    ops: Vec<TraceOp>,
+    /// Instructions already committed to ops (pre-compute + one per ref),
+    /// maintained incrementally so pooled finishes need no second pass.
+    recorded_instr: u64,
+    dest: Dest<'p>,
 }
 
-impl TraceBuilder {
-    /// Create a builder that coalesces range accesses at `line_size`-byte
-    /// granularity. `line_size` must be a power of two.
+impl TraceBuilder<'static> {
+    /// Create a standalone builder that coalesces range accesses at
+    /// `line_size`-byte granularity. `line_size` must be a power of two.
     pub fn new(line_size: u64) -> Self {
         assert!(
             line_size.is_power_of_two(),
@@ -229,7 +252,23 @@ impl TraceBuilder {
         TraceBuilder {
             line_size,
             pending_compute: 0,
-            ops: Vec::new(),
+            recorded_instr: 0,
+            dest: Dest::Owned(Vec::new()),
+        }
+    }
+}
+
+impl<'p> TraceBuilder<'p> {
+    /// A builder that appends straight into `pool` (used by
+    /// `ComputationBuilder`).
+    pub(crate) fn pooled(pool: &'p mut TracePool, line_size: u64) -> Self {
+        debug_assert!(line_size.is_power_of_two());
+        let start = pool.end_index();
+        TraceBuilder {
+            line_size,
+            pending_compute: 0,
+            recorded_instr: 0,
+            dest: Dest::Pool { pool, start },
         }
     }
 
@@ -237,6 +276,15 @@ impl TraceBuilder {
     #[inline]
     pub fn line_size(&self) -> u64 {
         self.line_size
+    }
+
+    #[inline]
+    fn push_op(&mut self, pre_compute: u32, mem: MemRef) {
+        self.recorded_instr += pre_compute as u64 + 1;
+        match &mut self.dest {
+            Dest::Owned(ops) => ops.push(TraceOp { pre_compute, mem }),
+            Dest::Pool { pool, .. } => pool.push(pre_compute, mem),
+        }
     }
 
     /// Record `n` compute-only instructions.
@@ -250,16 +298,11 @@ impl TraceBuilder {
         // Split pending compute into u32-sized chunks if a pathological
         // amount of compute accumulated (keeps `pre_compute` lossless).
         while self.pending_compute > u32::MAX as u64 {
-            self.ops.push(TraceOp {
-                pre_compute: u32::MAX,
-                mem: MemRef::read(mem.addr & !(self.line_size - 1), 1),
-            });
+            self.push_op(u32::MAX, MemRef::read(mem.addr & !(self.line_size - 1), 1));
             self.pending_compute -= u32::MAX as u64 + 1;
         }
-        self.ops.push(TraceOp {
-            pre_compute: self.pending_compute as u32,
-            mem,
-        });
+        let pre = self.pending_compute as u32;
+        self.push_op(pre, mem);
         self.pending_compute = 0;
         self
     }
@@ -312,14 +355,42 @@ impl TraceBuilder {
 
     /// Number of references recorded so far.
     pub fn num_refs(&self) -> usize {
-        self.ops.len()
+        match &self.dest {
+            Dest::Owned(ops) => ops.len(),
+            Dest::Pool { pool, start } => pool.len() - *start as usize,
+        }
     }
 
-    /// Finish the trace.
+    /// Finish a standalone trace.
+    ///
+    /// # Panics
+    /// Panics on a pool-backed builder (those are finished internally by
+    /// `ComputationBuilder`, which records the range instead).
     pub fn finish(self) -> TaskTrace {
-        TaskTrace {
-            ops: self.ops,
-            post_compute: self.pending_compute,
+        match self.dest {
+            Dest::Owned(ops) => TaskTrace {
+                ops,
+                post_compute: self.pending_compute,
+            },
+            Dest::Pool { .. } => {
+                panic!("pool-backed TraceBuilder must be finished by its ComputationBuilder")
+            }
+        }
+    }
+
+    /// Finish a pool-backed trace: the recorded range, the trailing compute,
+    /// and the total instruction count (the task's `work`).
+    pub(crate) fn finish_pooled(self) -> (TraceRange, u64, u64) {
+        match self.dest {
+            Dest::Pool { pool, start } => (
+                TraceRange {
+                    start,
+                    end: pool.end_index(),
+                },
+                self.pending_compute,
+                self.recorded_instr + self.pending_compute,
+            ),
+            Dest::Owned(_) => unreachable!("finish_pooled on a standalone TraceBuilder"),
         }
     }
 }
@@ -398,12 +469,27 @@ mod tests {
     }
 
     #[test]
-    fn task_caches_work() {
-        let mut b = TraceBuilder::new(64);
-        b.compute(7).read(0, 4);
-        let task = Task::new(b.finish());
-        assert_eq!(task.work, 8);
-        assert_eq!(task.work, task.trace.instructions());
+    fn pooled_builder_matches_standalone() {
+        // The same builder calls must record the same ops whether they land
+        // in an owned vector or straight in a shared pool.
+        let record = |t: &mut TraceBuilder<'_>| {
+            t.compute(4).read(0, 8).write_range(256, 300, 2).compute(6);
+        };
+        let mut owned = TraceBuilder::new(128);
+        record(&mut owned);
+        let standalone = owned.finish();
+
+        let mut pool = TracePool::new();
+        let mut pooled = TraceBuilder::pooled(&mut pool, 128);
+        record(&mut pooled);
+        assert_eq!(pooled.num_refs(), standalone.num_refs());
+        let (range, post, work) = pooled.finish_pooled();
+        assert_eq!(post, standalone.post_compute());
+        assert_eq!(work, standalone.instructions());
+        let view = pool.view(range, post);
+        let pooled_ops: Vec<TraceOp> = view.ops().collect();
+        assert_eq!(pooled_ops.as_slice(), standalone.ops());
+        assert_eq!(view.instructions(), standalone.instructions());
     }
 
     #[test]

@@ -458,38 +458,72 @@ impl Experiment {
         // record per scheduler.  Points are independent, so they can run in
         // any order — records are placed by position to keep the report
         // deterministic.
-        let points: Vec<(&WorkloadSpec, &CmpConfig)> = self
-            .workloads
-            .iter()
-            .flat_map(|w| configs.iter().map(move |c| (w, c)))
-            .collect();
-        let run_point = |workload: &WorkloadSpec, config: &CmpConfig| -> Vec<RunRecord> {
+        //
+        // Registry builders are deterministic functions of (spec, scale,
+        // scaled L2 capacity, cores) — design points differing only in
+        // latencies or bandwidth (e.g. the fig. 4/5 sweeps) simulate the
+        // *same* computation.  Each distinct computation (and its DAG) is
+        // built once and shared by the points via `Arc`; the computation's
+        // internal line-stream cache then also compiles the address-to-line
+        // resolution once per distinct build.
+        type BuildKey = (usize, u64, usize);
+        let mut built: BTreeMap<BuildKey, Arc<(Arc<Computation>, Dag)>> = BTreeMap::new();
+        let mut points: Vec<Point<'_>> = Vec::with_capacity(self.workloads.len() * configs.len());
+        for (workload_idx, workload) in self.workloads.iter().enumerate() {
+            for config in &configs {
+                let key = (
+                    workload_idx,
+                    config.scaled(scale).l2.capacity,
+                    config.num_cores,
+                );
+                let shared = built
+                    .entry(key)
+                    .or_insert_with(|| {
+                        let comp = workload.build(scale, key.1, key.2);
+                        let dag = Dag::from_computation(&comp);
+                        Arc::new((comp, dag))
+                    })
+                    .clone();
+                points.push(Point {
+                    workload,
+                    config,
+                    built: shared,
+                });
+            }
+        }
+
+        let run_point = |point: &Point<'_>| -> Vec<RunRecord> {
+            let (workload, config) = (point.workload, point.config);
             let scaled = config.scaled(scale);
-            let comp = workload.build(scale, scaled.l2.capacity, config.num_cores);
-            // One DAG per point: the sequential baseline and every
-            // scheduler simulate the same computation.
-            let dag = Dag::from_computation(&comp);
+            let (comp, dag) = &*point.built;
+            let comp: &Computation = comp.as_ref();
+            // Memory-footprint metrics: deterministic functions of the
+            // build and line size, identical for both engines.
+            let trace_bytes = comp.trace_arena_bytes();
+            let peak_alloc_estimate =
+                trace_bytes + comp.line_stream(scaled.l2.line_size).heap_bytes() + dag.heap_bytes();
             let sequential = self.baseline.then(|| {
                 let mut seq_cfg = scaled.clone();
                 seq_cfg.num_cores = 1;
                 seq_cfg.name = format!("{}-seq", scaled.name);
                 let mut sched = SchedulerSpec::new("pdf").build();
-                simulate_with_engine(&comp, &dag, &seq_cfg, sched.as_mut(), self.engine)
+                simulate_with_engine(comp, dag, &seq_cfg, sched.as_mut(), self.engine)
             });
             schedulers
                 .iter()
                 .map(|spec| {
                     let mut sched = spec.build();
                     let result =
-                        simulate_with_engine(&comp, &dag, &scaled, sched.as_mut(), self.engine);
+                        simulate_with_engine(comp, dag, &scaled, sched.as_mut(), self.engine);
                     RunRecord::from_sim(workload.label(), spec, &result, sequential.as_ref())
+                        .with_footprint(trace_bytes, peak_alloc_estimate)
                 })
                 .collect()
         };
 
         let threads = self.parallelism.min(points.len());
         let results: Vec<Vec<RunRecord>> = if threads <= 1 {
-            points.iter().map(|&(w, c)| run_point(w, c)).collect()
+            points.iter().map(&run_point).collect()
         } else {
             let mut slots: Vec<Option<Vec<RunRecord>>> = points.iter().map(|_| None).collect();
             let pool = ThreadPool::new(threads, Policy::WorkStealing);
@@ -506,18 +540,23 @@ impl Experiment {
     }
 }
 
+/// One sweep point: a workload × design-point pair plus the prebuilt
+/// computation and DAG it shares with the other points of the same build.
+struct Point<'a> {
+    workload: &'a WorkloadSpec,
+    config: &'a CmpConfig,
+    built: Arc<(Arc<Computation>, Dag)>,
+}
+
 /// Recursively fork-join over the sweep points, writing each point's records
 /// into its own slot so completion order cannot reorder the report.
-fn fan_out<F>(
-    points: &[(&WorkloadSpec, &CmpConfig)],
-    slots: &mut [Option<Vec<RunRecord>>],
-    run_point: &F,
-) where
-    F: Fn(&WorkloadSpec, &CmpConfig) -> Vec<RunRecord> + Sync,
+fn fan_out<F>(points: &[Point<'_>], slots: &mut [Option<Vec<RunRecord>>], run_point: &F)
+where
+    F: Fn(&Point<'_>) -> Vec<RunRecord> + Sync,
 {
     match points.len() {
         0 => {}
-        1 => slots[0] = Some(run_point(points[0].0, points[0].1)),
+        1 => slots[0] = Some(run_point(&points[0])),
         n => {
             let (left, right) = points.split_at(n / 2);
             let (left_out, right_out) = slots.split_at_mut(n / 2);

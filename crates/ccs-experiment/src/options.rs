@@ -37,6 +37,10 @@ use crate::{Experiment, WorkloadSpec};
 /// * `--bench` — benchmark mode: `run_all` substitutes the timed
 ///   `ccs-bench` harness for its normal sweeps and emits `BENCH_sim.json`
 ///   (other binaries ignore the flag);
+/// * `--trials N` — in benchmark mode, repeat every timed pass `N` times
+///   and keep the fastest wall time (the default is harness-chosen: 3 for
+///   quick sweeps, 1 for full sweeps, 5 for the raw-simulator
+///   microbenches);
 /// * binary-specific flags are collected in [`Options::rest`].
 #[derive(Clone, Debug)]
 pub struct Options {
@@ -60,6 +64,9 @@ pub struct Options {
     /// Benchmark mode (`--bench`): `run_all` runs the timed harness and
     /// emits `BENCH_sim.json` instead of the plain sweeps.
     pub bench: bool,
+    /// Benchmark trial count override (`--trials N`, min 1); `None` uses
+    /// the harness defaults.
+    pub trials: Option<u32>,
     /// Remaining unrecognised flags (binary-specific).
     pub rest: Vec<String>,
 }
@@ -75,6 +82,7 @@ impl Default for Options {
             json: None,
             engine: SimEngine::default(),
             bench: false,
+            trials: None,
             rest: Vec::new(),
         }
     }
@@ -142,6 +150,12 @@ impl Options {
                     opts.engine = v.parse().unwrap_or_else(|e| panic!("--engine: {e}"));
                 }
                 "--bench" => opts.bench = true,
+                "--trials" => {
+                    let v = iter.next().expect("--trials requires a count");
+                    let n: u32 = v.parse().expect("--trials must be a positive integer");
+                    assert!(n >= 1, "--trials must be at least 1");
+                    opts.trials = Some(n);
+                }
                 other => opts.rest.push(other.to_string()),
             }
         }
@@ -288,18 +302,25 @@ mod tests {
         assert_eq!(o.json, None);
         assert_eq!(o.engine, SimEngine::EventDriven);
         assert!(!o.bench);
+        assert_eq!(o.trials, None);
     }
 
     #[test]
     fn engine_and_bench_flags() {
         let o = Options::parse(
-            ["--engine", "reference", "--bench"]
+            ["--engine", "reference", "--bench", "--trials", "7"]
                 .into_iter()
                 .map(String::from),
         );
         assert_eq!(o.engine, SimEngine::Reference);
         assert!(o.bench);
+        assert_eq!(o.trials, Some(7));
         assert!(o.rest.is_empty());
+
+        let bad = std::panic::catch_unwind(|| {
+            Options::parse(["--trials", "0"].into_iter().map(String::from))
+        });
+        assert!(bad.is_err(), "--trials 0 must be rejected");
 
         let bad = std::panic::catch_unwind(|| {
             Options::parse(["--engine", "quantum"].into_iter().map(String::from))

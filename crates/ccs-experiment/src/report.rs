@@ -43,6 +43,13 @@ pub struct RunRecord {
     pub bandwidth_utilization: f64,
     /// Off-chip traffic in bytes (fills + write-backs).
     pub off_chip_bytes: u64,
+    /// Heap footprint of the simulated computation's trace arena
+    /// (structure-of-arrays op lanes) in bytes.  Deterministic per build.
+    pub trace_bytes: u64,
+    /// Estimated peak host allocation for this run: trace arena + compiled
+    /// line stream + CSR DAG.  Deterministic per build and engine-
+    /// independent (both engines share the same inputs).
+    pub peak_alloc_estimate: u64,
     /// Speedup over the matching sequential baseline, when one was run.
     pub speedup_over_seq: Option<f64>,
 }
@@ -71,8 +78,18 @@ impl RunRecord {
             l2_mpki: result.l2_mpki(),
             bandwidth_utilization: result.bandwidth_utilization,
             off_chip_bytes: result.off_chip_bytes(),
+            trace_bytes: 0,
+            peak_alloc_estimate: 0,
             speedup_over_seq: sequential.map(|seq| result.speedup_over(seq)),
         }
+    }
+
+    /// Attach the memory-footprint metrics (filled in by the experiment
+    /// layer, which owns the built computation).
+    pub fn with_footprint(mut self, trace_bytes: u64, peak_alloc_estimate: u64) -> RunRecord {
+        self.trace_bytes = trace_bytes;
+        self.peak_alloc_estimate = peak_alloc_estimate;
+        self
     }
 
     /// Display label for tables: the scheduler name, with the seed attached
@@ -112,6 +129,8 @@ impl RunRecord {
             ("l2_mpki", self.l2_mpki.into()),
             ("bandwidth_utilization", self.bandwidth_utilization.into()),
             ("off_chip_bytes", self.off_chip_bytes.into()),
+            ("trace_bytes", self.trace_bytes.into()),
+            ("peak_alloc_estimate", self.peak_alloc_estimate.into()),
             ("speedup_over_seq", self.speedup_over_seq.into()),
         ])
     }
@@ -158,6 +177,8 @@ impl RunRecord {
             l2_mpki: f64_field("l2_mpki")?,
             bandwidth_utilization: f64_field("bandwidth_utilization")?,
             off_chip_bytes: u64_field("off_chip_bytes")?,
+            trace_bytes: u64_field("trace_bytes")?,
+            peak_alloc_estimate: u64_field("peak_alloc_estimate")?,
             speedup_over_seq: opt("speedup_over_seq", Json::as_f64),
         })
     }
@@ -295,7 +316,8 @@ impl Report {
         let mut out = String::from(
             "workload,config,cores,scheduler,seed,cycles,instructions,tasks,\
              l1_accesses,l1_misses,l2_accesses,l2_misses,l2_mpki,\
-             bandwidth_utilization,off_chip_bytes,speedup_over_seq\n",
+             bandwidth_utilization,off_chip_bytes,trace_bytes,\
+             peak_alloc_estimate,speedup_over_seq\n",
         );
         for r in &self.records {
             let seed = r.seed.map(|s| s.to_string()).unwrap_or_default();
@@ -304,7 +326,7 @@ impl Report {
                 .map(|s| format!("{s:.6}"))
                 .unwrap_or_default();
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{:.6},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{:.6},{},{},{},{}\n",
                 csv_escape(&r.workload),
                 csv_escape(&r.config),
                 r.cores,
@@ -320,6 +342,8 @@ impl Report {
                 r.l2_mpki,
                 r.bandwidth_utilization,
                 r.off_chip_bytes,
+                r.trace_bytes,
+                r.peak_alloc_estimate,
                 speedup,
             ));
         }
@@ -381,6 +405,8 @@ mod tests {
             l2_mpki: 7.593,
             bandwidth_utilization: 0.25,
             off_chip_bytes: 960_000,
+            trace_bytes: 48_000,
+            peak_alloc_estimate: 96_000,
             speedup_over_seq: Some(5.5),
         }
     }

@@ -222,7 +222,7 @@ fn fuse_group(
     let g = tree.group(gid);
     let mut tb = TraceBuilder::new(comp.line_size());
     for &task in tree.tasks_in(gid) {
-        let trace = &comp.task(task).trace;
+        let trace = comp.trace(task);
         for op in trace.ops() {
             tb.compute(op.pre_compute as u64);
             tb.access(op.mem);
@@ -255,7 +255,7 @@ fn rebuild(
             if let Some(site) = g.meta.site {
                 meta = meta.at(site);
             }
-            b.strand_meta(comp.task(task).trace.clone(), meta)
+            b.strand_meta(comp.trace(task).to_task_trace(), meta)
         }
         GroupKind::Seq | GroupKind::Par => {
             let children: Vec<SpNodeId> = g

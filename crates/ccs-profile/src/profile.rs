@@ -111,7 +111,7 @@ impl WorkingSetProfile {
 
         for &tid in &seq {
             let rank = rank_of[tid.index()];
-            for mem in comp.task(tid).trace.refs() {
+            for mem in comp.trace(tid).refs() {
                 for line in mem.lines(line_size) {
                     refs_per_task[rank as usize] += 1;
                     let dist = stack.access(line);

@@ -45,8 +45,8 @@ pub fn profile_group(
         .map(|&cache_bytes| {
             let mut cache = IdealCache::with_bytes(cache_bytes, comp.line_size());
             for &task in tree.tasks_in(group) {
-                for mem in comp.task(task).trace.refs() {
-                    cache.access_ref(mem);
+                for mem in comp.trace(task).refs() {
+                    cache.access_ref(&mem);
                 }
             }
             GroupCacheStats {
@@ -63,7 +63,7 @@ pub fn profile_group(
 pub fn group_working_set_lines(comp: &Computation, tree: &TaskGroupTree, group: GroupId) -> u64 {
     let mut stack = ccs_cache::NaiveLruStack::new();
     for &task in tree.tasks_in(group) {
-        for mem in comp.task(task).trace.refs() {
+        for mem in comp.trace(task).refs() {
             for line in mem.lines(comp.line_size()) {
                 stack.access(line);
             }

@@ -17,7 +17,7 @@ use ccs_dag::{Computation, Dag, TaskId};
 pub fn sequential_misses(comp: &Computation, cache_lines: u64) -> u64 {
     let mut cache = IdealCache::new(cache_lines, comp.line_size());
     for (_, r) in comp.sequential_refs() {
-        cache.access_ref(r);
+        cache.access_ref(&r);
     }
     cache.stats().misses
 }
@@ -48,13 +48,17 @@ pub fn pdf_ideal_misses(comp: &Computation, num_cores: usize, cache_lines: u64) 
     }
     let mut cursors: Vec<Cursor> = (0..n)
         .map(|i| {
-            let t = comp.task(TaskId(i as u32));
-            let first_pre = t.trace.ops().first().map_or(0, |o| o.pre_compute as u64);
-            let done = t.trace.ops().is_empty() && t.trace.post_compute() == 0;
+            let trace = comp.trace(TaskId(i as u32));
+            let first_pre = if trace.is_empty() {
+                0
+            } else {
+                trace.op(0).pre_compute as u64
+            };
+            let done = trace.is_empty() && trace.post_compute() == 0;
             Cursor {
                 op: 0,
                 pre_remaining: first_pre,
-                post_remaining: t.trace.post_compute(),
+                post_remaining: trace.post_compute(),
                 done,
             }
         })
@@ -112,22 +116,22 @@ pub fn pdf_ideal_misses(comp: &Computation, num_cores: usize, cache_lines: u64) 
 
         for t in selected {
             let i = t.index();
-            let task = comp.task(t);
+            let trace = comp.trace(t);
             let c = &mut cursors[i];
-            if c.op < task.trace.ops().len() {
+            if c.op < trace.num_refs() {
                 if c.pre_remaining > 0 {
                     c.pre_remaining -= 1;
                 } else {
                     // Execute the memory reference.
-                    let op = &task.trace.ops()[c.op];
+                    let op = trace.op(c.op);
                     misses += cache.access_ref(&op.mem) as u64;
                     c.op += 1;
-                    c.pre_remaining = task
-                        .trace
-                        .ops()
-                        .get(c.op)
-                        .map_or(0, |o| o.pre_compute as u64);
-                    if c.op == task.trace.ops().len() && c.post_remaining == 0 {
+                    c.pre_remaining = if c.op < trace.num_refs() {
+                        trace.op(c.op).pre_compute as u64
+                    } else {
+                        0
+                    };
+                    if c.op == trace.num_refs() && c.post_remaining == 0 {
                         c.done = true;
                     }
                 }

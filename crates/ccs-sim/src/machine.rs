@@ -30,11 +30,23 @@
 //!   earliest event.  The heap is only touched when another core's pending
 //!   event sorts first, so the common case (a core streaming through L1
 //!   hits, or any single-core run) costs zero heap traffic.  Stores
-//!   invalidate remote L1 copies through a [`LineDirectory`] in `O(sharers)`
-//!   instead of broadcasting to all `p` L1s;
+//!   invalidate remote L1 copies through a flat line-id-indexed sharer
+//!   directory in `O(sharers)` instead of broadcasting to all `p` L1s.
+//!   Traces are consumed through
+//!   the computation's precompiled [`LineStream`]: addresses are resolved
+//!   to dense line ids once per `(computation, line size)` pair and the hot
+//!   loop iterates flat `u32` lanes — no per-access line masking, straddle
+//!   division or per-task pointer chasing — with a one-entry **MRU line
+//!   filter** in front of each L1 (a read of the line a core touched last
+//!   is a guaranteed hit on the MRU way, a state no-op that only the
+//!   statistics need to see; see DESIGN.md §8);
 //! * the **reference** cycle-stepper (`reference` module): the seed loop,
 //!   one heap round-trip per micro-step and a broadcast per store, retained
-//!   as the executable specification.
+//!   as the executable specification (it reads per-task [`TaskTrace`]s
+//!   materialised from the pool through a thin adapter).
+//!
+//! [`LineStream`]: ccs_dag::LineStream
+//! [`TaskTrace`]: ccs_dag::TaskTrace
 //!
 //! The two engines are *metrics-identical* — same cycles, same hit/miss/
 //! eviction counts — for every computation, configuration and scheduler;
@@ -47,9 +59,12 @@
 //! timing cost.  These choices do not affect the L2 miss counts that drive
 //! the paper's results.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use ccs_cache::directory::MAX_DIRECTORY_CORES;
-use ccs_cache::{LineDirectory, MainMemory, SetAssocCache};
-use ccs_dag::{AccessKind, Computation, Dag, TaskId};
+use ccs_cache::{MainMemory, SetAssocCache};
+use ccs_dag::{AccessKind, Computation, Dag, LineStream, TaskId, STEP_ID_MASK, STEP_WRITE_BIT};
 use ccs_sched::{Scheduler, SchedulerSpec};
 
 use crate::config::CmpConfig;
@@ -103,23 +118,20 @@ impl std::str::FromStr for SimEngine {
 /// What a core is currently doing.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Phase {
-    /// Ready to start (or continue) the current op of the current task.
+    /// Ready to start (or continue) the current step of the current task.
     NextOp,
     /// An L1 miss is probing the shared L2; resolves at the core's `time`.
-    L2Probe { line: u64, is_write: bool },
+    L2Probe { id: u32, is_write: bool },
     /// An L2 miss is waiting for main memory; data arrives at the core's
     /// `time`.
-    MemFill { line: u64, is_write: bool },
+    MemFill { id: u32, is_write: bool },
 }
 
 #[derive(Clone, Copy, Debug)]
 struct Core {
     task: Option<TaskId>,
-    /// Index of the current trace op.
-    op_idx: usize,
-    /// Index of the current line within the current op (for references that
-    /// straddle cache lines).
-    line_idx: u64,
+    /// Index of the current step in the precompiled line stream.
+    step: usize,
     phase: Phase,
     /// The next simulation time this core needs attention.
     time: u64,
@@ -132,26 +144,11 @@ impl Core {
     fn new() -> Self {
         Core {
             task: None,
-            op_idx: 0,
-            line_idx: 0,
+            step: 0,
             phase: Phase::NextOp,
             time: 0,
             task_started: 0,
             busy: 0,
-        }
-    }
-
-    /// Advance past the line just serviced, moving to the next line of the
-    /// same reference or to the next op.
-    fn advance_line(&mut self, trace: &ccs_dag::TaskTrace, line_size: u64) {
-        let op = &trace.ops()[self.op_idx];
-        let first_line = op.mem.addr & !(line_size - 1);
-        let last_line = (op.mem.addr + op.mem.size.max(1) as u64 - 1) & !(line_size - 1);
-        let num_lines = (last_line - first_line) / line_size + 1;
-        self.line_idx += 1;
-        if self.line_idx >= num_lines {
-            self.line_idx = 0;
-            self.op_idx += 1;
         }
     }
 }
@@ -212,16 +209,23 @@ pub fn simulate_with_engine(
 ///
 /// Ordering invariant: micro-steps are applied in exactly the ascending
 /// `(time, core)` order of the reference cycle-stepper.  Pending events
-/// live in a flat `next_time` array (one slot per core, `u64::MAX` = no
-/// event) — at `p ≤ 32` cores a linear argmin beats a binary heap and,
-/// more importantly, makes the continuation check a single comparison: the
-/// running core keeps stepping inline while `(core.time, core_id)` sorts
-/// before the earliest *other* pending event, which cannot change while
-/// that core runs (other cores only mutate state when they themselves are
-/// stepped).  That is precisely the condition under which the reference
-/// would pop this same continuation event next, so shared state (L2,
-/// memory controller, remote-L1 invalidations) is touched in an identical
-/// sequence and the two engines are metrics-identical by construction.
+/// live in a `(time, core)` min-heap that is touched once per *park*, not
+/// once per micro-step, and the heap top after each pop is the earliest
+/// *other* pending event — which makes the continuation check a single
+/// comparison: the running core keeps stepping inline while
+/// `(core.time, core_id)` sorts before that frozen top, which cannot
+/// change while the core runs (other cores only mutate state when they
+/// themselves are stepped).  That is precisely the condition under which
+/// the reference would pop this same continuation event next, so shared
+/// state (L2, memory controller, remote-L1 invalidations) is touched in an
+/// identical sequence and the two engines are metrics-identical by
+/// construction.
+///
+/// Traces are consumed through the computation's precompiled
+/// [`LineStream`]: each core walks a contiguous `u32` window of
+/// line-granular steps, so the per-access work is three streaming lane
+/// loads plus the cache probes — the line masking, straddle division and
+/// per-task `Vec` indirection of the seed are all gone from the hot loop.
 fn event_driven(
     comp: &Computation,
     dag: &Dag,
@@ -236,16 +240,40 @@ fn event_driven(
         config.l1.line_size, line_size,
         "L1 and L2 must use the same line size"
     );
+    // Resolve addresses to dense line ids once per (computation, line
+    // size); every simulation of this sweep point shares the compiled
+    // stream through the computation's cache.
+    let stream_arc = comp.line_stream(line_size);
+    let stream: &LineStream = &stream_arc;
+    let stream_pre = stream.pre();
+    let stream_steps = stream.steps();
+    let line_addrs = stream.line_addr();
 
+    let l1_hit_latency = config.l1.hit_latency;
+    let l2_hit_latency = config.l2.hit_latency;
     let mut l1s: Vec<SetAssocCache> = (0..p).map(|_| SetAssocCache::new(config.l1)).collect();
     let mut l2 = SetAssocCache::new(config.l2);
     let mut memory = MainMemory::new(config.memory);
     // Line-ownership directory: stores invalidate only the L1s that may
-    // hold a copy (`O(sharers)`), instead of broadcasting to all `p`.  A
-    // single core has no remote copies to invalidate, and a machine wider
-    // than the sharer mask falls back to the broadcast — both keep metrics
-    // identical (invalidating a non-resident line is a no-op).
-    let mut directory = (p > 1 && p <= MAX_DIRECTORY_CORES).then(|| LineDirectory::new(p));
+    // hold a copy (`O(sharers)`), instead of broadcasting to all `p`.  With
+    // the stream's dense line ids the directory is a *flat sharer-mask
+    // array indexed by line id* — one indexed load instead of the open-
+    // addressing probe sequence a line-address map needs.  Bits are set on
+    // every L1 allocation and only pruned by stores, so the mask is a
+    // superset of the true holders (a stale bit costs one no-op
+    // invalidation — metrics-identical to the broadcast).  A single core
+    // has no remote copies to invalidate, and a machine wider than the
+    // mask falls back to the broadcast.
+    let mut directory: Option<Vec<u64>> =
+        (p > 1 && p <= MAX_DIRECTORY_CORES).then(|| vec![0u64; stream.num_lines()]);
+    // One-entry MRU filter per core: the line id this core's last completed
+    // access left at the MRU position of its L1 (`NO_LINE` = unknown).  A
+    // read matching the filter is a guaranteed L1 hit on the MRU way — a
+    // pure state no-op — so only the statistics are recorded.  Remote
+    // stores clear the victimised cores' entries, keeping the guarantee
+    // exact (see DESIGN.md §8 for the argument).
+    const NO_LINE: u32 = u32::MAX;
+    let mut mru: Vec<u32> = vec![NO_LINE; p];
 
     let mut cores: Vec<Core> = (0..p).map(|_| Core::new()).collect();
     let mut in_deg: Vec<u32> = (0..n as u32)
@@ -264,12 +292,12 @@ fn event_driven(
         sched.task_enabled(r, None);
     }
 
-    /// No pending event for this core.
-    const IDLE: u64 = u64::MAX;
-
-    // Pending events: next_time[c] is when core c needs attention (IDLE =
-    // none).  Idle cores are tracked separately and woken on completions.
-    let mut next_time: Vec<u64> = vec![IDLE; p];
+    // Pending events, keyed by `(time, core)` for deterministic ordering —
+    // the same min-heap discipline as the reference, but pushed/popped once
+    // per *park* (a blocked miss or a lost yield race), not once per
+    // micro-step, so heap traffic is orders of magnitude lower.  Idle cores
+    // are tracked separately and woken on completions.
+    let mut active: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::with_capacity(p + 1);
     let mut idle: Vec<usize> = Vec::new();
 
     // Dispatch as much ready work as possible at `now`, preferring `first`.
@@ -277,9 +305,10 @@ fn event_driven(
         now: u64,
         first: Option<usize>,
         sched: &mut dyn Scheduler,
+        stream: &LineStream,
         cores: &mut [Core],
         idle: &mut Vec<usize>,
-        next_time: &mut [u64],
+        active: &mut BinaryHeap<Reverse<(u64, usize)>>,
     ) {
         idle.sort_unstable();
         if let Some(f) = first {
@@ -299,12 +328,11 @@ fn event_driven(
                     idle.remove(i);
                     let core = &mut cores[core_id];
                     core.task = Some(task);
-                    core.op_idx = 0;
-                    core.line_idx = 0;
+                    core.step = stream.range(task).0;
                     core.phase = Phase::NextOp;
                     core.time = now;
                     core.task_started = now;
-                    next_time[core_id] = now;
+                    active.push(Reverse((now, core_id)));
                 }
                 None => {
                     i += 1;
@@ -313,31 +341,9 @@ fn event_driven(
         }
     }
 
-    /// Earliest and second-earliest pending `(time, core)` in one scan.
-    /// Cores are visited in id order with strict `<`, so ties resolve to
-    /// the lowest core id — the same order the reference's `(time, core)`
-    /// min-heap pops.  Returns `((IDLE, usize::MAX), ..)` entries when
-    /// fewer than two events are pending.
-    fn earliest2(next_time: &[u64]) -> ((u64, usize), (u64, usize)) {
-        let (mut best_t, mut best_c) = (IDLE, usize::MAX);
-        let (mut run_t, mut run_c) = (IDLE, usize::MAX);
-        for (c, &t) in next_time.iter().enumerate() {
-            if t == IDLE {
-                continue;
-            }
-            if t < best_t {
-                (run_t, run_c) = (best_t, best_c);
-                (best_t, best_c) = (t, c);
-            } else if t < run_t {
-                (run_t, run_c) = (t, c);
-            }
-        }
-        ((best_t, best_c), (run_t, run_c))
-    }
-
     // Initial dispatch at time 0.
     idle.extend(0..p);
-    dispatch(0, None, sched, &mut cores, &mut idle, &mut next_time);
+    dispatch(0, None, sched, stream, &mut cores, &mut idle, &mut active);
 
     // The reference also folds every popped event time into the makespan,
     // but a core's event times never exceed the finish time of the task it
@@ -347,27 +353,29 @@ fn event_driven(
     let mut newly: Vec<TaskId> = Vec::new();
 
     while completed < n {
-        // One scan finds both the core to run and the earliest event any
-        // *other* core holds.  The latter is frozen for the whole inline
-        // run: other cores' times only change when they are stepped, and
-        // dispatch only runs at this core's task completion (which ends
-        // the run).  `(yt, yc)` = "yield to core `yc` at time `yt`";
-        // `IDLE`/`usize::MAX` when this core is alone.
-        let ((now, core_id), (yt, yc)) = earliest2(&next_time);
-        assert!(
-            core_id != usize::MAX,
-            "simulator deadlock: tasks remain but no core is active"
-        );
-        next_time[core_id] = IDLE;
+        // Pop the earliest event; the heap top after the pop is the
+        // earliest event any *other* core holds.  The latter is frozen for
+        // the whole inline run: other cores' times only change when they
+        // are stepped, and dispatch only runs at this core's task
+        // completion (which ends the run).  `(yt, yc)` = "yield to core
+        // `yc` at time `yt`"; `u64::MAX`/`usize::MAX` when this core is
+        // alone.
+        let Reverse((now, core_id)) = active
+            .pop()
+            .expect("simulator deadlock: tasks remain but no core is active");
+        let (yt, yc) = match active.peek() {
+            Some(&Reverse((t, c))) => (t, c),
+            None => (u64::MAX, usize::MAX),
+        };
         debug_assert_eq!(cores[core_id].time, now);
         // Hoisted per run: the core state lives in a local (register-
-        // resident, written back on exit), the task's trace is resolved
-        // once (the task cannot change mid-run), and this core's L1 is
-        // split out of the slice so probes skip the per-call indexing.
+        // resident, written back on exit), the task's stream window is
+        // resolved once (the task cannot change mid-run), and this core's
+        // L1 is split out of the slice so probes skip the per-call
+        // indexing.
         let mut core = cores[core_id];
         let task_id = core.task.expect("active core without a task");
-        let trace = &comp.task(task_id).trace;
-        let ops = trace.ops();
+        let task_end = stream.range(task_id).1;
         let (l1s_below, rest) = l1s.split_at_mut(core_id);
         let (my_l1, l1s_above) = rest.split_first_mut().expect("core id in range");
 
@@ -378,30 +386,33 @@ fn event_driven(
             };
         }
         // An L2 hit or a returning memory fill: install the line in this
-        // core's L1 and move on to the next line of the op.  The miss
-        // already allocated the line at the MRU position with the right
-        // dirty bit, and this core makes no other L1 accesses while
-        // blocked, so the fill is a state no-op *unless* a remote store
-        // invalidated the line in flight.  For the in-flight line the
-        // directory is exact (stale bits only arise from evictions, and a
-        // blocked core evicts nothing), so `holds` decides; with one core
-        // no remote store exists at all.  Only the >64-core broadcast
-        // fallback still has to re-probe unconditionally.
+        // core's L1 and move on to the next step.  The miss already
+        // allocated the line at the MRU position with the right dirty bit,
+        // and this core makes no other L1 accesses while blocked, so the
+        // fill is a state no-op *unless* a remote store invalidated the
+        // line in flight.  For the in-flight line the directory is exact
+        // (stale bits only arise from evictions, and a blocked core evicts
+        // nothing), so `holds` decides; with one core no remote store
+        // exists at all.  Only the >64-core broadcast fallback still has
+        // to re-probe unconditionally.  Either way the line ends at the
+        // MRU position of this L1, so the filter latches it.
         macro_rules! fill_and_advance {
-            ($line:expr, $is_write:expr) => {
+            ($id:expr, $is_write:expr) => {
                 match directory.as_mut() {
                     Some(dir) => {
-                        if !dir.holds($line, core_id) {
-                            my_l1.fill_line($line, $is_write);
-                            dir.insert($line, core_id);
+                        let slot = &mut dir[$id as usize];
+                        if *slot & (1u64 << core_id) == 0 {
+                            my_l1.fill_line(line_addrs[$id as usize], $is_write);
+                            *slot |= 1u64 << core_id;
                         }
                     }
                     None if p == 1 => {}
                     None => {
-                        my_l1.fill_line($line, $is_write);
+                        my_l1.fill_line(line_addrs[$id as usize], $is_write);
                     }
                 }
-                core.advance_line(trace, line_size);
+                mru[core_id] = $id;
+                core.step += 1;
                 core.phase = Phase::NextOp;
             };
         }
@@ -414,84 +425,105 @@ fn event_driven(
         loop {
             match core.phase {
                 Phase::NextOp => {
-                    if core.op_idx < ops.len() {
-                        let op = &ops[core.op_idx];
-                        if core.line_idx == 0 {
-                            // Charge the compute preceding this reference
-                            // once.
-                            core.time += op.pre_compute as u64;
-                        }
-                        let first_line = op.mem.addr & !(line_size - 1);
-                        let last_line =
-                            (op.mem.addr + op.mem.size.max(1) as u64 - 1) & !(line_size - 1);
-                        let num_lines = (last_line - first_line) / line_size + 1;
-                        let line = first_line + core.line_idx * line_size;
-                        let is_write = op.mem.kind.is_write();
-                        // L1 probe (always pays the L1 hit latency).
-                        core.time += config.l1.hit_latency;
-                        let outcome = my_l1.access_line(line, op.mem.kind);
-                        if let Some(dir) = directory.as_mut() {
-                            if !outcome.hit {
-                                // The probe allocated `line`: record the
-                                // copy.  The evicted victim's bit is left
-                                // stale on purpose (see the directory docs).
-                                dir.insert(line, core_id);
-                            }
-                            if is_write {
-                                // Write-invalidate the sharing L1s only.
-                                for other in dir.sharers_except(line, core_id) {
-                                    if other < core_id {
-                                        l1s_below[other].invalidate_line(line);
-                                    } else {
-                                        l1s_above[other - core_id - 1].invalidate_line(line);
+                    if core.step < task_end {
+                        // Charge the compute preceding this step (zero on
+                        // the trailing lines of a straddling reference),
+                        // then the L1 probe latency (always paid).
+                        core.time += stream_pre[core.step] as u64 + l1_hit_latency;
+                        let step = stream_steps[core.step];
+                        let id = step & STEP_ID_MASK;
+                        let is_write = step & STEP_WRITE_BIT != 0;
+                        if !is_write && mru[core_id] == id {
+                            // MRU filter: this core's last completed access
+                            // left `id` at the MRU way of its L1 and no
+                            // remote store invalidated it since, so the
+                            // probe would be a hit that changes no cache
+                            // state — record the hit and move on.
+                            my_l1.record_mru_read_hit();
+                            core.step += 1;
+                        } else {
+                            let line = line_addrs[id as usize];
+                            let kind = if is_write {
+                                AccessKind::Write
+                            } else {
+                                AccessKind::Read
+                            };
+                            let outcome = my_l1.access_line(line, kind);
+                            if let Some(dir) = directory.as_mut() {
+                                let slot = &mut dir[id as usize];
+                                if !outcome.hit {
+                                    // The probe allocated `line`: record the
+                                    // copy.  The evicted victim's bit is left
+                                    // stale on purpose (see the directory
+                                    // comment above).
+                                    *slot |= 1u64 << core_id;
+                                }
+                                if is_write {
+                                    // Write-invalidate the sharing L1s only,
+                                    // dropping their MRU-filter entries for
+                                    // this line.
+                                    let mut others = *slot & !(1u64 << core_id);
+                                    *slot &= 1u64 << core_id;
+                                    while others != 0 {
+                                        let other = others.trailing_zeros() as usize;
+                                        others &= others - 1;
+                                        if other < core_id {
+                                            l1s_below[other].invalidate_line(line);
+                                        } else {
+                                            l1s_above[other - core_id - 1].invalidate_line(line);
+                                        }
+                                        if mru[other] == id {
+                                            mru[other] = NO_LINE;
+                                        }
                                     }
                                 }
-                                dir.retain_only(line, core_id);
+                            } else if is_write {
+                                // Broadcast fallback (single core, or more
+                                // cores than the directory's sharer mask).
+                                for l1 in l1s_below.iter_mut().chain(l1s_above.iter_mut()) {
+                                    l1.invalidate_line(line);
+                                }
+                                for (other, slot) in mru.iter_mut().enumerate() {
+                                    if other != core_id && *slot == id {
+                                        *slot = NO_LINE;
+                                    }
+                                }
                             }
-                        } else if is_write {
-                            // Broadcast fallback (single core, or more cores
-                            // than the directory's sharer mask).
-                            for l1 in l1s_below.iter_mut().chain(l1s_above.iter_mut()) {
-                                l1.invalidate_line(line);
-                            }
-                        }
-                        if outcome.hit {
-                            core.line_idx += 1;
-                            if core.line_idx == num_lines {
-                                core.line_idx = 0;
-                                core.op_idx += 1;
-                            }
-                            // stay in NextOp
-                        } else {
-                            // L1 miss: the L2 probe resolves after the L2
-                            // hit latency.  Fused fast path — run the probe
-                            // (and, on an L2 miss, the memory fill) right
-                            // now unless another core's event interleaves.
-                            core.time += config.l2.hit_latency;
-                            if yields!(core.time) {
-                                core.phase = Phase::L2Probe { line, is_write };
-                                next_time[core_id] = core.time;
-                                cores[core_id] = core;
-                                break;
-                            }
-                            let kind = op.mem.kind;
-                            if l2.access_line(line, kind).hit {
-                                fill_and_advance!(line, is_write);
+                            if outcome.hit {
+                                mru[core_id] = id;
+                                core.step += 1;
+                                // stay in NextOp
                             } else {
-                                core.time = memory.request(core.time);
+                                // L1 miss: the L2 probe resolves after the L2
+                                // hit latency.  Fused fast path — run the
+                                // probe (and, on an L2 miss, the memory fill)
+                                // right now unless another core's event
+                                // interleaves.
+                                core.time += l2_hit_latency;
                                 if yields!(core.time) {
-                                    core.phase = Phase::MemFill { line, is_write };
-                                    next_time[core_id] = core.time;
+                                    core.phase = Phase::L2Probe { id, is_write };
+                                    active.push(Reverse((core.time, core_id)));
                                     cores[core_id] = core;
                                     break;
                                 }
-                                fill_and_advance!(line, is_write);
+                                if l2.access_line(line, kind).hit {
+                                    fill_and_advance!(id, is_write);
+                                } else {
+                                    core.time = memory.request(core.time);
+                                    if yields!(core.time) {
+                                        core.phase = Phase::MemFill { id, is_write };
+                                        active.push(Reverse((core.time, core_id)));
+                                        cores[core_id] = core;
+                                        break;
+                                    }
+                                    fill_and_advance!(id, is_write);
+                                }
                             }
                         }
                     } else {
                         // Task body finished: trailing compute, then
                         // completion.
-                        core.time += trace.post_compute();
+                        core.time += comp.task(task_id).post_compute;
                         let finish = core.time;
                         makespan = makespan.max(finish);
                         core.busy += finish - core.task_started;
@@ -516,30 +548,31 @@ fn event_driven(
                             finish,
                             Some(core_id),
                             sched,
+                            stream,
                             &mut cores,
                             &mut idle,
-                            &mut next_time,
+                            &mut active,
                         );
                         // The core went idle (any new task it was handed is
                         // a fresh pending event): leave the inline loop.
                         break;
                     }
                 }
-                Phase::L2Probe { line, is_write } => {
+                Phase::L2Probe { id, is_write } => {
                     let kind = if is_write {
                         AccessKind::Write
                     } else {
                         AccessKind::Read
                     };
-                    if l2.access_line(line, kind).hit {
-                        fill_and_advance!(line, is_write);
+                    if l2.access_line(line_addrs[id as usize], kind).hit {
+                        fill_and_advance!(id, is_write);
                     } else {
                         core.time = memory.request(core.time);
-                        core.phase = Phase::MemFill { line, is_write };
+                        core.phase = Phase::MemFill { id, is_write };
                     }
                 }
-                Phase::MemFill { line, is_write } => {
-                    fill_and_advance!(line, is_write);
+                Phase::MemFill { id, is_write } => {
+                    fill_and_advance!(id, is_write);
                 }
             }
 
@@ -548,7 +581,7 @@ fn event_driven(
             // yield to it; otherwise this core is still the globally
             // earliest event and steps again inline.
             if yields!(core.time) {
-                next_time[core_id] = core.time;
+                active.push(Reverse((core.time, core_id)));
                 cores[core_id] = core;
                 break;
             }

@@ -8,6 +8,13 @@
 //! division-based set indexing) rather than the optimised flat layout in
 //! `ccs-cache`.
 //!
+//! Traces reach this module through a *thin adapter*: the computation's
+//! pooled trace arena is materialised back into one owned
+//! [`TaskTrace`](ccs_dag::TaskTrace) per task before the simulation starts
+//! (see [`simulate_reference`]), so the loop below still reads the seed's
+//! `Vec<TraceOp>` representation verbatim and stays independent of the
+//! pooled layout it is checking.
+//!
 //! The production engine (`machine::event_driven`) must report *identical*
 //! metrics — same cycles, same hit/miss/eviction counts, same bandwidth
 //! utilisation — for every computation, configuration and scheduler.  That
@@ -235,6 +242,13 @@ pub(crate) fn simulate_reference(
     let mut l2 = RefCache::new(config.l2);
     let mut memory = MainMemory::new(config.memory);
 
+    // Thin adapter over the pooled trace arena: materialise each task's
+    // trace once, up front, so the cycle-stepper below keeps reading the
+    // seed's per-task `TaskTrace` form unmodified.
+    let traces: Vec<ccs_dag::TaskTrace> = (0..n as u32)
+        .map(|t| comp.trace(TaskId(t)).to_task_trace())
+        .collect();
+
     let mut cores: Vec<Core> = (0..p).map(|_| Core::new()).collect();
     let mut in_deg: Vec<u32> = (0..n as u32)
         .map(|t| dag.in_degree(TaskId(t)) as u32)
@@ -312,7 +326,7 @@ pub(crate) fn simulate_reference(
         let core = &mut cores[core_id];
         debug_assert_eq!(core.time, now);
         let task_id = core.task.expect("active core without a task");
-        let trace = &comp.task(task_id).trace;
+        let trace = &traces[task_id.index()];
 
         match core.phase {
             Phase::NextOp => {

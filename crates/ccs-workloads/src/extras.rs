@@ -169,7 +169,7 @@ pub fn matmul(params: &MatmulParams) -> Computation {
     }
 
     fn touch(
-        t: &mut ccs_dag::TraceBuilder,
+        t: &mut ccs_dag::TraceBuilder<'_>,
         m: Region,
         n: u64,
         tile: Tile,

@@ -116,7 +116,7 @@ impl Generator {
     /// `instr_per_elem` compute instructions per element.
     fn touch_tile(
         &self,
-        t: &mut ccs_dag::TraceBuilder,
+        t: &mut ccs_dag::TraceBuilder<'_>,
         tile: Tile,
         instr_per_elem: u64,
         write: bool,

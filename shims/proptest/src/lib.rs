@@ -48,6 +48,139 @@ pub trait Strategy {
 
     /// Draw one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform every drawn value with `f` (mirrors
+    /// `proptest::strategy::Strategy::prop_map`).
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { strategy: self, f }
+    }
+
+    /// Erase the strategy type (used by [`prop_oneof!`]).
+    fn boxed(self) -> Box<dyn Strategy<Value = Self::Value>>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        (**self).sample(rng)
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.strategy.sample(rng))
+    }
+}
+
+/// Uniform choice between same-valued strategies (the [`prop_oneof!`]
+/// backing type).
+pub struct Union<V> {
+    options: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    /// A union over `options`; panics if empty.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let pick = rng.below(self.options.len() as u64) as usize;
+        self.options[pick].sample(rng)
+    }
+}
+
+/// Uniformly choose one of several strategies producing the same value
+/// type (mirrors `proptest::prop_oneof!`, without arm weights).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Types with a canonical full-range strategy (mirrors
+/// `proptest::arbitrary::Arbitrary` for the primitives the tests use).
+pub trait Arbitrary {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> u32 {
+        rng.next_u64() as u32
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary(rng: &mut TestRng) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Full-range strategy for an [`Arbitrary`] type (mirrors
+/// `proptest::prelude::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $idx:tt),+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
 }
 
 macro_rules! impl_range_strategy {
@@ -141,7 +274,8 @@ impl Default for ProptestConfig {
 /// Everything a `proptest!` user needs in scope.
 pub mod prelude {
     pub use crate::{
-        prop, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy, TestCaseError,
+        any, prop, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, ProptestConfig,
+        Strategy, TestCaseError,
     };
 }
 
@@ -238,6 +372,17 @@ mod tests {
             for &e in &v {
                 prop_assert!(e < 5, "element {} out of range", e);
             }
+        }
+
+        #[test]
+        fn map_tuples_any_and_oneof_compose(
+            pair in (0u64..10, 1u32..5).prop_map(|(a, b)| a + b as u64),
+            flag in any::<bool>(),
+            either in prop_oneof![(0u64..3).prop_map(|x| x * 2), 100u64..103],
+        ) {
+            prop_assert!(pair < 15);
+            prop_assert!(flag as u64 <= 1);
+            prop_assert!(either <= 4 || (100..103).contains(&either), "{}", either);
         }
     }
 
