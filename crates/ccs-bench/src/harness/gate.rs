@@ -17,6 +17,10 @@
 //!   toleranced rather than exact-matched so allocator-capacity rounding
 //!   (`Vec` growth policy changes across toolchains) cannot flake CI.
 //!
+//! `compile_ms` — the stream/geometry compilation split of `wall_ms` — is
+//! *not* gated: it is wall-clock noise at the millisecond scale.  It is
+//! surfaced in the [`summary_line`] trajectory instead.
+//!
 //! Reports taken at different scale/quick settings are incomparable and
 //! fail fast.  Records present in the current run but absent from the
 //! baseline warn (the baseline wants refreshing); baseline records missing
@@ -238,8 +242,14 @@ pub fn summary_line(current: &BenchReport, baseline: &BenchReport) -> String {
             };
             format!(
                 "summary: {name} tasks/s {:.0} -> {:.0} ({tput_pct:+.1}%), \
-                 trace_bytes {} -> {} ({mem_pct:+.1}%)",
-                base.tasks_per_sec, cur.tasks_per_sec, base.trace_bytes, cur.trace_bytes
+                 trace_bytes {} -> {} ({mem_pct:+.1}%), \
+                 compile_ms {:.1} -> {:.1}",
+                base.tasks_per_sec,
+                cur.tasks_per_sec,
+                base.trace_bytes,
+                cur.trace_bytes,
+                base.compile_ms,
+                cur.compile_ms
             )
         }
         _ => format!("summary: {name} missing from baseline or current run"),
@@ -260,6 +270,7 @@ mod tests {
             cycles: 42_000,
             trace_bytes: 100_000,
             peak_alloc_estimate: 200_000,
+            compile_ms: 4.0,
             speedup_vs_reference: None,
         }
     }
@@ -369,6 +380,7 @@ mod tests {
             line.contains("trace_bytes 100000 -> 50000 (-50.0%)"),
             "{line}"
         );
+        assert!(line.contains("compile_ms 4.0 -> 4.0"), "{line}");
         let empty = report(vec![]);
         assert!(summary_line(&empty, &base).contains("missing"));
     }

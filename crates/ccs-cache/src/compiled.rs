@@ -1,0 +1,422 @@
+//! The id-native compiled cache: the probe path of [`SetAssocCache`]
+//! specialised for callers that resolved their addresses to dense `u32`
+//! line ids up front.
+//!
+//! The CMP simulator's hot loop probes a cache once per line-granular
+//! trace step.  With the precompiled line streams of `ccs-dag::stream`
+//! every step already carries a dense line id, and the per-geometry
+//! `set_index` lane maps that id straight to a set — so the address is
+//! never needed: the *line id itself* is a perfect tag (two distinct
+//! lines always have distinct ids, in any set), and it fits in 31 bits by
+//! construction (`STEP_ID_MASK`).  [`CompiledCache`] exploits that:
+//!
+//! * tags are `u32` — half the bytes of [`SetAssocCache`]'s `u64` line
+//!   tags, so a 16-way set's tag array is a single 64-byte cache line on
+//!   the host and the probe scan touches half the memory;
+//! * a probe takes `(set, tag)` directly — no line masking, no shift/mask
+//!   or modulo set indexing, no address table load;
+//! * probes report a bare `bool` hit — eviction bookkeeping stays in the
+//!   statistics, where the simulator reads it.
+//!
+//! Layout and replacement are **identical** to [`SetAssocCache`]:
+//! positional true LRU (each set kept MRU→LRU in one flat array, victim =
+//! last way, empties as the suffix) with the dirty bit folded into tag
+//! bit 0.  Tags passed in must therefore be *pre-shifted* line ids —
+//! [`line_tag`] (`id << 1`) — leaving bit 0 free.  Every statistics
+//! decision (hit/miss, eviction, write-back) matches `SetAssocCache`
+//! probe-for-probe; the engine-equivalence suite pins the two models (and
+//! the retained reference `RefCache`) metrics-identical.
+//!
+//! [`SetAssocCache`]: crate::SetAssocCache
+
+use crate::stats::CacheStats;
+
+/// The tag a caller passes for line id `id`: the id shifted left one bit
+/// so the dirty flag can fold into bit 0.  Ids are dense and unique per
+/// line, which makes them valid tags for *any* set geometry.
+///
+/// The id must be **strictly below `0x7FFF_FFFF`** (the line-stream
+/// compiler's `STEP_ID_MASK` bound, which its interner enforces): the
+/// shift then cannot overflow, and the resulting tag stays at least 2
+/// away from the empty-way sentinel (`u32::MAX`), so no tag can alias it
+/// even with the dirty bit folded in.  The one 31-bit value *at* the
+/// bound, `0x7FFF_FFFF`, would shift to `0xFFFF_FFFE` and falsely match
+/// an empty way — hence the strict inequality, asserted here in debug
+/// builds rather than trusted to the caller.
+#[inline]
+pub const fn line_tag(id: u32) -> u32 {
+    debug_assert!(id < 0x7FFF_FFFF, "line id at/above the tag bound");
+    id << 1
+}
+
+/// Tag stored in empty ways.  Real tags are pre-shifted ids strictly
+/// below the [`line_tag`] bound, so `tag ^ INVALID_TAG > DIRTY_BIT`
+/// always holds and an empty way can never look like a match even with
+/// the dirty bit folded into bit 0.
+const INVALID_TAG: u32 = u32::MAX;
+
+/// Dirty flag, folded into bit 0 of the stored tag (free because
+/// [`line_tag`] pre-shifts the id).
+const DIRTY_BIT: u32 = 1;
+
+/// A set-associative, true-LRU, write-back cache probed by `(set, u32
+/// tag)` instead of by address — the id-native twin of
+/// [`SetAssocCache`](crate::SetAssocCache) (see the module docs).
+#[derive(Clone, Debug)]
+pub struct CompiledCache {
+    /// Tag per way (`line_tag(id) | DIRTY_BIT`), `num_sets × assoc` flat;
+    /// each set ordered MRU→LRU with `INVALID_TAG` (empty) ways as the
+    /// suffix.
+    tags: Vec<u32>,
+    stats: CacheStats,
+    assoc: usize,
+}
+
+impl CompiledCache {
+    /// Create an empty (cold) cache of `num_sets` sets ×
+    /// `associativity` ways.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(num_sets: u64, associativity: u32) -> Self {
+        assert!(num_sets > 0, "need at least one set");
+        assert!(associativity > 0, "associativity must be positive");
+        let assoc = associativity as usize;
+        CompiledCache {
+            tags: vec![INVALID_TAG; (num_sets * assoc as u64) as usize],
+            stats: CacheStats::default(),
+            assoc,
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Reset statistics (the contents are preserved).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Flush the contents (cold cache) without touching statistics.
+    pub fn flush(&mut self) {
+        self.tags.fill(INVALID_TAG);
+    }
+
+    /// Number of lines currently resident.
+    pub fn resident_lines(&self) -> usize {
+        self.tags.iter().filter(|&&t| t != INVALID_TAG).count()
+    }
+
+    /// Heap bytes held by the tag array.
+    pub fn heap_bytes(&self) -> u64 {
+        (self.tags.capacity() * std::mem::size_of::<u32>()) as u64
+    }
+
+    /// Start index of `set` in the flat way array.
+    #[inline]
+    fn set_base(&self, set: u32) -> usize {
+        set as usize * self.assoc
+    }
+
+    /// Position of `tag` within its set (0 = MRU), if resident.  MRU way
+    /// first — re-touches of the most recent line are the most common
+    /// probe — then a **first-match, early-exit** scan: a line is resident
+    /// in at most one way, so the first match is the only match, the
+    /// average hit scans half the set, and the branchy exit keeps LLVM
+    /// from auto-vectorising the loop into an index-tracking reduction
+    /// (measured as a net loss at 4–32 ways: the vector prologue, blends
+    /// and horizontal max cost more than the 3–31 scalar compares they
+    /// replace).
+    #[inline(always)]
+    fn find_pos(&self, base: usize, tag: u32) -> Option<usize> {
+        let set = &self.tags[base..base + self.assoc];
+        // `stored ^ tag` is 0 or DIRTY_BIT on a match (tags have bit 0
+        // clear) and > DIRTY_BIT on a mismatch: distinct pre-shifted ids
+        // differ above bit 0, and the empty sentinel keeps bit 1 set
+        // against any 31-bit pre-shifted id.
+        if set[0] ^ tag <= DIRTY_BIT {
+            return Some(0);
+        }
+        set.iter()
+            .skip(1)
+            .position(|&stored| stored ^ tag <= DIRTY_BIT)
+            .map(|i| i + 1)
+    }
+
+    /// One-pass move-to-front probe: install `new_front` at the MRU way
+    /// and ripple the previous occupants down until the probed tag's old
+    /// copy (a hit — its position is the ripple's length), an empty way
+    /// (a miss with a free way), or the end of the set (a miss evicting
+    /// the rippled-out LRU way).
+    ///
+    /// This fuses the two passes a find-then-rotate probe makes over the
+    /// set (`find_pos` + `touch`/`allocate_front`): a hit at position `j`
+    /// still touches `j + 1` ways, but a **miss** touches each way once
+    /// instead of twice — and misses dominate the L2 traffic of the
+    /// sweeps this simulator exists for.  Returns `Some(old stored tag)`
+    /// on a hit (so the caller can fold its dirty bit forward), `None` on
+    /// a miss; on an evicting miss the eviction is recorded.
+    ///
+    /// The caller must already have handled the MRU way (`ways[0]`).
+    #[inline(always)]
+    fn ripple_insert(&mut self, base: usize, tag: u32, new_front: u32) -> Option<u32> {
+        let ways = &mut self.tags[base..base + self.assoc];
+        let mut prev = ways[0];
+        ways[0] = new_front;
+        let mut i = 1;
+        while i < ways.len() {
+            let cur = ways[i];
+            ways[i] = prev;
+            if cur ^ tag <= DIRTY_BIT {
+                // Hit: the line's old copy leaves position `i`, its
+                // more-recent neighbours have all shifted down one.
+                return Some(cur);
+            }
+            if cur == INVALID_TAG {
+                // Miss into the empty suffix: the ripple consumed one
+                // empty way and the suffix invariant still holds.
+                return None;
+            }
+            prev = cur;
+            i += 1;
+        }
+        // Miss, full set: `prev` rippled out of the last way.  It can
+        // only be the empty sentinel when the set is 1-way and was empty.
+        if prev != INVALID_TAG {
+            self.stats.record_eviction(prev & DIRTY_BIT != 0);
+        }
+        None
+    }
+
+    /// Probe the cache: returns whether the line was resident, touching
+    /// LRU state, the folded dirty bit and the statistics exactly as
+    /// [`SetAssocCache::access_line`](crate::SetAssocCache::access_line)
+    /// does for the same line.  On a miss the line is allocated
+    /// (write-allocate), evicting — and recording — the LRU way of a full
+    /// set.
+    #[inline(always)]
+    pub fn access_compiled(&mut self, set: u32, tag: u32, is_write: bool) -> bool {
+        debug_assert_eq!(tag & DIRTY_BIT, 0, "tag must be pre-shifted (line_tag)");
+        let base = self.set_base(set);
+        // MRU fast path: re-touches of the most recent line are the most
+        // common probe, and neither reorder the set nor ripple anything.
+        let front = self.tags[base];
+        if front ^ tag <= DIRTY_BIT {
+            self.tags[base] = front | is_write as u32;
+            self.stats.record(true, is_write);
+            return true;
+        }
+        match self.ripple_insert(base, tag, tag | is_write as u32) {
+            Some(old) => {
+                // Fold the hit way's dirty bit forward.
+                self.tags[base] |= old & DIRTY_BIT;
+                self.stats.record(true, is_write);
+                true
+            }
+            None => {
+                self.stats.record(false, is_write);
+                false
+            }
+        }
+    }
+
+    /// Insert a line (e.g. a fill returning from the next level) without
+    /// recording a probe in the statistics.  If the line is already
+    /// present its LRU position and dirty bit are refreshed; otherwise it
+    /// is allocated, evicting the LRU way if necessary (the eviction *is*
+    /// recorded).
+    #[inline(always)]
+    pub fn fill_compiled(&mut self, set: u32, tag: u32, dirty: bool) {
+        debug_assert_eq!(tag & DIRTY_BIT, 0, "tag must be pre-shifted (line_tag)");
+        let base = self.set_base(set);
+        let front = self.tags[base];
+        if front ^ tag <= DIRTY_BIT {
+            self.tags[base] = front | dirty as u32;
+            return;
+        }
+        if let Some(old) = self.ripple_insert(base, tag, tag | dirty as u32) {
+            self.tags[base] |= old & DIRTY_BIT;
+        }
+    }
+
+    /// Record a *filtered* read hit: the caller has proved (e.g. via a
+    /// one-entry MRU filter) that the line is at the MRU position of its
+    /// set, so probing would be a state no-op.  Only the statistics move,
+    /// exactly as [`CompiledCache::access_compiled`] would move them for
+    /// that hit.
+    #[inline]
+    pub fn record_mru_read_hit(&mut self) {
+        self.stats.record(true, false);
+    }
+
+    /// Whether a line is currently resident (does not update LRU state or
+    /// statistics).
+    #[inline]
+    pub fn contains_compiled(&self, set: u32, tag: u32) -> bool {
+        self.find_pos(self.set_base(set), tag).is_some()
+    }
+
+    /// Invalidate a line if present; returns `true` if it was present and
+    /// dirty.  Keeps the rest of the recency order and the
+    /// empties-as-suffix invariant.
+    #[inline(always)]
+    pub fn invalidate_compiled(&mut self, set: u32, tag: u32) -> bool {
+        debug_assert_eq!(tag & DIRTY_BIT, 0, "tag must be pre-shifted (line_tag)");
+        let base = self.set_base(set);
+        match self.find_pos(base, tag) {
+            Some(pos) => {
+                let was_dirty = self.tags[base + pos] & DIRTY_BIT != 0;
+                let last = base + self.assoc - 1;
+                self.tags.copy_within(base + pos + 1..last + 1, base + pos);
+                self.tags[last] = INVALID_TAG;
+                was_dirty
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheConfig;
+    use crate::setassoc::SetAssocCache;
+    use ccs_dag::AccessKind;
+
+    /// 2 sets × 2 ways, mirroring `setassoc::tests::small_cache` (4 lines
+    /// of 64 B): line id `i` stands for line address `i * 64`, so id and
+    /// set mappings coincide with the address-keyed tests.
+    fn small() -> CompiledCache {
+        CompiledCache::new(2, 2)
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = small();
+        assert!(!c.access_compiled(0, line_tag(0), false));
+        assert!(c.access_compiled(0, line_tag(0), false));
+        assert_eq!(c.stats().misses, 1);
+        assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut c = small();
+        c.access_compiled(0, line_tag(0), false);
+        c.access_compiled(0, line_tag(2), false);
+        // Touch id 0 again so id 2 becomes LRU.
+        c.access_compiled(0, line_tag(0), false);
+        assert!(!c.access_compiled(0, line_tag(4), false));
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c.contains_compiled(0, line_tag(0)));
+        assert!(!c.contains_compiled(0, line_tag(2)));
+    }
+
+    #[test]
+    fn writeback_on_dirty_eviction() {
+        let mut c = small();
+        c.access_compiled(0, line_tag(0), true);
+        c.access_compiled(0, line_tag(2), false);
+        c.access_compiled(0, line_tag(2), false);
+        // Evict id 0 (LRU, dirty).
+        c.access_compiled(0, line_tag(4), false);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn fill_does_not_count_as_probe() {
+        let mut c = small();
+        c.fill_compiled(1, line_tag(1), false);
+        assert_eq!(c.stats().accesses, 0);
+        assert!(c.contains_compiled(1, line_tag(1)));
+        assert!(c.access_compiled(1, line_tag(1), false));
+        // Filling a full set evicts and records the eviction.
+        c.fill_compiled(1, line_tag(3), true);
+        c.fill_compiled(1, line_tag(5), false);
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.stats().writebacks, 0, "clean LRU way evicted first");
+    }
+
+    #[test]
+    fn invalidate_removes_line_and_reports_dirty() {
+        let mut c = small();
+        c.access_compiled(0, line_tag(0), true);
+        assert!(c.invalidate_compiled(0, line_tag(0)));
+        assert!(!c.contains_compiled(0, line_tag(0)));
+        assert!(!c.invalidate_compiled(0, line_tag(0)));
+        assert!(!c.access_compiled(0, line_tag(0), false));
+    }
+
+    #[test]
+    fn flush_and_residency() {
+        let mut c = small();
+        c.access_compiled(0, line_tag(0), false);
+        c.access_compiled(1, line_tag(1), false);
+        assert_eq!(c.resident_lines(), 2);
+        c.flush();
+        assert_eq!(c.resident_lines(), 0);
+        assert!(c.heap_bytes() >= 4 * 4);
+    }
+
+    #[test]
+    fn mru_read_hit_moves_only_stats() {
+        let mut c = small();
+        c.access_compiled(0, line_tag(0), false);
+        let before = *c.stats();
+        c.record_mru_read_hit();
+        assert_eq!(c.stats().hits, before.hits + 1);
+        assert_eq!(c.stats().reads, before.reads + 1);
+        assert_eq!(c.stats().misses, before.misses);
+    }
+
+    /// Statistics lockstep with the address-keyed model: a mixed random
+    /// probe/fill/invalidate sequence over a shared geometry must leave
+    /// identical counters in both caches.
+    #[test]
+    fn lockstep_with_setassoc() {
+        let cfg = CacheConfig::new(8 * 64, 64, 4, 1); // 2 sets, 4-way
+        let mut addr_keyed = SetAssocCache::new(cfg);
+        let mut compiled = CompiledCache::new(cfg.num_sets(), cfg.associativity);
+        // Line id i <-> line address i * 64; set = i % 2.
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        for _ in 0..4096 {
+            // xorshift64* keeps the sequence deterministic and shim-free.
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let r = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            let id = (r % 13) as u32;
+            let line = id as u64 * 64;
+            let (set, tag) = ((id % 2), line_tag(id));
+            match (r >> 32) % 4 {
+                0 => {
+                    let kind = if r & 1 == 0 {
+                        AccessKind::Read
+                    } else {
+                        AccessKind::Write
+                    };
+                    let hit = addr_keyed.access_line(line, kind).hit;
+                    assert_eq!(compiled.access_compiled(set, tag, r & 1 != 0), hit);
+                }
+                1 => {
+                    addr_keyed.fill_line(line, r & 2 != 0);
+                    compiled.fill_compiled(set, tag, r & 2 != 0);
+                }
+                2 => {
+                    let dirty = addr_keyed.invalidate_line(line);
+                    assert_eq!(compiled.invalidate_compiled(set, tag), dirty);
+                }
+                _ => {
+                    assert_eq!(
+                        addr_keyed.contains_line(line),
+                        compiled.contains_compiled(set, tag)
+                    );
+                }
+            }
+        }
+        assert_eq!(*addr_keyed.stats(), *compiled.stats());
+        assert_eq!(addr_keyed.resident_lines(), compiled.resident_lines());
+    }
+}

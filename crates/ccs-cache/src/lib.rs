@@ -8,6 +8,9 @@
 //! * [`CacheConfig`] / [`MemoryConfig`] — geometry and timing (Table 1);
 //! * [`SetAssocCache`] — set-associative, true-LRU, write-back cache used for
 //!   private L1s and the shared L2;
+//! * [`CompiledCache`] — the id-native twin of `SetAssocCache`, probed by
+//!   `(set, u32 tag)` pairs precompiled from dense line ids — the form the
+//!   simulator's hot loop uses so it never touches an address;
 //! * [`IdealCache`] — fully-associative LRU cache used by the analytical
 //!   results (Theorem 3.1) and the profiler;
 //! * [`OrderStatStack`], [`FenwickStack`], [`NaiveLruStack`] — LRU
@@ -21,6 +24,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod compiled;
 pub mod config;
 pub mod directory;
 pub mod ideal;
@@ -29,6 +33,7 @@ pub mod setassoc;
 pub mod stack;
 pub mod stats;
 
+pub use compiled::{line_tag, CompiledCache};
 pub use config::{CacheConfig, MemoryConfig};
 pub use directory::LineDirectory;
 pub use ideal::IdealCache;

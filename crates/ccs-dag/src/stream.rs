@@ -17,10 +17,22 @@
 //! loads and zero divisions.  [`Computation::line_stream`] memoises the
 //! compiled stream behind an `Arc`, so every simulation of the same
 //! computation at the same line size shares one copy.
+//!
+//! On top of the stream sits the **geometry-compiled layer**: for the
+//! `(L1, L2)` cache-geometry pair a sweep simulates against,
+//! [`LineStream::geometry_pair`] compiles — once, memoised per
+//! [`CacheGeometry`] pair — a flat packed [`PairedSetLanes`] table mapping
+//! every line id to both set indices in one `u64` word
+//! ([`GeometryLanes`] is the single-geometry reference form the tests
+//! check it against).  Together with the id-as-tag convention (see
+//! [`GeometryLanes::tag_of`] and `ccs-cache::line_tag`) this removes the
+//! *remaining* address math from the simulator: a probe becomes one lane
+//! load plus a shift, and the `line_addr` table drops off the hot path
+//! entirely.
 
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use crate::sp::Computation;
 use crate::task::TaskId;
@@ -143,21 +155,223 @@ impl Interner {
     }
 }
 
+/// The set-indexing geometry of one cache level: everything the compiled
+/// lanes depend on.  Two caches with equal line size and set count share
+/// one [`GeometryLanes`] table regardless of associativity, capacity or
+/// latency — associativity only shapes the *cache's* way arrays, never the
+/// id → set mapping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CacheGeometry {
+    /// Cache line size in bytes (power of two; must equal the stream's).
+    pub line_size: u64,
+    /// Number of sets (need not be a power of two — the modulo is paid at
+    /// compile time, once per line, never per probe).
+    pub num_sets: u64,
+}
+
+impl CacheGeometry {
+    /// Construct a geometry key.
+    pub fn new(line_size: u64, num_sets: u64) -> CacheGeometry {
+        assert!(num_sets > 0, "need at least one set");
+        assert!(
+            line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        CacheGeometry {
+            line_size,
+            num_sets,
+        }
+    }
+}
+
+/// The compiled per-line lanes of one [`CacheGeometry`]: the pure function
+/// `(line id, geometry) → (set index, tag)` materialised as a flat table.
+/// This is the *reference form* of the derivation — the simulator consumes
+/// the packed two-level [`PairedSetLanes`] (memoised via
+/// [`LineStream::geometry_pair`]), whose correctness the tests check
+/// against this single-geometry compile.
+///
+/// The *set-index lane* is stored flat (`id → set`); the *tag lane*
+/// degenerates to the identity on dense line ids — two distinct lines
+/// always have distinct ids, so the id is a collision-free tag in every
+/// geometry — and is therefore compiled down to the pure function
+/// [`GeometryLanes::tag_of`] (`id << 1`, pre-shifted for the cache's
+/// folded dirty bit) rather than materialised as an array the hot loop
+/// would have to stream for no information.
+#[derive(Debug)]
+pub struct GeometryLanes {
+    geometry: CacheGeometry,
+    /// Line id → set index in this geometry.
+    set_index: Vec<u32>,
+}
+
+impl GeometryLanes {
+    /// Compile the lanes for `geometry` over `stream`'s interned lines.
+    ///
+    /// # Panics
+    /// Panics if the geometry's line size differs from the stream's (set
+    /// indices would be meaningless) or if a set index would not fit the
+    /// `u32` lane.
+    pub fn compile(stream: &LineStream, geometry: CacheGeometry) -> GeometryLanes {
+        assert_eq!(
+            geometry.line_size,
+            stream.line_size(),
+            "geometry compiled against a stream of a different line size"
+        );
+        assert!(
+            geometry.num_sets <= u32::MAX as u64 + 1,
+            "set index exceeds the u32 lane"
+        );
+        let shift = geometry.line_size.trailing_zeros();
+        let set_index = stream
+            .line_addr()
+            .iter()
+            .map(|&line| ((line >> shift) % geometry.num_sets) as u32)
+            .collect();
+        GeometryLanes {
+            geometry,
+            set_index,
+        }
+    }
+
+    /// The geometry the lanes were compiled for.
+    #[inline]
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    /// The line-id → set-index lane.
+    #[inline]
+    pub fn set_index(&self) -> &[u32] {
+        &self.set_index
+    }
+
+    /// The tag lane, compiled to a pure function: the tag of line id `id`
+    /// in any geometry (dense ids are collision-free tags), pre-shifted
+    /// one bit for the cache's folded dirty flag.  Mirrors
+    /// `ccs-cache::line_tag`.
+    #[inline]
+    pub const fn tag_of(id: u32) -> u32 {
+        id << 1
+    }
+
+    /// Heap bytes held by the compiled lanes.
+    pub fn heap_bytes(&self) -> u64 {
+        (self.set_index.capacity() * std::mem::size_of::<u32>()) as u64
+    }
+}
+
+/// The packed set-index lanes of one *(L1 geometry, L2 geometry)* pair:
+/// per line id, the L1 set index in the low 32 bits and the L2 set index
+/// in the high 32 bits of a single `u64` word.
+///
+/// The simulator probes the L2 only on an L1 miss, and the sweeps this
+/// engine exists for are miss-heavy — so the L2 set index must not cost a
+/// second indexed load from a cold lane on the miss path.  Packing both
+/// levels into one word makes the L1-hit path one 8-byte load (the same
+/// bandwidth as the old `line_addr` load it replaces, minus all the
+/// shift/mask/modulo math) and makes the L2 set a register shift on a
+/// miss.  Measured on the quick sweep, the split-lane variant of this
+/// table was ~7% *slower* than the address path; the packed form is what
+/// delivers the id-native win.
+#[derive(Debug)]
+pub struct PairedSetLanes {
+    l1: CacheGeometry,
+    l2: CacheGeometry,
+    /// Line id → `l1_set | (l2_set << 32)`.
+    packed: Vec<u64>,
+}
+
+impl PairedSetLanes {
+    /// Compile the packed lanes for an `(l1, l2)` geometry pair over
+    /// `stream`'s interned lines.
+    ///
+    /// # Panics
+    /// Panics if either geometry's line size differs from the stream's.
+    pub fn compile(stream: &LineStream, l1: CacheGeometry, l2: CacheGeometry) -> PairedSetLanes {
+        for geometry in [l1, l2] {
+            assert_eq!(
+                geometry.line_size,
+                stream.line_size(),
+                "geometry compiled against a stream of a different line size"
+            );
+            assert!(
+                geometry.num_sets <= u32::MAX as u64 + 1,
+                "set index exceeds the u32 lane"
+            );
+        }
+        let shift = stream.line_size().trailing_zeros();
+        let packed = stream
+            .line_addr()
+            .iter()
+            .map(|&line| {
+                let line_no = line >> shift;
+                (line_no % l1.num_sets) | ((line_no % l2.num_sets) << 32)
+            })
+            .collect();
+        PairedSetLanes { l1, l2, packed }
+    }
+
+    /// The L1 geometry of the pair.
+    pub fn l1_geometry(&self) -> CacheGeometry {
+        self.l1
+    }
+
+    /// The L2 geometry of the pair.
+    pub fn l2_geometry(&self) -> CacheGeometry {
+        self.l2
+    }
+
+    /// The packed lane: line id → `l1_set | (l2_set << 32)`.
+    #[inline]
+    pub fn packed(&self) -> &[u64] {
+        &self.packed
+    }
+
+    /// The L1 set index of a packed word.
+    #[inline]
+    pub const fn l1_set(word: u64) -> u32 {
+        word as u32
+    }
+
+    /// The L2 set index of a packed word.
+    #[inline]
+    pub const fn l2_set(word: u64) -> u32 {
+        (word >> 32) as u32
+    }
+
+    /// Heap bytes held by the packed lane.
+    pub fn heap_bytes(&self) -> u64 {
+        (self.packed.capacity() * std::mem::size_of::<u64>()) as u64
+    }
+}
+
 /// The precompiled line-granular access stream of one computation at one
 /// cache-line size.  See the module docs for the layout.
 #[derive(Debug)]
 pub struct LineStream {
     line_size: u64,
-    /// Compute instructions charged before step `i`'s cache probe (the op's
-    /// `pre_compute` on its first line, 0 on subsequent straddled lines).
-    pre: Vec<u32>,
-    /// Packed steps: line id | [`STEP_WRITE_BIT`].
-    steps: Vec<u32>,
+    /// One `u64` word per step: the pre-access compute count in the high
+    /// 32 bits (the op's `pre_compute` on its first line, 0 on subsequent
+    /// straddled lines) over the packed step (line id |
+    /// [`STEP_WRITE_BIT`]) in the low 32.  One lane instead of two
+    /// parallel `u32` lanes: the simulator reads *both* halves of every
+    /// step, so splitting them costs a second streaming load and a second
+    /// bounds check per access for nothing.
+    packed: Vec<u64>,
     /// Line id → aligned line address.
     line_addr: Vec<u64>,
-    /// Per-task step ranges: task `t` owns `steps[starts[t]..starts[t+1]]`.
+    /// Per-task step ranges: task `t` owns `packed[starts[t]..starts[t+1]]`.
     starts: Vec<u32>,
+    /// Memoised packed `(L1, L2)` pair lanes, one per distinct geometry
+    /// pair (typically one per sweep).
+    geom_pairs: Mutex<PairCache>,
 }
+
+/// Memo storage of [`LineStream::geometry_pair`]: a short association list
+/// — sweeps see one or two distinct geometry pairs, so a linear scan beats
+/// any map.
+type PairCache = Vec<((CacheGeometry, CacheGeometry), Arc<PairedSetLanes>)>;
 
 impl LineStream {
     /// Expand `comp`'s pooled trace at `line_size`-byte granularity.
@@ -167,8 +381,7 @@ impl LineStream {
             "line size must be a power of two"
         );
         let pool = comp.trace_pool();
-        let mut pre: Vec<u32> = Vec::with_capacity(pool.len());
-        let mut steps: Vec<u32> = Vec::with_capacity(pool.len());
+        let mut packed: Vec<u64> = Vec::with_capacity(pool.len());
         let mut line_addr: Vec<u64> = Vec::new();
         let mut ids = Interner::for_pool(pool, line_size);
         let mut starts: Vec<u32> = Vec::with_capacity(comp.num_tasks() + 1);
@@ -188,8 +401,7 @@ impl LineStream {
                 let mut op_pre = op.pre_compute;
                 loop {
                     let id = ids.intern(line, &mut line_addr);
-                    pre.push(op_pre);
-                    steps.push(id | write_bit);
+                    packed.push(((op_pre as u64) << 32) | (id | write_bit) as u64);
                     op_pre = 0;
                     if line == last {
                         break;
@@ -198,21 +410,43 @@ impl LineStream {
                 }
             }
             assert!(
-                steps.len() < u32::MAX as usize,
+                packed.len() < u32::MAX as usize,
                 "line stream exceeds u32 indexing"
             );
-            starts.push(steps.len() as u32);
+            starts.push(packed.len() as u32);
         }
 
-        pre.shrink_to_fit();
-        steps.shrink_to_fit();
+        packed.shrink_to_fit();
         LineStream {
             line_size,
-            pre,
-            steps,
+            packed,
             line_addr,
             starts,
+            geom_pairs: Mutex::new(Vec::new()),
         }
+    }
+
+    /// The packed [`PairedSetLanes`] of an `(L1, L2)` geometry pair,
+    /// compiled on first use and shared afterwards — the form the
+    /// simulator's hot loop consumes (one lane load serves both cache
+    /// levels; see the type docs).
+    pub fn geometry_pair(&self, l1: CacheGeometry, l2: CacheGeometry) -> Arc<PairedSetLanes> {
+        let mut cache = self.geom_pairs.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((_, lanes)) = cache.iter().find(|(pair, _)| *pair == (l1, l2)) {
+            return Arc::clone(lanes);
+        }
+        let lanes = Arc::new(PairedSetLanes::compile(self, l1, l2));
+        cache.push(((l1, l2), Arc::clone(&lanes)));
+        lanes
+    }
+
+    /// Number of distinct `(L1, L2)` geometry pairs compiled against this
+    /// stream so far (diagnostics/tests).
+    pub fn compiled_geometry_pairs(&self) -> usize {
+        self.geom_pairs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
     }
 
     /// The cache-line size the stream was compiled for.
@@ -221,16 +455,24 @@ impl LineStream {
         self.line_size
     }
 
-    /// The pre-access compute lane.
+    /// The packed step lane: per step, `pre_compute` in the high 32 bits
+    /// over `line id | STEP_WRITE_BIT` in the low 32 (split them with
+    /// [`LineStream::pre_of`] / [`LineStream::step_of`]).
     #[inline]
-    pub fn pre(&self) -> &[u32] {
-        &self.pre
+    pub fn packed(&self) -> &[u64] {
+        &self.packed
     }
 
-    /// The packed step lane.
+    /// The pre-access compute count of a packed step word.
     #[inline]
-    pub fn steps(&self) -> &[u32] {
-        &self.steps
+    pub const fn pre_of(word: u64) -> u32 {
+        (word >> 32) as u32
+    }
+
+    /// The `line id | STEP_WRITE_BIT` half of a packed step word.
+    #[inline]
+    pub const fn step_of(word: u64) -> u32 {
+        word as u32
     }
 
     /// The line-id → aligned-address table.
@@ -250,7 +492,7 @@ impl LineStream {
 
     /// Total line-granular steps in the stream.
     pub fn num_steps(&self) -> usize {
-        self.steps.len()
+        self.packed.len()
     }
 
     /// Number of distinct cache lines the computation touches.
@@ -260,8 +502,7 @@ impl LineStream {
 
     /// Heap bytes held by the compiled stream.
     pub fn heap_bytes(&self) -> u64 {
-        (self.pre.capacity() * std::mem::size_of::<u32>()
-            + self.steps.capacity() * std::mem::size_of::<u32>()
+        (self.packed.capacity() * std::mem::size_of::<u64>()
             + self.line_addr.capacity() * std::mem::size_of::<u64>()
             + self.starts.capacity() * std::mem::size_of::<u32>()) as u64
     }
@@ -319,9 +560,10 @@ mod tests {
         }
         let got: Vec<(u32, u64, bool)> = (0..stream.num_steps())
             .map(|i| {
-                let s = stream.steps()[i];
+                let w = stream.packed()[i];
+                let s = LineStream::step_of(w);
                 (
-                    stream.pre()[i],
+                    LineStream::pre_of(w),
                     stream.line_addr()[(s & STEP_ID_MASK) as usize],
                     s & STEP_WRITE_BIT != 0,
                 )
@@ -342,6 +584,56 @@ mod tests {
         // Lines 0x1000 (shared by both refs of task 0), 0x1080, 0x1100.
         assert_eq!(stream.num_lines(), 3);
         assert!(stream.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn geometry_lanes_match_address_math() {
+        let comp = sample();
+        let stream = LineStream::compile(&comp, 128);
+        // A power-of-two and a non-power-of-two set count.
+        for num_sets in [8u64, 6] {
+            let lanes = GeometryLanes::compile(&stream, CacheGeometry::new(128, num_sets));
+            assert_eq!(lanes.set_index().len(), stream.num_lines());
+            for (id, &line) in stream.line_addr().iter().enumerate() {
+                assert_eq!(
+                    lanes.set_index()[id] as u64,
+                    (line / 128) % num_sets,
+                    "set of line {line:#x} at {num_sets} sets"
+                );
+                assert_eq!(GeometryLanes::tag_of(id as u32), (id as u32) << 1);
+            }
+            assert_eq!(lanes.geometry().num_sets, num_sets);
+            assert!(lanes.heap_bytes() >= stream.num_lines() as u64 * 4);
+        }
+    }
+
+    #[test]
+    fn geometry_pairs_are_memoised_and_match_split_lanes() {
+        let comp = sample();
+        let stream = comp.line_stream(128);
+        assert_eq!(stream.compiled_geometry_pairs(), 0);
+        let l1 = CacheGeometry::new(128, 8);
+        let l2 = CacheGeometry::new(128, 32);
+        let pair = stream.geometry_pair(l1, l2);
+        let again = stream.geometry_pair(l1, l2);
+        assert!(Arc::ptr_eq(&pair, &again), "same pair shares one table");
+        assert!(!Arc::ptr_eq(&pair, &stream.geometry_pair(l2, l1)));
+        assert_eq!(stream.compiled_geometry_pairs(), 2);
+        // The packed words agree with the single-geometry reference form.
+        let l1_ref = GeometryLanes::compile(&stream, l1);
+        let l2_ref = GeometryLanes::compile(&stream, l2);
+        for (id, &word) in pair.packed().iter().enumerate() {
+            assert_eq!(PairedSetLanes::l1_set(word), l1_ref.set_index()[id]);
+            assert_eq!(PairedSetLanes::l2_set(word), l2_ref.set_index()[id]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different line size")]
+    fn geometry_line_size_must_match_stream() {
+        let comp = sample();
+        let stream = LineStream::compile(&comp, 128);
+        let _ = GeometryLanes::compile(&stream, CacheGeometry::new(64, 8));
     }
 
     #[test]

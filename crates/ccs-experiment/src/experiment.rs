@@ -463,11 +463,15 @@ impl Experiment {
         // scaled L2 capacity, cores) — design points differing only in
         // latencies or bandwidth (e.g. the fig. 4/5 sweeps) simulate the
         // *same* computation.  Each distinct computation (and its DAG) is
-        // built once and shared by the points via `Arc`; the computation's
-        // internal line-stream cache then also compiles the address-to-line
-        // resolution once per distinct build.
+        // fetched through the **process-global build cache**
+        // ([`crate::build_cache`]), so the build is shared not only by the
+        // points of this run but by every sweep and repeat trial of the
+        // process; the computation's internal stream/geometry memoisation
+        // then also survives with it.  Caller-built `Fixed` computations
+        // are keyed by identity within this run only.
         type BuildKey = (usize, u64, usize);
-        let mut built: BTreeMap<BuildKey, Arc<(Arc<Computation>, Dag)>> = BTreeMap::new();
+        type SharedBuild = Arc<(Arc<Computation>, Arc<Dag>)>;
+        let mut fixed_built: BTreeMap<BuildKey, SharedBuild> = BTreeMap::new();
         let mut points: Vec<Point<'_>> = Vec::with_capacity(self.workloads.len() * configs.len());
         for (workload_idx, workload) in self.workloads.iter().enumerate() {
             for config in &configs {
@@ -476,14 +480,24 @@ impl Experiment {
                     config.scaled(scale).l2.capacity,
                     config.num_cores,
                 );
-                let shared = built
-                    .entry(key)
-                    .or_insert_with(|| {
-                        let comp = workload.build(scale, key.1, key.2);
-                        let dag = Dag::from_computation(&comp);
-                        Arc::new((comp, dag))
-                    })
-                    .clone();
+                let build = || {
+                    let comp = workload.build(scale, key.1, key.2);
+                    let dag = Arc::new(Dag::from_computation(&comp));
+                    (comp, dag)
+                };
+                let shared = match workload {
+                    WorkloadSpec::Registry { .. } => crate::build_cache::get_or_build(
+                        (workload.label(), scale, key.1, key.2),
+                        build,
+                    ),
+                    WorkloadSpec::Fixed { .. } => fixed_built
+                        .entry(key)
+                        .or_insert_with(|| {
+                            let (comp, dag) = build();
+                            Arc::new((comp, dag))
+                        })
+                        .clone(),
+                };
                 points.push(Point {
                     workload,
                     config,
@@ -497,11 +511,25 @@ impl Experiment {
             let scaled = config.scaled(scale);
             let (comp, dag) = &*point.built;
             let comp: &Computation = comp.as_ref();
+            let dag: &Dag = dag.as_ref();
+            // Geometry prebuild: resolve the line stream and the packed
+            // (L1, L2) set lanes before the simulations, so the engine
+            // finds everything compiled.  Both are memoised on the
+            // computation, so `compile_ms` is the *incremental* cost this
+            // record actually paid — the full compile on a cold build,
+            // ~zero when an earlier point, sweep or trial already did it.
+            let compile_start = std::time::Instant::now();
+            let stream = comp.line_stream(scaled.l2.line_size);
+            let lanes = stream.geometry_pair(
+                ccs_dag::CacheGeometry::new(scaled.l1.line_size, scaled.l1.num_sets()),
+                ccs_dag::CacheGeometry::new(scaled.l2.line_size, scaled.l2.num_sets()),
+            );
+            let compile_ms = compile_start.elapsed().as_secs_f64() * 1000.0;
             // Memory-footprint metrics: deterministic functions of the
-            // build and line size, identical for both engines.
+            // build and geometry, identical for both engines.
             let trace_bytes = comp.trace_arena_bytes();
             let peak_alloc_estimate =
-                trace_bytes + comp.line_stream(scaled.l2.line_size).heap_bytes() + dag.heap_bytes();
+                trace_bytes + stream.heap_bytes() + lanes.heap_bytes() + dag.heap_bytes();
             let sequential = self.baseline.then(|| {
                 let mut seq_cfg = scaled.clone();
                 seq_cfg.num_cores = 1;
@@ -511,12 +539,19 @@ impl Experiment {
             });
             schedulers
                 .iter()
-                .map(|spec| {
+                .enumerate()
+                .map(|(i, spec)| {
                     let mut sched = spec.build();
                     let result =
                         simulate_with_engine(comp, dag, &scaled, sched.as_mut(), self.engine);
+                    // The compile was paid once for the whole point; charge
+                    // it to the point's first record only, so summing
+                    // `compile_ms` over a report yields the true total
+                    // rather than one copy per scheduler.
+                    let record_compile_ms = if i == 0 { compile_ms } else { 0.0 };
                     RunRecord::from_sim(workload.label(), spec, &result, sequential.as_ref())
                         .with_footprint(trace_bytes, peak_alloc_estimate)
+                        .with_compile_ms(record_compile_ms)
                 })
                 .collect()
         };
@@ -541,11 +576,12 @@ impl Experiment {
 }
 
 /// One sweep point: a workload × design-point pair plus the prebuilt
-/// computation and DAG it shares with the other points of the same build.
+/// computation and DAG it shares with the other points of the same build
+/// (and, for registry workloads, with every other sweep in the process).
 struct Point<'a> {
     workload: &'a WorkloadSpec,
     config: &'a CmpConfig,
-    built: Arc<(Arc<Computation>, Dag)>,
+    built: Arc<(Arc<Computation>, Arc<Dag>)>,
 }
 
 /// Recursively fork-join over the sweep points, writing each point's records
@@ -680,6 +716,41 @@ mod tests {
         let parallel = base.clone().parallelism(8).run();
         assert_eq!(parallel, sequential);
         assert_eq!(parallel.to_json(), sequential.to_json());
+    }
+
+    #[test]
+    fn registry_builds_are_shared_across_experiment_runs() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static BUILDS: AtomicUsize = AtomicUsize::new(0);
+        ccs_workloads::WorkloadRegistry::global().register_fn(
+            "cache-probe-workload",
+            "counts its builds (build-cache test)",
+            |_ctx| {
+                BUILDS.fetch_add(1, Ordering::SeqCst);
+                let mut b = ccs_dag::ComputationBuilder::new(128);
+                let leaf = b.strand_with(|t| {
+                    t.compute(10).read_range(0x4000, 2048, 2);
+                });
+                b.finish(leaf)
+            },
+        );
+        let experiment = Experiment::new("cache-probe-workload")
+            .cores(2)
+            .scale(64)
+            .schedulers(["pdf"]);
+        let runs = 4;
+        let first = experiment.run();
+        for _ in 1..runs {
+            assert_eq!(experiment.run(), first, "cached builds change nothing");
+        }
+        let builds = BUILDS.load(Ordering::SeqCst);
+        // The global build cache shares one build across every run of the
+        // process (other tests may clear the cache concurrently, so allow
+        // a rebuild or two — but re-building per run must be gone).
+        assert!(
+            builds < runs,
+            "expected cached builds, factory ran {builds}/{runs} times"
+        );
     }
 
     #[test]

@@ -18,6 +18,10 @@
 //! * [`RunRecord`] / [`Report`] — one record per measured point, aggregated
 //!   into a report with JSON/CSV/TSV emission and parsing
 //!   ([`Report::to_json`] / [`Report::from_json`]);
+//! * [`build_cache`] — the process-global, byte-bounded cache of built
+//!   registry computations (and, through their memoisation, of every
+//!   compiled line stream and geometry lane), shared across sweeps and
+//!   repeat trials;
 //! * [`Options`] — the command-line harness the experiment binaries share;
 //! * [`json`] — the small self-contained JSON layer backing report
 //!   serialisation (the offline stand-in for `serde_json`; see
@@ -54,6 +58,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod build_cache;
 pub mod experiment;
 pub mod json;
 pub mod options;

@@ -11,7 +11,14 @@ use crate::json::{self, Json, JsonError};
 
 /// One measured point: a workload simulated on one configuration under one
 /// scheduler.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// Every field is a deterministic function of the simulated configuration
+/// *except* [`compile_ms`](RunRecord::compile_ms), which is a wall-clock
+/// timing annotation: it is carried in memory and in the CSV emission, but
+/// excluded from equality and from the JSON trajectory so reports stay
+/// byte-identical across repeat, parallel and cross-engine runs (a
+/// guarantee CI and the test suite compare literally).
+#[derive(Clone, Debug)]
 pub struct RunRecord {
     /// Workload name (`"mergesort"`, `"lu"`, a custom name, …).
     pub workload: String,
@@ -47,9 +54,15 @@ pub struct RunRecord {
     /// (structure-of-arrays op lanes) in bytes.  Deterministic per build.
     pub trace_bytes: u64,
     /// Estimated peak host allocation for this run: trace arena + compiled
-    /// line stream + CSR DAG.  Deterministic per build and engine-
-    /// independent (both engines share the same inputs).
+    /// line stream + geometry lanes + CSR DAG.  Deterministic per build
+    /// and engine-independent (both engines share the same inputs).
     pub peak_alloc_estimate: u64,
+    /// Milliseconds this record spent compiling the line stream and the
+    /// geometry set lanes before simulating — the *incremental* cost
+    /// (≈ 0 when an earlier record of the same build already compiled
+    /// them; see DESIGN.md §9).  Wall-clock: excluded from equality and
+    /// JSON (see the type docs), emitted in the CSV.
+    pub compile_ms: f64,
     /// Speedup over the matching sequential baseline, when one was run.
     pub speedup_over_seq: Option<f64>,
 }
@@ -80,6 +93,7 @@ impl RunRecord {
             off_chip_bytes: result.off_chip_bytes(),
             trace_bytes: 0,
             peak_alloc_estimate: 0,
+            compile_ms: 0.0,
             speedup_over_seq: sequential.map(|seq| result.speedup_over(seq)),
         }
     }
@@ -89,6 +103,13 @@ impl RunRecord {
     pub fn with_footprint(mut self, trace_bytes: u64, peak_alloc_estimate: u64) -> RunRecord {
         self.trace_bytes = trace_bytes;
         self.peak_alloc_estimate = peak_alloc_estimate;
+        self
+    }
+
+    /// Attach the stream/geometry compilation time (filled in by the
+    /// experiment layer, which performs the prebuild).
+    pub fn with_compile_ms(mut self, compile_ms: f64) -> RunRecord {
+        self.compile_ms = compile_ms;
         self
     }
 
@@ -179,8 +200,37 @@ impl RunRecord {
             off_chip_bytes: u64_field("off_chip_bytes")?,
             trace_bytes: u64_field("trace_bytes")?,
             peak_alloc_estimate: u64_field("peak_alloc_estimate")?,
+            // Not serialised (see the type docs): a parsed record has no
+            // compile-time annotation.
+            compile_ms: 0.0,
             speedup_over_seq: opt("speedup_over_seq", Json::as_f64),
         })
+    }
+}
+
+impl PartialEq for RunRecord {
+    /// Equality over the *deterministic* fields only: `compile_ms` is a
+    /// wall-clock annotation (see the type docs) and must not make two
+    /// records of the same simulated point compare unequal.
+    fn eq(&self, other: &RunRecord) -> bool {
+        self.workload == other.workload
+            && self.config == other.config
+            && self.cores == other.cores
+            && self.scheduler == other.scheduler
+            && self.seed == other.seed
+            && self.cycles == other.cycles
+            && self.instructions == other.instructions
+            && self.tasks == other.tasks
+            && self.l1_accesses == other.l1_accesses
+            && self.l1_misses == other.l1_misses
+            && self.l2_accesses == other.l2_accesses
+            && self.l2_misses == other.l2_misses
+            && self.l2_mpki == other.l2_mpki
+            && self.bandwidth_utilization == other.bandwidth_utilization
+            && self.off_chip_bytes == other.off_chip_bytes
+            && self.trace_bytes == other.trace_bytes
+            && self.peak_alloc_estimate == other.peak_alloc_estimate
+            && self.speedup_over_seq == other.speedup_over_seq
     }
 }
 
@@ -317,7 +367,7 @@ impl Report {
             "workload,config,cores,scheduler,seed,cycles,instructions,tasks,\
              l1_accesses,l1_misses,l2_accesses,l2_misses,l2_mpki,\
              bandwidth_utilization,off_chip_bytes,trace_bytes,\
-             peak_alloc_estimate,speedup_over_seq\n",
+             peak_alloc_estimate,compile_ms,speedup_over_seq\n",
         );
         for r in &self.records {
             let seed = r.seed.map(|s| s.to_string()).unwrap_or_default();
@@ -326,7 +376,7 @@ impl Report {
                 .map(|s| format!("{s:.6}"))
                 .unwrap_or_default();
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{:.6},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{:.6},{},{},{},{:.3},{}\n",
                 csv_escape(&r.workload),
                 csv_escape(&r.config),
                 r.cores,
@@ -344,6 +394,7 @@ impl Report {
                 r.off_chip_bytes,
                 r.trace_bytes,
                 r.peak_alloc_estimate,
+                r.compile_ms,
                 speedup,
             ));
         }
@@ -407,6 +458,7 @@ mod tests {
             off_chip_bytes: 960_000,
             trace_bytes: 48_000,
             peak_alloc_estimate: 96_000,
+            compile_ms: 0.0,
             speedup_over_seq: Some(5.5),
         }
     }
@@ -422,6 +474,32 @@ mod tests {
 
         let parsed = Report::from_json(&report.to_json()).unwrap();
         assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn compile_ms_is_an_annotation_not_an_identity() {
+        // Two records of the same simulated point must compare equal and
+        // serialise identically even when their wall-clock compile costs
+        // differ (one paid the compile, the other reused the memo) — the
+        // byte-identity of reports across repeat/parallel/engine runs
+        // depends on it.  The CSV, which carries no identity guarantee,
+        // does include the column.
+        let cold = sample_record("pdf", None).with_compile_ms(12.5);
+        let warm = sample_record("pdf", None).with_compile_ms(0.001);
+        assert_eq!(cold, warm);
+        let mut a = Report::new("x", 1);
+        a.records.push(cold);
+        let mut b = Report::new("x", 1);
+        b.records.push(warm);
+        assert_eq!(a.to_json(), b.to_json());
+        assert!(!a.to_json().contains("compile_ms"));
+        assert!(a.to_csv().starts_with("workload,"));
+        assert!(a.to_csv().contains(",12.500,"));
+        // Parsed records carry no annotation.
+        assert_eq!(
+            Report::from_json(&a.to_json()).unwrap().records[0].compile_ms,
+            0.0
+        );
     }
 
     #[test]

@@ -39,13 +39,20 @@
 //!   division or per-task pointer chasing — with a one-entry **MRU line
 //!   filter** in front of each L1 (a read of the line a core touched last
 //!   is a guaranteed hit on the MRU way, a state no-op that only the
-//!   statistics need to see; see DESIGN.md §8);
+//!   statistics need to see; see DESIGN.md §8).  The cache hierarchy
+//!   itself is **id-native**: per-geometry [`GeometryLanes`] compiled on
+//!   the stream map each line id straight to its L1/L2 set index, line ids
+//!   double as `u32` cache tags, and the L1s/L2 are
+//!   [`CompiledCache`]s probed by `(set, tag)` — the hot loop never
+//!   materialises an address (DESIGN.md §9);
 //! * the **reference** cycle-stepper (`reference` module): the seed loop,
 //!   one heap round-trip per micro-step and a broadcast per store, retained
 //!   as the executable specification (it reads per-task [`TaskTrace`]s
 //!   materialised from the pool through a thin adapter).
 //!
 //! [`LineStream`]: ccs_dag::LineStream
+//! [`GeometryLanes`]: ccs_dag::GeometryLanes
+//! [`CompiledCache`]: ccs_cache::CompiledCache
 //! [`TaskTrace`]: ccs_dag::TaskTrace
 //!
 //! The two engines are *metrics-identical* — same cycles, same hit/miss/
@@ -63,8 +70,9 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use ccs_cache::directory::MAX_DIRECTORY_CORES;
-use ccs_cache::{MainMemory, SetAssocCache};
-use ccs_dag::{AccessKind, Computation, Dag, LineStream, TaskId, STEP_ID_MASK, STEP_WRITE_BIT};
+use ccs_cache::{line_tag, CompiledCache, MainMemory};
+use ccs_dag::stream::PairedSetLanes;
+use ccs_dag::{CacheGeometry, Computation, Dag, LineStream, TaskId, STEP_ID_MASK, STEP_WRITE_BIT};
 use ccs_sched::{Scheduler, SchedulerSpec};
 
 use crate::config::CmpConfig;
@@ -245,14 +253,26 @@ fn event_driven(
     // stream through the computation's cache.
     let stream_arc = comp.line_stream(line_size);
     let stream: &LineStream = &stream_arc;
-    let stream_pre = stream.pre();
-    let stream_steps = stream.steps();
-    let line_addrs = stream.line_addr();
+    let stream_packed = stream.packed();
+    // Geometry-compiled lanes: line id → packed (L1 set, L2 set), one
+    // table per distinct geometry pair, memoised on the stream so every
+    // scheduler × core-count point of a sweep shares it.  Together with
+    // the id-as-tag convention (`line_tag`) the hot loop below never
+    // touches a 64-bit address: probes are (u32 set, u32 tag) pairs, and
+    // the L2 set rides in the high half of the word the L1 probe already
+    // loaded — an L1 miss costs no extra lane traffic.
+    let set_lanes = stream.geometry_pair(
+        CacheGeometry::new(line_size, config.l1.num_sets()),
+        CacheGeometry::new(line_size, config.l2.num_sets()),
+    );
+    let set_lane: &[u64] = set_lanes.packed();
 
     let l1_hit_latency = config.l1.hit_latency;
     let l2_hit_latency = config.l2.hit_latency;
-    let mut l1s: Vec<SetAssocCache> = (0..p).map(|_| SetAssocCache::new(config.l1)).collect();
-    let mut l2 = SetAssocCache::new(config.l2);
+    let mut l1s: Vec<CompiledCache> = (0..p)
+        .map(|_| CompiledCache::new(config.l1.num_sets(), config.l1.associativity))
+        .collect();
+    let mut l2 = CompiledCache::new(config.l2.num_sets(), config.l2.associativity);
     let mut memory = MainMemory::new(config.memory);
     // Line-ownership directory: stores invalidate only the L1s that may
     // hold a copy (`O(sharers)`), instead of broadcasting to all `p`.  With
@@ -300,7 +320,21 @@ fn event_driven(
     let mut active: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::with_capacity(p + 1);
     let mut idle: Vec<usize> = Vec::new();
 
-    // Dispatch as much ready work as possible at `now`, preferring `first`.
+    // Dispatch as much ready work as possible at `now`.  `first` is the
+    // core that just completed a task (not yet back in `idle`): it is
+    // offered work before the others — the reference's dispatch
+    // preference — and binary-inserted into the sorted idle list if the
+    // scheduler has nothing for it.  The remaining idle cores are offered
+    // work in ascending id order through one forward compaction pass.
+    //
+    // `idle` is kept sorted **by construction** (cores only enter through
+    // the binary insert below), so there is no per-dispatch
+    // `sort_unstable` and no `remove`/`insert(0, ..)` churn — O(p) array
+    // work per dispatch instead of O(p²).  The sequence of `next_task`
+    // calls (which drives scheduler-internal state such as steal RNGs) is
+    // exactly the reference's: `first`, then the rest ascending, with the
+    // `ready_count` cut-off checked before every offer — so schedules,
+    // and therefore metrics, cannot move.
     fn dispatch(
         now: u64,
         first: Option<usize>,
@@ -310,34 +344,55 @@ fn event_driven(
         idle: &mut Vec<usize>,
         active: &mut BinaryHeap<Reverse<(u64, usize)>>,
     ) {
-        idle.sort_unstable();
+        debug_assert!(idle.windows(2).all(|w| w[0] < w[1]), "idle list unsorted");
+        let mut activate = |core_id: usize, task: TaskId| {
+            let core = &mut cores[core_id];
+            core.task = Some(task);
+            core.step = stream.range(task).0;
+            core.phase = Phase::NextOp;
+            core.time = now;
+            core.task_started = now;
+            active.push(Reverse((now, core_id)));
+        };
+        // The completing core gets first refusal; if it parks, it must
+        // not be offered work again below, so its insert waits until
+        // after the pass.
+        let mut park_first = None;
         if let Some(f) = first {
-            if let Some(pos) = idle.iter().position(|&c| c == f) {
-                idle.remove(pos);
-                idle.insert(0, f);
+            match if sched.ready_count() > 0 {
+                sched.next_task(f)
+            } else {
+                None
+            } {
+                Some(task) => activate(f, task),
+                None => park_first = Some(f),
             }
         }
-        let mut i = 0;
-        while i < idle.len() {
+        // One forward pass: assigned cores are dropped, still-idle cores
+        // are compacted in place (ascending order preserved); the
+        // unvisited tail after a ready-count cut-off is shifted down.
+        let n_idle = idle.len();
+        let mut write = 0;
+        let mut read = 0;
+        while read < n_idle {
             if sched.ready_count() == 0 {
                 break;
             }
-            let core_id = idle[i];
+            let core_id = idle[read];
+            read += 1;
             match sched.next_task(core_id) {
-                Some(task) => {
-                    idle.remove(i);
-                    let core = &mut cores[core_id];
-                    core.task = Some(task);
-                    core.step = stream.range(task).0;
-                    core.phase = Phase::NextOp;
-                    core.time = now;
-                    core.task_started = now;
-                    active.push(Reverse((now, core_id)));
-                }
+                Some(task) => activate(core_id, task),
                 None => {
-                    i += 1;
+                    idle[write] = core_id;
+                    write += 1;
                 }
             }
+        }
+        idle.copy_within(read..n_idle, write);
+        idle.truncate(write + (n_idle - read));
+        if let Some(f) = park_first {
+            let pos = idle.partition_point(|&c| c < f);
+            idle.insert(pos, f);
         }
     }
 
@@ -402,13 +457,21 @@ fn event_driven(
                     Some(dir) => {
                         let slot = &mut dir[$id as usize];
                         if *slot & (1u64 << core_id) == 0 {
-                            my_l1.fill_line(line_addrs[$id as usize], $is_write);
+                            my_l1.fill_compiled(
+                                PairedSetLanes::l1_set(set_lane[$id as usize]),
+                                line_tag($id),
+                                $is_write,
+                            );
                             *slot |= 1u64 << core_id;
                         }
                     }
                     None if p == 1 => {}
                     None => {
-                        my_l1.fill_line(line_addrs[$id as usize], $is_write);
+                        my_l1.fill_compiled(
+                            PairedSetLanes::l1_set(set_lane[$id as usize]),
+                            line_tag($id),
+                            $is_write,
+                        );
                     }
                 }
                 mru[core_id] = $id;
@@ -426,11 +489,14 @@ fn event_driven(
             match core.phase {
                 Phase::NextOp => {
                     if core.step < task_end {
-                        // Charge the compute preceding this step (zero on
-                        // the trailing lines of a straddling reference),
-                        // then the L1 probe latency (always paid).
-                        core.time += stream_pre[core.step] as u64 + l1_hit_latency;
-                        let step = stream_steps[core.step];
+                        // One packed lane word holds both the preceding
+                        // compute (charged once; zero on the trailing lines
+                        // of a straddling reference) and the step, so the
+                        // per-access stream traffic is a single load; the
+                        // L1 probe latency is always paid.
+                        let word = stream_packed[core.step];
+                        core.time += LineStream::pre_of(word) as u64 + l1_hit_latency;
+                        let step = LineStream::step_of(word);
                         let id = step & STEP_ID_MASK;
                         let is_write = step & STEP_WRITE_BIT != 0;
                         if !is_write && mru[core_id] == id {
@@ -442,35 +508,38 @@ fn event_driven(
                             my_l1.record_mru_read_hit();
                             core.step += 1;
                         } else {
-                            let line = line_addrs[id as usize];
-                            let kind = if is_write {
-                                AccessKind::Write
-                            } else {
-                                AccessKind::Read
-                            };
-                            let outcome = my_l1.access_line(line, kind);
+                            // Id-native probe: one packed lane word gives
+                            // both set indices, the id doubles as the u32
+                            // tag — no address is ever formed.
+                            let tag = line_tag(id);
+                            let sets = set_lane[id as usize];
+                            let l1_set = PairedSetLanes::l1_set(sets);
+                            let hit = my_l1.access_compiled(l1_set, tag, is_write);
                             if let Some(dir) = directory.as_mut() {
                                 let slot = &mut dir[id as usize];
-                                if !outcome.hit {
-                                    // The probe allocated `line`: record the
-                                    // copy.  The evicted victim's bit is left
-                                    // stale on purpose (see the directory
-                                    // comment above).
+                                if !hit {
+                                    // The probe allocated the line: record
+                                    // the copy.  The evicted victim's bit is
+                                    // left stale on purpose (see the
+                                    // directory comment above).
                                     *slot |= 1u64 << core_id;
                                 }
                                 if is_write {
                                     // Write-invalidate the sharing L1s only,
                                     // dropping their MRU-filter entries for
-                                    // this line.
+                                    // this line.  Private L1s share one
+                                    // geometry, so the victim's set index is
+                                    // this core's.
                                     let mut others = *slot & !(1u64 << core_id);
                                     *slot &= 1u64 << core_id;
                                     while others != 0 {
                                         let other = others.trailing_zeros() as usize;
                                         others &= others - 1;
                                         if other < core_id {
-                                            l1s_below[other].invalidate_line(line);
+                                            l1s_below[other].invalidate_compiled(l1_set, tag);
                                         } else {
-                                            l1s_above[other - core_id - 1].invalidate_line(line);
+                                            l1s_above[other - core_id - 1]
+                                                .invalidate_compiled(l1_set, tag);
                                         }
                                         if mru[other] == id {
                                             mru[other] = NO_LINE;
@@ -481,7 +550,7 @@ fn event_driven(
                                 // Broadcast fallback (single core, or more
                                 // cores than the directory's sharer mask).
                                 for l1 in l1s_below.iter_mut().chain(l1s_above.iter_mut()) {
-                                    l1.invalidate_line(line);
+                                    l1.invalidate_compiled(l1_set, tag);
                                 }
                                 for (other, slot) in mru.iter_mut().enumerate() {
                                     if other != core_id && *slot == id {
@@ -489,7 +558,7 @@ fn event_driven(
                                     }
                                 }
                             }
-                            if outcome.hit {
+                            if hit {
                                 mru[core_id] = id;
                                 core.step += 1;
                                 // stay in NextOp
@@ -506,7 +575,7 @@ fn event_driven(
                                     cores[core_id] = core;
                                     break;
                                 }
-                                if l2.access_line(line, kind).hit {
+                                if l2.access_compiled(PairedSetLanes::l2_set(sets), tag, is_write) {
                                     fill_and_advance!(id, is_write);
                                 } else {
                                     core.time = memory.request(core.time);
@@ -543,7 +612,9 @@ fn event_driven(
                         for &s in &newly {
                             sched.task_enabled(s, Some(core_id));
                         }
-                        idle.push(core_id);
+                        // This core is handed to dispatch as `first`: it
+                        // gets the work preference and parks into the
+                        // sorted idle list only if nothing fits.
                         dispatch(
                             finish,
                             Some(core_id),
@@ -559,12 +630,8 @@ fn event_driven(
                     }
                 }
                 Phase::L2Probe { id, is_write } => {
-                    let kind = if is_write {
-                        AccessKind::Write
-                    } else {
-                        AccessKind::Read
-                    };
-                    if l2.access_line(line_addrs[id as usize], kind).hit {
+                    let l2_set = PairedSetLanes::l2_set(set_lane[id as usize]);
+                    if l2.access_compiled(l2_set, line_tag(id), is_write) {
                         fill_and_advance!(id, is_write);
                     } else {
                         core.time = memory.request(core.time);
@@ -804,6 +871,47 @@ mod tests {
                     let slow = simulate_engine(comp, &cfg, kind, SimEngine::Reference);
                     assert_eq!(fast, slow, "{name}/{kind}/{cores} cores");
                 }
+            }
+        }
+    }
+
+    /// Dispatch-churn pin for the compacting idle-list dispatch: hundreds
+    /// of short tasks over more cores than parallelism, so cores park and
+    /// wake constantly and the scheduler sees a long sequence of
+    /// `next_task` offers.  The results must be deterministic across
+    /// repeats *and* byte-identical to the reference engine — which
+    /// retains the seed's sort + remove/insert dispatch verbatim — for
+    /// both schedulers and a seeded random-victim work stealer (whose RNG
+    /// consumption pins the exact offer order, not just the outcome).
+    #[test]
+    fn dispatch_rework_preserves_offer_order_and_results() {
+        let mut b = ComputationBuilder::new(128);
+        let mut space = ccs_dag::AddressSpace::new();
+        let shared = space.alloc(8 * 1024);
+        let leaves: Vec<_> = (0..96)
+            .map(|i| {
+                b.strand_with(|t| {
+                    t.compute(i % 7 + 1).read(shared.base + (i % 16) * 128, 8);
+                    if i % 5 == 0 {
+                        t.write(shared.base + (i % 16) * 128, 8);
+                    }
+                })
+            })
+            .collect();
+        let par = b.par(leaves, GroupMeta::labeled("churn"));
+        let comp = b.finish(par);
+        for cores in [3usize, 8, 16] {
+            let cfg = tiny_config(cores, 128);
+            for kind in [
+                SchedulerKind::Pdf,
+                SchedulerKind::WorkStealing,
+                SchedulerKind::WorkStealingRandom(9),
+            ] {
+                let fast = simulate_engine(&comp, &cfg, kind, SimEngine::EventDriven);
+                let again = simulate_engine(&comp, &cfg, kind, SimEngine::EventDriven);
+                assert_eq!(fast, again, "{kind} / {cores} cores must be deterministic");
+                let slow = simulate_engine(&comp, &cfg, kind, SimEngine::Reference);
+                assert_eq!(fast, slow, "{kind} / {cores} cores vs reference");
             }
         }
     }

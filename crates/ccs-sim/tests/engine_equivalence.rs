@@ -62,13 +62,24 @@ proptest! {
 
 /// A deterministic sweep over the same cross-product, so failures reproduce
 /// without proptest shrinking and CI always covers every (scheduler, cores)
-/// cell even if the random sampler doesn't.
+/// cell even if the random sampler doesn't.  The core counts hit all three
+/// coherence paths of the event engine: `p == 1` (no directory, fills
+/// skipped unconditionally), `1 < p ≤ MAX_DIRECTORY_CORES` (flat sharer-
+/// mask directory), and `p > MAX_DIRECTORY_CORES` (the broadcast
+/// fallback, exercised with 65 cores — one past the 64-bit mask).
 #[test]
 fn engines_agree_across_seeds_schedulers_and_cores() {
+    use ccs_cache::directory::MAX_DIRECTORY_CORES;
+
     let params = synth_params();
+    let wide = MAX_DIRECTORY_CORES + 1;
     for seed in 0..12u64 {
         let comp = random_computation(seed, &params);
-        for cores in [1usize, 2, 4] {
+        // The wide fallback costs O(p) per store in both engines; a third
+        // of the seeds keeps the deterministic sweep fast while still
+        // covering the cell every run.
+        let wide_cores = if seed % 3 == 0 { Some(wide) } else { None };
+        for cores in [1usize, 2, 4].into_iter().chain(wide_cores) {
             let cfg = tiny_config(cores);
             for kind in [SchedulerKind::Pdf, SchedulerKind::WorkStealing] {
                 let fast = simulate_engine(&comp, &cfg, kind, SimEngine::EventDriven);
@@ -77,6 +88,87 @@ fn engines_agree_across_seeds_schedulers_and_cores() {
             }
         }
     }
+}
+
+/// The `p > MAX_DIRECTORY_CORES` broadcast fallback on a computation built
+/// to *need* it: more strands than the sharer mask has bits, all hammering
+/// one shared line with interleaved stores, so remote invalidations (and
+/// the unconditional fill re-probes of the fallback) actually fire on a
+/// machine wider than the directory supports.
+#[test]
+fn broadcast_fallback_matches_reference_past_directory_width() {
+    use ccs_cache::directory::MAX_DIRECTORY_CORES;
+    use ccs_dag::{AddressSpace, ComputationBuilder, GroupMeta};
+
+    let mut b = ComputationBuilder::new(128);
+    let mut space = AddressSpace::new();
+    let shared = space.alloc(1024);
+    let leaves: Vec<_> = (0..MAX_DIRECTORY_CORES + 8)
+        .map(|i| {
+            let private = space.alloc(512);
+            b.strand_with(|t| {
+                t.compute(3).read(shared.base, 8);
+                t.read_range(private.base, private.bytes, 1);
+                if i % 2 == 0 {
+                    t.write(shared.base, 8);
+                }
+                t.read(shared.base, 8);
+            })
+        })
+        .collect();
+    let par = b.par(leaves, GroupMeta::labeled("wide"));
+    let comp = b.finish(par);
+
+    for cores in [1usize, 4, MAX_DIRECTORY_CORES + 1, MAX_DIRECTORY_CORES + 8] {
+        let cfg = tiny_config(cores);
+        for kind in [SchedulerKind::Pdf, SchedulerKind::WorkStealing] {
+            let fast = simulate_engine(&comp, &cfg, kind, SimEngine::EventDriven);
+            let slow = simulate_engine(&comp, &cfg, kind, SimEngine::Reference);
+            assert_eq!(fast, slow, "{kind} / {cores} cores");
+        }
+    }
+}
+
+/// Geometry lanes are compiled once per sweep point and shared across
+/// every scheduler × core-count simulation of it: the computation's
+/// memoised line stream hands out the same `Arc`s, and only one packed
+/// (L1, L2) pair table exists no matter how many simulations ran.
+#[test]
+fn geometry_lanes_compile_once_and_are_shared_across_runs() {
+    use ccs_dag::CacheGeometry;
+    use std::sync::Arc;
+
+    let comp = random_computation(7, &synth_params());
+    let stream = comp.line_stream(128);
+    assert_eq!(stream.compiled_geometry_pairs(), 0, "nothing compiled yet");
+
+    // tiny_config uses the same L1/L2 geometry at every core count, so the
+    // whole schedulers × cores matrix of a sweep point shares one pair.
+    for cores in [1usize, 2, 4] {
+        let cfg = tiny_config(cores);
+        for kind in [SchedulerKind::Pdf, SchedulerKind::WorkStealing] {
+            let _ = simulate_engine(&comp, &cfg, kind, SimEngine::EventDriven);
+        }
+    }
+    assert!(
+        Arc::ptr_eq(&comp.line_stream(128), &stream),
+        "all runs reused the memoised stream"
+    );
+    assert_eq!(
+        stream.compiled_geometry_pairs(),
+        1,
+        "six simulations share one packed (L1, L2) lane table"
+    );
+
+    let cfg = tiny_config(2);
+    let l1 = CacheGeometry::new(128, cfg.l1.num_sets());
+    let l2 = CacheGeometry::new(128, cfg.l2.num_sets());
+    let a = stream.geometry_pair(l1, l2);
+    let b = stream.geometry_pair(l1, l2);
+    assert!(Arc::ptr_eq(&a, &b), "pair lookups share one compiled table");
+    assert_eq!(a.l1_geometry(), l1);
+    assert_eq!(a.l2_geometry(), l2);
+    assert_eq!(a.packed().len(), stream.num_lines());
 }
 
 /// The pooled path's remaining special cases, hand-built because the synth

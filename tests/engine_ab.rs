@@ -1,0 +1,51 @@
+//! The PR-level A/B acceptance property: for **every registered workload**,
+//! both schedulers, and core counts covering all three coherence paths of
+//! the event engine (`p == 1` no-directory, directory, and the
+//! `> MAX_DIRECTORY_CORES` broadcast fallback), the id-native event-driven
+//! engine and the retained reference cycle-stepper must report
+//! **byte-identical** `SimResult`s.
+//!
+//! This is the cross-product the bench harness's A/B throughput numbers
+//! stand on: a faster engine only counts if the metrics cannot move.
+
+use ccs_cache::directory::MAX_DIRECTORY_CORES;
+use ccs_sim::{simulate_engine, CmpConfig, SimEngine};
+use ccs_workloads::{BuildCtx, WorkloadRegistry};
+
+/// A small CMP whose caches stay fixed while the core count sweeps the
+/// coherence paths; 65 cores steps one past the directory's 64-bit mask.
+fn config(cores: usize) -> CmpConfig {
+    let mut cfg = CmpConfig::default_with_cores(16).expect("default config exists");
+    cfg.num_cores = cores;
+    cfg.name = format!("ab-{cores}");
+    cfg.l1 = ccs_cache::CacheConfig::new(4 * 1024, 128, 4, 1);
+    cfg.l2 = ccs_cache::CacheConfig::new(64 * 1024, 128, 16, 13);
+    cfg
+}
+
+#[test]
+fn all_registered_workloads_are_metrics_identical_across_engines() {
+    let registry = WorkloadRegistry::global();
+    let names = registry.names();
+    assert!(
+        names.len() >= 6,
+        "expected the six built-in workloads, got {names:?}"
+    );
+    // Deeply scaled-down inputs: the reference engine pays one heap
+    // round-trip per micro-step, so the sweep must stay small to keep the
+    // test quick while still covering every workload's access pattern.
+    let scale = 2048;
+    let wide = MAX_DIRECTORY_CORES + 1;
+    for name in &names {
+        let ctx = BuildCtx::new(scale, 64 * 1024, 4);
+        let comp = registry.build(name, &ctx).unwrap_or_else(|e| panic!("{e}"));
+        for cores in [1usize, 2, 4, wide] {
+            let cfg = config(cores);
+            for sched in ["pdf", "ws"] {
+                let fast = simulate_engine(&comp, &cfg, sched, SimEngine::EventDriven);
+                let slow = simulate_engine(&comp, &cfg, sched, SimEngine::Reference);
+                assert_eq!(fast, slow, "{name} / {sched} / {cores} cores");
+            }
+        }
+    }
+}

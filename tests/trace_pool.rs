@@ -93,9 +93,10 @@ fn assert_stream_matches(comp: &Computation, line_size: u64) {
     }
     let got: Vec<(u32, u64, bool)> = (0..stream.num_steps())
         .map(|i| {
-            let step = stream.steps()[i];
+            let word = stream.packed()[i];
+            let step = ccs_dag::LineStream::step_of(word);
             (
-                stream.pre()[i],
+                ccs_dag::LineStream::pre_of(word),
                 stream.line_addr()[(step & STEP_ID_MASK) as usize],
                 step & STEP_WRITE_BIT != 0,
             )
@@ -319,8 +320,7 @@ proptest! {
         // split, which must be invisible in the ids' first-touch order.
         let a = pooled.line_stream(line_size);
         let b = legacy.line_stream(line_size);
-        prop_assert_eq!(a.steps(), b.steps());
-        prop_assert_eq!(a.pre(), b.pre());
+        prop_assert_eq!(a.packed(), b.packed());
         prop_assert_eq!(a.line_addr(), b.line_addr());
     }
 
