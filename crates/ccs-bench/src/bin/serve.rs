@@ -1,0 +1,74 @@
+//! The sweep-service daemon: keep builds, caches and finished records warm
+//! across many sweep requests instead of paying them per process.
+//!
+//! ```text
+//! # One-shot pipe mode: frames in on stdin, frames out on stdout.
+//! printf '%s\n' '{"type":"submit","id":"r1","workloads":["mergesort"],"scale":1024}' \
+//!     | cargo run --release -p ccs-bench --bin serve -- --store /tmp/ccs-store
+//!
+//! # Daemon mode: serve many clients over a Unix socket until one sends
+//! # a shutdown frame.
+//! cargo run --release -p ccs-bench --bin serve -- \
+//!     --socket /tmp/ccs.sock --store /tmp/ccs-store --parallel 4
+//! ```
+//!
+//! Flags (shared [`Options`] plus daemon extras in `rest`):
+//!
+//! * `--store DIR` — persistent result store; repeated requests are served
+//!   from disk, byte-identical to a fresh run;
+//! * `--socket PATH` — listen on a Unix socket (default: one stdio session);
+//! * `--parallel N` — threads of the shared simulation pool (0 = one per
+//!   available core);
+//! * `--queue N` — accepted-but-not-running request capacity (default 32);
+//! * `--workers N` — concurrently running requests (default 2).
+//!
+//! Protocol and store format: DESIGN.md §10.
+
+use std::path::PathBuf;
+
+use ccs_bench::Options;
+use ccs_serve::{Server, ServiceConfig};
+
+fn main() {
+    let opts = Options::from_env();
+    let mut socket: Option<PathBuf> = None;
+    let mut config = ServiceConfig {
+        store_dir: opts.store.clone(),
+        pool_threads: opts.parallel,
+        ..ServiceConfig::default()
+    };
+
+    let mut rest = opts.rest.iter();
+    while let Some(flag) = rest.next() {
+        match flag.as_str() {
+            "--socket" => {
+                let v = rest.next().expect("--socket requires a path");
+                socket = Some(PathBuf::from(v));
+            }
+            "--queue" => {
+                let v = rest.next().expect("--queue requires a capacity");
+                config.queue_capacity = v.parse().expect("--queue must be an integer");
+            }
+            "--workers" => {
+                let v = rest.next().expect("--workers requires a count");
+                config.workers = v.parse().expect("--workers must be an integer");
+            }
+            other => panic!("unknown flag {other:?} (serve takes --socket/--queue/--workers)"),
+        }
+    }
+
+    let server = Server::start(config).unwrap_or_else(|e| {
+        eprintln!("serve: failed to start service: {e}");
+        std::process::exit(1);
+    });
+    match socket {
+        Some(path) => {
+            eprintln!("# serve: listening on {}", path.display());
+            if let Err(e) = server.serve_unix(&path) {
+                eprintln!("serve: socket error: {e}");
+                std::process::exit(1);
+            }
+        }
+        None => server.serve_stdio(),
+    }
+}

@@ -1,0 +1,179 @@
+//! The in-repo client of the `serve` daemon — and its own batch control.
+//!
+//! ```text
+//! # Submit a sweep to a running daemon and reassemble the streamed
+//! # records into a batch-identical report:
+//! cargo run --release -p ccs-bench --bin serve_client -- \
+//!     --socket /tmp/ccs.sock --workloads mergesort --scale 1024 --json served.json
+//!
+//! # The same sweep run directly in-process (no daemon), for comparison:
+//! cargo run --release -p ccs-bench --bin serve_client -- \
+//!     --batch --workloads mergesort --scale 1024 --json batch.json
+//!
+//! cmp served.json batch.json   # byte-identical by construction
+//! ```
+//!
+//! Flags (shared [`Options`] plus client extras in `rest`):
+//!
+//! * `--socket PATH` — the daemon's Unix socket;
+//! * `--batch` — skip the daemon: run the identical sweep in-process and
+//!   emit the same report (the CI smoke `cmp`s the two outputs);
+//! * `--id ID` / `--name NAME` — request id and report name (defaults:
+//!   `"r1"` / `"serve"`);
+//! * `--cores 2,4` — design points (default: the paper's 8-core config);
+//! * `--schedulers pdf,ws` — scheduler specs (default: PDF and WS);
+//! * `--expect-cached` — fail unless *every* streamed record was a store
+//!   hit (exercises the persistent memo across daemon restarts);
+//! * `--cancel-after N` — send a cancel frame after `N` streamed records
+//!   and report the terminal state;
+//! * `--shutdown` — ask the daemon to drain and stop after collecting.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use ccs_bench::{print_report, Options};
+use ccs_sched::SchedulerSpec;
+use ccs_serve::protocol::SubmitRequest;
+use ccs_serve::{Client, RequestState};
+use ccs_sim::CmpConfig;
+
+struct ClientFlags {
+    socket: Option<PathBuf>,
+    batch: bool,
+    id: String,
+    name: String,
+    cores: Vec<usize>,
+    schedulers: Vec<String>,
+    expect_cached: bool,
+    cancel_after: Option<usize>,
+    shutdown: bool,
+}
+
+fn parse_flags(rest: &[String]) -> ClientFlags {
+    let mut flags = ClientFlags {
+        socket: None,
+        batch: false,
+        id: "r1".to_string(),
+        name: "serve".to_string(),
+        cores: Vec::new(),
+        schedulers: Vec::new(),
+        expect_cached: false,
+        cancel_after: None,
+        shutdown: false,
+    };
+    let mut iter = rest.iter();
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--socket" => {
+                let v = iter.next().expect("--socket requires a path");
+                flags.socket = Some(PathBuf::from(v));
+            }
+            "--batch" => flags.batch = true,
+            "--id" => flags.id = iter.next().expect("--id requires a value").clone(),
+            "--name" => flags.name = iter.next().expect("--name requires a value").clone(),
+            "--cores" => {
+                let v = iter.next().expect("--cores requires a list (e.g. 2,4)");
+                flags.cores = v
+                    .split(',')
+                    .map(|c| c.trim().parse().expect("--cores must be integers"))
+                    .collect();
+            }
+            "--schedulers" => {
+                let v = iter.next().expect("--schedulers requires a list");
+                flags.schedulers = v.split(',').map(|s| s.trim().to_string()).collect();
+            }
+            "--expect-cached" => flags.expect_cached = true,
+            "--cancel-after" => {
+                let v = iter.next().expect("--cancel-after requires a count");
+                flags.cancel_after = Some(v.parse().expect("--cancel-after must be an integer"));
+            }
+            "--shutdown" => flags.shutdown = true,
+            other => panic!("unknown flag {other:?} (see serve_client --help text in the source)"),
+        }
+    }
+    flags
+}
+
+/// Run the identical sweep in-process: same resolution path as the daemon
+/// (`Service::prepare`), so reports compare byte-for-byte.
+fn run_batch(opts: &Options, flags: &ClientFlags) {
+    let mut exp = opts
+        .experiment(flags.name.clone())
+        .parallelism(opts.parallel);
+    if !flags.schedulers.is_empty() {
+        let schedulers: Vec<SchedulerSpec> = flags
+            .schedulers
+            .iter()
+            .map(|s| SchedulerSpec::resolve(s).unwrap_or_else(|e| panic!("--schedulers: {e}")))
+            .collect();
+        exp = exp.schedulers(schedulers);
+    }
+    if !flags.cores.is_empty() {
+        exp = exp.configs(flags.cores.iter().map(|&c| {
+            CmpConfig::default_with_cores(c)
+                .unwrap_or_else(|| panic!("no default CMP configuration with {c} cores"))
+        }));
+    }
+    let report = exp.run();
+    print_report("serve_client --batch", &report, opts);
+}
+
+fn main() {
+    let opts = Options::from_env();
+    let flags = parse_flags(&opts.rest);
+
+    if flags.batch {
+        run_batch(&opts, &flags);
+        return;
+    }
+
+    let socket = flags
+        .socket
+        .as_deref()
+        .expect("serve_client needs --socket PATH (or --batch)");
+    let mut client = Client::connect_unix(socket, Duration::from_secs(10)).unwrap_or_else(|e| {
+        eprintln!("serve_client: cannot connect to {}: {e}", socket.display());
+        std::process::exit(1);
+    });
+
+    let request = SubmitRequest {
+        id: flags.id.clone(),
+        name: Some(flags.name.clone()),
+        workloads: opts.workload_specs().iter().map(|w| w.label()).collect(),
+        schedulers: flags.schedulers.clone(),
+        cores: flags.cores.clone(),
+        scale: opts.scale,
+        quick: opts.quick,
+        engine: opts.engine,
+        baseline: true,
+    };
+    client.submit(request).expect("submit failed");
+    let run = client
+        .collect_cancelling_after(&flags.id, flags.cancel_after)
+        .unwrap_or_else(|e| {
+            eprintln!("serve_client: request failed: {e}");
+            std::process::exit(2);
+        });
+
+    let cached = run.records.iter().filter(|r| r.cached).count();
+    eprintln!(
+        "# serve_client: {} of {} records streamed ({cached} cached), state: {:?}",
+        run.records.len(),
+        run.total,
+        run.state,
+    );
+    if flags.expect_cached && !run.all_cached() {
+        eprintln!(
+            "serve_client: --expect-cached, but only {cached} of {} records were store hits",
+            run.records.len(),
+        );
+        std::process::exit(3);
+    }
+    if run.state == RequestState::Done {
+        let report = run.into_report();
+        print_report("serve_client (daemon-served)", &report, &opts);
+    }
+    if flags.shutdown {
+        client.shutdown().expect("shutdown frame failed");
+    }
+}

@@ -1,0 +1,221 @@
+//! Canonical run-point keys and their stable hash.
+//!
+//! The persistent result store ([`crate::result_store`]) and the `ccs-serve`
+//! daemon memoise completed [`RunRecord`](crate::RunRecord)s across requests
+//! and process restarts.  That only works if two requests that *mean* the
+//! same run produce the same key, however they were spelled: `"matmul:n=512"`
+//! and a spec built with `with_param("n", "512")` must collide, and parameter
+//! order must not matter.
+//!
+//! [`record_key`] therefore builds the key from *canonical* forms only:
+//!
+//! * the workload's [`label`](crate::WorkloadSpec::label) (parameters in
+//!   sorted key order — the same string `parse → format` normalises to);
+//! * the scheduler spec's `Display` form (`"pdf"`, `"ws-rand@7"`);
+//! * every field of the (unscaled) [`CmpConfig`] — the config *name* is
+//!   included because it appears verbatim in the record, so two configs
+//!   with equal geometry but different names are different runs;
+//! * the scale divisor, engine and baseline flag, which all shape the
+//!   record bytes.
+//!
+//! [`key_hash`] maps a key to the 64-bit FNV-1a hash used as the on-disk
+//! file name.  The full key string is stored *inside* the file, so a hash
+//! collision is detected (and treated as a miss) rather than served.
+
+use ccs_sched::SchedulerSpec;
+use ccs_sim::{CmpConfig, SimEngine};
+
+/// Version prefix of the key grammar.  Bump when the key composition
+/// changes so stale store entries miss instead of mismatching.
+pub const KEY_VERSION: &str = "ccs-key/1";
+
+/// The canonical key of one run record: one simulated
+/// (workload, config, scale, engine, scheduler, baseline?) point.
+///
+/// Every record an [`Experiment`](crate::Experiment) produces is a
+/// deterministic function of this key (schedulers are deterministic given
+/// their spec — randomised ones carry their seed in the spec).
+pub fn record_key(
+    workload_label: &str,
+    config: &CmpConfig,
+    scale: u64,
+    engine: SimEngine,
+    scheduler: &SchedulerSpec,
+    baseline: bool,
+) -> String {
+    format!(
+        "{KEY_VERSION}|workload={workload_label}|{}|scale={scale}|engine={}|sched={scheduler}|baseline={}",
+        config_key(config),
+        engine.name(),
+        u8::from(baseline),
+    )
+}
+
+/// The canonical form of a design point: every field that can influence a
+/// simulation, pipe-separated.
+fn config_key(config: &CmpConfig) -> String {
+    format!(
+        "config={}|cores={}|tech={:?}|l1={}/{}/{}/{}|l2={}/{}/{}/{}|mem={}/{}",
+        config.name,
+        config.num_cores,
+        config.technology,
+        config.l1.capacity,
+        config.l1.line_size,
+        config.l1.associativity,
+        config.l1.hit_latency,
+        config.l2.capacity,
+        config.l2.line_size,
+        config.l2.associativity,
+        config.l2.hit_latency,
+        config.memory.latency,
+        config.memory.service_interval,
+    )
+}
+
+/// 64-bit FNV-1a over `key`'s bytes — the stable, dependency-free hash the
+/// result store derives file names from ([`key_hash_hex`]).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// [`fnv1a64`] of a key string.
+pub fn key_hash(key: &str) -> u64 {
+    fnv1a64(key.as_bytes())
+}
+
+/// The fixed-width hex spelling of [`key_hash`] — the result store's file
+/// stem for this key.
+pub fn key_hash_hex(key: &str) -> String {
+    format!("{:016x}", key_hash(key))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorkloadSpec;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn equivalent_spellings_share_a_key() {
+        let config = CmpConfig::default_with_cores(2).unwrap();
+        let sched = SchedulerSpec::new("pdf");
+        let a = WorkloadSpec::from("heat:rows=64,cols=32");
+        let b = WorkloadSpec::registry("heat")
+            .with_param("cols", "32")
+            .with_param("rows", "64");
+        assert_eq!(
+            record_key(
+                &a.label(),
+                &config,
+                64,
+                SimEngine::EventDriven,
+                &sched,
+                true
+            ),
+            record_key(
+                &b.label(),
+                &config,
+                64,
+                SimEngine::EventDriven,
+                &sched,
+                true
+            ),
+        );
+    }
+
+    #[test]
+    fn every_axis_separates_keys() {
+        let config = CmpConfig::default_with_cores(2).unwrap();
+        let base = record_key(
+            "mergesort",
+            &config,
+            64,
+            SimEngine::EventDriven,
+            &SchedulerSpec::new("pdf"),
+            true,
+        );
+        let variants = [
+            record_key(
+                "lu",
+                &config,
+                64,
+                SimEngine::EventDriven,
+                &SchedulerSpec::new("pdf"),
+                true,
+            ),
+            record_key(
+                "mergesort",
+                &CmpConfig::default_with_cores(4).unwrap(),
+                64,
+                SimEngine::EventDriven,
+                &SchedulerSpec::new("pdf"),
+                true,
+            ),
+            record_key(
+                "mergesort",
+                &config,
+                128,
+                SimEngine::EventDriven,
+                &SchedulerSpec::new("pdf"),
+                true,
+            ),
+            record_key(
+                "mergesort",
+                &config,
+                64,
+                SimEngine::Reference,
+                &SchedulerSpec::new("pdf"),
+                true,
+            ),
+            record_key(
+                "mergesort",
+                &config,
+                64,
+                SimEngine::EventDriven,
+                &SchedulerSpec::new("ws-rand").with_seed(7),
+                true,
+            ),
+            record_key(
+                "mergesort",
+                &config,
+                64,
+                SimEngine::EventDriven,
+                &SchedulerSpec::new("pdf"),
+                false,
+            ),
+            // Same geometry, different config name: the name lands in the
+            // record's `config` field, so it must separate keys too.
+            {
+                let mut renamed = config.clone();
+                renamed.name = "renamed".to_string();
+                record_key(
+                    "mergesort",
+                    &renamed,
+                    64,
+                    SimEngine::EventDriven,
+                    &SchedulerSpec::new("pdf"),
+                    true,
+                )
+            },
+        ];
+        for v in &variants {
+            assert_ne!(&base, v);
+            assert_ne!(key_hash(&base), key_hash(v));
+        }
+        assert_eq!(key_hash_hex(&base).len(), 16);
+    }
+}

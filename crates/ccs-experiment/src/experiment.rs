@@ -105,6 +105,27 @@ impl WorkloadSpec {
         })
     }
 
+    /// Parse *and validate* a workload spec string against the global
+    /// [`WorkloadRegistry`], returning a typed
+    /// [`SpecError`](ccs_sched::spec::SpecError) on either failure.
+    ///
+    /// This is the entry point for untrusted input (daemon requests,
+    /// config files): unlike [`WorkloadSpec::parse`] it also rejects
+    /// unregistered names, and unlike [`WorkloadSpec::build`] it never
+    /// panics.
+    pub fn resolve(input: &str) -> Result<WorkloadSpec, ccs_sched::spec::SpecError> {
+        let spec = WorkloadSpec::parse(input)?;
+        let registry = WorkloadRegistry::global();
+        if !registry.contains(spec.name()) {
+            return Err(ccs_sched::spec::SpecError::unknown(
+                "workload",
+                spec.name(),
+                registry.names(),
+            ));
+        }
+        Ok(spec)
+    }
+
     /// The base workload name (without parameters).
     pub fn name(&self) -> &str {
         match self {
@@ -432,6 +453,129 @@ impl Experiment {
         effective_scale(self.scale, self.quick)
     }
 
+    /// The schedulers a run will actually use: the ones added with
+    /// [`Experiment::schedulers`], or the defaults (PDF and WS) when none
+    /// were.  One [`RunRecord`] is produced per sweep point × resolved
+    /// scheduler, in this order.
+    pub fn resolved_schedulers(&self) -> Vec<SchedulerSpec> {
+        if self.schedulers.is_empty() {
+            vec![SchedulerSpec::new("pdf"), SchedulerSpec::new("ws")]
+        } else {
+            self.schedulers.clone()
+        }
+    }
+
+    /// The design points a run will actually use: the ones added with
+    /// [`Experiment::cores`]/[`Experiment::configs`], or the paper's 8-core
+    /// default when none were.
+    pub fn resolved_configs(&self) -> Vec<CmpConfig> {
+        if self.configs.is_empty() {
+            vec![CmpConfig::default_with_cores(8).expect("8-core default exists")]
+        } else {
+            self.configs.clone()
+        }
+    }
+
+    /// The resolved workload × design-point cross product, in report order
+    /// (workload-major).  Each point yields one record per
+    /// [`Experiment::resolved_schedulers`] entry when run through
+    /// [`Experiment::run_sweep_point`]; [`Experiment::run`] is exactly the
+    /// concatenation of `run_sweep_point` over these points.  The `ccs-serve`
+    /// daemon uses this decomposition to batch points onto its pool and
+    /// stream per-point records as they complete.
+    pub fn sweep_points(&self) -> Vec<SweepPoint> {
+        let configs = self.resolved_configs();
+        let mut points = Vec::with_capacity(self.workloads.len() * configs.len());
+        for workload in &self.workloads {
+            for config in &configs {
+                points.push(SweepPoint {
+                    index: points.len(),
+                    workload: workload.clone(),
+                    config: config.clone(),
+                });
+            }
+        }
+        points
+    }
+
+    /// Run one sweep point, returning its records in resolved-scheduler
+    /// order — byte-identical to the corresponding slice of
+    /// [`Experiment::run`]'s report (every simulation is deterministic).
+    ///
+    /// Registry builders are deterministic functions of (spec, scale,
+    /// scaled L2 capacity, cores) — design points differing only in
+    /// latencies or bandwidth (e.g. the fig. 4/5 sweeps) simulate the
+    /// *same* computation.  Each distinct computation (and its DAG) is
+    /// fetched through the **process-global build cache**
+    /// ([`crate::build_cache`]), so the build is shared not only by the
+    /// points of one run but by every sweep, repeat trial and daemon
+    /// request of the process; the computation's internal stream/geometry
+    /// memoisation then also survives with it.  Caller-built `Fixed`
+    /// computations share their `Arc`'d trace arena but re-derive the DAG.
+    pub fn run_sweep_point(&self, point: &SweepPoint) -> Vec<RunRecord> {
+        let scale = self.effective_scale();
+        let schedulers = self.resolved_schedulers();
+        let scaled = point.config.scaled(scale);
+        let l2_bytes = scaled.l2.capacity;
+        let cores = point.config.num_cores;
+        let build = || {
+            let comp = point.workload.build(scale, l2_bytes, cores);
+            let dag = Arc::new(Dag::from_computation(&comp));
+            (comp, dag)
+        };
+        let built = match &point.workload {
+            WorkloadSpec::Registry { .. } => crate::build_cache::get_or_build(
+                (point.workload.label(), scale, l2_bytes, cores),
+                build,
+            ),
+            WorkloadSpec::Fixed { .. } => Arc::new(build()),
+        };
+        let (comp, dag) = &*built;
+        let comp: &Computation = comp.as_ref();
+        let dag: &Dag = dag.as_ref();
+        // Geometry prebuild: resolve the line stream and the packed
+        // (L1, L2) set lanes before the simulations, so the engine
+        // finds everything compiled.  Both are memoised on the
+        // computation, so `compile_ms` is the *incremental* cost this
+        // record actually paid — the full compile on a cold build,
+        // ~zero when an earlier point, sweep or trial already did it.
+        let compile_start = std::time::Instant::now();
+        let stream = comp.line_stream(scaled.l2.line_size);
+        let lanes = stream.geometry_pair(
+            ccs_dag::CacheGeometry::new(scaled.l1.line_size, scaled.l1.num_sets()),
+            ccs_dag::CacheGeometry::new(scaled.l2.line_size, scaled.l2.num_sets()),
+        );
+        let compile_ms = compile_start.elapsed().as_secs_f64() * 1000.0;
+        // Memory-footprint metrics: deterministic functions of the
+        // build and geometry, identical for both engines.
+        let trace_bytes = comp.trace_arena_bytes();
+        let peak_alloc_estimate =
+            trace_bytes + stream.heap_bytes() + lanes.heap_bytes() + dag.heap_bytes();
+        let sequential = self.baseline.then(|| {
+            let mut seq_cfg = scaled.clone();
+            seq_cfg.num_cores = 1;
+            seq_cfg.name = format!("{}-seq", scaled.name);
+            let mut sched = SchedulerSpec::new("pdf").build();
+            simulate_with_engine(comp, dag, &seq_cfg, sched.as_mut(), self.engine)
+        });
+        schedulers
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let mut sched = spec.build();
+                let result = simulate_with_engine(comp, dag, &scaled, sched.as_mut(), self.engine);
+                // The compile was paid once for the whole point; charge
+                // it to the point's first record only, so summing
+                // `compile_ms` over a report yields the true total
+                // rather than one copy per scheduler.
+                let record_compile_ms = if i == 0 { compile_ms } else { 0.0 };
+                RunRecord::from_sim(point.workload.label(), spec, &result, sequential.as_ref())
+                    .with_footprint(trace_bytes, peak_alloc_estimate)
+                    .with_compile_ms(record_compile_ms)
+            })
+            .collect()
+    }
+
     /// Run the full cross-product and collect a [`Report`].
     ///
     /// Defaults when a dimension was left unset: schedulers = PDF and WS;
@@ -442,120 +586,12 @@ impl Experiment {
     /// is not registered.
     pub fn run(&self) -> Report {
         assert!(!self.workloads.is_empty(), "experiment has no workloads");
-        let schedulers: Vec<SchedulerSpec> = if self.schedulers.is_empty() {
-            vec![SchedulerSpec::new("pdf"), SchedulerSpec::new("ws")]
-        } else {
-            self.schedulers.clone()
-        };
-        let configs: Vec<CmpConfig> = if self.configs.is_empty() {
-            vec![CmpConfig::default_with_cores(8).expect("8-core default exists")]
-        } else {
-            self.configs.clone()
-        };
-        let scale = self.effective_scale();
-
         // One point per workload × design point; each point yields one
         // record per scheduler.  Points are independent, so they can run in
         // any order — records are placed by position to keep the report
         // deterministic.
-        //
-        // Registry builders are deterministic functions of (spec, scale,
-        // scaled L2 capacity, cores) — design points differing only in
-        // latencies or bandwidth (e.g. the fig. 4/5 sweeps) simulate the
-        // *same* computation.  Each distinct computation (and its DAG) is
-        // fetched through the **process-global build cache**
-        // ([`crate::build_cache`]), so the build is shared not only by the
-        // points of this run but by every sweep and repeat trial of the
-        // process; the computation's internal stream/geometry memoisation
-        // then also survives with it.  Caller-built `Fixed` computations
-        // are keyed by identity within this run only.
-        type BuildKey = (usize, u64, usize);
-        type SharedBuild = Arc<(Arc<Computation>, Arc<Dag>)>;
-        let mut fixed_built: BTreeMap<BuildKey, SharedBuild> = BTreeMap::new();
-        let mut points: Vec<Point<'_>> = Vec::with_capacity(self.workloads.len() * configs.len());
-        for (workload_idx, workload) in self.workloads.iter().enumerate() {
-            for config in &configs {
-                let key = (
-                    workload_idx,
-                    config.scaled(scale).l2.capacity,
-                    config.num_cores,
-                );
-                let build = || {
-                    let comp = workload.build(scale, key.1, key.2);
-                    let dag = Arc::new(Dag::from_computation(&comp));
-                    (comp, dag)
-                };
-                let shared = match workload {
-                    WorkloadSpec::Registry { .. } => crate::build_cache::get_or_build(
-                        (workload.label(), scale, key.1, key.2),
-                        build,
-                    ),
-                    WorkloadSpec::Fixed { .. } => fixed_built
-                        .entry(key)
-                        .or_insert_with(|| {
-                            let (comp, dag) = build();
-                            Arc::new((comp, dag))
-                        })
-                        .clone(),
-                };
-                points.push(Point {
-                    workload,
-                    config,
-                    built: shared,
-                });
-            }
-        }
-
-        let run_point = |point: &Point<'_>| -> Vec<RunRecord> {
-            let (workload, config) = (point.workload, point.config);
-            let scaled = config.scaled(scale);
-            let (comp, dag) = &*point.built;
-            let comp: &Computation = comp.as_ref();
-            let dag: &Dag = dag.as_ref();
-            // Geometry prebuild: resolve the line stream and the packed
-            // (L1, L2) set lanes before the simulations, so the engine
-            // finds everything compiled.  Both are memoised on the
-            // computation, so `compile_ms` is the *incremental* cost this
-            // record actually paid — the full compile on a cold build,
-            // ~zero when an earlier point, sweep or trial already did it.
-            let compile_start = std::time::Instant::now();
-            let stream = comp.line_stream(scaled.l2.line_size);
-            let lanes = stream.geometry_pair(
-                ccs_dag::CacheGeometry::new(scaled.l1.line_size, scaled.l1.num_sets()),
-                ccs_dag::CacheGeometry::new(scaled.l2.line_size, scaled.l2.num_sets()),
-            );
-            let compile_ms = compile_start.elapsed().as_secs_f64() * 1000.0;
-            // Memory-footprint metrics: deterministic functions of the
-            // build and geometry, identical for both engines.
-            let trace_bytes = comp.trace_arena_bytes();
-            let peak_alloc_estimate =
-                trace_bytes + stream.heap_bytes() + lanes.heap_bytes() + dag.heap_bytes();
-            let sequential = self.baseline.then(|| {
-                let mut seq_cfg = scaled.clone();
-                seq_cfg.num_cores = 1;
-                seq_cfg.name = format!("{}-seq", scaled.name);
-                let mut sched = SchedulerSpec::new("pdf").build();
-                simulate_with_engine(comp, dag, &seq_cfg, sched.as_mut(), self.engine)
-            });
-            schedulers
-                .iter()
-                .enumerate()
-                .map(|(i, spec)| {
-                    let mut sched = spec.build();
-                    let result =
-                        simulate_with_engine(comp, dag, &scaled, sched.as_mut(), self.engine);
-                    // The compile was paid once for the whole point; charge
-                    // it to the point's first record only, so summing
-                    // `compile_ms` over a report yields the true total
-                    // rather than one copy per scheduler.
-                    let record_compile_ms = if i == 0 { compile_ms } else { 0.0 };
-                    RunRecord::from_sim(workload.label(), spec, &result, sequential.as_ref())
-                        .with_footprint(trace_bytes, peak_alloc_estimate)
-                        .with_compile_ms(record_compile_ms)
-                })
-                .collect()
-        };
-
+        let points = self.sweep_points();
+        let run_point = |point: &SweepPoint| self.run_sweep_point(point);
         let threads = self.parallelism.min(points.len());
         let results: Vec<Vec<RunRecord>> = if threads <= 1 {
             points.iter().map(&run_point).collect()
@@ -569,26 +605,32 @@ impl Experiment {
                 .collect()
         };
 
-        let mut report = Report::new(self.name.clone(), scale);
+        let mut report = Report::new(self.name.clone(), self.effective_scale());
         report.records = results.into_iter().flatten().collect();
         report
     }
 }
 
-/// One sweep point: a workload × design-point pair plus the prebuilt
-/// computation and DAG it shares with the other points of the same build
-/// (and, for registry workloads, with every other sweep in the process).
-struct Point<'a> {
-    workload: &'a WorkloadSpec,
-    config: &'a CmpConfig,
-    built: Arc<(Arc<Computation>, Arc<Dag>)>,
+/// One resolved sweep point of an [`Experiment`]: a workload × design-point
+/// pair at cross-product position `index` (workload-major, matching report
+/// order).  Produced by [`Experiment::sweep_points`] and executed by
+/// [`Experiment::run_sweep_point`].
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// Position in the cross product.  The report slice this point's
+    /// records occupy starts at `index × resolved_schedulers().len()`.
+    pub index: usize,
+    /// The workload of this point.
+    pub workload: WorkloadSpec,
+    /// The (unscaled) design point.
+    pub config: CmpConfig,
 }
 
 /// Recursively fork-join over the sweep points, writing each point's records
 /// into its own slot so completion order cannot reorder the report.
-fn fan_out<F>(points: &[Point<'_>], slots: &mut [Option<Vec<RunRecord>>], run_point: &F)
+fn fan_out<F>(points: &[SweepPoint], slots: &mut [Option<Vec<RunRecord>>], run_point: &F)
 where
-    F: Fn(&Point<'_>) -> Vec<RunRecord> + Sync,
+    F: Fn(&SweepPoint) -> Vec<RunRecord> + Sync,
 {
     match points.len() {
         0 => {}
@@ -642,6 +684,34 @@ mod tests {
         for r in &report.records {
             assert!(r.cycles > 0);
             assert!(r.speedup_over_seq.is_some(), "baseline on by default");
+        }
+    }
+
+    #[test]
+    fn sweep_points_decompose_run_byte_identically() {
+        // The serve daemon runs `run_sweep_point` per point and reassembles;
+        // that must equal `run`'s report slice-for-slice, byte-for-byte.
+        let exp = Experiment::new(tiny_fixed_workload())
+            .workload("mergesort")
+            .cores([2, 4])
+            .scale(1024)
+            .schedulers([SchedulerKind::Pdf, SchedulerKind::WorkStealing]);
+        let report = exp.run();
+        let points = exp.sweep_points();
+        assert_eq!(points.len(), 2 * 2);
+        let per_sched = exp.resolved_schedulers().len();
+        for point in &points {
+            let records = exp.run_sweep_point(point);
+            assert_eq!(records.len(), per_sched);
+            let start = point.index * per_sched;
+            for (offset, record) in records.iter().enumerate() {
+                let expected = &report.records[start + offset];
+                assert_eq!(record, expected);
+                assert_eq!(
+                    record.to_json().to_string_pretty(),
+                    expected.to_json().to_string_pretty(),
+                );
+            }
         }
     }
 

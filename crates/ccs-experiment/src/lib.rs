@@ -22,6 +22,11 @@
 //!   registry computations (and, through their memoisation, of every
 //!   compiled line stream and geometry lane), shared across sweeps and
 //!   repeat trials;
+//! * [`canon`] — canonical run-point keys and their stable FNV-1a hash:
+//!   the identity a [`RunRecord`] is a deterministic function of;
+//! * [`ResultStore`] — the durable on-disk record memo keyed by those
+//!   hashes, extending the build cache across processes and restarts (the
+//!   `ccs-serve` daemon's persistent layer);
 //! * [`Options`] — the command-line harness the experiment binaries share;
 //! * [`json`] — the small self-contained JSON layer backing report
 //!   serialisation (the offline stand-in for `serde_json`; see
@@ -59,11 +64,14 @@
 #![warn(rust_2018_idioms)]
 
 pub mod build_cache;
+pub mod canon;
 pub mod experiment;
 pub mod json;
 pub mod options;
 pub mod report;
+pub mod result_store;
 
-pub use experiment::{CoreSelection, Experiment, WorkloadSpec};
+pub use experiment::{CoreSelection, Experiment, SweepPoint, WorkloadSpec};
 pub use options::Options;
 pub use report::{Report, RunRecord};
+pub use result_store::ResultStore;

@@ -7,7 +7,7 @@ use std::path::PathBuf;
 
 use ccs_sched::spec::split_spec_list;
 use ccs_sim::SimEngine;
-use ccs_workloads::{Benchmark, UnknownWorkload, WorkloadRegistry};
+use ccs_workloads::Benchmark;
 
 use crate::{Experiment, WorkloadSpec};
 
@@ -18,7 +18,7 @@ use crate::{Experiment, WorkloadSpec};
 ///   every capacity ratio;
 /// * `--quick` — run a reduced sweep (used by the integration smoke tests);
 /// * `--workloads <spec,...>` — select workloads from the open
-///   [`WorkloadRegistry`] by spec string
+///   [`WorkloadRegistry`](ccs_workloads::WorkloadRegistry) by spec string
 ///   (`--workloads mergesort,heat:rows=256,cols=256`; a comma-segment
 ///   containing `=` continues the previous spec's parameters).  Unknown
 ///   names are rejected up front with a did-you-mean listing of the
@@ -31,6 +31,8 @@ use crate::{Experiment, WorkloadSpec};
 ///   per available core, the default (1) is sequential;
 /// * `--json PATH` — additionally write the run's [`Report`](crate::Report)
 ///   as JSON to `PATH` (`-` for stdout);
+/// * `--store PATH` — root directory of the persistent result store (the
+///   `serve` daemon's memo layer; batch binaries ignore it);
 /// * `--engine event|reference` — select the simulator engine (default: the
 ///   event-driven production engine; `reference` runs the retained
 ///   cycle-stepper, metrics-identical but much slower);
@@ -59,6 +61,10 @@ pub struct Options {
     /// Where to write the JSON report, if requested (`--json PATH`, `-` for
     /// stdout).
     pub json: Option<PathBuf>,
+    /// Directory of the persistent [`ResultStore`](crate::ResultStore)
+    /// (`--store PATH`); used by the `serve` daemon and client binaries,
+    /// ignored by the batch binaries.
+    pub store: Option<PathBuf>,
     /// Simulator engine selection (`--engine event|reference`).
     pub engine: SimEngine,
     /// Benchmark mode (`--bench`): `run_all` runs the timed harness and
@@ -80,6 +86,7 @@ impl Default for Options {
             workloads: Vec::new(),
             parallel: 1,
             json: None,
+            store: None,
             engine: SimEngine::default(),
             bench: false,
             trials: None,
@@ -142,6 +149,10 @@ impl Options {
                 "--json" => {
                     let v = iter.next().expect("--json requires a path (or '-')");
                     opts.json = Some(PathBuf::from(v));
+                }
+                "--store" => {
+                    let v = iter.next().expect("--store requires a directory path");
+                    opts.store = Some(PathBuf::from(v));
                 }
                 "--engine" => {
                     let v = iter
@@ -246,17 +257,10 @@ impl Options {
 }
 
 /// Parse one `--workloads` spec and reject names missing from the global
-/// registry with the registry's did-you-mean listing.
+/// registry with the registry's did-you-mean listing.  The CLI boundary is
+/// the one place the typed [`WorkloadSpec::resolve`] error still panics.
 fn resolve_workload(spec: &str) -> WorkloadSpec {
-    let parsed = WorkloadSpec::parse(spec).unwrap_or_else(|e| panic!("--workloads: {e}"));
-    if !WorkloadRegistry::global().contains(parsed.name()) {
-        let err = UnknownWorkload {
-            name: parsed.name().to_string(),
-            known: WorkloadRegistry::global().names(),
-        };
-        panic!("--workloads: {err}");
-    }
-    parsed
+    WorkloadSpec::resolve(spec).unwrap_or_else(|e| panic!("--workloads: {e}"))
 }
 
 #[cfg(test)]

@@ -133,7 +133,11 @@ impl RunRecord {
         }
     }
 
-    fn to_json(&self) -> Json {
+    /// The record as a JSON value — the element shape of
+    /// [`Report::to_json`]'s `records` array.  `compile_ms` is excluded
+    /// (see the type docs), so serialisation is deterministic per
+    /// simulated point.
+    pub fn to_json(&self) -> Json {
         Json::object([
             ("workload", self.workload.as_str().into()),
             ("config", self.config.as_str().into()),
@@ -156,7 +160,10 @@ impl RunRecord {
         ])
     }
 
-    fn from_json(value: &Json) -> Result<RunRecord, JsonError> {
+    /// Parse a record back from [`RunRecord::to_json`] output
+    /// (`to_json(from_json(v)) == v` — the round-trip is lossless for every
+    /// serialised field; `compile_ms` comes back as 0.0).
+    pub fn from_json(value: &Json) -> Result<RunRecord, JsonError> {
         let str_field = |key: &str| -> Result<String, JsonError> {
             value
                 .get(key)

@@ -1,0 +1,228 @@
+//! A persistent, on-disk memo store of completed [`RunRecord`]s.
+//!
+//! This is the durable layer the ROADMAP's sweep-service item asked for on
+//! top of PR 5's in-memory [`build_cache`](crate::build_cache): where the
+//! build cache shares *computations* within one process, the result store
+//! shares finished *records* across processes and restarts.  The `ccs-serve`
+//! daemon fronts every sweep point with it, so a repeated request is served
+//! from disk byte-identical to a fresh run.
+//!
+//! # Correctness
+//!
+//! Every record is a deterministic function of its canonical key
+//! ([`crate::canon::record_key`]), and record JSON serialisation is
+//! lossless for all serialised fields ([`RunRecord::to_json`] /
+//! [`RunRecord::from_json`]; the wall-clock `compile_ms` annotation is
+//! excluded from JSON *and* equality by design).  A stored record therefore
+//! reserialises to exactly the bytes a cold run would produce — the
+//! property the daemon's `cmp`-based CI smoke and e2e tests pin.
+//!
+//! # On-disk format
+//!
+//! One file per record under the store directory:
+//!
+//! ```text
+//! <fnv1a64(key) as 16 hex digits>.json
+//! { "ccs-store": 1, "key": "<full canonical key>", "record": { ... } }
+//! ```
+//!
+//! The full key is stored in the file and compared on every read, so an
+//! FNV collision (or a key-grammar change, see
+//! [`canon::KEY_VERSION`](crate::canon::KEY_VERSION)) is detected and
+//! treated as a miss rather than served wrong.  Writes go through a
+//! process-unique temporary file followed by an atomic rename, so
+//! concurrent writers (daemon workers, parallel daemons sharing a store
+//! directory) can never expose a torn file; racing writers of the same key
+//! produce identical bytes, so last-rename-wins is harmless.
+//!
+//! A small in-memory map fronts the disk so repeated hits in one process
+//! skip the file system after the first read.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::canon::key_hash_hex;
+use crate::json::{self, Json};
+use crate::RunRecord;
+
+/// Version tag of the file format (the `"ccs-store"` field).
+pub const STORE_VERSION: u64 = 1;
+
+/// A durable key → [`RunRecord`] store rooted at one directory.
+pub struct ResultStore {
+    dir: PathBuf,
+    /// In-memory front: canonical key → record, filled by hits and puts.
+    mem: Mutex<HashMap<String, RunRecord>>,
+    /// Distinguishes concurrent writers' temporary files within the process.
+    tmp_seq: AtomicU64,
+}
+
+impl ResultStore {
+    /// Open (creating if needed) the store rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<ResultStore> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(ResultStore {
+            dir,
+            mem: Mutex::new(HashMap::new()),
+            tmp_seq: AtomicU64::new(0),
+        })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Look up the record stored under `key`, if any.  Disk hits are
+    /// promoted into the in-memory front; unreadable, mismatched or stale
+    /// files are treated as misses.
+    pub fn get(&self, key: &str) -> Option<RunRecord> {
+        if let Some(hit) = self
+            .mem
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(key)
+            .cloned()
+        {
+            return Some(hit);
+        }
+        let record = read_entry(&self.entry_path(key), key)?;
+        self.mem
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key.to_string(), record.clone());
+        Some(record)
+    }
+
+    /// Persist `record` under `key` (memory + atomic disk write).
+    pub fn put(&self, key: &str, record: &RunRecord) -> io::Result<()> {
+        self.mem
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key.to_string(), record.clone());
+        let doc = Json::object([
+            ("ccs-store", STORE_VERSION.into()),
+            ("key", key.into()),
+            ("record", record.to_json()),
+        ]);
+        let path = self.entry_path(key);
+        let tmp = self.dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed),
+        ));
+        std::fs::write(&tmp, doc.to_string_pretty())?;
+        std::fs::rename(&tmp, &path)
+    }
+
+    /// Number of records in the in-memory front (not a disk census).
+    pub fn cached_records(&self) -> usize {
+        self.mem.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    fn entry_path(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{}.json", key_hash_hex(key)))
+    }
+}
+
+/// Parse one store file, returning `None` unless it is a well-formed
+/// current-version entry whose stored key matches `key` exactly.
+fn read_entry(path: &Path, key: &str) -> Option<RunRecord> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let doc = json::parse(&text).ok()?;
+    if doc.get("ccs-store").and_then(Json::as_u64) != Some(STORE_VERSION) {
+        return None;
+    }
+    if doc.get("key").and_then(Json::as_str) != Some(key) {
+        return None;
+    }
+    RunRecord::from_json(doc.get("record")?).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_sched::SchedulerSpec;
+
+    fn unique_dir(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "ccs-store-test-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed),
+        ))
+    }
+
+    fn sample_record() -> RunRecord {
+        let report = crate::Experiment::new("mergesort")
+            .cores(2)
+            .scale(1024)
+            .schedulers(["pdf"])
+            .run();
+        report.records[0].clone()
+    }
+
+    #[test]
+    fn put_get_round_trips_across_store_instances() {
+        let dir = unique_dir("roundtrip");
+        let record = sample_record();
+        let key = crate::canon::record_key(
+            "mergesort",
+            &ccs_sim::CmpConfig::default_with_cores(2).unwrap(),
+            1024,
+            ccs_sim::SimEngine::EventDriven,
+            &SchedulerSpec::new("pdf"),
+            true,
+        );
+        {
+            let store = ResultStore::open(&dir).unwrap();
+            assert!(store.get(&key).is_none());
+            store.put(&key, &record).unwrap();
+            assert_eq!(store.get(&key).unwrap(), record);
+        }
+        // A fresh instance (fresh process, in spirit) reads it from disk —
+        // and the stored record reserialises byte-identically.
+        let store = ResultStore::open(&dir).unwrap();
+        let stored = store.get(&key).expect("persisted record");
+        assert_eq!(stored, record);
+        assert_eq!(
+            stored.to_json().to_string_pretty(),
+            record.to_json().to_string_pretty()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mismatched_or_corrupt_entries_miss() {
+        let dir = unique_dir("corrupt");
+        let store = ResultStore::open(&dir).unwrap();
+        let record = sample_record();
+        store.put("key-a", &record).unwrap();
+
+        // A different key hashing to a different file: plain miss.
+        assert!(store.get("key-b").is_none());
+
+        // Overwrite key-a's file with garbage; a fresh store must treat it
+        // as a miss, not panic.
+        let path = dir.join(format!("{}.json", key_hash_hex("key-a")));
+        std::fs::write(&path, "not json at all").unwrap();
+        let fresh = ResultStore::open(&dir).unwrap();
+        assert!(fresh.get("key-a").is_none());
+
+        // A well-formed file whose *stored key* disagrees (hash collision
+        // stand-in): also a miss.
+        let doc = Json::object([
+            ("ccs-store", STORE_VERSION.into()),
+            ("key", "some-other-key".into()),
+            ("record", record.to_json()),
+        ]);
+        std::fs::write(&path, doc.to_string_pretty()).unwrap();
+        let fresh = ResultStore::open(&dir).unwrap();
+        assert!(fresh.get("key-a").is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests for the canonical run-point keys: the key — and therefore
+//! the result store's hash — is a function of what a spec *means*, not how
+//! it was spelled.  Parameter order, builder order vs. parse order, and the
+//! display/grammar spellings of a scheduler seed must all collide.
+
+use ccs_experiment::canon::{key_hash, record_key};
+use ccs_experiment::WorkloadSpec;
+use ccs_sched::SchedulerSpec;
+use ccs_sim::{CmpConfig, SimEngine};
+use proptest::prelude::*;
+
+/// A distinct-key pool for parameter maps (duplicate keys are a parse
+/// error, so the generator samples a subset of these).
+const KEYS: [&str; 8] = [
+    "n", "rows", "cols", "steps", "block", "ws", "split", "seed-ish",
+];
+
+/// Apply `params` to `spec` in the order given by `perm` (a Lehmer-style
+/// index sequence: element `i` picks from the not-yet-used remainder).
+fn with_params_in_order(
+    mut spec: WorkloadSpec,
+    params: &[(&str, String)],
+    perm: &[usize],
+) -> WorkloadSpec {
+    let mut remaining: Vec<&(&str, String)> = params.iter().collect();
+    for &index in perm {
+        if remaining.is_empty() {
+            break;
+        }
+        let (key, value) = remaining.remove(index % remaining.len());
+        spec = spec.with_param(*key, value.clone());
+    }
+    for (key, value) in remaining {
+        spec = spec.with_param(*key, value.clone());
+    }
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Two spellings of the same workload — parameters applied in two
+    /// different orders, or round-tripped through the label grammar — hash
+    /// to the same store key; and changing any single parameter changes it.
+    #[test]
+    fn canonical_key_is_param_order_invariant(
+        key_mask in 1u64..256,
+        values in prop::collection::vec(0u64..1_000_000, 8..9),
+        perm_a in prop::collection::vec(0usize..8, 8..9),
+        perm_b in prop::collection::vec(0usize..8, 8..9),
+        seed in 0u64..1_000_000,
+        scale in 1u64..4096,
+    ) {
+        let params: Vec<(&str, String)> = KEYS
+            .iter()
+            .enumerate()
+            .filter(|(bit, _)| key_mask & (1 << bit) != 0)
+            .map(|(bit, key)| (*key, values[bit].to_string()))
+            .collect();
+        let a = with_params_in_order(WorkloadSpec::registry("heat"), &params, &perm_a);
+        let b = with_params_in_order(WorkloadSpec::registry("heat"), &params, &perm_b);
+        // And a third spelling: through the parse grammar.
+        let c = WorkloadSpec::parse(&a.label()).unwrap();
+
+        let config = CmpConfig::default_with_cores(2).unwrap();
+        let sched = SchedulerSpec::new("ws-rand").with_seed(seed);
+        let key = |w: &WorkloadSpec| {
+            record_key(&w.label(), &config, scale, SimEngine::EventDriven, &sched, true)
+        };
+        prop_assert_eq!(key(&a), key(&b));
+        prop_assert_eq!(key(&a), key(&c));
+        prop_assert_eq!(key_hash(&key(&a)), key_hash(&key(&b)));
+
+        // Perturbing any one parameter value must move the key.
+        for (bit, k) in KEYS.iter().enumerate() {
+            if key_mask & (1 << bit) != 0 {
+                let perturbed = a.clone().with_param(*k, (values[bit] + 1).to_string());
+                prop_assert!(key(&a) != key(&perturbed), "param {} did not separate", k);
+            }
+        }
+    }
+
+    /// The scheduler's two spellings ("name@seed" display form vs.
+    /// "name:seed=N" grammar form) resolve to the same spec and key, and
+    /// the seed itself separates keys.
+    #[test]
+    fn scheduler_spellings_share_a_key(seed in 0u64..1_000_000) {
+        let display = SchedulerSpec::parse(&format!("ws-rand@{seed}")).unwrap();
+        let grammar = SchedulerSpec::parse(&format!("ws-rand:seed={seed}")).unwrap();
+        let config = CmpConfig::default_with_cores(4).unwrap();
+        let key = |s: &SchedulerSpec| {
+            record_key("mergesort", &config, 64, SimEngine::EventDriven, s, false)
+        };
+        prop_assert_eq!(key(&display), key(&grammar));
+        let other = SchedulerSpec::new("ws-rand").with_seed(seed + 1);
+        prop_assert!(key(&display) != key(&other));
+    }
+}

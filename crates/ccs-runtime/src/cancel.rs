@@ -1,0 +1,152 @@
+//! Cooperative cancellation tokens for pool work.
+//!
+//! The fork-join pool executes jobs to completion — there is no preemption,
+//! and none is wanted: a half-simulated sweep point is worthless.  What the
+//! `ccs-serve` daemon needs is coarser: when a client cancels a request,
+//! the request's *queued* points must be dropped before they start, while
+//! in-flight points run to completion and are kept (they are valid,
+//! memoisable results).
+//!
+//! A [`CancelToken`] is that boundary.  Jobs submitted with
+//! [`ThreadPool::spawn_cancellable`](crate::ThreadPool::spawn_cancellable)
+//! check their token at the moment a worker dequeues them; a cancelled job's
+//! closure is dropped *unrun*.  Dropping the closure also drops everything
+//! it captured — in particular any channel sender, which is how the daemon
+//! observes that a point will never report: the receiver disconnects once
+//! every outstanding sender (finished or dropped-unrun) is gone.
+//!
+//! Tokens form a tree: [`CancelToken::child`] makes a token that trips when
+//! either it or any ancestor is cancelled, so a daemon can hang per-request
+//! tokens off one drain-all root and cancel a single request or the whole
+//! service with the same mechanism.
+//!
+//! ```
+//! use ccs_runtime::CancelToken;
+//!
+//! let root = CancelToken::new();
+//! let request = root.child();
+//! assert!(!request.is_cancelled());
+//! root.cancel(); // drain: every request token trips
+//! assert!(request.is_cancelled());
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+struct Inner {
+    cancelled: AtomicBool,
+    parent: Option<Arc<Inner>>,
+}
+
+impl Inner {
+    fn is_cancelled(&self) -> bool {
+        if self.cancelled.load(Ordering::Acquire) {
+            return true;
+        }
+        let mut ancestor = self.parent.as_deref();
+        while let Some(inner) = ancestor {
+            if inner.cancelled.load(Ordering::Acquire) {
+                return true;
+            }
+            ancestor = inner.parent.as_deref();
+        }
+        false
+    }
+}
+
+/// A shareable, hierarchical cancellation flag.
+///
+/// Cloning shares the flag; [`CancelToken::child`] derives a token that also
+/// observes every ancestor's flag.  Cancellation is one-way and sticky.
+#[derive(Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled root token.
+    pub fn new() -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                parent: None,
+            }),
+        }
+    }
+
+    /// Derive a child token: cancelled when *either* it or any ancestor is.
+    pub fn child(&self) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                parent: Some(Arc::clone(&self.inner)),
+            }),
+        }
+    }
+
+    /// Trip this token (and therefore every token derived from it).
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether this token or any of its ancestors has been cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.is_cancelled()
+    }
+}
+
+impl std::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("cancelled", &self.is_cancelled())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_live_and_cancel_sticks() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        t.cancel();
+        assert!(t.is_cancelled());
+        assert!(t.is_cancelled(), "sticky");
+    }
+
+    #[test]
+    fn clones_share_the_flag() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        u.cancel();
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn children_observe_ancestors_but_not_vice_versa() {
+        let root = CancelToken::new();
+        let mid = root.child();
+        let leaf = mid.child();
+        let sibling = root.child();
+
+        // Cancelling a leaf leaves everyone else alone.
+        leaf.cancel();
+        assert!(leaf.is_cancelled());
+        assert!(!mid.is_cancelled());
+        assert!(!root.is_cancelled());
+        assert!(!sibling.is_cancelled());
+
+        // Cancelling the root trips the whole tree.
+        root.cancel();
+        assert!(mid.is_cancelled());
+        assert!(sibling.is_cancelled());
+    }
+}

@@ -24,8 +24,10 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cancel;
 pub mod label;
 pub mod pool;
 
+pub use cancel::CancelToken;
 pub use label::PdfLabel;
 pub use pool::{join, spawn, Policy, ThreadPool};

@@ -61,5 +61,5 @@ pub use exec::{execute, execute_with, Schedule};
 pub use pdf::Pdf;
 pub use registry::{SchedulerFactory, SchedulerParams, SchedulerRegistry, SchedulerSpec};
 pub use scheduler::{Scheduler, SchedulerKind};
-pub use spec::SpecParseError;
+pub use spec::{SpecError, SpecParseError};
 pub use ws::WorkStealing;

@@ -303,6 +303,27 @@ impl SchedulerSpec {
         Ok(spec)
     }
 
+    /// Parse *and validate* a scheduler spec string against the
+    /// [global registry](SchedulerRegistry::global), returning a typed
+    /// [`SpecError`](crate::spec::SpecError) on either failure.
+    ///
+    /// This is the entry point for untrusted input (daemon requests,
+    /// config files): unlike [`SchedulerSpec::parse`] it also rejects
+    /// unregistered names, and unlike [`SchedulerSpec::build`] it never
+    /// panics.
+    pub fn resolve(input: &str) -> Result<Self, crate::spec::SpecError> {
+        let spec = SchedulerSpec::parse(input)?;
+        let registry = SchedulerRegistry::global();
+        if !registry.contains(&spec.name) {
+            return Err(crate::spec::SpecError::unknown(
+                "scheduler",
+                spec.name,
+                registry.names(),
+            ));
+        }
+        Ok(spec)
+    }
+
     /// Instantiate through the [global registry](SchedulerRegistry::global).
     ///
     /// # Panics
@@ -430,6 +451,30 @@ mod tests {
         assert!(SchedulerSpec::parse("ws-rand:victims=2").is_err());
         assert!(SchedulerSpec::parse("ws-rand@many").is_err());
         assert!(SchedulerSpec::parse("").is_err());
+    }
+
+    #[test]
+    fn resolve_returns_typed_errors_not_panics() {
+        use crate::spec::SpecError;
+        assert_eq!(
+            SchedulerSpec::resolve("pdf").unwrap(),
+            SchedulerSpec::new("pdf")
+        );
+        assert_eq!(
+            SchedulerSpec::resolve("ws-rand@7").unwrap().params.seed,
+            Some(7)
+        );
+        let err = SchedulerSpec::resolve("pddf").unwrap_err();
+        assert!(matches!(
+            err,
+            SpecError::Unknown {
+                axis: "scheduler",
+                ..
+            }
+        ));
+        assert!(err.to_string().contains("did you mean \"pdf\""), "{err}");
+        let err = SchedulerSpec::resolve("w s").unwrap_err();
+        assert!(matches!(err, SpecError::Parse(_)));
     }
 
     /// A scheduler that always hands out the most recently enabled task.

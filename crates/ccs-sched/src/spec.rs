@@ -53,6 +53,63 @@ fn error(input: &str, message: impl Into<String>) -> SpecParseError {
     }
 }
 
+/// A typed spec-resolution error: either the string failed the grammar, or
+/// it parsed but named something no registry knows.
+///
+/// This is the error type the *validating* entry points return
+/// ([`crate::SchedulerSpec::resolve`], `ccs-experiment`'s
+/// `WorkloadSpec::resolve`) so that untrusted inputs — a client request
+/// arriving at the `ccs-serve` daemon, for instance — surface as error
+/// values the caller can turn into a protocol frame, never as panics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpecError {
+    /// The input did not match the spec grammar.
+    Parse(SpecParseError),
+    /// The input parsed, but its name has no registered factory.
+    Unknown {
+        /// Which axis rejected the name (`"scheduler"` or `"workload"`).
+        axis: &'static str,
+        /// The unresolvable name.
+        name: String,
+        /// The names that *are* registered, sorted.
+        known: Vec<String>,
+    },
+}
+
+impl SpecError {
+    /// An [`SpecError::Unknown`] for `name` on the given axis.
+    pub fn unknown(axis: &'static str, name: impl Into<String>, known: Vec<String>) -> SpecError {
+        SpecError::Unknown {
+            axis,
+            name: name.into(),
+            known,
+        }
+    }
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::Parse(e) => e.fmt(f),
+            SpecError::Unknown { axis, name, known } => {
+                write!(f, "unknown {axis} {name:?}")?;
+                if let Some(close) = did_you_mean(name, known.iter().map(String::as_str)) {
+                    write!(f, " — did you mean {close:?}?")?;
+                }
+                write!(f, " (registered: {})", known.join(", "))
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<SpecParseError> for SpecError {
+    fn from(e: SpecParseError) -> SpecError {
+        SpecError::Parse(e)
+    }
+}
+
 /// Whether `word` is a legal spec name, key or value: non-empty ASCII
 /// alphanumerics plus `_`, `.`, `-` and `/`.
 pub fn is_valid_word(word: &str) -> bool {

@@ -1,0 +1,260 @@
+//! The in-repo client: submit sweeps, stream results, reassemble reports.
+//!
+//! [`Client`] wraps any `BufRead`/`Write` pair speaking the
+//! [`crate::protocol`] — a Unix socket ([`Client::connect_unix`]), a
+//! socketpair half in tests, or a child daemon's stdio.  Its centrepiece is
+//! [`Client::collect`]: read frames for one request until its terminal
+//! `status`, sorting streamed records by their report position `seq` so
+//! [`CollectedRun::into_report`] reproduces a batch
+//! [`Experiment::run`](ccs_experiment::Experiment::run) report *byte for
+//! byte* — the invariant the e2e tests and the CI smoke `cmp` against a
+//! direct run.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use ccs_experiment::{Report, RunRecord};
+
+use crate::protocol::{Frame, RequestState, SubmitRequest};
+
+/// One streamed record with its provenance.
+#[derive(Debug)]
+pub struct CollectedRecord {
+    /// Report position of the record.
+    pub seq: usize,
+    /// Whether the daemon served it from the persistent result store.
+    pub cached: bool,
+    /// The record itself.
+    pub record: RunRecord,
+}
+
+/// Everything the daemon streamed for one request.
+#[derive(Debug)]
+pub struct CollectedRun {
+    /// Resolved experiment name (from the `accepted` frame).
+    pub name: String,
+    /// Effective scale divisor (from the `accepted` frame).
+    pub scale: u64,
+    /// Records a complete run would produce.
+    pub total: usize,
+    /// Terminal state of the request.
+    pub state: RequestState,
+    /// Streamed records, sorted by `seq` (ascending).
+    pub records: Vec<CollectedRecord>,
+}
+
+impl CollectedRun {
+    /// Whether every streamed record was a store hit.
+    pub fn all_cached(&self) -> bool {
+        !self.records.is_empty() && self.records.iter().all(|r| r.cached)
+    }
+
+    /// Reassemble the batch-identical [`Report`]: name and scale from the
+    /// `accepted` frame, records in `seq` order.
+    pub fn into_report(self) -> Report {
+        let mut report = Report::new(self.name, self.scale);
+        report.records = self.records.into_iter().map(|r| r.record).collect();
+        report
+    }
+}
+
+/// A protocol client over one connection.
+pub struct Client<R, W> {
+    reader: R,
+    writer: W,
+    /// Frames about *other* requests, buffered while collecting one.
+    stash: Vec<Frame>,
+}
+
+impl Client<BufReader<UnixStream>, UnixStream> {
+    /// Connect to a daemon's Unix socket, retrying until `timeout` expires
+    /// (the daemon may still be binding), and consume its `hello`.
+    pub fn connect_unix(
+        path: &Path,
+        timeout: Duration,
+    ) -> io::Result<Client<BufReader<UnixStream>, UnixStream>> {
+        let deadline = Instant::now() + timeout;
+        let stream = loop {
+            match UnixStream::connect(path) {
+                Ok(stream) => break stream,
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        return Err(e);
+                    }
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
+        };
+        let writer = stream.try_clone()?;
+        Client::new(BufReader::new(stream), writer)
+    }
+}
+
+impl<R: BufRead, W: Write> Client<R, W> {
+    /// Wrap a connected stream pair and consume the daemon's `hello`.
+    pub fn new(reader: R, writer: W) -> io::Result<Client<R, W>> {
+        let mut client = Client {
+            reader,
+            writer,
+            stash: Vec::new(),
+        };
+        match client.next_frame()? {
+            Frame::Hello { .. } => Ok(client),
+            other => Err(protocol_error(format!(
+                "expected hello, got: {}",
+                other.to_line()
+            ))),
+        }
+    }
+
+    /// Send one frame.
+    pub fn send(&mut self, frame: &Frame) -> io::Result<()> {
+        writeln!(self.writer, "{}", frame.to_line())?;
+        self.writer.flush()
+    }
+
+    /// Read the next frame (blocking).  EOF is an error: the protocol ends
+    /// with a terminal frame, not a silent close.
+    pub fn next_frame(&mut self) -> io::Result<Frame> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "daemon closed the connection",
+                ));
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            return Frame::parse(line.trim_end()).map_err(protocol_error);
+        }
+    }
+
+    /// Submit a sweep request (fire and forget; stream with
+    /// [`Client::collect`]).
+    pub fn submit(&mut self, request: SubmitRequest) -> io::Result<()> {
+        self.send(&Frame::Submit(request))
+    }
+
+    /// Ask the daemon to drop `id`'s queued points.
+    pub fn cancel(&mut self, id: &str) -> io::Result<()> {
+        self.send(&Frame::Cancel { id: id.to_string() })
+    }
+
+    /// Liveness round-trip: returns once the daemon answers `pong`.
+    /// Frames about in-flight requests arriving first are stashed, not lost.
+    pub fn ping(&mut self) -> io::Result<()> {
+        self.send(&Frame::Ping)?;
+        loop {
+            match self.next_frame()? {
+                Frame::Pong => return Ok(()),
+                other => self.stash.push(other),
+            }
+        }
+    }
+
+    /// Ask the daemon to drain and stop.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        self.send(&Frame::Shutdown)
+    }
+
+    /// Collect request `id` to its terminal `status` frame.  See
+    /// [`Client::collect_cancelling_after`] for the `cancel_after` knob.
+    pub fn collect(&mut self, id: &str) -> io::Result<CollectedRun> {
+        self.collect_cancelling_after(id, None)
+    }
+
+    /// Collect request `id`, sending a `cancel` after `cancel_after` result
+    /// frames have streamed (when `Some`).  Frames about other requests are
+    /// stashed for their own `collect` calls, so interleaved requests on one
+    /// connection work.  An `error` frame for `id` — or one with no id, e.g.
+    /// a rejected submit line — fails the collect.
+    pub fn collect_cancelling_after(
+        &mut self,
+        id: &str,
+        cancel_after: Option<usize>,
+    ) -> io::Result<CollectedRun> {
+        let mut name = String::new();
+        let mut scale = 1u64;
+        let mut total = 0usize;
+        let mut records: Vec<CollectedRecord> = Vec::new();
+        let mut cancel_sent = false;
+
+        // Replay earlier-stashed frames (oldest first) before reading fresh
+        // ones; whatever is still unclaimed at return goes back, in order.
+        let mut pending: std::collections::VecDeque<Frame> = std::mem::take(&mut self.stash).into();
+        let restash = |this: &mut Self, pending: std::collections::VecDeque<Frame>| {
+            let newer = std::mem::take(&mut this.stash);
+            this.stash = pending.into_iter().chain(newer).collect();
+        };
+        loop {
+            let frame = match pending.pop_front() {
+                Some(frame) => frame,
+                None => self.next_frame()?,
+            };
+            match frame {
+                Frame::Accepted {
+                    id: fid,
+                    name: fname,
+                    scale: fscale,
+                    total: ftotal,
+                    ..
+                } if fid == id => {
+                    name = fname;
+                    scale = fscale;
+                    total = ftotal;
+                }
+                Frame::Result {
+                    id: fid,
+                    seq,
+                    cached,
+                    record,
+                    ..
+                } if fid == id => {
+                    records.push(CollectedRecord {
+                        seq,
+                        cached,
+                        record,
+                    });
+                    if let Some(threshold) = cancel_after {
+                        if !cancel_sent && records.len() >= threshold {
+                            cancel_sent = true;
+                            self.cancel(id)?;
+                        }
+                    }
+                }
+                Frame::Status {
+                    id: fid,
+                    state,
+                    total: ftotal,
+                    ..
+                } if fid == id => {
+                    restash(self, pending);
+                    records.sort_by_key(|r| r.seq);
+                    return Ok(CollectedRun {
+                        name,
+                        scale,
+                        total: total.max(ftotal),
+                        state,
+                        records,
+                    });
+                }
+                Frame::Error { id: fid, message }
+                    if fid.as_deref() == Some(id) || fid.is_none() =>
+                {
+                    restash(self, pending);
+                    return Err(protocol_error(message));
+                }
+                other => self.stash.push(other),
+            }
+        }
+    }
+}
+
+fn protocol_error(message: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.into())
+}

@@ -1,0 +1,376 @@
+//! The sweep service: validated requests in, streamed records out.
+//!
+//! A [`Service`] owns three things:
+//!
+//! * a bounded [`RequestQueue`] (the backpressure point — see
+//!   [`crate::queue`]);
+//! * a pool of *request workers* that pop queued requests and drive them;
+//! * one shared `ccs-runtime` [`ThreadPool`] that all requests' sweep
+//!   points are batched onto, so concurrent requests share the machine
+//!   instead of oversubscribing it.
+//!
+//! Each request decomposes into [`Experiment::sweep_points`]; every point
+//! is first checked against the persistent [`ResultStore`] (when the
+//! service has one).  A point whose records are *all* stored is streamed
+//! straight from disk (`cached: true` on the frames); anything else is
+//! simulated on the pool via
+//! [`spawn_cancellable`](ThreadPool::spawn_cancellable) and stored on
+//! completion.  Stored records reserialise byte-identically to a fresh run
+//! (see [`ccs_experiment::result_store`]), so clients cannot tell a memo
+//! hit from a cold run except by the `cached` flag and the wall-clock.
+//!
+//! Cancellation rides on [`CancelToken`]s: each request gets a child of the
+//! service's root token.  Tripping the request token drops the request's
+//! still-queued points unrun; tripping the root (drain) cancels everything.
+//! The worker observes completion through channel disconnect — every point
+//! closure owns a sender clone, finished or dropped — and emits the
+//! terminal `status` frame with `done` or `cancelled` accordingly.
+
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+
+use ccs_experiment::canon::record_key;
+use ccs_experiment::{Experiment, ResultStore, RunRecord, SweepPoint};
+use ccs_runtime::{CancelToken, Policy, ThreadPool};
+use ccs_sched::SchedulerSpec;
+use ccs_sim::{CmpConfig, SimEngine};
+use parking_lot::Mutex;
+
+use crate::protocol::{Frame, RequestState, SubmitRequest};
+use crate::queue::{RequestQueue, SubmitError};
+
+/// Tuning knobs of a [`Service`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Root directory of the persistent result store; `None` disables
+    /// cross-process memoisation (the in-process build cache still applies).
+    pub store_dir: Option<PathBuf>,
+    /// Maximum queued (accepted but not yet running) requests.
+    pub queue_capacity: usize,
+    /// Request workers: how many requests run concurrently.
+    pub workers: usize,
+    /// Threads of the shared simulation pool all requests batch onto.
+    pub pool_threads: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            store_dir: None,
+            queue_capacity: 32,
+            workers: 2,
+            pool_threads: 2,
+        }
+    }
+}
+
+/// A request validated and resolved, ready to queue: the output of
+/// [`Service::prepare`].
+pub struct PreparedRequest {
+    /// The client's request id.
+    pub id: String,
+    /// Resolved report name.
+    pub name: String,
+    /// Effective scale divisor (after `quick` clamping).
+    pub scale: u64,
+    /// Number of sweep points.
+    pub points: usize,
+    /// Total records a complete run produces.
+    pub total: usize,
+    exp: Arc<Experiment>,
+    schedulers: Vec<SchedulerSpec>,
+    engine: SimEngine,
+    baseline: bool,
+}
+
+/// A queued request: the prepared experiment plus its session plumbing.
+struct QueuedRequest {
+    prepared: PreparedRequest,
+    token: CancelToken,
+    reply: mpsc::Sender<Frame>,
+    /// Dropped by the worker when the request reaches its terminal status —
+    /// the session's drain counter (see [`crate::session`]).
+    _pending: Option<Box<dyn std::any::Any + Send>>,
+}
+
+/// One finished (or cache-hit) sweep point, reported back to the worker.
+struct PointDone {
+    index: usize,
+    records: Vec<RunRecord>,
+}
+
+struct ServiceInner {
+    queue: RequestQueue<QueuedRequest>,
+    pool: ThreadPool,
+    store: Option<ResultStore>,
+    root: CancelToken,
+}
+
+/// The daemon core: queue, workers, shared pool, result store.
+pub struct Service {
+    inner: Arc<ServiceInner>,
+    workers: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+impl Service {
+    /// Start a service: opens the store (if configured) and spawns the
+    /// request workers and the shared simulation pool.
+    pub fn start(config: ServiceConfig) -> std::io::Result<Service> {
+        let store = match &config.store_dir {
+            Some(dir) => Some(ResultStore::open(dir)?),
+            None => None,
+        };
+        let inner = Arc::new(ServiceInner {
+            queue: RequestQueue::new(config.queue_capacity),
+            pool: ThreadPool::new(config.pool_threads, Policy::WorkStealing),
+            store,
+            root: CancelToken::new(),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                thread::Builder::new()
+                    .name(format!("ccs-serve-worker-{i}"))
+                    .spawn(move || {
+                        while let Some(request) = inner.queue.pop() {
+                            run_request(&inner, request);
+                        }
+                    })
+                    .expect("failed to spawn service worker")
+            })
+            .collect();
+        Ok(Service {
+            inner,
+            workers: Mutex::new(workers),
+        })
+    }
+
+    /// Validate a submit frame against the spec grammar and registries,
+    /// resolving every axis.  The error string is client-facing (it becomes
+    /// an `error` frame) and carries the registries' did-you-mean hints.
+    pub fn prepare(&self, req: &SubmitRequest) -> Result<PreparedRequest, String> {
+        if req.id.is_empty() {
+            return Err("request id must not be empty".to_string());
+        }
+        let mut workloads = Vec::with_capacity(req.workloads.len());
+        for spec in &req.workloads {
+            workloads.push(ccs_experiment::WorkloadSpec::resolve(spec).map_err(|e| e.to_string())?);
+        }
+        let mut schedulers = Vec::with_capacity(req.schedulers.len());
+        for spec in &req.schedulers {
+            schedulers.push(SchedulerSpec::resolve(spec).map_err(|e| e.to_string())?);
+        }
+        let mut configs = Vec::with_capacity(req.cores.len());
+        for &cores in &req.cores {
+            configs.push(
+                CmpConfig::default_with_cores(cores)
+                    .ok_or_else(|| format!("no default CMP configuration with {cores} cores"))?,
+            );
+        }
+
+        let name = req
+            .name
+            .clone()
+            .unwrap_or_else(|| workloads[0].name().to_string());
+        let mut exp = Experiment::named(name.clone())
+            .workloads(workloads)
+            .scale(req.scale)
+            .quick(req.quick)
+            .engine(req.engine)
+            .sequential_baseline(req.baseline);
+        if !schedulers.is_empty() {
+            exp = exp.schedulers(schedulers);
+        }
+        if !configs.is_empty() {
+            exp = exp.configs(configs);
+        }
+        let points = exp.sweep_points().len();
+        let schedulers = exp.resolved_schedulers();
+        Ok(PreparedRequest {
+            id: req.id.clone(),
+            name,
+            scale: exp.effective_scale(),
+            points,
+            total: points * schedulers.len(),
+            exp: Arc::new(exp),
+            schedulers,
+            engine: req.engine,
+            baseline: req.baseline,
+        })
+    }
+
+    /// Queue a prepared request.  `reply` receives every frame about it;
+    /// `pending` (if any) is dropped when the request reaches its terminal
+    /// status — sessions use it as their drain counter.
+    pub fn submit(
+        &self,
+        prepared: PreparedRequest,
+        token: CancelToken,
+        reply: mpsc::Sender<Frame>,
+        pending: Option<Box<dyn std::any::Any + Send>>,
+    ) -> Result<(), SubmitError> {
+        self.inner.queue.submit(QueuedRequest {
+            prepared,
+            token,
+            reply,
+            _pending: pending,
+        })
+    }
+
+    /// A child of the service's root cancel token: per-request tokens hang
+    /// off this, so [`Service::shutdown`] can cancel everything at once.
+    pub fn request_token(&self) -> CancelToken {
+        self.inner.root.child()
+    }
+
+    /// Number of records in the store's in-memory front (0 without a store).
+    pub fn store_cached_records(&self) -> usize {
+        self.inner
+            .store
+            .as_ref()
+            .map_or(0, ResultStore::cached_records)
+    }
+
+    /// Graceful drain: stop accepting, let queued and in-flight requests
+    /// finish, and join the workers.  Idempotent.
+    pub fn drain(&self) {
+        self.inner.queue.close();
+        let workers = std::mem::take(&mut *self.workers.lock());
+        for worker in workers {
+            let _ = worker.join();
+        }
+    }
+
+    /// Hard stop: cancel every request (queued points are dropped, in-flight
+    /// points finish), then drain.
+    pub fn shutdown(&self) {
+        self.inner.root.cancel();
+        self.drain();
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Canonical store keys of one point's records, in resolved-scheduler order.
+fn point_keys(req: &PreparedRequest, point: &SweepPoint) -> Vec<String> {
+    req.schedulers
+        .iter()
+        .map(|sched| {
+            record_key(
+                &point.workload.label(),
+                &point.config,
+                req.scale,
+                req.engine,
+                sched,
+                req.baseline,
+            )
+        })
+        .collect()
+}
+
+/// Drive one request end to end: stream cache hits, batch the rest onto the
+/// pool, store fresh records, emit the terminal status.
+fn run_request(inner: &ServiceInner, request: QueuedRequest) {
+    let QueuedRequest {
+        prepared: req,
+        token,
+        reply,
+        _pending,
+    } = request;
+    let total = req.total;
+    let mut completed = 0usize;
+
+    let accepted = Frame::Accepted {
+        id: req.id.clone(),
+        name: req.name.clone(),
+        scale: req.scale,
+        points: req.points,
+        total,
+    };
+    // A failed send means the session is gone; cancel so queued points of
+    // this request stop consuming the pool.
+    if reply.send(accepted).is_err() {
+        token.cancel();
+    }
+
+    let per_point = req.schedulers.len();
+    let mut emit = |seq_base: usize, records: &[RunRecord], cached: bool| {
+        for (offset, record) in records.iter().enumerate() {
+            completed += 1;
+            let frame = Frame::Result {
+                id: req.id.clone(),
+                seq: seq_base + offset,
+                total,
+                cached,
+                record: record.clone(),
+            };
+            if reply.send(frame).is_err() {
+                token.cancel();
+            }
+        }
+    };
+
+    // Launch phase: serve stored points immediately, batch the rest.
+    let (tx, rx) = mpsc::channel::<PointDone>();
+    if !token.is_cancelled() {
+        for point in req.exp.sweep_points() {
+            let keys = point_keys(&req, &point);
+            let stored: Option<Vec<RunRecord>> = inner
+                .store
+                .as_ref()
+                .and_then(|store| keys.iter().map(|key| store.get(key)).collect());
+            if let Some(records) = stored {
+                emit(point.index * per_point, &records, true);
+                continue;
+            }
+            let exp = Arc::clone(&req.exp);
+            let tx = tx.clone();
+            inner.pool.spawn_cancellable(&token, move || {
+                let records = exp.run_sweep_point(&point);
+                // The session may be gone; disconnect is fine either way.
+                let _ = tx.send(PointDone {
+                    index: point.index,
+                    records,
+                });
+            });
+        }
+    }
+    drop(tx);
+
+    // Drain phase: stream computed points as they land, memoising each.
+    // The channel disconnects once every launched closure has either sent
+    // or been dropped unrun by its cancel check — so a cancelled request
+    // falls out of this loop with `completed < total`.
+    while let Ok(done) = rx.recv() {
+        if let Some(store) = &inner.store {
+            // Re-deriving the keys here is cheaper than shipping them
+            // through the pool closure.
+            let points = req.exp.sweep_points();
+            for (key, record) in point_keys(&req, &points[done.index])
+                .iter()
+                .zip(&done.records)
+            {
+                let _ = store.put(key, record);
+            }
+        }
+        emit(done.index * per_point, &done.records, false);
+    }
+
+    let state = if completed == total && !token.is_cancelled() {
+        RequestState::Done
+    } else {
+        RequestState::Cancelled
+    };
+    let _ = reply.send(Frame::Status {
+        id: req.id.clone(),
+        state,
+        completed,
+        total,
+    });
+}

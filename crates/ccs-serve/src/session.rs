@@ -1,0 +1,175 @@
+//! One client connection: the frame loop between a stream and the service.
+//!
+//! A session owns the read half of a connection and a writer thread owning
+//! the write half; every outbound frame — whether produced by the session
+//! itself (`pong`, `error`) or by a service worker streaming results — goes
+//! through one mpsc channel to that writer, so frames are never interleaved
+//! mid-line however many workers stream at once.
+//!
+//! Lifecycle: greet with `hello`, then read frames until EOF or `shutdown`.
+//! EOF does **not** cancel outstanding requests — a one-shot client
+//! (`printf '…submit…' | ccs-serve`) closes its write side immediately, and
+//! its results must still stream.  Instead the session *drains*: it waits
+//! until every request it submitted has reached a terminal `status` frame
+//! (tracked by an RAII guard the service worker drops), then closes the
+//! writer and returns whether the client asked for daemon shutdown.
+
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+
+use ccs_runtime::CancelToken;
+use parking_lot::{Condvar, Mutex};
+
+use crate::protocol::Frame;
+use crate::service::Service;
+
+/// Counts the session's requests that have not yet reached terminal status.
+struct PendingRequests {
+    count: Mutex<usize>,
+    zero: Condvar,
+}
+
+impl PendingRequests {
+    fn new() -> Arc<PendingRequests> {
+        Arc::new(PendingRequests {
+            count: Mutex::new(0),
+            zero: Condvar::new(),
+        })
+    }
+
+    fn begin(self: &Arc<Self>) -> PendingGuard {
+        *self.count.lock() += 1;
+        PendingGuard(Arc::clone(self))
+    }
+
+    fn wait_for_drain(&self) {
+        let mut count = self.count.lock();
+        while *count > 0 {
+            self.zero.wait(&mut count);
+        }
+    }
+}
+
+/// RAII drain counter: the service worker drops this when the request is
+/// terminal (done, cancelled, or skipped), whatever path it took.
+struct PendingGuard(Arc<PendingRequests>);
+
+impl Drop for PendingGuard {
+    fn drop(&mut self) {
+        let mut count = self.0.count.lock();
+        *count -= 1;
+        if *count == 0 {
+            self.0.zero.notify_all();
+        }
+    }
+}
+
+/// Run one session over `reader`/`writer`.  Blocks until the client
+/// disconnects (and the session has drained) or sends `shutdown`; returns
+/// `true` when the client asked the daemon to shut down.
+pub fn run(service: &Service, reader: impl BufRead, writer: impl Write + Send + 'static) -> bool {
+    let (tx, rx) = mpsc::channel::<Frame>();
+    let writer_thread = thread::Builder::new()
+        .name("ccs-serve-writer".to_string())
+        .spawn(move || write_loop(writer, rx))
+        .expect("failed to spawn session writer");
+
+    let shutdown = read_loop(service, reader, &tx);
+
+    // Drain before closing the writer: workers may still be streaming.
+    drop(tx);
+    let _ = writer_thread.join();
+    shutdown
+}
+
+fn write_loop(mut writer: impl Write, rx: mpsc::Receiver<Frame>) {
+    // A write error means the client is gone; stop consuming so senders see
+    // the disconnect (workers then cancel their requests).
+    for frame in rx {
+        if writeln!(writer, "{}", frame.to_line()).is_err() {
+            break;
+        }
+        // Flush per frame: results must stream as they complete, not when a
+        // buffer happens to fill.
+        if writer.flush().is_err() {
+            break;
+        }
+    }
+}
+
+fn read_loop(service: &Service, reader: impl BufRead, tx: &mpsc::Sender<Frame>) -> bool {
+    let send = |frame: Frame| {
+        let _ = tx.send(frame);
+    };
+    send(Frame::hello());
+
+    let pending = PendingRequests::new();
+    let mut tokens: HashMap<String, CancelToken> = HashMap::new();
+    let mut shutdown = false;
+
+    for line in reader.lines() {
+        let Ok(line) = line else {
+            break; // connection error: treat as EOF
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let frame = match Frame::parse(&line) {
+            Ok(frame) => frame,
+            Err(message) => {
+                send(Frame::Error { id: None, message });
+                continue;
+            }
+        };
+        match frame {
+            Frame::Submit(request) => {
+                let id = request.id.clone();
+                let prepared = match service.prepare(&request) {
+                    Ok(prepared) => prepared,
+                    Err(message) => {
+                        send(Frame::Error {
+                            id: Some(id),
+                            message,
+                        });
+                        continue;
+                    }
+                };
+                let token = service.request_token();
+                tokens.insert(id.clone(), token.clone());
+                let guard = Box::new(pending.begin());
+                if let Err(e) = service.submit(prepared, token, tx.clone(), Some(guard)) {
+                    // The guard travelled into the rejected request and has
+                    // already been dropped with it — no pending leak.
+                    send(Frame::Error {
+                        id: Some(id),
+                        message: e.to_string(),
+                    });
+                }
+            }
+            Frame::Cancel { id } => match tokens.get(&id) {
+                Some(token) => token.cancel(),
+                None => send(Frame::Error {
+                    id: Some(id),
+                    message: "cancel: unknown request id".to_string(),
+                }),
+            },
+            Frame::Ping => send(Frame::Pong),
+            Frame::Shutdown => {
+                shutdown = true;
+                break;
+            }
+            // Server-to-client frames arriving at the server are protocol
+            // violations; answer and keep the session usable.
+            other => send(Frame::Error {
+                id: None,
+                message: format!("unexpected frame: {}", other.to_line()),
+            }),
+        }
+    }
+
+    pending.wait_for_drain();
+    shutdown
+}

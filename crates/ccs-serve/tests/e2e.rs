@@ -1,0 +1,230 @@
+//! End-to-end daemon tests over socketpairs: concurrent clients, memoised
+//! repeats (byte-identical to a direct batch run), cancellation mid-sweep,
+//! store persistence across daemon restarts, and protocol robustness.
+
+use std::io::BufReader;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use ccs_experiment::{Experiment, WorkloadSpec};
+use ccs_sched::SchedulerSpec;
+use ccs_serve::protocol::SubmitRequest;
+use ccs_serve::{Client, RequestState, Server, ServiceConfig};
+use ccs_sim::{CmpConfig, SimEngine};
+
+type PairClient = Client<BufReader<UnixStream>, UnixStream>;
+
+fn unique_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "ccs-serve-e2e-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed),
+    ))
+}
+
+/// Connect a client to `server` over a socketpair; the session runs on its
+/// own thread and ends (returning the shutdown flag) when the client drops.
+fn connect(server: &Arc<Server>) -> (PairClient, thread::JoinHandle<bool>) {
+    let (daemon_side, client_side) = UnixStream::pair().unwrap();
+    let session = {
+        let server = Arc::clone(server);
+        thread::spawn(move || {
+            let reader = BufReader::new(daemon_side.try_clone().unwrap());
+            server.serve_stream(reader, daemon_side)
+        })
+    };
+    let writer = client_side.try_clone().unwrap();
+    let client = Client::new(BufReader::new(client_side), writer).unwrap();
+    (client, session)
+}
+
+fn submit(id: &str, workloads: &[&str], cores: &[usize], schedulers: &[&str]) -> SubmitRequest {
+    SubmitRequest {
+        id: id.to_string(),
+        name: Some("e2e".to_string()),
+        workloads: workloads.iter().map(|s| s.to_string()).collect(),
+        schedulers: schedulers.iter().map(|s| s.to_string()).collect(),
+        cores: cores.to_vec(),
+        scale: 1024,
+        quick: false,
+        engine: SimEngine::EventDriven,
+        baseline: true,
+    }
+}
+
+/// The batch report the daemon must reproduce byte for byte.
+fn direct_report(workloads: &[&str], cores: &[usize], schedulers: &[&str]) -> String {
+    Experiment::named("e2e")
+        .workloads(workloads.iter().map(|s| WorkloadSpec::from(*s)))
+        .scale(1024)
+        .schedulers(schedulers.iter().map(|s| SchedulerSpec::new(*s)))
+        .configs(
+            cores
+                .iter()
+                .map(|&c| CmpConfig::default_with_cores(c).unwrap()),
+        )
+        .run()
+        .to_json()
+}
+
+#[test]
+fn concurrent_clients_memoised_repeat_and_mid_sweep_cancel() {
+    let dir = unique_dir("concurrent");
+    let server = Arc::new(
+        Server::start(ServiceConfig {
+            store_dir: Some(dir.clone()),
+            queue_capacity: 8,
+            workers: 2,
+            pool_threads: 2,
+        })
+        .unwrap(),
+    );
+
+    // Client 1: the same sweep twice.  The first run computes and stores;
+    // the second must be served entirely from the memo store, byte-identical.
+    let memo = {
+        let server = Arc::clone(&server);
+        thread::spawn(move || {
+            let (mut client, session) = connect(&server);
+            client
+                .submit(submit("m1", &["mergesort"], &[2], &["pdf", "ws"]))
+                .unwrap();
+            let cold = client.collect("m1").unwrap();
+            assert_eq!(cold.state, RequestState::Done);
+            assert_eq!(cold.records.len(), 2);
+            assert!(
+                cold.records.iter().all(|r| !r.cached),
+                "fresh store cannot hit"
+            );
+
+            client
+                .submit(submit("m2", &["mergesort"], &[2], &["pdf", "ws"]))
+                .unwrap();
+            let warm = client.collect("m2").unwrap();
+            assert_eq!(warm.state, RequestState::Done);
+            assert!(warm.all_cached(), "repeat must be served from the store");
+
+            let cold_json = cold.into_report().to_json();
+            let warm_json = warm.into_report().to_json();
+            assert_eq!(cold_json, warm_json, "memo hit must be byte-identical");
+            drop(client);
+            assert!(!session.join().unwrap());
+            cold_json
+        })
+    };
+
+    // Client 2, concurrently: a six-point sweep cancelled after the first
+    // streamed record.  In-flight points finish, queued points are dropped,
+    // and the terminal status says so.
+    let cancel = {
+        let server = Arc::clone(&server);
+        thread::spawn(move || {
+            let (mut client, session) = connect(&server);
+            client
+                .submit(submit("c1", &["mergesort", "lu"], &[2, 4, 8], &["pdf"]))
+                .unwrap();
+            let run = client.collect_cancelling_after("c1", Some(1)).unwrap();
+            assert_eq!(run.state, RequestState::Cancelled);
+            assert_eq!(run.total, 6);
+            assert!(!run.records.is_empty(), "cancelled mid-sweep, not before");
+            assert!(
+                run.records.len() < run.total,
+                "cancel must drop the queued tail ({} of {} streamed)",
+                run.records.len(),
+                run.total,
+            );
+            drop(client);
+            assert!(!session.join().unwrap());
+        })
+    };
+
+    let served_json = memo.join().unwrap();
+    cancel.join().unwrap();
+
+    // The daemon's streamed report equals a direct batch run, byte for byte.
+    assert_eq!(
+        served_json,
+        direct_report(&["mergesort"], &[2], &["pdf", "ws"])
+    );
+
+    // A *new* daemon over the same store directory serves the sweep entirely
+    // from disk — the memo survives restarts.
+    drop(server);
+    let reborn = Arc::new(
+        Server::start(ServiceConfig {
+            store_dir: Some(dir.clone()),
+            ..ServiceConfig::default()
+        })
+        .unwrap(),
+    );
+    let (mut client, session) = connect(&reborn);
+    client
+        .submit(submit("m3", &["mergesort"], &[2], &["pdf", "ws"]))
+        .unwrap();
+    let persisted = client.collect("m3").unwrap();
+    assert!(persisted.all_cached(), "store must persist across restarts");
+    assert_eq!(persisted.into_report().to_json(), served_json);
+    drop(client);
+    assert!(!session.join().unwrap());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn malformed_and_invalid_frames_leave_the_session_usable() {
+    let server = Arc::new(Server::start(ServiceConfig::default()).unwrap());
+    let (mut client, session) = connect(&server);
+
+    // A malformed line earns an error frame, not a dropped connection.
+    client
+        .send(&ccs_serve::Frame::Error {
+            id: None,
+            message: "i am a server frame on the wrong side".to_string(),
+        })
+        .unwrap();
+    let err = client.next_frame().unwrap();
+    assert!(matches!(err, ccs_serve::Frame::Error { .. }));
+
+    // An unknown workload is rejected through the typed spec errors, with
+    // the registry's did-you-mean hint, attributed to the request id.
+    client
+        .submit(submit("bad", &["mergsort"], &[2], &["pdf"]))
+        .unwrap();
+    let rejection = client.collect("bad").unwrap_err();
+    assert!(
+        rejection.to_string().contains("did you mean \"mergesort\""),
+        "{rejection}"
+    );
+
+    // An unknown core count and an unknown scheduler are rejected the same
+    // way, and the daemon still answers pings afterwards.
+    client
+        .submit(submit("bad2", &["mergesort"], &[3], &["pdf"]))
+        .unwrap();
+    assert!(client.collect("bad2").is_err());
+    client
+        .submit(submit("bad3", &["mergesort"], &[2], &["pddf"]))
+        .unwrap();
+    let sched_rejection = client.collect("bad3").unwrap_err();
+    assert!(
+        sched_rejection.to_string().contains("did you mean \"pdf\""),
+        "{sched_rejection}"
+    );
+    client.ping().unwrap();
+
+    // Cancelling an id the session never submitted is an error frame too.
+    client.cancel("ghost").unwrap();
+    assert!(matches!(
+        client.next_frame().unwrap(),
+        ccs_serve::Frame::Error { .. }
+    ));
+
+    // A shutdown frame ends the session with the flag set.
+    client.shutdown().unwrap();
+    drop(client);
+    assert!(session.join().unwrap(), "shutdown flag must propagate");
+}
