@@ -16,6 +16,9 @@
 //!
 //! * `--store DIR` — persistent result store; repeated requests are served
 //!   from disk, byte-identical to a fresh run;
+//! * `--store-max-bytes N` — byte budget for the store directory; when a
+//!   write pushes it over, least-recently-used entries (by mtime) are
+//!   evicted until it fits (default: unbounded);
 //! * `--socket PATH` — listen on a Unix socket (default: one stdio session);
 //! * `--parallel N` — threads of the shared simulation pool (0 = one per
 //!   available core);
@@ -53,7 +56,18 @@ fn main() {
                 let v = rest.next().expect("--workers requires a count");
                 config.workers = v.parse().expect("--workers must be an integer");
             }
-            other => panic!("unknown flag {other:?} (serve takes --socket/--queue/--workers)"),
+            "--store-max-bytes" => {
+                let v = rest
+                    .next()
+                    .expect("--store-max-bytes requires a byte budget");
+                config.store_max_bytes = Some(
+                    v.parse()
+                        .expect("--store-max-bytes must be an integer byte count"),
+                );
+            }
+            other => panic!(
+                "unknown flag {other:?} (serve takes --socket/--queue/--workers/--store-max-bytes)"
+            ),
         }
     }
 

@@ -29,6 +29,7 @@ pub fn figure_sweeps() -> Vec<Sweep> {
         ("fig5_mem_latency", fig5),
         ("fig6_granularity", fig6),
         ("sec54_coarse_vs_fine", coarse_vs_fine),
+        ("latency_profile", latency_profile),
     ]
 }
 
@@ -246,6 +247,42 @@ pub fn coarse_vs_fine(opts: &Options) -> Report {
         .run()
 }
 
+/// A dense single-core memory-latency profile (100–1100 cycles on the
+/// 1-core default configuration).  Every point shares one machine shape, so
+/// under `--engine batch` each workload records a single event-driven pass
+/// and replays the remaining latencies from the tape — this sweep is the
+/// batch engine's honest showcase (and the harness times it both ways).
+pub fn latency_profile(opts: &Options) -> Report {
+    let base = CmpConfig::default_with_cores(1).expect("single-core default config");
+    // The grid stays dense even in quick mode: batching makes the extra
+    // latency points nearly free (each is one O(misses) replay), and the
+    // single-core event side is cheap enough for CI.
+    let configs: Vec<CmpConfig> = (100..=1100)
+        .step_by(100)
+        .map(|lat| base.clone().with_memory_latency(lat))
+        .collect();
+    let mut report = Report::new("latency_profile", opts.effective_scale());
+    for bench in opts
+        .benchmarks()
+        .into_iter()
+        .filter(|b| *b != Benchmark::Lu)
+    {
+        report.merge(
+            Experiment::new(bench)
+                .name("latency_profile")
+                .configs(configs.iter().cloned())
+                .schedulers(pdf_ws())
+                .scale(opts.scale)
+                .quick(opts.quick)
+                .sequential_baseline(false)
+                .parallelism(opts.parallel)
+                .engine(opts.engine)
+                .run(),
+        );
+    }
+    report
+}
+
 /// Section 5.5: the secondary benchmarks through the open workload registry
 /// — Quicksort (unbalanced divide), Matmul (small working set) and Heat
 /// (bandwidth-bound stencil) on the 8-core default configuration, PDF vs WS.
@@ -348,6 +385,21 @@ mod tests {
                 "matmul:n=64".to_string()
             ]
         );
+    }
+
+    #[test]
+    fn latency_profile_batch_engine_is_byte_identical_and_replayed() {
+        let mut opts = quick_opts(Benchmark::Mergesort);
+        let event = latency_profile(&opts);
+        opts.engine = ccs_sim::SimEngine::Batch;
+        let batched = latency_profile(&opts);
+        assert_eq!(event.to_json(), batched.to_json());
+        // One 1-core machine shape: the whole grid is one batch group.
+        assert!(batched
+            .records
+            .iter()
+            .all(|r| r.cores == 1 && r.batch_width == 11));
+        assert!(event.records.iter().all(|r| r.batch_width == 0));
     }
 
     #[test]

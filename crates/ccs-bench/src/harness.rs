@@ -7,9 +7,12 @@
 //! `run_all --bench` (usually together with `--quick`) and produces a
 //! [`BenchReport`] with three kinds of records:
 //!
-//! * `macro/<sweep>` — one per figure sweep (fig2–fig6 + the §5.4
-//!   comparison), timing the production (event-driven) engine on the
-//!   selected options;
+//! * `macro/<sweep>` — one per figure sweep (fig2–fig6, the §5.4
+//!   comparison and the latency profile), timing the production
+//!   (event-driven) engine on the selected options;
+//! * `macro/<sweep>_batch` — the latency-style sweeps (fig4, fig5 and the
+//!   latency profile) re-timed on the *batch* engine (quick options), after
+//!   asserting the batched report is byte-identical to an event-engine run;
 //! * `macro/quick_sweep` and `macro/quick_sweep_reference` — the whole
 //!   quick sweep timed on the event-driven engine and on the retained
 //!   reference cycle-stepper.  `speedup_vs_reference` on the former is the
@@ -22,7 +25,7 @@
 //!
 //! ```json
 //! {
-//!   "schema": "ccs-bench/3",
+//!   "schema": "ccs-bench/4",
 //!   "scale": 256,
 //!   "quick": true,
 //!   "records": [
@@ -36,6 +39,7 @@
 //!       "trace_bytes": 1224736,
 //!       "peak_alloc_estimate": 2449472,
 //!       "compile_ms": 8.4,
+//!       "batch_width": 0,
 //!       "speedup_vs_reference": 2.9
 //!     }
 //!   ]
@@ -51,17 +55,19 @@
 //! respectively), `compile_ms` is the wall-clock the record's runs spent
 //! compiling line streams and geometry set lanes (the split of `wall_ms`
 //! that is *not* simulation; near zero when the process-global build
-//! cache already held the artifacts — see DESIGN.md §9), and
+//! cache already held the artifacts — see DESIGN.md §9), `batch_width` is
+//! the largest latency-batch the record's runs simulated in one grouped
+//! pass (0 for non-batched engines — see DESIGN.md §11), and
 //! `speedup_vs_reference` is present only on records with a reference
-//! counterpart.  `total_misses`, `tasks`, `cycles`, `trace_bytes` and
-//! `peak_alloc_estimate` are *deterministic* for a given scale/quick
-//! setting — the CI gate ([`gate`]) checks the simulated metrics for exact
-//! equality against the committed baseline, `tasks_per_sec` within a
-//! relative tolerance, and fails memory-footprint growth beyond the same
-//! tolerance; `compile_ms` is reported but not gated (it is wall-clock
-//! noise at the millisecond scale) and is surfaced by the gate's
-//! `summary:` line (schema `ccs-bench/3`; `--trials N` overrides the
-//! noise-averaging trial counts).
+//! counterpart.  `total_misses`, `tasks`, `cycles`, `batch_width`,
+//! `trace_bytes` and `peak_alloc_estimate` are *deterministic* for a given
+//! scale/quick setting — the CI gate ([`gate`]) checks the simulated
+//! metrics for exact equality against the committed baseline,
+//! `tasks_per_sec` within a relative tolerance, and fails memory-footprint
+//! growth beyond the same tolerance; `compile_ms` is reported but not
+//! gated (it is wall-clock noise at the millisecond scale) and is surfaced
+//! by the gate's `summary:` line (schema `ccs-bench/4`; `--trials N`
+//! overrides the noise-averaging trial counts).
 
 use std::io;
 use std::path::Path;
@@ -77,7 +83,7 @@ use crate::figs;
 pub mod gate;
 
 /// Schema identifier written into every report.
-pub const SCHEMA: &str = "ccs-bench/3";
+pub const SCHEMA: &str = "ccs-bench/4";
 
 /// Default output path (written into the invoking directory, gitignored at
 /// the repo root).
@@ -108,6 +114,9 @@ pub struct BenchRecord {
     /// lanes across the runs this record covers (not gated; the non-
     /// simulation split of `wall_ms`).
     pub compile_ms: f64,
+    /// Largest latency-batch the record's runs simulated in one grouped
+    /// pass (0 when the batch engine was not in play; deterministic).
+    pub batch_width: u64,
     /// Wall-clock speedup over the reference cycle-stepper on the identical
     /// work, where measured.
     pub speedup_vs_reference: Option<f64>,
@@ -125,6 +134,7 @@ impl BenchRecord {
             ("trace_bytes", self.trace_bytes.into()),
             ("peak_alloc_estimate", self.peak_alloc_estimate.into()),
             ("compile_ms", self.compile_ms.into()),
+            ("batch_width", self.batch_width.into()),
             ("speedup_vs_reference", self.speedup_vs_reference.into()),
         ])
     }
@@ -164,6 +174,7 @@ impl BenchRecord {
             trace_bytes: uint("trace_bytes")?,
             peak_alloc_estimate: uint("peak_alloc_estimate")?,
             compile_ms: num("compile_ms")?,
+            batch_width: uint("batch_width")?,
             speedup_vs_reference: match field("speedup_vs_reference") {
                 Ok(v) if !v.is_null() => Some(v.as_f64().ok_or_else(|| JsonError {
                     message: "speedup_vs_reference is not a number".into(),
@@ -311,6 +322,12 @@ fn record_from_report(name: impl Into<String>, report: &Report, wall_ms: f64) ->
             .max()
             .unwrap_or(0),
         compile_ms: report.records.iter().map(|r| r.compile_ms).sum(),
+        batch_width: report
+            .records
+            .iter()
+            .map(|r| r.batch_width)
+            .max()
+            .unwrap_or(0),
         speedup_vs_reference: None,
     }
 }
@@ -367,6 +384,38 @@ fn best_sweep_pass(opts: &Options, prefix: &str, trials: u32) -> (Report, Vec<Be
         total_ms = total_ms.min(again_total);
     }
     (merged, records, total_ms)
+}
+
+/// The latency-style sweeps re-timed on the batch engine (`macro/<name>_batch`
+/// records).  Runs on the quick options (bounded even when the macro phase
+/// ran full-scale), best-of-`trials` like every other timed record, and
+/// asserts — not just measures — that the batched report is byte-identical
+/// to a fresh event-engine run of the same sweep.
+fn batch_benches(records: &mut Vec<BenchRecord>, quick_event: &Options, trials: u32) {
+    const LATENCY_SWEEPS: [&str; 3] = ["fig4_l2_hit_time", "fig5_mem_latency", "latency_profile"];
+    let mut batch_opts = quick_event.clone();
+    batch_opts.engine = SimEngine::Batch;
+    for (name, run) in figs::figure_sweeps() {
+        if !LATENCY_SWEEPS.contains(&name) {
+            continue;
+        }
+        let event_report = run(quick_event);
+        let (batch_report, mut best_ms) = timed(|| run(&batch_opts));
+        for _ in 1..trials {
+            let (_, ms) = timed(|| run(&batch_opts));
+            best_ms = best_ms.min(ms);
+        }
+        assert_eq!(
+            batch_report.to_json(),
+            event_report.to_json(),
+            "batch engine diverged from the event engine on {name}"
+        );
+        records.push(record_from_report(
+            format!("macro/{name}_batch"),
+            &batch_report,
+            best_ms,
+        ));
+    }
 }
 
 /// Fixed synthetic DAG for the raw-simulator microbench: large enough to
@@ -450,13 +499,15 @@ fn micro_benches(records: &mut Vec<BenchRecord>, trials: u32) {
             // The one-time compile cost is charged to the first record only
             // (summing compile_ms across records must not double-count it).
             compile_ms: std::mem::take(&mut compile_ms),
+            batch_width: 0,
             speedup_vs_reference: Some(reference_ms / event_ms.max(f64::MIN_POSITIVE)),
         });
     }
 }
 
 /// Run the full harness: timed macro sweeps (event-driven), the
-/// quick-sweep engine comparison, and the raw-simulator microbenches.
+/// quick-sweep engine comparison, the batched latency sweeps, and the
+/// raw-simulator microbenches.
 ///
 /// Returns the bench report plus the merged sweep [`Report`], so `run_all
 /// --bench` still leaves the usual `BENCH_run_all.json` trajectory behind.
@@ -505,7 +556,11 @@ pub fn run(opts: &Options) -> (BenchReport, Report) {
     reference_side.compile_ms = reference_records.iter().map(|r| r.compile_ms).sum();
     records.push(reference_side);
 
-    // Phase 3: raw simulator, no experiment layer in the way.
+    // Phase 3: the batch engine on the latency-style sweeps, quick options
+    // — timed *and* equivalence-asserted against the event engine.
+    batch_benches(&mut records, &quick_event, opts.trials.unwrap_or(3));
+
+    // Phase 4: raw simulator, no experiment layer in the way.
     micro_benches(&mut records, opts.trials.unwrap_or(5));
 
     let bench = BenchReport {
@@ -535,6 +590,7 @@ mod tests {
                     trace_bytes: 1_224_736,
                     peak_alloc_estimate: 2_449_472,
                     compile_ms: 8.25,
+                    batch_width: 0,
                     speedup_vs_reference: Some(2.9),
                 },
                 BenchRecord {
@@ -547,6 +603,7 @@ mod tests {
                     trace_bytes: 64_000,
                     peak_alloc_estimate: 130_000,
                     compile_ms: 0.5,
+                    batch_width: 6,
                     speedup_vs_reference: None,
                 },
             ],
@@ -559,14 +616,15 @@ mod tests {
         let text = report.to_json();
         let parsed = BenchReport::from_json(&text).expect("round trip");
         assert_eq!(parsed, report);
-        assert!(text.contains("\"schema\": \"ccs-bench/3\""), "{text}");
+        assert!(text.contains("\"schema\": \"ccs-bench/4\""), "{text}");
         assert!(text.contains("\"trace_bytes\": 1224736"), "{text}");
         assert!(text.contains("\"compile_ms\": 8.25"), "{text}");
+        assert!(text.contains("\"batch_width\": 6"), "{text}");
     }
 
     #[test]
     fn wrong_schema_is_rejected() {
-        let text = sample_report().to_json().replace("ccs-bench/3", "other/9");
+        let text = sample_report().to_json().replace("ccs-bench/4", "other/9");
         let err = BenchReport::from_json(&text).unwrap_err();
         assert!(err.message.contains("unsupported bench schema"), "{err}");
     }

@@ -3,9 +3,10 @@
 //!
 //! Three kinds of checks, per baseline record (matched by name):
 //!
-//! * **deterministic metrics** (`total_misses`, `tasks`, `cycles`) must be
-//!   *exactly* equal — they are pure functions of the simulated
-//!   configuration, so any drift is a behaviour change, not noise;
+//! * **deterministic metrics** (`total_misses`, `tasks`, `cycles`,
+//!   `batch_width`) must be *exactly* equal — they are pure functions of
+//!   the simulated configuration (and, for `batch_width`, of the sweep
+//!   planner's grouping), so any drift is a behaviour change, not noise;
 //! * **throughput** (`tasks_per_sec`) must be within a relative tolerance
 //!   (CI uses ±20%).  A drop beyond tolerance **fails** the gate; a gain
 //!   beyond tolerance only **warns**, so maintainers notice and refresh the
@@ -137,6 +138,7 @@ fn check_record(result: &mut GateResult, cur: &BenchRecord, base: &BenchRecord, 
         ("total_misses", cur.total_misses, base.total_misses),
         ("tasks", cur.tasks, base.tasks),
         ("cycles", cur.cycles, base.cycles),
+        ("batch_width", cur.batch_width, base.batch_width),
     ]
     .into_iter()
     .filter(|(_, c, b)| c != b)
@@ -271,6 +273,7 @@ mod tests {
             trace_bytes: 100_000,
             peak_alloc_estimate: 200_000,
             compile_ms: 4.0,
+            batch_width: 0,
             speedup_vs_reference: None,
         }
     }
@@ -312,6 +315,22 @@ mod tests {
         let g = compare(&cur, &base, 0.2);
         assert!(g.failed());
         assert!(g.to_text().contains("deterministic metrics drifted"));
+    }
+
+    #[test]
+    fn batch_width_drift_is_a_deterministic_failure() {
+        // The sweep planner regrouping a batched record is a behaviour
+        // change, not noise — exact-matched like the simulated metrics.
+        let base = report(vec![record("macro/fig5_mem_latency_batch", 1000.0)]);
+        let mut regrouped = record("macro/fig5_mem_latency_batch", 1000.0);
+        regrouped.batch_width = 3;
+        let g = compare(&report(vec![regrouped]), &base, 0.2);
+        assert!(g.failed());
+        assert!(
+            g.to_text().contains("batch_width 0 -> 3"),
+            "{}",
+            g.to_text()
+        );
     }
 
     #[test]

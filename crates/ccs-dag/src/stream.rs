@@ -366,6 +366,9 @@ pub struct LineStream {
     /// Memoised packed `(L1, L2)` pair lanes, one per distinct geometry
     /// pair (typically one per sweep).
     geom_pairs: Mutex<PairCache>,
+    /// Memoised prefix sums of the pre-access compute lane
+    /// ([`LineStream::pre_prefix`]): the batched engine's replay cursor.
+    pre_prefix: Mutex<Option<Arc<Vec<u64>>>>,
 }
 
 /// Memo storage of [`LineStream::geometry_pair`]: a short association list
@@ -423,6 +426,7 @@ impl LineStream {
             line_addr,
             starts,
             geom_pairs: Mutex::new(Vec::new()),
+            pre_prefix: Mutex::new(None),
         }
     }
 
@@ -438,6 +442,31 @@ impl LineStream {
         let lanes = Arc::new(PairedSetLanes::compile(self, l1, l2));
         cache.push(((l1, l2), Arc::clone(&lanes)));
         lanes
+    }
+
+    /// Prefix sums of the pre-access compute lane, compiled on first use
+    /// and shared afterwards: `pre_prefix()[i]` is the total pre-access
+    /// compute of steps `0..i` (length [`LineStream::num_steps`]` + 1`).
+    ///
+    /// This is the batched engine's **replay cursor**: the compute cycles a
+    /// single-core run spends between two recorded misses at steps `a < b`
+    /// are `prefix[b] - prefix[a]` — one subtraction instead of re-walking
+    /// the packed lane per configuration of a latency sweep.
+    pub fn pre_prefix(&self) -> Arc<Vec<u64>> {
+        let mut slot = self.pre_prefix.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(prefix) = slot.as_ref() {
+            return Arc::clone(prefix);
+        }
+        let mut prefix = Vec::with_capacity(self.packed.len() + 1);
+        let mut sum = 0u64;
+        prefix.push(0);
+        for &word in &self.packed {
+            sum += Self::pre_of(word) as u64;
+            prefix.push(sum);
+        }
+        let prefix = Arc::new(prefix);
+        *slot = Some(Arc::clone(&prefix));
+        prefix
     }
 
     /// Number of distinct `(L1, L2)` geometry pairs compiled against this
@@ -501,6 +530,13 @@ impl LineStream {
     }
 
     /// Heap bytes held by the compiled stream.
+    ///
+    /// Deliberately *excludes* the lazily memoised [`pre_prefix`] lane:
+    /// this figure feeds the deterministic `peak_alloc_estimate` record
+    /// field, which must not depend on whether a batched run compiled the
+    /// replay cursor on a shared stream first.
+    ///
+    /// [`pre_prefix`]: LineStream::pre_prefix
     pub fn heap_bytes(&self) -> u64 {
         (self.packed.capacity() * std::mem::size_of::<u64>()
             + self.line_addr.capacity() * std::mem::size_of::<u64>()

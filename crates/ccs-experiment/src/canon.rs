@@ -34,7 +34,11 @@ pub const KEY_VERSION: &str = "ccs-key/1";
 ///
 /// Every record an [`Experiment`](crate::Experiment) produces is a
 /// deterministic function of this key (schedulers are deterministic given
-/// their spec — randomised ones carry their seed in the spec).
+/// their spec — randomised ones carry their seed in the spec).  The engine
+/// is normalised with [`SimEngine::canonical`]: the batch engine is the
+/// event engine's metrics byte-for-byte, so batched and event runs share
+/// one key (and therefore one store entry), while the reference engine —
+/// kept deliberately distinct as the A/B foil — keeps its own.
 pub fn record_key(
     workload_label: &str,
     config: &CmpConfig,
@@ -43,6 +47,7 @@ pub fn record_key(
     scheduler: &SchedulerSpec,
     baseline: bool,
 ) -> String {
+    let engine = engine.canonical();
     format!(
         "{KEY_VERSION}|workload={workload_label}|{}|scale={scale}|engine={}|sched={scheduler}|baseline={}",
         config_key(config),
@@ -217,5 +222,19 @@ mod tests {
             assert_ne!(key_hash(&base), key_hash(v));
         }
         assert_eq!(key_hash_hex(&base).len(), 16);
+        // The batch engine is NOT an axis: its records are the event
+        // engine's byte-for-byte, so the keys collide by design and a
+        // batched sweep hits the store entries an event sweep populated.
+        assert_eq!(
+            base,
+            record_key(
+                "mergesort",
+                &config,
+                64,
+                SimEngine::Batch,
+                &SchedulerSpec::new("pdf"),
+                true,
+            )
+        );
     }
 }

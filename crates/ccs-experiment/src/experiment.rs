@@ -14,7 +14,7 @@ use ccs_dag::Dag;
 use ccs_runtime::{join, Policy, ThreadPool};
 use ccs_sched::spec::{format_spec, parse_spec, SpecParseError};
 use ccs_sched::SchedulerSpec;
-use ccs_sim::{simulate_with_engine, CmpConfig, SimEngine};
+use ccs_sim::{simulate_batch, simulate_with_engine, CmpConfig, SimEngine};
 use ccs_workloads::{Benchmark, BuildCtx, UnknownWorkload, WorkloadRegistry};
 
 use crate::report::{Report, RunRecord};
@@ -442,7 +442,10 @@ impl Experiment {
     /// Select the simulator engine (default: the event-driven production
     /// engine).  [`SimEngine::Reference`] runs the retained cycle-stepper —
     /// metrics-identical but much slower; the bench harness uses it to
-    /// measure the event-driven speedup.
+    /// measure the event-driven speedup.  [`SimEngine::Batch`] groups the
+    /// sweep with [`Experiment::batch_groups`] so points differing only in
+    /// latencies share one recorded pass — the report stays byte-identical
+    /// to the event engine's.
     pub fn engine(mut self, engine: SimEngine) -> Experiment {
         self.engine = engine;
         self
@@ -576,16 +579,153 @@ impl Experiment {
             .collect()
     }
 
+    /// Partition [`Experiment::sweep_points`] into batchable groups: points
+    /// sharing a workload and a machine shape
+    /// ([`ccs_sim::batch::same_machine_shape`] on the *scaled* configs —
+    /// core count and both cache geometries equal, latency axes free)
+    /// land in one group and can share a single recorded pass under the
+    /// batch engine.  Groups are ordered by first appearance and preserve
+    /// point order within, so scattering each point's records back by
+    /// [`SweepPoint::index`] reproduces report order exactly.  Points that
+    /// batch with nothing form singleton groups — running a group is then
+    /// exactly [`Experiment::run_sweep_point`].
+    pub fn batch_groups(&self) -> Vec<Vec<SweepPoint>> {
+        let scale = self.effective_scale();
+        let mut groups: Vec<Vec<SweepPoint>> = Vec::new();
+        for point in self.sweep_points() {
+            let scaled = point.config.scaled(scale);
+            let slot = groups.iter_mut().find(|group| {
+                let head = &group[0];
+                head.workload == point.workload
+                    && ccs_sim::batch::same_machine_shape(&head.config.scaled(scale), &scaled)
+            });
+            match slot {
+                Some(group) => group.push(point),
+                None => groups.push(vec![point]),
+            }
+        }
+        groups
+    }
+
+    /// Run one batchable group (per [`Experiment::batch_groups`]) through
+    /// [`simulate_batch`], returning each point's records in resolved-
+    /// scheduler order — byte-identical to [`Experiment::run_sweep_point`]
+    /// on every point (the batch engine's contract).  The build, the
+    /// geometry prebuild and the footprint metrics are shared by the whole
+    /// group; `compile_ms` is charged to the group's first record only, and
+    /// every record is annotated with the group width
+    /// ([`RunRecord::batch_width`]).
+    ///
+    /// # Panics
+    /// Panics when `points` is empty or its points disagree on workload or
+    /// machine shape.
+    pub fn run_batch_group(&self, points: &[SweepPoint]) -> Vec<Vec<RunRecord>> {
+        let head = points.first().expect("batch group has at least one point");
+        let scale = self.effective_scale();
+        let schedulers = self.resolved_schedulers();
+        let scaled_configs: Vec<CmpConfig> =
+            points.iter().map(|p| p.config.scaled(scale)).collect();
+        assert!(
+            points
+                .iter()
+                .zip(&scaled_configs)
+                .all(|(p, c)| p.workload == head.workload
+                    && ccs_sim::batch::same_machine_shape(&scaled_configs[0], c)),
+            "batch group mixes workloads or machine shapes"
+        );
+        let l2_bytes = scaled_configs[0].l2.capacity;
+        let cores = head.config.num_cores;
+        let build = || {
+            let comp = head.workload.build(scale, l2_bytes, cores);
+            let dag = Arc::new(Dag::from_computation(&comp));
+            (comp, dag)
+        };
+        let built = match &head.workload {
+            WorkloadSpec::Registry { .. } => crate::build_cache::get_or_build(
+                (head.workload.label(), scale, l2_bytes, cores),
+                build,
+            ),
+            WorkloadSpec::Fixed { .. } => Arc::new(build()),
+        };
+        let (comp, dag) = &*built;
+        let comp: &Computation = comp.as_ref();
+        let dag: &Dag = dag.as_ref();
+        // One geometry prebuild serves the whole group: same machine shape
+        // means the same line stream and the same (L1, L2) set lanes.
+        let compile_start = std::time::Instant::now();
+        let shape = &scaled_configs[0];
+        let stream = comp.line_stream(shape.l2.line_size);
+        let lanes = stream.geometry_pair(
+            ccs_dag::CacheGeometry::new(shape.l1.line_size, shape.l1.num_sets()),
+            ccs_dag::CacheGeometry::new(shape.l2.line_size, shape.l2.num_sets()),
+        );
+        let compile_ms = compile_start.elapsed().as_secs_f64() * 1000.0;
+        let trace_bytes = comp.trace_arena_bytes();
+        let peak_alloc_estimate =
+            trace_bytes + stream.heap_bytes() + lanes.heap_bytes() + dag.heap_bytes();
+        // The sequential baselines differ only in latencies too, so they
+        // form their own (1-core, hence replayable) batch.
+        let sequentials = self.baseline.then(|| {
+            let seq_configs: Vec<CmpConfig> = scaled_configs
+                .iter()
+                .map(|scaled| {
+                    let mut seq_cfg = scaled.clone();
+                    seq_cfg.num_cores = 1;
+                    seq_cfg.name = format!("{}-seq", scaled.name);
+                    seq_cfg
+                })
+                .collect();
+            simulate_batch(comp, dag, &seq_configs, &SchedulerSpec::new("pdf")).results
+        });
+        // One batched pass per scheduler over the whole group.
+        let per_sched: Vec<Vec<ccs_sim::SimResult>> = schedulers
+            .iter()
+            .map(|spec| simulate_batch(comp, dag, &scaled_configs, spec).results)
+            .collect();
+        let width = points.len() as u64;
+        points
+            .iter()
+            .enumerate()
+            .map(|(j, point)| {
+                schedulers
+                    .iter()
+                    .enumerate()
+                    .map(|(i, spec)| {
+                        let sequential = sequentials.as_ref().map(|seqs| &seqs[j]);
+                        // As in `run_sweep_point`: the compile was paid once,
+                        // here for the whole group.
+                        let record_compile_ms = if i == 0 && j == 0 { compile_ms } else { 0.0 };
+                        RunRecord::from_sim(
+                            point.workload.label(),
+                            spec,
+                            &per_sched[i][j],
+                            sequential,
+                        )
+                        .with_footprint(trace_bytes, peak_alloc_estimate)
+                        .with_compile_ms(record_compile_ms)
+                        .with_batch_width(width)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
     /// Run the full cross-product and collect a [`Report`].
     ///
     /// Defaults when a dimension was left unset: schedulers = PDF and WS;
-    /// configs = the paper's 8-core default.
+    /// configs = the paper's 8-core default.  Under [`SimEngine::Batch`]
+    /// the sweep is partitioned with [`Experiment::batch_groups`] and each
+    /// group shares one recorded pass; the report is byte-identical either
+    /// way.
     ///
     /// # Panics
     /// Panics if no workload was added, or if a scheduler or workload name
     /// is not registered.
     pub fn run(&self) -> Report {
         assert!(!self.workloads.is_empty(), "experiment has no workloads");
+        if self.engine == SimEngine::Batch {
+            return self.run_batched();
+        }
         // One point per workload × design point; each point yields one
         // record per scheduler.  Points are independent, so they can run in
         // any order — records are placed by position to keep the report
@@ -609,6 +749,40 @@ impl Experiment {
         report.records = results.into_iter().flatten().collect();
         report
     }
+
+    /// The batch-engine body of [`Experiment::run`]: fan over
+    /// [`Experiment::batch_groups`] (each group is one unit of parallel
+    /// work) and scatter each point's records back by its cross-product
+    /// index, so record order matches the event engine exactly.
+    fn run_batched(&self) -> Report {
+        let groups = self.batch_groups();
+        let run_group = |group: &Vec<SweepPoint>| self.run_batch_group(group);
+        let threads = self.parallelism.min(groups.len());
+        let per_group: Vec<Vec<Vec<RunRecord>>> = if threads <= 1 {
+            groups.iter().map(&run_group).collect()
+        } else {
+            let mut slots: Vec<Option<Vec<Vec<RunRecord>>>> = groups.iter().map(|_| None).collect();
+            let pool = ThreadPool::new(threads, Policy::WorkStealing);
+            pool.install(|| fan_out(&groups, &mut slots, &run_group));
+            slots
+                .into_iter()
+                .map(|slot| slot.expect("every batch group produces records"))
+                .collect()
+        };
+        let total_points: usize = groups.iter().map(Vec::len).sum();
+        let mut slots: Vec<Option<Vec<RunRecord>>> = (0..total_points).map(|_| None).collect();
+        for (group, results) in groups.iter().zip(per_group) {
+            for (point, records) in group.iter().zip(results) {
+                slots[point.index] = Some(records);
+            }
+        }
+        let mut report = Report::new(self.name.clone(), self.effective_scale());
+        report.records = slots
+            .into_iter()
+            .flat_map(|slot| slot.expect("groups cover every sweep point"))
+            .collect();
+        report
+    }
 }
 
 /// One resolved sweep point of an [`Experiment`]: a workload × design-point
@@ -626,21 +800,24 @@ pub struct SweepPoint {
     pub config: CmpConfig,
 }
 
-/// Recursively fork-join over the sweep points, writing each point's records
-/// into its own slot so completion order cannot reorder the report.
-fn fan_out<F>(points: &[SweepPoint], slots: &mut [Option<Vec<RunRecord>>], run_point: &F)
+/// Recursively fork-join over work items (sweep points or batch groups),
+/// writing each item's result into its own slot so completion order cannot
+/// reorder the report.
+fn fan_out<T, R, F>(items: &[T], slots: &mut [Option<R>], run: &F)
 where
-    F: Fn(&SweepPoint) -> Vec<RunRecord> + Sync,
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
 {
-    match points.len() {
+    match items.len() {
         0 => {}
-        1 => slots[0] = Some(run_point(&points[0])),
+        1 => slots[0] = Some(run(&items[0])),
         n => {
-            let (left, right) = points.split_at(n / 2);
+            let (left, right) = items.split_at(n / 2);
             let (left_out, right_out) = slots.split_at_mut(n / 2);
             join(
-                || fan_out(left, left_out, run_point),
-                || fan_out(right, right_out, run_point),
+                || fan_out(left, left_out, run),
+                || fan_out(right, right_out, run),
             );
         }
     }
@@ -821,6 +998,76 @@ mod tests {
             builds < runs,
             "expected cached builds, factory ran {builds}/{runs} times"
         );
+    }
+
+    #[test]
+    fn batch_groups_pin_latency_only_grouping() {
+        // Latency-only variants of one design point group together; a
+        // different core count, a different geometry, or a different
+        // workload each split off.  Order: groups by first appearance,
+        // points in cross-product order within.
+        let one_core = CmpConfig::default_with_cores(1).unwrap();
+        let exp = Experiment::named("planner")
+            .workloads(["mergesort", "quicksort"])
+            .configs([
+                one_core.clone().with_l2_hit_latency(7),
+                one_core.clone().with_l2_hit_latency(19),
+                CmpConfig::default_with_cores(4).unwrap(),
+                one_core.clone().with_memory_latency(900),
+            ])
+            .scale(1024)
+            .schedulers(["pdf"]);
+        let groups = exp.batch_groups();
+        // Per workload: {l2hit7, l2hit19, mem900} batch, the 4-core point
+        // is a singleton — 2 workloads × 2 groups.
+        assert_eq!(groups.len(), 4);
+        let shape: Vec<(usize, Vec<usize>)> = groups
+            .iter()
+            .map(|g| (g.len(), g.iter().map(|p| p.index).collect()))
+            .collect();
+        assert_eq!(
+            shape,
+            vec![
+                (3, vec![0, 1, 3]),
+                (1, vec![2]),
+                (3, vec![4, 5, 7]),
+                (1, vec![6]),
+            ]
+        );
+        // Every sweep point appears exactly once.
+        let mut indices: Vec<usize> = groups.iter().flatten().map(|p| p.index).collect();
+        indices.sort_unstable();
+        assert_eq!(indices, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batch_engine_report_is_byte_identical_to_event() {
+        let one_core = CmpConfig::default_with_cores(1).unwrap();
+        let base = Experiment::named("batch-check")
+            .workload("mergesort")
+            .configs([
+                one_core.clone().with_l2_hit_latency(7),
+                one_core
+                    .clone()
+                    .with_l2_hit_latency(19)
+                    .with_memory_latency(900),
+                CmpConfig::default_with_cores(2).unwrap(),
+            ])
+            .scale(1024)
+            .schedulers(["pdf", "ws-rand@7"]);
+        let event = base.clone().run();
+        let batched = base.clone().engine(SimEngine::Batch).run();
+        assert_eq!(batched, event);
+        assert_eq!(batched.to_json(), event.to_json());
+        // The annotations record how the planner grouped the points:
+        // the two latency variants batched (width 2), the 2-core point
+        // ran alone (width 1); the event engine never annotates.
+        let widths: Vec<u64> = batched.records.iter().map(|r| r.batch_width).collect();
+        assert_eq!(widths, vec![2, 2, 2, 2, 1, 1]);
+        assert!(event.records.iter().all(|r| r.batch_width == 0));
+        // A parallel batched run scatters back to the same report.
+        let parallel = base.clone().engine(SimEngine::Batch).parallelism(4).run();
+        assert_eq!(parallel, event);
     }
 
     #[test]

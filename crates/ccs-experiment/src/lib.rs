@@ -72,6 +72,6 @@ pub mod report;
 pub mod result_store;
 
 pub use experiment::{CoreSelection, Experiment, SweepPoint, WorkloadSpec};
-pub use options::Options;
+pub use options::{Options, OptionsError};
 pub use report::{Report, RunRecord};
 pub use result_store::ResultStore;

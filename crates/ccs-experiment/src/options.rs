@@ -33,9 +33,11 @@ use crate::{Experiment, WorkloadSpec};
 ///   as JSON to `PATH` (`-` for stdout);
 /// * `--store PATH` — root directory of the persistent result store (the
 ///   `serve` daemon's memo layer; batch binaries ignore it);
-/// * `--engine event|reference` — select the simulator engine (default: the
-///   event-driven production engine; `reference` runs the retained
-///   cycle-stepper, metrics-identical but much slower);
+/// * `--engine event|reference|batch` — select the simulator engine
+///   (default: the event-driven production engine; `reference` runs the
+///   retained cycle-stepper, metrics-identical but much slower; `batch`
+///   groups latency-only sweep points so they share one recorded pass,
+///   metrics-identical and much faster on latency sweeps);
 /// * `--bench` — benchmark mode: `run_all` substitutes the timed
 ///   `ccs-bench` harness for its normal sweeps and emits `BENCH_sim.json`
 ///   (other binaries ignore the flag);
@@ -65,7 +67,7 @@ pub struct Options {
     /// (`--store PATH`); used by the `serve` daemon and client binaries,
     /// ignored by the batch binaries.
     pub store: Option<PathBuf>,
-    /// Simulator engine selection (`--engine event|reference`).
+    /// Simulator engine selection (`--engine event|reference|batch`).
     pub engine: SimEngine,
     /// Benchmark mode (`--bench`): `run_all` runs the timed harness and
     /// emits `BENCH_sim.json` instead of the plain sweeps.
@@ -96,48 +98,69 @@ impl Default for Options {
 }
 
 impl Options {
-    /// Parse options from `std::env::args`.
+    /// Parse options from `std::env::args`, exiting the process with a
+    /// clean one-line message (status 2, no panic backtrace) when the
+    /// command line is malformed — the CLI boundary of
+    /// [`Options::try_parse`].
     pub fn from_env() -> Options {
-        Self::parse(std::env::args().skip(1))
+        Self::try_parse(std::env::args().skip(1)).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        })
     }
 
-    /// Parse options from an explicit iterator (used by tests).
+    /// Parse options from an explicit iterator.
     ///
     /// # Panics
-    /// Panics with a descriptive message on malformed values — including
-    /// `--workloads` specs whose name is not in the global registry, which
-    /// report a did-you-mean listing of the registered workloads.
+    /// Panics with the [`OptionsError`] message on malformed values; use
+    /// [`Options::try_parse`] to handle the error (binaries go through
+    /// [`Options::from_env`], which exits cleanly instead).
     pub fn parse(args: impl IntoIterator<Item = String>) -> Options {
+        Self::try_parse(args).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Parse options from an explicit iterator, reporting malformed values
+    /// as a typed [`OptionsError`] — including `--workloads` specs whose
+    /// name is not in the global registry, which carry the registry's
+    /// did-you-mean listing.
+    pub fn try_parse(args: impl IntoIterator<Item = String>) -> Result<Options, OptionsError> {
         let mut opts = Options::default();
         let mut iter = args.into_iter();
         while let Some(arg) = iter.next() {
             match arg.as_str() {
                 "--scale" => {
-                    let v = iter.next().expect("--scale requires a value");
-                    opts.scale = v.parse().expect("--scale must be an integer");
+                    let v = value(&mut iter, "--scale", "a value")?;
+                    opts.scale = parse_int(&v, "--scale")?;
                 }
                 "--quick" => opts.quick = true,
                 "--app" => {
-                    let v = iter.next().expect("--app requires a value");
+                    let v = value(&mut iter, "--app", "a value")?;
                     opts.app = Some(match v.as_str() {
                         "lu" => Benchmark::Lu,
                         "hashjoin" => Benchmark::HashJoin,
                         "mergesort" => Benchmark::Mergesort,
-                        other => panic!(
-                            "unknown app {other:?} (lu|hashjoin|mergesort; \
-                             use --workloads for the open registry)"
-                        ),
+                        other => {
+                            return Err(OptionsError::invalid(
+                                "--app",
+                                format!(
+                                    "unknown app {other:?} (lu|hashjoin|mergesort; \
+                                     use --workloads for the open registry)"
+                                ),
+                            ))
+                        }
                     });
                 }
                 "--workloads" => {
-                    let v = iter.next().expect("--workloads requires a value");
+                    let v = value(&mut iter, "--workloads", "a value")?;
                     for part in split_spec_list(&v) {
-                        opts.workloads.push(resolve_workload(&part));
+                        let spec = WorkloadSpec::resolve(&part)
+                            .map_err(|e| OptionsError::invalid("--workloads", e.to_string()))?;
+                        opts.workloads.push(spec);
                     }
                 }
                 "--parallel" => {
-                    let v = iter.next().expect("--parallel requires a value");
-                    let n: usize = v.parse().expect("--parallel must be an integer");
+                    let v = value(&mut iter, "--parallel", "a value")?;
+                    let n: usize = parse_int(&v, "--parallel")?;
                     opts.parallel = if n == 0 {
                         std::thread::available_parallelism()
                             .map(std::num::NonZeroUsize::get)
@@ -147,30 +170,32 @@ impl Options {
                     };
                 }
                 "--json" => {
-                    let v = iter.next().expect("--json requires a path (or '-')");
+                    let v = value(&mut iter, "--json", "a path (or '-')")?;
                     opts.json = Some(PathBuf::from(v));
                 }
                 "--store" => {
-                    let v = iter.next().expect("--store requires a directory path");
+                    let v = value(&mut iter, "--store", "a directory path")?;
                     opts.store = Some(PathBuf::from(v));
                 }
                 "--engine" => {
-                    let v = iter
-                        .next()
-                        .expect("--engine requires a value (event|reference)");
-                    opts.engine = v.parse().unwrap_or_else(|e| panic!("--engine: {e}"));
+                    let v = value(&mut iter, "--engine", "a value (event|reference|batch)")?;
+                    opts.engine = v
+                        .parse()
+                        .map_err(|e: String| OptionsError::invalid("--engine", e))?;
                 }
                 "--bench" => opts.bench = true,
                 "--trials" => {
-                    let v = iter.next().expect("--trials requires a count");
-                    let n: u32 = v.parse().expect("--trials must be a positive integer");
-                    assert!(n >= 1, "--trials must be at least 1");
+                    let v = value(&mut iter, "--trials", "a count")?;
+                    let n: u32 = parse_int(&v, "--trials")?;
+                    if n < 1 {
+                        return Err(OptionsError::invalid("--trials", "must be at least 1"));
+                    }
                     opts.trials = Some(n);
                 }
                 other => opts.rest.push(other.to_string()),
             }
         }
-        opts
+        Ok(opts)
     }
 
     /// The *paper* benchmarks selected by the options: the paper benchmarks
@@ -256,11 +281,64 @@ impl Options {
     }
 }
 
-/// Parse one `--workloads` spec and reject names missing from the global
-/// registry with the registry's did-you-mean listing.  The CLI boundary is
-/// the one place the typed [`WorkloadSpec::resolve`] error still panics.
-fn resolve_workload(spec: &str) -> WorkloadSpec {
-    WorkloadSpec::resolve(spec).unwrap_or_else(|e| panic!("--workloads: {e}"))
+/// A malformed command line, as reported by [`Options::try_parse`] — the
+/// typed counterpart of the `SpecError` family, so binaries can print one
+/// clean line and exit instead of unwinding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OptionsError {
+    /// A flag was given without its required value.
+    MissingValue {
+        /// The flag (e.g. `"--scale"`).
+        flag: &'static str,
+        /// What the flag expects (e.g. `"a value"`, `"a path (or '-')"`).
+        expects: &'static str,
+    },
+    /// A flag's value failed to parse or validate.
+    Invalid {
+        /// The flag (e.g. `"--engine"`).
+        flag: &'static str,
+        /// Why the value was rejected (may embed a nested spec error, e.g.
+        /// the workload registry's did-you-mean listing).
+        message: String,
+    },
+}
+
+impl OptionsError {
+    fn invalid(flag: &'static str, message: impl Into<String>) -> OptionsError {
+        OptionsError::Invalid {
+            flag,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for OptionsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OptionsError::MissingValue { flag, expects } => {
+                write!(f, "{flag} requires {expects}")
+            }
+            OptionsError::Invalid { flag, message } => write!(f, "{flag}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for OptionsError {}
+
+/// Pull the next argument as `flag`'s value.
+fn value(
+    iter: &mut impl Iterator<Item = String>,
+    flag: &'static str,
+    expects: &'static str,
+) -> Result<String, OptionsError> {
+    iter.next()
+        .ok_or(OptionsError::MissingValue { flag, expects })
+}
+
+/// Parse an integer-valued flag.
+fn parse_int<T: std::str::FromStr>(v: &str, flag: &'static str) -> Result<T, OptionsError> {
+    v.parse()
+        .map_err(|_| OptionsError::invalid(flag, format!("{v:?} is not an integer")))
 }
 
 #[cfg(test)]
@@ -321,15 +399,63 @@ mod tests {
         assert_eq!(o.trials, Some(7));
         assert!(o.rest.is_empty());
 
-        let bad = std::panic::catch_unwind(|| {
-            Options::parse(["--trials", "0"].into_iter().map(String::from))
-        });
-        assert!(bad.is_err(), "--trials 0 must be rejected");
+        let o = Options::parse(["--engine", "batch"].into_iter().map(String::from));
+        assert_eq!(o.engine, SimEngine::Batch);
 
-        let bad = std::panic::catch_unwind(|| {
-            Options::parse(["--engine", "quantum"].into_iter().map(String::from))
-        });
-        assert!(bad.is_err(), "unknown engine must be rejected");
+        let bad = Options::try_parse(["--trials", "0"].into_iter().map(String::from));
+        assert_eq!(
+            bad.unwrap_err(),
+            OptionsError::invalid("--trials", "must be at least 1")
+        );
+
+        let bad = Options::try_parse(["--engine", "quantum"].into_iter().map(String::from));
+        let err = bad.unwrap_err();
+        assert!(matches!(
+            err,
+            OptionsError::Invalid {
+                flag: "--engine",
+                ..
+            }
+        ));
+        assert_eq!(
+            err.to_string(),
+            "--engine: unknown engine \"quantum\" (event|reference|batch)"
+        );
+    }
+
+    #[test]
+    fn malformed_flags_are_typed_errors_not_panics() {
+        // Every flag that takes a value reports a MissingValue when the
+        // command line ends early...
+        for flag in [
+            "--scale",
+            "--app",
+            "--workloads",
+            "--parallel",
+            "--json",
+            "--store",
+            "--engine",
+            "--trials",
+        ] {
+            let err = Options::try_parse([flag.to_string()]).unwrap_err();
+            assert!(
+                matches!(err, OptionsError::MissingValue { flag: f, .. } if f == flag),
+                "{flag}: {err}"
+            );
+            assert!(err.to_string().starts_with(flag), "{err}");
+        }
+        // ...and a typed Invalid on bad values, with the flag named in the
+        // rendered message (what `from_env` prints before exiting).
+        let err = Options::try_parse(["--scale".into(), "huge".into()]).unwrap_err();
+        assert_eq!(err.to_string(), "--scale: \"huge\" is not an integer");
+        let err = Options::try_parse(["--app".into(), "doom".into()]).unwrap_err();
+        assert!(err.to_string().starts_with("--app: unknown app"), "{err}");
+        // `parse` keeps its panicking contract, with the same message.
+        let payload =
+            std::panic::catch_unwind(|| Options::parse(["--parallel".into(), "many".into()]))
+                .unwrap_err();
+        let message = *payload.downcast::<String>().expect("string panic payload");
+        assert_eq!(message, "--parallel: \"many\" is not an integer");
     }
 
     #[test]

@@ -13,11 +13,12 @@ use crate::json::{self, Json, JsonError};
 /// scheduler.
 ///
 /// Every field is a deterministic function of the simulated configuration
-/// *except* [`compile_ms`](RunRecord::compile_ms), which is a wall-clock
-/// timing annotation: it is carried in memory and in the CSV emission, but
-/// excluded from equality and from the JSON trajectory so reports stay
-/// byte-identical across repeat, parallel and cross-engine runs (a
-/// guarantee CI and the test suite compare literally).
+/// *except* the execution annotations [`compile_ms`](RunRecord::compile_ms)
+/// (wall-clock timing) and [`batch_width`](RunRecord::batch_width) (how the
+/// batch engine grouped the point): they are carried in memory and in the
+/// CSV emission, but excluded from equality and from the JSON trajectory so
+/// reports stay byte-identical across repeat, parallel and cross-engine
+/// runs (a guarantee CI and the test suite compare literally).
 #[derive(Clone, Debug)]
 pub struct RunRecord {
     /// Workload name (`"mergesort"`, `"lu"`, a custom name, …).
@@ -63,6 +64,12 @@ pub struct RunRecord {
     /// them; see DESIGN.md §9).  Wall-clock: excluded from equality and
     /// JSON (see the type docs), emitted in the CSV.
     pub compile_ms: f64,
+    /// How many sweep points shared this record's batched group under the
+    /// batch engine (0 = not batched, 1 = a singleton group).  An execution
+    /// annotation like `compile_ms`: the simulated metrics are engine-
+    /// independent, so this is excluded from equality and JSON and emitted
+    /// in the CSV only (see DESIGN.md §11).
+    pub batch_width: u64,
     /// Speedup over the matching sequential baseline, when one was run.
     pub speedup_over_seq: Option<f64>,
 }
@@ -94,6 +101,7 @@ impl RunRecord {
             trace_bytes: 0,
             peak_alloc_estimate: 0,
             compile_ms: 0.0,
+            batch_width: 0,
             speedup_over_seq: sequential.map(|seq| result.speedup_over(seq)),
         }
     }
@@ -110,6 +118,13 @@ impl RunRecord {
     /// experiment layer, which performs the prebuild).
     pub fn with_compile_ms(mut self, compile_ms: f64) -> RunRecord {
         self.compile_ms = compile_ms;
+        self
+    }
+
+    /// Attach the batched-group width (filled in by the experiment layer's
+    /// sweep planner when the batch engine grouped this record's point).
+    pub fn with_batch_width(mut self, batch_width: u64) -> RunRecord {
+        self.batch_width = batch_width;
         self
     }
 
@@ -207,9 +222,10 @@ impl RunRecord {
             off_chip_bytes: u64_field("off_chip_bytes")?,
             trace_bytes: u64_field("trace_bytes")?,
             peak_alloc_estimate: u64_field("peak_alloc_estimate")?,
-            // Not serialised (see the type docs): a parsed record has no
-            // compile-time annotation.
+            // Not serialised (see the type docs): a parsed record carries
+            // no execution annotations.
             compile_ms: 0.0,
+            batch_width: 0,
             speedup_over_seq: opt("speedup_over_seq", Json::as_f64),
         })
     }
@@ -374,7 +390,7 @@ impl Report {
             "workload,config,cores,scheduler,seed,cycles,instructions,tasks,\
              l1_accesses,l1_misses,l2_accesses,l2_misses,l2_mpki,\
              bandwidth_utilization,off_chip_bytes,trace_bytes,\
-             peak_alloc_estimate,compile_ms,speedup_over_seq\n",
+             peak_alloc_estimate,compile_ms,batch_width,speedup_over_seq\n",
         );
         for r in &self.records {
             let seed = r.seed.map(|s| s.to_string()).unwrap_or_default();
@@ -383,7 +399,7 @@ impl Report {
                 .map(|s| format!("{s:.6}"))
                 .unwrap_or_default();
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{:.6},{},{},{},{:.3},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{:.6},{},{},{},{:.3},{},{}\n",
                 csv_escape(&r.workload),
                 csv_escape(&r.config),
                 r.cores,
@@ -402,6 +418,7 @@ impl Report {
                 r.trace_bytes,
                 r.peak_alloc_estimate,
                 r.compile_ms,
+                r.batch_width,
                 speedup,
             ));
         }
@@ -466,6 +483,7 @@ mod tests {
             trace_bytes: 48_000,
             peak_alloc_estimate: 96_000,
             compile_ms: 0.0,
+            batch_width: 0,
             speedup_over_seq: Some(5.5),
         }
     }
@@ -491,7 +509,9 @@ mod tests {
         // byte-identity of reports across repeat/parallel/engine runs
         // depends on it.  The CSV, which carries no identity guarantee,
         // does include the column.
-        let cold = sample_record("pdf", None).with_compile_ms(12.5);
+        let cold = sample_record("pdf", None)
+            .with_compile_ms(12.5)
+            .with_batch_width(9);
         let warm = sample_record("pdf", None).with_compile_ms(0.001);
         assert_eq!(cold, warm);
         let mut a = Report::new("x", 1);
@@ -500,13 +520,13 @@ mod tests {
         b.records.push(warm);
         assert_eq!(a.to_json(), b.to_json());
         assert!(!a.to_json().contains("compile_ms"));
+        assert!(!a.to_json().contains("batch_width"));
         assert!(a.to_csv().starts_with("workload,"));
-        assert!(a.to_csv().contains(",12.500,"));
-        // Parsed records carry no annotation.
-        assert_eq!(
-            Report::from_json(&a.to_json()).unwrap().records[0].compile_ms,
-            0.0
-        );
+        assert!(a.to_csv().contains(",12.500,9,"));
+        // Parsed records carry no annotations.
+        let parsed = Report::from_json(&a.to_json()).unwrap();
+        assert_eq!(parsed.records[0].compile_ms, 0.0);
+        assert_eq!(parsed.records[0].batch_width, 0);
     }
 
     #[test]

@@ -51,9 +51,13 @@ use crate::RunRecord;
 /// Version tag of the file format (the `"ccs-store"` field).
 pub const STORE_VERSION: u64 = 1;
 
-/// A durable key → [`RunRecord`] store rooted at one directory.
+/// A durable key → [`RunRecord`] store rooted at one directory, optionally
+/// byte-bounded with LRU-by-mtime eviction (see
+/// [`ResultStore::open_bounded`]).
 pub struct ResultStore {
     dir: PathBuf,
+    /// Disk byte budget; `None` grows unboundedly (the historical default).
+    max_bytes: Option<u64>,
     /// In-memory front: canonical key → record, filled by hits and puts.
     mem: Mutex<HashMap<String, RunRecord>>,
     /// Distinguishes concurrent writers' temporary files within the process.
@@ -61,12 +65,27 @@ pub struct ResultStore {
 }
 
 impl ResultStore {
-    /// Open (creating if needed) the store rooted at `dir`.
+    /// Open (creating if needed) the store rooted at `dir`, unbounded.
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<ResultStore> {
+        Self::open_bounded(dir, None)
+    }
+
+    /// Open the store with an optional disk budget.  When `max_bytes` is
+    /// `Some`, every [`ResultStore::put`] that leaves the entry files over
+    /// budget evicts least-recently-used entries (by file mtime — disk read
+    /// hits and rewrites both refresh it) until the store fits, never
+    /// evicting the entry just written.  Eviction is crash-safe by
+    /// construction: an entry either exists whole or not at all, and a
+    /// re-run of an evicted key deterministically regenerates its record.
+    pub fn open_bounded(
+        dir: impl Into<PathBuf>,
+        max_bytes: Option<u64>,
+    ) -> io::Result<ResultStore> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
         Ok(ResultStore {
             dir,
+            max_bytes,
             mem: Mutex::new(HashMap::new()),
             tmp_seq: AtomicU64::new(0),
         })
@@ -77,9 +96,16 @@ impl ResultStore {
         &self.dir
     }
 
+    /// The configured disk budget, if any.
+    pub fn max_bytes(&self) -> Option<u64> {
+        self.max_bytes
+    }
+
     /// Look up the record stored under `key`, if any.  Disk hits are
-    /// promoted into the in-memory front; unreadable, mismatched or stale
-    /// files are treated as misses.
+    /// promoted into the in-memory front and have their file mtime
+    /// refreshed (so a bounded store's eviction order tracks use, not just
+    /// write age); unreadable, mismatched or stale files are treated as
+    /// misses.
     pub fn get(&self, key: &str) -> Option<RunRecord> {
         if let Some(hit) = self
             .mem
@@ -90,7 +116,9 @@ impl ResultStore {
         {
             return Some(hit);
         }
-        let record = read_entry(&self.entry_path(key), key)?;
+        let path = self.entry_path(key);
+        let record = read_entry(&path, key)?;
+        touch(&path);
         self.mem
             .lock()
             .unwrap_or_else(|e| e.into_inner())
@@ -98,7 +126,8 @@ impl ResultStore {
         Some(record)
     }
 
-    /// Persist `record` under `key` (memory + atomic disk write).
+    /// Persist `record` under `key` (memory + atomic disk write), then
+    /// enforce the disk budget when one was configured.
     pub fn put(&self, key: &str, record: &RunRecord) -> io::Result<()> {
         self.mem
             .lock()
@@ -116,7 +145,11 @@ impl ResultStore {
             self.tmp_seq.fetch_add(1, Ordering::Relaxed),
         ));
         std::fs::write(&tmp, doc.to_string_pretty())?;
-        std::fs::rename(&tmp, &path)
+        std::fs::rename(&tmp, &path)?;
+        if let Some(max) = self.max_bytes {
+            self.evict_to_fit(max, &path);
+        }
+        Ok(())
     }
 
     /// Number of records in the in-memory front (not a disk census).
@@ -124,8 +157,79 @@ impl ResultStore {
         self.mem.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 
+    /// Total bytes of entry files currently on disk (temporary files
+    /// excluded) — what [`ResultStore::put`] bounds against `max_bytes`.
+    pub fn disk_bytes(&self) -> u64 {
+        self.entry_files().into_iter().map(|e| e.bytes).sum()
+    }
+
+    /// Delete oldest-mtime entries until the entry files fit in `budget`,
+    /// sparing `keep` (the entry just written).  Best-effort: scan or
+    /// remove failures (e.g. a concurrent daemon already evicted the file)
+    /// are skipped, never surfaced — the store stays a cache either way.
+    fn evict_to_fit(&self, budget: u64, keep: &Path) {
+        let mut entries = self.entry_files();
+        let mut total: u64 = entries.iter().map(|e| e.bytes).sum();
+        if total <= budget {
+            return;
+        }
+        // Oldest first; equal mtimes (coarse clocks) break by file name so
+        // concurrent evictors converge on the same victims.
+        entries.sort_by(|a, b| a.mtime.cmp(&b.mtime).then_with(|| a.path.cmp(&b.path)));
+        for entry in entries {
+            if total <= budget {
+                break;
+            }
+            if entry.path == keep {
+                continue;
+            }
+            if std::fs::remove_file(&entry.path).is_ok() {
+                total = total.saturating_sub(entry.bytes);
+            }
+        }
+    }
+
+    /// The store's current entry files (`<hash>.json`; in-flight `.tmp-*`
+    /// writer files are not entries and are skipped).
+    fn entry_files(&self) -> Vec<EntryFile> {
+        let Ok(dir) = std::fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        dir.filter_map(|item| {
+            let item = item.ok()?;
+            let path = item.path();
+            if path.extension().is_none_or(|ext| ext != "json") {
+                return None;
+            }
+            let meta = item.metadata().ok()?;
+            if !meta.is_file() {
+                return None;
+            }
+            Some(EntryFile {
+                bytes: meta.len(),
+                mtime: meta.modified().ok()?,
+                path,
+            })
+        })
+        .collect()
+    }
+
     fn entry_path(&self, key: &str) -> PathBuf {
         self.dir.join(format!("{}.json", key_hash_hex(key)))
+    }
+}
+
+/// One on-disk entry, as seen by the eviction scan.
+struct EntryFile {
+    path: PathBuf,
+    bytes: u64,
+    mtime: std::time::SystemTime,
+}
+
+/// Refresh `path`'s mtime (best-effort; a vanished file is fine).
+fn touch(path: &Path) {
+    if let Ok(file) = std::fs::File::options().write(true).open(path) {
+        let _ = file.set_modified(std::time::SystemTime::now());
     }
 }
 
@@ -223,6 +327,73 @@ mod tests {
         std::fs::write(&path, doc.to_string_pretty()).unwrap();
         let fresh = ResultStore::open(&dir).unwrap();
         assert!(fresh.get("key-a").is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Backdate an entry's mtime so eviction order is deterministic even on
+    /// coarse-clock file systems.
+    fn set_age(store: &ResultStore, key: &str, seconds_old: u64) {
+        let path = store.dir().join(format!("{}.json", key_hash_hex(key)));
+        let when = std::time::SystemTime::now() - std::time::Duration::from_secs(seconds_old);
+        std::fs::File::options()
+            .write(true)
+            .open(path)
+            .unwrap()
+            .set_modified(when)
+            .unwrap();
+    }
+
+    fn on_disk(store: &ResultStore, key: &str) -> bool {
+        store
+            .dir()
+            .join(format!("{}.json", key_hash_hex(key)))
+            .exists()
+    }
+
+    #[test]
+    fn bounded_store_evicts_lru_by_mtime() {
+        let dir = unique_dir("evict");
+        let record = sample_record();
+        let entry_bytes = {
+            let probe = ResultStore::open(&dir).unwrap();
+            probe.put("probe", &record).unwrap();
+            probe.disk_bytes()
+        };
+        std::fs::remove_dir_all(&dir).unwrap();
+
+        // Budget for three entries: the fourth put must evict exactly one.
+        let store = ResultStore::open_bounded(&dir, Some(3 * entry_bytes)).unwrap();
+        assert_eq!(store.max_bytes(), Some(3 * entry_bytes));
+        store.put("key-a", &record).unwrap();
+        store.put("key-b", &record).unwrap();
+        store.put("key-c", &record).unwrap();
+        set_age(&store, "key-a", 300);
+        set_age(&store, "key-b", 200);
+        set_age(&store, "key-c", 100);
+        store.put("key-d", &record).unwrap();
+        assert!(!on_disk(&store, "key-a"), "oldest entry is the victim");
+        for key in ["key-b", "key-c", "key-d"] {
+            assert!(on_disk(&store, key), "{key} survives");
+        }
+        assert!(store.disk_bytes() <= 3 * entry_bytes);
+
+        // A disk read refreshes the entry's mtime, so the *unread* one is
+        // now the LRU victim.
+        set_age(&store, "key-b", 200);
+        set_age(&store, "key-c", 100);
+        let fresh = ResultStore::open_bounded(&dir, Some(3 * entry_bytes)).unwrap();
+        assert!(fresh.get("key-b").is_some(), "read promotes key-b");
+        fresh.put("key-e", &record).unwrap();
+        assert!(!on_disk(&fresh, "key-c"), "unread entry is the victim");
+        assert!(on_disk(&fresh, "key-b"), "recently read entry survives");
+        assert!(on_disk(&fresh, "key-e"), "just-written entry never evicted");
+
+        // The unbounded default never evicts.
+        let unbounded = ResultStore::open(&dir).unwrap();
+        assert_eq!(unbounded.max_bytes(), None);
+        unbounded.put("key-f", &record).unwrap();
+        unbounded.put("key-g", &record).unwrap();
+        assert!(unbounded.disk_bytes() > 3 * entry_bytes);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -157,6 +157,28 @@ impl<R: BufRead, W: Write> Client<R, W> {
         }
     }
 
+    /// Query progress of request `id`: `(completed, total, cached)` record
+    /// counts, without collecting any results.  Frames about in-flight
+    /// requests arriving first are stashed, not lost; an `error` frame for
+    /// `id` (e.g. an id the daemon never accepted) fails the query.
+    pub fn query_progress(&mut self, id: &str) -> io::Result<(usize, usize, usize)> {
+        self.send(&Frame::Query { id: id.to_string() })?;
+        loop {
+            match self.next_frame()? {
+                Frame::Progress {
+                    id: fid,
+                    completed,
+                    total,
+                    cached,
+                } if fid == id => return Ok((completed, total, cached)),
+                Frame::Error { id: fid, message } if fid.as_deref() == Some(id) => {
+                    return Err(protocol_error(message));
+                }
+                other => self.stash.push(other),
+            }
+        }
+    }
+
     /// Ask the daemon to drain and stop.
     pub fn shutdown(&mut self) -> io::Result<()> {
         self.send(&Frame::Shutdown)

@@ -10,6 +10,8 @@
 //! | server → client | `accepted` | request validated and queued; resolved name/scale/totals |
 //! | server → client | `result` | one streamed [`RunRecord`], with its report position `seq` |
 //! | server → client | `status` | terminal frame per request: `done` or `cancelled` |
+//! | client → server | `query` | progress probe for a submitted request |
+//! | server → client | `progress` | per-request progress: `completed`/`total`/`cached`, no records |
 //! | client → server | `cancel` | drop the request's queued points |
 //! | client → server | `ping` / server → client `pong` | liveness |
 //! | client → server | `shutdown` | drain in-flight requests, then stop |
@@ -119,6 +121,24 @@ pub enum Frame {
         /// Records a complete run would have streamed.
         total: usize,
     },
+    /// Progress probe for a submitted request (any session may ask about
+    /// any live request id).
+    Query {
+        /// The request id to report on.
+        id: String,
+    },
+    /// Progress answer: how far a request has got, without streaming its
+    /// records.
+    Progress {
+        /// The request id.
+        id: String,
+        /// Records streamed so far (cached + simulated).
+        completed: usize,
+        /// Records a complete run will stream.
+        total: usize,
+        /// How many of the completed records came from the result store.
+        cached: usize,
+    },
     /// Cancel a request's queued points.
     Cancel {
         /// The request id to cancel.
@@ -218,6 +238,21 @@ impl Frame {
                 ("completed", (*completed).into()),
                 ("total", (*total).into()),
             ]),
+            Frame::Query { id } => {
+                Json::object([("type", "query".into()), ("id", id.as_str().into())])
+            }
+            Frame::Progress {
+                id,
+                completed,
+                total,
+                cached,
+            } => Json::object([
+                ("type", "progress".into()),
+                ("id", id.as_str().into()),
+                ("completed", (*completed).into()),
+                ("total", (*total).into()),
+                ("cached", (*cached).into()),
+            ]),
             Frame::Cancel { id } => {
                 Json::object([("type", "cancel".into()), ("id", id.as_str().into())])
             }
@@ -282,6 +317,13 @@ impl Frame {
                 },
                 completed: require_u64(&doc, "completed")? as usize,
                 total: require_u64(&doc, "total")? as usize,
+            }),
+            "query" => Ok(Frame::Query { id: id(&doc)? }),
+            "progress" => Ok(Frame::Progress {
+                id: id(&doc)?,
+                completed: require_u64(&doc, "completed")? as usize,
+                total: require_u64(&doc, "total")? as usize,
+                cached: require_u64(&doc, "cached")? as usize,
             }),
             "cancel" => Ok(Frame::Cancel { id: id(&doc)? }),
             "ping" => Ok(Frame::Ping),
@@ -419,6 +461,15 @@ mod tests {
                 state: RequestState::Cancelled,
                 completed: 3,
                 total: 8,
+            },
+            Frame::Query {
+                id: "r2".to_string(),
+            },
+            Frame::Progress {
+                id: "r2".to_string(),
+                completed: 5,
+                total: 12,
+                cached: 2,
             },
         ] {
             let line = frame.to_line();

@@ -18,6 +18,11 @@
 //! completion.  Stored records reserialise byte-identically to a fresh run
 //! (see [`ccs_experiment::result_store`]), so clients cannot tell a memo
 //! hit from a cold run except by the `cached` flag and the wall-clock.
+//! Requests submitted with the batch engine group their uncached points
+//! with [`Experiment::batch_groups`] instead, so a latency sweep's points
+//! share one recorded pass per group (records stay byte-identical, and the
+//! canonical keys fold onto the event engine's — a batched request hits
+//! the entries an event request stored, and vice versa).
 //!
 //! Cancellation rides on [`CancelToken`]s: each request gets a child of the
 //! service's root token.  Tripping the request token drops the request's
@@ -47,6 +52,10 @@ pub struct ServiceConfig {
     /// Root directory of the persistent result store; `None` disables
     /// cross-process memoisation (the in-process build cache still applies).
     pub store_dir: Option<PathBuf>,
+    /// Disk budget for the result store (`--store-max-bytes`): when set,
+    /// every store write evicts least-recently-used entries over budget
+    /// (see [`ResultStore::open_bounded`]).  `None` grows unboundedly.
+    pub store_max_bytes: Option<u64>,
     /// Maximum queued (accepted but not yet running) requests.
     pub queue_capacity: usize,
     /// Request workers: how many requests run concurrently.
@@ -59,6 +68,7 @@ impl Default for ServiceConfig {
     fn default() -> ServiceConfig {
         ServiceConfig {
             store_dir: None,
+            store_max_bytes: None,
             queue_capacity: 32,
             workers: 2,
             pool_threads: 2,
@@ -101,11 +111,24 @@ struct PointDone {
     records: Vec<RunRecord>,
 }
 
+/// Live progress of one request, served to `query` frames.
+#[derive(Clone, Copy, Default)]
+struct Progress {
+    completed: usize,
+    total: usize,
+    cached: usize,
+}
+
 struct ServiceInner {
     queue: RequestQueue<QueuedRequest>,
     pool: ThreadPool,
     store: Option<ResultStore>,
     root: CancelToken,
+    /// Request id → progress, inserted at submit and updated as records
+    /// stream.  Entries persist after completion (three counters per
+    /// request id) so late queries still answer; a resubmitted id
+    /// overwrites its entry.
+    progress: Mutex<std::collections::HashMap<String, Progress>>,
 }
 
 /// The daemon core: queue, workers, shared pool, result store.
@@ -119,7 +142,7 @@ impl Service {
     /// request workers and the shared simulation pool.
     pub fn start(config: ServiceConfig) -> std::io::Result<Service> {
         let store = match &config.store_dir {
-            Some(dir) => Some(ResultStore::open(dir)?),
+            Some(dir) => Some(ResultStore::open_bounded(dir, config.store_max_bytes)?),
             None => None,
         };
         let inner = Arc::new(ServiceInner {
@@ -127,6 +150,7 @@ impl Service {
             pool: ThreadPool::new(config.pool_threads, Policy::WorkStealing),
             store,
             root: CancelToken::new(),
+            progress: Mutex::new(std::collections::HashMap::new()),
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -211,12 +235,40 @@ impl Service {
         reply: mpsc::Sender<Frame>,
         pending: Option<Box<dyn std::any::Any + Send>>,
     ) -> Result<(), SubmitError> {
-        self.inner.queue.submit(QueuedRequest {
+        let id = prepared.id.clone();
+        let total = prepared.total;
+        self.inner.progress.lock().insert(
+            id.clone(),
+            Progress {
+                completed: 0,
+                total,
+                cached: 0,
+            },
+        );
+        let result = self.inner.queue.submit(QueuedRequest {
             prepared,
             token,
             reply,
             _pending: pending,
-        })
+        });
+        if result.is_err() {
+            // The queue rejected it (full or closed): no run will happen,
+            // so don't leave a phantom 0/total entry behind.
+            self.inner.progress.lock().remove(&id);
+        }
+        result
+    }
+
+    /// Progress of a submitted request: `(completed, total, cached)`
+    /// record counts, or `None` for an id the service never accepted.
+    /// Serves the protocol's `query` frame — any session may ask about any
+    /// request id, without collecting its results.
+    pub fn progress(&self, id: &str) -> Option<(usize, usize, usize)> {
+        self.inner
+            .progress
+            .lock()
+            .get(id)
+            .map(|p| (p.completed, p.total, p.cached))
     }
 
     /// A child of the service's root cancel token: per-request tokens hang
@@ -314,31 +366,71 @@ fn run_request(inner: &ServiceInner, request: QueuedRequest) {
                 token.cancel();
             }
         }
+        if let Some(progress) = inner.progress.lock().get_mut(&req.id) {
+            progress.completed = completed;
+            if cached {
+                progress.cached += records.len();
+            }
+        }
+    };
+    // Serve a point from the store when *all* its records are there.
+    let stored_records = |point: &SweepPoint| -> Option<Vec<RunRecord>> {
+        let store = inner.store.as_ref()?;
+        point_keys(&req, point)
+            .iter()
+            .map(|key| store.get(key))
+            .collect()
     };
 
-    // Launch phase: serve stored points immediately, batch the rest.
+    // Launch phase: serve stored points immediately, batch the rest.  The
+    // batch engine launches one pool closure per batchable *group* (its
+    // uncached points share a recorded pass); other engines launch one
+    // closure per point.
     let (tx, rx) = mpsc::channel::<PointDone>();
     if !token.is_cancelled() {
-        for point in req.exp.sweep_points() {
-            let keys = point_keys(&req, &point);
-            let stored: Option<Vec<RunRecord>> = inner
-                .store
-                .as_ref()
-                .and_then(|store| keys.iter().map(|key| store.get(key)).collect());
-            if let Some(records) = stored {
-                emit(point.index * per_point, &records, true);
-                continue;
-            }
-            let exp = Arc::clone(&req.exp);
-            let tx = tx.clone();
-            inner.pool.spawn_cancellable(&token, move || {
-                let records = exp.run_sweep_point(&point);
-                // The session may be gone; disconnect is fine either way.
-                let _ = tx.send(PointDone {
-                    index: point.index,
-                    records,
+        if req.engine == SimEngine::Batch {
+            for group in req.exp.batch_groups() {
+                let mut fresh = Vec::new();
+                for point in group {
+                    if let Some(records) = stored_records(&point) {
+                        emit(point.index * per_point, &records, true);
+                    } else {
+                        fresh.push(point);
+                    }
+                }
+                if fresh.is_empty() {
+                    continue;
+                }
+                let exp = Arc::clone(&req.exp);
+                let tx = tx.clone();
+                inner.pool.spawn_cancellable(&token, move || {
+                    let per_point_records = exp.run_batch_group(&fresh);
+                    for (point, records) in fresh.iter().zip(per_point_records) {
+                        // The session may be gone; disconnect is fine.
+                        let _ = tx.send(PointDone {
+                            index: point.index,
+                            records,
+                        });
+                    }
                 });
-            });
+            }
+        } else {
+            for point in req.exp.sweep_points() {
+                if let Some(records) = stored_records(&point) {
+                    emit(point.index * per_point, &records, true);
+                    continue;
+                }
+                let exp = Arc::clone(&req.exp);
+                let tx = tx.clone();
+                inner.pool.spawn_cancellable(&token, move || {
+                    let records = exp.run_sweep_point(&point);
+                    // The session may be gone; disconnect is fine either way.
+                    let _ = tx.send(PointDone {
+                        index: point.index,
+                        records,
+                    });
+                });
+            }
         }
     }
     drop(tx);

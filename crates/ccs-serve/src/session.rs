@@ -156,6 +156,18 @@ fn read_loop(service: &Service, reader: impl BufRead, tx: &mpsc::Sender<Frame>) 
                     message: "cancel: unknown request id".to_string(),
                 }),
             },
+            Frame::Query { id } => match service.progress(&id) {
+                Some((completed, total, cached)) => send(Frame::Progress {
+                    id,
+                    completed,
+                    total,
+                    cached,
+                }),
+                None => send(Frame::Error {
+                    id: Some(id),
+                    message: "query: unknown request id".to_string(),
+                }),
+            },
             Frame::Ping => send(Frame::Pong),
             Frame::Shutdown => {
                 shutdown = true;

@@ -80,6 +80,7 @@ fn concurrent_clients_memoised_repeat_and_mid_sweep_cancel() {
             queue_capacity: 8,
             workers: 2,
             pool_threads: 2,
+            ..ServiceConfig::default()
         })
         .unwrap(),
     );
@@ -171,6 +172,178 @@ fn concurrent_clients_memoised_repeat_and_mid_sweep_cancel() {
     drop(client);
     assert!(!session.join().unwrap());
 
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn progress_query_tracks_requests_without_collecting() {
+    let dir = unique_dir("progress");
+    let server = Arc::new(
+        Server::start(ServiceConfig {
+            store_dir: Some(dir.clone()),
+            ..ServiceConfig::default()
+        })
+        .unwrap(),
+    );
+    let (mut client, session) = connect(&server);
+
+    // Unknown ids are an error frame, and the session stays usable.
+    let err = client.query_progress("ghost").unwrap_err();
+    assert!(err.to_string().contains("unknown request id"), "{err}");
+
+    client
+        .submit(submit("p1", &["mergesort"], &[2], &["pdf", "ws"]))
+        .unwrap();
+    // The progress entry exists from the submit on; poll it to completion
+    // without collecting a single result frame on this query path.
+    let total = loop {
+        let (completed, total, cached) = client.query_progress("p1").unwrap();
+        assert_eq!(total, 2);
+        assert!(completed <= total);
+        assert!(cached <= completed);
+        if completed == total {
+            break total;
+        }
+        thread::sleep(std::time::Duration::from_millis(10));
+    };
+    // The streamed records were stashed during the queries, not lost.
+    let run = client.collect("p1").unwrap();
+    assert_eq!(run.state, RequestState::Done);
+    assert_eq!(run.records.len(), total);
+    assert!(run.records.iter().all(|r| !r.cached));
+
+    // A fully memoised repeat reports all records as cached...
+    client
+        .submit(submit("p2", &["mergesort"], &[2], &["pdf", "ws"]))
+        .unwrap();
+    let warm = client.collect("p2").unwrap();
+    assert!(warm.all_cached());
+    assert_eq!(client.query_progress("p2").unwrap(), (2, 2, 2));
+    // ...and any *other* session may query the same request id.
+    let (mut observer, observer_session) = connect(&server);
+    assert_eq!(observer.query_progress("p1").unwrap(), (2, 2, 0));
+    drop(observer);
+    assert!(!observer_session.join().unwrap());
+
+    drop(client);
+    assert!(!session.join().unwrap());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn batch_engine_requests_stream_byte_identically_and_share_store_entries() {
+    let dir = unique_dir("batch");
+    let server = Arc::new(
+        Server::start(ServiceConfig {
+            store_dir: Some(dir.clone()),
+            ..ServiceConfig::default()
+        })
+        .unwrap(),
+    );
+    let (mut client, session) = connect(&server);
+
+    // A batch-engine request computes through the grouped path and streams
+    // a report byte-identical to a direct event-engine run.
+    let mut request = submit("b1", &["mergesort"], &[1, 2], &["pdf"]);
+    request.engine = SimEngine::Batch;
+    client.submit(request).unwrap();
+    let batched = client.collect("b1").unwrap();
+    assert_eq!(batched.state, RequestState::Done);
+    assert!(batched.records.iter().all(|r| !r.cached));
+    assert_eq!(
+        batched.into_report().to_json(),
+        direct_report(&["mergesort"], &[1, 2], &["pdf"]),
+    );
+
+    // Canonical keys fold the batch engine onto the event engine: an
+    // event-engine repeat of the same sweep is served from the entries the
+    // batched run stored...
+    client
+        .submit(submit("e1", &["mergesort"], &[1, 2], &["pdf"]))
+        .unwrap();
+    let event = client.collect("e1").unwrap();
+    assert!(
+        event.all_cached(),
+        "event run must hit batch-stored entries"
+    );
+
+    // ...and a batched repeat hits them too.
+    let mut repeat = submit("b2", &["mergesort"], &[1, 2], &["pdf"]);
+    repeat.engine = SimEngine::Batch;
+    client.submit(repeat).unwrap();
+    let warm = client.collect("b2").unwrap();
+    assert!(warm.all_cached(), "batch run must hit stored entries");
+
+    drop(client);
+    assert!(!session.join().unwrap());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bounded_store_stays_within_budget_across_requests() {
+    let dir = unique_dir("bounded");
+    // A one-byte budget forces every put to evict all entries but the one
+    // just written — the daemon must keep working, just without memo hits.
+    let server = Arc::new(
+        Server::start(ServiceConfig {
+            store_dir: Some(dir.clone()),
+            store_max_bytes: Some(1),
+            ..ServiceConfig::default()
+        })
+        .unwrap(),
+    );
+    let (mut client, session) = connect(&server);
+    client
+        .submit(submit("s1", &["mergesort"], &[2], &["pdf", "ws"]))
+        .unwrap();
+    assert_eq!(client.collect("s1").unwrap().state, RequestState::Done);
+
+    let entries = || {
+        std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .path()
+                    .extension()
+                    .is_some_and(|x| x == "json")
+            })
+            .count()
+    };
+    assert!(
+        entries() <= 1,
+        "over-budget entries must be evicted, found {}",
+        entries()
+    );
+
+    drop(client);
+    assert!(!session.join().unwrap());
+
+    // A fresh daemon over the same directory (no warm in-memory layer) can
+    // serve at most the one surviving disk entry: the repeat completes, but
+    // not fully from cache.
+    let server = Arc::new(
+        Server::start(ServiceConfig {
+            store_dir: Some(dir.clone()),
+            store_max_bytes: Some(1),
+            ..ServiceConfig::default()
+        })
+        .unwrap(),
+    );
+    let (mut client, session) = connect(&server);
+    client
+        .submit(submit("s2", &["mergesort"], &[2], &["pdf", "ws"]))
+        .unwrap();
+    let repeat = client.collect("s2").unwrap();
+    assert_eq!(repeat.state, RequestState::Done);
+    assert!(
+        !repeat.all_cached(),
+        "a one-byte store cannot serve all hits"
+    );
+    assert!(entries() <= 1);
+
+    drop(client);
+    assert!(!session.join().unwrap());
     std::fs::remove_dir_all(&dir).ok();
 }
 

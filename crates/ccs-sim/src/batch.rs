@@ -1,0 +1,319 @@
+//! The batched multi-config engine: one recorded pass re-timed per
+//! configuration.
+//!
+//! The paper's latency-sensitivity experiments (Figs. 4 and 5) sweep *only*
+//! the L2 hit time and the memory latency: every point shares the
+//! computation, the scheduler, the core count and the full cache geometry.
+//! The event engine still walks the compiled line stream once per point,
+//! re-deriving an access sequence that cannot differ between them.  This
+//! module amortises that walk: a **record/replay fast path** runs the event
+//! engine once with a tape recorder attached (the crate-private
+//! `machine::Record` hook) and re-times the recorded dispatch/miss sequence
+//! per configuration.
+//!
+//! # Correctness: when is the schedule latency-independent?
+//!
+//! Schedulers observe no simulated times — their interface is
+//! `init` / `task_enabled` / `next_task` / `ready_count` ([`ccs_sched`]).
+//! On a **single core** the engine is a sequential loop: run a task to
+//! completion, enable its ready successors, ask the scheduler for the next
+//! task.  Latencies stretch or shrink the clock between those calls but
+//! cannot reorder them, so the scheduler (including a seeded random-victim
+//! stealer, whose RNG consumption is driven purely by the call sequence)
+//! makes the identical decisions under every latency assignment: the task
+//! order, the access sequence, and therefore every L1/L2 hit/miss/eviction
+//! count are fixed by the first pass.  Only the *timing* differs, and the
+//! timing model per recorded event is a closed form over the configured
+//! latencies:
+//!
+//! * between misses, a task advances by its compute cycles (a prefix-sum
+//!   lookup on the stream, [`ccs_dag::LineStream::pre_prefix`]) plus one
+//!   L1 hit latency per step;
+//! * each recorded L1 miss adds the L2 hit latency, and — when the tape
+//!   says it missed the L2 — a round trip through a fresh [`MainMemory`]
+//!   (whose queueing state is per-config, so contention/bandwidth metrics
+//!   are re-derived exactly);
+//! * a task close adds its trailing compute.
+//!
+//! With **multiple cores** this argument breaks: changing a latency moves a
+//! core's completion relative to its peers, which flips dispatch order,
+//! shared-L2 LRU interleaving and directory invalidations — the access
+//! sequence itself moves.  Those groups **fall back** to one full event run
+//! per configuration (still byte-identical, just not faster).  The
+//! experiment layer's sweep planner
+//! ([`Experiment::batch_groups`](../../ccs_experiment/struct.Experiment.html#method.batch_groups))
+//! forms the groups; this module only decides replay vs fallback.
+//!
+//! The replay is **byte-identical** to the event engine for every
+//! configuration — pinned by the equivalence suite
+//! (`tests/batch_equivalence.rs`: all registered workloads × all
+//! schedulers × random latency grids, full [`SimResult`] compared).
+
+use ccs_cache::MainMemory;
+use ccs_dag::{Computation, Dag, TaskId};
+use ccs_sched::SchedulerSpec;
+
+use crate::config::CmpConfig;
+use crate::machine::{self, Record, SimEngine};
+use crate::metrics::SimResult;
+
+/// The outcome of one batched group: per-config results plus how they were
+/// obtained.
+#[derive(Debug)]
+pub struct BatchRun {
+    /// One result per input configuration, in input order — byte-identical
+    /// to running each configuration through the event engine.
+    pub results: Vec<SimResult>,
+    /// Configurations served by re-timing the recorded pass.
+    pub replayed: usize,
+    /// Configurations that ran the full event engine (the recording pass,
+    /// plus every config of a non-replayable group).
+    pub full_runs: usize,
+}
+
+/// Whether `a` and `b` may share one simulated pass at all: identical core
+/// count and cache geometry (capacity / line size / associativity of both
+/// levels), leaving only the latency axes — L1/L2 hit latency, memory
+/// latency and service interval — free.  The sweep planner groups points by
+/// this predicate.
+pub fn same_machine_shape(a: &CmpConfig, b: &CmpConfig) -> bool {
+    a.num_cores == b.num_cores
+        && a.l1.capacity == b.l1.capacity
+        && a.l1.line_size == b.l1.line_size
+        && a.l1.associativity == b.l1.associativity
+        && a.l2.capacity == b.l2.capacity
+        && a.l2.line_size == b.l2.line_size
+        && a.l2.associativity == b.l2.associativity
+}
+
+/// Whether a group of same-shape configurations qualifies for the
+/// record/replay fast path: a single core (the latency-independence
+/// argument in the module docs) and a shared geometry.  Multi-core groups
+/// return `false` and fall back to full event runs.
+pub fn replayable(configs: &[CmpConfig]) -> bool {
+    let Some(first) = configs.first() else {
+        return false;
+    };
+    first.num_cores == 1 && configs[1..].iter().all(|c| same_machine_shape(first, c))
+}
+
+/// The tape of one recorded pass: task dispatch order plus every L1 miss.
+#[derive(Default)]
+struct Tape {
+    /// Tasks in dispatch order — on one core, the execution order.
+    tasks: Vec<TaskId>,
+    /// One packed word per L1 miss, in execution order:
+    /// `stream_step << 1 | went_to_memory`.
+    misses: Vec<u64>,
+}
+
+impl Record for Tape {
+    #[inline]
+    fn task_dispatched(&mut self, task: TaskId) {
+        self.tasks.push(task);
+    }
+
+    #[inline]
+    fn l1_miss(&mut self, step: usize, l2_hit: bool) {
+        self.misses.push(((step as u64) << 1) | u64::from(!l2_hit));
+    }
+}
+
+/// Simulate `comp` under every configuration of one batch group, returning
+/// per-config results byte-identical to the event engine.
+///
+/// When the group is [`replayable`], the first configuration runs the event
+/// engine with a tape recorder and the rest are re-timed from the tape;
+/// otherwise every configuration runs the event engine in full.  Each run
+/// builds a fresh scheduler from `sched` (schedulers are stateful).
+pub fn simulate_batch(
+    comp: &Computation,
+    dag: &Dag,
+    configs: &[CmpConfig],
+    sched: &SchedulerSpec,
+) -> BatchRun {
+    assert!(
+        !configs.is_empty(),
+        "batch needs at least one configuration"
+    );
+    if !replayable(configs) {
+        let results = configs
+            .iter()
+            .map(|config| {
+                let mut s = sched.build();
+                machine::simulate_with_engine(comp, dag, config, s.as_mut(), SimEngine::EventDriven)
+            })
+            .collect();
+        return BatchRun {
+            results,
+            replayed: 0,
+            full_runs: configs.len(),
+        };
+    }
+
+    let mut tape = Tape::default();
+    let mut s = sched.build();
+    let recorded = machine::event_driven_rec(comp, dag, &configs[0], s.as_mut(), &mut tape);
+    let mut results = Vec::with_capacity(configs.len());
+    results.push(recorded);
+    for config in &configs[1..] {
+        let replayed = replay(comp, config, &tape, &results[0]);
+        results.push(replayed);
+    }
+    BatchRun {
+        results,
+        replayed: configs.len() - 1,
+        full_runs: 1,
+    }
+}
+
+/// Re-time the recorded single-core pass under `config`'s latencies.
+///
+/// Latency-independent metrics (cache hit/miss/eviction counts, task and
+/// instruction totals) are copied from the recording result; the clock, the
+/// memory-controller queueing statistics and the bandwidth utilisation are
+/// re-derived from the tape.
+fn replay(comp: &Computation, config: &CmpConfig, tape: &Tape, recorded: &SimResult) -> SimResult {
+    let line_size = config.l2.line_size;
+    let stream = comp.line_stream(line_size);
+    let prefix = stream.pre_prefix();
+    let l1_hit = config.l1.hit_latency;
+    let l2_hit = config.l2.hit_latency;
+    let mut memory = MainMemory::new(config.memory);
+
+    let mut time = 0u64;
+    let mut busy = 0u64;
+    let mut makespan = 0u64;
+    let mut miss_idx = 0usize;
+    for &task in &tape.tasks {
+        let started = time;
+        let (start, end) = stream.range(task);
+        let mut pos = start;
+        // This task's misses are the next run of tape entries whose step
+        // falls inside its (disjoint) stream window.
+        while let Some(&packed) = tape.misses.get(miss_idx) {
+            let m = (packed >> 1) as usize;
+            if m < start || m >= end {
+                break;
+            }
+            // Steps pos..=m: their compute cycles plus one L1 probe each;
+            // the miss at `m` adds the L2 probe, and a memory round trip
+            // when the tape says the L2 missed too.
+            time += prefix[m + 1] - prefix[pos] + (m + 1 - pos) as u64 * l1_hit + l2_hit;
+            if packed & 1 != 0 {
+                time = memory.request(time);
+            }
+            pos = m + 1;
+            miss_idx += 1;
+        }
+        // The task's trailing all-hit steps, then its closing compute.
+        time += prefix[end] - prefix[pos] + (end - pos) as u64 * l1_hit;
+        time += comp.task(task).post_compute;
+        makespan = makespan.max(time);
+        busy += time - started;
+    }
+    debug_assert_eq!(miss_idx, tape.misses.len(), "replay consumed every miss");
+
+    SimResult {
+        config_name: config.name.clone(),
+        scheduler: recorded.scheduler.clone(),
+        num_cores: 1,
+        cycles: makespan,
+        instructions: recorded.instructions,
+        l1: recorded.l1,
+        l2: recorded.l2,
+        memory: *memory.stats(),
+        bandwidth_utilization: memory.utilization(makespan),
+        core_busy: vec![busy],
+        tasks: recorded.tasks,
+        l2_line_size: line_size,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::simulate_engine;
+    use ccs_dag::{ComputationBuilder, GroupMeta};
+
+    fn sample_comp() -> Computation {
+        let mut b = ComputationBuilder::new(128);
+        let mut space = ccs_dag::AddressSpace::new();
+        let shared = space.alloc(16 * 1024);
+        let leaves: Vec<_> = (0..12)
+            .map(|i| {
+                let private = space.alloc(4 * 1024);
+                b.strand_with(|t| {
+                    t.compute(i % 5 + 1)
+                        .read_range(shared.base, shared.bytes / 2, 2)
+                        .read_range(private.base, private.bytes, 3);
+                    if i % 3 == 0 {
+                        t.write_range(shared.base, 1024, 2);
+                    }
+                })
+            })
+            .collect();
+        let par = b.par(leaves, GroupMeta::labeled("batch"));
+        b.finish(par)
+    }
+
+    fn config(cores: usize, l2_hit: u64, mem_latency: u64) -> CmpConfig {
+        let mut cfg = CmpConfig::default_with_cores(if cores <= 1 { 1 } else { 16 }).unwrap();
+        cfg.num_cores = cores;
+        cfg.name = format!("b{cores}-{l2_hit}-{mem_latency}");
+        cfg.l1 = ccs_cache::CacheConfig::new(4 * 1024, 128, 4, 1);
+        cfg.l2 = ccs_cache::CacheConfig::new(64 * 1024, 128, 16, l2_hit);
+        cfg.memory.latency = mem_latency;
+        cfg
+    }
+
+    #[test]
+    fn shape_and_replay_predicates() {
+        let a = config(1, 13, 300);
+        let b = config(1, 7, 900);
+        assert!(same_machine_shape(&a, &b), "latency axes are free");
+        assert!(replayable(&[a.clone(), b.clone()]));
+        let wide = config(4, 13, 300);
+        assert!(!same_machine_shape(&a, &wide));
+        assert!(!replayable(&[wide.clone(), config(4, 7, 300)]), "p > 1");
+        let mut fat = config(1, 13, 300);
+        fat.l2 = ccs_cache::CacheConfig::new(128 * 1024, 128, 16, 13);
+        assert!(!same_machine_shape(&a, &fat));
+        assert!(!replayable(&[]));
+    }
+
+    #[test]
+    fn replayed_results_match_the_event_engine_per_config() {
+        let comp = sample_comp();
+        let dag = Dag::from_computation(&comp);
+        let configs: Vec<CmpConfig> = [(13u64, 300u64), (7, 300), (19, 900), (13, 100)]
+            .iter()
+            .map(|&(l2, mem)| config(1, l2, mem))
+            .collect();
+        for sched in ["pdf", "ws", "ws-rand@7"] {
+            let spec = SchedulerSpec::resolve(sched).unwrap();
+            let run = simulate_batch(&comp, &dag, &configs, &spec);
+            assert_eq!(run.replayed, configs.len() - 1);
+            assert_eq!(run.full_runs, 1);
+            for (cfg, got) in configs.iter().zip(&run.results) {
+                let want = simulate_engine(&comp, cfg, spec.clone(), SimEngine::EventDriven);
+                assert_eq!(got, &want, "{sched} / {}", cfg.name);
+            }
+        }
+    }
+
+    #[test]
+    fn multicore_groups_fall_back_to_full_event_runs() {
+        let comp = sample_comp();
+        let dag = Dag::from_computation(&comp);
+        let configs = vec![config(4, 13, 300), config(4, 7, 900)];
+        let spec = SchedulerSpec::new("ws");
+        let run = simulate_batch(&comp, &dag, &configs, &spec);
+        assert_eq!(run.replayed, 0);
+        assert_eq!(run.full_runs, 2);
+        for (cfg, got) in configs.iter().zip(&run.results) {
+            let want = simulate_engine(&comp, cfg, spec.clone(), SimEngine::EventDriven);
+            assert_eq!(got, &want, "{}", cfg.name);
+        }
+    }
+}

@@ -12,8 +12,13 @@
 //!   simulator (in-order cores, private L1s, shared L2, bounded off-chip
 //!   bandwidth) driven by any [`ccs_sched::Scheduler`];
 //! * [`SimEngine`] / [`simulate_engine`] — engine selection: the fast
-//!   event-driven core (default) or the retained reference cycle-stepper,
-//!   which are metrics-identical by construction;
+//!   event-driven core (default), the retained reference cycle-stepper, or
+//!   the batched multi-config engine — all metrics-identical by
+//!   construction;
+//! * [`simulate_batch`] / [`BatchRun`] — the batched engine's group entry
+//!   point: configurations differing only in latencies share one recorded
+//!   pass and are re-timed per config ([`batch`] has the correctness
+//!   argument);
 //! * [`SimResult`] — execution time, L2 misses per 1000 instructions,
 //!   bandwidth utilisation and the other metrics the paper reports.
 //!
@@ -46,12 +51,14 @@
 #![warn(rust_2018_idioms)]
 
 pub mod area;
+pub mod batch;
 pub mod config;
 pub mod machine;
 pub mod metrics;
 mod reference;
 
 pub use area::Technology;
+pub use batch::{simulate_batch, BatchRun};
 pub use config::CmpConfig;
 pub use machine::{simulate, simulate_engine, simulate_with, simulate_with_engine, SimEngine};
 pub use metrics::SimResult;

@@ -48,7 +48,13 @@
 //! * the **reference** cycle-stepper (`reference` module): the seed loop,
 //!   one heap round-trip per micro-step and a broadcast per store, retained
 //!   as the executable specification (it reads per-task [`TaskTrace`]s
-//!   materialised from the pool through a thin adapter).
+//!   materialised from the pool through a thin adapter);
+//! * the **batched** multi-config engine ([`crate::batch`]): configurations
+//!   differing only in latencies share one recorded event-engine pass and
+//!   are re-timed per configuration where the schedule is provably
+//!   latency-independent (single core), falling back to full event runs
+//!   otherwise.  A single-config `SimEngine::Batch` run *is* the event
+//!   engine.
 //!
 //! [`LineStream`]: ccs_dag::LineStream
 //! [`GeometryLanes`]: ccs_dag::GeometryLanes
@@ -80,9 +86,9 @@ use crate::metrics::SimResult;
 
 /// Which simulator engine to run.
 ///
-/// Both engines implement the identical machine model and report identical
+/// All engines implement the identical machine model and report identical
 /// metrics; they differ only in wall-clock cost.  The CLI form (accepted by
-/// `--engine`) is `"event"` / `"reference"`.
+/// `--engine`) is `"event"` / `"reference"` / `"batch"`.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum SimEngine {
     /// The production engine: event-heap time jumps, inline micro-step
@@ -93,14 +99,32 @@ pub enum SimEngine {
     /// invalidation.  Slow; kept as the executable specification for
     /// equivalence tests and as a `--engine reference` escape hatch.
     Reference,
+    /// The batched multi-config engine ([`crate::batch`]): sweep points
+    /// differing only in latencies share one recorded event-engine pass and
+    /// are re-timed per configuration.  A single-config run is exactly the
+    /// event engine; the experiment layer groups points before dispatching.
+    Batch,
 }
 
 impl SimEngine {
-    /// The CLI name (`"event"` / `"reference"`).
+    /// The CLI name (`"event"` / `"reference"` / `"batch"`).
     pub fn name(self) -> &'static str {
         match self {
             SimEngine::EventDriven => "event",
             SimEngine::Reference => "reference",
+            SimEngine::Batch => "batch",
+        }
+    }
+
+    /// The engine whose *results* this engine reproduces byte for byte.
+    /// `Batch` is a scheduling strategy over the event engine, not a
+    /// different simulator, so canonical run-point keys (and therefore the
+    /// result store) fold it onto `EventDriven` — a batched record and an
+    /// event record of the same point are interchangeable by construction.
+    pub fn canonical(self) -> SimEngine {
+        match self {
+            SimEngine::Batch => SimEngine::EventDriven,
+            other => other,
         }
     }
 }
@@ -118,9 +142,35 @@ impl std::str::FromStr for SimEngine {
         match s {
             "event" | "event-driven" => Ok(SimEngine::EventDriven),
             "reference" | "ref" | "cycle-stepped" => Ok(SimEngine::Reference),
-            other => Err(format!("unknown engine {other:?} (event|reference)")),
+            "batch" | "batched" => Ok(SimEngine::Batch),
+            other => Err(format!("unknown engine {other:?} (event|reference|batch)")),
         }
     }
+}
+
+/// Observation hooks of the event engine, used by the batched engine
+/// ([`crate::batch`]) to record one pass for replay.
+///
+/// The engine is generic over the recorder and the no-op implementation
+/// ([`NoRecord`]) inlines to nothing, so the plain [`simulate`] path
+/// monomorphises to exactly the uninstrumented hot loop.
+pub(crate) trait Record {
+    /// A task was handed to a core (in dispatch order — on one core this is
+    /// the execution order).
+    fn task_dispatched(&mut self, task: TaskId);
+    /// An L1 miss probed the shared L2 at stream step `step`; `l2_hit` says
+    /// whether it was served there or went to main memory.
+    fn l1_miss(&mut self, step: usize, l2_hit: bool);
+}
+
+/// The recorder of the plain (non-batched) engine: records nothing.
+pub(crate) struct NoRecord;
+
+impl Record for NoRecord {
+    #[inline(always)]
+    fn task_dispatched(&mut self, _task: TaskId) {}
+    #[inline(always)]
+    fn l1_miss(&mut self, _step: usize, _l2_hit: bool) {}
 }
 
 /// What a core is currently doing.
@@ -210,6 +260,9 @@ pub fn simulate_with_engine(
     match engine {
         SimEngine::EventDriven => event_driven(comp, dag, config, sched),
         SimEngine::Reference => crate::reference::simulate_reference(comp, dag, config, sched),
+        // A batch of one is the event engine; multi-config batches enter
+        // through `crate::batch::simulate_batch`, which owns the grouping.
+        SimEngine::Batch => event_driven(comp, dag, config, sched),
     }
 }
 
@@ -239,6 +292,20 @@ fn event_driven(
     dag: &Dag,
     config: &CmpConfig,
     sched: &mut dyn Scheduler,
+) -> SimResult {
+    event_driven_rec(comp, dag, config, sched, &mut NoRecord)
+}
+
+/// [`event_driven`], generic over a [`Record`] observer.  With [`NoRecord`]
+/// this monomorphises to the uninstrumented engine; the batched engine
+/// passes a tape recorder to capture the dispatch and miss sequence of one
+/// pass for per-config re-timing.
+pub(crate) fn event_driven_rec<R: Record>(
+    comp: &Computation,
+    dag: &Dag,
+    config: &CmpConfig,
+    sched: &mut dyn Scheduler,
+    rec: &mut R,
 ) -> SimResult {
     let p = config.num_cores;
     assert!(p > 0, "need at least one core");
@@ -335,7 +402,8 @@ fn event_driven(
     // exactly the reference's: `first`, then the rest ascending, with the
     // `ready_count` cut-off checked before every offer — so schedules,
     // and therefore metrics, cannot move.
-    fn dispatch(
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch<R: Record>(
         now: u64,
         first: Option<usize>,
         sched: &mut dyn Scheduler,
@@ -343,9 +411,11 @@ fn event_driven(
         cores: &mut [Core],
         idle: &mut Vec<usize>,
         active: &mut BinaryHeap<Reverse<(u64, usize)>>,
+        rec: &mut R,
     ) {
         debug_assert!(idle.windows(2).all(|w| w[0] < w[1]), "idle list unsorted");
         let mut activate = |core_id: usize, task: TaskId| {
+            rec.task_dispatched(task);
             let core = &mut cores[core_id];
             core.task = Some(task);
             core.step = stream.range(task).0;
@@ -398,7 +468,16 @@ fn event_driven(
 
     // Initial dispatch at time 0.
     idle.extend(0..p);
-    dispatch(0, None, sched, stream, &mut cores, &mut idle, &mut active);
+    dispatch(
+        0,
+        None,
+        sched,
+        stream,
+        &mut cores,
+        &mut idle,
+        &mut active,
+        rec,
+    );
 
     // The reference also folds every popped event time into the makespan,
     // but a core's event times never exceed the finish time of the task it
@@ -575,7 +654,10 @@ fn event_driven(
                                     cores[core_id] = core;
                                     break;
                                 }
-                                if l2.access_compiled(PairedSetLanes::l2_set(sets), tag, is_write) {
+                                let l2_hit =
+                                    l2.access_compiled(PairedSetLanes::l2_set(sets), tag, is_write);
+                                rec.l1_miss(core.step, l2_hit);
+                                if l2_hit {
                                     fill_and_advance!(id, is_write);
                                 } else {
                                     core.time = memory.request(core.time);
@@ -623,6 +705,7 @@ fn event_driven(
                             &mut cores,
                             &mut idle,
                             &mut active,
+                            rec,
                         );
                         // The core went idle (any new task it was handed is
                         // a fresh pending event): leave the inline loop.
@@ -631,7 +714,9 @@ fn event_driven(
                 }
                 Phase::L2Probe { id, is_write } => {
                     let l2_set = PairedSetLanes::l2_set(set_lane[id as usize]);
-                    if l2.access_compiled(l2_set, line_tag(id), is_write) {
+                    let l2_hit = l2.access_compiled(l2_set, line_tag(id), is_write);
+                    rec.l1_miss(core.step, l2_hit);
+                    if l2_hit {
                         fill_and_advance!(id, is_write);
                     } else {
                         core.time = memory.request(core.time);
@@ -920,8 +1005,23 @@ mod tests {
     fn engine_parses_and_prints() {
         assert_eq!("event".parse::<SimEngine>(), Ok(SimEngine::EventDriven));
         assert_eq!("reference".parse::<SimEngine>(), Ok(SimEngine::Reference));
+        assert_eq!("batch".parse::<SimEngine>(), Ok(SimEngine::Batch));
         assert_eq!(SimEngine::default(), SimEngine::EventDriven);
         assert_eq!(SimEngine::Reference.to_string(), "reference");
+        assert_eq!(SimEngine::Batch.to_string(), "batch");
+        assert_eq!(SimEngine::Batch.canonical(), SimEngine::EventDriven);
+        assert_eq!(SimEngine::Reference.canonical(), SimEngine::Reference);
         assert!("quantum".parse::<SimEngine>().is_err());
+    }
+
+    /// A single-config run through `SimEngine::Batch` is exactly the event
+    /// engine (the batch grouping lives in the experiment layer).
+    #[test]
+    fn batch_engine_on_one_config_is_the_event_engine() {
+        let comp = shared_writers(6, 8 * 1024);
+        let cfg = tiny_config(4, 128);
+        let event = simulate_engine(&comp, &cfg, SchedulerKind::Pdf, SimEngine::EventDriven);
+        let batch = simulate_engine(&comp, &cfg, SchedulerKind::Pdf, SimEngine::Batch);
+        assert_eq!(event, batch);
     }
 }

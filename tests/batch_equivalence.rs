@@ -1,0 +1,119 @@
+//! Batched-vs-sequential equivalence: for **every registered workload**,
+//! the lockstep schedulers and the seeded randomised work stealer, and
+//! arbitrary latency grids over one machine shape, `simulate_batch` must
+//! return `SimResult`s **byte-identical** to running each configuration
+//! through the event engine on its own.
+//!
+//! This is the property the whole batch subsystem stands on (DESIGN.md
+//! §11): the record/replay fast path may re-time a recorded pass only
+//! where the schedule is provably latency-independent, and the planner's
+//! fallback must make every other group indistinguishable from the
+//! sequential path.  The grids here deliberately vary all three latency
+//! axes the grouping key leaves free — L1 hit, L2 hit and main-memory
+//! latency — so a replay formula that dropped any term would be caught.
+
+use ccs_dag::Dag;
+use ccs_sched::SchedulerSpec;
+use ccs_sim::batch::replayable;
+use ccs_sim::{simulate_batch, simulate_with_engine, CmpConfig, SimEngine};
+use ccs_workloads::{BuildCtx, WorkloadRegistry};
+use proptest::prelude::*;
+
+/// One latency design point over the fixed A/B machine shape: small caches
+/// (so deeply scaled-down inputs still miss) with every latency axis free.
+fn latency_config(cores: usize, l1_hit: u64, l2_hit: u64, mem: u64) -> CmpConfig {
+    let mut cfg = CmpConfig::default_with_cores(16).expect("default config exists");
+    cfg.num_cores = cores;
+    cfg.name = format!("grid-{cores}c-l1h{l1_hit}-l2h{l2_hit}-m{mem}");
+    cfg.l1 = ccs_cache::CacheConfig::new(4 * 1024, 128, 4, l1_hit);
+    cfg.l2 = ccs_cache::CacheConfig::new(64 * 1024, 128, 16, l2_hit);
+    cfg.memory.latency = mem;
+    cfg
+}
+
+/// The sequential baseline the batch must reproduce: each configuration
+/// through the event engine with a freshly built scheduler.
+fn event_results(
+    comp: &ccs_dag::Computation,
+    dag: &Dag,
+    configs: &[CmpConfig],
+    sched: &SchedulerSpec,
+) -> Vec<ccs_sim::SimResult> {
+    configs
+        .iter()
+        .map(|cfg| {
+            let mut s = sched.build();
+            simulate_with_engine(comp, dag, cfg, s.as_mut(), SimEngine::EventDriven)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The headline property: every registered workload, three scheduler
+    /// families, a random single-core latency grid — full `SimResult`
+    /// equality per configuration, and the planner must actually have
+    /// taken the replay fast path (one full run, the rest replayed).
+    #[test]
+    fn batched_single_core_grids_match_the_event_engine(
+        grid in prop::collection::vec((1u64..4, 4u64..40, 100u64..1200), 2..5),
+        seed in 1u64..1000,
+    ) {
+        let registry = WorkloadRegistry::global();
+        let names = registry.names();
+        prop_assert!(names.len() >= 6, "expected the six built-in workloads, got {names:?}");
+        let configs: Vec<CmpConfig> = grid
+            .iter()
+            .map(|&(l1_hit, l2_hit, mem)| latency_config(1, l1_hit, l2_hit, mem))
+            .collect();
+        prop_assert!(replayable(&configs));
+        let scheds = [
+            SchedulerSpec::new("pdf"),
+            SchedulerSpec::new("ws"),
+            SchedulerSpec::new("ws-rand").with_seed(seed),
+        ];
+        for name in &names {
+            let ctx = BuildCtx::new(4096, 64 * 1024, 4);
+            let comp = registry.build(name, &ctx).unwrap_or_else(|e| panic!("{e}"));
+            let dag = Dag::from_computation(&comp);
+            for sched in &scheds {
+                let batch = simulate_batch(&comp, &dag, &configs, sched);
+                prop_assert!(batch.full_runs == 1, "{name} / {sched}: not replayed");
+                prop_assert_eq!(batch.replayed, configs.len() - 1);
+                let expected = event_results(&comp, &dag, &configs, sched);
+                for (got, want) in batch.results.iter().zip(&expected) {
+                    prop_assert!(
+                        got == want,
+                        "{name} / {sched} / {}: batched result diverged",
+                        want.config_name
+                    );
+                }
+            }
+        }
+    }
+
+    /// Multi-core groups are not latency-independent: the planner must fall
+    /// back to full per-configuration event runs — and still match.
+    #[test]
+    fn multicore_grids_fall_back_and_still_match(
+        grid in prop::collection::vec((1u64..4, 4u64..40, 100u64..1200), 2..4),
+        seed in 1u64..1000,
+    ) {
+        let configs: Vec<CmpConfig> = grid
+            .iter()
+            .map(|&(l1_hit, l2_hit, mem)| latency_config(4, l1_hit, l2_hit, mem))
+            .collect();
+        prop_assert!(!replayable(&configs));
+        let registry = WorkloadRegistry::global();
+        let ctx = BuildCtx::new(4096, 64 * 1024, 4);
+        let comp = registry.build("mergesort", &ctx).unwrap_or_else(|e| panic!("{e}"));
+        let dag = Dag::from_computation(&comp);
+        let sched = SchedulerSpec::new("ws-rand").with_seed(seed);
+        let batch = simulate_batch(&comp, &dag, &configs, &sched);
+        prop_assert_eq!(batch.full_runs, configs.len());
+        prop_assert_eq!(batch.replayed, 0);
+        let expected = event_results(&comp, &dag, &configs, &sched);
+        prop_assert_eq!(batch.results, expected);
+    }
+}

@@ -6,10 +6,16 @@
 //! **byte-identical** `SimResult`s.
 //!
 //! This is the cross-product the bench harness's A/B throughput numbers
-//! stand on: a faster engine only counts if the metrics cannot move.
+//! stand on: a faster engine only counts if the metrics cannot move.  The
+//! batch engine rides the same cross-product: at each point it simulates a
+//! three-way latency group containing the point's exact configuration, and
+//! that member must again be byte-identical — replayed at one core, via
+//! the fallback everywhere else.
 
 use ccs_cache::directory::MAX_DIRECTORY_CORES;
-use ccs_sim::{simulate_engine, CmpConfig, SimEngine};
+use ccs_dag::Dag;
+use ccs_sched::SchedulerSpec;
+use ccs_sim::{simulate_batch, simulate_engine, CmpConfig, SimEngine};
 use ccs_workloads::{BuildCtx, WorkloadRegistry};
 
 /// A small CMP whose caches stay fixed while the core count sweeps the
@@ -39,12 +45,27 @@ fn all_registered_workloads_are_metrics_identical_across_engines() {
     for name in &names {
         let ctx = BuildCtx::new(scale, 64 * 1024, 4);
         let comp = registry.build(name, &ctx).unwrap_or_else(|e| panic!("{e}"));
+        let dag = Dag::from_computation(&comp);
         for cores in [1usize, 2, 4, wide] {
             let cfg = config(cores);
+            // A latency group around the A/B point: the batch engine must
+            // reproduce the event result for the point itself while also
+            // serving the neighbouring latencies.
+            let group = [
+                cfg.clone(),
+                cfg.clone().with_l2_hit_latency(7),
+                cfg.clone().with_memory_latency(900),
+            ];
             for sched in ["pdf", "ws"] {
                 let fast = simulate_engine(&comp, &cfg, sched, SimEngine::EventDriven);
                 let slow = simulate_engine(&comp, &cfg, sched, SimEngine::Reference);
                 assert_eq!(fast, slow, "{name} / {sched} / {cores} cores");
+                let batch = simulate_batch(&comp, &dag, &group, &SchedulerSpec::new(sched));
+                assert_eq!(batch.replayed, if cores == 1 { 2 } else { 0 });
+                assert_eq!(
+                    batch.results[0], fast,
+                    "{name} / {sched} / {cores} cores (batch)"
+                );
             }
         }
     }
