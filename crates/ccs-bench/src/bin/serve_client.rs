@@ -20,7 +20,8 @@
 //!   emit the same report (the CI smoke `cmp`s the two outputs);
 //! * `--id ID` / `--name NAME` — request id and report name (defaults:
 //!   `"r1"` / `"serve"`);
-//! * `--cores 2,4` — design points (default: the paper's 8-core config);
+//! * `--cores 2,4` — design points (shared [`Options`] flag, each count
+//!   ≥ 1; default: the paper's 8-core config);
 //! * `--schedulers pdf,ws` — scheduler specs (default: PDF and WS);
 //! * `--expect-cached` — fail unless *every* streamed record was a store
 //!   hit (exercises the persistent memo across daemon restarts);
@@ -42,7 +43,6 @@ struct ClientFlags {
     batch: bool,
     id: String,
     name: String,
-    cores: Vec<usize>,
     schedulers: Vec<String>,
     expect_cached: bool,
     cancel_after: Option<usize>,
@@ -55,7 +55,6 @@ fn parse_flags(rest: &[String]) -> ClientFlags {
         batch: false,
         id: "r1".to_string(),
         name: "serve".to_string(),
-        cores: Vec::new(),
         schedulers: Vec::new(),
         expect_cached: false,
         cancel_after: None,
@@ -71,13 +70,6 @@ fn parse_flags(rest: &[String]) -> ClientFlags {
             "--batch" => flags.batch = true,
             "--id" => flags.id = iter.next().expect("--id requires a value").clone(),
             "--name" => flags.name = iter.next().expect("--name requires a value").clone(),
-            "--cores" => {
-                let v = iter.next().expect("--cores requires a list (e.g. 2,4)");
-                flags.cores = v
-                    .split(',')
-                    .map(|c| c.trim().parse().expect("--cores must be integers"))
-                    .collect();
-            }
             "--schedulers" => {
                 let v = iter.next().expect("--schedulers requires a list");
                 flags.schedulers = v.split(',').map(|s| s.trim().to_string()).collect();
@@ -108,8 +100,8 @@ fn run_batch(opts: &Options, flags: &ClientFlags) {
             .collect();
         exp = exp.schedulers(schedulers);
     }
-    if !flags.cores.is_empty() {
-        exp = exp.configs(flags.cores.iter().map(|&c| {
+    if !opts.cores.is_empty() {
+        exp = exp.configs(opts.cores.iter().map(|&c| {
             CmpConfig::default_with_cores(c)
                 .unwrap_or_else(|| panic!("no default CMP configuration with {c} cores"))
         }));
@@ -141,7 +133,7 @@ fn main() {
         name: Some(flags.name.clone()),
         workloads: opts.workload_specs().iter().map(|w| w.label()).collect(),
         schedulers: flags.schedulers.clone(),
-        cores: flags.cores.clone(),
+        cores: opts.cores.clone(),
         scale: opts.scale,
         quick: opts.quick,
         engine: opts.engine,

@@ -30,6 +30,7 @@ pub fn figure_sweeps() -> Vec<Sweep> {
         ("fig6_granularity", fig6),
         ("sec54_coarse_vs_fine", coarse_vs_fine),
         ("latency_profile", latency_profile),
+        ("scaling_profile", scaling_profile),
     ]
 }
 
@@ -283,6 +284,49 @@ pub fn latency_profile(opts: &Options) -> Report {
     report
 }
 
+/// The many-core scaling profile (DESIGN.md §12): an extrapolation sweep
+/// past the paper's 32-core design space.  Each core count is simulated
+/// twice — a flat machine (every core sharing one L2) and a clustered one
+/// (32-core clusters with private L2 slices, backed by a shared L3 twice
+/// the aggregate L2 capacity) — so the constructive-sharing question of
+/// the paper can be asked of both topologies at scale.  Quick mode keeps
+/// 64- and 256-core points (CI tracks the 256-core clustered record);
+/// the full sweep goes to 1024 cores.
+pub fn scaling_profile(opts: &Options) -> Report {
+    let core_counts: &[usize] = if opts.quick {
+        &[64, 256]
+    } else {
+        &[64, 128, 256, 512, 1024]
+    };
+    let mut configs: Vec<CmpConfig> = Vec::new();
+    for &cores in core_counts {
+        let flat = CmpConfig::many_core(cores);
+        let l3_mb = (flat.l2.capacity >> 20) * 2;
+        configs.push(flat.clone().clustered(cores / 32).with_l3_mb(l3_mb));
+        configs.push(flat);
+    }
+    let mut report = Report::new("scaling_profile", opts.effective_scale());
+    for bench in opts
+        .benchmarks()
+        .into_iter()
+        .filter(|b| *b != Benchmark::Lu)
+    {
+        report.merge(
+            Experiment::new(bench)
+                .name("scaling_profile")
+                .configs(configs.iter().cloned())
+                .schedulers(pdf_ws())
+                .scale(opts.scale)
+                .quick(opts.quick)
+                .sequential_baseline(false)
+                .parallelism(opts.parallel)
+                .engine(opts.engine)
+                .run(),
+        );
+    }
+    report
+}
+
 /// Section 5.5: the secondary benchmarks through the open workload registry
 /// — Quicksort (unbalanced divide), Matmul (small working set) and Heat
 /// (bandwidth-bound stencil) on the 8-core default configuration, PDF vs WS.
@@ -400,6 +444,23 @@ mod tests {
             .iter()
             .all(|r| r.cores == 1 && r.batch_width == 11));
         assert!(event.records.iter().all(|r| r.batch_width == 0));
+    }
+
+    #[test]
+    fn scaling_profile_pairs_flat_and_clustered_topologies() {
+        let report = scaling_profile(&quick_opts(Benchmark::Mergesort));
+        // Quick mode keeps the CI-tracked 256-core clustered+L3 point...
+        assert!(report
+            .records
+            .iter()
+            .any(|r| r.cores == 256 && r.clusters == 8 && r.l3_accesses > 0));
+        // ...and its flat twin, which never touches an L3.
+        assert!(report
+            .records
+            .iter()
+            .any(|r| r.cores == 256 && r.clusters == 1 && r.l3_misses == 0));
+        // No sequential baseline at these core counts.
+        assert!(report.records.iter().all(|r| r.speedup_over_seq.is_none()));
     }
 
     #[test]

@@ -25,7 +25,7 @@
 //!
 //! ```json
 //! {
-//!   "schema": "ccs-bench/4",
+//!   "schema": "ccs-bench/5",
 //!   "scale": 256,
 //!   "quick": true,
 //!   "records": [
@@ -34,8 +34,10 @@
 //!       "wall_ms": 812.4,
 //!       "tasks_per_sec": 161234.0,
 //!       "total_misses": 93511,
+//!       "l3_misses": 0,
 //!       "tasks": 130934,
 //!       "cycles": 55173921,
+//!       "clusters": 1,
 //!       "trace_bytes": 1224736,
 //!       "peak_alloc_estimate": 2449472,
 //!       "compile_ms": 8.4,
@@ -59,14 +61,18 @@
 //! the largest latency-batch the record's runs simulated in one grouped
 //! pass (0 for non-batched engines — see DESIGN.md §11), and
 //! `speedup_vs_reference` is present only on records with a reference
-//! counterpart.  `total_misses`, `tasks`, `cycles`, `batch_width`,
+//! counterpart.  `l3_misses` sums the simulated shared-L3 misses over the
+//! record's runs (0 unless a sweep simulates three-level hierarchies —
+//! see DESIGN.md §12) and `clusters` is the largest L2-cluster count among
+//! those runs (1 = every core shares one L2).  `total_misses`,
+//! `l3_misses`, `tasks`, `cycles`, `clusters`, `batch_width`,
 //! `trace_bytes` and `peak_alloc_estimate` are *deterministic* for a given
 //! scale/quick setting — the CI gate ([`gate`]) checks the simulated
 //! metrics for exact equality against the committed baseline,
 //! `tasks_per_sec` within a relative tolerance, and fails memory-footprint
 //! growth beyond the same tolerance; `compile_ms` is reported but not
 //! gated (it is wall-clock noise at the millisecond scale) and is surfaced
-//! by the gate's `summary:` line (schema `ccs-bench/4`; `--trials N`
+//! by the gate's `summary:` line (schema `ccs-bench/5`; `--trials N`
 //! overrides the noise-averaging trial counts).
 
 use std::io;
@@ -83,7 +89,7 @@ use crate::figs;
 pub mod gate;
 
 /// Schema identifier written into every report.
-pub const SCHEMA: &str = "ccs-bench/4";
+pub const SCHEMA: &str = "ccs-bench/5";
 
 /// Default output path (written into the invoking directory, gitignored at
 /// the repo root).
@@ -100,10 +106,16 @@ pub struct BenchRecord {
     pub tasks_per_sec: f64,
     /// Total simulated L2 misses (deterministic per scale/quick setting).
     pub total_misses: u64,
+    /// Total simulated shared-L3 misses over the record's runs; 0 unless
+    /// the sweep simulates three-level hierarchies (deterministic).
+    pub l3_misses: u64,
     /// Total simulated tasks (deterministic).
     pub tasks: u64,
     /// Total simulated cycles (deterministic).
     pub cycles: u64,
+    /// Largest L2-cluster count among the record's runs (1 = every core
+    /// shares one L2; deterministic).
+    pub clusters: u64,
     /// Peak trace-arena footprint in bytes over the computations this
     /// record simulated (deterministic).
     pub trace_bytes: u64,
@@ -129,8 +141,10 @@ impl BenchRecord {
             ("wall_ms", self.wall_ms.into()),
             ("tasks_per_sec", self.tasks_per_sec.into()),
             ("total_misses", self.total_misses.into()),
+            ("l3_misses", self.l3_misses.into()),
             ("tasks", self.tasks.into()),
             ("cycles", self.cycles.into()),
+            ("clusters", self.clusters.into()),
             ("trace_bytes", self.trace_bytes.into()),
             ("peak_alloc_estimate", self.peak_alloc_estimate.into()),
             ("compile_ms", self.compile_ms.into()),
@@ -169,8 +183,10 @@ impl BenchRecord {
             wall_ms: num("wall_ms")?,
             tasks_per_sec: num("tasks_per_sec")?,
             total_misses: uint("total_misses")?,
+            l3_misses: uint("l3_misses")?,
             tasks: uint("tasks")?,
             cycles: uint("cycles")?,
+            clusters: uint("clusters")?,
             trace_bytes: uint("trace_bytes")?,
             peak_alloc_estimate: uint("peak_alloc_estimate")?,
             compile_ms: num("compile_ms")?,
@@ -301,14 +317,22 @@ fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
 fn record_from_report(name: impl Into<String>, report: &Report, wall_ms: f64) -> BenchRecord {
     let tasks: u64 = report.records.iter().map(|r| r.tasks as u64).sum();
     let misses: u64 = report.records.iter().map(|r| r.l2_misses).sum();
+    let l3_misses: u64 = report.records.iter().map(|r| r.l3_misses).sum();
     let cycles: u64 = report.records.iter().map(|r| r.cycles).sum();
     BenchRecord {
         name: name.into(),
         wall_ms,
         tasks_per_sec: per_second(tasks, wall_ms),
         total_misses: misses,
+        l3_misses,
         tasks,
         cycles,
+        clusters: report
+            .records
+            .iter()
+            .map(|r| r.clusters as u64)
+            .max()
+            .unwrap_or(1),
         trace_bytes: report
             .records
             .iter()
@@ -492,8 +516,10 @@ fn micro_benches(records: &mut Vec<BenchRecord>, trials: u32) {
             wall_ms: per_iter_ms,
             tasks_per_sec: per_second(result.tasks as u64, per_iter_ms),
             total_misses: result.l2.misses,
+            l3_misses: result.l3.misses,
             tasks: result.tasks as u64,
             cycles: result.cycles,
+            clusters: result.clusters as u64,
             trace_bytes,
             peak_alloc_estimate,
             // The one-time compile cost is charged to the first record only
@@ -585,8 +611,10 @@ mod tests {
                     wall_ms: 812.5,
                     tasks_per_sec: 161234.5,
                     total_misses: 93511,
+                    l3_misses: 4021,
                     tasks: 130934,
                     cycles: 55173921,
+                    clusters: 8,
                     trace_bytes: 1_224_736,
                     peak_alloc_estimate: 2_449_472,
                     compile_ms: 8.25,
@@ -598,8 +626,10 @@ mod tests {
                     wall_ms: 45.0,
                     tasks_per_sec: 9000.0,
                     total_misses: 1200,
+                    l3_misses: 0,
                     tasks: 405,
                     cycles: 99000,
+                    clusters: 1,
                     trace_bytes: 64_000,
                     peak_alloc_estimate: 130_000,
                     compile_ms: 0.5,
@@ -616,15 +646,17 @@ mod tests {
         let text = report.to_json();
         let parsed = BenchReport::from_json(&text).expect("round trip");
         assert_eq!(parsed, report);
-        assert!(text.contains("\"schema\": \"ccs-bench/4\""), "{text}");
+        assert!(text.contains("\"schema\": \"ccs-bench/5\""), "{text}");
         assert!(text.contains("\"trace_bytes\": 1224736"), "{text}");
         assert!(text.contains("\"compile_ms\": 8.25"), "{text}");
         assert!(text.contains("\"batch_width\": 6"), "{text}");
+        assert!(text.contains("\"l3_misses\": 4021"), "{text}");
+        assert!(text.contains("\"clusters\": 8"), "{text}");
     }
 
     #[test]
     fn wrong_schema_is_rejected() {
-        let text = sample_report().to_json().replace("ccs-bench/4", "other/9");
+        let text = sample_report().to_json().replace("ccs-bench/5", "other/9");
         let err = BenchReport::from_json(&text).unwrap_err();
         assert!(err.message.contains("unsupported bench schema"), "{err}");
     }

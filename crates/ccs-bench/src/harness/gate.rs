@@ -3,10 +3,11 @@
 //!
 //! Three kinds of checks, per baseline record (matched by name):
 //!
-//! * **deterministic metrics** (`total_misses`, `tasks`, `cycles`,
-//!   `batch_width`) must be *exactly* equal — they are pure functions of
-//!   the simulated configuration (and, for `batch_width`, of the sweep
-//!   planner's grouping), so any drift is a behaviour change, not noise;
+//! * **deterministic metrics** (`total_misses`, `l3_misses`, `tasks`,
+//!   `cycles`, `clusters`, `batch_width`) must be *exactly* equal — they
+//!   are pure functions of the simulated configuration (and, for
+//!   `batch_width`, of the sweep planner's grouping), so any drift is a
+//!   behaviour change, not noise;
 //! * **throughput** (`tasks_per_sec`) must be within a relative tolerance
 //!   (CI uses ±20%).  A drop beyond tolerance **fails** the gate; a gain
 //!   beyond tolerance only **warns**, so maintainers notice and refresh the
@@ -136,8 +137,10 @@ fn check_record(result: &mut GateResult, cur: &BenchRecord, base: &BenchRecord, 
     // Determinism first: identical settings must simulate identical work.
     let drift: Vec<String> = [
         ("total_misses", cur.total_misses, base.total_misses),
+        ("l3_misses", cur.l3_misses, base.l3_misses),
         ("tasks", cur.tasks, base.tasks),
         ("cycles", cur.cycles, base.cycles),
+        ("clusters", cur.clusters, base.clusters),
         ("batch_width", cur.batch_width, base.batch_width),
     ]
     .into_iter()
@@ -268,8 +271,10 @@ mod tests {
             wall_ms: 100.0,
             tasks_per_sec,
             total_misses: 500,
+            l3_misses: 120,
             tasks: 1000,
             cycles: 42_000,
+            clusters: 4,
             trace_bytes: 100_000,
             peak_alloc_estimate: 200_000,
             compile_ms: 4.0,
@@ -331,6 +336,21 @@ mod tests {
             "{}",
             g.to_text()
         );
+    }
+
+    #[test]
+    fn l3_and_cluster_drift_are_deterministic_failures() {
+        // The three-level metrics are as deterministic as the L2 ones: a
+        // changed L3 miss count or cluster shape is a behaviour change.
+        let base = report(vec![record("macro/scaling_profile", 1000.0)]);
+        let mut drifted = record("macro/scaling_profile", 1000.0);
+        drifted.l3_misses = 119;
+        drifted.clusters = 8;
+        let g = compare(&report(vec![drifted]), &base, 0.2);
+        assert!(g.failed());
+        let text = g.to_text();
+        assert!(text.contains("l3_misses 120 -> 119"), "{text}");
+        assert!(text.contains("clusters 4 -> 8"), "{text}");
     }
 
     #[test]

@@ -15,6 +15,16 @@
 //! semantics, same staleness contract — for callers that do not have a
 //! dense id space.
 //!
+//! # Sharer masks past 64 cores
+//!
+//! Up to 64 cores, a line's sharer set is one `u64`.  Beyond that the
+//! directory switches to the **hierarchical mask** of DESIGN.md §12: per
+//! line, a *summary word* whose bit `w` says "core word `w` is non-empty",
+//! followed by `ceil(p/64)` core words.  A store walks only the summary's
+//! set bits and then only the named words, so invalidation work stays
+//! `O(sharers)` instead of `O(p/64)` at 256–4096 cores.  The summary caps
+//! the directory at [`MAX_DIRECTORY_CORES`] = 64 × 64 = 4096 cores.
+//!
 //! The sharer sets are a deliberate **over-approximation**: bits are set on
 //! every L1 allocation but *not* cleared on eviction (clearing happens only
 //! when a store prunes the set via [`LineDirectory::retain_only`], or via
@@ -32,9 +42,9 @@
 //!
 //! [`SetAssocCache`]: crate::SetAssocCache
 
-/// Cores are identified by their index; the bitmask representation caps the
-/// directory at 64 cores (the paper's design space tops out at 32).
-pub const MAX_DIRECTORY_CORES: usize = 64;
+/// Cores are identified by their index; the hierarchical mask (one 64-bit
+/// summary word over 64 core words) caps the directory at 4096 cores.
+pub const MAX_DIRECTORY_CORES: usize = 64 * 64;
 
 /// Key stored in empty slots.  Real keys are line-aligned addresses (line
 /// size at least 2), so `u64::MAX` — an odd address — can never collide;
@@ -58,8 +68,12 @@ const EMPTY_KEY: u64 = u64::MAX;
 pub struct LineDirectory {
     /// Line address per slot (`EMPTY_KEY` = free); power-of-two length.
     keys: Vec<u64>,
-    /// Sharer bitmask per slot.
+    /// Sharer mask words, `stride` per slot.  `stride == 1`: the slot's
+    /// single word is the sharer set.  `stride > 1`: the slot's words are
+    /// `[summary, w0, .., w_{k-1}]` (the hierarchical layout above).
     masks: Vec<u64>,
+    /// Mask words per slot: 1 up to 64 cores, else `1 + ceil(p/64)`.
+    stride: usize,
     /// Occupied slots (including ones whose mask has been pruned to 0).
     occupied: usize,
 }
@@ -74,9 +88,15 @@ impl LineDirectory {
             num_cores <= MAX_DIRECTORY_CORES,
             "LineDirectory supports at most {MAX_DIRECTORY_CORES} cores, got {num_cores}"
         );
+        let stride = if num_cores <= 64 {
+            1
+        } else {
+            1 + num_cores.div_ceil(64)
+        };
         LineDirectory {
             keys: vec![EMPTY_KEY; 1024],
-            masks: vec![0; 1024],
+            masks: vec![0; 1024 * stride],
+            stride,
             occupied: 0,
         }
     }
@@ -101,6 +121,26 @@ impl LineDirectory {
         }
     }
 
+    /// Set `core`'s bit in `slot`'s mask (and the summary when hierarchical).
+    #[inline]
+    fn set_bit(&mut self, slot: usize, core: usize) {
+        if self.stride == 1 {
+            self.masks[slot] |= 1u64 << core;
+        } else {
+            let base = slot * self.stride;
+            self.masks[base + 1 + core / 64] |= 1u64 << (core % 64);
+            self.masks[base] |= 1u64 << (core / 64);
+        }
+    }
+
+    /// Whether `slot` has any sharer bit set.
+    #[inline]
+    fn slot_nonempty(&self, slot: usize) -> bool {
+        // The summary word is kept exact by every mutator, so it answers
+        // for the whole hierarchical slot.
+        self.masks[slot * self.stride] != 0
+    }
+
     /// Record that `core`'s L1 now holds `line`.
     #[inline]
     pub fn insert(&mut self, line: u64, core: usize) {
@@ -110,12 +150,12 @@ impl LineDirectory {
             self.keys[slot] = line;
             self.occupied += 1;
             if self.occupied * 8 > self.keys.len() * 7 {
-                self.masks[slot] |= 1u64 << core;
+                self.set_bit(slot, core);
                 self.grow();
                 return;
             }
         }
-        self.masks[slot] |= 1u64 << core;
+        self.set_bit(slot, core);
     }
 
     /// Double the table (keeps all entries; amortised by the load factor).
@@ -123,16 +163,18 @@ impl LineDirectory {
     fn grow(&mut self) {
         let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY_KEY; 0]);
         let old_masks = std::mem::take(&mut self.masks);
+        let stride = self.stride;
         let new_len = old_keys.len() * 2;
         self.keys = vec![EMPTY_KEY; new_len];
-        self.masks = vec![0; new_len];
+        self.masks = vec![0; new_len * stride];
         self.occupied = 0;
-        for (key, mask) in old_keys.into_iter().zip(old_masks) {
-            if key != EMPTY_KEY && mask != 0 {
+        for (old_slot, key) in old_keys.into_iter().enumerate() {
+            let words = &old_masks[old_slot * stride..(old_slot + 1) * stride];
+            if key != EMPTY_KEY && words[0] != 0 {
                 let slot = self.probe(key);
                 debug_assert_eq!(self.keys[slot], EMPTY_KEY);
                 self.keys[slot] = key;
-                self.masks[slot] = mask;
+                self.masks[slot * stride..(slot + 1) * stride].copy_from_slice(words);
                 self.occupied += 1;
             }
         }
@@ -144,8 +186,18 @@ impl LineDirectory {
     #[inline]
     pub fn remove(&mut self, line: u64, core: usize) {
         let slot = self.probe(line);
-        if self.keys[slot] == line {
+        if self.keys[slot] != line {
+            return;
+        }
+        if self.stride == 1 {
             self.masks[slot] &= !(1u64 << core);
+        } else {
+            let base = slot * self.stride;
+            let word = base + 1 + core / 64;
+            self.masks[word] &= !(1u64 << (core % 64));
+            if self.masks[word] == 0 {
+                self.masks[base] &= !(1u64 << (core / 64));
+            }
         }
     }
 
@@ -153,27 +205,48 @@ impl LineDirectory {
     #[inline]
     pub fn holds(&self, line: u64, core: usize) -> bool {
         let slot = self.probe(line);
-        self.keys[slot] == line && self.masks[slot] & (1u64 << core) != 0
+        if self.keys[slot] != line {
+            return false;
+        }
+        if self.stride == 1 {
+            self.masks[slot] & (1u64 << core) != 0
+        } else {
+            self.masks[slot * self.stride + 1 + core / 64] & (1u64 << (core % 64)) != 0
+        }
     }
 
     /// The cores other than `core` that may hold `line`, in ascending
     /// order.  This is the set a store from `core` must invalidate.
+    ///
+    /// For a hierarchical directory the walk visits only the core words the
+    /// summary names — `O(sharers)` regardless of the core count.
     #[inline]
     pub fn sharers_except(&self, line: u64, core: usize) -> impl Iterator<Item = usize> {
         let slot = self.probe(line);
-        let mut mask = if self.keys[slot] == line {
-            self.masks[slot] & !(1u64 << core)
+        // Snapshot the slot's core words with the writer's bit cleared.
+        // The flat (≤ 64 cores) path stays allocation-free.
+        let (mut mask, rest): (u64, Vec<u64>) = if self.keys[slot] != line {
+            (0, Vec::new())
+        } else if self.stride == 1 {
+            (self.masks[slot] & !(1u64 << core), Vec::new())
         } else {
-            0
+            let base = slot * self.stride;
+            let mut words = self.masks[base + 1..base + self.stride].to_vec();
+            words[core / 64] &= !(1u64 << (core % 64));
+            (words[0], words.split_off(1))
         };
-        std::iter::from_fn(move || {
-            if mask == 0 {
-                None
-            } else {
+        let mut word = 0usize;
+        std::iter::from_fn(move || loop {
+            if mask != 0 {
                 let bit = mask.trailing_zeros() as usize;
                 mask &= mask - 1;
-                Some(bit)
+                return Some(word * 64 + bit);
             }
+            if word >= rest.len() {
+                return None;
+            }
+            mask = rest[word];
+            word += 1;
         })
     }
 
@@ -183,18 +256,37 @@ impl LineDirectory {
     #[inline]
     pub fn retain_only(&mut self, line: u64, core: usize) {
         let slot = self.probe(line);
-        if self.keys[slot] == line {
+        if self.keys[slot] != line {
+            return;
+        }
+        if self.stride == 1 {
             self.masks[slot] &= 1u64 << core;
+        } else {
+            let base = slot * self.stride;
+            let my_word = core / 64;
+            let mut summary = self.masks[base];
+            while summary != 0 {
+                let w = summary.trailing_zeros() as usize;
+                summary &= summary - 1;
+                if w == my_word {
+                    self.masks[base + 1 + w] &= 1u64 << (core % 64);
+                } else {
+                    self.masks[base + 1 + w] = 0;
+                }
+            }
+            self.masks[base] = if self.masks[base + 1 + my_word] != 0 {
+                1u64 << my_word
+            } else {
+                0
+            };
         }
     }
 
     /// Number of lines with at least one (possibly stale) sharer bit —
     /// diagnostics/tests only.
     pub fn tracked_lines(&self) -> usize {
-        self.keys
-            .iter()
-            .zip(&self.masks)
-            .filter(|&(&k, &m)| k != EMPTY_KEY && m != 0)
+        (0..self.keys.len())
+            .filter(|&slot| self.keys[slot] != EMPTY_KEY && self.slot_nonempty(slot))
             .count()
     }
 }
@@ -260,6 +352,46 @@ mod tests {
     }
 
     #[test]
+    fn hierarchical_masks_track_many_core_sharers() {
+        let mut d = LineDirectory::new(1024);
+        for core in [0, 63, 64, 130, 1023] {
+            d.insert(4096, core);
+        }
+        assert!(d.holds(4096, 130));
+        assert!(!d.holds(4096, 129));
+        assert_eq!(
+            d.sharers_except(4096, 64).collect::<Vec<_>>(),
+            vec![0, 63, 130, 1023],
+            "ascending across core words, writer skipped"
+        );
+        d.remove(4096, 1023);
+        assert!(!d.holds(4096, 1023));
+        d.retain_only(4096, 130);
+        assert!(d.holds(4096, 130));
+        assert_eq!(d.sharers_except(4096, 130).count(), 0);
+        assert_eq!(d.tracked_lines(), 1);
+        // A store from a non-holder clears the line entirely.
+        d.retain_only(4096, 9);
+        assert_eq!(d.tracked_lines(), 0);
+    }
+
+    #[test]
+    fn hierarchical_directory_grows_past_the_initial_capacity() {
+        let mut d = LineDirectory::new(256);
+        let n = 5_000u64;
+        for i in 0..n {
+            d.insert(i * 128, (i % 256) as usize);
+        }
+        assert_eq!(d.tracked_lines(), n as usize);
+        for i in 0..n {
+            assert!(
+                d.holds(i * 128, (i % 256) as usize),
+                "line {i} lost in growth"
+            );
+        }
+    }
+
+    #[test]
     fn grows_past_the_initial_capacity() {
         let mut d = LineDirectory::new(8);
         let n = 10_000u64;
@@ -276,8 +408,8 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at most 64 cores")]
+    #[should_panic(expected = "at most 4096 cores")]
     fn rejects_too_many_cores() {
-        let _ = LineDirectory::new(65);
+        let _ = LineDirectory::new(4097);
     }
 }

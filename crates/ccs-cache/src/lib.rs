@@ -19,7 +19,33 @@
 //! * [`MainMemory`] — off-chip latency + bounded-bandwidth model;
 //! * [`LineDirectory`] — per-line sharer tracking so the simulator's
 //!   write-invalidation costs `O(sharers)` instead of a broadcast over all
-//!   cores.
+//!   cores; one mask word up to 64 cores, hierarchical summary-plus-core
+//!   words up to 4096 (DESIGN.md §12).
+//!
+//! # Example
+//!
+//! A direct-mapped-style probe sequence on the set-associative model, and
+//! sharer tracking on a machine wider than one mask word:
+//!
+//! ```
+//! use ccs_cache::{CacheConfig, LineDirectory, SetAssocCache};
+//! use ccs_dag::AccessKind;
+//!
+//! // 4 KB, 2-way, 64 B lines: 32 sets.
+//! let mut l1 = SetAssocCache::new(CacheConfig::new(4 * 1024, 64, 2, 1));
+//! assert!(!l1.access_addr(0x0000, AccessKind::Read).hit); // cold miss
+//! assert!(l1.access_addr(0x0000, AccessKind::Read).hit);
+//! assert!(!l1.access_addr(0x1000, AccessKind::Write).hit); // same set, new tag
+//! assert_eq!(l1.stats().misses, 2);
+//!
+//! // 96 cores: past the 64-bit mask, the directory switches to
+//! // hierarchical masks and stays O(sharers) per store.
+//! let mut dir = LineDirectory::new(96);
+//! dir.insert(7, 3);
+//! dir.insert(7, 90);
+//! let sharers: Vec<usize> = dir.sharers_except(7, 3).collect();
+//! assert_eq!(sharers, vec![90]);
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

@@ -66,6 +66,7 @@ pub use group::{GroupId, GroupKind, TaskGroup, TaskGroupTree};
 pub use pool::{TracePool, TraceRange, TraceView};
 pub use sp::{CallSite, Computation, ComputationBuilder, GroupMeta, SpKind, SpNode, SpNodeId};
 pub use stream::{
-    CacheGeometry, GeometryLanes, LineStream, PairedSetLanes, STEP_ID_MASK, STEP_WRITE_BIT,
+    CacheGeometry, GeometryLanes, LineStream, PairedSetLanes, TripleSetLanes, STEP_ID_MASK,
+    STEP_WRITE_BIT,
 };
 pub use task::{AccessKind, MemRef, Task, TaskId, TaskTrace, TraceBuilder, TraceOp};

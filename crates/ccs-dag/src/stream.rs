@@ -346,6 +346,126 @@ impl PairedSetLanes {
     }
 }
 
+/// The packed set-index lanes of an *(L1, L2, L3)* geometry triple: all
+/// three set indices of a line id folded into a single `u64` word, with the
+/// bit budget re-cut to [`TripleSetLanes::L1_BITS`] + [`TripleSetLanes::L2_BITS`]
+/// + [`TripleSetLanes::L3_BITS`] bits.
+///
+/// This is the three-level form of [`PairedSetLanes`], and the same one-word
+/// argument applies (DESIGN.md §12): the L1-hit fast path still costs one
+/// 8-byte lane load, an L1 miss gets its L2 set as a register shift, and an
+/// L2 miss gets its L3 set from the *same already-loaded word* — the rare
+/// deep-miss path never touches a second cold lane.  21 bits per private
+/// level cover 2 M sets (the paper's largest L2 uses 16 K), so the narrower
+/// fields cost nothing in practice; the compile asserts them.
+///
+/// The two-level [`PairedSetLanes`] keeps its full 32-bit fields and its own
+/// memo ([`LineStream::geometry_pair`]) — machines without an L3 never pay
+/// for (or observe) the re-budgeted packing.
+#[derive(Debug)]
+pub struct TripleSetLanes {
+    l1: CacheGeometry,
+    l2: CacheGeometry,
+    l3: CacheGeometry,
+    /// Line id → `l1_set | (l2_set << L1_BITS) | (l3_set << (L1_BITS + L2_BITS))`.
+    packed: Vec<u64>,
+}
+
+impl TripleSetLanes {
+    /// Bits of the L1 set field (low bits of the word).
+    pub const L1_BITS: u32 = 21;
+    /// Bits of the L2 set field.
+    pub const L2_BITS: u32 = 21;
+    /// Bits of the L3 set field (high bits of the word).
+    pub const L3_BITS: u32 = 64 - Self::L1_BITS - Self::L2_BITS;
+
+    /// Compile the packed lanes for an `(l1, l2, l3)` geometry triple over
+    /// `stream`'s interned lines.
+    ///
+    /// # Panics
+    /// Panics if any geometry's line size differs from the stream's, or if
+    /// a set count exceeds its bit field.
+    pub fn compile(
+        stream: &LineStream,
+        l1: CacheGeometry,
+        l2: CacheGeometry,
+        l3: CacheGeometry,
+    ) -> TripleSetLanes {
+        for (geometry, bits) in [
+            (l1, Self::L1_BITS),
+            (l2, Self::L2_BITS),
+            (l3, Self::L3_BITS),
+        ] {
+            assert_eq!(
+                geometry.line_size,
+                stream.line_size(),
+                "geometry compiled against a stream of a different line size"
+            );
+            assert!(
+                geometry.num_sets <= 1u64 << bits,
+                "set count {} exceeds the {bits}-bit triple-lane field",
+                geometry.num_sets
+            );
+        }
+        let shift = stream.line_size().trailing_zeros();
+        let packed = stream
+            .line_addr()
+            .iter()
+            .map(|&line| {
+                let line_no = line >> shift;
+                (line_no % l1.num_sets)
+                    | ((line_no % l2.num_sets) << Self::L1_BITS)
+                    | ((line_no % l3.num_sets) << (Self::L1_BITS + Self::L2_BITS))
+            })
+            .collect();
+        TripleSetLanes { l1, l2, l3, packed }
+    }
+
+    /// The L1 geometry of the triple.
+    pub fn l1_geometry(&self) -> CacheGeometry {
+        self.l1
+    }
+
+    /// The L2 geometry of the triple.
+    pub fn l2_geometry(&self) -> CacheGeometry {
+        self.l2
+    }
+
+    /// The L3 geometry of the triple.
+    pub fn l3_geometry(&self) -> CacheGeometry {
+        self.l3
+    }
+
+    /// The packed lane: line id → all three set indices in one word.
+    #[inline]
+    pub fn packed(&self) -> &[u64] {
+        &self.packed
+    }
+
+    /// The L1 set index of a packed word.
+    #[inline]
+    pub const fn l1_set(word: u64) -> u32 {
+        (word & ((1 << Self::L1_BITS) - 1)) as u32
+    }
+
+    /// The L2 set index of a packed word.
+    #[inline]
+    pub const fn l2_set(word: u64) -> u32 {
+        ((word >> Self::L1_BITS) & ((1 << Self::L2_BITS) - 1)) as u32
+    }
+
+    /// The L3 set index of a packed word.
+    #[inline]
+    pub const fn l3_set(word: u64) -> u32 {
+        (word >> (Self::L1_BITS + Self::L2_BITS)) as u32
+    }
+
+    /// Heap bytes held by the packed lane.
+    pub fn heap_bytes(&self) -> u64 {
+        (self.packed.capacity() * std::mem::size_of::<u64>()) as u64
+    }
+}
+
 /// The precompiled line-granular access stream of one computation at one
 /// cache-line size.  See the module docs for the layout.
 #[derive(Debug)]
@@ -366,6 +486,9 @@ pub struct LineStream {
     /// Memoised packed `(L1, L2)` pair lanes, one per distinct geometry
     /// pair (typically one per sweep).
     geom_pairs: Mutex<PairCache>,
+    /// Memoised packed `(L1, L2, L3)` triple lanes for three-level
+    /// hierarchies (empty unless a sweep point carries an L3).
+    geom_triples: Mutex<TripleCache>,
     /// Memoised prefix sums of the pre-access compute lane
     /// ([`LineStream::pre_prefix`]): the batched engine's replay cursor.
     pre_prefix: Mutex<Option<Arc<Vec<u64>>>>,
@@ -375,6 +498,13 @@ pub struct LineStream {
 /// — sweeps see one or two distinct geometry pairs, so a linear scan beats
 /// any map.
 type PairCache = Vec<((CacheGeometry, CacheGeometry), Arc<PairedSetLanes>)>;
+
+/// Memo storage of [`LineStream::geometry_triple`]; same association-list
+/// reasoning as [`PairCache`].
+type TripleCache = Vec<(
+    (CacheGeometry, CacheGeometry, CacheGeometry),
+    Arc<TripleSetLanes>,
+)>;
 
 impl LineStream {
     /// Expand `comp`'s pooled trace at `line_size`-byte granularity.
@@ -426,6 +556,7 @@ impl LineStream {
             line_addr,
             starts,
             geom_pairs: Mutex::new(Vec::new()),
+            geom_triples: Mutex::new(Vec::new()),
             pre_prefix: Mutex::new(None),
         }
     }
@@ -441,6 +572,25 @@ impl LineStream {
         }
         let lanes = Arc::new(PairedSetLanes::compile(self, l1, l2));
         cache.push(((l1, l2), Arc::clone(&lanes)));
+        lanes
+    }
+
+    /// The packed [`TripleSetLanes`] of an `(L1, L2, L3)` geometry triple,
+    /// compiled on first use and shared afterwards — the three-level
+    /// counterpart of [`LineStream::geometry_pair`], consumed by the
+    /// simulator when a configuration carries a shared L3.
+    pub fn geometry_triple(
+        &self,
+        l1: CacheGeometry,
+        l2: CacheGeometry,
+        l3: CacheGeometry,
+    ) -> Arc<TripleSetLanes> {
+        let mut cache = self.geom_triples.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((_, lanes)) = cache.iter().find(|(triple, _)| *triple == (l1, l2, l3)) {
+            return Arc::clone(lanes);
+        }
+        let lanes = Arc::new(TripleSetLanes::compile(self, l1, l2, l3));
+        cache.push(((l1, l2, l3), Arc::clone(&lanes)));
         lanes
     }
 
@@ -473,6 +623,15 @@ impl LineStream {
     /// stream so far (diagnostics/tests).
     pub fn compiled_geometry_pairs(&self) -> usize {
         self.geom_pairs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
+    }
+
+    /// Number of distinct `(L1, L2, L3)` geometry triples compiled against
+    /// this stream so far (diagnostics/tests).
+    pub fn compiled_geometry_triples(&self) -> usize {
+        self.geom_triples
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .len()
@@ -662,6 +821,56 @@ mod tests {
             assert_eq!(PairedSetLanes::l1_set(word), l1_ref.set_index()[id]);
             assert_eq!(PairedSetLanes::l2_set(word), l2_ref.set_index()[id]);
         }
+    }
+
+    #[test]
+    fn geometry_triples_are_memoised_and_match_split_lanes() {
+        let comp = sample();
+        let stream = comp.line_stream(128);
+        assert_eq!(stream.compiled_geometry_triples(), 0);
+        let l1 = CacheGeometry::new(128, 8);
+        let l2 = CacheGeometry::new(128, 32);
+        let l3 = CacheGeometry::new(128, 96); // non-power-of-two set count
+        let triple = stream.geometry_triple(l1, l2, l3);
+        let again = stream.geometry_triple(l1, l2, l3);
+        assert!(Arc::ptr_eq(&triple, &again), "same triple shares one table");
+        assert_eq!(stream.compiled_geometry_triples(), 1);
+        assert_eq!(
+            stream.compiled_geometry_pairs(),
+            0,
+            "triples do not populate the pair memo"
+        );
+        // Each field of the packed word agrees with the single-geometry
+        // reference compile.
+        for (geometry, field) in [
+            (l1, TripleSetLanes::l1_set as fn(u64) -> u32),
+            (l2, TripleSetLanes::l2_set),
+            (l3, TripleSetLanes::l3_set),
+        ] {
+            let lanes = GeometryLanes::compile(&stream, geometry);
+            for (id, &word) in triple.packed().iter().enumerate() {
+                assert_eq!(
+                    field(word),
+                    lanes.set_index()[id],
+                    "line id {id} at {} sets",
+                    geometry.num_sets
+                );
+            }
+        }
+        assert!(triple.heap_bytes() >= stream.num_lines() as u64 * 8);
+        assert_eq!(triple.l1_geometry(), l1);
+        assert_eq!(triple.l2_geometry(), l2);
+        assert_eq!(triple.l3_geometry(), l3);
+    }
+
+    #[test]
+    #[should_panic(expected = "triple-lane field")]
+    fn triple_lane_rejects_oversized_set_counts() {
+        let comp = sample();
+        let stream = LineStream::compile(&comp, 128);
+        let huge = CacheGeometry::new(128, 1 << 22); // > 21-bit L1 field
+        let small = CacheGeometry::new(128, 8);
+        let _ = TripleSetLanes::compile(&stream, huge, small, small);
     }
 
     #[test]

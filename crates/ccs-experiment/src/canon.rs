@@ -27,7 +27,8 @@ use ccs_sim::{CmpConfig, SimEngine};
 
 /// Version prefix of the key grammar.  Bump when the key composition
 /// changes so stale store entries miss instead of mismatching.
-pub const KEY_VERSION: &str = "ccs-key/1";
+/// `/2`: added the cluster count and the optional L3 to the config axes.
+pub const KEY_VERSION: &str = "ccs-key/2";
 
 /// The canonical key of one run record: one simulated
 /// (workload, config, scale, engine, scheduler, baseline?) point.
@@ -59,10 +60,18 @@ pub fn record_key(
 /// The canonical form of a design point: every field that can influence a
 /// simulation, pipe-separated.
 fn config_key(config: &CmpConfig) -> String {
+    let l3 = match &config.l3 {
+        Some(l3) => format!(
+            "{}/{}/{}/{}",
+            l3.capacity, l3.line_size, l3.associativity, l3.hit_latency
+        ),
+        None => "none".to_string(),
+    };
     format!(
-        "config={}|cores={}|tech={:?}|l1={}/{}/{}/{}|l2={}/{}/{}/{}|mem={}/{}",
+        "config={}|cores={}|clusters={}|tech={:?}|l1={}/{}/{}/{}|l2={}/{}/{}/{}|l3={l3}|mem={}/{}",
         config.name,
         config.num_cores,
+        config.clusters,
         config.technology,
         config.l1.capacity,
         config.l1.line_size,
@@ -210,6 +219,32 @@ mod tests {
                 record_key(
                     "mergesort",
                     &renamed,
+                    64,
+                    SimEngine::EventDriven,
+                    &SchedulerSpec::new("pdf"),
+                    true,
+                )
+            },
+            // The three-level axes: cluster count and L3 geometry.
+            {
+                let mut clustered = config.clone();
+                clustered.clusters = 2;
+                record_key(
+                    "mergesort",
+                    &clustered,
+                    64,
+                    SimEngine::EventDriven,
+                    &SchedulerSpec::new("pdf"),
+                    true,
+                )
+            },
+            {
+                // Undo the builder's rename so only the L3 axis differs.
+                let mut with_l3 = config.clone().with_l3_mb(1);
+                with_l3.name = config.name.clone();
+                record_key(
+                    "mergesort",
+                    &with_l3,
                     64,
                     SimEngine::EventDriven,
                     &SchedulerSpec::new("pdf"),

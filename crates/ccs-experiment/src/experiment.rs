@@ -30,6 +30,26 @@ pub fn effective_scale(scale: u64, quick: bool) -> u64 {
     }
 }
 
+/// Geometry prebuild for one (already scaled) design point: compile the
+/// packed set lanes the event engine will look up — the (L1, L2) pair
+/// word, or the (L1, L2, L3) triple word when the point has a shared L3
+/// (DESIGN.md §9 and §12) — and return their heap footprint.  Both forms
+/// are memoised on the computation, so this is the incremental cost.
+fn prebuild_lanes(stream: &ccs_dag::LineStream, config: &CmpConfig) -> u64 {
+    let l1 = ccs_dag::CacheGeometry::new(config.l1.line_size, config.l1.num_sets());
+    let l2 = ccs_dag::CacheGeometry::new(config.l2.line_size, config.l2.num_sets());
+    match &config.l3 {
+        Some(l3) => stream
+            .geometry_triple(
+                l1,
+                l2,
+                ccs_dag::CacheGeometry::new(l3.line_size, l3.num_sets()),
+            )
+            .heap_bytes(),
+        None => stream.geometry_pair(l1, l2).heap_bytes(),
+    }
+}
+
 /// A serialisable "which workload" value — the workload-axis counterpart of
 /// [`SchedulerSpec`].
 ///
@@ -544,19 +564,18 @@ impl Experiment {
         // ~zero when an earlier point, sweep or trial already did it.
         let compile_start = std::time::Instant::now();
         let stream = comp.line_stream(scaled.l2.line_size);
-        let lanes = stream.geometry_pair(
-            ccs_dag::CacheGeometry::new(scaled.l1.line_size, scaled.l1.num_sets()),
-            ccs_dag::CacheGeometry::new(scaled.l2.line_size, scaled.l2.num_sets()),
-        );
+        let lanes_bytes = prebuild_lanes(&stream, &scaled);
         let compile_ms = compile_start.elapsed().as_secs_f64() * 1000.0;
         // Memory-footprint metrics: deterministic functions of the
         // build and geometry, identical for both engines.
         let trace_bytes = comp.trace_arena_bytes();
         let peak_alloc_estimate =
-            trace_bytes + stream.heap_bytes() + lanes.heap_bytes() + dag.heap_bytes();
+            trace_bytes + stream.heap_bytes() + lanes_bytes + dag.heap_bytes();
         let sequential = self.baseline.then(|| {
             let mut seq_cfg = scaled.clone();
             seq_cfg.num_cores = 1;
+            // A single core cannot be partitioned into >1 L2 clusters.
+            seq_cfg.clusters = 1;
             seq_cfg.name = format!("{}-seq", scaled.name);
             let mut sched = SchedulerSpec::new("pdf").build();
             simulate_with_engine(comp, dag, &seq_cfg, sched.as_mut(), self.engine)
@@ -655,14 +674,11 @@ impl Experiment {
         let compile_start = std::time::Instant::now();
         let shape = &scaled_configs[0];
         let stream = comp.line_stream(shape.l2.line_size);
-        let lanes = stream.geometry_pair(
-            ccs_dag::CacheGeometry::new(shape.l1.line_size, shape.l1.num_sets()),
-            ccs_dag::CacheGeometry::new(shape.l2.line_size, shape.l2.num_sets()),
-        );
+        let lanes_bytes = prebuild_lanes(&stream, shape);
         let compile_ms = compile_start.elapsed().as_secs_f64() * 1000.0;
         let trace_bytes = comp.trace_arena_bytes();
         let peak_alloc_estimate =
-            trace_bytes + stream.heap_bytes() + lanes.heap_bytes() + dag.heap_bytes();
+            trace_bytes + stream.heap_bytes() + lanes_bytes + dag.heap_bytes();
         // The sequential baselines differ only in latencies too, so they
         // form their own (1-core, hence replayable) batch.
         let sequentials = self.baseline.then(|| {
@@ -671,6 +687,8 @@ impl Experiment {
                 .map(|scaled| {
                     let mut seq_cfg = scaled.clone();
                     seq_cfg.num_cores = 1;
+                    // A single core cannot be partitioned into >1 clusters.
+                    seq_cfg.clusters = 1;
                     seq_cfg.name = format!("{}-seq", scaled.name);
                     seq_cfg
                 })

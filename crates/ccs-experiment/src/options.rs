@@ -26,6 +26,9 @@ use crate::{Experiment, WorkloadSpec};
 /// * `--app lu|hashjoin|mergesort` — restrict to one *paper* benchmark
 ///   (predates `--workloads`, kept as a compatibility alias for the closed
 ///   three-benchmark list; ignored whenever `--workloads` is given);
+/// * `--cores N,...` — simulated core counts (design points) for binaries
+///   that take them (e.g. `serve_client`); each count must be at least 1 —
+///   `--cores 0` would silently simulate nothing and is rejected up front;
 /// * `--parallel N` — fan experiment sweeps across `N` threads of the
 ///   `ccs-runtime` pool ([`Experiment::parallelism`]); `0` means one thread
 ///   per available core, the default (1) is sequential;
@@ -58,6 +61,9 @@ pub struct Options {
     /// Registry-backed workload selection (`--workloads <spec,...>`); empty
     /// means "the default selection" (see [`Options::workload_specs`]).
     pub workloads: Vec<WorkloadSpec>,
+    /// Simulated core counts (`--cores N,...`, each ≥ 1); empty means the
+    /// binary's default design points.
+    pub cores: Vec<usize>,
     /// Worker threads for sweep execution (`--parallel N`; 1 = sequential).
     pub parallel: usize,
     /// Where to write the JSON report, if requested (`--json PATH`, `-` for
@@ -86,6 +92,7 @@ impl Default for Options {
             quick: false,
             app: None,
             workloads: Vec::new(),
+            cores: Vec::new(),
             parallel: 1,
             json: None,
             store: None,
@@ -104,9 +111,36 @@ impl Options {
     /// [`Options::try_parse`].
     pub fn from_env() -> Options {
         Self::try_parse(std::env::args().skip(1)).unwrap_or_else(|e| {
+            if e == OptionsError::Help {
+                println!("{}", Self::help_text());
+                std::process::exit(0);
+            }
             eprintln!("error: {e}");
             std::process::exit(2);
         })
+    }
+
+    /// The `--help` text ([`Options::from_env`] prints it and exits 0).
+    /// Binary-specific flags are documented in each binary's module docs;
+    /// this covers the shared set and the simulation limits behind it.
+    pub fn help_text() -> &'static str {
+        "Shared experiment flags:\n\
+         \x20 --scale N          divide input sizes and cache capacities by N (default 32)\n\
+         \x20 --quick            reduced smoke-test sweep\n\
+         \x20 --workloads SPECS  registry workloads (e.g. mergesort,heat:rows=256,cols=256)\n\
+         \x20 --app NAME         paper benchmark filter (lu|hashjoin|mergesort)\n\
+         \x20 --cores N,...      simulated core counts, each >= 1 (e.g. 2,4,256).\n\
+         \x20                    Counts up to 4096 use the O(sharers) hierarchical\n\
+         \x20                    sharer-mask directory; beyond 4096 the simulator\n\
+         \x20                    falls back to broadcast invalidation (O(cores) per\n\
+         \x20                    store, metrics-identical, slower).\n\
+         \x20 --parallel N       sweep worker threads (0 = one per host core)\n\
+         \x20 --json PATH        write the JSON report to PATH ('-' = stdout)\n\
+         \x20 --store PATH       persistent result-store directory\n\
+         \x20 --engine E         event|reference|batch (default event)\n\
+         \x20 --bench            benchmark mode (run_all emits BENCH_sim.json)\n\
+         \x20 --trials N         benchmark trial count (>= 1)\n\
+         \x20 --help             this text"
     }
 
     /// Parse options from an explicit iterator.
@@ -158,6 +192,20 @@ impl Options {
                         opts.workloads.push(spec);
                     }
                 }
+                "--cores" => {
+                    let v = value(&mut iter, "--cores", "a list of core counts (e.g. 2,4)")?;
+                    for part in v.split(',') {
+                        let n: usize = parse_int(part.trim(), "--cores")?;
+                        if n == 0 {
+                            return Err(OptionsError::invalid(
+                                "--cores",
+                                "0 cores would simulate nothing; counts must be at least 1",
+                            ));
+                        }
+                        opts.cores.push(n);
+                    }
+                }
+                "--help" | "-h" => return Err(OptionsError::Help),
                 "--parallel" => {
                     let v = value(&mut iter, "--parallel", "a value")?;
                     let n: usize = parse_int(&v, "--parallel")?;
@@ -301,6 +349,10 @@ pub enum OptionsError {
         /// the workload registry's did-you-mean listing).
         message: String,
     },
+    /// `--help` was given: not an error, but it short-circuits parsing the
+    /// same way ([`Options::from_env`] prints [`Options::help_text`] and
+    /// exits 0).
+    Help,
 }
 
 impl OptionsError {
@@ -319,6 +371,7 @@ impl std::fmt::Display for OptionsError {
                 write!(f, "{flag} requires {expects}")
             }
             OptionsError::Invalid { flag, message } => write!(f, "{flag}: {message}"),
+            OptionsError::Help => f.write_str(Options::help_text()),
         }
     }
 }
@@ -424,6 +477,48 @@ mod tests {
     }
 
     #[test]
+    fn cores_flag_rejects_zero_and_parses_lists() {
+        let o = Options::parse(["--cores", "2,4, 256"].into_iter().map(String::from));
+        assert_eq!(o.cores, vec![2, 4, 256]);
+        assert!(o.rest.is_empty());
+
+        // `--cores 0` used to be accepted and silently simulated nothing.
+        let err = Options::try_parse(["--cores".into(), "0".into()]).unwrap_err();
+        assert_eq!(
+            err,
+            OptionsError::invalid(
+                "--cores",
+                "0 cores would simulate nothing; counts must be at least 1"
+            )
+        );
+        let err = Options::try_parse(["--cores".into(), "2,0,4".into()]).unwrap_err();
+        assert!(matches!(
+            err,
+            OptionsError::Invalid {
+                flag: "--cores",
+                ..
+            }
+        ));
+        let err = Options::try_parse(["--cores".into(), "many".into()]).unwrap_err();
+        assert_eq!(err.to_string(), "--cores: \"many\" is not an integer");
+    }
+
+    #[test]
+    fn help_flag_short_circuits_and_names_the_broadcast_threshold() {
+        for flag in ["--help", "-h"] {
+            let err = Options::try_parse([flag.to_string()]).unwrap_err();
+            assert_eq!(err, OptionsError::Help);
+        }
+        // The help text documents the directory's broadcast-fallback
+        // threshold so users know why >4096-core runs slow down.
+        let help = Options::help_text();
+        assert!(help.contains("--cores"), "{help}");
+        assert!(help.contains("4096"), "{help}");
+        assert!(help.contains("broadcast"), "{help}");
+        assert_eq!(OptionsError::Help.to_string(), help);
+    }
+
+    #[test]
     fn malformed_flags_are_typed_errors_not_panics() {
         // Every flag that takes a value reports a MissingValue when the
         // command line ends early...
@@ -431,6 +526,7 @@ mod tests {
             "--scale",
             "--app",
             "--workloads",
+            "--cores",
             "--parallel",
             "--json",
             "--store",

@@ -27,6 +27,8 @@ pub struct RunRecord {
     pub config: String,
     /// Number of cores in the configuration.
     pub cores: usize,
+    /// Number of L2 clusters (1 = one L2 shared by every core).
+    pub clusters: usize,
     /// Scheduler registry name (`"pdf"`, `"ws"`, `"ws-rand"`, custom).
     pub scheduler: String,
     /// RNG seed the scheduler was instantiated with, if any.
@@ -47,6 +49,10 @@ pub struct RunRecord {
     pub l2_misses: u64,
     /// L2 misses per 1000 instructions — the paper's main cache metric.
     pub l2_mpki: f64,
+    /// Shared-L3 accesses (0 when the configuration has no L3).
+    pub l3_accesses: u64,
+    /// Shared-L3 misses (0 when the configuration has no L3).
+    pub l3_misses: u64,
     /// Fraction of cycles the memory controller was busy.
     pub bandwidth_utilization: f64,
     /// Off-chip traffic in bytes (fills + write-backs).
@@ -86,6 +92,7 @@ impl RunRecord {
             workload: workload.into(),
             config: result.config_name.clone(),
             cores: result.num_cores,
+            clusters: result.clusters,
             scheduler: spec.name.clone(),
             seed: spec.params.seed,
             cycles: result.cycles,
@@ -96,6 +103,8 @@ impl RunRecord {
             l2_accesses: result.l2.accesses,
             l2_misses: result.l2.misses,
             l2_mpki: result.l2_mpki(),
+            l3_accesses: result.l3.accesses,
+            l3_misses: result.l3.misses,
             bandwidth_utilization: result.bandwidth_utilization,
             off_chip_bytes: result.off_chip_bytes(),
             trace_bytes: 0,
@@ -157,6 +166,7 @@ impl RunRecord {
             ("workload", self.workload.as_str().into()),
             ("config", self.config.as_str().into()),
             ("cores", self.cores.into()),
+            ("clusters", self.clusters.into()),
             ("scheduler", self.scheduler.as_str().into()),
             ("seed", self.seed.into()),
             ("cycles", self.cycles.into()),
@@ -167,6 +177,8 @@ impl RunRecord {
             ("l2_accesses", self.l2_accesses.into()),
             ("l2_misses", self.l2_misses.into()),
             ("l2_mpki", self.l2_mpki.into()),
+            ("l3_accesses", self.l3_accesses.into()),
+            ("l3_misses", self.l3_misses.into()),
             ("bandwidth_utilization", self.bandwidth_utilization.into()),
             ("off_chip_bytes", self.off_chip_bytes.into()),
             ("trace_bytes", self.trace_bytes.into()),
@@ -205,6 +217,7 @@ impl RunRecord {
             workload: str_field("workload")?,
             config: str_field("config")?,
             cores: u64_field("cores")? as usize,
+            clusters: u64_field("clusters")? as usize,
             scheduler: str_field("scheduler")?,
             seed: value
                 .get("seed")
@@ -218,6 +231,8 @@ impl RunRecord {
             l2_accesses: u64_field("l2_accesses")?,
             l2_misses: u64_field("l2_misses")?,
             l2_mpki: f64_field("l2_mpki")?,
+            l3_accesses: u64_field("l3_accesses")?,
+            l3_misses: u64_field("l3_misses")?,
             bandwidth_utilization: f64_field("bandwidth_utilization")?,
             off_chip_bytes: u64_field("off_chip_bytes")?,
             trace_bytes: u64_field("trace_bytes")?,
@@ -239,6 +254,7 @@ impl PartialEq for RunRecord {
         self.workload == other.workload
             && self.config == other.config
             && self.cores == other.cores
+            && self.clusters == other.clusters
             && self.scheduler == other.scheduler
             && self.seed == other.seed
             && self.cycles == other.cycles
@@ -249,6 +265,8 @@ impl PartialEq for RunRecord {
             && self.l2_accesses == other.l2_accesses
             && self.l2_misses == other.l2_misses
             && self.l2_mpki == other.l2_mpki
+            && self.l3_accesses == other.l3_accesses
+            && self.l3_misses == other.l3_misses
             && self.bandwidth_utilization == other.bandwidth_utilization
             && self.off_chip_bytes == other.off_chip_bytes
             && self.trace_bytes == other.trace_bytes
@@ -387,8 +405,9 @@ impl Report {
     /// Serialise all fields as CSV (header + one line per record).
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "workload,config,cores,scheduler,seed,cycles,instructions,tasks,\
+            "workload,config,cores,clusters,scheduler,seed,cycles,instructions,tasks,\
              l1_accesses,l1_misses,l2_accesses,l2_misses,l2_mpki,\
+             l3_accesses,l3_misses,\
              bandwidth_utilization,off_chip_bytes,trace_bytes,\
              peak_alloc_estimate,compile_ms,batch_width,speedup_over_seq\n",
         );
@@ -399,10 +418,11 @@ impl Report {
                 .map(|s| format!("{s:.6}"))
                 .unwrap_or_default();
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{:.6},{},{},{},{:.3},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{},{},{:.6},{},{},{},{:.3},{},{}\n",
                 csv_escape(&r.workload),
                 csv_escape(&r.config),
                 r.cores,
+                r.clusters,
                 csv_escape(&r.scheduler),
                 seed,
                 r.cycles,
@@ -413,6 +433,8 @@ impl Report {
                 r.l2_accesses,
                 r.l2_misses,
                 r.l2_mpki,
+                r.l3_accesses,
+                r.l3_misses,
                 r.bandwidth_utilization,
                 r.off_chip_bytes,
                 r.trace_bytes,
@@ -468,6 +490,7 @@ mod tests {
             workload: "mergesort".into(),
             config: "default-8/64".into(),
             cores: 8,
+            clusters: 1,
             scheduler: scheduler.into(),
             seed,
             cycles: 123_456_789,
@@ -478,6 +501,8 @@ mod tests {
             l2_accesses: 50_000,
             l2_misses: 7_500,
             l2_mpki: 7.593,
+            l3_accesses: 0,
+            l3_misses: 0,
             bandwidth_utilization: 0.25,
             off_chip_bytes: 960_000,
             trace_bytes: 48_000,

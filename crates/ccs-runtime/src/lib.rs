@@ -20,6 +20,21 @@
 //! let (a, b) = pool.install(|| join(|| (1..=10).sum::<u32>(), || 6 * 7));
 //! assert_eq!((a, b), (55, 42));
 //! ```
+//!
+//! Detached work can be tied to a [`CancelToken`] — the sweep-service
+//! daemon uses this to drop queued simulation points unrun when a
+//! request is cancelled (tokens form a tree; cancelling a parent
+//! cancels every child):
+//!
+//! ```
+//! use ccs_runtime::CancelToken;
+//!
+//! let root = CancelToken::new();
+//! let child = root.child();
+//! assert!(!child.is_cancelled());
+//! root.cancel();
+//! assert!(child.is_cancelled()); // spawn_cancellable would skip the job
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

@@ -77,24 +77,35 @@ pub struct BatchRun {
 /// latency and service interval — free.  The sweep planner groups points by
 /// this predicate.
 pub fn same_machine_shape(a: &CmpConfig, b: &CmpConfig) -> bool {
+    let l3_shape = |c: &CmpConfig| {
+        c.l3.as_ref()
+            .map(|l3| (l3.capacity, l3.line_size, l3.associativity))
+    };
     a.num_cores == b.num_cores
+        && a.clusters == b.clusters
         && a.l1.capacity == b.l1.capacity
         && a.l1.line_size == b.l1.line_size
         && a.l1.associativity == b.l1.associativity
         && a.l2.capacity == b.l2.capacity
         && a.l2.line_size == b.l2.line_size
         && a.l2.associativity == b.l2.associativity
+        && l3_shape(a) == l3_shape(b)
 }
 
 /// Whether a group of same-shape configurations qualifies for the
 /// record/replay fast path: a single core (the latency-independence
-/// argument in the module docs) and a shared geometry.  Multi-core groups
-/// return `false` and fall back to full event runs.
+/// argument in the module docs), a flat two-level hierarchy (the tape
+/// records L2 outcomes only, so an L3 or clustered L2 cannot be re-timed)
+/// and a shared geometry.  Other groups return `false` and fall back to
+/// full event runs.
 pub fn replayable(configs: &[CmpConfig]) -> bool {
     let Some(first) = configs.first() else {
         return false;
     };
-    first.num_cores == 1 && configs[1..].iter().all(|c| same_machine_shape(first, c))
+    first.num_cores == 1
+        && first.l3.is_none()
+        && first.clusters == 1
+        && configs[1..].iter().all(|c| same_machine_shape(first, c))
 }
 
 /// The tape of one recorded pass: task dispatch order plus every L1 miss.
@@ -218,10 +229,12 @@ fn replay(comp: &Computation, config: &CmpConfig, tape: &Tape, recorded: &SimRes
         config_name: config.name.clone(),
         scheduler: recorded.scheduler.clone(),
         num_cores: 1,
+        clusters: 1,
         cycles: makespan,
         instructions: recorded.instructions,
         l1: recorded.l1,
         l2: recorded.l2,
+        l3: recorded.l3,
         memory: *memory.stats(),
         bandwidth_utilization: memory.utilization(makespan),
         core_busy: vec![busy],
@@ -280,6 +293,13 @@ mod tests {
         fat.l2 = ccs_cache::CacheConfig::new(128 * 1024, 128, 16, 13);
         assert!(!same_machine_shape(&a, &fat));
         assert!(!replayable(&[]));
+        let mut with_l3 = config(1, 13, 300);
+        with_l3.l3 = Some(ccs_cache::CacheConfig::new(1 << 20, 128, 16, 31));
+        assert!(!same_machine_shape(&a, &with_l3), "L3 changes the shape");
+        assert!(!replayable(&[with_l3]), "the tape stops at the L2");
+        let mut clustered = config(4, 13, 300);
+        clustered.clusters = 2;
+        assert!(!same_machine_shape(&wide, &clustered));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! CMP configurations (Tables 1–3).
+//! CMP configurations (Tables 1–3), plus the many-core extensions.
 //!
 //! A [`CmpConfig`] bundles everything the simulator needs: the number of
 //! cores, the private L1 geometry, the shared L2 geometry and latency, and
@@ -6,6 +6,15 @@
 //! *default* (scaling-technology, Table 2) and *single-technology* (45 nm,
 //! Table 3) design points, plus a `scaled` transform that shrinks the caches
 //! proportionally for scaled-down experiment inputs (DESIGN.md §4).
+//!
+//! Beyond the paper's tables, a configuration can describe a three-level,
+//! clustered hierarchy (DESIGN.md §12): [`CmpConfig::clustered`] partitions
+//! the cores into clusters that each own a slice of the L2, and
+//! [`CmpConfig::with_l3_mb`] adds a chip-wide shared L3 behind the L2s.
+//! [`CmpConfig::many_core`] builds the flat 64–1024-core design points the
+//! scaling study (`figs::scaling_profile`) starts from.  The default for
+//! every table constructor is the paper's topology: one shared L2
+//! (`clusters == 1`) and no L3.
 
 use ccs_cache::{CacheConfig, MemoryConfig};
 
@@ -22,8 +31,17 @@ pub struct CmpConfig {
     pub technology: Technology,
     /// Private, per-core L1 cache.
     pub l1: CacheConfig,
-    /// Shared L2 cache.
+    /// L2 cache.  With `clusters == 1` this is the chip-wide shared L2 of
+    /// the paper; with `clusters > 1` it is the geometry of *each* cluster's
+    /// L2 slice (see [`CmpConfig::clustered`]).
     pub l2: CacheConfig,
+    /// Optional chip-wide shared L3 behind the L2s (`None` = the paper's
+    /// two-level hierarchy).
+    pub l3: Option<CacheConfig>,
+    /// Number of L2 clusters the cores are partitioned into.  `1` (the
+    /// default everywhere) is the paper's single shared L2; larger values
+    /// give each group of `num_cores / clusters` cores its own L2.
+    pub clusters: usize,
     /// Off-chip memory timing.
     pub memory: MemoryConfig,
 }
@@ -44,8 +62,21 @@ impl CmpConfig {
             technology,
             l1: CacheConfig::paper_l1(),
             l2: area::l2_config(l2_mb, 128),
+            l3: None,
+            clusters: 1,
             memory: MemoryConfig::paper_default(),
         }
+    }
+
+    /// A flat many-core design point beyond the paper's tables, used by the
+    /// scaling study (DESIGN.md §12): `cores` cores at 32 nm with a shared
+    /// L2 sized at one megabyte per four cores, clamped to [16, 128] MB.
+    /// Compose with [`CmpConfig::clustered`] and [`CmpConfig::with_l3_mb`]
+    /// for the three-level variants.
+    pub fn many_core(cores: usize) -> CmpConfig {
+        assert!(cores >= 1, "need at least one core");
+        let l2_mb = (cores as u64 / 4).clamp(16, 128);
+        CmpConfig::from_l2_mb(format!("scale-{cores}"), Technology::Nm32, cores, l2_mb)
     }
 
     /// The six default (scaling-technology) configurations of Table 2, for
@@ -112,6 +143,49 @@ impl CmpConfig {
         self
     }
 
+    /// Add a chip-wide shared L3 of `capacity_mb` megabytes behind the
+    /// (possibly clustered) L2s, deriving its associativity and hit time
+    /// from the same banked area model as the L2 (DESIGN.md §12).  An L2
+    /// miss then probes the L3 before going off-chip.
+    pub fn with_l3_mb(mut self, capacity_mb: u64) -> Self {
+        assert!(capacity_mb >= 1, "L3 needs at least one megabyte");
+        self.l3 = Some(area::l2_config(capacity_mb, self.l2.line_size));
+        self.name = format!("{}-l3m{}", self.name, capacity_mb);
+        self
+    }
+
+    /// Partition the cores into `clusters` clusters, each owning a
+    /// `1/clusters` slice of the L2 capacity (associativity re-derived for
+    /// the smaller slice, hit latency and line size unchanged — compose
+    /// with [`CmpConfig::with_l2_hit_latency`] to override).  The aggregate
+    /// L2 capacity on chip is preserved; what changes is which cores share
+    /// it.  `num_cores` must be divisible by `clusters`.
+    pub fn clustered(mut self, clusters: usize) -> Self {
+        assert!(clusters >= 1, "need at least one cluster");
+        assert!(
+            self.num_cores.is_multiple_of(clusters),
+            "{} cores cannot be split into {clusters} equal clusters",
+            self.num_cores
+        );
+        if clusters == 1 {
+            return self;
+        }
+        let capacity = (self.l2.capacity / clusters as u64).max(self.l2.line_size);
+        let capacity = (capacity / self.l2.line_size).max(1) * self.l2.line_size;
+        let assoc = area::l2_associativity(capacity, self.l2.line_size)
+            .min((capacity / self.l2.line_size) as u32);
+        self.l2 = CacheConfig::new(capacity, self.l2.line_size, assoc, self.l2.hit_latency);
+        self.clusters = clusters;
+        self.name = format!("{}-c{}", self.name, clusters);
+        self
+    }
+
+    /// Cores per L2 cluster (`num_cores / clusters`).
+    pub fn cores_per_cluster(&self) -> usize {
+        debug_assert_eq!(self.num_cores % self.clusters, 0);
+        self.num_cores / self.clusters
+    }
+
     /// Shrink both cache capacities by `1/divisor` (latencies, line sizes and
     /// memory timing unchanged), re-deriving the associativities for the new
     /// capacities.  Used to run scaled-down workloads whose inputs were also
@@ -135,6 +209,8 @@ impl CmpConfig {
             technology: self.technology,
             l1: scale_cache(&self.l1, 4 * 1024),
             l2: scale_cache(&self.l2, 16 * 1024),
+            l3: self.l3.as_ref().map(|l3| scale_cache(l3, 32 * 1024)),
+            clusters: self.clusters,
             memory: self.memory,
         }
     }
@@ -157,7 +233,19 @@ impl std::fmt::Display for CmpConfig {
             self.l2.associativity,
             self.l2.hit_latency,
             self.technology,
-        )
+        )?;
+        if self.clusters > 1 {
+            write!(
+                f,
+                ", {} clusters of {}",
+                self.clusters,
+                self.cores_per_cluster()
+            )?;
+        }
+        if let Some(l3) = &self.l3 {
+            write!(f, ", {} KB shared L3", l3.capacity / 1024)?;
+        }
+        Ok(())
     }
 }
 
@@ -259,5 +347,85 @@ mod tests {
         let s = cfg.to_string();
         assert!(s.contains("8 cores"));
         assert!(s.contains("65nm"));
+    }
+
+    #[test]
+    fn table_constructors_default_to_flat_two_level() {
+        for cfg in CmpConfig::default_configs()
+            .into_iter()
+            .chain(CmpConfig::single_tech_45nm())
+        {
+            assert_eq!(cfg.clusters, 1, "{}", cfg.name);
+            assert!(cfg.l3.is_none(), "{}", cfg.name);
+            assert_eq!(cfg.cores_per_cluster(), cfg.num_cores);
+        }
+    }
+
+    #[test]
+    fn clustering_partitions_the_l2_capacity() {
+        let base = CmpConfig::many_core(256);
+        let clustered = base.clone().clustered(8);
+        assert_eq!(clustered.clusters, 8);
+        assert_eq!(clustered.cores_per_cluster(), 32);
+        assert_eq!(
+            clustered.l2.capacity * 8,
+            base.l2.capacity,
+            "aggregate L2 capacity preserved"
+        );
+        assert_eq!(clustered.l2.hit_latency, base.l2.hit_latency);
+        assert!(clustered.l2.validate().is_ok());
+        assert!(clustered.name.ends_with("-c8"), "{}", clustered.name);
+        // A single cluster is the identity.
+        assert_eq!(base.clone().clustered(1), base);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal clusters")]
+    fn clustering_requires_divisible_cores() {
+        let _ = CmpConfig::many_core(64).clustered(7);
+    }
+
+    #[test]
+    fn l3_is_derived_from_the_area_model() {
+        let cfg = CmpConfig::many_core(256).with_l3_mb(64);
+        let l3 = cfg.l3.expect("L3 present");
+        assert_eq!(l3.capacity, 64 * 1024 * 1024);
+        assert_eq!(l3.line_size, cfg.l2.line_size);
+        assert_eq!(l3.hit_latency, crate::area::l2_hit_latency(64));
+        assert!(l3.validate().is_ok());
+        assert!(cfg.name.ends_with("-l3m64"), "{}", cfg.name);
+    }
+
+    #[test]
+    fn scaling_shrinks_the_l3_and_keeps_the_topology() {
+        let base = CmpConfig::many_core(256).clustered(8).with_l3_mb(64);
+        let scaled = base.scaled(64);
+        assert_eq!(scaled.clusters, 8);
+        let l3 = scaled.l3.expect("L3 survives scaling");
+        assert_eq!(l3.capacity, 1024 * 1024);
+        assert!(l3.validate().is_ok());
+        assert_eq!(base.scaled(1), base, "identity holds with L3/clusters");
+        // The minimum floor engages for extreme divisors.
+        let tiny = base.scaled(1 << 20);
+        assert!(tiny.l3.unwrap().capacity >= 32 * 1024);
+    }
+
+    #[test]
+    fn many_core_points_are_valid_and_named() {
+        for cores in [64usize, 128, 256, 512, 1024] {
+            let cfg = CmpConfig::many_core(cores);
+            assert_eq!(cfg.num_cores, cores);
+            assert_eq!(cfg.name, format!("scale-{cores}"));
+            assert!(cfg.l2.validate().is_ok());
+            assert!(cfg.l2.capacity >= 16 * 1024 * 1024);
+        }
+    }
+
+    #[test]
+    fn display_shows_clusters_and_l3() {
+        let cfg = CmpConfig::many_core(256).clustered(8).with_l3_mb(64);
+        let s = cfg.to_string();
+        assert!(s.contains("8 clusters of 32"), "{s}");
+        assert!(s.contains("65536 KB shared L3"), "{s}");
     }
 }

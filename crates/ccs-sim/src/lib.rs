@@ -20,7 +20,12 @@
 //!   pass and are re-timed per config ([`batch`] has the correctness
 //!   argument);
 //! * [`SimResult`] — execution time, L2 misses per 1000 instructions,
-//!   bandwidth utilisation and the other metrics the paper reports.
+//!   bandwidth utilisation and the other metrics the paper reports;
+//! * many-core, three-level hierarchies (DESIGN.md §12):
+//!   [`CmpConfig::many_core`] scale points, [`CmpConfig::clustered`]
+//!   per-cluster L2 slices and [`CmpConfig::with_l3_mb`] for a shared L3,
+//!   with hierarchical sharer masks keeping store invalidation
+//!   `O(sharers)` up to 4096 cores.
 //!
 //! # Example
 //!
@@ -45,6 +50,28 @@
 //! let ws = simulate(&comp, &config, SchedulerKind::WorkStealing);
 //! assert_eq!(pdf.instructions, ws.instructions);
 //! assert!(pdf.l2.misses <= ws.l2.misses);
+//! ```
+//!
+//! A three-level machine is one builder chain away, and every engine
+//! reports byte-identical metrics for it:
+//!
+//! ```
+//! use ccs_sim::{simulate_engine, CmpConfig, SimEngine};
+//! # use ccs_dag::{AddressSpace, ComputationBuilder, GroupMeta};
+//! # let mut space = AddressSpace::new();
+//! # let data = space.alloc(16 * 1024);
+//! # let mut b = ComputationBuilder::new(128);
+//! # let t1 = b.strand_with(|t| { t.read_range(data.base, data.bytes, 1); });
+//! # let t2 = b.strand_with(|t| { t.write(data.base, 64); });
+//! # let par = b.par(vec![t1, t2], GroupMeta::labeled("scan"));
+//! # let comp = b.finish(par);
+//! // 64 cores in four 16-core clusters (a quarter of the L2 each),
+//! // backed by a 32 MB shared L3.
+//! let config = CmpConfig::many_core(64).clustered(4).with_l3_mb(32);
+//! let fast = simulate_engine(&comp, &config, "pdf", SimEngine::EventDriven);
+//! let slow = simulate_engine(&comp, &config, "pdf", SimEngine::Reference);
+//! assert_eq!(fast, slow);
+//! assert_eq!(fast.l3.accesses, fast.l2.misses); // the L3 sits below the L2s
 //! ```
 
 #![warn(missing_docs)]

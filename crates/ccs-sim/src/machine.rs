@@ -75,9 +75,8 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use ccs_cache::directory::MAX_DIRECTORY_CORES;
 use ccs_cache::{line_tag, CompiledCache, MainMemory};
-use ccs_dag::stream::PairedSetLanes;
+use ccs_dag::stream::{PairedSetLanes, TripleSetLanes};
 use ccs_dag::{CacheGeometry, Computation, Dag, LineStream, TaskId, STEP_ID_MASK, STEP_WRITE_BIT};
 use ccs_sched::{Scheduler, SchedulerSpec};
 
@@ -178,11 +177,42 @@ impl Record for NoRecord {
 enum Phase {
     /// Ready to start (or continue) the current step of the current task.
     NextOp,
-    /// An L1 miss is probing the shared L2; resolves at the core's `time`.
-    L2Probe { id: u32, is_write: bool },
-    /// An L2 miss is waiting for main memory; data arrives at the core's
+    /// An L1 miss is probing the (cluster's) L2; resolves at the core's
     /// `time`.
+    L2Probe { id: u32, is_write: bool },
+    /// An L2 miss is probing the shared L3 (three-level hierarchies only);
+    /// resolves at the core's `time`.
+    L3Probe { id: u32, is_write: bool },
+    /// A last-level miss is waiting for main memory; data arrives at the
+    /// core's `time`.
     MemFill { id: u32, is_write: bool },
+}
+
+/// The event engine's sharer-tracking structure, picked by core count (see
+/// DESIGN.md §8 and §12).  All variants maintain the same one-directional
+/// invariant — core `c`'s L1 holds a line ⇒ the line's mask has `c`'s bit —
+/// and tolerate stale bits, so they are interchangeable metrics-wise; they
+/// differ only in the cost of a store.
+enum Directory {
+    /// One core: no remote copy can exist, so fills and stores skip the
+    /// directory entirely.
+    Single,
+    /// 2–64 cores: one sharer word per line id, indexed flat.
+    Flat(Vec<u64>),
+    /// 65–[`ccs_cache::directory::MAX_DIRECTORY_CORES`] cores: per line id,
+    /// a *summary word* (bit `w` = "core word `w` is non-zero") followed by
+    /// `ceil(p/64)` core words.  A store walks only the set summary bits
+    /// and the set core bits, keeping invalidation `O(sharers)` instead of
+    /// the former `O(p)` broadcast.
+    Hier {
+        /// Words per line: `1 + ceil(p/64)`.
+        stride: usize,
+        words: Vec<u64>,
+    },
+    /// Wider than the hierarchical mask supports: broadcast every store to
+    /// all other L1s (the pre-§12 fallback, now effectively unreachable
+    /// below 4097 cores).
+    Broadcast,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -307,8 +337,34 @@ pub(crate) fn event_driven_rec<R: Record>(
     sched: &mut dyn Scheduler,
     rec: &mut R,
 ) -> SimResult {
+    // Monomorphise the hot loop per hierarchy depth: the two-level variant
+    // compiles to exactly the pre-L3 engine (paired lanes, no L3 branch in
+    // any path), the three-level variant decodes the triple lanes and
+    // probes the L3 between an L2 miss and memory.
+    if config.l3.is_some() {
+        event_loop::<R, true>(comp, dag, config, sched, rec)
+    } else {
+        event_loop::<R, false>(comp, dag, config, sched, rec)
+    }
+}
+
+/// The engine body, monomorphised over `HAS_L3` (see [`event_driven_rec`]).
+fn event_loop<R: Record, const HAS_L3: bool>(
+    comp: &Computation,
+    dag: &Dag,
+    config: &CmpConfig,
+    sched: &mut dyn Scheduler,
+    rec: &mut R,
+) -> SimResult {
     let p = config.num_cores;
     assert!(p > 0, "need at least one core");
+    debug_assert_eq!(config.l3.is_some(), HAS_L3);
+    let clusters = config.clusters;
+    assert!(
+        clusters >= 1 && p.is_multiple_of(clusters),
+        "{p} cores cannot be split into {clusters} equal clusters"
+    );
+    let cores_per_cluster = p / clusters;
     let n = comp.num_tasks();
     let line_size = config.l2.line_size;
     assert_eq!(
@@ -321,25 +377,68 @@ pub(crate) fn event_driven_rec<R: Record>(
     let stream_arc = comp.line_stream(line_size);
     let stream: &LineStream = &stream_arc;
     let stream_packed = stream.packed();
-    // Geometry-compiled lanes: line id → packed (L1 set, L2 set), one
-    // table per distinct geometry pair, memoised on the stream so every
-    // scheduler × core-count point of a sweep shares it.  Together with
-    // the id-as-tag convention (`line_tag`) the hot loop below never
-    // touches a 64-bit address: probes are (u32 set, u32 tag) pairs, and
-    // the L2 set rides in the high half of the word the L1 probe already
-    // loaded — an L1 miss costs no extra lane traffic.
-    let set_lanes = stream.geometry_pair(
-        CacheGeometry::new(line_size, config.l1.num_sets()),
-        CacheGeometry::new(line_size, config.l2.num_sets()),
-    );
-    let set_lane: &[u64] = set_lanes.packed();
+    // Geometry-compiled lanes: line id → packed set indices, one table per
+    // distinct geometry tuple, memoised on the stream so every scheduler ×
+    // core-count point of a sweep shares it.  Together with the id-as-tag
+    // convention (`line_tag`) the hot loop below never touches a 64-bit
+    // address: probes are (u32 set, u32 tag) pairs, and the lower-level
+    // sets ride in the high bits of the word the L1 probe already loaded —
+    // an L1 (or L2) miss costs no extra lane traffic.  Two-level machines
+    // use the full-width [`PairedSetLanes`]; an L3 re-cuts the word into
+    // three fields ([`TripleSetLanes`], DESIGN.md §12).
+    let l1_geometry = CacheGeometry::new(line_size, config.l1.num_sets());
+    let l2_geometry = CacheGeometry::new(line_size, config.l2.num_sets());
+    let (pair_lanes, triple_lanes) = if HAS_L3 {
+        let l3_cfg = config.l3.as_ref().expect("HAS_L3 implies an L3 config");
+        assert_eq!(
+            l3_cfg.line_size, line_size,
+            "L3 must use the same line size as the L2"
+        );
+        let triple = stream.geometry_triple(
+            l1_geometry,
+            l2_geometry,
+            CacheGeometry::new(line_size, l3_cfg.num_sets()),
+        );
+        (None, Some(triple))
+    } else {
+        (Some(stream.geometry_pair(l1_geometry, l2_geometry)), None)
+    };
+    let set_lane: &[u64] = match (&pair_lanes, &triple_lanes) {
+        (Some(pair), None) => pair.packed(),
+        (None, Some(triple)) => triple.packed(),
+        _ => unreachable!(),
+    };
+    // Lane decoders, const-folded per monomorphisation.
+    let lane_l1_set = |word: u64| {
+        if HAS_L3 {
+            TripleSetLanes::l1_set(word)
+        } else {
+            PairedSetLanes::l1_set(word)
+        }
+    };
+    let lane_l2_set = |word: u64| {
+        if HAS_L3 {
+            TripleSetLanes::l2_set(word)
+        } else {
+            PairedSetLanes::l2_set(word)
+        }
+    };
 
     let l1_hit_latency = config.l1.hit_latency;
     let l2_hit_latency = config.l2.hit_latency;
+    let l3_hit_latency = config.l3.as_ref().map_or(0, |c| c.hit_latency);
     let mut l1s: Vec<CompiledCache> = (0..p)
         .map(|_| CompiledCache::new(config.l1.num_sets(), config.l1.associativity))
         .collect();
-    let mut l2 = CompiledCache::new(config.l2.num_sets(), config.l2.associativity);
+    // One L2 per cluster (`clusters == 1` is the paper's single shared L2);
+    // a core probes the L2 of cluster `core_id / cores_per_cluster`.
+    let mut l2s: Vec<CompiledCache> = (0..clusters)
+        .map(|_| CompiledCache::new(config.l2.num_sets(), config.l2.associativity))
+        .collect();
+    let mut l3 = config
+        .l3
+        .as_ref()
+        .map(|c| CompiledCache::new(c.num_sets(), c.associativity));
     let mut memory = MainMemory::new(config.memory);
     // Line-ownership directory: stores invalidate only the L1s that may
     // hold a copy (`O(sharers)`), instead of broadcasting to all `p`.  With
@@ -349,10 +448,24 @@ pub(crate) fn event_driven_rec<R: Record>(
     // every L1 allocation and only pruned by stores, so the mask is a
     // superset of the true holders (a stale bit costs one no-op
     // invalidation — metrics-identical to the broadcast).  A single core
-    // has no remote copies to invalidate, and a machine wider than the
-    // mask falls back to the broadcast.
-    let mut directory: Option<Vec<u64>> =
-        (p > 1 && p <= MAX_DIRECTORY_CORES).then(|| vec![0u64; stream.num_lines()]);
+    // has no remote copies to invalidate; past 64 cores the mask goes
+    // hierarchical — a summary word over `ceil(p/64)` core words per line
+    // (DESIGN.md §12) — so invalidation stays `O(sharers)` all the way to
+    // `MAX_DIRECTORY_CORES`, beyond which the broadcast remains as a
+    // fallback.
+    let mut directory = if p == 1 {
+        Directory::Single
+    } else if p <= 64 {
+        Directory::Flat(vec![0u64; stream.num_lines()])
+    } else if p <= ccs_cache::directory::MAX_DIRECTORY_CORES {
+        let stride = 1 + p.div_ceil(64);
+        Directory::Hier {
+            stride,
+            words: vec![0u64; stream.num_lines() * stride],
+        }
+    } else {
+        Directory::Broadcast
+    };
     // One-entry MRU filter per core: the line id this core's last completed
     // access left at the MRU position of its L1 (`NO_LINE` = unknown).  A
     // read matching the filter is a guaranteed L1 hit on the MRU way — a
@@ -512,6 +625,7 @@ pub(crate) fn event_driven_rec<R: Record>(
         let task_end = stream.range(task_id).1;
         let (l1s_below, rest) = l1s.split_at_mut(core_id);
         let (my_l1, l1s_above) = rest.split_first_mut().expect("core id in range");
+        let my_l2 = &mut l2s[core_id / cores_per_cluster];
 
         // Yield check: does `(yt, yc)` sort before this core at `time`?
         macro_rules! yields {
@@ -519,35 +633,50 @@ pub(crate) fn event_driven_rec<R: Record>(
                 yt < $time || (yt == $time && yc < core_id)
             };
         }
-        // An L2 hit or a returning memory fill: install the line in this
-        // core's L1 and move on to the next step.  The miss already
+        // A lower-level hit or a returning memory fill: install the line in
+        // this core's L1 and move on to the next step.  The miss already
         // allocated the line at the MRU position with the right dirty bit,
         // and this core makes no other L1 accesses while blocked, so the
         // fill is a state no-op *unless* a remote store invalidated the
         // line in flight.  For the in-flight line the directory is exact
         // (stale bits only arise from evictions, and a blocked core evicts
-        // nothing), so `holds` decides; with one core no remote store
-        // exists at all.  Only the >64-core broadcast fallback still has
-        // to re-probe unconditionally.  Either way the line ends at the
-        // MRU position of this L1, so the filter latches it.
+        // nothing), so the sharer bit decides; with one core no remote
+        // store exists at all.  Only the past-`MAX_DIRECTORY_CORES`
+        // broadcast fallback still has to re-probe unconditionally.  Either
+        // way the line ends at the MRU position of this L1, so the filter
+        // latches it.
         macro_rules! fill_and_advance {
             ($id:expr, $is_write:expr) => {
-                match directory.as_mut() {
-                    Some(dir) => {
+                match &mut directory {
+                    Directory::Single => {}
+                    Directory::Flat(dir) => {
                         let slot = &mut dir[$id as usize];
                         if *slot & (1u64 << core_id) == 0 {
                             my_l1.fill_compiled(
-                                PairedSetLanes::l1_set(set_lane[$id as usize]),
+                                lane_l1_set(set_lane[$id as usize]),
                                 line_tag($id),
                                 $is_write,
                             );
                             *slot |= 1u64 << core_id;
                         }
                     }
-                    None if p == 1 => {}
-                    None => {
+                    Directory::Hier { stride, words } => {
+                        let base = $id as usize * *stride;
+                        let bit = 1u64 << (core_id % 64);
+                        let word = &mut words[base + 1 + core_id / 64];
+                        if *word & bit == 0 {
+                            my_l1.fill_compiled(
+                                lane_l1_set(set_lane[$id as usize]),
+                                line_tag($id),
+                                $is_write,
+                            );
+                            *word |= bit;
+                            words[base] |= 1u64 << (core_id / 64);
+                        }
+                    }
+                    Directory::Broadcast => {
                         my_l1.fill_compiled(
-                            PairedSetLanes::l1_set(set_lane[$id as usize]),
+                            lane_l1_set(set_lane[$id as usize]),
                             line_tag($id),
                             $is_write,
                         );
@@ -588,52 +717,107 @@ pub(crate) fn event_driven_rec<R: Record>(
                             core.step += 1;
                         } else {
                             // Id-native probe: one packed lane word gives
-                            // both set indices, the id doubles as the u32
+                            // every set index, the id doubles as the u32
                             // tag — no address is ever formed.
                             let tag = line_tag(id);
                             let sets = set_lane[id as usize];
-                            let l1_set = PairedSetLanes::l1_set(sets);
+                            let l1_set = lane_l1_set(sets);
                             let hit = my_l1.access_compiled(l1_set, tag, is_write);
-                            if let Some(dir) = directory.as_mut() {
-                                let slot = &mut dir[id as usize];
-                                if !hit {
-                                    // The probe allocated the line: record
-                                    // the copy.  The evicted victim's bit is
-                                    // left stale on purpose (see the
-                                    // directory comment above).
-                                    *slot |= 1u64 << core_id;
-                                }
-                                if is_write {
-                                    // Write-invalidate the sharing L1s only,
-                                    // dropping their MRU-filter entries for
-                                    // this line.  Private L1s share one
-                                    // geometry, so the victim's set index is
-                                    // this core's.
-                                    let mut others = *slot & !(1u64 << core_id);
-                                    *slot &= 1u64 << core_id;
-                                    while others != 0 {
-                                        let other = others.trailing_zeros() as usize;
-                                        others &= others - 1;
-                                        if other < core_id {
-                                            l1s_below[other].invalidate_compiled(l1_set, tag);
-                                        } else {
-                                            l1s_above[other - core_id - 1]
-                                                .invalidate_compiled(l1_set, tag);
-                                        }
-                                        if mru[other] == id {
-                                            mru[other] = NO_LINE;
+                            match &mut directory {
+                                Directory::Single => {}
+                                Directory::Flat(dir) => {
+                                    let slot = &mut dir[id as usize];
+                                    if !hit {
+                                        // The probe allocated the line: record
+                                        // the copy.  The evicted victim's bit is
+                                        // left stale on purpose (see the
+                                        // directory comment above).
+                                        *slot |= 1u64 << core_id;
+                                    }
+                                    if is_write {
+                                        // Write-invalidate the sharing L1s only,
+                                        // dropping their MRU-filter entries for
+                                        // this line.  Private L1s share one
+                                        // geometry, so the victim's set index is
+                                        // this core's.
+                                        let mut others = *slot & !(1u64 << core_id);
+                                        *slot &= 1u64 << core_id;
+                                        while others != 0 {
+                                            let other = others.trailing_zeros() as usize;
+                                            others &= others - 1;
+                                            if other < core_id {
+                                                l1s_below[other].invalidate_compiled(l1_set, tag);
+                                            } else {
+                                                l1s_above[other - core_id - 1]
+                                                    .invalidate_compiled(l1_set, tag);
+                                            }
+                                            if mru[other] == id {
+                                                mru[other] = NO_LINE;
+                                            }
                                         }
                                     }
                                 }
-                            } else if is_write {
-                                // Broadcast fallback (single core, or more
-                                // cores than the directory's sharer mask).
-                                for l1 in l1s_below.iter_mut().chain(l1s_above.iter_mut()) {
-                                    l1.invalidate_compiled(l1_set, tag);
+                                Directory::Hier { stride, words } => {
+                                    // The hierarchical form of the flat arm
+                                    // above: the summary word steers the walk
+                                    // to the non-empty core words, so a store
+                                    // visits O(sharers) words regardless of p.
+                                    let base = id as usize * *stride;
+                                    let my_word = core_id / 64;
+                                    let my_bit = 1u64 << (core_id % 64);
+                                    if !hit {
+                                        words[base + 1 + my_word] |= my_bit;
+                                        words[base] |= 1u64 << my_word;
+                                    }
+                                    if is_write {
+                                        let mut summary = words[base];
+                                        while summary != 0 {
+                                            let w = summary.trailing_zeros() as usize;
+                                            summary &= summary - 1;
+                                            let mut others = words[base + 1 + w];
+                                            if w == my_word {
+                                                others &= !my_bit;
+                                            }
+                                            while others != 0 {
+                                                let other =
+                                                    w * 64 + others.trailing_zeros() as usize;
+                                                others &= others - 1;
+                                                if other < core_id {
+                                                    l1s_below[other]
+                                                        .invalidate_compiled(l1_set, tag);
+                                                } else {
+                                                    l1s_above[other - core_id - 1]
+                                                        .invalidate_compiled(l1_set, tag);
+                                                }
+                                                if mru[other] == id {
+                                                    mru[other] = NO_LINE;
+                                                }
+                                            }
+                                            words[base + 1 + w] = if w == my_word {
+                                                words[base + 1 + w] & my_bit
+                                            } else {
+                                                0
+                                            };
+                                        }
+                                        words[base] = if words[base + 1 + my_word] != 0 {
+                                            1u64 << my_word
+                                        } else {
+                                            0
+                                        };
+                                    }
                                 }
-                                for (other, slot) in mru.iter_mut().enumerate() {
-                                    if other != core_id && *slot == id {
-                                        *slot = NO_LINE;
+                                Directory::Broadcast => {
+                                    if is_write {
+                                        // Wider than the hierarchical mask:
+                                        // broadcast to every other L1.
+                                        for l1 in l1s_below.iter_mut().chain(l1s_above.iter_mut()) {
+                                            l1.invalidate_compiled(l1_set, tag);
+                                        }
+                                        for (other, slot) in mru.iter_mut().enumerate() {
+                                            if other != core_id && *slot == id {
+                                                *slot = NO_LINE;
+                                            }
+                                        }
                                     }
                                 }
                             }
@@ -644,9 +828,9 @@ pub(crate) fn event_driven_rec<R: Record>(
                             } else {
                                 // L1 miss: the L2 probe resolves after the L2
                                 // hit latency.  Fused fast path — run the
-                                // probe (and, on an L2 miss, the memory fill)
-                                // right now unless another core's event
-                                // interleaves.
+                                // probe (and, on a deeper miss, the L3 probe
+                                // and memory fill) right now unless another
+                                // core's event interleaves.
                                 core.time += l2_hit_latency;
                                 if yields!(core.time) {
                                     core.phase = Phase::L2Probe { id, is_write };
@@ -655,10 +839,35 @@ pub(crate) fn event_driven_rec<R: Record>(
                                     break;
                                 }
                                 let l2_hit =
-                                    l2.access_compiled(PairedSetLanes::l2_set(sets), tag, is_write);
+                                    my_l2.access_compiled(lane_l2_set(sets), tag, is_write);
                                 rec.l1_miss(core.step, l2_hit);
                                 if l2_hit {
                                     fill_and_advance!(id, is_write);
+                                } else if HAS_L3 {
+                                    core.time += l3_hit_latency;
+                                    if yields!(core.time) {
+                                        core.phase = Phase::L3Probe { id, is_write };
+                                        active.push(Reverse((core.time, core_id)));
+                                        cores[core_id] = core;
+                                        break;
+                                    }
+                                    let l3_hit = l3.as_mut().expect("HAS_L3").access_compiled(
+                                        TripleSetLanes::l3_set(sets),
+                                        tag,
+                                        is_write,
+                                    );
+                                    if l3_hit {
+                                        fill_and_advance!(id, is_write);
+                                    } else {
+                                        core.time = memory.request(core.time);
+                                        if yields!(core.time) {
+                                            core.phase = Phase::MemFill { id, is_write };
+                                            active.push(Reverse((core.time, core_id)));
+                                            cores[core_id] = core;
+                                            break;
+                                        }
+                                        fill_and_advance!(id, is_write);
+                                    }
                                 } else {
                                     core.time = memory.request(core.time);
                                     if yields!(core.time) {
@@ -713,10 +922,27 @@ pub(crate) fn event_driven_rec<R: Record>(
                     }
                 }
                 Phase::L2Probe { id, is_write } => {
-                    let l2_set = PairedSetLanes::l2_set(set_lane[id as usize]);
-                    let l2_hit = l2.access_compiled(l2_set, line_tag(id), is_write);
+                    let l2_set = lane_l2_set(set_lane[id as usize]);
+                    let l2_hit = my_l2.access_compiled(l2_set, line_tag(id), is_write);
                     rec.l1_miss(core.step, l2_hit);
                     if l2_hit {
+                        fill_and_advance!(id, is_write);
+                    } else if HAS_L3 {
+                        core.time += l3_hit_latency;
+                        core.phase = Phase::L3Probe { id, is_write };
+                    } else {
+                        core.time = memory.request(core.time);
+                        core.phase = Phase::MemFill { id, is_write };
+                    }
+                }
+                Phase::L3Probe { id, is_write } => {
+                    let l3_set = TripleSetLanes::l3_set(set_lane[id as usize]);
+                    let l3_hit = l3.as_mut().expect("HAS_L3").access_compiled(
+                        l3_set,
+                        line_tag(id),
+                        is_write,
+                    );
+                    if l3_hit {
                         fill_and_advance!(id, is_write);
                     } else {
                         core.time = memory.request(core.time);
@@ -744,15 +970,21 @@ pub(crate) fn event_driven_rec<R: Record>(
     for l1 in &l1s {
         l1_total.merge(l1.stats());
     }
+    let mut l2_total = ccs_cache::CacheStats::default();
+    for l2 in &l2s {
+        l2_total.merge(l2.stats());
+    }
 
     SimResult {
         config_name: config.name.clone(),
         scheduler: sched.name().to_string(),
         num_cores: p,
+        clusters: config.clusters,
         cycles: makespan,
         instructions: comp.total_work(),
         l1: l1_total,
-        l2: *l2.stats(),
+        l2: l2_total,
+        l3: l3.map(|c| *c.stats()).unwrap_or_default(),
         memory: *memory.stats(),
         bandwidth_utilization: memory.utilization(makespan),
         core_busy: cores.iter().map(|c| c.busy).collect(),
@@ -999,6 +1231,68 @@ mod tests {
                 assert_eq!(fast, slow, "{kind} / {cores} cores vs reference");
             }
         }
+    }
+
+    /// Three-level and clustered topologies: the event engine's packed
+    /// triple lanes, per-cluster L2s and hierarchical sharer masks (96
+    /// cores exercises the multi-word `Directory::Hier` arm) must stay
+    /// byte-identical to the reference cycle-stepper.
+    #[test]
+    fn engines_agree_with_l3_clusters_and_hier_masks() {
+        let scenarios: Vec<(&str, Computation)> = vec![
+            ("shared", shared_streams(12, 8 * 1024)),
+            ("writers", shared_writers(12, 4 * 1024)),
+        ];
+        for (name, comp) in &scenarios {
+            for (cores, clusters) in [(4usize, 2usize), (8, 4), (96, 4)] {
+                for kind in [SchedulerKind::Pdf, SchedulerKind::WorkStealing] {
+                    let cfg = tiny_config(cores, 64).clustered(clusters).with_l3_mb(1);
+                    let fast = simulate_engine(comp, &cfg, kind, SimEngine::EventDriven);
+                    let slow = simulate_engine(comp, &cfg, kind, SimEngine::Reference);
+                    assert_eq!(
+                        fast, slow,
+                        "{name}/{kind}/{cores} cores/{clusters} clusters"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn l3_absorbs_l2_misses() {
+        // 8 tasks re-reading one 32 KB array: a 16 KB L2 thrashes, the 1 MB
+        // L3 behind it catches the reuse.
+        let comp = shared_streams(8, 32 * 1024);
+        let cfg = tiny_config(4, 16).with_l3_mb(1);
+        let r = simulate(&comp, &cfg, SchedulerKind::Pdf);
+        assert!(r.l3.accesses > 0);
+        assert_eq!(r.l3.accesses, r.l2.misses, "every L2 miss probes the L3");
+        assert!(r.l3.misses < r.l3.accesses, "warm reuse hits in the L3");
+        assert_eq!(r.l3.misses, r.memory.requests, "only L3 misses go off-chip");
+        assert!(r.l3_mpki() > 0.0);
+        let flat = simulate(&comp, &tiny_config(4, 16), SchedulerKind::Pdf);
+        assert_eq!(flat.l3, ccs_cache::CacheStats::default());
+        assert!(
+            flat.memory.requests > r.memory.requests,
+            "the L3 filters traffic"
+        );
+    }
+
+    #[test]
+    fn clustered_l2_misses_more_than_one_shared_l2() {
+        // 8 tasks sharing one 32 KB array: with one shared 64 KB L2 only the
+        // cold pass misses; split into 4×16 KB cluster slices, each cluster
+        // re-fetches the array for itself.
+        let comp = shared_streams(8, 32 * 1024);
+        let shared = simulate(&comp, &tiny_config(8, 64), SchedulerKind::Pdf);
+        let clustered = simulate(&comp, &tiny_config(8, 64).clustered(4), SchedulerKind::Pdf);
+        assert_eq!(shared.instructions, clustered.instructions);
+        assert!(
+            clustered.l2.misses > shared.l2.misses,
+            "partitioned slices lose constructive sharing: {} vs {}",
+            clustered.l2.misses,
+            shared.l2.misses
+        );
     }
 
     #[test]

@@ -16,14 +16,19 @@ pub struct SimResult {
     pub scheduler: String,
     /// Number of cores.
     pub num_cores: usize,
+    /// Number of L2 clusters the cores were partitioned into (1 = one
+    /// L2 shared by every core).
+    pub clusters: usize,
     /// Execution time in cycles (completion of the last task).
     pub cycles: u64,
     /// Total instructions executed (all tasks).
     pub instructions: u64,
     /// Aggregated private-L1 statistics (summed over cores).
     pub l1: CacheStats,
-    /// Shared-L2 statistics.
+    /// L2 statistics (summed over clusters when the L2 is clustered).
     pub l2: CacheStats,
+    /// Shared-L3 statistics (all zeros when the configuration has no L3).
+    pub l3: CacheStats,
     /// Off-chip memory statistics.
     pub memory: MemoryStats,
     /// Fraction of cycles the memory controller was busy (the paper's
@@ -50,9 +55,21 @@ impl SimResult {
         self.l1.misses_per_kilo_instruction(self.instructions)
     }
 
-    /// Off-chip traffic in bytes (line fills plus write-backs).
+    /// L3 misses per 1000 instructions (zero without an L3).
+    pub fn l3_mpki(&self) -> f64 {
+        self.l3.misses_per_kilo_instruction(self.instructions)
+    }
+
+    /// Off-chip traffic in bytes: line fills plus write-backs of the last
+    /// cache level before memory.  An L3 that was never accessed is
+    /// indistinguishable from no L3 here, but then the L2 saw no misses
+    /// either and both readings are zero.
     pub fn off_chip_bytes(&self) -> u64 {
-        (self.l2.misses + self.l2.writebacks) * self.l2_line_size
+        if self.l3.accesses > 0 {
+            (self.l3.misses + self.l3.writebacks) * self.l2_line_size
+        } else {
+            (self.l2.misses + self.l2.writebacks) * self.l2_line_size
+        }
     }
 
     /// Speedup of this run over a (sequential) baseline run, computed from
@@ -116,10 +133,12 @@ mod tests {
             config_name: "test".into(),
             scheduler: "pdf".into(),
             num_cores: 4,
+            clusters: 1,
             cycles,
             instructions,
             l1: CacheStats::default(),
             l2,
+            l3: CacheStats::default(),
             memory: MemoryStats::default(),
             bandwidth_utilization: 0.5,
             core_busy: vec![cycles / 2; 4],

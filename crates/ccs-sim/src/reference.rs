@@ -171,10 +171,14 @@ impl RefCache {
 enum Phase {
     /// Ready to start (or continue) the current op of the current task.
     NextOp,
-    /// An L1 miss is probing the shared L2; resolves at the core's `time`.
-    L2Probe { line: u64, is_write: bool },
-    /// An L2 miss is waiting for main memory; data arrives at the core's
+    /// An L1 miss is probing the (cluster's) L2; resolves at the core's
     /// `time`.
+    L2Probe { line: u64, is_write: bool },
+    /// An L2 miss is probing the shared L3 (three-level hierarchies only);
+    /// resolves at the core's `time`.
+    L3Probe { line: u64, is_write: bool },
+    /// A last-level miss is waiting for main memory; data arrives at the
+    /// core's `time`.
     MemFill { line: u64, is_write: bool },
 }
 
@@ -238,8 +242,25 @@ pub(crate) fn simulate_reference(
         "L1 and L2 must use the same line size"
     );
 
+    let clusters = config.clusters;
+    assert!(
+        clusters >= 1 && p.is_multiple_of(clusters),
+        "{p} cores cannot be split into {clusters} equal clusters"
+    );
+    let cores_per_cluster = p / clusters;
+
     let mut l1s: Vec<RefCache> = (0..p).map(|_| RefCache::new(config.l1)).collect();
-    let mut l2 = RefCache::new(config.l2);
+    // One L2 per cluster (`clusters == 1` is the paper's single shared L2);
+    // a core probes the L2 of cluster `core_id / cores_per_cluster`.
+    let mut l2s: Vec<RefCache> = (0..clusters).map(|_| RefCache::new(config.l2)).collect();
+    // The optional chip-wide L3 sits between the L2s and memory.
+    let mut l3 = config.l3.map(RefCache::new);
+    if let Some(l3_cfg) = &config.l3 {
+        assert_eq!(
+            l3_cfg.line_size, line_size,
+            "L3 must use the same line size as the L2"
+        );
+    }
     let mut memory = MainMemory::new(config.memory);
 
     // Thin adapter over the pooled trace arena: materialise each task's
@@ -403,7 +424,34 @@ pub(crate) fn simulate_reference(
                 } else {
                     AccessKind::Read
                 };
-                let hit = l2.access_line(line, kind).hit;
+                let hit = l2s[core_id / cores_per_cluster].access_line(line, kind).hit;
+                if hit {
+                    l1s[core_id].fill_line(line, is_write);
+                    core.advance_line(trace, line_size);
+                    core.phase = Phase::NextOp;
+                    active.push(Reverse((core.time, core_id)));
+                } else if let Some(l3_cfg) = &config.l3 {
+                    core.time += l3_cfg.hit_latency;
+                    core.phase = Phase::L3Probe { line, is_write };
+                    active.push(Reverse((core.time, core_id)));
+                } else {
+                    let done = memory.request(core.time);
+                    core.time = done;
+                    core.phase = Phase::MemFill { line, is_write };
+                    active.push(Reverse((core.time, core_id)));
+                }
+            }
+            Phase::L3Probe { line, is_write } => {
+                let kind = if is_write {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                let hit = l3
+                    .as_mut()
+                    .expect("L3 probe without an L3")
+                    .access_line(line, kind)
+                    .hit;
                 if hit {
                     l1s[core_id].fill_line(line, is_write);
                     core.advance_line(trace, line_size);
@@ -431,15 +479,21 @@ pub(crate) fn simulate_reference(
     for l1 in &l1s {
         l1_total.merge(l1.stats());
     }
+    let mut l2_total = ccs_cache::CacheStats::default();
+    for l2 in &l2s {
+        l2_total.merge(l2.stats());
+    }
 
     SimResult {
         config_name: config.name.clone(),
         scheduler: sched.name().to_string(),
         num_cores: p,
+        clusters: config.clusters,
         cycles: makespan,
         instructions: comp.total_work(),
         l1: l1_total,
-        l2: *l2.stats(),
+        l2: l2_total,
+        l3: l3.map(|c| *c.stats()).unwrap_or_default(),
         memory: *memory.stats(),
         bandwidth_utilization: memory.utilization(makespan),
         core_busy: cores.iter().map(|c| c.busy).collect(),

@@ -60,6 +60,32 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random three-level hierarchies (DESIGN.md §12): a random core count,
+    /// a random equal-cluster partition of it (per-cluster L2 slices), and
+    /// a shared L3 behind them.  Core counts past 64 route stores through
+    /// the hierarchical sharer masks; every shape must stay byte-identical
+    /// to the reference cycle-stepper.
+    #[test]
+    fn event_driven_equals_reference_on_clustered_l3_hierarchies(
+        seed in 0u64..u64::MAX,
+        cores in 2usize..=128,
+        cluster_pick in 0usize..8,
+        pdf in 0u32..2,
+    ) {
+        let divisors: Vec<usize> = (1..=cores).filter(|&d| cores.is_multiple_of(d)).collect();
+        let clusters = divisors[cluster_pick % divisors.len()];
+        let comp = random_computation(seed, &synth_params());
+        let kind = if pdf == 0 { SchedulerKind::Pdf } else { SchedulerKind::WorkStealing };
+        let cfg = tiny_config(cores).clustered(clusters).with_l3_mb(1);
+        let fast = simulate_engine(&comp, &cfg, kind, SimEngine::EventDriven);
+        let slow = simulate_engine(&comp, &cfg, kind, SimEngine::Reference);
+        prop_assert_eq!(fast, slow);
+    }
+}
+
 /// A deterministic sweep over the same cross-product, so failures reproduce
 /// without proptest shrinking and CI always covers every (scheduler, cores)
 /// cell even if the random sampler doesn't.  The core counts hit all three
