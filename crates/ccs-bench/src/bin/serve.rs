@@ -23,18 +23,32 @@
 //! * `--parallel N` — threads of the shared simulation pool (0 = one per
 //!   available core);
 //! * `--queue N` — accepted-but-not-running request capacity (default 32);
-//! * `--workers N` — concurrently running requests (default 2).
+//! * `--workers N` — concurrently running requests (default 2);
+//! * `--fault-plan SPEC` — install a deterministic fault-injection plan
+//!   (e.g. `seed=7,build-panic=0.5,torn-write=0.5`); overrides the
+//!   `CCS_FAULT_PLAN` environment variable.  CI uses this to prove the
+//!   daemon survives injected panics, torn store writes and dropped
+//!   sessions; without a plan every hook is a no-op.
 //!
-//! Protocol and store format: DESIGN.md §10.
+//! Protocol and store format: DESIGN.md §10; failure model: DESIGN.md §13.
 
 use std::path::PathBuf;
+use std::process::exit;
 
 use ccs_bench::Options;
+use ccs_runtime::fault::{self, FaultPlan};
 use ccs_serve::{Server, ServiceConfig};
+
+/// A malformed invocation is a typed complaint and exit 2, not a panic.
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("serve: {message}");
+    exit(2);
+}
 
 fn main() {
     let opts = Options::from_env();
     let mut socket: Option<PathBuf> = None;
+    let mut fault_plan: Option<String> = None;
     let mut config = ServiceConfig {
         store_dir: opts.store.clone(),
         pool_threads: opts.parallel,
@@ -43,44 +57,62 @@ fn main() {
 
     let mut rest = opts.rest.iter();
     while let Some(flag) = rest.next() {
+        let mut value = |what: &str| match rest.next() {
+            Some(v) => v.clone(),
+            None => fail(format_args!("{flag} requires {what}")),
+        };
         match flag.as_str() {
-            "--socket" => {
-                let v = rest.next().expect("--socket requires a path");
-                socket = Some(PathBuf::from(v));
-            }
+            "--socket" => socket = Some(PathBuf::from(value("a path"))),
             "--queue" => {
-                let v = rest.next().expect("--queue requires a capacity");
-                config.queue_capacity = v.parse().expect("--queue must be an integer");
+                config.queue_capacity = value("a capacity")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--queue must be an integer"));
             }
             "--workers" => {
-                let v = rest.next().expect("--workers requires a count");
-                config.workers = v.parse().expect("--workers must be an integer");
+                config.workers = value("a count")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--workers must be an integer"));
             }
             "--store-max-bytes" => {
-                let v = rest
-                    .next()
-                    .expect("--store-max-bytes requires a byte budget");
                 config.store_max_bytes = Some(
-                    v.parse()
-                        .expect("--store-max-bytes must be an integer byte count"),
+                    value("a byte budget")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--store-max-bytes must be an integer")),
                 );
             }
-            other => panic!(
-                "unknown flag {other:?} (serve takes --socket/--queue/--workers/--store-max-bytes)"
-            ),
+            "--fault-plan" => fault_plan = Some(value("a plan spec")),
+            other => fail(format_args!(
+                "unknown flag {other:?} (serve takes --socket/--queue/--workers/--store-max-bytes/--fault-plan)"
+            )),
         }
+    }
+
+    // Fault plan: the flag wins over the environment; either source failing
+    // to parse is a startup error, not a silently inert daemon.
+    let installed = match fault_plan {
+        Some(spec) => {
+            let plan =
+                FaultPlan::parse(&spec).unwrap_or_else(|e| fail(format_args!("--fault-plan: {e}")));
+            fault::install(plan).unwrap_or_else(|e| fail(format_args!("--fault-plan: {e}")));
+            true
+        }
+        None => fault::install_from_env()
+            .unwrap_or_else(|e| fail(format_args!("{}: {e}", fault::ENV_VAR))),
+    };
+    if installed {
+        eprintln!("# serve: fault-injection plan active (expect injected failures)");
     }
 
     let server = Server::start(config).unwrap_or_else(|e| {
         eprintln!("serve: failed to start service: {e}");
-        std::process::exit(1);
+        exit(1);
     });
     match socket {
         Some(path) => {
             eprintln!("# serve: listening on {}", path.display());
             if let Err(e) = server.serve_unix(&path) {
                 eprintln!("serve: socket error: {e}");
-                std::process::exit(1);
+                exit(1);
             }
         }
         None => server.serve_stdio(),

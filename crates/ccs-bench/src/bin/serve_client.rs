@@ -27,16 +27,33 @@
 //!   hit (exercises the persistent memo across daemon restarts);
 //! * `--cancel-after N` — send a cancel frame after `N` streamed records
 //!   and report the terminal state;
+//! * `--timeout-ms N` — per-request deadline, enforced daemon-side; an
+//!   expired request ends `timeout` with whatever records it streamed;
+//! * `--retries N` — reconnect and resubmit up to `N` attempts (with
+//!   exponential backoff) until the request lands `done`; safe because the
+//!   daemon's memo store makes resubmission idempotent.  Exits 4 when the
+//!   attempts are exhausted without a `done`;
+//! * `--health` — print the daemon's health frame (uptime, inflight,
+//!   panics caught, store stats) to stderr after the run;
 //! * `--shutdown` — ask the daemon to drain and stop after collecting.
+//!
+//! Failure model (timeouts, retries, health): DESIGN.md §13.
 
 use std::path::PathBuf;
+use std::process::exit;
 use std::time::Duration;
 
 use ccs_bench::{print_report, Options};
 use ccs_sched::SchedulerSpec;
 use ccs_serve::protocol::SubmitRequest;
-use ccs_serve::{Client, RequestState};
+use ccs_serve::{run_with_retry, Client, CollectedRun, RequestState, RetryPolicy};
 use ccs_sim::CmpConfig;
+
+/// A malformed invocation is a typed complaint and exit 2, not a panic.
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("serve_client: {message}");
+    exit(2);
+}
 
 struct ClientFlags {
     socket: Option<PathBuf>,
@@ -46,6 +63,9 @@ struct ClientFlags {
     schedulers: Vec<String>,
     expect_cached: bool,
     cancel_after: Option<usize>,
+    timeout_ms: Option<u64>,
+    retries: Option<usize>,
+    health: bool,
     shutdown: bool,
 }
 
@@ -58,29 +78,55 @@ fn parse_flags(rest: &[String]) -> ClientFlags {
         schedulers: Vec::new(),
         expect_cached: false,
         cancel_after: None,
+        timeout_ms: None,
+        retries: None,
+        health: false,
         shutdown: false,
     };
     let mut iter = rest.iter();
     while let Some(flag) = iter.next() {
+        let mut value = |what: &str| match iter.next() {
+            Some(v) => v.clone(),
+            None => fail(format_args!("{flag} requires {what}")),
+        };
         match flag.as_str() {
-            "--socket" => {
-                let v = iter.next().expect("--socket requires a path");
-                flags.socket = Some(PathBuf::from(v));
-            }
+            "--socket" => flags.socket = Some(PathBuf::from(value("a path"))),
             "--batch" => flags.batch = true,
-            "--id" => flags.id = iter.next().expect("--id requires a value").clone(),
-            "--name" => flags.name = iter.next().expect("--name requires a value").clone(),
+            "--id" => flags.id = value("a value"),
+            "--name" => flags.name = value("a value"),
             "--schedulers" => {
-                let v = iter.next().expect("--schedulers requires a list");
-                flags.schedulers = v.split(',').map(|s| s.trim().to_string()).collect();
+                flags.schedulers = value("a list")
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .collect();
             }
             "--expect-cached" => flags.expect_cached = true,
             "--cancel-after" => {
-                let v = iter.next().expect("--cancel-after requires a count");
-                flags.cancel_after = Some(v.parse().expect("--cancel-after must be an integer"));
+                flags.cancel_after = Some(
+                    value("a count")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--cancel-after must be an integer")),
+                );
             }
+            "--timeout-ms" => {
+                flags.timeout_ms = Some(
+                    value("milliseconds")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--timeout-ms must be an integer")),
+                );
+            }
+            "--retries" => {
+                flags.retries = Some(
+                    value("a count")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--retries must be an integer")),
+                );
+            }
+            "--health" => flags.health = true,
             "--shutdown" => flags.shutdown = true,
-            other => panic!("unknown flag {other:?} (see serve_client --help text in the source)"),
+            other => fail(format_args!(
+                "unknown flag {other:?} (see serve_client --help text in the source)"
+            )),
         }
     }
     flags
@@ -96,18 +142,35 @@ fn run_batch(opts: &Options, flags: &ClientFlags) {
         let schedulers: Vec<SchedulerSpec> = flags
             .schedulers
             .iter()
-            .map(|s| SchedulerSpec::resolve(s).unwrap_or_else(|e| panic!("--schedulers: {e}")))
+            .map(|s| {
+                SchedulerSpec::resolve(s)
+                    .unwrap_or_else(|e| fail(format_args!("--schedulers: {e}")))
+            })
             .collect();
         exp = exp.schedulers(schedulers);
     }
     if !opts.cores.is_empty() {
         exp = exp.configs(opts.cores.iter().map(|&c| {
-            CmpConfig::default_with_cores(c)
-                .unwrap_or_else(|| panic!("no default CMP configuration with {c} cores"))
+            CmpConfig::default_with_cores(c).unwrap_or_else(|| {
+                fail(format_args!("no default CMP configuration with {c} cores"))
+            })
         }));
     }
     let report = exp.run();
     print_report("serve_client --batch", &report, opts);
+}
+
+fn summarise(run: &CollectedRun) {
+    let cached = run.records.iter().filter(|r| r.cached).count();
+    eprintln!(
+        "# serve_client: {} of {} records streamed ({cached} cached), state: {:?}",
+        run.records.len(),
+        run.total,
+        run.state,
+    );
+    for error in &run.errors {
+        eprintln!("# serve_client: daemon error: {error}");
+    }
 }
 
 fn main() {
@@ -122,11 +185,8 @@ fn main() {
     let socket = flags
         .socket
         .as_deref()
-        .expect("serve_client needs --socket PATH (or --batch)");
-    let mut client = Client::connect_unix(socket, Duration::from_secs(10)).unwrap_or_else(|e| {
-        eprintln!("serve_client: cannot connect to {}: {e}", socket.display());
-        std::process::exit(1);
-    });
+        .unwrap_or_else(|| fail("needs --socket PATH (or --batch)"));
+    let connect_timeout = Duration::from_secs(10);
 
     let request = SubmitRequest {
         id: flags.id.clone(),
@@ -138,34 +198,99 @@ fn main() {
         quick: opts.quick,
         engine: opts.engine,
         baseline: true,
+        timeout_ms: flags.timeout_ms,
     };
-    client.submit(request).expect("submit failed");
-    let run = client
-        .collect_cancelling_after(&flags.id, flags.cancel_after)
-        .unwrap_or_else(|e| {
-            eprintln!("serve_client: request failed: {e}");
-            std::process::exit(2);
-        });
 
-    let cached = run.records.iter().filter(|r| r.cached).count();
-    eprintln!(
-        "# serve_client: {} of {} records streamed ({cached} cached), state: {:?}",
-        run.records.len(),
-        run.total,
-        run.state,
-    );
+    // With --retries the whole submit/collect is repeated over fresh
+    // connections until `done` — idempotent thanks to the daemon's memo
+    // store.  Without it, one connection, one attempt.
+    let run = match flags.retries {
+        Some(attempts) => run_with_retry(
+            socket,
+            connect_timeout,
+            &request,
+            RetryPolicy {
+                attempts,
+                ..RetryPolicy::default()
+            },
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("serve_client: request failed after retries: {e}");
+            exit(4);
+        }),
+        None => {
+            let mut client = Client::connect_unix(socket, connect_timeout).unwrap_or_else(|e| {
+                eprintln!("serve_client: cannot connect to {}: {e}", socket.display());
+                exit(1);
+            });
+            client.submit(request).unwrap_or_else(|e| {
+                eprintln!("serve_client: submit failed: {e}");
+                exit(1);
+            });
+            client
+                .collect_cancelling_after(&flags.id, flags.cancel_after)
+                .unwrap_or_else(|e| {
+                    eprintln!("serve_client: request failed: {e}");
+                    exit(2);
+                })
+        }
+    };
+
+    summarise(&run);
     if flags.expect_cached && !run.all_cached() {
+        let cached = run.records.iter().filter(|r| r.cached).count();
         eprintln!(
             "serve_client: --expect-cached, but only {cached} of {} records were store hits",
             run.records.len(),
         );
-        std::process::exit(3);
+        exit(3);
+    }
+    if flags.retries.is_some() && run.state != RequestState::Done {
+        eprintln!(
+            "serve_client: retries exhausted in state {:?}, not done",
+            run.state
+        );
+        exit(4);
     }
     if run.state == RequestState::Done {
         let report = run.into_report();
         print_report("serve_client (daemon-served)", &report, &opts);
     }
-    if flags.shutdown {
-        client.shutdown().expect("shutdown frame failed");
+
+    // Health and shutdown ride a fresh connection: the collecting one may
+    // have been consumed by the retry helper.
+    if flags.health || flags.shutdown {
+        let mut client = Client::connect_unix(socket, connect_timeout).unwrap_or_else(|e| {
+            eprintln!(
+                "serve_client: cannot reconnect to {}: {e}",
+                socket.display()
+            );
+            exit(1);
+        });
+        if flags.health {
+            match client.health() {
+                Ok(h) => eprintln!(
+                    "# serve_client: health: uptime_ms={} inflight={} queue_depth={} \
+                     panics_caught={} timeouts={} store_records={} store_bytes={}",
+                    h.uptime_ms,
+                    h.inflight,
+                    h.queue_depth,
+                    h.panics_caught,
+                    h.timeouts,
+                    h.store_records,
+                    h.store_bytes,
+                ),
+                Err(e) => {
+                    eprintln!("serve_client: health query failed: {e}");
+                    exit(1);
+                }
+            }
+        }
+        if flags.shutdown {
+            if let Err(e) = client.shutdown() {
+                eprintln!("serve_client: shutdown frame failed: {e}");
+                exit(1);
+            }
+        }
     }
 }

@@ -542,6 +542,9 @@ impl Experiment {
         let l2_bytes = scaled.l2.capacity;
         let cores = point.config.num_cores;
         let build = || {
+            // Fault-plan hook (no-op unless a plan is installed): user
+            // workload factories can panic, and this is where they run.
+            ccs_runtime::fault::inject_panic(ccs_runtime::fault::FaultKind::WorkloadBuild);
             let comp = point.workload.build(scale, l2_bytes, cores);
             let dag = Arc::new(Dag::from_computation(&comp));
             (comp, dag)
@@ -655,6 +658,7 @@ impl Experiment {
         let l2_bytes = scaled_configs[0].l2.capacity;
         let cores = head.config.num_cores;
         let build = || {
+            ccs_runtime::fault::inject_panic(ccs_runtime::fault::FaultKind::WorkloadBuild);
             let comp = head.workload.build(scale, l2_bytes, cores);
             let dag = Arc::new(Dag::from_computation(&comp));
             (comp, dag)

@@ -296,11 +296,18 @@ impl std::fmt::Display for JsonError {
 
 impl std::error::Error for JsonError {}
 
+/// Maximum container nesting depth [`parse`] accepts.  Real report and
+/// frame documents nest a handful of levels; the cap turns adversarial
+/// `[[[[…` input into a parse error instead of a stack overflow (which
+/// would abort the process, uncatchably).
+pub const MAX_PARSE_DEPTH: usize = 128;
+
 /// Parse a JSON document.
 pub fn parse(input: &str) -> Result<Json, JsonError> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let value = p.value()?;
@@ -314,6 +321,8 @@ pub fn parse(input: &str) -> Result<Json, JsonError> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Current container nesting depth, capped at [`MAX_PARSE_DEPTH`].
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -352,10 +361,26 @@ impl Parser<'_> {
         }
     }
 
+    /// Run a recursive container parse one level deeper, enforcing the
+    /// depth cap.  Errors abort the whole parse, so the depth counter only
+    /// needs restoring on success.
+    fn nested(
+        &mut self,
+        parse: impl FnOnce(&mut Self) -> Result<Json, JsonError>,
+    ) -> Result<Json, JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            return Err(self.error(format!("nesting deeper than {MAX_PARSE_DEPTH} levels")));
+        }
+        let value = parse(self)?;
+        self.depth -= 1;
+        Ok(value)
+    }
+
     fn value(&mut self) -> Result<Json, JsonError> {
         match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
+            Some(b'{') => self.nested(Self::object),
+            Some(b'[') => self.nested(Self::array),
             Some(b'"') => Ok(Json::Str(self.string()?)),
             Some(b't') => self.literal("true", Json::Bool(true)),
             Some(b'f') => self.literal("false", Json::Bool(false)),
@@ -645,6 +670,22 @@ mod tests {
         assert_eq!(parse("-42").unwrap(), Json::Int(-42));
         assert_eq!(parse("-0.5").unwrap(), Json::Float(-0.5));
         assert_eq!(parse("2e3").unwrap(), Json::Float(2000.0));
+    }
+
+    #[test]
+    fn nesting_is_capped_not_crashing() {
+        // Under the cap: parses fine.
+        let deep_ok = format!("{}0{}", "[".repeat(100), "]".repeat(100));
+        assert!(parse(&deep_ok).is_ok());
+        // Past the cap (including pathological megabyte-scale `[[[[…`):
+        // a typed error, not a stack overflow.
+        for n in [MAX_PARSE_DEPTH + 1, 100_000] {
+            let deep = "[".repeat(n);
+            let err = parse(&deep).unwrap_err();
+            assert!(err.message.contains("nesting"), "{err}");
+        }
+        let mixed = "[{\"k\":".repeat(MAX_PARSE_DEPTH);
+        assert!(parse(&mixed).unwrap_err().message.contains("nesting"));
     }
 
     #[test]

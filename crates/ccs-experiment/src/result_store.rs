@@ -17,23 +17,35 @@
 //! reserialises to exactly the bytes a cold run would produce — the
 //! property the daemon's `cmp`-based CI smoke and e2e tests pin.
 //!
-//! # On-disk format
+//! # On-disk format and integrity
 //!
 //! One file per record under the store directory:
 //!
 //! ```text
 //! <fnv1a64(key) as 16 hex digits>.json
-//! { "ccs-store": 1, "key": "<full canonical key>", "record": { ... } }
+//! { "ccs-store": 2, "key": "<full canonical key>", "sum": "<16 hex digits>", "record": { ... } }
 //! ```
 //!
 //! The full key is stored in the file and compared on every read, so an
 //! FNV collision (or a key-grammar change, see
 //! [`canon::KEY_VERSION`](crate::canon::KEY_VERSION)) is detected and
-//! treated as a miss rather than served wrong.  Writes go through a
-//! process-unique temporary file followed by an atomic rename, so
-//! concurrent writers (daemon workers, parallel daemons sharing a store
-//! directory) can never expose a torn file; racing writers of the same key
-//! produce identical bytes, so last-rename-wins is harmless.
+//! treated as a miss rather than served wrong.  `sum` is the FNV-1a hash
+//! ([`canon::fnv1a64`](crate::canon::fnv1a64)) of the stored key plus the
+//! record's compact JSON, so silent corruption of either is caught.
+//! Writes go through a process-unique temporary file that is `sync_all`ed
+//! and then atomically renamed into place, so concurrent writers (daemon
+//! workers, parallel daemons sharing a store directory) can never expose a
+//! torn file, and a crash cannot leave a half-written entry behind the
+//! rename; racing writers of the same key produce identical bytes, so
+//! last-rename-wins is harmless.
+//!
+//! Reads distinguish three outcomes: *miss* (no file, a stale-version
+//! entry, or a key mismatch), *hit*, and *corrupt* (unreadable,
+//! unparseable, checksum mismatch).  Corrupt entries are quarantined —
+//! renamed once to `<hash>.corrupt` with a stderr note — instead of being
+//! silently recomputed forever; opening a store also runs a recovery scan
+//! that deletes stale `.tmp-*` writer files and quarantines corrupt
+//! entries up front, so a `kill -9`'d daemon restarts onto a clean store.
 //!
 //! A small in-memory map fronts the disk so repeated hits in one process
 //! skip the file system after the first read.
@@ -44,12 +56,16 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use crate::canon::key_hash_hex;
+use ccs_runtime::fault::{self, FaultKind};
+
+use crate::canon::{fnv1a64, key_hash_hex};
 use crate::json::{self, Json};
 use crate::RunRecord;
 
-/// Version tag of the file format (the `"ccs-store"` field).
-pub const STORE_VERSION: u64 = 1;
+/// Version tag of the file format (the `"ccs-store"` field).  Version 2
+/// added the embedded `"sum"` checksum; version-1 files read as stale
+/// misses and are overwritten by the next put of their key.
+pub const STORE_VERSION: u64 = 2;
 
 /// A durable key → [`RunRecord`] store rooted at one directory, optionally
 /// byte-bounded with LRU-by-mtime eviction (see
@@ -83,12 +99,45 @@ impl ResultStore {
     ) -> io::Result<ResultStore> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        Ok(ResultStore {
+        let store = ResultStore {
             dir,
             max_bytes,
             mem: Mutex::new(HashMap::new()),
             tmp_seq: AtomicU64::new(0),
-        })
+        };
+        store.recover();
+        Ok(store)
+    }
+
+    /// Startup recovery scan: delete stale `.tmp-*` files a crashed writer
+    /// left behind and quarantine corrupt entries, so damage is surfaced
+    /// once at open instead of re-read on every miss.  Best-effort — scan
+    /// failures leave the files for the per-read quarantine path.
+    ///
+    /// (A *live* concurrent daemon's in-flight `.tmp-*` file can be swept
+    /// here too; its rename then fails and it loses only that one
+    /// memoisation, which a later run regenerates deterministically.)
+    fn recover(&self) {
+        let Ok(dir) = std::fs::read_dir(&self.dir) else {
+            return;
+        };
+        for item in dir.flatten() {
+            let path = item.path();
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name.starts_with(".tmp-") {
+                let _ = std::fs::remove_file(&path);
+                continue;
+            }
+            if path.extension().is_some_and(|ext| ext == "json") {
+                let outcome = match std::fs::read_to_string(&path) {
+                    Ok(text) => check_entry(&text).map(|_| ()),
+                    Err(e) => Err(format!("unreadable: {e}")),
+                };
+                if let Err(reason) = outcome {
+                    quarantine(&path, &reason);
+                }
+            }
+        }
     }
 
     /// The store's root directory.
@@ -104,8 +153,10 @@ impl ResultStore {
     /// Look up the record stored under `key`, if any.  Disk hits are
     /// promoted into the in-memory front and have their file mtime
     /// refreshed (so a bounded store's eviction order tracks use, not just
-    /// write age); unreadable, mismatched or stale files are treated as
-    /// misses.
+    /// write age).  Missing files, stale-version entries and key
+    /// mismatches are misses; unreadable or corrupt files are quarantined
+    /// (renamed to `<hash>.corrupt`, once, with a stderr note) and then
+    /// miss.
     pub fn get(&self, key: &str) -> Option<RunRecord> {
         if let Some(hit) = self
             .mem
@@ -117,7 +168,14 @@ impl ResultStore {
             return Some(hit);
         }
         let path = self.entry_path(key);
-        let record = read_entry(&path, key)?;
+        let record = match read_entry(&path, key) {
+            ReadOutcome::Hit(record) => *record,
+            ReadOutcome::Miss => return None,
+            ReadOutcome::Corrupt(reason) => {
+                quarantine(&path, &reason);
+                return None;
+            }
+        };
         touch(&path);
         self.mem
             .lock()
@@ -126,25 +184,47 @@ impl ResultStore {
         Some(record)
     }
 
-    /// Persist `record` under `key` (memory + atomic disk write), then
-    /// enforce the disk budget when one was configured.
+    /// Persist `record` under `key` (memory + synced atomic disk write),
+    /// then enforce the disk budget when one was configured.  A disk
+    /// failure leaves the in-memory front intact, so the running process
+    /// keeps serving the record; only durability is lost.
     pub fn put(&self, key: &str, record: &RunRecord) -> io::Result<()> {
         self.mem
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .insert(key.to_string(), record.clone());
+        if let Some(err) = fault::injected_io_error(FaultKind::StoreIo) {
+            return Err(err);
+        }
+        let record_json = record.to_json();
         let doc = Json::object([
             ("ccs-store", STORE_VERSION.into()),
             ("key", key.into()),
-            ("record", record.to_json()),
+            ("sum", entry_checksum(key, &record_json).into()),
+            ("record", record_json),
         ]);
+        let text = doc.to_string_pretty();
         let path = self.entry_path(key);
+        if fault::should_inject(FaultKind::TornWrite) {
+            // Simulate a writer that died mid-write *without* the
+            // tmp+rename protocol (a crashed legacy daemon, a failing
+            // disk): truncated bytes land at the entry path directly, for
+            // the recovery scan and quarantine path to find.
+            return std::fs::write(&path, &text.as_bytes()[..text.len() / 2]);
+        }
         let tmp = self.dir.join(format!(
             ".tmp-{}-{}",
             std::process::id(),
             self.tmp_seq.fetch_add(1, Ordering::Relaxed),
         ));
-        std::fs::write(&tmp, doc.to_string_pretty())?;
+        {
+            use std::io::Write as _;
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(text.as_bytes())?;
+            // Data must be on disk before the rename publishes the entry,
+            // or a crash could expose a whole-looking but empty file.
+            file.sync_all()?;
+        }
         std::fs::rename(&tmp, &path)?;
         if let Some(max) = self.max_bytes {
             self.evict_to_fit(max, &path);
@@ -233,18 +313,92 @@ fn touch(path: &Path) {
     }
 }
 
-/// Parse one store file, returning `None` unless it is a well-formed
-/// current-version entry whose stored key matches `key` exactly.
-fn read_entry(path: &Path, key: &str) -> Option<RunRecord> {
-    let text = std::fs::read_to_string(path).ok()?;
-    let doc = json::parse(&text).ok()?;
-    if doc.get("ccs-store").and_then(Json::as_u64) != Some(STORE_VERSION) {
-        return None;
+/// Result of reading one store file.
+enum ReadOutcome {
+    /// No usable entry for this key: absent file, stale version (to be
+    /// overwritten by the next put) or a stored-key mismatch (FNV
+    /// collision — a *valid* entry for a different key, not damage).
+    Miss,
+    /// A verified current-version entry for this key.  Boxed: a
+    /// `RunRecord` dwarfs the other variants.
+    Hit(Box<RunRecord>),
+    /// The file is damaged (unreadable, unparseable, failed checksum):
+    /// real I/O trouble the caller must quarantine, not silently retry.
+    Corrupt(String),
+}
+
+/// Read and verify one store file against `key`.
+fn read_entry(path: &Path, key: &str) -> ReadOutcome {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return ReadOutcome::Miss,
+        Err(e) => return ReadOutcome::Corrupt(format!("unreadable: {e}")),
+    };
+    match check_entry(&text) {
+        Ok(Some((stored_key, record))) if stored_key == key => ReadOutcome::Hit(Box::new(record)),
+        Ok(_) => ReadOutcome::Miss,
+        Err(reason) => ReadOutcome::Corrupt(reason),
     }
-    if doc.get("key").and_then(Json::as_str) != Some(key) {
-        return None;
+}
+
+/// Validate one store document: `Ok(Some((key, record)))` for a verified
+/// current-version entry, `Ok(None)` for a stale (older-version) one, and
+/// `Err(reason)` for damage.
+fn check_entry(text: &str) -> Result<Option<(String, RunRecord)>, String> {
+    let doc = json::parse(text).map_err(|e| format!("malformed JSON: {e}"))?;
+    let version = doc
+        .get("ccs-store")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| "no \"ccs-store\" version field".to_string())?;
+    if version != STORE_VERSION {
+        return Ok(None);
     }
-    RunRecord::from_json(doc.get("record")?).ok()
+    let stored_key = doc
+        .get("key")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "no \"key\" field".to_string())?;
+    let sum = doc
+        .get("sum")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "no \"sum\" field".to_string())?;
+    let record_json = doc
+        .get("record")
+        .ok_or_else(|| "no \"record\" field".to_string())?;
+    if sum != entry_checksum(stored_key, record_json) {
+        return Err("checksum mismatch".to_string());
+    }
+    let record = RunRecord::from_json(record_json).map_err(|e| format!("bad record: {e}"))?;
+    Ok(Some((stored_key.to_string(), record)))
+}
+
+/// The embedded integrity checksum: FNV-1a over the stored key and the
+/// record's compact JSON.  Compact serialisation is deterministic and
+/// round-trips through parse, so the hash is independent of the pretty
+/// formatting the file uses.
+fn entry_checksum(key: &str, record_json: &Json) -> String {
+    let material = format!("{key}\n{}", record_json.to_string_compact());
+    format!("{:016x}", fnv1a64(material.as_bytes()))
+}
+
+/// Move a damaged entry aside to `<hash>.corrupt` so it is inspected (or
+/// deleted) by an operator instead of being re-read on every miss.  The
+/// rename makes the stderr note once-per-file by construction.
+fn quarantine(path: &Path, reason: &str) {
+    let target = path.with_extension("corrupt");
+    match std::fs::rename(path, &target) {
+        Ok(()) => eprintln!(
+            "ccs-store: quarantined corrupt entry {} -> {} ({reason})",
+            path.display(),
+            target.display(),
+        ),
+        // A concurrent reader may have quarantined it first; anything else
+        // is still worth a note, but never fatal — the record regenerates.
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+        Err(e) => eprintln!(
+            "ccs-store: failed to quarantine {} ({reason}): {e}",
+            path.display(),
+        ),
+    }
 }
 
 #[cfg(test)]
@@ -301,32 +455,100 @@ mod tests {
     }
 
     #[test]
-    fn mismatched_or_corrupt_entries_miss() {
+    fn corrupt_entries_are_quarantined_and_mismatches_miss() {
         let dir = unique_dir("corrupt");
         let store = ResultStore::open(&dir).unwrap();
         let record = sample_record();
         store.put("key-a", &record).unwrap();
 
-        // A different key hashing to a different file: plain miss.
+        // A different key hashing to a different file: plain miss, and
+        // nothing gets quarantined.
         assert!(store.get("key-b").is_none());
 
-        // Overwrite key-a's file with garbage; a fresh store must treat it
-        // as a miss, not panic.
+        // Overwrite key-a's file with garbage; a fresh store's recovery
+        // scan must quarantine it to `<hash>.corrupt`, and the key misses.
         let path = dir.join(format!("{}.json", key_hash_hex("key-a")));
         std::fs::write(&path, "not json at all").unwrap();
         let fresh = ResultStore::open(&dir).unwrap();
         assert!(fresh.get("key-a").is_none());
+        assert!(!path.exists(), "corrupt file moved aside");
+        assert!(path.with_extension("corrupt").exists(), "quarantine file");
+        std::fs::remove_file(path.with_extension("corrupt")).unwrap();
 
-        // A well-formed file whose *stored key* disagrees (hash collision
-        // stand-in): also a miss.
+        // A checksum that does not match the payload: quarantined, this
+        // time via the read path of an already-open store.
+        let store = ResultStore::open(&dir).unwrap();
+        let doc = Json::object([
+            ("ccs-store", STORE_VERSION.into()),
+            ("key", "key-a".into()),
+            ("sum", "0000000000000000".into()),
+            ("record", record.to_json()),
+        ]);
+        std::fs::write(&path, doc.to_string_pretty()).unwrap();
+        assert!(store.get("key-a").is_none());
+        assert!(path.with_extension("corrupt").exists());
+        std::fs::remove_file(path.with_extension("corrupt")).unwrap();
+
+        // A well-formed, correctly-checksummed file whose *stored key*
+        // disagrees (hash collision stand-in): a miss, but NOT damage —
+        // it must survive unquarantined.
+        let other_json = record.to_json();
         let doc = Json::object([
             ("ccs-store", STORE_VERSION.into()),
             ("key", "some-other-key".into()),
+            ("sum", entry_checksum("some-other-key", &other_json).into()),
+            ("record", other_json),
+        ]);
+        std::fs::write(&path, doc.to_string_pretty()).unwrap();
+        let fresh = ResultStore::open(&dir).unwrap();
+        assert!(fresh.get("key-a").is_none());
+        assert!(path.exists(), "collision entry is not quarantined");
+
+        // A stale-version entry: a miss (the next put overwrites it), and
+        // also not quarantined.
+        let doc = Json::object([
+            ("ccs-store", 1u64.into()),
+            ("key", "key-a".into()),
             ("record", record.to_json()),
         ]);
         std::fs::write(&path, doc.to_string_pretty()).unwrap();
         let fresh = ResultStore::open(&dir).unwrap();
         assert!(fresh.get("key-a").is_none());
+        assert!(path.exists(), "stale entry is not quarantined");
+        fresh.put("key-a", &record).unwrap();
+        assert_eq!(fresh.get("key-a").unwrap(), record);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_scan_sweeps_tmp_files_and_torn_writes() {
+        let dir = unique_dir("recover");
+        let record = sample_record();
+        {
+            let store = ResultStore::open(&dir).unwrap();
+            store.put("key-a", &record).unwrap();
+        }
+        // Simulate a crashed writer: a leftover tmp file plus an entry
+        // whose bytes stop mid-document.
+        std::fs::write(dir.join(".tmp-99999-0"), "half a docum").unwrap();
+        let torn = dir.join(format!("{}.json", key_hash_hex("key-b")));
+        let whole =
+            std::fs::read_to_string(dir.join(format!("{}.json", key_hash_hex("key-a")))).unwrap();
+        std::fs::write(&torn, &whole[..whole.len() / 2]).unwrap();
+
+        let store = ResultStore::open(&dir).unwrap();
+        assert!(!dir.join(".tmp-99999-0").exists(), "tmp file swept");
+        assert!(!torn.exists(), "torn entry quarantined at open");
+        assert!(torn.with_extension("corrupt").exists());
+        // The intact entry survived recovery and still round-trips.
+        assert_eq!(store.get("key-a").unwrap(), record);
+        // Quarantine files are invisible to the entry census.
+        assert_eq!(
+            store.disk_bytes(),
+            std::fs::metadata(dir.join(format!("{}.json", key_hash_hex("key-a"))))
+                .unwrap()
+                .len()
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,335 @@
+//! Deterministic, seed-driven fault injection for the serving path.
+//!
+//! A [`FaultPlan`] names a set of *injection points* and, for each, the rate
+//! at which it fires.  The plan is installed process-globally (at most once,
+//! typically from the `CCS_FAULT_PLAN` environment variable or a
+//! `--fault-plan` flag) and every decision it makes is a pure function of
+//! `(seed, injection point, occurrence index)` — two runs under the same
+//! plan inject the same faults at the same occurrence counts, so a CI job
+//! can pin a hostile schedule and expect reproducible survival.
+//!
+//! When no plan is installed every hook is a no-op behind one relaxed
+//! atomic load ([`active`]), so production binaries pay nothing — and the
+//! simulator hot loop carries no hooks at all; only the serving path
+//! (workload builds, store writes, session writers) is instrumented.
+//!
+//! The spec grammar is a comma-separated key=value list:
+//!
+//! ```text
+//! seed=7,build-panic=0.5,store-io=0.3,torn-write=0.5,close-session=0.05,slow-session-ms=2
+//! ```
+//!
+//! * `seed` — the plan seed (default 0);
+//! * `build-panic` — probability that a workload build panics
+//!   ([`FaultKind::WorkloadBuild`]);
+//! * `store-io` — probability that a result-store write fails with an I/O
+//!   error ([`FaultKind::StoreIo`]);
+//! * `torn-write` — probability that a result-store entry lands truncated,
+//!   as a crash mid-write would leave it ([`FaultKind::TornWrite`]);
+//! * `close-session` — probability that a session's write half closes
+//!   abruptly before a frame, as a vanished client looks from the server
+//!   ([`FaultKind::SessionClose`]);
+//! * `slow-session-ms` — fixed delay before every session frame write.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// Environment variable the daemon reads a fault plan spec from.
+pub const ENV_VAR: &str = "CCS_FAULT_PLAN";
+
+/// An injection point of the serving path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic inside a workload build (user factories can panic).
+    WorkloadBuild,
+    /// An I/O error out of a result-store write.
+    StoreIo,
+    /// A torn (truncated) result-store entry, bypassing the atomic-rename
+    /// protocol the way a crashed legacy writer would.
+    TornWrite,
+    /// Abrupt close of a session's write half mid-stream.
+    SessionClose,
+}
+
+impl FaultKind {
+    const ALL: [FaultKind; 4] = [
+        FaultKind::WorkloadBuild,
+        FaultKind::StoreIo,
+        FaultKind::TornWrite,
+        FaultKind::SessionClose,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            FaultKind::WorkloadBuild => 0,
+            FaultKind::StoreIo => 1,
+            FaultKind::TornWrite => 2,
+            FaultKind::SessionClose => 3,
+        }
+    }
+
+    /// The spec-grammar key of this injection point.
+    pub fn spec_name(self) -> &'static str {
+        match self {
+            FaultKind::WorkloadBuild => "build-panic",
+            FaultKind::StoreIo => "store-io",
+            FaultKind::TornWrite => "torn-write",
+            FaultKind::SessionClose => "close-session",
+        }
+    }
+}
+
+/// A parsed fault plan: per-point rates plus the session write delay.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    rates: [f64; 4],
+    slow_session: Option<Duration>,
+}
+
+impl FaultPlan {
+    /// Parse the comma-separated `key=value` spec grammar (see the module
+    /// docs).  The error string names the offending token.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan {
+            seed: 0,
+            rates: [0.0; 4],
+            slow_session: None,
+        };
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault plan token {part:?} is not key=value"))?;
+            let rate = |value: &str| -> Result<f64, String> {
+                let rate: f64 = value
+                    .parse()
+                    .map_err(|_| format!("fault rate {value:?} is not a number"))?;
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err(format!("fault rate {value} is outside 0..=1"));
+                }
+                Ok(rate)
+            };
+            match key.trim() {
+                "seed" => {
+                    plan.seed = value
+                        .parse()
+                        .map_err(|_| format!("fault plan seed {value:?} is not an integer"))?;
+                }
+                "slow-session-ms" => {
+                    let ms: u64 = value.parse().map_err(|_| {
+                        format!("slow-session-ms value {value:?} is not an integer")
+                    })?;
+                    plan.slow_session = (ms > 0).then(|| Duration::from_millis(ms));
+                }
+                key => {
+                    let kind = FaultKind::ALL
+                        .into_iter()
+                        .find(|k| k.spec_name() == key)
+                        .ok_or_else(|| {
+                            format!(
+                                "unknown fault plan key {key:?} (expected seed, slow-session-ms, \
+                                 build-panic, store-io, torn-write or close-session)"
+                            )
+                        })?;
+                    plan.rates[kind.index()] = rate(value)?;
+                }
+            }
+        }
+        Ok(plan)
+    }
+
+    /// The plan seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The configured rate of an injection point.
+    pub fn rate(&self, kind: FaultKind) -> f64 {
+        self.rates[kind.index()]
+    }
+
+    /// The configured per-frame session write delay, if any.
+    pub fn slow_session(&self) -> Option<Duration> {
+        self.slow_session
+    }
+
+    /// Whether the `n`-th occurrence of `kind` injects — a pure function of
+    /// the plan, so schedules replay exactly.
+    pub fn fires(&self, kind: FaultKind, n: u64) -> bool {
+        let rate = self.rates[kind.index()];
+        if rate <= 0.0 {
+            return false;
+        }
+        if rate >= 1.0 {
+            return true;
+        }
+        let salt = splitmix64(self.seed ^ (kind.index() as u64 + 1).wrapping_mul(0x9e37_79b9));
+        let draw = splitmix64(salt ^ n.wrapping_mul(0x2545_f491_4f6c_dd1d));
+        (draw as f64) < rate * (u64::MAX as f64)
+    }
+}
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+static PLAN: OnceLock<FaultPlan> = OnceLock::new();
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static COUNTERS: [AtomicU64; 4] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
+
+/// Install `plan` process-globally.  At most one plan per process; a second
+/// install fails rather than silently replacing the schedule mid-run.
+pub fn install(plan: FaultPlan) -> Result<(), String> {
+    PLAN.set(plan)
+        .map_err(|_| "a fault plan is already installed".to_string())?;
+    ACTIVE.store(true, Ordering::Release);
+    Ok(())
+}
+
+/// Install the plan named by [`ENV_VAR`], if set and non-empty.  Returns
+/// whether a plan was installed; a malformed spec is an error.
+pub fn install_from_env() -> Result<bool, String> {
+    match std::env::var(ENV_VAR) {
+        Ok(spec) if !spec.trim().is_empty() => {
+            install(FaultPlan::parse(&spec)?)?;
+            Ok(true)
+        }
+        _ => Ok(false),
+    }
+}
+
+/// Whether a fault plan is installed — the one-load fast path every hook
+/// checks first.
+#[inline]
+pub fn active() -> bool {
+    ACTIVE.load(Ordering::Acquire)
+}
+
+/// The installed plan, if any.
+pub fn plan() -> Option<&'static FaultPlan> {
+    if !active() {
+        return None;
+    }
+    PLAN.get()
+}
+
+/// Whether this occurrence of `kind` injects, advancing the occurrence
+/// counter.  Always `false` (and free of side effects beyond one atomic
+/// load) when no plan is installed.
+pub fn should_inject(kind: FaultKind) -> bool {
+    let Some(plan) = plan() else {
+        return false;
+    };
+    let n = COUNTERS[kind.index()].fetch_add(1, Ordering::Relaxed);
+    plan.fires(kind, n)
+}
+
+/// Panic (with a marked message) when this occurrence of `kind` injects.
+pub fn inject_panic(kind: FaultKind) {
+    if should_inject(kind) {
+        panic!("injected fault: {}", kind.spec_name());
+    }
+}
+
+/// An injected I/O error when this occurrence of `kind` fires, else `None`.
+pub fn injected_io_error(kind: FaultKind) -> Option<std::io::Error> {
+    should_inject(kind)
+        .then(|| std::io::Error::other(format!("injected fault: {}", kind.spec_name())))
+}
+
+/// The plan's per-frame session write delay, if a plan with one is active.
+pub fn session_write_delay() -> Option<Duration> {
+    plan().and_then(FaultPlan::slow_session)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_grammar_round_trips() {
+        let plan = FaultPlan::parse(
+            "seed=42, build-panic=0.5,store-io=0.25,torn-write=1,close-session=0,slow-session-ms=3",
+        )
+        .unwrap();
+        assert_eq!(plan.seed(), 42);
+        assert_eq!(plan.rate(FaultKind::WorkloadBuild), 0.5);
+        assert_eq!(plan.rate(FaultKind::StoreIo), 0.25);
+        assert_eq!(plan.rate(FaultKind::TornWrite), 1.0);
+        assert_eq!(plan.rate(FaultKind::SessionClose), 0.0);
+        assert_eq!(plan.slow_session(), Some(Duration::from_millis(3)));
+
+        // An empty spec is the all-zero plan.
+        let nil = FaultPlan::parse("").unwrap();
+        assert_eq!(nil.rates, [0.0; 4]);
+        assert_eq!(nil.slow_session(), None);
+    }
+
+    #[test]
+    fn malformed_specs_are_typed_errors() {
+        for bad in [
+            "build-panic",          // not key=value
+            "warp-drive=0.5",       // unknown key
+            "build-panic=2.0",      // rate out of range
+            "build-panic=lots",     // not a number
+            "seed=minus-one",       // not an integer
+            "slow-session-ms=soon", // not an integer
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_rate_shaped() {
+        let plan = FaultPlan::parse("seed=7,build-panic=0.5").unwrap();
+        let again = FaultPlan::parse("seed=7,build-panic=0.5").unwrap();
+        let trials = 10_000u64;
+        let mut fired = 0u64;
+        for n in 0..trials {
+            let hit = plan.fires(FaultKind::WorkloadBuild, n);
+            assert_eq!(hit, again.fires(FaultKind::WorkloadBuild, n), "replayable");
+            fired += hit as u64;
+        }
+        // A 50% rate lands near 50% over many draws.
+        assert!((4_000..6_000).contains(&fired), "{fired} of {trials}");
+        // Edge rates are exact.
+        let edges = FaultPlan::parse("torn-write=1,store-io=0").unwrap();
+        for n in 0..100 {
+            assert!(edges.fires(FaultKind::TornWrite, n));
+            assert!(!edges.fires(FaultKind::StoreIo, n));
+        }
+        // A different seed yields a different schedule.
+        let other = FaultPlan::parse("seed=8,build-panic=0.5").unwrap();
+        assert!(
+            (0..trials).any(|n| {
+                plan.fires(FaultKind::WorkloadBuild, n) != other.fires(FaultKind::WorkloadBuild, n)
+            }),
+            "seeds must matter"
+        );
+    }
+
+    #[test]
+    fn hooks_are_noops_without_a_plan() {
+        // The global plan may have been installed by another test in this
+        // process; the pure checks below do not depend on it.
+        if !active() {
+            assert!(!should_inject(FaultKind::StoreIo));
+            assert!(injected_io_error(FaultKind::StoreIo).is_none());
+            assert!(session_write_delay().is_none());
+            inject_panic(FaultKind::WorkloadBuild); // must not panic
+        }
+    }
+}

@@ -40,9 +40,11 @@
 #![warn(rust_2018_idioms)]
 
 pub mod cancel;
+pub mod fault;
 pub mod label;
 pub mod pool;
 
 pub use cancel::CancelToken;
+pub use fault::{FaultKind, FaultPlan};
 pub use label::PdfLabel;
 pub use pool::{join, spawn, Policy, ThreadPool};

@@ -58,6 +58,8 @@ struct Registry {
     /// Monotonic tie-breaker for jobs with equal labels.
     seq: AtomicUsize,
     shutdown: AtomicBool,
+    /// Detached-job panics caught at the pool boundary (see [`run_job_caught`]).
+    panics_caught: AtomicUsize,
     /// Sleep/wake machinery for idle workers.
     sleep_mutex: Mutex<()>,
     sleep_cond: Condvar,
@@ -229,6 +231,7 @@ impl ThreadPool {
             pending: AtomicUsize::new(0),
             seq: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
+            panics_caught: AtomicUsize::new(0),
             sleep_mutex: Mutex::new(()),
             sleep_cond: Condvar::new(),
         });
@@ -258,6 +261,15 @@ impl ThreadPool {
     /// The scheduling policy.
     pub fn policy(&self) -> Policy {
         self.registry.policy
+    }
+
+    /// Number of detached-job panics caught at the pool boundary so far.
+    ///
+    /// `install`/`join` closures re-raise panics to their caller, so this
+    /// counts only detached jobs ([`ThreadPool::spawn_detached`] and
+    /// friends) whose panic would otherwise have killed a worker thread.
+    pub fn panics_caught(&self) -> usize {
+        self.registry.panics_caught.load(Ordering::Relaxed)
     }
 
     /// Run `f` on a worker thread of this pool and return its result.  Inside
@@ -348,7 +360,7 @@ fn worker_loop(registry: Arc<Registry>, index: usize, deque: Deque<Job>) {
     });
     loop {
         if let Some((label, func)) = registry.pop_job(index) {
-            run_job(label, func);
+            run_job_caught(&registry, label, func);
             continue;
         }
         if registry.shutdown.load(Ordering::Acquire) {
@@ -375,6 +387,17 @@ fn run_job(label: PdfLabel, func: JobFn) {
         }
     });
     func();
+}
+
+/// [`run_job`] with the pool-boundary panic guard: a panicking *detached*
+/// job is caught and counted instead of killing the worker (or unwinding
+/// into an innocent `join` caller helping while it waits).  `install` and
+/// `join` closures catch internally and re-raise at their call site, so
+/// their panic semantics are unchanged.
+fn run_job_caught(registry: &Registry, label: PdfLabel, func: JobFn) {
+    if panic::catch_unwind(AssertUnwindSafe(|| run_job(label, func))).is_err() {
+        registry.panics_caught.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 fn current_context() -> Option<WorkerContext> {
@@ -436,7 +459,7 @@ where
     while !latch.probe() {
         if let Some((label, func)) = ctx.registry.pop_job(ctx.index) {
             let saved = current_context();
-            run_job(label, func);
+            run_job_caught(&ctx.registry, label, func);
             if let Some(saved) = saved {
                 restore_context(saved);
             }
@@ -636,6 +659,38 @@ mod tests {
         assert!(r.is_err());
         // The pool is still usable afterwards.
         assert_eq!(pool.install(|| 3), 3);
+    }
+
+    #[test]
+    fn detached_panic_is_isolated_and_counted() {
+        for pool in pools() {
+            assert_eq!(pool.panics_caught(), 0);
+            pool.spawn_detached(|| panic!("detached boom"));
+            for _ in 0..2000 {
+                if pool.panics_caught() == 1 {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            assert_eq!(pool.panics_caught(), 1);
+            // Every worker survived: the pool still runs new work, both
+            // detached and structured.
+            let counter = Arc::new(AtomicU64::new(0));
+            for _ in 0..8 {
+                let c = Arc::clone(&counter);
+                pool.spawn_detached(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            for _ in 0..2000 {
+                if counter.load(Ordering::SeqCst) == 8 {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            assert_eq!(counter.load(Ordering::SeqCst), 8);
+            assert_eq!(pool.install(|| 7 * 6), 42);
+        }
     }
 
     #[test]

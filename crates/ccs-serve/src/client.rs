@@ -9,6 +9,12 @@
 //! [`Experiment::run`](ccs_experiment::Experiment::run) report *byte for
 //! byte* — the invariant the e2e tests and the CI smoke `cmp` against a
 //! direct run.
+//!
+//! Because the daemon memoises every finished point in its result store,
+//! resubmitting a request is idempotent — which makes retrying safe.
+//! [`run_with_retry`] leans on that: reconnect, resubmit, and collect again
+//! until the request lands `done` or the [`RetryPolicy`] is exhausted, with
+//! exponential backoff between attempts.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::os::unix::net::UnixStream;
@@ -17,7 +23,7 @@ use std::time::{Duration, Instant};
 
 use ccs_experiment::{Report, RunRecord};
 
-use crate::protocol::{Frame, RequestState, SubmitRequest};
+use crate::protocol::{Frame, HealthReport, RequestState, SubmitRequest};
 
 /// One streamed record with its provenance.
 #[derive(Debug)]
@@ -43,6 +49,9 @@ pub struct CollectedRun {
     pub state: RequestState,
     /// Streamed records, sorted by `seq` (ascending).
     pub records: Vec<CollectedRecord>,
+    /// Per-point error messages the daemon sent after accepting the request
+    /// (e.g. a workload factory panicked).  Empty on a clean `done` run.
+    pub errors: Vec<String>,
 }
 
 impl CollectedRun {
@@ -69,13 +78,15 @@ pub struct Client<R, W> {
 }
 
 impl Client<BufReader<UnixStream>, UnixStream> {
-    /// Connect to a daemon's Unix socket, retrying until `timeout` expires
-    /// (the daemon may still be binding), and consume its `hello`.
+    /// Connect to a daemon's Unix socket, retrying with exponential backoff
+    /// until `timeout` expires (the daemon may still be binding), and
+    /// consume its `hello`.
     pub fn connect_unix(
         path: &Path,
         timeout: Duration,
     ) -> io::Result<Client<BufReader<UnixStream>, UnixStream>> {
         let deadline = Instant::now() + timeout;
+        let mut backoff = Duration::from_millis(10);
         let stream = loop {
             match UnixStream::connect(path) {
                 Ok(stream) => break stream,
@@ -83,7 +94,10 @@ impl Client<BufReader<UnixStream>, UnixStream> {
                     if Instant::now() >= deadline {
                         return Err(e);
                     }
-                    std::thread::sleep(Duration::from_millis(20));
+                    std::thread::sleep(
+                        backoff.min(deadline.saturating_duration_since(Instant::now())),
+                    );
+                    backoff = (backoff * 2).min(Duration::from_millis(500));
                 }
             }
         };
@@ -157,6 +171,19 @@ impl<R: BufRead, W: Write> Client<R, W> {
         }
     }
 
+    /// Query the daemon's health (uptime, inflight, panics caught, store
+    /// stats).  Frames about in-flight requests arriving first are stashed,
+    /// not lost.
+    pub fn health(&mut self) -> io::Result<HealthReport> {
+        self.send(&Frame::HealthQuery)?;
+        loop {
+            match self.next_frame()? {
+                Frame::Health(report) => return Ok(report),
+                other => self.stash.push(other),
+            }
+        }
+    }
+
     /// Query progress of request `id`: `(completed, total, cached)` record
     /// counts, without collecting any results.  Frames about in-flight
     /// requests arriving first are stashed, not lost; an `error` frame for
@@ -193,8 +220,14 @@ impl<R: BufRead, W: Write> Client<R, W> {
     /// Collect request `id`, sending a `cancel` after `cancel_after` result
     /// frames have streamed (when `Some`).  Frames about other requests are
     /// stashed for their own `collect` calls, so interleaved requests on one
-    /// connection work.  An `error` frame for `id` — or one with no id, e.g.
-    /// a rejected submit line — fails the collect.
+    /// connection work.
+    ///
+    /// Error-frame handling is two-phase: *before* the `accepted` frame an
+    /// `error` for `id` — or one with no id, e.g. an unparseable submit
+    /// line — is fatal and fails the collect.  *After* acceptance, per-point
+    /// `error` frames (a panicked workload build, say) are recorded in
+    /// [`CollectedRun::errors`] and collection continues to the terminal
+    /// `status`, which reports `failed` alongside whatever records survived.
     pub fn collect_cancelling_after(
         &mut self,
         id: &str,
@@ -204,6 +237,8 @@ impl<R: BufRead, W: Write> Client<R, W> {
         let mut scale = 1u64;
         let mut total = 0usize;
         let mut records: Vec<CollectedRecord> = Vec::new();
+        let mut errors: Vec<String> = Vec::new();
+        let mut accepted = false;
         let mut cancel_sent = false;
 
         // Replay earlier-stashed frames (oldest first) before reading fresh
@@ -229,6 +264,7 @@ impl<R: BufRead, W: Write> Client<R, W> {
                     name = fname;
                     scale = fscale;
                     total = ftotal;
+                    accepted = true;
                 }
                 Frame::Result {
                     id: fid,
@@ -263,7 +299,11 @@ impl<R: BufRead, W: Write> Client<R, W> {
                         total: total.max(ftotal),
                         state,
                         records,
+                        errors,
                     });
+                }
+                Frame::Error { id: fid, message } if fid.as_deref() == Some(id) && accepted => {
+                    errors.push(message);
                 }
                 Frame::Error { id: fid, message }
                     if fid.as_deref() == Some(id) || fid.is_none() =>
@@ -273,6 +313,69 @@ impl<R: BufRead, W: Write> Client<R, W> {
                 }
                 other => self.stash.push(other),
             }
+        }
+    }
+}
+
+/// How [`run_with_retry`] paces its attempts.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (`0` behaves as `1`).
+    pub attempts: usize,
+    /// Sleep before the second attempt; doubles each retry.
+    pub initial_delay: Duration,
+    /// Ceiling on the backoff sleep.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 3,
+            initial_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Submit `request` over a fresh connection per attempt until it collects
+/// `done`, with exponential backoff between attempts.
+///
+/// This is safe to call repeatedly because the daemon memoises finished
+/// points in its result store: a resubmitted request re-serves already
+/// computed records from cache and only runs what the failed attempt never
+/// reached.  Returns the first `done` run; if every attempt falls short,
+/// returns the last terminal run collected (e.g. `timeout` with partial
+/// records), and only errors when no attempt produced a terminal status.
+pub fn run_with_retry(
+    socket: &Path,
+    connect_timeout: Duration,
+    request: &SubmitRequest,
+    policy: RetryPolicy,
+) -> io::Result<CollectedRun> {
+    let attempts = policy.attempts.max(1);
+    let mut delay = policy.initial_delay;
+    let mut last_run: Option<CollectedRun> = None;
+    let mut last_err: Option<io::Error> = None;
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            std::thread::sleep(delay);
+            delay = (delay * 2).min(policy.max_delay);
+        }
+        let outcome = Client::connect_unix(socket, connect_timeout).and_then(|mut client| {
+            client.submit(request.clone())?;
+            client.collect(&request.id)
+        });
+        match outcome {
+            Ok(run) if run.state == RequestState::Done => return Ok(run),
+            Ok(run) => last_run = Some(run),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    match last_run {
+        Some(run) => Ok(run),
+        None => {
+            Err(last_err.unwrap_or_else(|| io::Error::other("retry attempts exhausted")))
         }
     }
 }

@@ -22,10 +22,18 @@
 //!   [`CancelToken`](ccs_runtime::CancelToken)s (cancel drops queued
 //!   points; in-flight points finish and are kept);
 //! * [`session`] — one client connection: validation through the spec
-//!   grammar, frame routing, graceful drain on EOF;
+//!   grammar, frame routing, bounded-line input hardening, graceful drain
+//!   on EOF;
 //! * [`server`] — the stdio and Unix-socket front ends;
 //! * [`client`] — the in-repo client, which reassembles streamed records
-//!   into batch-identical [`Report`](ccs_experiment::Report)s.
+//!   into batch-identical [`Report`](ccs_experiment::Report)s, plus the
+//!   idempotent [`run_with_retry`](client::run_with_retry) helper.
+//!
+//! Failure containment — per-request deadlines (`timeout_ms`), panic
+//! isolation at the pool boundary, the `health` frame, checksummed
+//! crash-safe store entries, and the deterministic fault-injection plan
+//! (`CCS_FAULT_PLAN`) that exercises all of it — is documented in
+//! DESIGN.md §13.
 //!
 //! # Quick start (in process)
 //!
@@ -55,6 +63,7 @@
 //!         quick: false,
 //!         engine: ccs_sim::SimEngine::EventDriven,
 //!         baseline: true,
+//!         timeout_ms: None,
 //!     })
 //!     .unwrap();
 //! let run = client.collect("r1").unwrap();
@@ -73,8 +82,9 @@ pub mod server;
 pub mod service;
 pub mod session;
 
-pub use client::{Client, CollectedRecord, CollectedRun};
-pub use protocol::{Frame, RequestState, SubmitRequest, PROTOCOL_VERSION};
+pub use client::{run_with_retry, Client, CollectedRecord, CollectedRun, RetryPolicy};
+pub use protocol::{Frame, HealthReport, RequestState, SubmitRequest, PROTOCOL_VERSION};
 pub use queue::{RequestQueue, SubmitError};
 pub use server::Server;
 pub use service::{Service, ServiceConfig};
+pub use session::MAX_FRAME_BYTES;

@@ -9,18 +9,23 @@
 //! | client → server | `submit` | a sweep request with a client-chosen `id` |
 //! | server → client | `accepted` | request validated and queued; resolved name/scale/totals |
 //! | server → client | `result` | one streamed [`RunRecord`], with its report position `seq` |
-//! | server → client | `status` | terminal frame per request: `done` or `cancelled` |
+//! | server → client | `status` | terminal frame per request: `done`, `cancelled`, `timeout` or `failed` |
 //! | client → server | `query` | progress probe for a submitted request |
 //! | server → client | `progress` | per-request progress: `completed`/`total`/`cached`, no records |
 //! | client → server | `cancel` | drop the request's queued points |
 //! | client → server | `ping` / server → client `pong` | liveness |
+//! | client → server | `health` | daemon health probe |
+//! | server → client | `health` | health report: uptime, inflight, queue depth, fault counters, store stats |
 //! | client → server | `shutdown` | drain in-flight requests, then stop |
 //! | server → client | `error` | validation or protocol failure (with `id` when attributable) |
 //!
 //! Framing rules (the version contract, see DESIGN.md §10): unknown object
 //! *fields* are ignored, unknown frame *types* are an error, and
 //! [`PROTOCOL_VERSION`] only changes when one of those two rules would not
-//! save an old peer.
+//! save an old peer.  Version 2 added the `timeout` and `failed` terminal
+//! states — new values of an *existing* field, which the rules cannot save
+//! an old client from — plus the (rule-covered) `health` frames and the
+//! optional `timeout_ms` submit field.
 //!
 //! Frames parse from and render to single lines via the same offline JSON
 //! layer the report format uses ([`ccs_experiment::json`]), so a `result`
@@ -31,7 +36,7 @@ use ccs_experiment::RunRecord;
 use ccs_sim::SimEngine;
 
 /// The protocol version announced in the `hello` frame.
-pub const PROTOCOL_VERSION: &str = "ccs-serve/1";
+pub const PROTOCOL_VERSION: &str = "ccs-serve/2";
 
 /// A parsed sweep request: the `submit` frame's payload.
 #[derive(Clone, Debug)]
@@ -54,6 +59,11 @@ pub struct SubmitRequest {
     pub engine: SimEngine,
     /// Whether to run the 1-core sequential baseline (default true).
     pub baseline: bool,
+    /// Server-side deadline in milliseconds; `None` means no deadline.
+    /// Counted from acceptance (queue wait included); on expiry the request
+    /// is cancelled and terminates with the `timeout` state, keeping every
+    /// record streamed so far.
+    pub timeout_ms: Option<u64>,
 }
 
 /// Terminal state of a request, carried by the `status` frame.
@@ -63,6 +73,13 @@ pub enum RequestState {
     Done,
     /// The request was cancelled; only a prefix of records was streamed.
     Cancelled,
+    /// The request's deadline expired; only a prefix of records was
+    /// streamed.  Resubmission is idempotent (the memoised store keeps the
+    /// partial results), so a retry resumes where this attempt got to.
+    TimedOut,
+    /// One or more sweep points failed (e.g. a panicking workload build);
+    /// each failed point was reported in an `error` frame.
+    Failed,
 }
 
 impl RequestState {
@@ -70,8 +87,29 @@ impl RequestState {
         match self {
             RequestState::Done => "done",
             RequestState::Cancelled => "cancelled",
+            RequestState::TimedOut => "timeout",
+            RequestState::Failed => "failed",
         }
     }
+}
+
+/// Daemon health, carried by the server→client `health` frame.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Milliseconds since the service started.
+    pub uptime_ms: u64,
+    /// Requests currently executing (accepted, not yet terminal).
+    pub inflight: usize,
+    /// Requests queued behind the workers.
+    pub queue_depth: usize,
+    /// Panics caught at the service and pool boundaries since start.
+    pub panics_caught: u64,
+    /// Requests terminated by deadline expiry since start.
+    pub timeouts: u64,
+    /// Records currently memoised in the result store (0 when storeless).
+    pub store_records: usize,
+    /// Bytes the result store occupies on disk (0 when storeless).
+    pub store_bytes: u64,
 }
 
 /// One wire frame, either direction.
@@ -148,6 +186,10 @@ pub enum Frame {
     Ping,
     /// Liveness answer.
     Pong,
+    /// Daemon health probe (client → server).
+    HealthQuery,
+    /// Daemon health report (server → client).
+    Health(HealthReport),
     /// Drain and stop the daemon.
     Shutdown,
     /// Validation or protocol failure.
@@ -196,6 +238,7 @@ impl Frame {
                     ("quick", req.quick.into()),
                     ("engine", req.engine.name().into()),
                     ("baseline", req.baseline.into()),
+                    ("timeout_ms", req.timeout_ms.map_or(Json::Null, Json::from)),
                 ])
             }
             Frame::Accepted {
@@ -258,6 +301,17 @@ impl Frame {
             }
             Frame::Ping => Json::object([("type", "ping".into())]),
             Frame::Pong => Json::object([("type", "pong".into())]),
+            Frame::HealthQuery => Json::object([("type", "health".into())]),
+            Frame::Health(report) => Json::object([
+                ("type", "health".into()),
+                ("uptime_ms", report.uptime_ms.into()),
+                ("inflight", report.inflight.into()),
+                ("queue_depth", report.queue_depth.into()),
+                ("panics_caught", report.panics_caught.into()),
+                ("timeouts", report.timeouts.into()),
+                ("store_records", report.store_records.into()),
+                ("store_bytes", report.store_bytes.into()),
+            ]),
             Frame::Shutdown => Json::object([("type", "shutdown".into())]),
             Frame::Error { id, message } => Json::object([
                 ("type", "error".into()),
@@ -313,6 +367,8 @@ impl Frame {
                 state: match require_str(&doc, "state")?.as_str() {
                     "done" => RequestState::Done,
                     "cancelled" => RequestState::Cancelled,
+                    "timeout" => RequestState::TimedOut,
+                    "failed" => RequestState::Failed,
                     other => return Err(format!("unknown request state {other:?}")),
                 },
                 completed: require_u64(&doc, "completed")? as usize,
@@ -328,6 +384,23 @@ impl Frame {
             "cancel" => Ok(Frame::Cancel { id: id(&doc)? }),
             "ping" => Ok(Frame::Ping),
             "pong" => Ok(Frame::Pong),
+            // The probe and the report share the wire type; the report is
+            // the one carrying measurements.
+            "health" => {
+                if doc.get("uptime_ms").is_none() {
+                    Ok(Frame::HealthQuery)
+                } else {
+                    Ok(Frame::Health(HealthReport {
+                        uptime_ms: require_u64(&doc, "uptime_ms")?,
+                        inflight: require_u64(&doc, "inflight")? as usize,
+                        queue_depth: require_u64(&doc, "queue_depth")? as usize,
+                        panics_caught: require_u64(&doc, "panics_caught")?,
+                        timeouts: require_u64(&doc, "timeouts")?,
+                        store_records: require_u64(&doc, "store_records")? as usize,
+                        store_bytes: require_u64(&doc, "store_bytes")?,
+                    }))
+                }
+            }
             "shutdown" => Ok(Frame::Shutdown),
             "error" => Ok(Frame::Error {
                 id: doc.get("id").and_then(Json::as_str).map(str::to_string),
@@ -398,6 +471,7 @@ fn parse_submit(doc: &Json, id: String) -> Result<SubmitRequest, String> {
         quick: doc.get("quick").and_then(Json::as_bool).unwrap_or(false),
         engine,
         baseline: doc.get("baseline").and_then(Json::as_bool).unwrap_or(true),
+        timeout_ms: doc.get("timeout_ms").and_then(Json::as_u64),
     })
 }
 
@@ -419,6 +493,18 @@ mod tests {
         assert!(!req.quick);
         assert_eq!(req.engine, SimEngine::EventDriven);
         assert!(req.baseline);
+        assert_eq!(req.timeout_ms, None);
+
+        // A deadline survives the round trip.
+        let timed = r#"{"type":"submit","id":"r2","workloads":["lu"],"timeout_ms":1500}"#;
+        let Frame::Submit(timed) = Frame::parse(timed).unwrap() else {
+            panic!("expected submit");
+        };
+        assert_eq!(timed.timeout_ms, Some(1500));
+        let Frame::Submit(timed) = Frame::parse(&Frame::Submit(timed).to_line()).unwrap() else {
+            panic!("expected submit");
+        };
+        assert_eq!(timed.timeout_ms, Some(1500));
 
         // Full rendering parses back to the same request.
         let rendered = Frame::Submit(req.clone()).to_line();
@@ -462,6 +548,28 @@ mod tests {
                 completed: 3,
                 total: 8,
             },
+            Frame::Status {
+                id: "r1".to_string(),
+                state: RequestState::TimedOut,
+                completed: 3,
+                total: 8,
+            },
+            Frame::Status {
+                id: "r1".to_string(),
+                state: RequestState::Failed,
+                completed: 3,
+                total: 8,
+            },
+            Frame::HealthQuery,
+            Frame::Health(HealthReport {
+                uptime_ms: 1234,
+                inflight: 1,
+                queue_depth: 2,
+                panics_caught: 3,
+                timeouts: 4,
+                store_records: 5,
+                store_bytes: 6789,
+            }),
             Frame::Query {
                 id: "r2".to_string(),
             },

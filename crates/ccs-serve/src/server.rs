@@ -7,13 +7,16 @@
 //! `shutdown`, then stops accepting, waits for the remaining sessions to
 //! end, drains the service and removes the socket file.
 
-use std::io::{self, BufReader};
+use std::io::{self, BufReader, Write};
+use std::net::Shutdown;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
+
+use ccs_runtime::fault::{self, FaultKind};
 
 use crate::service::{Service, ServiceConfig};
 use crate::session;
@@ -103,6 +106,30 @@ impl Server {
 fn serve_unix_stream(service: &Service, stream: UnixStream) -> io::Result<bool> {
     // The accept loop runs nonblocking; the session must not.
     stream.set_nonblocking(false)?;
-    let writer = stream.try_clone()?;
+    let writer = FaultableStream(stream.try_clone()?);
     Ok(session::run(service, BufReader::new(stream), writer))
+}
+
+/// A socket writer whose `close-session` fault hook (a no-op without an
+/// installed plan) tears the *whole* connection down, both directions, so
+/// the peer sees an abrupt EOF mid-stream.  The teardown must happen at
+/// the socket layer: the session's reader holds a duplicate of this fd,
+/// so merely dropping the writer would close nothing.
+struct FaultableStream(UnixStream);
+
+impl Write for FaultableStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if fault::should_inject(FaultKind::SessionClose) {
+            let _ = self.0.shutdown(Shutdown::Both);
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionAborted,
+                "injected fault: close-session",
+            ));
+        }
+        self.0.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.0.flush()
+    }
 }

@@ -30,20 +30,35 @@
 //! The worker observes completion through channel disconnect — every point
 //! closure owns a sender clone, finished or dropped — and emits the
 //! terminal `status` frame with `done` or `cancelled` accordingly.
+//!
+//! # Failure containment (DESIGN.md §13)
+//!
+//! Every sweep-point closure runs under `catch_unwind`: a panicking user
+//! workload converts to an `error` frame for its request (and a `failed`
+//! terminal status) while the daemon, the pool worker and every other
+//! request keep going.  Requests submitted with `timeout_ms` are watched by
+//! a deadline thread that trips their cancel token on expiry — in-flight
+//! points still stream (the partial-results contract of cancellation) and
+//! the terminal status reads `timeout`.  [`Service::health`] reports
+//! uptime, inflight and queue depth plus the panic/timeout counters and
+//! store statistics.
 
+use std::panic::{self, AssertUnwindSafe};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread;
+use std::time::{Duration, Instant};
 
 use ccs_experiment::canon::record_key;
 use ccs_experiment::{Experiment, ResultStore, RunRecord, SweepPoint};
 use ccs_runtime::{CancelToken, Policy, ThreadPool};
 use ccs_sched::SchedulerSpec;
 use ccs_sim::{CmpConfig, SimEngine};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
-use crate::protocol::{Frame, RequestState, SubmitRequest};
+use crate::protocol::{Frame, HealthReport, RequestState, SubmitRequest};
 use crate::queue::{RequestQueue, SubmitError};
 
 /// Tuning knobs of a [`Service`].
@@ -93,6 +108,8 @@ pub struct PreparedRequest {
     schedulers: Vec<SchedulerSpec>,
     engine: SimEngine,
     baseline: bool,
+    /// Server-side deadline, from the submit frame's `timeout_ms`.
+    timeout: Option<Duration>,
 }
 
 /// A queued request: the prepared experiment plus its session plumbing.
@@ -100,15 +117,19 @@ struct QueuedRequest {
     prepared: PreparedRequest,
     token: CancelToken,
     reply: mpsc::Sender<Frame>,
+    /// Deadline registration, when the request carried `timeout_ms`.  The
+    /// clock runs from submit, so queue wait counts against the deadline.
+    deadline: Option<DeadlineHandle>,
     /// Dropped by the worker when the request reaches its terminal status —
     /// the session's drain counter (see [`crate::session`]).
     _pending: Option<Box<dyn std::any::Any + Send>>,
 }
 
-/// One finished (or cache-hit) sweep point, reported back to the worker.
+/// One sweep point's outcome, reported back to the worker: its records, or
+/// the panic message of a failed (e.g. panicking-workload) point.
 struct PointDone {
     index: usize,
-    records: Vec<RunRecord>,
+    records: Result<Vec<RunRecord>, String>,
 }
 
 /// Live progress of one request, served to `query` frames.
@@ -117,6 +138,110 @@ struct Progress {
     completed: usize,
     total: usize,
     cached: usize,
+}
+
+/// One registered deadline, shared between the watcher thread and the
+/// request's worker.
+struct DeadlineEntry {
+    when: Instant,
+    token: CancelToken,
+    timed_out: Arc<AtomicBool>,
+    settled: Arc<AtomicBool>,
+}
+
+/// The request side of a deadline registration: observe expiry, and settle
+/// the entry on drop so the watcher forgets finished requests.
+struct DeadlineHandle {
+    timed_out: Arc<AtomicBool>,
+    settled: Arc<AtomicBool>,
+}
+
+impl DeadlineHandle {
+    fn timed_out(&self) -> bool {
+        self.timed_out.load(Ordering::Acquire)
+    }
+}
+
+impl Drop for DeadlineHandle {
+    fn drop(&mut self) {
+        self.settled.store(true, Ordering::Release);
+    }
+}
+
+/// The deadline thread's state: pending entries plus its wakeup machinery.
+/// One watcher serves every request of the service; expiry trips the
+/// request's [`CancelToken`], which reuses the whole cancellation path
+/// (queued points dropped unrun, in-flight points finish and stream).
+struct DeadlineWatcher {
+    entries: Mutex<Vec<DeadlineEntry>>,
+    wake: Condvar,
+    stopped: AtomicBool,
+    /// Requests terminated by expiry, for [`Service::health`].
+    expired: AtomicU64,
+}
+
+impl DeadlineWatcher {
+    fn new() -> DeadlineWatcher {
+        DeadlineWatcher {
+            entries: Mutex::new(Vec::new()),
+            wake: Condvar::new(),
+            stopped: AtomicBool::new(false),
+            expired: AtomicU64::new(0),
+        }
+    }
+
+    fn register(&self, timeout: Duration, token: CancelToken) -> DeadlineHandle {
+        let timed_out = Arc::new(AtomicBool::new(false));
+        let settled = Arc::new(AtomicBool::new(false));
+        self.entries.lock().push(DeadlineEntry {
+            when: Instant::now() + timeout,
+            token,
+            timed_out: Arc::clone(&timed_out),
+            settled: Arc::clone(&settled),
+        });
+        self.wake.notify_all();
+        DeadlineHandle { timed_out, settled }
+    }
+
+    /// The watcher thread body: expire due entries, drop settled ones,
+    /// sleep until the next deadline (bounded, so a settled entry or a
+    /// stop request is noticed promptly even without a wakeup).
+    fn run(&self) {
+        let mut entries = self.entries.lock();
+        while !self.stopped.load(Ordering::Acquire) {
+            let now = Instant::now();
+            entries.retain(|entry| {
+                if entry.settled.load(Ordering::Acquire) {
+                    return false;
+                }
+                if entry.when <= now {
+                    // Mark before cancelling, so a worker that sees the
+                    // cancelled token and then asks `timed_out()` cannot
+                    // miss the flag.
+                    entry.timed_out.store(true, Ordering::Release);
+                    entry.token.cancel();
+                    self.expired.fetch_add(1, Ordering::Relaxed);
+                    return false;
+                }
+                true
+            });
+            let next_due = entries.iter().map(|e| e.when).min();
+            let wait = match next_due {
+                Some(when) => when
+                    .saturating_duration_since(Instant::now())
+                    .min(Duration::from_millis(100)),
+                None => Duration::from_millis(100),
+            };
+            self.wake
+                .wait_for(&mut entries, wait.max(Duration::from_millis(1)));
+        }
+    }
+
+    fn stop(&self) {
+        self.stopped.store(true, Ordering::Release);
+        let _entries = self.entries.lock();
+        self.wake.notify_all();
+    }
 }
 
 struct ServiceInner {
@@ -129,12 +254,21 @@ struct ServiceInner {
     /// request id) so late queries still answer; a resubmitted id
     /// overwrites its entry.
     progress: Mutex<std::collections::HashMap<String, Progress>>,
+    deadlines: Arc<DeadlineWatcher>,
+    /// Service start time, for health uptime.
+    started: Instant,
+    /// Requests currently being driven by a worker.
+    inflight: AtomicUsize,
+    /// Sweep-point panics caught by the request drivers (the pool-boundary
+    /// counter, [`ThreadPool::panics_caught`], covers everything else).
+    panics_caught: AtomicU64,
 }
 
 /// The daemon core: queue, workers, shared pool, result store.
 pub struct Service {
     inner: Arc<ServiceInner>,
     workers: Mutex<Vec<thread::JoinHandle<()>>>,
+    watcher: Mutex<Option<thread::JoinHandle<()>>>,
 }
 
 impl Service {
@@ -151,23 +285,47 @@ impl Service {
             store,
             root: CancelToken::new(),
             progress: Mutex::new(std::collections::HashMap::new()),
+            deadlines: Arc::new(DeadlineWatcher::new()),
+            started: Instant::now(),
+            inflight: AtomicUsize::new(0),
+            panics_caught: AtomicU64::new(0),
         });
-        let workers = (0..config.workers.max(1))
-            .map(|i| {
+        // A failed thread spawn (resource exhaustion) must not leak the
+        // threads already started: close the queue so they exit, join,
+        // and surface the error instead of panicking.
+        let mut workers = Vec::with_capacity(config.workers.max(1));
+        let mut spawn_all = || -> std::io::Result<thread::JoinHandle<()>> {
+            for i in 0..config.workers.max(1) {
                 let inner = Arc::clone(&inner);
-                thread::Builder::new()
-                    .name(format!("ccs-serve-worker-{i}"))
-                    .spawn(move || {
-                        while let Some(request) = inner.queue.pop() {
-                            run_request(&inner, request);
-                        }
-                    })
-                    .expect("failed to spawn service worker")
-            })
-            .collect();
+                workers.push(
+                    thread::Builder::new()
+                        .name(format!("ccs-serve-worker-{i}"))
+                        .spawn(move || {
+                            while let Some(request) = inner.queue.pop() {
+                                run_request(&inner, request);
+                            }
+                        })?,
+                );
+            }
+            let deadlines = Arc::clone(&inner.deadlines);
+            thread::Builder::new()
+                .name("ccs-serve-deadline".to_string())
+                .spawn(move || deadlines.run())
+        };
+        let watcher = match spawn_all() {
+            Ok(watcher) => watcher,
+            Err(e) => {
+                inner.queue.close();
+                for worker in workers {
+                    let _ = worker.join();
+                }
+                return Err(e);
+            }
+        };
         Ok(Service {
             inner,
             workers: Mutex::new(workers),
+            watcher: Mutex::new(Some(watcher)),
         })
     }
 
@@ -222,6 +380,7 @@ impl Service {
             schedulers,
             engine: req.engine,
             baseline: req.baseline,
+            timeout: req.timeout_ms.map(Duration::from_millis),
         })
     }
 
@@ -245,10 +404,18 @@ impl Service {
                 cached: 0,
             },
         );
+        // The deadline clock starts here: time spent queued counts, so a
+        // request that expires before a worker reaches it terminates with
+        // `timeout` and zero records.  (A queue-rejected request drops the
+        // handle, which settles the watcher entry.)
+        let deadline = prepared
+            .timeout
+            .map(|timeout| self.inner.deadlines.register(timeout, token.clone()));
         let result = self.inner.queue.submit(QueuedRequest {
             prepared,
             token,
             reply,
+            deadline,
             _pending: pending,
         });
         if result.is_err() {
@@ -285,13 +452,34 @@ impl Service {
             .map_or(0, ResultStore::cached_records)
     }
 
+    /// A snapshot of daemon health: uptime, load, the panic and timeout
+    /// counters, and store statistics.  Serves the protocol's `health`
+    /// probe.
+    pub fn health(&self) -> HealthReport {
+        let inner = &self.inner;
+        HealthReport {
+            uptime_ms: inner.started.elapsed().as_millis() as u64,
+            inflight: inner.inflight.load(Ordering::Relaxed),
+            queue_depth: inner.queue.len(),
+            panics_caught: inner.panics_caught.load(Ordering::Relaxed)
+                + inner.pool.panics_caught() as u64,
+            timeouts: inner.deadlines.expired.load(Ordering::Relaxed),
+            store_records: self.store_cached_records(),
+            store_bytes: inner.store.as_ref().map_or(0, ResultStore::disk_bytes),
+        }
+    }
+
     /// Graceful drain: stop accepting, let queued and in-flight requests
-    /// finish, and join the workers.  Idempotent.
+    /// finish, and join the workers (and the deadline watcher).  Idempotent.
     pub fn drain(&self) {
         self.inner.queue.close();
         let workers = std::mem::take(&mut *self.workers.lock());
         for worker in workers {
             let _ = worker.join();
+        }
+        if let Some(watcher) = self.watcher.lock().take() {
+            self.inner.deadlines.stop();
+            let _ = watcher.join();
         }
     }
 
@@ -326,17 +514,30 @@ fn point_keys(req: &PreparedRequest, point: &SweepPoint) -> Vec<String> {
         .collect()
 }
 
+/// Extract a human-readable message from a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(text) = payload.downcast_ref::<&str>() {
+        (*text).to_string()
+    } else if let Some(text) = payload.downcast_ref::<String>() {
+        text.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Drive one request end to end: stream cache hits, batch the rest onto the
 /// pool, store fresh records, emit the terminal status.
-fn run_request(inner: &ServiceInner, request: QueuedRequest) {
+fn run_request(inner: &Arc<ServiceInner>, request: QueuedRequest) {
     let QueuedRequest {
         prepared: req,
         token,
         reply,
+        deadline,
         _pending,
     } = request;
     let total = req.total;
     let mut completed = 0usize;
+    inner.inflight.fetch_add(1, Ordering::Relaxed);
 
     let accepted = Frame::Accepted {
         id: req.id.clone(),
@@ -403,14 +604,31 @@ fn run_request(inner: &ServiceInner, request: QueuedRequest) {
                 }
                 let exp = Arc::clone(&req.exp);
                 let tx = tx.clone();
+                let service = Arc::clone(inner);
                 inner.pool.spawn_cancellable(&token, move || {
-                    let per_point_records = exp.run_batch_group(&fresh);
-                    for (point, records) in fresh.iter().zip(per_point_records) {
-                        // The session may be gone; disconnect is fine.
-                        let _ = tx.send(PointDone {
-                            index: point.index,
-                            records,
-                        });
+                    // Panic isolation: a panicking workload build (user
+                    // factories can panic) fails this group, not the pool
+                    // worker or the daemon.
+                    match panic::catch_unwind(AssertUnwindSafe(|| exp.run_batch_group(&fresh))) {
+                        Ok(per_point_records) => {
+                            for (point, records) in fresh.iter().zip(per_point_records) {
+                                // The session may be gone; disconnect is fine.
+                                let _ = tx.send(PointDone {
+                                    index: point.index,
+                                    records: Ok(records),
+                                });
+                            }
+                        }
+                        Err(payload) => {
+                            service.panics_caught.fetch_add(1, Ordering::Relaxed);
+                            let message = panic_message(payload);
+                            for point in &fresh {
+                                let _ = tx.send(PointDone {
+                                    index: point.index,
+                                    records: Err(message.clone()),
+                                });
+                            }
+                        }
                     }
                 });
             }
@@ -422,8 +640,14 @@ fn run_request(inner: &ServiceInner, request: QueuedRequest) {
                 }
                 let exp = Arc::clone(&req.exp);
                 let tx = tx.clone();
+                let service = Arc::clone(inner);
                 inner.pool.spawn_cancellable(&token, move || {
-                    let records = exp.run_sweep_point(&point);
+                    let records =
+                        panic::catch_unwind(AssertUnwindSafe(|| exp.run_sweep_point(&point)))
+                            .map_err(|payload| {
+                                service.panics_caught.fetch_add(1, Ordering::Relaxed);
+                                panic_message(payload)
+                            });
                     // The session may be gone; disconnect is fine either way.
                     let _ = tx.send(PointDone {
                         index: point.index,
@@ -435,30 +659,60 @@ fn run_request(inner: &ServiceInner, request: QueuedRequest) {
     }
     drop(tx);
 
-    // Drain phase: stream computed points as they land, memoising each.
-    // The channel disconnects once every launched closure has either sent
-    // or been dropped unrun by its cancel check — so a cancelled request
+    // Drain phase: stream computed points as they land, memoising each;
+    // a failed point becomes an `error` frame instead of records.  The
+    // channel disconnects once every launched closure has either sent or
+    // been dropped unrun by its cancel check — so a cancelled request
     // falls out of this loop with `completed < total`.
+    let mut failed = 0usize;
     while let Ok(done) = rx.recv() {
+        let records = match done.records {
+            Ok(records) => records,
+            Err(message) => {
+                failed += 1;
+                let frame = Frame::Error {
+                    id: Some(req.id.clone()),
+                    message: format!("sweep point {} panicked: {message}", done.index),
+                };
+                if reply.send(frame).is_err() {
+                    token.cancel();
+                }
+                continue;
+            }
+        };
         if let Some(store) = &inner.store {
             // Re-deriving the keys here is cheaper than shipping them
             // through the pool closure.
             let points = req.exp.sweep_points();
-            for (key, record) in point_keys(&req, &points[done.index])
-                .iter()
-                .zip(&done.records)
-            {
-                let _ = store.put(key, record);
+            for (key, record) in point_keys(&req, &points[done.index]).iter().zip(&records) {
+                if let Err(e) = store.put(key, record) {
+                    // Memoisation is best-effort: the record still streams,
+                    // it just won't be served from disk next time.
+                    eprintln!("ccs-serve: store write failed for request {}: {e}", req.id);
+                }
             }
         }
-        emit(done.index * per_point, &done.records, false);
+        emit(done.index * per_point, &records, false);
     }
 
-    let state = if completed == total && !token.is_cancelled() {
-        RequestState::Done
-    } else {
+    // Terminal state, most-specific first: expiry beats plain cancellation,
+    // cancellation beats failure (a cancel arriving after a panic still
+    // reads as the client's cancel), failure beats done.
+    let timed_out = deadline.as_ref().is_some_and(DeadlineHandle::timed_out);
+    let state = if timed_out {
+        RequestState::TimedOut
+    } else if token.is_cancelled() {
         RequestState::Cancelled
+    } else if failed > 0 || completed < total {
+        RequestState::Failed
+    } else {
+        RequestState::Done
     };
+    // Settle the books *before* publishing the terminal status: a client
+    // that reacts to the status with a health probe must not see this
+    // request still counted in flight.
+    drop(deadline);
+    inner.inflight.fetch_sub(1, Ordering::Relaxed);
     let _ = reply.send(Frame::Status {
         id: req.id.clone(),
         state,

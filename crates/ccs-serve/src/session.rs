@@ -13,6 +13,12 @@
 //! until every request it submitted has reached a terminal `status` frame
 //! (tracked by an RAII guard the service worker drops), then closes the
 //! writer and returns whether the client asked for daemon shutdown.
+//!
+//! Input is hostile until parsed: lines are read through a bounded reader
+//! ([`MAX_FRAME_BYTES`]) so an unterminated or gigantic line costs bounded
+//! memory and earns a typed `error` frame instead of unbounded buffering,
+//! and the frame parser itself never panics (fuzzed in
+//! `tests/protocol_proptests.rs`).
 
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
@@ -20,11 +26,18 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread;
 
+use ccs_runtime::fault;
 use ccs_runtime::CancelToken;
 use parking_lot::{Condvar, Mutex};
 
 use crate::protocol::Frame;
 use crate::service::Service;
+
+/// Longest inbound frame line a session accepts, in bytes.  Client→server
+/// frames are tiny (a submit names a few workloads); anything larger is
+/// garbage or abuse and is rejected with an `error` frame, costing the
+/// session at most this much buffer.
+pub const MAX_FRAME_BYTES: usize = 256 * 1024;
 
 /// Counts the session's requests that have not yet reached terminal status.
 struct PendingRequests {
@@ -72,10 +85,18 @@ impl Drop for PendingGuard {
 /// `true` when the client asked the daemon to shut down.
 pub fn run(service: &Service, reader: impl BufRead, writer: impl Write + Send + 'static) -> bool {
     let (tx, rx) = mpsc::channel::<Frame>();
-    let writer_thread = thread::Builder::new()
+    let writer_thread = match thread::Builder::new()
         .name("ccs-serve-writer".to_string())
         .spawn(move || write_loop(writer, rx))
-        .expect("failed to spawn session writer");
+    {
+        Ok(handle) => handle,
+        Err(e) => {
+            // Thread exhaustion: close this session cleanly instead of
+            // taking the accept loop down with a panic.
+            eprintln!("ccs-serve: failed to spawn session writer: {e}");
+            return false;
+        }
+    };
 
     let shutdown = read_loop(service, reader, &tx);
 
@@ -89,6 +110,14 @@ fn write_loop(mut writer: impl Write, rx: mpsc::Receiver<Frame>) {
     // A write error means the client is gone; stop consuming so senders see
     // the disconnect (workers then cancel their requests).
     for frame in rx {
+        // Fault-plan hook (a no-op unless a plan is installed): a client on
+        // a stalled link.  The abrupt-close injection lives in the socket
+        // layer (`server::FaultableStream`), which can actually tear the
+        // connection down — merely dropping this writer would leave the
+        // reader's duplicate of the socket open and both sides blocked.
+        if let Some(delay) = fault::session_write_delay() {
+            thread::sleep(delay);
+        }
         if writeln!(writer, "{}", frame.to_line()).is_err() {
             break;
         }
@@ -100,7 +129,60 @@ fn write_loop(mut writer: impl Write, rx: mpsc::Receiver<Frame>) {
     }
 }
 
-fn read_loop(service: &Service, reader: impl BufRead, tx: &mpsc::Sender<Frame>) -> bool {
+/// One bounded line read: a line, an oversized line (consumed and
+/// discarded past the cap), or end of input.
+enum LineRead {
+    Line(String),
+    Oversized,
+    Eof,
+}
+
+/// Read up to the next newline, buffering at most `max` bytes.  Oversized
+/// lines are consumed to their end (or EOF) but not kept, so one hostile
+/// line cannot take the session's memory with it.
+fn read_frame_line(reader: &mut impl BufRead, max: usize) -> std::io::Result<LineRead> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut overflow = false;
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            // EOF.
+            return Ok(if overflow {
+                LineRead::Oversized
+            } else if buf.is_empty() {
+                LineRead::Eof
+            } else {
+                LineRead::Line(String::from_utf8_lossy(&buf).into_owned())
+            });
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if !overflow {
+                    buf.extend_from_slice(&chunk[..pos]);
+                }
+                reader.consume(pos + 1);
+                return Ok(if overflow || buf.len() > max {
+                    LineRead::Oversized
+                } else {
+                    LineRead::Line(String::from_utf8_lossy(&buf).into_owned())
+                });
+            }
+            None => {
+                let len = chunk.len();
+                if !overflow {
+                    buf.extend_from_slice(chunk);
+                    if buf.len() > max {
+                        overflow = true;
+                        buf = Vec::new();
+                    }
+                }
+                reader.consume(len);
+            }
+        }
+    }
+}
+
+fn read_loop(service: &Service, mut reader: impl BufRead, tx: &mpsc::Sender<Frame>) -> bool {
     let send = |frame: Frame| {
         let _ = tx.send(frame);
     };
@@ -110,9 +192,18 @@ fn read_loop(service: &Service, reader: impl BufRead, tx: &mpsc::Sender<Frame>) 
     let mut tokens: HashMap<String, CancelToken> = HashMap::new();
     let mut shutdown = false;
 
-    for line in reader.lines() {
-        let Ok(line) = line else {
-            break; // connection error: treat as EOF
+    loop {
+        let line = match read_frame_line(&mut reader, MAX_FRAME_BYTES) {
+            Ok(LineRead::Line(line)) => line,
+            Ok(LineRead::Oversized) => {
+                send(Frame::Error {
+                    id: None,
+                    message: format!("frame line exceeds {MAX_FRAME_BYTES} bytes"),
+                });
+                continue;
+            }
+            Ok(LineRead::Eof) => break,
+            Err(_) => break, // connection error: treat as EOF
         };
         if line.trim().is_empty() {
             continue;
@@ -169,6 +260,7 @@ fn read_loop(service: &Service, reader: impl BufRead, tx: &mpsc::Sender<Frame>) 
                 }),
             },
             Frame::Ping => send(Frame::Pong),
+            Frame::HealthQuery => send(Frame::Health(service.health())),
             Frame::Shutdown => {
                 shutdown = true;
                 break;

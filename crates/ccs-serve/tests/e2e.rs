@@ -1,6 +1,8 @@
 //! End-to-end daemon tests over socketpairs: concurrent clients, memoised
 //! repeats (byte-identical to a direct batch run), cancellation mid-sweep,
-//! store persistence across daemon restarts, and protocol robustness.
+//! store persistence across daemon restarts, protocol robustness, and the
+//! failure-containment paths — deadlines, panic isolation, and client
+//! retry against a slow-to-start daemon.
 
 use std::io::BufReader;
 use std::os::unix::net::UnixStream;
@@ -8,11 +10,12 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
+use std::time::Duration;
 
 use ccs_experiment::{Experiment, WorkloadSpec};
 use ccs_sched::SchedulerSpec;
 use ccs_serve::protocol::SubmitRequest;
-use ccs_serve::{Client, RequestState, Server, ServiceConfig};
+use ccs_serve::{run_with_retry, Client, RequestState, RetryPolicy, Server, ServiceConfig};
 use ccs_sim::{CmpConfig, SimEngine};
 
 type PairClient = Client<BufReader<UnixStream>, UnixStream>;
@@ -53,6 +56,7 @@ fn submit(id: &str, workloads: &[&str], cores: &[usize], schedulers: &[&str]) ->
         quick: false,
         engine: SimEngine::EventDriven,
         baseline: true,
+        timeout_ms: None,
     }
 }
 
@@ -400,4 +404,168 @@ fn malformed_and_invalid_frames_leave_the_session_usable() {
     client.shutdown().unwrap();
     drop(client);
     assert!(session.join().unwrap(), "shutdown flag must propagate");
+}
+
+/// A trivial but valid computation for the registered test factories.
+fn tiny_computation() -> ccs_dag::Computation {
+    let mut b = ccs_dag::ComputationBuilder::new(128);
+    let leaf = b.strand_with(|t| {
+        t.compute(10).read_range(0x4000, 2048, 2);
+    });
+    b.finish(leaf)
+}
+
+#[test]
+fn deadline_expiry_reports_timeout_with_partial_results() {
+    // A workload whose *build* is slow: each distinct core count forces a
+    // fresh 250 ms build, far beyond the request's 100 ms deadline.
+    ccs_workloads::WorkloadRegistry::global().register_fn(
+        "e2e-sleepy",
+        "sleeps in its factory (deadline test)",
+        |_ctx| {
+            thread::sleep(Duration::from_millis(250));
+            tiny_computation()
+        },
+    );
+    // One pool thread so points run strictly one after another.
+    let server = Arc::new(
+        Server::start(ServiceConfig {
+            workers: 1,
+            pool_threads: 1,
+            ..ServiceConfig::default()
+        })
+        .unwrap(),
+    );
+    let (mut client, session) = connect(&server);
+
+    let mut request = submit("slow", &["e2e-sleepy"], &[2, 4], &["pdf", "ws"]);
+    request.timeout_ms = Some(100);
+    client.submit(request).unwrap();
+    let run = client.collect("slow").unwrap();
+
+    // The deadline fired mid-sweep: the in-flight point finished and
+    // streamed (cancellation never discards computed work), the queued tail
+    // was dropped, and the terminal status says `timeout`, not `cancelled`.
+    assert_eq!(run.state, RequestState::TimedOut);
+    assert_eq!(run.total, 4);
+    assert!(
+        !run.records.is_empty(),
+        "the in-flight point must still stream its record"
+    );
+    assert!(
+        run.records.len() < run.total,
+        "a 100 ms deadline cannot cover four 250 ms builds ({} of {} streamed)",
+        run.records.len(),
+        run.total,
+    );
+
+    // The session survived the timeout; an untimed repeat completes.
+    client
+        .submit(submit("ok-after", &["mergesort"], &[2], &["pdf"]))
+        .unwrap();
+    assert_eq!(
+        client.collect("ok-after").unwrap().state,
+        RequestState::Done
+    );
+
+    drop(client);
+    assert!(!session.join().unwrap());
+}
+
+#[test]
+fn workload_panic_is_isolated_and_counted_in_health() {
+    ccs_workloads::WorkloadRegistry::global().register_fn(
+        "e2e-explosive",
+        "panics in its factory (isolation test)",
+        |_ctx| panic!("explosive by design"),
+    );
+    let server = Arc::new(
+        Server::start(ServiceConfig {
+            workers: 2,
+            pool_threads: 2,
+            ..ServiceConfig::default()
+        })
+        .unwrap(),
+    );
+    let (mut client, session) = connect(&server);
+
+    // Submit the panicking sweep and a healthy one on the same connection.
+    client
+        .submit(submit("boom", &["e2e-explosive"], &[2], &["pdf"]))
+        .unwrap();
+    client
+        .submit(submit("calm", &["mergesort"], &[2], &["pdf", "ws"]))
+        .unwrap();
+
+    // The panic is contained to its request: a typed per-point error, a
+    // `failed` terminal status, and no records.
+    let boom = client.collect("boom").unwrap();
+    assert_eq!(boom.state, RequestState::Failed);
+    assert!(boom.records.is_empty());
+    assert!(
+        boom.errors.iter().any(|e| e.contains("panicked")),
+        "expected a panic error, got {:?}",
+        boom.errors
+    );
+
+    // The concurrent request — and the daemon — are unaffected.
+    let calm = client.collect("calm").unwrap();
+    assert_eq!(calm.state, RequestState::Done);
+    assert_eq!(calm.records.len(), 2);
+    assert!(calm.errors.is_empty());
+
+    // The health frame counts the caught panic.
+    let health = client.health().unwrap();
+    assert!(
+        health.panics_caught >= 1,
+        "health must count caught panics, got {health:?}"
+    );
+    assert_eq!(health.inflight, 0);
+
+    drop(client);
+    assert!(!session.join().unwrap());
+}
+
+#[test]
+fn retry_helper_reaches_a_slow_to_start_daemon() {
+    let dir = unique_dir("retry");
+    std::fs::create_dir_all(&dir).unwrap();
+    let socket = dir.join("ccs.sock");
+
+    // The daemon binds its socket only after a 300 ms head start — the
+    // client's connect backoff and resubmit-with-retry must ride it out.
+    let daemon = {
+        let socket = socket.clone();
+        thread::spawn(move || {
+            thread::sleep(Duration::from_millis(300));
+            let server = Server::start(ServiceConfig::default()).unwrap();
+            server.serve_unix(&socket).unwrap();
+        })
+    };
+
+    let run = run_with_retry(
+        &socket,
+        Duration::from_millis(50),
+        &submit("late", &["mergesort"], &[2], &["pdf", "ws"]),
+        RetryPolicy {
+            attempts: 40,
+            initial_delay: Duration::from_millis(25),
+            max_delay: Duration::from_millis(200),
+        },
+    )
+    .unwrap();
+    assert_eq!(run.state, RequestState::Done);
+    assert_eq!(run.records.len(), 2);
+    assert_eq!(
+        run.into_report().to_json(),
+        direct_report(&["mergesort"], &[2], &["pdf", "ws"]),
+        "retried run must still be byte-identical to a direct batch run"
+    );
+
+    // Stop the daemon cleanly and reap its thread.
+    let mut closer = Client::connect_unix(&socket, Duration::from_secs(2)).unwrap();
+    closer.shutdown().unwrap();
+    drop(closer);
+    daemon.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
 }

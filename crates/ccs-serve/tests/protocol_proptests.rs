@@ -1,0 +1,118 @@
+//! Fuzzing the frame parser: whatever bytes arrive on a session's wire —
+//! random garbage, truncated frames, two frames spliced mid-line —
+//! `Frame::parse` returns `Ok` or a typed `Err`.  It must never panic:
+//! the session loop turns parse errors into `error` frames and keeps
+//! serving, and a panic there would take the connection (and, unisolated,
+//! the daemon) down on hostile input.
+
+use ccs_serve::protocol::{Frame, HealthReport, SubmitRequest};
+use ccs_sim::SimEngine;
+use proptest::prelude::*;
+
+/// A pool of valid frame lines to mutate (both directions of the wire:
+/// the parser must survive server-to-client frames arriving at a server).
+fn sample_lines() -> Vec<String> {
+    let submit = SubmitRequest {
+        id: "fuzz-1".to_string(),
+        name: Some("fuzz".to_string()),
+        workloads: vec!["mergesort".to_string(), "lu".to_string()],
+        schedulers: vec!["pdf".to_string(), "ws".to_string()],
+        cores: vec![2, 4],
+        scale: 1024,
+        quick: false,
+        engine: SimEngine::EventDriven,
+        baseline: true,
+        timeout_ms: Some(1500),
+    };
+    vec![
+        Frame::Submit(submit).to_line(),
+        Frame::Cancel {
+            id: "fuzz-1".to_string(),
+        }
+        .to_line(),
+        Frame::Query {
+            id: "fuzz-1".to_string(),
+        }
+        .to_line(),
+        Frame::Ping.to_line(),
+        Frame::HealthQuery.to_line(),
+        Frame::Health(HealthReport {
+            uptime_ms: 12345,
+            inflight: 2,
+            queue_depth: 1,
+            panics_caught: 3,
+            timeouts: 4,
+            store_records: 5,
+            store_bytes: 6789,
+        })
+        .to_line(),
+        Frame::Error {
+            id: Some("fuzz-1".to_string()),
+            message: "sweep point 0 panicked: boom".to_string(),
+        }
+        .to_line(),
+        Frame::hello().to_line(),
+        Frame::Shutdown.to_line(),
+    ]
+}
+
+/// Byte-slice a string without caring about char boundaries, the way a
+/// truncated read would.
+fn cut(line: &str, at: usize) -> String {
+    let bytes = line.as_bytes();
+    String::from_utf8_lossy(&bytes[..at.min(bytes.len())]).into_owned()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Random bytes, lossily decoded the way the session reads them.
+    #[test]
+    fn random_garbage_never_panics(bytes in prop::collection::vec(0u32..256, 0..200)) {
+        let raw: Vec<u8> = bytes.iter().map(|&b| b as u8).collect();
+        let line = String::from_utf8_lossy(&raw).into_owned();
+        let _ = Frame::parse(&line);
+    }
+
+    /// Every prefix of every valid frame parses or errors — never panics —
+    /// and the untruncated line still parses.
+    #[test]
+    fn truncated_valid_frames_never_panic(pick in 0usize..9, at in 0usize..400) {
+        let lines = sample_lines();
+        let line = &lines[pick % lines.len()];
+        let _ = Frame::parse(&cut(line, at));
+        prop_assert!(Frame::parse(line).is_ok(), "sample line must stay valid: {line}");
+    }
+
+    /// Two frames spliced mid-line (a torn write interleaving), optionally
+    /// with garbage between the halves.
+    #[test]
+    fn interleaved_frame_fragments_never_panic(
+        pick_a in 0usize..9,
+        pick_b in 0usize..9,
+        cut_a in 0usize..400,
+        cut_b in 0usize..400,
+        glue in prop::collection::vec(0u32..256, 0..16),
+    ) {
+        let lines = sample_lines();
+        let a = &lines[pick_a % lines.len()];
+        let b = &lines[pick_b % lines.len()];
+        let glue: Vec<u8> = glue.iter().map(|&g| g as u8).collect();
+        let spliced = format!(
+            "{}{}{}",
+            cut(a, cut_a),
+            String::from_utf8_lossy(&glue),
+            &b[b.len() - cut_b.min(b.len())..b.len()],
+        );
+        let _ = Frame::parse(&spliced);
+    }
+
+    /// Unbounded nesting is a typed error, not a stack overflow: the JSON
+    /// layer caps recursion depth (`MAX_PARSE_DEPTH`).
+    #[test]
+    fn deep_nesting_is_rejected_not_fatal(depth in 1usize..5000, open in 0u32..2) {
+        let bracket = if open == 0 { "[" } else { "{" };
+        let line = format!("{}\"x\"", bracket.repeat(depth));
+        prop_assert!(Frame::parse(&line).is_err());
+    }
+}
