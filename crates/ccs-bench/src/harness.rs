@@ -19,13 +19,17 @@
 //!   headline number: how much faster the event-driven core runs the exact
 //!   same (metrics-identical) simulations;
 //! * `micro/sim_<scheduler>` — the raw simulator on a fixed synthetic DAG,
-//!   bypassing the experiment layer, with its own reference comparison.
+//!   bypassing the experiment layer, with its own reference comparison;
+//! * `runtime/*` — the native thread pool with no simulator in the loop:
+//!   fork-join `fib`, a detached-spawn fan-out, and a quick sweep run at
+//!   `Experiment::parallelism(8)` (byte-identity-asserted against the
+//!   sequential run) — see DESIGN.md §14.
 //!
 //! # `BENCH_sim.json` schema (stable)
 //!
 //! ```json
 //! {
-//!   "schema": "ccs-bench/5",
+//!   "schema": "ccs-bench/6",
 //!   "scale": 256,
 //!   "quick": true,
 //!   "records": [
@@ -72,8 +76,11 @@
 //! `tasks_per_sec` within a relative tolerance, and fails memory-footprint
 //! growth beyond the same tolerance; `compile_ms` is reported but not
 //! gated (it is wall-clock noise at the millisecond scale) and is surfaced
-//! by the gate's `summary:` line (schema `ccs-bench/5`; `--trials N`
-//! overrides the noise-averaging trial counts).
+//! by the gate's `summary:` line (schema `ccs-bench/6`; `--trials N`
+//! overrides the noise-averaging trial counts).  The synthetic `runtime/*`
+//! records carry zero for every simulated metric: the zeros are
+//! exact-gated and the footprint ratio checks skip zero-byte baselines,
+//! so their gated signal is `tasks_per_sec` alone.
 
 use std::io;
 use std::path::Path;
@@ -87,9 +94,10 @@ use ccs_sim::{simulate_engine, CmpConfig, SimEngine};
 use crate::figs;
 
 pub mod gate;
+mod runtime;
 
 /// Schema identifier written into every report.
-pub const SCHEMA: &str = "ccs-bench/5";
+pub const SCHEMA: &str = "ccs-bench/6";
 
 /// Default output path (written into the invoking directory, gitignored at
 /// the repo root).
@@ -589,6 +597,10 @@ pub fn run(opts: &Options) -> (BenchReport, Report) {
     // Phase 4: raw simulator, no experiment layer in the way.
     micro_benches(&mut records, opts.trials.unwrap_or(5));
 
+    // Phase 5: raw runtime — the native pool with no simulator in the
+    // loop (fork-join, spawn fan-out, and a pool-parallel quick sweep).
+    runtime::runtime_benches(&mut records, &quick_event, opts.trials.unwrap_or(5));
+
     let bench = BenchReport {
         scale: opts.effective_scale(),
         quick: opts.quick,
@@ -646,7 +658,7 @@ mod tests {
         let text = report.to_json();
         let parsed = BenchReport::from_json(&text).expect("round trip");
         assert_eq!(parsed, report);
-        assert!(text.contains("\"schema\": \"ccs-bench/5\""), "{text}");
+        assert!(text.contains("\"schema\": \"ccs-bench/6\""), "{text}");
         assert!(text.contains("\"trace_bytes\": 1224736"), "{text}");
         assert!(text.contains("\"compile_ms\": 8.25"), "{text}");
         assert!(text.contains("\"batch_width\": 6"), "{text}");
@@ -656,7 +668,7 @@ mod tests {
 
     #[test]
     fn wrong_schema_is_rejected() {
-        let text = sample_report().to_json().replace("ccs-bench/5", "other/9");
+        let text = sample_report().to_json().replace("ccs-bench/6", "other/9");
         let err = BenchReport::from_json(&text).unwrap_err();
         assert!(err.message.contains("unsupported bench schema"), "{err}");
     }

@@ -1,0 +1,12 @@
+//! Selects the parking backend for `sleep::Futex`: the raw `futex(2)`
+//! syscall where we know how to issue it without libc (Linux on x86_64 or
+//! aarch64), the mutex + condvar fallback everywhere else.
+
+fn main() {
+    println!("cargo::rustc-check-cfg=cfg(ccs_raw_syscalls)");
+    let os = std::env::var("CARGO_CFG_TARGET_OS").unwrap_or_default();
+    let arch = std::env::var("CARGO_CFG_TARGET_ARCH").unwrap_or_default();
+    if os == "linux" && (arch == "x86_64" || arch == "aarch64") {
+        println!("cargo::rustc-cfg=ccs_raw_syscalls");
+    }
+}

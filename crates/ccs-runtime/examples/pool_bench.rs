@@ -1,0 +1,112 @@
+//! Raw-runtime throughput probe: recursive fork-join `fib` and a
+//! spawn-heavy fan-out on a [`ccs_runtime::ThreadPool`], printed as
+//! tasks/sec.  The bench harness (`run_all --bench`) embeds the same
+//! kernels as gated `runtime/*` records; this example is the standalone
+//! A/B probe (`cargo run --release -p ccs-runtime --example pool_bench`).
+//!
+//! Flags: `--threads N` (default 4), `--rounds N` (default 5, best-of),
+//! `--fib N` (default 24), `--spawns N` (default 50000),
+//! `--policy ws|pdf` (default ws), `--pinned`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use ccs_runtime::{join, Policy, ThreadPool};
+
+fn fib(n: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+    a + b
+}
+
+/// Number of `fib` call nodes the recursion visits (each is one task).
+fn fib_nodes(n: u64) -> u64 {
+    if n < 2 {
+        1
+    } else {
+        1 + fib_nodes(n - 1) + fib_nodes(n - 2)
+    }
+}
+
+fn main() {
+    let mut threads = 4usize;
+    let mut rounds = 5u32;
+    let mut fib_n = 24u64;
+    let mut spawns = 50_000u64;
+    let mut policy = Policy::WorkStealing;
+    let mut pinned = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--threads" => threads = value("--threads").parse().expect("--threads"),
+            "--rounds" => rounds = value("--rounds").parse().expect("--rounds"),
+            "--fib" => fib_n = value("--fib").parse().expect("--fib"),
+            "--spawns" => spawns = value("--spawns").parse().expect("--spawns"),
+            "--pinned" => pinned = true,
+            "--policy" => {
+                policy = match value("--policy").as_str() {
+                    "ws" => Policy::WorkStealing,
+                    "pdf" => Policy::Pdf,
+                    other => panic!("unknown policy {other:?}"),
+                }
+            }
+            other => panic!("unknown flag {other:?}"),
+        }
+    }
+
+    let pool = ThreadPool::new(threads, policy).pinned(pinned);
+    let nodes = fib_nodes(fib_n);
+
+    // Fork-join: recursive binary join, one task per fib node.
+    let mut best_ms = f64::INFINITY;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        let v = pool.install(|| fib(fib_n));
+        let ms = start.elapsed().as_secs_f64() * 1000.0;
+        assert_eq!(v, naive_fib(fib_n));
+        best_ms = best_ms.min(ms);
+    }
+    println!(
+        "forkjoin_fib: fib({fib_n}) = {nodes} tasks, best {best_ms:.1} ms, {:.0} tasks/s",
+        nodes as f64 / (best_ms / 1000.0)
+    );
+
+    // Spawn-heavy fan-out: detached jobs racing the sleep/wake path.
+    let mut best_ms = f64::INFINITY;
+    for _ in 0..rounds {
+        let counter = Arc::new(AtomicU64::new(0));
+        let start = Instant::now();
+        for _ in 0..spawns {
+            let c = Arc::clone(&counter);
+            pool.spawn_detached(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        while counter.load(Ordering::Relaxed) != spawns {
+            std::hint::spin_loop();
+        }
+        let ms = start.elapsed().as_secs_f64() * 1000.0;
+        best_ms = best_ms.min(ms);
+    }
+    println!(
+        "spawn_fanout: {spawns} jobs, best {best_ms:.1} ms, {:.0} jobs/s",
+        spawns as f64 / (best_ms / 1000.0)
+    );
+}
+
+fn naive_fib(n: u64) -> u64 {
+    let (mut a, mut b) = (0u64, 1u64);
+    for _ in 0..n {
+        let next = a + b;
+        a = b;
+        b = next;
+    }
+    a
+}

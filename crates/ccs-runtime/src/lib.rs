@@ -43,6 +43,7 @@ pub mod cancel;
 pub mod fault;
 pub mod label;
 pub mod pool;
+pub mod sleep;
 
 pub use cancel::CancelToken;
 pub use fault::{FaultKind, FaultPlan};

@@ -16,8 +16,32 @@
 //! `join` lets closures borrow from the caller's stack; this is sound because
 //! `join` does not return until both closures have finished (see the safety
 //! comments).
+//!
+//! # Runtime internals (DESIGN.md §14)
+//!
+//! This is the production work-stealing runtime, rebuilt from the seed
+//! design around three ideas:
+//!
+//! * **lock-free wake fast path** — publishing a job consults the packed
+//!   sleep-state word of [`crate::sleep`] with a single atomic load; the
+//!   futex (or condvar) is touched only when a worker is actually sleepy or
+//!   asleep.  The seed pool took a global mutex on *every* push.
+//! * **batch stealing** — an out-of-work worker steals *batches* from the
+//!   injector and from victim deques (`steal_batch_and_pop`), amortising
+//!   the synchronisation cost of a steal over several jobs, and scans
+//!   victims in seeded-random order instead of a fixed ring, so thieves
+//!   don't convoy on the same victim.
+//! * **spin → yield → park backoff** — an idle worker spins briefly
+//!   (winning the common race where fork-join work reappears within
+//!   nanoseconds), yields a few times, and only then parks on the futex
+//!   through the announce-sleepiness → recheck → park protocol that cannot
+//!   lose wakeups (see [`crate::sleep`]).
+//!
+//! Optional **CPU pinning** ([`ThreadPool::pinned`]) binds worker `i` to
+//! core `i mod N` via raw `sched_setaffinity` on Linux (a no-op elsewhere),
+//! which removes migration jitter for latency-sensitive serving.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -27,6 +51,7 @@ use crossbeam_deque::{Injector, Steal, Stealer, Worker as Deque};
 use parking_lot::{Condvar, Mutex};
 
 use crate::label::PdfLabel;
+use crate::sleep::SleepState;
 
 /// Scheduling policy of a [`ThreadPool`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -45,6 +70,13 @@ struct Job {
     func: JobFn,
 }
 
+/// Rounds of the idle backoff ladder spent busy-spinning (with an
+/// exponentially growing `spin_loop` burst) before moving to yields.
+const SPIN_ROUNDS: u32 = 16;
+/// Rounds spent calling `yield_now` after the spin phase and before the
+/// worker announces sleepiness and parks.
+const YIELD_ROUNDS: u32 = 8;
+
 struct Registry {
     policy: Policy,
     /// Jobs submitted from outside the pool, or overflow from workers (WS).
@@ -53,92 +85,85 @@ struct Registry {
     stealers: Vec<Stealer<Job>>,
     /// Global priority pool (PDF): ordered by (label, submission sequence).
     pdf: Mutex<std::collections::BTreeMap<(PdfLabel, u64), JobFn>>,
-    /// Number of queued (not yet started) jobs.
+    /// Number of queued (not yet started) jobs.  SeqCst: this counter is
+    /// the "work is visible" side of the wake protocol (see `crate::sleep`).
     pending: AtomicUsize,
-    /// Monotonic tie-breaker for jobs with equal labels.
+    /// Monotonic tie-breaker for PDF jobs with equal labels.
     seq: AtomicUsize,
     shutdown: AtomicBool,
     /// Detached-job panics caught at the pool boundary (see [`run_job_caught`]).
     panics_caught: AtomicUsize,
-    /// Sleep/wake machinery for idle workers.
-    sleep_mutex: Mutex<()>,
-    sleep_cond: Condvar,
+    /// Sleep/wake machinery for idle workers: packed idle/sleepy/asleep
+    /// counters plus the futex event word.
+    sleep: SleepState,
+    /// Whether workers should bind themselves to CPUs (set by
+    /// [`ThreadPool::pinned`]; applied lazily by each worker).
+    pin: AtomicBool,
 }
 
 impl Registry {
-    /// Queue a job.  Worker threads of a WS pool push to their local deque;
+    /// Queue a job.  Worker threads of a WS pool push to their own deque;
     /// everything else goes through the global injector / priority pool.
     fn push_job(&self, label: PdfLabel, func: JobFn) {
-        let seq = self.seq.fetch_add(1, Ordering::Relaxed) as u64;
-        self.pending.fetch_add(1, Ordering::Relaxed);
+        // `pending` is bumped *before* the job lands in a queue: a worker
+        // that observes `pending > 0` but cannot find the job yet simply
+        // retries, and the pre-park recheck can never see "no work" while
+        // a job is in flight.
+        self.pending.fetch_add(1, Ordering::SeqCst);
         match self.policy {
             Policy::WorkStealing => {
                 let job = Job { label, func };
-                // Worker threads push onto their own deque; everything else
-                // (the main thread, helpers of another pool) goes through the
-                // global injector.
-                let leftover = LOCAL_DEQUE.with(|d| match d.borrow().as_ref() {
-                    Some(deque) => {
-                        deque.push(job);
+                // Worker threads push onto their own deque — but only onto
+                // a deque owned by *this* pool; a worker of pool A pushing
+                // into pool B must use B's injector or the job would be
+                // queued (and run) on the wrong pool.
+                let leftover = LOCAL.with(|local| match &*local.borrow() {
+                    Some(slot) if std::ptr::eq(slot.owner, self) => {
+                        slot.deque.push(job);
                         None
                     }
-                    None => Some(job),
+                    _ => Some(job),
                 });
                 if let Some(job) = leftover {
                     self.injector.push(job);
                 }
             }
             Policy::Pdf => {
+                let seq = self.seq.fetch_add(1, Ordering::Relaxed) as u64;
                 self.pdf.lock().insert((label, seq), func);
             }
         }
-        self.wake_one();
+        // Lock-free on the common path: a single atomic load when no
+        // worker is sleepy or asleep.
+        self.sleep.notify_one();
     }
 
-    fn wake_one(&self) {
-        let _guard = self.sleep_mutex.lock();
-        self.sleep_cond.notify_one();
-    }
-
-    /// Find a job for the worker with the given index (`usize::MAX` for
-    /// non-worker threads helping while they wait).
+    /// Find a job for the worker with the given index: local LIFO pop,
+    /// then a batch steal from the injector, then batch steals from the
+    /// other workers in seeded-random order.
     fn pop_job(&self, index: usize) -> Option<(PdfLabel, JobFn)> {
         let found = match self.policy {
-            Policy::WorkStealing => {
-                // Local LIFO first, then the injector, then steal FIFO from
-                // the other workers.
-                let mut job: Option<Job> =
-                    LOCAL_DEQUE.with(|d| d.borrow().as_ref().and_then(|deque| deque.pop()));
-                if job.is_none() {
-                    job = loop {
-                        match self.injector.steal() {
-                            Steal::Success(j) => break Some(j),
-                            Steal::Empty => break None,
-                            Steal::Retry => continue,
-                        }
-                    };
-                }
-                if job.is_none() {
-                    let n = self.stealers.len();
-                    'outer: for i in 0..n {
-                        let victim = (index.wrapping_add(1).wrapping_add(i)) % n;
-                        if victim == index {
-                            continue;
-                        }
-                        loop {
-                            match self.stealers[victim].steal() {
-                                Steal::Success(j) => {
-                                    job = Some(j);
-                                    break 'outer;
-                                }
-                                Steal::Empty => break,
+            Policy::WorkStealing => LOCAL
+                .with(|local| {
+                    let slot = local.borrow();
+                    let slot = slot.as_ref().filter(|s| std::ptr::eq(s.owner, self));
+                    match slot {
+                        Some(slot) => slot
+                            .deque
+                            .pop()
+                            .or_else(|| self.steal_into(&slot.deque, index)),
+                        // Not one of our workers (defensive; pops are only
+                        // issued from worker threads): take from the injector.
+                        None => loop {
+                            match self.injector.steal() {
+                                Steal::Success(j) => break Some(j),
+                                Steal::Empty => break None,
                                 Steal::Retry => continue,
                             }
-                        }
+                        },
                     }
-                }
-                job.map(|j| (j.label, j.func))
-            }
+                })
+                .map(|j| (j.label, j.func)),
             Policy::Pdf => self
                 .pdf
                 .lock()
@@ -146,31 +171,126 @@ impl Registry {
                 .map(|((label, _), func)| (label, func)),
         };
         if found.is_some() {
-            self.pending.fetch_sub(1, Ordering::Relaxed);
+            self.pending.fetch_sub(1, Ordering::SeqCst);
         }
         found
     }
 
-    fn has_work(&self) -> bool {
-        self.pending.load(Ordering::Relaxed) > 0
+    /// The WS steal path: batch-steal from the injector, then from victims
+    /// in seeded-random order.  Surplus jobs land in `local`, and one is
+    /// returned; if the batch left more behind, one sleeping peer is
+    /// notified so surplus doesn't strand on a single busy worker.
+    fn steal_into(&self, local: &Deque<Job>, index: usize) -> Option<Job> {
+        let stolen = self.try_steal_batches(local, index);
+        if stolen.is_some() && !local.is_empty() {
+            self.sleep.notify_one();
+        }
+        stolen
     }
+
+    fn try_steal_batches(&self, local: &Deque<Job>, index: usize) -> Option<Job> {
+        loop {
+            match self.injector.steal_batch_and_pop(local) {
+                Steal::Success(job) => return Some(job),
+                Steal::Empty => break,
+                Steal::Retry => continue,
+            }
+        }
+        let n = self.stealers.len();
+        if n <= 1 {
+            return None;
+        }
+        // Seeded-random victim order: thieves start their scan at
+        // uncorrelated positions instead of convoying around a fixed ring.
+        let start = (steal_rng_next() % n as u64) as usize;
+        let mut retry = true;
+        while std::mem::take(&mut retry) {
+            for i in 0..n {
+                let victim = (start + i) % n;
+                if victim == index {
+                    continue;
+                }
+                match self.stealers[victim].steal_batch_and_pop(local) {
+                    Steal::Success(job) => return Some(job),
+                    Steal::Empty => {}
+                    Steal::Retry => retry = true,
+                }
+            }
+        }
+        None
+    }
+
+    fn has_work(&self) -> bool {
+        self.pending.load(Ordering::SeqCst) > 0
+    }
+}
+
+/// A worker's thread-local queue slot: its deque plus the registry that
+/// owns it, so pushes can tell "my pool" from "some other pool".
+struct LocalSlot {
+    owner: *const Registry,
+    deque: Deque<Job>,
 }
 
 thread_local! {
     /// The local work-stealing deque of the current worker thread (WS pools).
-    static LOCAL_DEQUE: RefCell<Option<Deque<Job>>> = const { RefCell::new(None) };
+    static LOCAL: RefCell<Option<LocalSlot>> = const { RefCell::new(None) };
     /// The execution context of the current worker thread.
     static CURRENT: RefCell<Option<WorkerContext>> = const { RefCell::new(None) };
+    /// Per-thread xorshift state for the random victim order.
+    static STEAL_RNG: Cell<u64> = const { Cell::new(0x9e37_79b9_7f4a_7c15) };
 }
 
-#[derive(Clone)]
+/// Advance the thread-local xorshift64 state and return the next draw.
+fn steal_rng_next() -> u64 {
+    STEAL_RNG.with(|rng| {
+        let mut x = rng.get();
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        rng.set(x);
+        x
+    })
+}
+
+/// Seed the victim-order rng deterministically from the worker index (a
+/// splitmix64 scramble keeps neighbouring indices uncorrelated).
+fn seed_steal_rng(index: usize) {
+    let mut z = (index as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    STEAL_RNG.with(|rng| rng.set(z | 1));
+}
+
 struct WorkerContext {
     registry: Arc<Registry>,
     index: usize,
     /// Label of the job currently executing on this worker.
     label: PdfLabel,
     /// Number of children the current job has spawned so far.
-    children: Arc<AtomicUsize>,
+    children: u32,
+}
+
+/// Register the fork of a child task on the current worker: bump the
+/// current job's child counter and return the pool handle, the worker
+/// index, and the child's priority label.  `None` outside a pool.
+///
+/// Child labels exist to order the PDF priority pool; under the WS policy
+/// they are never consulted, so the (allocating) label derivation is
+/// skipped and the root label stands in.
+fn next_child() -> Option<(Arc<Registry>, usize, PdfLabel)> {
+    CURRENT.with(|c| {
+        c.borrow_mut().as_mut().map(|ctx| {
+            let index = ctx.children;
+            ctx.children += 1;
+            let label = match ctx.registry.policy {
+                Policy::Pdf => ctx.label.child(index),
+                Policy::WorkStealing => PdfLabel::root(),
+            };
+            (Arc::clone(&ctx.registry), ctx.index, label)
+        })
+    })
 }
 
 /// A completion flag that lets non-worker threads block and worker threads
@@ -232,8 +352,8 @@ impl ThreadPool {
             seq: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
             panics_caught: AtomicUsize::new(0),
-            sleep_mutex: Mutex::new(()),
-            sleep_cond: Condvar::new(),
+            sleep: SleepState::new(),
+            pin: AtomicBool::new(false),
         });
         let workers = deques
             .into_iter()
@@ -253,6 +373,34 @@ impl ThreadPool {
         }
     }
 
+    /// Request CPU pinning: each worker binds itself to core
+    /// `index mod available_parallelism` via `sched_setaffinity` (Linux
+    /// x86_64/aarch64; silently a no-op elsewhere).  Builder-style:
+    ///
+    /// ```
+    /// use ccs_runtime::{Policy, ThreadPool};
+    /// let pool = ThreadPool::new(2, Policy::WorkStealing).pinned(true);
+    /// assert!(pool.is_pinned());
+    /// ```
+    ///
+    /// Default off.  Pinning is applied lazily by each worker the next time
+    /// it looks for work (parked workers are woken to apply it); passing
+    /// `false` later clears the flag but does not unbind already-pinned
+    /// workers.
+    pub fn pinned(self, pin: bool) -> Self {
+        self.registry.pin.store(pin, Ordering::SeqCst);
+        if pin {
+            // Wake everyone so sleeping workers apply the binding promptly.
+            self.registry.sleep.notify_all();
+        }
+        self
+    }
+
+    /// Whether CPU pinning has been requested for this pool.
+    pub fn is_pinned(&self) -> bool {
+        self.registry.pin.load(Ordering::SeqCst)
+    }
+
     /// The number of worker threads.
     pub fn num_threads(&self) -> usize {
         self.num_threads
@@ -270,6 +418,15 @@ impl ThreadPool {
     /// friends) whose panic would otherwise have killed a worker thread.
     pub fn panics_caught(&self) -> usize {
         self.registry.panics_caught.load(Ordering::Relaxed)
+    }
+
+    /// Number of job publications that had to take the slow wake path (an
+    /// event bump plus a futex/condvar wake) because a worker was sleepy or
+    /// asleep.  Publications while every worker is busy cost a single
+    /// atomic load and do not move this counter — the pool stress suite
+    /// asserts exactly that.
+    pub fn slow_wakes(&self) -> u64 {
+        self.registry.sleep.slow_wakes()
     }
 
     /// Run `f` on a worker thread of this pool and return its result.  Inside
@@ -337,11 +494,8 @@ impl ThreadPool {
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
-        self.registry.shutdown.store(true, Ordering::Release);
-        {
-            let _guard = self.registry.sleep_mutex.lock();
-            self.registry.sleep_cond.notify_all();
-        }
+        self.registry.shutdown.store(true, Ordering::SeqCst);
+        self.registry.sleep.notify_all();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
@@ -349,63 +503,177 @@ impl Drop for ThreadPool {
 }
 
 fn worker_loop(registry: Arc<Registry>, index: usize, deque: Deque<Job>) {
-    LOCAL_DEQUE.with(|d| *d.borrow_mut() = Some(deque));
+    LOCAL.with(|local| {
+        *local.borrow_mut() = Some(LocalSlot {
+            owner: Arc::as_ptr(&registry),
+            deque,
+        })
+    });
     CURRENT.with(|c| {
         *c.borrow_mut() = Some(WorkerContext {
             registry: Arc::clone(&registry),
             index,
             label: PdfLabel::root(),
-            children: Arc::new(AtomicUsize::new(0)),
+            children: 0,
         });
     });
-    loop {
+    seed_steal_rng(index);
+    let mut pinned = false;
+
+    'main: loop {
+        maybe_pin(&registry, index, &mut pinned);
         if let Some((label, func)) = registry.pop_job(index) {
             run_job_caught(&registry, label, func);
             continue;
         }
-        if registry.shutdown.load(Ordering::Acquire) {
+        if registry.shutdown.load(Ordering::SeqCst) {
             break;
         }
-        // Nothing to do: sleep until new work arrives (bounded, so a lost
-        // wakeup can never hang the pool).
-        let mut guard = registry.sleep_mutex.lock();
-        if !registry.has_work() && !registry.shutdown.load(Ordering::Acquire) {
-            registry
-                .sleep_cond
-                .wait_for(&mut guard, std::time::Duration::from_millis(1));
+
+        // Out of work: walk the spin → yield → park ladder.  Each rung
+        // retries the full find-work path; parking goes through the
+        // sleepy/recheck protocol so a concurrent push can never be lost.
+        registry.sleep.start_idle();
+        let mut round = 0u32;
+        loop {
+            maybe_pin(&registry, index, &mut pinned);
+            if let Some((label, func)) = registry.pop_job(index) {
+                registry.sleep.end_idle();
+                run_job_caught(&registry, label, func);
+                continue 'main;
+            }
+            if registry.shutdown.load(Ordering::SeqCst) {
+                registry.sleep.end_idle();
+                break 'main;
+            }
+            if round < SPIN_ROUNDS {
+                for _ in 0..(1u32 << round.min(6)) {
+                    std::hint::spin_loop();
+                }
+                round += 1;
+            } else if round < SPIN_ROUNDS + YIELD_ROUNDS {
+                thread::yield_now();
+                round += 1;
+            } else {
+                let ticket = registry.sleep.announce_sleepy();
+                if registry.has_work() || registry.shutdown.load(Ordering::SeqCst) {
+                    // The recheck saw something: retract and retry awake.
+                    registry.sleep.cancel_sleepy();
+                } else {
+                    registry.sleep.sleep(ticket);
+                }
+                // Woken (or recheck hit): skip the spin phase, re-probe
+                // with a few yields before considering sleep again.
+                round = SPIN_ROUNDS;
+            }
         }
     }
 }
 
-/// Execute a job, making its label the current label for nested spawns.
-fn run_job(label: PdfLabel, func: JobFn) {
-    CURRENT.with(|c| {
-        let mut ctx = c.borrow_mut();
-        if let Some(ctx) = ctx.as_mut() {
-            ctx.label = label;
-            ctx.children = Arc::new(AtomicUsize::new(0));
-        }
-    });
-    func();
+/// Apply a pending CPU-pinning request to this worker (once).
+fn maybe_pin(registry: &Registry, index: usize, pinned: &mut bool) {
+    if !*pinned && registry.pin.load(Ordering::Acquire) {
+        pin_current_thread(index);
+        *pinned = true;
+    }
 }
 
-/// [`run_job`] with the pool-boundary panic guard: a panicking *detached*
-/// job is caught and counted instead of killing the worker (or unwinding
-/// into an innocent `join` caller helping while it waits).  `install` and
-/// `join` closures catch internally and re-raise at their call site, so
-/// their panic semantics are unchanged.
+/// Bind the calling thread to core `index mod N` where `N` is the number
+/// of available CPUs.  Raw `sched_setaffinity(2)` on Linux x86_64/aarch64;
+/// a no-op returning `false` elsewhere.  Failures are ignored — pinning is
+/// a performance hint, never load-bearing.
+fn pin_current_thread(index: usize) -> bool {
+    #[cfg(ccs_raw_syscalls)]
+    {
+        let cpus = thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        let cpu = index % cpus;
+        // 1024-CPU mask, the classic cpu_set_t size.
+        let mut mask = [0u64; 16];
+        mask[cpu / 64] |= 1 << (cpu % 64);
+        // SAFETY: the mask buffer outlives the syscall; pid 0 = this thread.
+        let ret =
+            unsafe { raw_sched_setaffinity(0, std::mem::size_of_val(&mask), mask.as_ptr().cast()) };
+        ret == 0
+    }
+    #[cfg(not(ccs_raw_syscalls))]
+    {
+        let _ = index;
+        false
+    }
+}
+
+/// Raw `sched_setaffinity(2)`: the workspace vendors its dependencies, so
+/// the syscall is issued directly rather than through libc.
+///
+/// # Safety
+/// `mask` must point to `len` valid bytes.
+#[cfg(ccs_raw_syscalls)]
+unsafe fn raw_sched_setaffinity(pid: i32, len: usize, mask: *const u8) -> i64 {
+    #[cfg(target_arch = "x86_64")]
+    const SYS: u64 = 203;
+    #[cfg(target_arch = "aarch64")]
+    const SYS: u64 = 122;
+    let ret: i64;
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") SYS as i64 => ret,
+            in("rdi") pid as u64,
+            in("rsi") len,
+            in("rdx") mask,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack)
+        );
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        let ret64: u64;
+        std::arch::asm!(
+            "svc 0",
+            in("x8") SYS,
+            inlateout("x0") pid as u64 => ret64,
+            in("x1") len as u64,
+            in("x2") mask as u64,
+            options(nostack)
+        );
+        ret = ret64 as i64;
+    }
+    ret
+}
+
+/// Execute a job with the pool-boundary panic guard, making its label the
+/// current label for nested spawns (and restoring the caller's afterwards,
+/// so a `join` help loop can run foreign jobs without corrupting its own
+/// task's labelling).
+///
+/// A panicking *detached* job is caught and counted instead of killing the
+/// worker (or unwinding into an innocent `join` caller helping while it
+/// waits).  `install` and `join` closures catch internally and re-raise at
+/// their call site, so their panic semantics are unchanged.
 fn run_job_caught(registry: &Registry, label: PdfLabel, func: JobFn) {
-    if panic::catch_unwind(AssertUnwindSafe(|| run_job(label, func))).is_err() {
+    let saved = CURRENT.with(|c| {
+        c.borrow_mut().as_mut().map(|ctx| {
+            let saved = (std::mem::replace(&mut ctx.label, label), ctx.children);
+            ctx.children = 0;
+            saved
+        })
+    });
+    let result = panic::catch_unwind(AssertUnwindSafe(func));
+    if let Some((label, children)) = saved {
+        CURRENT.with(|c| {
+            if let Some(ctx) = c.borrow_mut().as_mut() {
+                ctx.label = label;
+                ctx.children = children;
+            }
+        });
+    }
+    if result.is_err() {
         registry.panics_caught.fetch_add(1, Ordering::Relaxed);
     }
-}
-
-fn current_context() -> Option<WorkerContext> {
-    CURRENT.with(|c| c.borrow().clone())
-}
-
-fn restore_context(ctx: WorkerContext) {
-    CURRENT.with(|c| *c.borrow_mut() = Some(ctx));
 }
 
 /// Fork-join: run `a` and `b`, potentially in parallel, and return both
@@ -425,44 +693,46 @@ where
     RA: Send,
     RB: Send,
 {
-    let Some(ctx) = current_context() else {
+    let Some((registry, index, b_label)) = next_child() else {
         return (a(), b());
     };
 
-    let latch = Latch::new();
-    let b_result: Arc<Mutex<Option<thread::Result<RB>>>> = Arc::new(Mutex::new(None));
-    let child_index = ctx.children.fetch_add(1, Ordering::Relaxed) as u32;
-    let b_label = ctx.label.child(child_index);
+    // Both the completion flag and the result slot live on *this* stack
+    // frame — `join` is on the hot fork path, and heap-allocating a latch
+    // per fork costs more than the fork itself.  The latch is probed (never
+    // condvar-waited), so setting it is a single release store and the
+    // frame provably outlives the child: see the SAFETY comment.
+    let done = AtomicBool::new(false);
+    let b_result: Mutex<Option<thread::Result<RB>>> = Mutex::new(None);
 
     {
-        let latch = Arc::clone(&latch);
-        let b_result = Arc::clone(&b_result);
-        // SAFETY (lifetime erasure): `b` may borrow from the caller's stack.
-        // This is sound because `join` does not return until the latch is
-        // observed set (see the help-while-waiting loop below), which happens
-        // strictly after `b` has finished executing, so every borrow captured
-        // by `b` outlives its execution.
+        let done = &done;
+        let b_result = &b_result;
+        // SAFETY (lifetime erasure): `b` may borrow from the caller's stack,
+        // and the job itself borrows `done` and `b_result` from this frame.
+        // This is sound because `join` does not return until it observes
+        // `done == true` (see the help-while-waiting loop below), and the
+        // store of `done` is the child's final touch of any borrow — so the
+        // frame, and everything `b` captured, outlives the child's use.
         let func: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
             let r = panic::catch_unwind(AssertUnwindSafe(b));
             *b_result.lock() = Some(r);
-            latch.set();
+            done.store(true, Ordering::Release);
         });
         let func: JobFn = unsafe { std::mem::transmute(func) };
-        ctx.registry.push_job(b_label, func);
+        registry.push_job(b_label, func);
     }
 
     // Run `a` inline.
     let a_result = panic::catch_unwind(AssertUnwindSafe(a));
 
     // Help execute other jobs until `b` is done (it may be running on another
-    // worker, still queued, or popped right here by ourselves).
-    while !latch.probe() {
-        if let Some((label, func)) = ctx.registry.pop_job(ctx.index) {
-            let saved = current_context();
-            run_job_caught(&ctx.registry, label, func);
-            if let Some(saved) = saved {
-                restore_context(saved);
-            }
+    // worker, still queued, or popped right here by ourselves).  Helping must
+    // never park on the pool's sleep state: the event that frees us is the
+    // *latch*, not new work, so we spin/yield between probes instead.
+    while !done.load(Ordering::Acquire) {
+        if let Some((label, func)) = registry.pop_job(index) {
+            run_job_caught(&registry, label, func);
         } else {
             std::hint::spin_loop();
             thread::yield_now();
@@ -482,12 +752,8 @@ where
 /// Spawn a detached `'static` job from inside the pool, labelled as the next
 /// child of the current task.  Outside a pool the job runs inline.
 pub fn spawn(f: impl FnOnce() + Send + 'static) {
-    match current_context() {
-        Some(ctx) => {
-            let child_index = ctx.children.fetch_add(1, Ordering::Relaxed) as u32;
-            let label = ctx.label.child(child_index);
-            ctx.registry.push_job(label, Box::new(f));
-        }
+    match next_child() {
+        Some((registry, _, label)) => registry.push_job(label, Box::new(f)),
         None => f(),
     }
 }
@@ -723,5 +989,84 @@ mod tests {
         assert_eq!(pool.policy(), Policy::Pdf);
         let zero = ThreadPool::new(0, Policy::WorkStealing);
         assert_eq!(zero.num_threads(), 1, "clamped to one thread");
+    }
+
+    #[test]
+    fn pinned_builder_is_usable_and_reports() {
+        let pool = ThreadPool::new(2, Policy::WorkStealing).pinned(true);
+        assert!(pool.is_pinned());
+        assert_eq!(pool.install(|| join(|| 2, || 3)), (2, 3));
+        let unpinned = ThreadPool::new(1, Policy::Pdf);
+        assert!(!unpinned.is_pinned());
+    }
+
+    #[test]
+    fn cross_pool_spawn_lands_on_the_right_pool() {
+        // A worker of pool A spawning into pool B must route through B's
+        // injector (not A's local deque): both pools must stay consistent
+        // and drain cleanly afterwards.
+        let a = ThreadPool::new(1, Policy::WorkStealing);
+        let b = Arc::new(ThreadPool::new(1, Policy::WorkStealing));
+        let counter = Arc::new(AtomicU64::new(0));
+        let (b2, c2) = (Arc::clone(&b), Arc::clone(&counter));
+        a.install(move || {
+            let c3 = Arc::clone(&c2);
+            b2.spawn_detached(move || {
+                c3.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        for _ in 0..2000 {
+            if counter.load(Ordering::SeqCst) == 1 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+        // Both pools still work and drop cleanly (a pending-counter
+        // imbalance from misrouted jobs would spin their workers forever).
+        assert_eq!(a.install(|| 1), 1);
+        assert_eq!(b.install(|| 2), 2);
+    }
+
+    #[test]
+    fn busy_pushes_stay_on_the_fast_path() {
+        // While the single worker is busy (never sleepy), pushes must not
+        // touch the slow wake path.
+        let pool = ThreadPool::new(1, Policy::WorkStealing);
+        let gate = Arc::new(AtomicBool::new(false));
+        let running = Arc::new(AtomicBool::new(false));
+        {
+            let (gate, running) = (Arc::clone(&gate), Arc::clone(&running));
+            pool.spawn_detached(move || {
+                running.store(true, Ordering::SeqCst);
+                while !gate.load(Ordering::Acquire) {
+                    std::hint::spin_loop();
+                }
+            });
+        }
+        while !running.load(Ordering::SeqCst) {
+            std::thread::yield_now();
+        }
+        let before = pool.slow_wakes();
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..256 {
+            let c = Arc::clone(&counter);
+            pool.spawn_detached(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        assert_eq!(
+            pool.slow_wakes(),
+            before,
+            "no-sleeper pushes must be a single atomic load"
+        );
+        gate.store(true, Ordering::Release);
+        for _ in 0..5000 {
+            if counter.load(Ordering::SeqCst) == 256 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 256);
     }
 }

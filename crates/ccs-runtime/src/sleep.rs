@@ -1,0 +1,455 @@
+//! Sleep/wake machinery for idle pool workers: a packed atomic
+//! sleep-state word plus a futex-style parking primitive.
+//!
+//! The design goal (DESIGN.md §14) is a **lock-free wake fast path**: a
+//! thread publishing work must learn "is anybody asleep?" from a single
+//! atomic load, touching a syscall or mutex only when a worker actually
+//! needs waking.  The seed pool took a global mutex on *every* push; under
+//! a fork-join workload every `join` is a push, so that mutex was the
+//! hottest line in the runtime.
+//!
+//! # The sleep-state word
+//!
+//! One `AtomicU64` (the `counts` field) packs three counters,
+//! sched-local style:
+//!
+//! ```text
+//! [ reserved:16 | asleep:16 | sleepy:16 | idle:16 ]
+//! ```
+//!
+//! * **idle** — workers out of work and spinning/yielding (diagnostic);
+//! * **sleepy** — workers that have *announced* intent to sleep and are
+//!   performing their final recheck;
+//! * **asleep** — workers parked on the futex.
+//!
+//! A separate `AtomicU32` event counter (the `events` field) is the
+//! futex word itself: it is bumped on every wake-worthy event, so a parked
+//! (or about-to-park) worker can atomically detect "something happened
+//! since I decided to sleep".
+//!
+//! # The wake protocol and why it cannot lose wakeups
+//!
+//! Worker going to sleep:
+//!
+//! 1. load `e = events` (SeqCst);
+//! 2. announce sleepiness: `counts.sleepy += 1` (SeqCst RMW);
+//! 3. **recheck** the work queues;
+//! 4. if still empty, park on `futex_wait(events, e)` — the kernel (or the
+//!    condvar fallback) re-checks `events == e` atomically with the sleep.
+//!
+//! Publisher:
+//!
+//! 1. make the work visible (SeqCst RMW on the pool's pending counter);
+//! 2. load `counts` (SeqCst); if `sleepy + asleep == 0`, **done** — this is
+//!    the fast path, one uncontended atomic load;
+//! 3. otherwise bump `events` and `futex_wake` one worker.
+//!
+//! Correctness argument: suppose a worker parks and the publisher does not
+//! wake it.  The worker's recheck (step 3) missed the job, so in the
+//! sequentially-consistent order its recheck-load precedes the publisher's
+//! work-publish RMW.  The worker's sleepy announcement (step 2, an RMW)
+//! precedes its recheck, and the publisher's `counts` load (step 2)
+//! follows its work-publish — so the publisher's load observes the
+//! announcement and takes the slow path.  The slow path bumps `events`
+//! after the worker loaded `e`, so either the bump lands before the
+//! worker's `futex_wait` (which then returns immediately: `events != e`)
+//! or the worker is already parked and the `futex_wake` lands it.  In
+//! every interleaving one of the two sides sees the other.
+//!
+//! On Linux x86_64/aarch64 parking is a raw `futex(2)` syscall (no libc
+//! needed); elsewhere a mutex + condvar pair keyed on the same event
+//! counter provides identical semantics (the mutex is touched only on the
+//! slow path, so the fast-path claim holds on every platform).
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Bit offsets of the packed counters in [`SleepState::counts`].
+const IDLE_SHIFT: u32 = 0;
+const SLEEPY_SHIFT: u32 = 16;
+const ASLEEP_SHIFT: u32 = 32;
+
+/// One packed-counter increment at the given field offset.
+const fn one(shift: u32) -> u64 {
+    1u64 << shift
+}
+
+/// Mask selecting the sleepy and asleep fields — the "someone may need a
+/// wakeup" test is `counts & NEEDS_WAKE != 0`.
+const NEEDS_WAKE_MASK: u64 = (0xffff << SLEEPY_SHIFT) | (0xffff << ASLEEP_SHIFT);
+
+/// A ticket returned by [`SleepState::announce_sleepy`]: the event-counter
+/// value observed *before* the final queue recheck.  Parking with a stale
+/// ticket returns immediately instead of sleeping.
+#[derive(Clone, Copy, Debug)]
+pub struct SleepTicket(u32);
+
+/// The pool-global sleep state: packed idle/sleepy/asleep counters plus
+/// the futex event word (see the module docs for the protocol).
+pub struct SleepState {
+    /// Packed `[asleep | sleepy | idle]` counters.
+    counts: AtomicU64,
+    /// The futex word: bumped on every wake-worthy event.
+    events: Futex,
+    /// Diagnostic: how many wakes took the slow path (an `events` bump plus
+    /// a futex/condvar operation).  The no-sleeper fast path never touches
+    /// it — asserted by the pool stress suite.
+    slow_wakes: AtomicU64,
+}
+
+impl SleepState {
+    /// A fresh state: everybody awake and busy.
+    pub fn new() -> Self {
+        SleepState {
+            counts: AtomicU64::new(0),
+            events: Futex::new(),
+            slow_wakes: AtomicU64::new(0),
+        }
+    }
+
+    /// A worker ran out of work and enters its spin/yield phase.
+    pub fn start_idle(&self) {
+        self.counts.fetch_add(one(IDLE_SHIFT), Ordering::SeqCst);
+    }
+
+    /// The idle worker found work (or shut down) and leaves the idle phase.
+    pub fn end_idle(&self) {
+        self.counts.fetch_sub(one(IDLE_SHIFT), Ordering::SeqCst);
+    }
+
+    /// Announce intent to sleep.  Must be followed by a queue recheck and
+    /// then either [`SleepState::cancel_sleepy`] (work appeared) or
+    /// [`SleepState::sleep`] (park on the returned ticket).
+    pub fn announce_sleepy(&self) -> SleepTicket {
+        let ticket = SleepTicket(self.events.load());
+        self.counts.fetch_add(one(SLEEPY_SHIFT), Ordering::SeqCst);
+        ticket
+    }
+
+    /// The final recheck found work: retract the sleepiness announcement.
+    pub fn cancel_sleepy(&self) {
+        self.counts.fetch_sub(one(SLEEPY_SHIFT), Ordering::SeqCst);
+    }
+
+    /// Park until an event invalidates `ticket` (or a spurious wake; the
+    /// caller loops).  Converts the announced sleepiness into sleep for the
+    /// duration of the park.
+    pub fn sleep(&self, ticket: SleepTicket) {
+        // sleepy -> asleep.  The publisher wakes on either counter, so the
+        // order of this transition relative to its load is immaterial.
+        self.counts.fetch_add(
+            one(ASLEEP_SHIFT).wrapping_sub(one(SLEEPY_SHIFT)),
+            Ordering::SeqCst,
+        );
+        self.events.wait(ticket.0);
+        self.counts.fetch_sub(one(ASLEEP_SHIFT), Ordering::SeqCst);
+    }
+
+    /// The publisher-side wake: one SeqCst load on the fast path; an event
+    /// bump plus one futex/condvar wake only when a worker is sleepy or
+    /// asleep.
+    #[inline]
+    pub fn notify_one(&self) {
+        if self.counts.load(Ordering::SeqCst) & NEEDS_WAKE_MASK == 0 {
+            return;
+        }
+        self.slow_wakes.fetch_add(1, Ordering::Relaxed);
+        self.events.bump();
+        self.events.wake_one();
+    }
+
+    /// Unconditional broadcast: bump the event word and wake every parked
+    /// worker.  Used for shutdown and configuration changes (pinning),
+    /// never on the push path.
+    pub fn notify_all(&self) {
+        self.slow_wakes.fetch_add(1, Ordering::Relaxed);
+        self.events.bump();
+        self.events.wake_all();
+    }
+
+    /// Number of slow-path wakes so far (diagnostic; see the stress suite).
+    pub fn slow_wakes(&self) -> u64 {
+        self.slow_wakes.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the packed counters as `(idle, sleepy, asleep)`.
+    pub fn snapshot(&self) -> (u16, u16, u16) {
+        let w = self.counts.load(Ordering::SeqCst);
+        (
+            (w >> IDLE_SHIFT) as u16,
+            (w >> SLEEPY_SHIFT) as u16,
+            (w >> ASLEEP_SHIFT) as u16,
+        )
+    }
+}
+
+impl Default for SleepState {
+    fn default() -> Self {
+        SleepState::new()
+    }
+}
+
+/// A futex-style parking primitive over one `u32` word: `wait` sleeps only
+/// while the word still holds the expected value; `bump` + `wake_*` make
+/// waiters (re)check.  Raw `futex(2)` on Linux x86_64/aarch64, mutex +
+/// condvar elsewhere.
+struct Futex {
+    word: AtomicU32,
+    #[cfg(not(ccs_raw_syscalls))]
+    fallback: FallbackParker,
+}
+
+// The raw-syscall path is gated on one cfg so the fallback is compiled (and
+// unit-tested) everywhere else.  `--cfg ccs_raw_syscalls` is set from
+// build.rs; see there for the platform condition.
+impl Futex {
+    fn new() -> Self {
+        Futex {
+            word: AtomicU32::new(0),
+            #[cfg(not(ccs_raw_syscalls))]
+            fallback: FallbackParker::new(),
+        }
+    }
+
+    fn load(&self) -> u32 {
+        self.word.load(Ordering::SeqCst)
+    }
+
+    fn bump(&self) {
+        self.word.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+#[cfg(ccs_raw_syscalls)]
+impl Futex {
+    /// Park until the word differs from `expected` (kernel-checked
+    /// atomically), a wake arrives, or a spurious return.
+    fn wait(&self, expected: u32) {
+        unsafe {
+            futex_syscall(
+                &self.word,
+                sys::FUTEX_WAIT | sys::FUTEX_PRIVATE_FLAG,
+                expected,
+            );
+        }
+    }
+
+    fn wake_one(&self) {
+        unsafe {
+            futex_syscall(&self.word, sys::FUTEX_WAKE | sys::FUTEX_PRIVATE_FLAG, 1);
+        }
+    }
+
+    fn wake_all(&self) {
+        // The wake count is a signed int in the kernel: i32::MAX means
+        // "everyone" (u32::MAX would be -1, which wakes exactly one).
+        unsafe {
+            futex_syscall(
+                &self.word,
+                sys::FUTEX_WAKE | sys::FUTEX_PRIVATE_FLAG,
+                i32::MAX as u32,
+            );
+        }
+    }
+}
+
+#[cfg(ccs_raw_syscalls)]
+mod sys {
+    pub const FUTEX_WAIT: u32 = 0;
+    pub const FUTEX_WAKE: u32 = 1;
+    pub const FUTEX_PRIVATE_FLAG: u32 = 128;
+
+    #[cfg(target_arch = "x86_64")]
+    pub const SYS_FUTEX: u64 = 202;
+    #[cfg(target_arch = "aarch64")]
+    pub const SYS_FUTEX: u64 = 98;
+}
+
+/// Raw `futex(2)` with a null timeout: `FUTEX_WAIT` blocks indefinitely
+/// (until woken or `*uaddr != val`), `FUTEX_WAKE` wakes up to `val`
+/// waiters.  The workspace vendors its dependencies, so the syscall is
+/// issued directly rather than through libc.
+///
+/// # Safety
+/// `word` must stay valid for the duration of the call (it does: the
+/// `SleepState` lives in the pool registry, which outlives every worker).
+#[cfg(ccs_raw_syscalls)]
+unsafe fn futex_syscall(word: &AtomicU32, op: u32, val: u32) -> i64 {
+    let uaddr = word as *const AtomicU32;
+    let ret: i64;
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") sys::SYS_FUTEX as i64 => ret,
+            in("rdi") uaddr,
+            in("rsi") op as u64,
+            in("rdx") val as u64,
+            in("r10") 0u64, // timeout: null = wait forever
+            in("r8") 0u64,
+            in("r9") 0u64,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack)
+        );
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        let ret64: u64;
+        std::arch::asm!(
+            "svc 0",
+            in("x8") sys::SYS_FUTEX,
+            inlateout("x0") uaddr as u64 => ret64,
+            in("x1") op as u64,
+            in("x2") val as u64,
+            in("x3") 0u64, // timeout
+            in("x4") 0u64,
+            in("x5") 0u64,
+            options(nostack)
+        );
+        ret = ret64 as i64;
+    }
+    ret
+}
+
+/// The portable fallback parker: a mutex + condvar keyed on the shared
+/// event word.  Only `wait` and the (already slow-path) wakes touch the
+/// mutex, so the publisher fast path stays a single atomic load here too.
+#[cfg(not(ccs_raw_syscalls))]
+struct FallbackParker {
+    mutex: parking_lot::Mutex<()>,
+    cond: parking_lot::Condvar,
+}
+
+#[cfg(not(ccs_raw_syscalls))]
+impl FallbackParker {
+    fn new() -> Self {
+        FallbackParker {
+            mutex: parking_lot::Mutex::new(()),
+            cond: parking_lot::Condvar::new(),
+        }
+    }
+}
+
+#[cfg(not(ccs_raw_syscalls))]
+impl Futex {
+    fn wait(&self, expected: u32) {
+        let mut guard = self.fallback.mutex.lock();
+        // Atomic-recheck equivalent of FUTEX_WAIT: a waker bumps the word
+        // and notifies *while holding this mutex*, so between this check
+        // and the wait there is no window for a silent bump.
+        if self.word.load(Ordering::SeqCst) != expected {
+            return;
+        }
+        self.fallback.cond.wait(&mut guard);
+    }
+
+    fn wake_one(&self) {
+        let _guard = self.fallback.mutex.lock();
+        self.fallback.cond.notify_one();
+    }
+
+    fn wake_all(&self) {
+        let _guard = self.fallback.mutex.lock();
+        self.fallback.cond.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn fast_path_is_silent_when_nobody_sleeps() {
+        let state = SleepState::new();
+        for _ in 0..1000 {
+            state.notify_one();
+        }
+        assert_eq!(state.slow_wakes(), 0);
+        assert_eq!(state.snapshot(), (0, 0, 0));
+    }
+
+    #[test]
+    fn counters_pack_and_unpack() {
+        let state = SleepState::new();
+        state.start_idle();
+        state.start_idle();
+        let ticket = state.announce_sleepy();
+        assert_eq!(state.snapshot(), (2, 1, 0));
+        state.cancel_sleepy();
+        assert_eq!(state.snapshot(), (2, 0, 0));
+        state.end_idle();
+        state.end_idle();
+        assert_eq!(state.snapshot(), (0, 0, 0));
+        // A ticket from before a bump parks without sleeping.  `sleep`
+        // consumes the open sleepiness announcement either way.
+        state.notify_all();
+        state.announce_sleepy();
+        state.sleep(ticket); // stale: returns immediately
+        assert_eq!(state.snapshot(), (0, 0, 0));
+    }
+
+    #[test]
+    fn stale_ticket_never_blocks() {
+        let state = SleepState::new();
+        let ticket = state.announce_sleepy();
+        state.notify_one(); // slow path: a sleepy worker is visible
+        assert_eq!(state.slow_wakes(), 1);
+        // The event bump invalidated the ticket, so this returns at once
+        // rather than parking forever (nobody else will wake us).
+        state.sleep(ticket);
+        assert_eq!(state.snapshot(), (0, 0, 0));
+    }
+
+    #[test]
+    fn parked_thread_is_woken_by_notify() {
+        let state = Arc::new(SleepState::new());
+        let woke = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let state = Arc::clone(&state);
+            let woke = Arc::clone(&woke);
+            std::thread::spawn(move || {
+                let ticket = state.announce_sleepy();
+                state.sleep(ticket);
+                woke.store(true, Ordering::SeqCst);
+            })
+        };
+        // Wait until the worker is really asleep, then wake it.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while state.snapshot().2 == 0 {
+            assert!(std::time::Instant::now() < deadline, "never fell asleep");
+            std::thread::yield_now();
+        }
+        state.notify_one();
+        handle.join().unwrap();
+        assert!(woke.load(Ordering::SeqCst));
+        assert_eq!(state.snapshot(), (0, 0, 0));
+        assert!(state.slow_wakes() >= 1);
+    }
+
+    #[test]
+    fn notify_all_releases_every_sleeper() {
+        let state = Arc::new(SleepState::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let state = Arc::clone(&state);
+                std::thread::spawn(move || {
+                    let ticket = state.announce_sleepy();
+                    state.sleep(ticket);
+                })
+            })
+            .collect();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while state.snapshot().2 != 4 {
+            assert!(std::time::Instant::now() < deadline, "sleepers missing");
+            std::thread::yield_now();
+        }
+        state.notify_all();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(state.snapshot(), (0, 0, 0));
+    }
+}

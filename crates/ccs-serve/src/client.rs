@@ -374,9 +374,7 @@ pub fn run_with_retry(
     }
     match last_run {
         Some(run) => Ok(run),
-        None => {
-            Err(last_err.unwrap_or_else(|| io::Error::other("retry attempts exhausted")))
-        }
+        None => Err(last_err.unwrap_or_else(|| io::Error::other("retry attempts exhausted"))),
     }
 }
 

@@ -27,7 +27,7 @@
 //! * [`server`] — the stdio and Unix-socket front ends;
 //! * [`client`] — the in-repo client, which reassembles streamed records
 //!   into batch-identical [`Report`](ccs_experiment::Report)s, plus the
-//!   idempotent [`run_with_retry`](client::run_with_retry) helper.
+//!   idempotent [`run_with_retry`] helper.
 //!
 //! Failure containment — per-request deadlines (`timeout_ms`), panic
 //! isolation at the pool boundary, the `health` frame, checksummed

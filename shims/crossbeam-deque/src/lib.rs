@@ -38,6 +38,17 @@ fn locked<T, R>(q: &Mutex<T>, f: impl FnOnce(&mut T) -> R) -> R {
     f(&mut guard)
 }
 
+/// Maximum number of items a single batch steal moves (matches the real
+/// crate's `MAX_BATCH`).
+const MAX_BATCH: usize = 32;
+
+/// Drain up to `ceil(len/2)` items (capped at `limit`) from the front of
+/// `src` — the steal end — preserving FIFO order.
+fn take_batch<T>(src: &mut VecDeque<T>, limit: usize) -> Vec<T> {
+    let want = src.len().div_ceil(2).min(limit);
+    src.drain(..want).collect()
+}
+
 /// A worker-owned deque.  The owner pushes and pops at the "top"; stealers
 /// take from the "bottom".
 pub struct Worker<T> {
@@ -114,6 +125,35 @@ impl<T> Stealer<T> {
     pub fn is_empty(&self) -> bool {
         locked(&self.queue, |q| q.is_empty())
     }
+
+    /// Steal a batch of items — up to half the source, capped at
+    /// `MAX_BATCH` — and push them onto `dest` in steal (FIFO) order.
+    ///
+    /// Like the real crate: returns `Steal::Empty` when the source had
+    /// nothing, `Steal::Success(())` when at least one item moved.  `dest`
+    /// must not be the source deque (the real crate's contract; this shim
+    /// would deadlock on the shared mutex).
+    pub fn steal_batch(&self, dest: &Worker<T>) -> Steal<()> {
+        let batch = locked(&self.queue, |q| take_batch(q, MAX_BATCH));
+        if batch.is_empty() {
+            return Steal::Empty;
+        }
+        locked(&dest.queue, |q| q.extend(batch));
+        Steal::Success(())
+    }
+
+    /// Steal a batch of items and additionally pop one: the first stolen
+    /// item is returned, the rest (up to `MAX_BATCH`) are pushed onto
+    /// `dest` in steal order.  `dest` must not be the source deque.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let batch = locked(&self.queue, |q| take_batch(q, MAX_BATCH + 1));
+        let mut batch = batch.into_iter();
+        let Some(first) = batch.next() else {
+            return Steal::Empty;
+        };
+        locked(&dest.queue, |q| q.extend(batch));
+        Steal::Success(first)
+    }
 }
 
 impl<T> Clone for Stealer<T> {
@@ -148,6 +188,29 @@ impl<T> Injector<T> {
             Some(v) => Steal::Success(v),
             None => Steal::Empty,
         }
+    }
+
+    /// Steal a batch of items — up to half the queue, capped at
+    /// `MAX_BATCH` — and push them onto `dest` in FIFO order.
+    pub fn steal_batch(&self, dest: &Worker<T>) -> Steal<()> {
+        let batch = locked(&self.queue, |q| take_batch(q, MAX_BATCH));
+        if batch.is_empty() {
+            return Steal::Empty;
+        }
+        locked(&dest.queue, |q| q.extend(batch));
+        Steal::Success(())
+    }
+
+    /// Steal a batch of items and pop one: the oldest queued item is
+    /// returned, the rest of the batch lands on `dest` in FIFO order.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let batch = locked(&self.queue, |q| take_batch(q, MAX_BATCH + 1));
+        let mut batch = batch.into_iter();
+        let Some(first) = batch.next() else {
+            return Steal::Empty;
+        };
+        locked(&dest.queue, |q| q.extend(batch));
+        Steal::Success(first)
     }
 
     /// Whether the queue is currently empty.
@@ -196,6 +259,113 @@ mod tests {
         assert_eq!(inj.steal(), Steal::Success("b"));
         assert_eq!(inj.steal(), Steal::Empty);
         assert!(inj.is_empty());
+    }
+
+    #[test]
+    fn steal_batch_and_pop_takes_half_in_fifo_order() {
+        let victim = Worker::new_lifo();
+        let thief = Worker::new_lifo();
+        for i in 0..8 {
+            victim.push(i);
+        }
+        // Half of 8 = 4 items leave the victim: the oldest is returned,
+        // the next three land on the thief in steal (FIFO) order.
+        let s = victim.stealer();
+        assert_eq!(s.steal_batch_and_pop(&thief), Steal::Success(0));
+        assert_eq!(victim.len(), 4);
+        assert_eq!(thief.len(), 3);
+        // LIFO owner pops the most recently pushed stolen item first.
+        assert_eq!(thief.pop(), Some(3));
+        assert_eq!(thief.pop(), Some(2));
+        assert_eq!(thief.pop(), Some(1));
+        assert_eq!(thief.pop(), None);
+        // The victim kept its own LIFO end intact.
+        assert_eq!(victim.pop(), Some(7));
+    }
+
+    #[test]
+    fn steal_batch_respects_max_batch_limit() {
+        let victim = Worker::new_lifo();
+        let thief = Worker::new_fifo();
+        for i in 0..200 {
+            victim.push(i);
+        }
+        // Half of 200 would be 100, but the cap is MAX_BATCH.
+        assert_eq!(victim.stealer().steal_batch(&thief), Steal::Success(()));
+        assert_eq!(thief.len(), MAX_BATCH);
+        // FIFO thief drains the stolen run in original order.
+        assert_eq!(thief.pop(), Some(0));
+        assert_eq!(thief.pop(), Some(1));
+        // And steal_batch_and_pop moves at most MAX_BATCH + 1.
+        let thief2 = Worker::new_fifo();
+        assert_eq!(
+            victim.stealer().steal_batch_and_pop(&thief2),
+            Steal::Success(MAX_BATCH as i32)
+        );
+        assert_eq!(thief2.len(), MAX_BATCH);
+    }
+
+    #[test]
+    fn batch_steal_from_empty_sources_is_empty() {
+        let victim: Worker<u32> = Worker::new_lifo();
+        let thief = Worker::new_lifo();
+        assert_eq!(victim.stealer().steal_batch(&thief), Steal::Empty);
+        assert_eq!(victim.stealer().steal_batch_and_pop(&thief), Steal::Empty);
+        let inj: Injector<u32> = Injector::new();
+        assert_eq!(inj.steal_batch(&thief), Steal::Empty);
+        assert_eq!(inj.steal_batch_and_pop(&thief), Steal::Empty);
+        assert!(thief.is_empty());
+    }
+
+    #[test]
+    fn injector_batch_steal_preserves_fifo() {
+        let inj = Injector::new();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        let dest = Worker::new_fifo();
+        // ceil(10/2) = 5 items move: one popped, four onto dest.
+        assert_eq!(inj.steal_batch_and_pop(&dest), Steal::Success(0));
+        assert_eq!(dest.len(), 4);
+        for want in 1..5 {
+            assert_eq!(dest.pop(), Some(want));
+        }
+        assert_eq!(inj.len(), 5);
+        assert_eq!(inj.steal(), Steal::Success(5));
+    }
+
+    #[test]
+    fn concurrent_batch_steals_lose_nothing() {
+        let victim = Worker::new_lifo();
+        let total = 10_000;
+        for i in 0..total {
+            victim.push(i);
+        }
+        let stealers: Vec<_> = (0..4).map(|_| victim.stealer()).collect();
+        let stolen: usize = std::thread::scope(|scope| {
+            let handles: Vec<_> = stealers
+                .iter()
+                .map(|s| {
+                    scope.spawn(move || {
+                        let local = Worker::new_lifo();
+                        let mut count = 0;
+                        while s.steal_batch_and_pop(&local).success().is_some() {
+                            count += 1; // the popped item
+                            while local.pop().is_some() {
+                                count += 1;
+                            }
+                        }
+                        count
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        let mut kept = 0;
+        while victim.pop().is_some() {
+            kept += 1;
+        }
+        assert_eq!(stolen + kept, total);
     }
 
     #[test]
